@@ -1,0 +1,70 @@
+//! Criterion bench for experiment E5: per-decision controller latency vs
+//! core count.
+//!
+//! Regenerates the paper's scalability figure with statistically sound
+//! timing: OD-RL's O(n·L) decision cost against MaxBIPS-DP's
+//! pseudo-polynomial knapsack and the other baselines, at 16–1024 cores
+//! (exhaustive MaxBIPS only at 4–8 cores, where it is still feasible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odrl_bench::{ControllerKind, Scenario};
+use odrl_manycore::{Observation, System, SystemSpec};
+use odrl_power::{LevelId, Watts};
+use odrl_workload::MixPolicy;
+use std::time::Duration;
+
+fn observation_for(cores: usize) -> (Observation, SystemSpec, Watts) {
+    let scenario = Scenario {
+        cores,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 7,
+    };
+    let config = scenario.system_config();
+    let budget = Watts::new(0.6 * config.max_power().value());
+    let mut system = System::new(config).expect("valid config");
+    let spec = system.spec();
+    for _ in 0..5 {
+        system.step(&vec![LevelId(4); cores]).expect("valid step");
+    }
+    (system.observation(budget), spec, budget)
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide_latency");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for &cores in &[16usize, 64, 256, 1024] {
+        let (obs, spec, budget) = observation_for(cores);
+        for kind in [
+            ControllerKind::OdRl,
+            ControllerKind::MaxBipsDp,
+            ControllerKind::SteepestDrop,
+            ControllerKind::Pid,
+        ] {
+            let mut ctrl = kind.build(&spec, budget);
+            group.bench_with_input(BenchmarkId::new(kind.label(), cores), &obs, |b, obs| {
+                b.iter(|| std::hint::black_box(ctrl.decide(obs)))
+            });
+        }
+    }
+
+    // The combinatorial wall: exhaustive MaxBIPS at toy core counts only.
+    for &cores in &[4usize, 6, 8] {
+        let (obs, spec, budget) = observation_for(cores);
+        let mut ctrl = ControllerKind::MaxBipsExhaustive.build(&spec, budget);
+        group.bench_with_input(
+            BenchmarkId::new("maxbips-exhaustive", cores),
+            &obs,
+            |b, obs| b.iter(|| std::hint::black_box(ctrl.decide(obs))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benches for OD-RL's per-epoch components.
+//!
+//! The scalability claim rests on the controller's decide path being cheap;
+//! this bench decomposes it: state encoding + reward shaping + agent
+//! select/update per core, and the coarse-grain reallocation. Guards
+//! against regressions that would erode the O(n·L) advantage measured in
+//! E5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use odrl_bench::{ControllerKind, Scenario};
+use odrl_core::{BudgetAllocator, OdRlConfig};
+use odrl_manycore::{Observation, System};
+use odrl_power::{LevelId, Watts};
+use odrl_workload::MixPolicy;
+use std::time::Duration;
+
+fn observation_for(cores: usize) -> (Observation, odrl_manycore::SystemSpec, Watts) {
+    let scenario = Scenario {
+        cores,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 7,
+    };
+    let config = scenario.system_config();
+    let budget = Watts::new(0.6 * config.max_power().value());
+    let mut system = System::new(config).expect("valid config");
+    let spec = system.spec();
+    for _ in 0..5 {
+        system.step(&vec![LevelId(4); cores]).expect("valid step");
+    }
+    (system.observation(budget), spec, budget)
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("odrl_components");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for &cores in &[64usize, 256] {
+        let (obs, spec, budget) = observation_for(cores);
+
+        // The full fine-grain + coarse-grain decide path.
+        let mut ctrl = ControllerKind::OdRl.build(&spec, budget);
+        group.throughput(Throughput::Elements(cores as u64));
+        group.bench_with_input(BenchmarkId::new("decide", cores), &obs, |b, obs| {
+            b.iter(|| std::hint::black_box(ctrl.decide(obs)))
+        });
+
+        // The coarse-grain reallocation alone.
+        let mut alloc = BudgetAllocator::new(
+            cores,
+            OdRlConfig::default().realloc_gain,
+            OdRlConfig::default().min_share,
+        );
+        alloc.observe(&obs);
+        let current = BudgetAllocator::fair_split(budget, cores);
+        group.bench_with_input(BenchmarkId::new("reallocate", cores), &obs, |b, obs| {
+            b.iter(|| std::hint::black_box(alloc.reallocate(obs, &current, budget)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

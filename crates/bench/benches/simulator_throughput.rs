@@ -1,0 +1,38 @@
+//! Criterion bench for the simulation substrate itself: epochs per second
+//! of the closed loop at several system sizes.
+//!
+//! Not a paper figure — it documents that the simulator is fast enough to
+//! run the full evaluation (the paper's scalability argument presumes the
+//! plant is not the bottleneck) and guards against performance regressions
+//! in the epoch path (perf model + power model + thermal grid).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use odrl_manycore::{System, SystemConfig};
+use odrl_power::LevelId;
+use std::time::Duration;
+
+fn bench_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_step");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for &cores in &[16usize, 64, 256] {
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .seed(1)
+            .build()
+            .expect("valid config");
+        let mut system = System::new(config).expect("valid system");
+        let levels = vec![LevelId(4); cores];
+        group.throughput(Throughput::Elements(cores as u64));
+        group.bench_with_input(BenchmarkId::new("epoch", cores), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(system.step(&levels).expect("valid step")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! **A3** — Ablation: exploration and learning-rate schedules.
+//!
+//! Sweeps the ε-greedy exploration floor and the learning-rate schedule of
+//! the per-core agents. No exploration floor (ε→0) freezes the policy and
+//! loses adaptivity to phase changes; a large floor wastes epochs on random
+//! levels (overshoot risk). Constant vs inverse-time α trades tracking
+//! speed against estimate stability.
+//!
+//! Run with: `cargo run --release -p odrl-bench --bin abl_schedules`
+
+use odrl_bench::{ControllerKind, Scenario};
+use odrl_core::OdRlConfig;
+use odrl_manycore::System;
+use odrl_metrics::{fmt_num, fmt_percent, RunRecorder, Table};
+use odrl_power::Watts;
+use odrl_rl::Schedule;
+use odrl_workload::MixPolicy;
+
+fn run_with(config: OdRlConfig, scenario: &Scenario) -> odrl_metrics::RunSummary {
+    let sys_config = scenario.system_config();
+    let budget = Watts::new(scenario.budget_frac * sys_config.max_power().value());
+    let mut system = System::new(sys_config).expect("valid config");
+    let mut ctrl = ControllerKind::OdRl.build_with_odrl_config(&system.spec(), budget, config);
+    let mut rec = RunRecorder::new("od-rl");
+    for _ in 0..scenario.epochs {
+        let obs = system.observation(budget);
+        let actions = ctrl.decide(&obs);
+        let report = system.step(&actions).expect("valid actions");
+        rec.record(
+            report.total_power,
+            budget,
+            report.total_instructions(),
+            report.dt,
+        );
+    }
+    rec.finish()
+}
+
+fn main() {
+    let scenario = Scenario {
+        cores: 64,
+        budget_frac: 0.6,
+        epochs: 2_000,
+        mix: MixPolicy::RoundRobin,
+        seed: 8,
+    };
+    println!("A3: schedule ablation (64 cores, 60% budget, 2000 epochs)\n");
+
+    println!("exploration floor (epsilon decays 0.5 -> floor):");
+    let mut table = Table::new(vec!["eps_floor", "gips", "overshoot_j", "over_epochs"]);
+    for floor in [0.0, 0.02, 0.05, 0.1, 0.2] {
+        let config = OdRlConfig {
+            epsilon: Schedule::Exponential {
+                initial: 0.5,
+                rate: 5e-3,
+                floor,
+            },
+            ..OdRlConfig::default()
+        };
+        let s = run_with(config, &scenario);
+        table.add_row(vec![
+            format!("{floor}"),
+            fmt_num(s.throughput_ips() / 1e9),
+            fmt_num(s.overshoot_energy.value()),
+            fmt_percent(s.overshoot_fraction),
+        ]);
+    }
+    println!("{table}");
+
+    println!("learning-rate schedule:");
+    let schedules: Vec<(&str, Schedule)> = vec![
+        ("const 0.05", Schedule::Constant { value: 0.05 }),
+        ("const 0.2", Schedule::Constant { value: 0.2 }),
+        ("const 0.5", Schedule::Constant { value: 0.5 }),
+        (
+            "1/t floor .05",
+            Schedule::InverseTime {
+                initial: 0.9,
+                floor: 0.05,
+            },
+        ),
+        (
+            "exp floor .05",
+            Schedule::Exponential {
+                initial: 0.9,
+                rate: 0.02,
+                floor: 0.05,
+            },
+        ),
+    ];
+    let mut table = Table::new(vec!["alpha", "gips", "overshoot_j", "over_epochs"]);
+    for (label, alpha) in schedules {
+        let config = OdRlConfig {
+            alpha,
+            ..OdRlConfig::default()
+        };
+        let s = run_with(config, &scenario);
+        table.add_row(vec![
+            label.to_string(),
+            fmt_num(s.throughput_ips() / 1e9),
+            fmt_num(s.overshoot_energy.value()),
+            fmt_percent(s.overshoot_fraction),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: a small exploration floor (0.02-0.05) beats both extremes; \
+         decaying alpha with a floor tracks phase changes while damping sensor noise."
+    );
+}

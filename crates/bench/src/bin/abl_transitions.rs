@@ -1,0 +1,73 @@
+//! **A5** — Ablation: DVFS transition overhead.
+//!
+//! Real VF transitions stall a core for the PLL-relock/voltage-ramp time.
+//! Controllers that thrash levels (PID's uniform index wobbles every epoch;
+//! OD-RL's exploration switches a few cores per epoch) pay for it;
+//! controllers that settle (static) do not. Sweeps the per-transition
+//! penalty and reports each controller's throughput retention.
+//!
+//! Run with: `cargo run --release -p odrl-bench --bin abl_transitions`
+
+use odrl_bench::{run_loop, ControllerKind};
+use odrl_manycore::{System, SystemConfig};
+use odrl_metrics::{fmt_num, fmt_percent, Table};
+use odrl_power::{Seconds, Watts};
+use odrl_workload::MixPolicy;
+
+const CORES: usize = 64;
+const EPOCHS: u64 = 1_500;
+
+fn main() {
+    println!("A5: DVFS transition overhead (64 cores, 60% budget)\n");
+    let kinds = [
+        ControllerKind::OdRl,
+        ControllerKind::MaxBipsDp,
+        ControllerKind::SteepestDrop,
+        ControllerKind::Pid,
+        ControllerKind::StaticUniform,
+    ];
+    let mut table = Table::new({
+        let mut h = vec!["penalty_us".to_string()];
+        h.extend(kinds.iter().map(|k| format!("{}_gips", k.label())));
+        h
+    });
+
+    let mut baselines = vec![0.0; kinds.len()];
+    let mut final_row = vec![0.0; kinds.len()];
+    for (pi, penalty_us) in [0.0, 10.0, 50.0, 100.0].into_iter().enumerate() {
+        let config = SystemConfig::builder()
+            .cores(CORES)
+            .mix(MixPolicy::RoundRobin)
+            .transition_penalty(Seconds::new(penalty_us * 1e-6))
+            .seed(16)
+            .build()
+            .expect("valid config");
+        let budget = Watts::new(0.6 * config.max_power().value());
+        let mut row = vec![format!("{penalty_us:.0}")];
+        for (ki, &kind) in kinds.iter().enumerate() {
+            let mut system = System::new(config.clone()).expect("valid system");
+            let mut ctrl = kind.build(&system.spec(), budget);
+            let run = run_loop(&mut system, ctrl.as_mut(), budget, EPOCHS);
+            let gips = run.summary.throughput_ips() / 1e9;
+            if pi == 0 {
+                baselines[ki] = gips;
+            }
+            final_row[ki] = gips;
+            row.push(fmt_num(gips));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+    println!("throughput retained at 100 us per transition (vs zero-cost transitions):");
+    for (ki, kind) in kinds.iter().enumerate() {
+        println!(
+            "  {:<16} {}",
+            kind.label(),
+            fmt_percent(final_row[ki] / baselines[ki])
+        );
+    }
+    println!(
+        "expected shape: static-uniform is immune (it never switches); level-thrashing \
+         controllers lose the most; OD-RL's loss is bounded by its exploration rate."
+    );
+}

@@ -1,0 +1,65 @@
+//! **E7** — Budget sweep: throughput vs TDP fraction for every controller.
+//!
+//! Sweeps the chip budget from 40 % to 100 % of max power on 64 cores with
+//! the mixed workload, and reports throughput and overshoot per controller
+//! at each point. Shows where controllers cross over: predictive baselines
+//! lose more at tight budgets (stale predictions ⇒ overshoot-then-throttle
+//! oscillation), while all converge near 100 %.
+//!
+//! Run with: `cargo run --release -p odrl-bench --bin exp_budget_sweep`
+
+use odrl_bench::{run_scenario, ControllerKind, Scenario};
+use odrl_metrics::{fmt_num, Table};
+use odrl_workload::MixPolicy;
+
+fn main() {
+    let kinds = [
+        ControllerKind::OdRl,
+        ControllerKind::MaxBipsDp,
+        ControllerKind::SteepestDrop,
+        ControllerKind::Pid,
+        ControllerKind::StaticUniform,
+        ControllerKind::Ondemand, // budget-oblivious: the "why cap at all" row
+    ];
+    println!("E7: throughput vs power budget (64 cores, mixed workload, 1500 epochs)\n");
+
+    let mut tput = Table::new({
+        let mut h = vec!["budget_pct".to_string()];
+        h.extend(kinds.iter().map(|k| format!("{}_gips", k.label())));
+        h
+    });
+    let mut over = Table::new({
+        let mut h = vec!["budget_pct".to_string()];
+        h.extend(kinds.iter().map(|k| format!("{}_ovj", k.label())));
+        h
+    });
+
+    for pct in [40, 50, 60, 70, 80, 90, 100] {
+        let scenario = Scenario {
+            cores: 64,
+            budget_frac: pct as f64 / 100.0,
+            epochs: 1_500,
+            mix: MixPolicy::RoundRobin,
+            seed: 2,
+        };
+        let mut tput_row = vec![format!("{pct}%")];
+        let mut over_row = vec![format!("{pct}%")];
+        for &kind in &kinds {
+            let s = run_scenario(&scenario, kind);
+            tput_row.push(fmt_num(s.throughput_ips() / 1e9));
+            over_row.push(fmt_num(s.overshoot_energy.value()));
+        }
+        tput.add_row(tput_row);
+        over.add_row(over_row);
+    }
+    println!("throughput (GIPS):\n{tput}");
+    println!("overshoot energy (J):\n{over}");
+    println!(
+        "expected shape: throughput rises with budget for all controllers and saturates \
+         near 100%; OD-RL holds near-zero overshoot across the sweep while predictive \
+         baselines overshoot most at tight budgets; static-uniform wastes headroom \
+         (lowest throughput) but also rarely overshoots; the budget-oblivious ondemand \
+         governor overshoots catastrophically at every binding budget — the reason \
+         power capping exists."
+    );
+}

@@ -1,0 +1,64 @@
+//! **E4** — Energy-efficiency comparison (paper claim 2b: "up to 23 %
+//! higher energy efficiency").
+//!
+//! Same sweep as E2; reports instructions per joule per (benchmark,
+//! controller) and the throughput each achieves, with OD-RL's efficiency
+//! gain over each baseline.
+//!
+//! Run with: `cargo run --release -p odrl-bench --bin exp_efficiency`
+
+use odrl_bench::{benchmark_sweep, geometric_mean, ControllerKind};
+use odrl_metrics::{fmt_num, fmt_percent, Table};
+
+fn main() {
+    let kinds = ControllerKind::headline_set();
+    println!("E4: energy efficiency (64 cores, 60% budget, 2000 epochs)");
+    println!("efficiency = total instructions / total energy [instr/J]\n");
+    let sweep = benchmark_sweep(64, 0.6, 2_000, 1, &kinds);
+
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(kinds.iter().map(|k| format!("{}_ipj", k.label())));
+    headers.push("odrl_gain_vs_best".into());
+    let mut table = Table::new(headers);
+
+    let mut gains = Vec::new();
+    let mut max_gain = f64::NEG_INFINITY;
+    for (bench, summaries) in &sweep {
+        let mut row = vec![bench.clone()];
+        let effs: Vec<f64> = summaries
+            .iter()
+            .map(|s| s.instructions_per_joule())
+            .collect();
+        for e in &effs {
+            row.push(fmt_num(*e));
+        }
+        let best_baseline = effs[1..].iter().copied().fold(0.0, f64::max);
+        let gain = effs[0] / best_baseline - 1.0;
+        gains.push(1.0 + gain);
+        max_gain = max_gain.max(gain);
+        row.push(fmt_percent(gain));
+        table.add_row(row);
+    }
+    println!("{table}");
+
+    println!("throughput (GIPS) for context:");
+    let mut tput = Table::new({
+        let mut h = vec!["benchmark".to_string()];
+        h.extend(kinds.iter().map(|k| k.label().to_string()));
+        h
+    });
+    for (bench, summaries) in &sweep {
+        let mut row = vec![bench.clone()];
+        for s in summaries {
+            row.push(fmt_num(s.throughput_ips() / 1e9));
+        }
+        tput.add_row(row);
+    }
+    println!("{tput}");
+
+    println!(
+        "OD-RL efficiency vs best baseline: max gain {} (paper: up to 23%), geomean ratio {:.3}",
+        fmt_percent(max_gain),
+        geometric_mean(&gains)
+    );
+}

@@ -1,0 +1,91 @@
+//! **E12** — Extended-range (near-threshold) DVFS under tight budgets.
+//!
+//! The research group's CODES+ISSS'13 work showed that extending the DVFS
+//! range below the conventional floor (toward near-threshold operation)
+//! buys throughput under iso-power constraints. This experiment reruns the
+//! budget sweep with OD-RL on the standard 8-level table vs the 12-level
+//! extended-range table: under very tight budgets the conventional floor
+//! (every core at its lowest level) already exceeds the cap, and only the
+//! extended table has anywhere to go.
+//!
+//! Run with: `cargo run --release -p odrl-bench --bin exp_extended_range`
+
+use odrl_controllers::PowerController;
+use odrl_core::{OdRlConfig, OdRlController};
+use odrl_manycore::{System, SystemConfig};
+use odrl_metrics::{fmt_num, fmt_percent, RunRecorder, Table};
+use odrl_power::{VfTable, Watts};
+use odrl_workload::MixPolicy;
+
+const CORES: usize = 64;
+const EPOCHS: u64 = 2_000;
+
+fn run(table: VfTable, budget_frac: f64, reference_max: Watts) -> odrl_metrics::RunSummary {
+    let config = SystemConfig::builder()
+        .cores(CORES)
+        .vf_table(table)
+        .mix(MixPolicy::RoundRobin)
+        .seed(28)
+        .build()
+        .expect("valid config");
+    // Both tables are budgeted against the SAME reference max power (the
+    // standard table's), so "20%" means the same watts for both.
+    let budget = reference_max * budget_frac;
+    let mut system = System::new(config).expect("valid system");
+    let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget)
+        .expect("valid OD-RL config");
+    let mut rec = RunRecorder::new("od-rl");
+    for _ in 0..EPOCHS {
+        let obs = system.observation(budget);
+        let actions = ctrl.decide(&obs);
+        let report = system.step(&actions).expect("valid actions");
+        rec.record(
+            report.total_power,
+            budget,
+            report.total_instructions(),
+            report.dt,
+        );
+    }
+    rec.finish()
+}
+
+fn main() {
+    let reference_max = SystemConfig::builder()
+        .cores(CORES)
+        .build()
+        .expect("valid config")
+        .max_power();
+    println!(
+        "E12: standard vs extended-range (near-threshold) DVFS, OD-RL on {CORES} cores\n\
+         (budgets are fractions of the same {reference_max:.1} reference)\n"
+    );
+
+    let mut table = Table::new(vec![
+        "budget_pct",
+        "std_gips",
+        "std_over_epochs",
+        "ext_gips",
+        "ext_over_epochs",
+        "ext_gain",
+    ]);
+    for pct in [10, 15, 20, 30, 40, 60] {
+        let frac = pct as f64 / 100.0;
+        let std = run(VfTable::alpha_like(), frac, reference_max);
+        let ext = run(VfTable::extended_range(), frac, reference_max);
+        table.add_row(vec![
+            format!("{pct}%"),
+            fmt_num(std.throughput_ips() / 1e9),
+            fmt_percent(std.overshoot_fraction),
+            fmt_num(ext.throughput_ips() / 1e9),
+            fmt_percent(ext.overshoot_fraction),
+            fmt_percent(ext.throughput_ips() / std.throughput_ips() - 1.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: at generous budgets the tables tie (same top levels); as the \
+         budget approaches the standard table's floor power, the standard build is \
+         FORCED over budget (overshoot epochs -> 100%) while the extended table trades \
+         throughput for compliance using its near-threshold levels."
+    );
+}

@@ -1,0 +1,112 @@
+//! **E1** — Power-trace figure: chip power vs time under a TDP budget.
+//!
+//! Reproduces the paper's budget-tracking figure: 64 cores, mixed workload,
+//! budget = 60 % of max power, 2 000 epochs of 1 ms. Prints a time-bucketed
+//! power table (one column per controller) suitable for plotting, plus an
+//! ASCII strip chart per controller, plus summary statistics.
+//!
+//! Run with: `cargo run --release -p odrl-bench --bin exp_power_trace`
+
+use odrl_bench::{run_scenario_traced, ControllerKind, Scenario, TracedRun};
+use odrl_metrics::{fmt_num, fmt_percent, Histogram, Table};
+
+const BUCKETS: usize = 40;
+
+fn main() {
+    let scenario = Scenario::default_eval();
+    let config = scenario.system_config();
+    let budget = scenario.budget_frac * config.max_power().value();
+    println!("E1: power trace under budget");
+    println!(
+        "cores={} budget={:.1} W ({:.0}% of max {:.1} W) epochs={}\n",
+        scenario.cores,
+        budget,
+        scenario.budget_frac * 100.0,
+        config.max_power().value(),
+        scenario.epochs
+    );
+
+    let kinds = ControllerKind::headline_set();
+    let runs: Vec<TracedRun> = kinds
+        .iter()
+        .map(|&k| run_scenario_traced(&scenario, k))
+        .collect();
+
+    // Time-bucketed mean power, one row per bucket, one column per
+    // controller — the figure's data series.
+    let mut headers = vec!["t_ms".to_string(), "budget_w".to_string()];
+    headers.extend(kinds.iter().map(|k| format!("{}_w", k.label())));
+    let mut table = Table::new(headers);
+    let epochs = scenario.epochs as usize;
+    let per_bucket = epochs.div_ceil(BUCKETS);
+    for b in 0..BUCKETS {
+        let lo = b * per_bucket;
+        let hi = ((b + 1) * per_bucket).min(epochs);
+        if lo >= hi {
+            break;
+        }
+        let t_ms = runs[0].power_trace[hi - 1].0 * 1e3;
+        let mut row = vec![format!("{t_ms:.0}"), fmt_num(budget)];
+        for run in &runs {
+            let mean: f64 =
+                run.power_trace[lo..hi].iter().map(|p| p.1).sum::<f64>() / (hi - lo) as f64;
+            row.push(fmt_num(mean));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+
+    // ASCII strip chart: '#' over budget, '=' within 5% under, '-' below.
+    println!("strip chart (one char per {per_bucket} epochs): '#'=over budget, '='=at budget, '-'=under\n");
+    for (kind, run) in kinds.iter().zip(&runs) {
+        let mut strip = String::new();
+        for b in 0..BUCKETS {
+            let lo = b * per_bucket;
+            let hi = ((b + 1) * per_bucket).min(epochs);
+            if lo >= hi {
+                break;
+            }
+            let mean: f64 =
+                run.power_trace[lo..hi].iter().map(|p| p.1).sum::<f64>() / (hi - lo) as f64;
+            strip.push(if mean > budget {
+                '#'
+            } else if mean > 0.95 * budget {
+                '='
+            } else {
+                '-'
+            });
+        }
+        println!("{:>20}  {}", kind.label(), strip);
+    }
+
+    println!("\nsummary (p95/p99 power: TDP compliance is a tail property):");
+    let mut summary = Table::new(vec![
+        "controller",
+        "mean_w",
+        "p95_w",
+        "p99_w",
+        "peak_w",
+        "over_epochs",
+        "overshoot_j",
+        "throughput_gips",
+    ]);
+    for run in &runs {
+        let s = &run.summary;
+        let mut hist = Histogram::new(0.0, 1.2 * config.max_power().value(), 400)
+            .expect("valid histogram layout");
+        for &(_, p) in &run.power_trace {
+            hist.record(p);
+        }
+        summary.add_row(vec![
+            s.name.clone(),
+            fmt_num(s.mean_power.value()),
+            fmt_num(hist.quantile(0.95)),
+            fmt_num(hist.quantile(0.99)),
+            fmt_num(s.peak_power.value()),
+            fmt_percent(s.overshoot_fraction),
+            fmt_num(s.overshoot_energy.value()),
+            fmt_num(s.throughput_ips() / 1e9),
+        ]);
+    }
+    println!("{summary}");
+}

@@ -1,0 +1,122 @@
+//! **E5** — Controller-runtime scalability (paper claim 3: "two orders of
+//! magnitude speedup over state-of-the-art techniques for systems with
+//! hundreds of cores").
+//!
+//! Measures the wall-clock cost of one `decide()` call per controller at
+//! core counts from 16 to 1024 (exhaustive MaxBIPS additionally at 4–8
+//! cores, beyond which it is combinatorially infeasible — the point of the
+//! claim). Reports median nanoseconds per decision and the MaxBIPS-DP /
+//! OD-RL ratio.
+//!
+//! Criterion-grade measurements of the same quantity live in
+//! `benches/controller_scaling.rs`; this binary prints the paper-style
+//! table quickly.
+//!
+//! Run with: `cargo run --release -p odrl-bench --bin exp_scaling`
+
+use odrl_bench::{ControllerKind, Scenario};
+use odrl_controllers::PowerController;
+use odrl_manycore::{Observation, System};
+use odrl_metrics::{fmt_num, Table};
+use odrl_power::Watts;
+use odrl_workload::MixPolicy;
+use std::time::Instant;
+
+/// Builds a warmed-up observation for `cores` cores.
+fn observation_for(cores: usize) -> (Observation, odrl_manycore::SystemSpec, Watts) {
+    let scenario = Scenario {
+        cores,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 7,
+    };
+    let config = scenario.system_config();
+    let budget = Watts::new(0.6 * config.max_power().value());
+    let mut system = System::new(config).expect("valid config");
+    let spec = system.spec();
+    let mid = odrl_power::LevelId(4);
+    for _ in 0..5 {
+        system.step(&vec![mid; cores]).expect("valid step");
+    }
+    (system.observation(budget), spec, budget)
+}
+
+/// Median nanoseconds per `decide()` over `reps` calls.
+fn measure(ctrl: &mut dyn PowerController, obs: &Observation, reps: usize) -> f64 {
+    // Warmup.
+    for _ in 0..3 {
+        let _ = ctrl.decide(obs);
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let actions = ctrl.decide(obs);
+            let ns = t.elapsed().as_nanos() as f64;
+            assert_eq!(actions.len(), obs.cores.len());
+            ns
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    println!("E5: controller decision latency vs core count (median ns/decision)\n");
+
+    // Exhaustive MaxBIPS: only at toy sizes, to show the combinatorial wall.
+    println!("exhaustive MaxBIPS (exact, as published):");
+    let mut ex_table = Table::new(vec!["cores", "maxbips_exhaustive_ns"]);
+    for &n in &[2usize, 4, 6, 8] {
+        let (obs, spec, budget) = observation_for(n);
+        let mut ctrl = ControllerKind::MaxBipsExhaustive.build(&spec, budget);
+        let ns = measure(ctrl.as_mut(), &obs, 5);
+        ex_table.add_row(vec![n.to_string(), fmt_num(ns)]);
+    }
+    println!("{ex_table}");
+
+    let kinds = [
+        ControllerKind::OdRl,
+        ControllerKind::OdRlHier,
+        ControllerKind::MaxBipsDp,
+        ControllerKind::SteepestDrop,
+        ControllerKind::PriorityGreedy,
+        ControllerKind::Pid,
+    ];
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(kinds.iter().map(|k| format!("{}_ns", k.label())));
+    headers.push("dp_over_odrl".into());
+    let mut table = Table::new(headers);
+
+    let mut worst_ratio = 0.0f64;
+    for &n in &[16usize, 32, 64, 128, 256, 512, 1024] {
+        let (obs, spec, budget) = observation_for(n);
+        let mut row = vec![n.to_string()];
+        let mut odrl_ns = 0.0;
+        let mut dp_ns = 0.0;
+        for kind in kinds {
+            let mut ctrl = kind.build(&spec, budget);
+            let reps = if n >= 512 { 7 } else { 11 };
+            let ns = measure(ctrl.as_mut(), &obs, reps);
+            if kind == ControllerKind::OdRl {
+                odrl_ns = ns;
+            }
+            if kind == ControllerKind::MaxBipsDp {
+                dp_ns = ns;
+            }
+            row.push(fmt_num(ns));
+        }
+        let ratio = dp_ns / odrl_ns;
+        if n >= 256 {
+            worst_ratio = worst_ratio.max(ratio);
+        }
+        row.push(format!("{ratio:.1}x"));
+        table.add_row(row);
+    }
+    println!("{table}");
+    println!(
+        "MaxBIPS-DP / OD-RL decision-cost ratio at >=256 cores: up to {worst_ratio:.0}x \
+         (paper: two orders of magnitude vs state of the art; exhaustive MaxBIPS is \
+         infeasible outright beyond ~10 cores)"
+    );
+}

@@ -1,0 +1,209 @@
+//! `odrl_sim` — command-line driver for one power-capping run.
+//!
+//! ```text
+//! Usage: odrl_sim [OPTIONS]
+//!
+//!   --cores N             number of cores              [default: 64]
+//!   --budget FRAC         budget as a fraction of max  [default: 0.6]
+//!   --controller NAME     od-rl | od-rl-local | maxbips-dp | steepest-drop
+//!                         | pid | static-uniform | priority-greedy
+//!                                                      [default: od-rl]
+//!   --epochs N            control epochs               [default: 2000]
+//!   --seed N              master seed                  [default: 1]
+//!   --mix POLICY          roundrobin | random | <benchmark name>
+//!                                                      [default: roundrobin]
+//!   --islands SIZE        cores per VF island          [default: 1]
+//!   --csv PATH            write the per-epoch telemetry series as CSV
+//!   --config PATH         load the full SystemConfig from a JSON file
+//!                         (overrides --cores/--seed/--mix)
+//!   --dump-config         print the effective SystemConfig as JSON and exit
+//!   --help                print this help
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! cargo run --release -p odrl-bench --bin odrl_sim -- \
+//!     --cores 128 --budget 0.5 --controller od-rl --mix canneal --csv run.csv
+//! ```
+
+use odrl_bench::cli::{parse_sim_args, SimArgs};
+use odrl_bench::Scenario;
+use odrl_controllers::{IslandController, IslandMap, PowerController};
+use odrl_manycore::System;
+use odrl_metrics::{fmt_num, fmt_percent, RunRecorder};
+use odrl_power::Watts;
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!(
+        "Usage: odrl_sim [--cores N] [--budget FRAC] [--controller NAME] \
+         [--epochs N] [--seed N] [--mix POLICY] [--islands SIZE] [--csv PATH] \
+         [--config PATH] [--dump-config]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: SimArgs = match parse_sim_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) if e == "help" => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = if let Some(path) = &args.config_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let config: odrl_manycore::SystemConfig = match serde_json::from_str(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error parsing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = config.validate() {
+            eprintln!("error: invalid config in {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        config
+    } else {
+        let scenario = Scenario {
+            cores: args.cores,
+            budget_frac: args.budget_frac,
+            epochs: args.epochs,
+            mix: args.mix.clone(),
+            seed: args.seed,
+        };
+        scenario.system_config()
+    };
+    if args.dump_config {
+        match serde_json::to_string_pretty(&config) {
+            Ok(json) => {
+                println!("{json}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error serializing config: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cores = config.cores;
+    let budget = Watts::new(args.budget_frac * config.max_power().value());
+
+    let mut system = match System::new_recording(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = system.spec();
+    let mut controller: Box<dyn PowerController> = if args.islands > 1 {
+        let map = match IslandMap::uniform(cores, args.islands) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let inner = args.controller.build(&map.island_spec(&spec), budget);
+        match IslandController::new(BoxedController(inner), map) {
+            Ok(c) => Box::new(c),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        args.controller.build(&spec, budget)
+    };
+
+    println!(
+        "odrl_sim: {} cores={} budget={budget:.1} ({:.0}% of {:.1}) epochs={} seed={} mix={:?} islands={}",
+        controller.name(),
+        cores,
+        args.budget_frac * 100.0,
+        config.max_power(),
+        args.epochs,
+        args.seed,
+        args.mix,
+        args.islands,
+    );
+
+    let mut recorder = RunRecorder::new(controller.name());
+    for _ in 0..args.epochs {
+        let obs = system.observation(budget);
+        let actions = controller.decide(&obs);
+        let report = match system.step(&actions) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        recorder.record(
+            report.total_power,
+            budget,
+            report.total_instructions(),
+            report.dt,
+        );
+    }
+    let s = recorder.finish();
+    println!("throughput      {} GIPS", fmt_num(s.throughput_ips() / 1e9));
+    println!("mean power      {:.2}", s.mean_power);
+    println!("peak power      {:.2}", s.peak_power);
+    println!(
+        "over-budget     {} of epochs",
+        fmt_percent(s.overshoot_fraction)
+    );
+    println!("overshoot       {:.4}", s.overshoot_energy);
+    println!(
+        "efficiency      {} instr/J",
+        fmt_num(s.instructions_per_joule())
+    );
+    println!(
+        "peak temp       {:.1}",
+        system.telemetry().peak_temperature()
+    );
+
+    if let Some(path) = args.csv {
+        if let Err(e) = std::fs::write(&path, system.telemetry().series_csv()) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("telemetry CSV   {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Adapts `Box<dyn PowerController>` to the `PowerController` bound the
+/// island adapter's generic parameter needs.
+struct BoxedController(Box<dyn PowerController>);
+
+impl PowerController for BoxedController {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn decide(&mut self, obs: &odrl_manycore::Observation) -> Vec<odrl_power::LevelId> {
+        self.0.decide(obs)
+    }
+}
+
+impl std::fmt::Debug for BoxedController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoxedController({})", self.0.name())
+    }
+}

@@ -1,0 +1,45 @@
+//! `workload_report` — characterize the built-in benchmark suite.
+//!
+//! Prints each benchmark's dwell-weighted signature (CPI, MPKI, activity,
+//! memory-boundedness), its phase count, and the frequency-scaling gain the
+//! default performance model predicts for it — the table a user consults
+//! when composing custom mixes.
+//!
+//! Run with: `cargo run --release -p odrl-bench --bin workload_report`
+
+use odrl_manycore::PerfModel;
+use odrl_metrics::{fmt_num, Table};
+use odrl_power::GigaHertz;
+use odrl_workload::suite;
+
+fn main() {
+    let perf = PerfModel::default();
+    println!("built-in workload suite (dwell-weighted averages):\n");
+    let mut table = Table::new(vec![
+        "benchmark",
+        "phases",
+        "cpi",
+        "mpki",
+        "activity",
+        "mem_bound",
+        "f_gain_1to3ghz",
+    ]);
+    for b in suite() {
+        let avg = b.average_params();
+        let gain = perf.ips(&avg, GigaHertz::new(3.0)) / perf.ips(&avg, GigaHertz::new(1.0));
+        table.add_row(vec![
+            b.name().to_string(),
+            b.phases().len().to_string(),
+            fmt_num(avg.cpi_base),
+            fmt_num(avg.mpki),
+            fmt_num(avg.activity),
+            fmt_num(avg.memory_boundedness()),
+            format!("{gain:.2}x"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "f_gain: predicted speedup from tripling the clock — near 3x means \
+         compute-bound (frequency pays), near 1x means memory-bound (it does not)."
+    );
+}

@@ -1,0 +1,210 @@
+//! Argument parsing for the `odrl_sim` command-line driver (kept out of
+//! the binary so it is unit-testable).
+
+use crate::ControllerKind;
+use odrl_workload::MixPolicy;
+
+/// Parsed `odrl_sim` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimArgs {
+    /// Number of cores (ignored when `config_path` is set).
+    pub cores: usize,
+    /// Budget as a fraction of max power.
+    pub budget_frac: f64,
+    /// Which controller to run.
+    pub controller: ControllerKind,
+    /// Number of control epochs.
+    pub epochs: u64,
+    /// Master seed (ignored when `config_path` is set).
+    pub seed: u64,
+    /// Workload mix (ignored when `config_path` is set).
+    pub mix: MixPolicy,
+    /// Cores per VF island (1 = per-core DVFS).
+    pub islands: usize,
+    /// Optional telemetry CSV output path.
+    pub csv: Option<String>,
+    /// Optional JSON system-config path.
+    pub config_path: Option<String>,
+    /// Print the effective config as JSON and exit.
+    pub dump_config: bool,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        Self {
+            cores: 64,
+            budget_frac: 0.6,
+            controller: ControllerKind::OdRl,
+            epochs: 2_000,
+            seed: 1,
+            mix: MixPolicy::RoundRobin,
+            islands: 1,
+            csv: None,
+            config_path: None,
+            dump_config: false,
+        }
+    }
+}
+
+/// Maps a controller name (as printed in tables) to its kind.
+pub fn parse_controller(name: &str) -> Option<ControllerKind> {
+    Some(match name {
+        "od-rl" => ControllerKind::OdRl,
+        "od-rl-local" => ControllerKind::OdRlLocal,
+        "maxbips-dp" => ControllerKind::MaxBipsDp,
+        "maxbips-exhaustive" => ControllerKind::MaxBipsExhaustive,
+        "steepest-drop" => ControllerKind::SteepestDrop,
+        "pid" => ControllerKind::Pid,
+        "static-uniform" => ControllerKind::StaticUniform,
+        "priority-greedy" => ControllerKind::PriorityGreedy,
+        "ondemand" => ControllerKind::Ondemand,
+        "od-rl-hier" => ControllerKind::OdRlHier,
+        _ => return None,
+    })
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values, or
+/// out-of-range numbers. `--help` is reported as an error string `"help"`
+/// so the caller can print usage and exit cleanly.
+pub fn parse_sim_args<I, S>(argv: I) -> Result<SimArgs, String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut args = SimArgs::default();
+    let mut it = argv.into_iter().map(Into::into);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err("help".into());
+        }
+        if flag == "--dump-config" {
+            args.dump_config = true;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--cores" => args.cores = value.parse().map_err(|e| format!("--cores: {e}"))?,
+            "--budget" => {
+                args.budget_frac = value.parse().map_err(|e| format!("--budget: {e}"))?;
+                if !(0.0..=1.0).contains(&args.budget_frac) {
+                    return Err("--budget must be in [0, 1]".into());
+                }
+            }
+            "--controller" => {
+                args.controller = parse_controller(&value)
+                    .ok_or_else(|| format!("unknown controller `{value}`"))?;
+            }
+            "--epochs" => args.epochs = value.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--mix" => {
+                args.mix = match value.as_str() {
+                    "roundrobin" => MixPolicy::RoundRobin,
+                    "random" => MixPolicy::Random,
+                    name => {
+                        odrl_workload::by_name(name).map_err(|e| e.to_string())?;
+                        MixPolicy::Homogeneous(name.into())
+                    }
+                };
+            }
+            "--islands" => {
+                args.islands = value.parse().map_err(|e| format!("--islands: {e}"))?;
+                if args.islands == 0 {
+                    return Err("--islands must be at least 1".into());
+                }
+            }
+            "--csv" => args.csv = Some(value),
+            "--config" => args.config_path = Some(value),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_empty() {
+        let args = parse_sim_args(Vec::<String>::new()).unwrap();
+        assert_eq!(args, SimArgs::default());
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let args = parse_sim_args([
+            "--cores",
+            "128",
+            "--budget",
+            "0.5",
+            "--controller",
+            "steepest-drop",
+            "--epochs",
+            "300",
+            "--seed",
+            "9",
+            "--mix",
+            "canneal",
+            "--islands",
+            "4",
+            "--csv",
+            "out.csv",
+        ])
+        .unwrap();
+        assert_eq!(args.cores, 128);
+        assert_eq!(args.budget_frac, 0.5);
+        assert_eq!(args.controller, ControllerKind::SteepestDrop);
+        assert_eq!(args.epochs, 300);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.mix, MixPolicy::Homogeneous("canneal".into()));
+        assert_eq!(args.islands, 4);
+        assert_eq!(args.csv.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(parse_sim_args(["--budget", "1.5"]).is_err());
+        assert!(parse_sim_args(["--islands", "0"]).is_err());
+        assert!(parse_sim_args(["--controller", "nonsense"]).is_err());
+        assert!(parse_sim_args(["--mix", "not-a-benchmark"]).is_err());
+        assert!(parse_sim_args(["--cores"]).is_err()); // missing value
+        assert!(parse_sim_args(["--frobnicate", "1"]).is_err());
+    }
+
+    #[test]
+    fn help_is_signalled() {
+        assert_eq!(parse_sim_args(["--help"]).unwrap_err(), "help");
+        assert_eq!(parse_sim_args(["-h"]).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn dump_config_is_a_bare_flag() {
+        let args = parse_sim_args(["--dump-config", "--cores", "8"]).unwrap();
+        assert!(args.dump_config);
+        assert_eq!(args.cores, 8);
+    }
+
+    #[test]
+    fn every_controller_name_parses() {
+        for name in [
+            "od-rl",
+            "od-rl-local",
+            "maxbips-dp",
+            "maxbips-exhaustive",
+            "steepest-drop",
+            "pid",
+            "static-uniform",
+            "priority-greedy",
+        ] {
+            assert!(parse_controller(name).is_some(), "{name}");
+        }
+        assert!(parse_controller("ondemand").is_some());
+        assert!(parse_controller("governor").is_none());
+    }
+}

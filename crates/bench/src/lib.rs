@@ -1,0 +1,416 @@
+//! Experiment harnesses regenerating the paper's evaluation.
+//!
+//! Each binary in this crate regenerates one table or figure of the
+//! reconstructed evaluation suite (see DESIGN.md and EXPERIMENTS.md):
+//!
+//! | Binary | Experiment |
+//! |---|---|
+//! | `exp_power_trace` | E1 — power vs time under a budget (figure) |
+//! | `exp_overshoot` | E2 — budget-overshoot table (claim 1) |
+//! | `exp_tpoe` | E3 — throughput per over-budget energy (claim 2a) |
+//! | `exp_efficiency` | E4 — energy efficiency (claim 2b) |
+//! | `exp_scaling` | E5 — controller decision latency vs core count |
+//! | `exp_adaptation` | E6 — learning dynamics and budget steps |
+//! | `exp_budget_sweep` | E7 — throughput vs budget fraction (incl. ondemand) |
+//! | `exp_granularity` | E8 — VFI island granularity |
+//! | `exp_multithreaded` | E9 — barrier-synchronized workloads |
+//! | `exp_variation` | E10 — process variation |
+//! | `exp_noc` | E11 — mesh NoC contention |
+//! | `exp_extended_range` | E12 — near-threshold extended-range DVFS |
+//! | `abl_reallocation` | A1 — global reallocation on/off |
+//! | `abl_discretization` | A2 — state-bin granularity |
+//! | `abl_schedules` | A3 — exploration/learning-rate schedules |
+//! | `abl_thermal` | A4 — thermal-capping extension |
+//! | `abl_transitions` | A5 — DVFS transition overhead |
+//! | `workload_report` | suite characterization table |
+//! | `odrl_sim` | CLI driver for one-off scenarios (JSON configs) |
+//!
+//! The shared machinery lives here: [`Scenario`] describes a run,
+//! [`ControllerKind`] names a controller, and [`run_scenario`] executes the
+//! closed loop and returns a [`RunSummary`].
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+use odrl_controllers::{
+    MaxBips, MaxBipsMode, OndemandGovernor, OndemandTuning, PidController, PidGains,
+    PowerController, PriorityGreedy, StaticUniform, SteepestDrop,
+};
+use odrl_core::{HierarchicalOdRl, OdRlConfig, OdRlController};
+use odrl_manycore::{System, SystemConfig, SystemSpec};
+use odrl_metrics::{RunRecorder, RunSummary};
+use odrl_power::Watts;
+use odrl_workload::MixPolicy;
+
+/// One experiment run: system size, workload, budget and length.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Number of cores.
+    pub cores: usize,
+    /// Chip power budget as a fraction of `SystemConfig::max_power()`.
+    pub budget_frac: f64,
+    /// Number of control epochs.
+    pub epochs: u64,
+    /// Workload assignment.
+    pub mix: MixPolicy,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The evaluation's default setting: 64 cores, 60 % budget, mixed
+    /// workload, 2 000 ms of simulated time.
+    pub fn default_eval() -> Self {
+        Self {
+            cores: 64,
+            budget_frac: 0.6,
+            epochs: 2_000,
+            mix: MixPolicy::RoundRobin,
+            seed: 1,
+        }
+    }
+
+    /// Builds the system configuration for this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario parameters are invalid (experiment harnesses
+    /// use vetted values).
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig::builder()
+            .cores(self.cores)
+            .mix(self.mix.clone())
+            .seed(self.seed)
+            .build()
+            .expect("scenario parameters are valid")
+    }
+}
+
+/// The controllers under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ControllerKind {
+    /// The paper's contribution (fine + coarse grain).
+    OdRl,
+    /// Ablation: per-core RL without global reallocation.
+    OdRlLocal,
+    /// MaxBIPS with the knapsack-DP solver.
+    MaxBipsDp,
+    /// MaxBIPS with exhaustive search (≤ 10 cores).
+    MaxBipsExhaustive,
+    /// Greedy steepest drop.
+    SteepestDrop,
+    /// Chip-level PID capping.
+    Pid,
+    /// Static worst-case provisioning.
+    StaticUniform,
+    /// Priority-greedy budget hand-out.
+    PriorityGreedy,
+    /// Linux-ondemand-style utilization governor (budget-oblivious).
+    Ondemand,
+    /// Hierarchical OD-RL: per-cluster controllers (16 cores each) under a
+    /// top-level budget reallocator.
+    OdRlHier,
+}
+
+impl ControllerKind {
+    /// The four-way comparison the headline tables use.
+    pub fn headline_set() -> Vec<ControllerKind> {
+        vec![
+            ControllerKind::OdRl,
+            ControllerKind::MaxBipsDp,
+            ControllerKind::SteepestDrop,
+            ControllerKind::Pid,
+        ]
+    }
+
+    /// Short display name (matches each controller's `name()`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::OdRl => "od-rl",
+            Self::OdRlLocal => "od-rl-local",
+            Self::MaxBipsDp => "maxbips-dp",
+            Self::MaxBipsExhaustive => "maxbips-exhaustive",
+            Self::SteepestDrop => "steepest-drop",
+            Self::Pid => "pid",
+            Self::StaticUniform => "static-uniform",
+            Self::PriorityGreedy => "priority-greedy",
+            Self::Ondemand => "ondemand",
+            Self::OdRlHier => "od-rl-hier",
+        }
+    }
+
+    /// Instantiates the controller for a spec and budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if construction fails (e.g. exhaustive MaxBIPS on too many
+    /// cores) — experiment harnesses pass vetted sizes.
+    pub fn build(&self, spec: &SystemSpec, budget: Watts) -> Box<dyn PowerController> {
+        self.build_with_odrl_config(spec, budget, OdRlConfig::default())
+    }
+
+    /// Instantiates the controller with an explicit OD-RL configuration
+    /// (ignored by the baselines); used by the ablation harnesses.
+    ///
+    /// # Panics
+    ///
+    /// As [`ControllerKind::build`].
+    pub fn build_with_odrl_config(
+        &self,
+        spec: &SystemSpec,
+        budget: Watts,
+        odrl: OdRlConfig,
+    ) -> Box<dyn PowerController> {
+        match self {
+            Self::OdRl => {
+                Box::new(OdRlController::new(odrl, spec, budget).expect("valid OD-RL config"))
+            }
+            Self::OdRlLocal => Box::new(
+                OdRlController::without_reallocation(odrl, spec, budget)
+                    .expect("valid OD-RL config"),
+            ),
+            Self::MaxBipsDp => Box::new(MaxBips::dp(spec.clone()).expect("valid MaxBIPS-DP spec")),
+            Self::MaxBipsExhaustive => Box::new(
+                MaxBips::new(spec.clone(), MaxBipsMode::Exhaustive)
+                    .expect("core count within exhaustive limit"),
+            ),
+            Self::SteepestDrop => Box::new(SteepestDrop::new(spec.clone()).expect("valid spec")),
+            Self::Pid => Box::new(
+                PidController::new(spec.clone(), PidGains::default()).expect("valid gains"),
+            ),
+            Self::StaticUniform => {
+                Box::new(StaticUniform::for_budget(spec.clone(), budget).expect("valid spec"))
+            }
+            Self::PriorityGreedy => {
+                Box::new(PriorityGreedy::new(spec.clone()).expect("valid spec"))
+            }
+            Self::Ondemand => Box::new(
+                OndemandGovernor::new(spec.clone(), OndemandTuning::default())
+                    .expect("valid tuning"),
+            ),
+            Self::OdRlHier => Box::new(
+                HierarchicalOdRl::new(odrl, spec, budget, 16)
+                    .expect("valid hierarchical OD-RL config"),
+            ),
+        }
+    }
+}
+
+/// The result of [`run_scenario_traced`]: the summary plus the per-epoch
+/// power trace for figures.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// The run's metric summary.
+    pub summary: RunSummary,
+    /// `(time_s, true_power_w)` per epoch.
+    pub power_trace: Vec<(f64, f64)>,
+}
+
+/// Runs one controller through one scenario and summarizes it.
+///
+/// # Panics
+///
+/// Panics on simulator errors (cannot happen with vetted scenarios).
+pub fn run_scenario(scenario: &Scenario, kind: ControllerKind) -> RunSummary {
+    run_scenario_traced(scenario, kind).summary
+}
+
+/// As [`run_scenario`], also recording the power trace.
+///
+/// # Panics
+///
+/// Panics on simulator errors (cannot happen with vetted scenarios).
+pub fn run_scenario_traced(scenario: &Scenario, kind: ControllerKind) -> TracedRun {
+    let config = scenario.system_config();
+    let budget = Watts::new(scenario.budget_frac * config.max_power().value());
+    let mut system = System::new(config).expect("valid scenario config");
+    let mut controller = kind.build(&system.spec(), budget);
+    run_loop(&mut system, controller.as_mut(), budget, scenario.epochs)
+}
+
+/// Drives an already-built system/controller pair for `epochs` epochs under
+/// a fixed budget (the building block for custom experiments like budget
+/// steps).
+///
+/// # Panics
+///
+/// Panics on simulator errors (cannot happen with vetted scenarios).
+pub fn run_loop(
+    system: &mut System,
+    controller: &mut dyn PowerController,
+    budget: Watts,
+    epochs: u64,
+) -> TracedRun {
+    let mut recorder = RunRecorder::new(controller.name());
+    let mut trace = Vec::with_capacity(epochs as usize);
+    let mut time = system.elapsed().value();
+    for _ in 0..epochs {
+        let obs = system.observation(budget);
+        let actions = controller.decide(&obs);
+        let report = system.step(&actions).expect("controller actions are valid");
+        time += report.dt.value();
+        recorder.record(
+            report.total_power,
+            budget,
+            report.total_instructions(),
+            report.dt,
+        );
+        trace.push((time, report.total_power.value()));
+    }
+    TracedRun {
+        summary: recorder.finish(),
+        power_trace: trace,
+    }
+}
+
+/// Runs the headline benchmark × controller sweep behind tables E2–E4:
+/// every suite benchmark as a homogeneous workload on `cores` cores, each
+/// under every controller in `kinds`.
+///
+/// Returns `(benchmark_name, summaries)` pairs with summaries in `kinds`
+/// order.
+///
+/// # Panics
+///
+/// Panics on simulator errors (cannot happen with vetted scenarios).
+pub fn benchmark_sweep(
+    cores: usize,
+    budget_frac: f64,
+    epochs: u64,
+    seed: u64,
+    kinds: &[ControllerKind],
+) -> Vec<(String, Vec<RunSummary>)> {
+    odrl_workload::names()
+        .into_iter()
+        .map(|bench| {
+            let scenario = Scenario {
+                cores,
+                budget_frac,
+                epochs,
+                mix: MixPolicy::Homogeneous(bench.into()),
+                seed,
+            };
+            let summaries = kinds.iter().map(|&k| run_scenario(&scenario, k)).collect();
+            (bench.to_string(), summaries)
+        })
+        .collect()
+}
+
+/// Geometric mean of positive values (the paper-style cross-benchmark
+/// aggregate). Returns 0 for an empty or non-positive input.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let logs: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .map(f64::ln)
+        .collect();
+    if logs.is_empty() {
+        0.0
+    } else {
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(kind: ControllerKind) -> RunSummary {
+        let scenario = Scenario {
+            cores: 8,
+            budget_frac: 0.6,
+            epochs: 50,
+            mix: MixPolicy::RoundRobin,
+            seed: 3,
+        };
+        run_scenario(&scenario, kind)
+    }
+
+    #[test]
+    fn every_headline_controller_runs() {
+        for kind in ControllerKind::headline_set() {
+            let s = tiny(kind);
+            assert_eq!(s.epochs, 50);
+            assert!(s.total_instructions > 0.0, "{} retired nothing", s.name);
+            assert!(s.total_energy.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn labels_match_controller_names() {
+        for kind in [
+            ControllerKind::OdRl,
+            ControllerKind::OdRlLocal,
+            ControllerKind::MaxBipsDp,
+            ControllerKind::SteepestDrop,
+            ControllerKind::Pid,
+            ControllerKind::StaticUniform,
+            ControllerKind::PriorityGreedy,
+            ControllerKind::Ondemand,
+        ] {
+            let s = tiny(kind);
+            assert_eq!(s.name, kind.label());
+        }
+    }
+
+    #[test]
+    fn traced_run_has_one_point_per_epoch() {
+        let scenario = Scenario {
+            cores: 4,
+            budget_frac: 0.7,
+            epochs: 20,
+            mix: MixPolicy::RoundRobin,
+            seed: 1,
+        };
+        let t = run_scenario_traced(&scenario, ControllerKind::Pid);
+        assert_eq!(t.power_trace.len(), 20);
+        assert!(t.power_trace.windows(2).all(|w| w[1].0 > w[0].0));
+    }
+
+    #[test]
+    fn exhaustive_maxbips_runs_on_small_systems() {
+        let scenario = Scenario {
+            cores: 6,
+            budget_frac: 0.6,
+            epochs: 10,
+            mix: MixPolicy::RoundRobin,
+            seed: 2,
+        };
+        let s = run_scenario(&scenario, ControllerKind::MaxBipsExhaustive);
+        assert!(s.total_instructions > 0.0);
+    }
+
+    #[test]
+    fn same_scenario_same_controller_is_deterministic() {
+        let a = tiny(ControllerKind::OdRl);
+        let b = tiny(ControllerKind::OdRl);
+        assert_eq!(a.total_instructions, b.total_instructions);
+        assert_eq!(a.total_energy, b.total_energy);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[0.0, -1.0]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+        // Non-finite values are skipped, not propagated.
+        assert!((geometric_mean(&[2.0, f64::INFINITY, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_covers_suite_and_kinds() {
+        let kinds = [ControllerKind::Pid, ControllerKind::SteepestDrop];
+        let sweep = benchmark_sweep(4, 0.6, 5, 1, &kinds);
+        assert_eq!(sweep.len(), odrl_workload::names().len());
+        for (bench, summaries) in &sweep {
+            assert!(!bench.is_empty());
+            assert_eq!(summaries.len(), 2);
+            assert_eq!(summaries[0].name, "pid");
+            assert_eq!(summaries[1].name, "steepest-drop");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for controller construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing a controller.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControllerError {
+    /// A tuning parameter was non-finite or out of range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The controller cannot handle a system of this size (e.g. exhaustive
+    /// MaxBIPS beyond its combinatorial limit).
+    TooManyCores {
+        /// The requested core count.
+        requested: usize,
+        /// The controller's limit.
+        limit: usize,
+    },
+    /// The system spec was degenerate (zero cores or levels).
+    EmptySpec,
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+            Self::TooManyCores { requested, limit } => write!(
+                f,
+                "controller limited to {limit} cores, {requested} requested"
+            ),
+            Self::EmptySpec => write!(f, "system spec has no cores or levels"),
+        }
+    }
+}
+
+impl Error for ControllerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ControllerError::TooManyCores {
+            requested: 64,
+            limit: 8,
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains('8'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ControllerError>();
+    }
+}

@@ -1,0 +1,337 @@
+//! Voltage/frequency-island (VFI) grouping: run any controller at a
+//! coarser DVFS granularity.
+//!
+//! Real many-cores rarely give every core its own voltage regulator;
+//! cores are grouped into islands sharing one VF domain (the design space
+//! explored by the VFI literature this paper builds on). The
+//! [`IslandController`] adapter makes any [`PowerController`] island-aware:
+//! it collapses the per-core observation into one pseudo-core per island
+//! (mean rates and counters, summed-then-averaged power, hottest
+//! temperature), scales the chip budget to the pseudo-core count, runs the
+//! inner controller, and broadcasts each island's level to its member
+//! cores.
+//!
+//! Per-core VFIs (`island_size == 1`) reduce to the identity adapter, so
+//! the granularity sweep in `exp_granularity` is apples-to-apples.
+
+use crate::error::ControllerError;
+use crate::PowerController;
+use odrl_manycore::{CoreObservation, Observation, SystemSpec};
+use odrl_power::{Celsius, LevelId, Watts};
+use odrl_workload::PhaseParams;
+use serde::{Deserialize, Serialize};
+
+/// A partition of cores into voltage/frequency islands.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IslandMap {
+    /// `assignments[core] = island index`.
+    assignments: Vec<usize>,
+    /// Member cores per island.
+    members: Vec<Vec<usize>>,
+}
+
+impl IslandMap {
+    /// Partitions `cores` cores into contiguous islands of `island_size`
+    /// (the last island may be smaller if sizes do not divide evenly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::EmptySpec`] if `cores == 0` or
+    /// [`ControllerError::InvalidParameter`] if `island_size == 0`.
+    pub fn uniform(cores: usize, island_size: usize) -> Result<Self, ControllerError> {
+        if cores == 0 {
+            return Err(ControllerError::EmptySpec);
+        }
+        if island_size == 0 {
+            return Err(ControllerError::InvalidParameter {
+                name: "island_size",
+                value: 0.0,
+            });
+        }
+        let assignments: Vec<usize> = (0..cores).map(|c| c / island_size).collect();
+        Self::new(assignments)
+    }
+
+    /// Builds a map from explicit per-core island indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::EmptySpec`] for an empty assignment or
+    /// [`ControllerError::InvalidParameter`] if island ids are not exactly
+    /// `0..n_islands` with every island non-empty.
+    pub fn new(assignments: Vec<usize>) -> Result<Self, ControllerError> {
+        if assignments.is_empty() {
+            return Err(ControllerError::EmptySpec);
+        }
+        let islands = assignments.iter().copied().max().unwrap_or(0) + 1;
+        let mut members = vec![Vec::new(); islands];
+        for (core, &isl) in assignments.iter().enumerate() {
+            members[isl].push(core);
+        }
+        if members.iter().any(Vec::is_empty) {
+            return Err(ControllerError::InvalidParameter {
+                name: "assignments",
+                value: islands as f64,
+            });
+        }
+        Ok(Self {
+            assignments,
+            members,
+        })
+    }
+
+    /// Number of cores covered.
+    pub fn cores(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of islands.
+    pub fn islands(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The island core `c` belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn island_of(&self, c: usize) -> usize {
+        self.assignments[c]
+    }
+
+    /// Member cores of island `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn members(&self, i: usize) -> &[usize] {
+        &self.members[i]
+    }
+
+    /// The island-level system spec an inner controller should be built
+    /// against: one pseudo-core per island.
+    pub fn island_spec(&self, spec: &SystemSpec) -> SystemSpec {
+        SystemSpec {
+            cores: self.islands(),
+            ..spec.clone()
+        }
+    }
+}
+
+/// Wraps a controller built against [`IslandMap::island_spec`] so it drives
+/// a per-core system at island granularity.
+///
+/// ```
+/// use odrl_controllers::{IslandController, IslandMap, PowerController, SteepestDrop};
+/// use odrl_manycore::SystemConfig;
+///
+/// let spec = SystemConfig::builder().cores(16).build()?.spec();
+/// let map = IslandMap::uniform(16, 4)?; // four 4-core islands
+/// let inner = SteepestDrop::new(map.island_spec(&spec))?;
+/// let ctrl = IslandController::new(inner, map)?;
+/// assert_eq!(ctrl.name(), "steepest-drop@x4");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IslandController<C> {
+    inner: C,
+    map: IslandMap,
+    name: String,
+}
+
+impl<C: PowerController> IslandController<C> {
+    /// Wraps `inner` (built for [`IslandMap::island_spec`]) with `map`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::EmptySpec`] if the map covers no cores.
+    pub fn new(inner: C, map: IslandMap) -> Result<Self, ControllerError> {
+        if map.cores() == 0 {
+            return Err(ControllerError::EmptySpec);
+        }
+        let size = map.cores().div_ceil(map.islands());
+        let name = format!("{}@x{}", inner.name(), size);
+        Ok(Self { inner, map, name })
+    }
+
+    /// The wrapped controller.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The island partition.
+    pub fn map(&self) -> &IslandMap {
+        &self.map
+    }
+
+    fn collapse(&self, obs: &Observation) -> Observation {
+        let scale = self.map.islands() as f64 / self.map.cores() as f64;
+        let cores = (0..self.map.islands())
+            .map(|i| {
+                let members = self.map.members(i);
+                let k = members.len() as f64;
+                let mean = |f: &dyn Fn(&CoreObservation) -> f64| {
+                    members.iter().map(|&c| f(&obs.cores[c])).sum::<f64>() / k
+                };
+                CoreObservation {
+                    level: obs.cores[members[0]].level,
+                    ips: mean(&|c| c.ips),
+                    power: Watts::new(mean(&|c| c.power.value())),
+                    temperature: Celsius::new(
+                        members
+                            .iter()
+                            .map(|&c| obs.cores[c].temperature.value())
+                            .fold(f64::NEG_INFINITY, f64::max),
+                    ),
+                    counters: PhaseParams {
+                        cpi_base: mean(&|c| c.counters.cpi_base),
+                        mpki: mean(&|c| c.counters.mpki),
+                        activity: mean(&|c| c.counters.activity),
+                    },
+                }
+            })
+            .collect();
+        Observation {
+            epoch: obs.epoch,
+            dt: obs.dt,
+            budget: obs.budget * scale,
+            cores,
+            total_power: obs.total_power * scale,
+        }
+    }
+}
+
+impl<C: PowerController> PowerController for IslandController<C> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+        if obs.cores.len() != self.map.cores() {
+            // Defensive: an observation of the wrong size gets the floor.
+            return vec![LevelId(0); obs.cores.len()];
+        }
+        let island_obs = self.collapse(obs);
+        let island_levels = self.inner.decide(&island_obs);
+        (0..self.map.cores())
+            .map(|c| {
+                island_levels
+                    .get(self.map.island_of(c))
+                    .copied()
+                    .unwrap_or(LevelId(0))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steepest::SteepestDrop;
+    use odrl_manycore::{System, SystemConfig};
+
+    fn spec(cores: usize) -> SystemSpec {
+        SystemConfig::builder().cores(cores).build().unwrap().spec()
+    }
+
+    #[test]
+    fn uniform_map_partitions_contiguously() {
+        let map = IslandMap::uniform(8, 4).unwrap();
+        assert_eq!(map.islands(), 2);
+        assert_eq!(map.members(0), &[0, 1, 2, 3]);
+        assert_eq!(map.members(1), &[4, 5, 6, 7]);
+        assert_eq!(map.island_of(5), 1);
+        // Uneven split: last island smaller.
+        let map = IslandMap::uniform(10, 4).unwrap();
+        assert_eq!(map.islands(), 3);
+        assert_eq!(map.members(2), &[8, 9]);
+    }
+
+    #[test]
+    fn map_rejects_degenerate_inputs() {
+        assert!(IslandMap::uniform(0, 4).is_err());
+        assert!(IslandMap::uniform(8, 0).is_err());
+        assert!(IslandMap::new(vec![]).is_err());
+        // Island 1 empty (ids 0 and 2 used).
+        assert!(IslandMap::new(vec![0, 2]).is_err());
+    }
+
+    #[test]
+    fn members_of_an_island_share_a_level() {
+        let cores = 16;
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .seed(2)
+            .build()
+            .unwrap();
+        let mut sys = System::new(config).unwrap();
+        sys.step(&vec![LevelId(4); cores]).unwrap();
+        let map = IslandMap::uniform(cores, 4).unwrap();
+        let inner = SteepestDrop::new(map.island_spec(&spec(cores))).unwrap();
+        let mut ctrl = IslandController::new(inner, map.clone()).unwrap();
+        let obs = sys.observation(Watts::new(25.0));
+        let actions = ctrl.decide(&obs);
+        assert_eq!(actions.len(), cores);
+        for i in 0..map.islands() {
+            let ms = map.members(i);
+            assert!(ms.iter().all(|&c| actions[c] == actions[ms[0]]));
+        }
+    }
+
+    #[test]
+    fn island_size_one_matches_plain_controller() {
+        let cores = 8;
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut sys = System::new(config).unwrap();
+        sys.step(&vec![LevelId(4); cores]).unwrap();
+        let obs = sys.observation(Watts::new(14.0));
+
+        let mut plain = SteepestDrop::new(spec(cores)).unwrap();
+        let map = IslandMap::uniform(cores, 1).unwrap();
+        let inner = SteepestDrop::new(map.island_spec(&spec(cores))).unwrap();
+        let mut islanded = IslandController::new(inner, map).unwrap();
+        assert_eq!(plain.decide(&obs), islanded.decide(&obs));
+    }
+
+    #[test]
+    fn collapsed_budget_scales_with_island_count() {
+        let map = IslandMap::uniform(8, 4).unwrap();
+        let inner = SteepestDrop::new(map.island_spec(&spec(8))).unwrap();
+        let ctrl = IslandController::new(inner, map).unwrap();
+        let config = SystemConfig::builder().cores(8).seed(1).build().unwrap();
+        let mut sys = System::new(config).unwrap();
+        sys.step(&[LevelId(4); 8]).unwrap();
+        let obs = sys.observation(Watts::new(16.0));
+        let collapsed = ctrl.collapse(&obs);
+        assert_eq!(collapsed.cores.len(), 2);
+        assert!((collapsed.budget.value() - 4.0).abs() < 1e-12); // 16 * 2/8
+                                                                 // Pseudo-core power is the island mean.
+        let mean: f64 = obs.cores[..4].iter().map(|c| c.power.value()).sum::<f64>() / 4.0;
+        assert!((collapsed.cores[0].power.value() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_sized_observation_degrades_safely() {
+        let map = IslandMap::uniform(8, 2).unwrap();
+        let inner = SteepestDrop::new(map.island_spec(&spec(8))).unwrap();
+        let mut ctrl = IslandController::new(inner, map).unwrap();
+        let config = SystemConfig::builder().cores(4).seed(1).build().unwrap();
+        let sys = System::new(config).unwrap();
+        let obs = sys.observation(Watts::new(10.0));
+        let actions = ctrl.decide(&obs);
+        assert_eq!(actions.len(), 4);
+        assert!(actions.iter().all(|&a| a == LevelId(0)));
+    }
+
+    #[test]
+    fn name_reflects_granularity() {
+        let map = IslandMap::uniform(16, 8).unwrap();
+        let inner = SteepestDrop::new(map.island_spec(&spec(16))).unwrap();
+        let ctrl = IslandController::new(inner, map).unwrap();
+        assert_eq!(ctrl.name(), "steepest-drop@x8");
+    }
+}

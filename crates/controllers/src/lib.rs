@@ -1,0 +1,82 @@
+//! The power-capping controller interface and state-of-the-art baselines.
+//!
+//! Every DVFS power-capping scheme in this workspace — including the
+//! paper's OD-RL in `odrl-core` — implements [`PowerController`]: read an
+//! [`Observation`] (per-core counters, powers, temperatures, chip power,
+//! budget), return one VF level per core.
+//!
+//! Baselines implemented from their published descriptions:
+//!
+//! * [`MaxBips`] — Isci et al. (MICRO'06) predictive global optimization,
+//!   both exhaustive (exact, exponential) and knapsack-DP
+//!   (pseudo-polynomial) solvers;
+//! * [`SteepestDrop`] — greedy maximize-then-reduce heuristic
+//!   (Procrustes/HaDeS family);
+//! * [`PidController`] — chip-level feedback capping with a uniform level
+//!   (RAPL-style);
+//! * [`OndemandGovernor`] — a Linux-ondemand-style utilization governor,
+//!   deliberately budget-oblivious (shows why capping is needed);
+//! * [`StaticUniform`] — worst-case static provisioning;
+//! * [`PriorityGreedy`] — rank-by-IPS budget hand-out.
+//!
+//! [`IslandController`] adapts any of them (and OD-RL) to coarser
+//! voltage/frequency-island granularities.
+//!
+//! # Example
+//!
+//! ```
+//! use odrl_controllers::{PowerController, SteepestDrop};
+//! use odrl_manycore::{System, SystemConfig};
+//! use odrl_power::Watts;
+//!
+//! let config = SystemConfig::builder().cores(16).seed(1).build()?;
+//! let budget = Watts::new(0.6 * config.max_power().value());
+//! let mut system = System::new(config)?;
+//! let mut ctrl = SteepestDrop::new(system.spec())?;
+//! for _ in 0..20 {
+//!     let obs = system.observation(budget);
+//!     let actions = ctrl.decide(&obs);
+//!     system.step(&actions)?;
+//! }
+//! assert!(system.telemetry().total_instructions() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod islands;
+pub mod maxbips;
+pub mod ondemand;
+pub mod pid;
+pub mod predict;
+pub mod simple;
+pub mod steepest;
+
+pub use error::ControllerError;
+pub use islands::{IslandController, IslandMap};
+pub use maxbips::{MaxBips, MaxBipsMode, EXHAUSTIVE_CORE_LIMIT};
+pub use ondemand::{OndemandGovernor, OndemandTuning};
+pub use pid::{PidController, PidGains};
+pub use predict::{PredictedPoint, Predictor};
+pub use simple::{PriorityGreedy, StaticUniform};
+pub use steepest::SteepestDrop;
+
+use odrl_manycore::Observation;
+use odrl_power::LevelId;
+
+/// A per-epoch DVFS power-capping policy.
+///
+/// Implementations must be deterministic given their construction seed and
+/// the observation sequence, so experiments are reproducible.
+pub trait PowerController {
+    /// A short stable identifier used in reports and tables.
+    fn name(&self) -> &str;
+
+    /// Chooses one VF level per core for the upcoming epoch.
+    ///
+    /// Must return exactly `obs.cores.len()` levels, each valid for the
+    /// system's VF table.
+    fn decide(&mut self, obs: &Observation) -> Vec<LevelId>;
+}

@@ -1,0 +1,238 @@
+//! An `ondemand`-style commodity governor: per-core, utilization-driven,
+//! **budget-oblivious**.
+//!
+//! Linux's classic `ondemand` cpufreq governor raises frequency when a core
+//! is busy and lowers it when idle, with no notion of a chip power budget.
+//! The analogue for an always-busy many-core is memory-boundedness: a core
+//! stalled on DRAM gains nothing from frequency (analogous to idle time),
+//! while a compute-bound core wants the top level immediately. Hysteresis
+//! (consecutive-epoch thresholds) avoids thrashing on phase noise.
+//!
+//! This baseline shows *why* power capping exists: it delivers excellent
+//! throughput and energy-proportionality but blows straight through any
+//! TDP constraint.
+
+use crate::error::ControllerError;
+use crate::PowerController;
+use odrl_manycore::{Observation, SystemSpec};
+use odrl_power::LevelId;
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the [`OndemandGovernor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OndemandTuning {
+    /// Memory-boundedness below which the core jumps straight to the top
+    /// level (the governor's "high utilization" threshold).
+    pub up_threshold: f64,
+    /// Memory-boundedness above which the core steps down one level per
+    /// `down_epochs` epochs.
+    pub down_threshold: f64,
+    /// Consecutive epochs above `down_threshold` required per step down.
+    pub down_epochs: u32,
+}
+
+impl Default for OndemandTuning {
+    fn default() -> Self {
+        Self {
+            up_threshold: 0.3,
+            down_threshold: 0.6,
+            down_epochs: 3,
+        }
+    }
+}
+
+/// The budget-oblivious ondemand-style governor.
+///
+/// ```
+/// use odrl_controllers::{OndemandGovernor, PowerController};
+/// use odrl_manycore::SystemConfig;
+///
+/// let spec = SystemConfig::builder().cores(16).build()?.spec();
+/// let gov = OndemandGovernor::new(spec, Default::default())?;
+/// assert_eq!(gov.name(), "ondemand");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OndemandGovernor {
+    tuning: OndemandTuning,
+    max_level: LevelId,
+    /// Per-core count of consecutive memory-bound epochs.
+    bound_streak: Vec<u32>,
+    levels: Vec<LevelId>,
+}
+
+impl OndemandGovernor {
+    /// Creates a governor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::EmptySpec`] for a degenerate spec or
+    /// [`ControllerError::InvalidParameter`] for thresholds outside `[0, 1]`
+    /// or inverted (`up >= down`), or `down_epochs == 0`.
+    pub fn new(spec: SystemSpec, tuning: OndemandTuning) -> Result<Self, ControllerError> {
+        if spec.cores == 0 || spec.vf_table.is_empty() {
+            return Err(ControllerError::EmptySpec);
+        }
+        for (name, v) in [
+            ("up_threshold", tuning.up_threshold),
+            ("down_threshold", tuning.down_threshold),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(ControllerError::InvalidParameter { name, value: v });
+            }
+        }
+        if tuning.up_threshold >= tuning.down_threshold {
+            return Err(ControllerError::InvalidParameter {
+                name: "up_threshold",
+                value: tuning.up_threshold,
+            });
+        }
+        if tuning.down_epochs == 0 {
+            return Err(ControllerError::InvalidParameter {
+                name: "down_epochs",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            tuning,
+            max_level: spec.vf_table.max_level(),
+            bound_streak: vec![0; spec.cores],
+            levels: vec![spec.vf_table.max_level(); spec.cores],
+        })
+    }
+}
+
+impl PowerController for OndemandGovernor {
+    fn name(&self) -> &str {
+        "ondemand"
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+        let n = obs.cores.len().min(self.levels.len());
+        for i in 0..n {
+            let mb = obs.cores[i].memory_boundedness();
+            if mb < self.tuning.up_threshold {
+                // Busy: jump straight to the top (ondemand semantics).
+                self.levels[i] = self.max_level;
+                self.bound_streak[i] = 0;
+            } else if mb > self.tuning.down_threshold {
+                self.bound_streak[i] += 1;
+                if self.bound_streak[i] >= self.tuning.down_epochs {
+                    self.levels[i] = self.levels[i].step_down();
+                    self.bound_streak[i] = 0;
+                }
+            } else {
+                self.bound_streak[i] = 0;
+            }
+        }
+        self.levels[..n].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrl_manycore::{System, SystemConfig};
+    use odrl_power::Watts;
+    use odrl_workload::MixPolicy;
+
+    fn spec(cores: usize) -> SystemSpec {
+        SystemConfig::builder().cores(cores).build().unwrap().spec()
+    }
+
+    fn run(mix: MixPolicy, epochs: u64) -> (System, Vec<LevelId>) {
+        let config = SystemConfig::builder()
+            .cores(8)
+            .mix(mix)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut sys = System::new(config).unwrap();
+        let mut gov = OndemandGovernor::new(sys.spec(), OndemandTuning::default()).unwrap();
+        let mut last = Vec::new();
+        for _ in 0..epochs {
+            let obs = sys.observation(Watts::new(1.0)); // budget is ignored
+            last = gov.decide(&obs);
+            sys.step(&last).unwrap();
+        }
+        (sys, last)
+    }
+
+    #[test]
+    fn compute_bound_cores_run_flat_out() {
+        let (_, levels) = run(MixPolicy::Homogeneous("swaptions".into()), 50);
+        assert!(levels.iter().all(|&l| l == LevelId(7)), "{levels:?}");
+    }
+
+    #[test]
+    fn memory_bound_cores_step_down() {
+        let (_, levels) = run(MixPolicy::Homogeneous("streamcluster".into()), 100);
+        assert!(
+            levels.iter().all(|&l| l < LevelId(7)),
+            "memory-bound cores should throttle: {levels:?}"
+        );
+    }
+
+    #[test]
+    fn ignores_the_budget_entirely() {
+        let config = SystemConfig::builder().cores(8).seed(1).build().unwrap();
+        let mut sys_a = System::new(config.clone()).unwrap();
+        let mut sys_b = System::new(config).unwrap();
+        let mut gov_a = OndemandGovernor::new(sys_a.spec(), OndemandTuning::default()).unwrap();
+        let mut gov_b = OndemandGovernor::new(sys_b.spec(), OndemandTuning::default()).unwrap();
+        for _ in 0..30 {
+            let oa = sys_a.observation(Watts::new(1e-3));
+            let ob = sys_b.observation(Watts::new(1e9));
+            let aa = gov_a.decide(&oa);
+            let ab = gov_b.decide(&ob);
+            assert_eq!(aa, ab);
+            sys_a.step(&aa).unwrap();
+            sys_b.step(&ab).unwrap();
+        }
+    }
+
+    #[test]
+    fn hysteresis_delays_step_down() {
+        let spec = spec(1);
+        let mut gov = OndemandGovernor::new(spec.clone(), OndemandTuning::default()).unwrap();
+        // Build a synthetic memory-bound observation.
+        let obs = |level: LevelId| Observation {
+            epoch: 0,
+            dt: odrl_power::Seconds::new(1e-3),
+            budget: Watts::new(10.0),
+            cores: vec![odrl_manycore::CoreObservation {
+                level,
+                ips: 1e9,
+                power: Watts::new(1.0),
+                temperature: odrl_power::Celsius::new(70.0),
+                counters: odrl_workload::PhaseParams::new(1.2, 25.0, 0.5).unwrap(),
+            }],
+            total_power: Watts::new(1.0),
+        };
+        // down_epochs = 3: the first two memory-bound epochs hold level.
+        assert_eq!(gov.decide(&obs(LevelId(7)))[0], LevelId(7));
+        assert_eq!(gov.decide(&obs(LevelId(7)))[0], LevelId(7));
+        assert_eq!(gov.decide(&obs(LevelId(7)))[0], LevelId(6));
+    }
+
+    #[test]
+    fn rejects_bad_tuning() {
+        let spec = spec(4);
+        let bad = OndemandTuning {
+            up_threshold: 0.7,
+            down_threshold: 0.3,
+            down_epochs: 3,
+        };
+        assert!(OndemandGovernor::new(spec.clone(), bad).is_err());
+        let bad = OndemandTuning {
+            down_epochs: 0,
+            ..OndemandTuning::default()
+        };
+        assert!(OndemandGovernor::new(spec.clone(), bad).is_err());
+        let bad = OndemandTuning {
+            up_threshold: -0.1,
+            ..OndemandTuning::default()
+        };
+        assert!(OndemandGovernor::new(spec, bad).is_err());
+    }
+}

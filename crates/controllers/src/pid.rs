@@ -1,0 +1,215 @@
+//! Chip-level PID power capping driving a uniform VF level.
+//!
+//! The commercial power-capping archetype (RAPL-style): a single feedback
+//! loop on measured chip power adjusts one continuous control variable —
+//! here a fractional VF-level index applied uniformly to all cores. Simple
+//! and robust, but blind to per-core heterogeneity: it throttles
+//! compute-bound and memory-bound cores alike.
+
+use crate::error::ControllerError;
+use crate::PowerController;
+use odrl_manycore::{Observation, SystemSpec};
+use odrl_power::LevelId;
+use serde::{Deserialize, Serialize};
+
+/// PID gains and limits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidGains {
+    /// Proportional gain (level index per watt of error).
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+    /// Anti-windup clamp on the integral term (in level-index units).
+    pub integral_limit: f64,
+}
+
+impl Default for PidGains {
+    /// Gains tuned for the default 8-level table and ~1 W/level/core
+    /// plant sensitivity: gentle proportional action, slow integral.
+    fn default() -> Self {
+        Self {
+            kp: 0.04,
+            ki: 0.01,
+            kd: 0.005,
+            integral_limit: 8.0,
+        }
+    }
+}
+
+/// The PID power-capping controller.
+///
+/// ```
+/// use odrl_controllers::{PidController, PidGains, PowerController};
+/// use odrl_manycore::SystemConfig;
+///
+/// let spec = SystemConfig::builder().cores(32).build()?.spec();
+/// let ctrl = PidController::new(spec, PidGains::default())?;
+/// assert_eq!(ctrl.name(), "pid");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PidController {
+    max_level: f64,
+    gains: PidGains,
+    /// Continuous level index in `[0, max_level]`.
+    index: f64,
+    integral: f64,
+    last_error: Option<f64>,
+    /// Per-watt normalisation so gains transfer across chip sizes.
+    error_scale: f64,
+}
+
+impl PidController {
+    /// Creates a PID controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::EmptySpec`] for a degenerate spec or
+    /// [`ControllerError::InvalidParameter`] for non-finite gains.
+    pub fn new(spec: SystemSpec, gains: PidGains) -> Result<Self, ControllerError> {
+        if spec.cores == 0 || spec.vf_table.is_empty() {
+            return Err(ControllerError::EmptySpec);
+        }
+        for (name, v) in [
+            ("kp", gains.kp),
+            ("ki", gains.ki),
+            ("kd", gains.kd),
+            ("integral_limit", gains.integral_limit),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ControllerError::InvalidParameter { name, value: v });
+            }
+        }
+        let max_level = (spec.vf_table.len() - 1) as f64;
+        Ok(Self {
+            max_level,
+            gains,
+            index: max_level, // start fast; the loop pulls power down
+            integral: 0.0,
+            last_error: None,
+            // Normalise error by core count: a watt of chip-level error
+            // means less on a 1024-core chip than on a 16-core chip.
+            error_scale: 1.0 / spec.cores as f64,
+        })
+    }
+
+    /// The current continuous level index (visible for tests/telemetry).
+    pub fn index(&self) -> f64 {
+        self.index
+    }
+}
+
+impl PowerController for PidController {
+    fn name(&self) -> &str {
+        "pid"
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+        let n = obs.cores.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Positive error = headroom below budget.
+        let error = (obs.budget - obs.total_power).value() * self.error_scale;
+        self.integral =
+            (self.integral + error).clamp(-self.gains.integral_limit, self.gains.integral_limit);
+        let derivative = self.last_error.map_or(0.0, |last| error - last);
+        self.last_error = Some(error);
+        let output =
+            self.gains.kp * error + self.gains.ki * self.integral + self.gains.kd * derivative;
+        self.index = (self.index + output).clamp(0.0, self.max_level);
+        let level = LevelId(self.index.round() as usize);
+        vec![level; n]
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit per-field setup reads better in tests
+mod tests {
+    use super::*;
+    use odrl_manycore::{System, SystemConfig};
+    use odrl_power::Watts;
+
+    fn run_pid(cores: usize, budget_frac: f64, epochs: u64) -> (f64, f64) {
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .seed(11)
+            .build()
+            .unwrap();
+        let budget = Watts::new(budget_frac * config.max_power().value());
+        let mut sys = System::new(config).unwrap();
+        let mut ctrl = PidController::new(sys.spec(), PidGains::default()).unwrap();
+        let mut tail_power = 0.0;
+        let mut tail = 0;
+        for e in 0..epochs {
+            let obs = sys.observation(budget);
+            let actions = ctrl.decide(&obs);
+            let r = sys.step(&actions).unwrap();
+            if e >= epochs * 3 / 4 {
+                tail_power += r.total_power.value();
+                tail += 1;
+            }
+        }
+        (tail_power / tail as f64, budget.value())
+    }
+
+    #[test]
+    fn settles_near_the_budget() {
+        let (avg, budget) = run_pid(16, 0.6, 400);
+        let rel = (avg - budget).abs() / budget;
+        assert!(rel < 0.15, "PID settled at {avg} W for budget {budget} W");
+    }
+
+    #[test]
+    fn all_cores_get_the_same_level() {
+        let config = SystemConfig::builder().cores(8).build().unwrap();
+        let sys = System::new(config).unwrap();
+        let mut ctrl = PidController::new(sys.spec(), PidGains::default()).unwrap();
+        let obs = sys.observation(Watts::new(10.0));
+        let actions = ctrl.decide(&obs);
+        assert!(actions.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn starts_at_top_and_backs_off_under_tight_budget() {
+        let config = SystemConfig::builder().cores(8).seed(2).build().unwrap();
+        let budget = Watts::new(0.3 * config.max_power().value());
+        let mut sys = System::new(config).unwrap();
+        let mut ctrl = PidController::new(sys.spec(), PidGains::default()).unwrap();
+        let initial = ctrl.index();
+        for _ in 0..100 {
+            let obs = sys.observation(budget);
+            let actions = ctrl.decide(&obs);
+            sys.step(&actions).unwrap();
+        }
+        assert!(ctrl.index() < initial, "controller should back off");
+    }
+
+    #[test]
+    fn rejects_bad_gains() {
+        let spec = SystemConfig::builder().cores(4).build().unwrap().spec();
+        let mut g = PidGains::default();
+        g.kp = f64::NAN;
+        assert!(PidController::new(spec.clone(), g).is_err());
+        let mut g = PidGains::default();
+        g.ki = -1.0;
+        assert!(PidController::new(spec, g).is_err());
+    }
+
+    #[test]
+    fn integral_is_clamped() {
+        let config = SystemConfig::builder().cores(4).build().unwrap();
+        let mut ctrl = PidController::new(config.spec(), PidGains::default()).unwrap();
+        let mut sys = System::new(config).unwrap();
+        // Hammer with a huge persistent error; index must stay in range.
+        for _ in 0..1000 {
+            let obs = sys.observation(Watts::new(1e9));
+            let actions = ctrl.decide(&obs);
+            sys.step(&actions).unwrap();
+        }
+        assert!(ctrl.index() <= (8 - 1) as f64);
+        assert!(ctrl.index().is_finite());
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-core performance/power prediction for model-based baselines.
+
+use odrl_manycore::{CoreObservation, SystemSpec};
+use odrl_power::{LevelId, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One predicted operating point for one core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictedPoint {
+    /// The VF level this prediction is for.
+    pub level: LevelId,
+    /// Predicted instructions per second.
+    pub ips: f64,
+    /// Predicted core power.
+    pub power: Watts,
+}
+
+/// Predicts each core's (IPS, power) at every VF level from its last-epoch
+/// counters.
+///
+/// This is the "system model" that MaxBIPS-class algorithms assume: given
+/// the counter-derived workload signature of the previous epoch, an
+/// analytical model extrapolates performance and power across the whole
+/// DVFS table. The prediction is *stale by one epoch* — precisely the
+/// weakness the paper's model-free OD-RL avoids when workloads shift
+/// between decisions.
+///
+/// ```
+/// use odrl_controllers::Predictor;
+/// use odrl_manycore::SystemConfig;
+/// # use odrl_manycore::{System};
+/// # use odrl_power::{LevelId, Watts};
+/// let config = SystemConfig::builder().cores(2).seed(0).build()?;
+/// let mut system = System::new(config)?;
+/// system.step(&vec![LevelId(3); 2])?;
+/// let predictor = Predictor::new(system.spec());
+/// let obs = system.observation(Watts::new(10.0));
+/// let points = predictor.predict(&obs.cores[0]);
+/// assert_eq!(points.len(), 8);
+/// assert!(points[7].power > points[0].power);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predictor {
+    spec: SystemSpec,
+}
+
+impl Predictor {
+    /// Creates a predictor for a system spec.
+    pub fn new(spec: SystemSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Predicts (IPS, power) for `core` at every VF level, slowest first.
+    ///
+    /// Power uses the activity derating the real hardware exhibits (stalled
+    /// cycles clock-gate the datapath) and the core's measured temperature
+    /// for leakage.
+    pub fn predict(&self, core: &CoreObservation) -> Vec<PredictedPoint> {
+        let params = core.counters;
+        self.spec
+            .vf_table
+            .iter()
+            .map(|(id, level)| {
+                let ips = self.spec.perf.ips(&params, level.frequency);
+                let busy = params.cpi_base / self.spec.perf.effective_cpi(&params, level.frequency);
+                let activity = params.activity * (0.3 + 0.7 * busy);
+                let power = self
+                    .spec
+                    .power
+                    .total_power(level, activity, core.temperature);
+                PredictedPoint {
+                    level: id,
+                    ips,
+                    power,
+                }
+            })
+            .collect()
+    }
+
+    /// Predicts the full system: one row per core, one column per level.
+    pub fn predict_all(&self, cores: &[CoreObservation]) -> Vec<Vec<PredictedPoint>> {
+        cores.iter().map(|c| self.predict(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrl_manycore::SystemConfig;
+    use odrl_power::Celsius;
+    use odrl_workload::PhaseParams;
+
+    fn obs(cpi: f64, mpki: f64, act: f64) -> CoreObservation {
+        CoreObservation {
+            level: LevelId(0),
+            ips: 0.0,
+            power: Watts::ZERO,
+            temperature: Celsius::new(70.0),
+            counters: PhaseParams::new(cpi, mpki, act).unwrap(),
+        }
+    }
+
+    fn predictor() -> Predictor {
+        let config = SystemConfig::builder().cores(4).build().unwrap();
+        Predictor::new(config.spec())
+    }
+
+    #[test]
+    fn predictions_cover_all_levels_in_order() {
+        let p = predictor();
+        let points = p.predict(&obs(1.0, 2.0, 0.9));
+        assert_eq!(points.len(), 8);
+        for (i, pt) in points.iter().enumerate() {
+            assert_eq!(pt.level, LevelId(i));
+        }
+    }
+
+    #[test]
+    fn power_and_ips_monotone_in_level() {
+        let p = predictor();
+        let points = p.predict(&obs(1.0, 2.0, 0.9));
+        for w in points.windows(2) {
+            assert!(w[1].power > w[0].power);
+            assert!(w[1].ips > w[0].ips);
+        }
+    }
+
+    #[test]
+    fn memory_bound_core_predicted_to_saturate() {
+        let p = predictor();
+        let compute = p.predict(&obs(0.7, 0.1, 1.0));
+        let memory = p.predict(&obs(0.7, 25.0, 1.0));
+        let gain = |pts: &[PredictedPoint]| pts[7].ips / pts[0].ips;
+        assert!(gain(&compute) > 2.0);
+        assert!(gain(&memory) < 1.5);
+    }
+
+    #[test]
+    fn hotter_core_predicted_to_burn_more() {
+        let p = predictor();
+        let mut cool = obs(1.0, 1.0, 1.0);
+        cool.temperature = Celsius::new(50.0);
+        let mut hot = cool;
+        hot.temperature = Celsius::new(95.0);
+        let pc = p.predict(&cool);
+        let ph = p.predict(&hot);
+        assert!(ph[4].power > pc[4].power);
+        // Performance prediction is temperature-independent.
+        assert_eq!(ph[4].ips, pc[4].ips);
+    }
+
+    #[test]
+    fn predict_all_shape() {
+        let p = predictor();
+        let cores = vec![obs(1.0, 1.0, 1.0), obs(1.2, 9.0, 0.6)];
+        let all = p.predict_all(&cores);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].len(), 8);
+    }
+}

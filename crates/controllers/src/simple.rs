@@ -1,0 +1,223 @@
+//! Simple reference controllers: static uniform and priority-greedy.
+
+use crate::error::ControllerError;
+use crate::predict::Predictor;
+use crate::PowerController;
+use odrl_manycore::{Observation, SystemSpec};
+use odrl_power::{Celsius, LevelId, Watts};
+
+/// A static, workload-oblivious allocation: at construction, pick the
+/// highest uniform VF level whose nominal chip power fits the budget, and
+/// never change it.
+///
+/// This is the "provision for the worst case" strawman every dynamic scheme
+/// is measured against: it wastes the budget headroom of memory-bound
+/// phases and cannot react to activity bursts.
+///
+/// ```
+/// use odrl_controllers::{StaticUniform, PowerController};
+/// use odrl_manycore::SystemConfig;
+/// use odrl_power::Watts;
+///
+/// let config = SystemConfig::builder().cores(16).build()?;
+/// let ctrl = StaticUniform::for_budget(config.spec(), Watts::new(0.5 * config.max_power().value()))?;
+/// assert_eq!(ctrl.name(), "static-uniform");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticUniform {
+    level: LevelId,
+    cores: usize,
+}
+
+impl StaticUniform {
+    /// Nominal sizing assumptions: a typical activity factor and a warm die.
+    const SIZING_ACTIVITY: f64 = 0.8;
+    const SIZING_TEMP: f64 = 75.0;
+
+    /// Picks the highest uniform level whose nominal power fits `budget`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::EmptySpec`] for a degenerate spec.
+    pub fn for_budget(spec: SystemSpec, budget: Watts) -> Result<Self, ControllerError> {
+        if spec.cores == 0 || spec.vf_table.is_empty() {
+            return Err(ControllerError::EmptySpec);
+        }
+        let mut chosen = LevelId(0);
+        for (id, level) in spec.vf_table.iter() {
+            let per_core = spec.power.total_power(
+                level,
+                Self::SIZING_ACTIVITY,
+                Celsius::new(Self::SIZING_TEMP),
+            );
+            if per_core * spec.cores as f64 <= budget {
+                chosen = id;
+            }
+        }
+        Ok(Self {
+            level: chosen,
+            cores: spec.cores,
+        })
+    }
+
+    /// The level this controller always applies.
+    pub fn level(&self) -> LevelId {
+        self.level
+    }
+}
+
+impl PowerController for StaticUniform {
+    fn name(&self) -> &str {
+        "static-uniform"
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+        vec![self.level; obs.cores.len().min(self.cores).max(obs.cores.len())]
+    }
+}
+
+/// Priority-greedy: rank cores by last-epoch throughput and hand out budget
+/// in that order, giving each core the fastest level that still fits the
+/// remaining budget (predictively).
+///
+/// A common industrial heuristic; performs well on homogeneous loads but
+/// starves low-IPC cores that might have become compute-bound this epoch.
+#[derive(Debug, Clone)]
+pub struct PriorityGreedy {
+    predictor: Predictor,
+}
+
+impl PriorityGreedy {
+    /// Creates a priority-greedy controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::EmptySpec`] for a degenerate spec.
+    pub fn new(spec: SystemSpec) -> Result<Self, ControllerError> {
+        if spec.cores == 0 || spec.vf_table.is_empty() {
+            return Err(ControllerError::EmptySpec);
+        }
+        Ok(Self {
+            predictor: Predictor::new(spec),
+        })
+    }
+}
+
+impl PowerController for PriorityGreedy {
+    fn name(&self) -> &str {
+        "priority-greedy"
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+        let preds = self.predictor.predict_all(&obs.cores);
+        let n = preds.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| obs.cores[b].ips.total_cmp(&obs.cores[a].ips));
+
+        let mut remaining = obs.budget.value();
+        // Reserve the minimum power of every unassigned core so nobody is
+        // pushed below level 0 feasibility.
+        let mut floor_reserve: f64 = preds.iter().map(|p| p[0].power.value()).sum();
+        let mut levels = vec![LevelId(0); n];
+        for &i in &order {
+            floor_reserve -= preds[i][0].power.value();
+            let mut chosen = 0;
+            for l in (0..preds[i].len()).rev() {
+                if preds[i][l].power.value() + floor_reserve <= remaining {
+                    chosen = l;
+                    break;
+                }
+            }
+            levels[i] = LevelId(chosen);
+            remaining -= preds[i][chosen].power.value();
+        }
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrl_manycore::{System, SystemConfig};
+
+    fn spec(cores: usize) -> SystemSpec {
+        SystemConfig::builder().cores(cores).build().unwrap().spec()
+    }
+
+    fn observation(cores: usize, budget: f64, seed: u64) -> Observation {
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut sys = System::new(config).unwrap();
+        sys.step(&vec![LevelId(4); cores]).unwrap();
+        sys.observation(Watts::new(budget))
+    }
+
+    #[test]
+    fn static_uniform_tracks_budget_fraction() {
+        let spec = spec(16);
+        let tight = StaticUniform::for_budget(spec.clone(), Watts::new(10.0)).unwrap();
+        let loose = StaticUniform::for_budget(spec.clone(), Watts::new(1e6)).unwrap();
+        assert!(tight.level() < loose.level());
+        assert_eq!(loose.level(), spec.vf_table.max_level());
+    }
+
+    #[test]
+    fn static_uniform_zero_budget_is_bottom_level() {
+        let ctrl = StaticUniform::for_budget(spec(16), Watts::ZERO).unwrap();
+        assert_eq!(ctrl.level(), LevelId(0));
+    }
+
+    #[test]
+    fn static_uniform_never_changes() {
+        let mut ctrl = StaticUniform::for_budget(spec(8), Watts::new(14.0)).unwrap();
+        let a = ctrl.decide(&observation(8, 14.0, 1));
+        let b = ctrl.decide(&observation(8, 99.0, 2)); // budget change ignored
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn priority_greedy_respects_predicted_budget() {
+        let mut ctrl = PriorityGreedy::new(spec(16)).unwrap();
+        let obs = observation(16, 32.0, 4);
+        let actions = ctrl.decide(&obs);
+        let predictor = Predictor::new(spec(16));
+        let preds = predictor.predict_all(&obs.cores);
+        let total: f64 = actions
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| preds[i][a.index()].power.value())
+            .sum();
+        let min_possible: f64 = preds.iter().map(|p| p[0].power.value()).sum();
+        if min_possible <= 32.0 {
+            assert!(total <= 32.0 + 1e-9, "predicted {total} > 32 W");
+        }
+    }
+
+    #[test]
+    fn priority_greedy_favours_high_throughput_cores() {
+        let mut ctrl = PriorityGreedy::new(spec(12)).unwrap();
+        let obs = observation(12, 20.0, 5);
+        let actions = ctrl.decide(&obs);
+        let fastest = (0..12)
+            .max_by(|&a, &b| obs.cores[a].ips.total_cmp(&obs.cores[b].ips))
+            .unwrap();
+        let max_level = actions.iter().max().unwrap();
+        assert_eq!(actions[fastest], *max_level);
+    }
+
+    #[test]
+    fn priority_greedy_generous_budget_maxes_everyone() {
+        let mut ctrl = PriorityGreedy::new(spec(8)).unwrap();
+        let obs = observation(8, 1e6, 6);
+        let actions = ctrl.decide(&obs);
+        assert!(actions.iter().all(|&a| a == LevelId(7)));
+    }
+}

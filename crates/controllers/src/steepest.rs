@@ -1,0 +1,236 @@
+//! Steepest Drop: greedy maximize-then-reduce level assignment.
+//!
+//! The heuristic family behind Procrustes/HaDeS-style power capping: start
+//! with every core at its fastest level, then repeatedly take the single
+//! level step-down that loses the least predicted performance per watt
+//! saved, until the predicted total power fits the budget. Runs in
+//! `O(n·L·log n)` with a binary heap.
+
+use crate::error::ControllerError;
+use crate::predict::{PredictedPoint, Predictor};
+use crate::PowerController;
+use odrl_manycore::{Observation, SystemSpec};
+use odrl_power::LevelId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The Steepest Drop controller.
+///
+/// ```
+/// use odrl_controllers::{SteepestDrop, PowerController};
+/// use odrl_manycore::SystemConfig;
+///
+/// let spec = SystemConfig::builder().cores(64).build()?.spec();
+/// let ctrl = SteepestDrop::new(spec)?;
+/// assert_eq!(ctrl.name(), "steepest-drop");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SteepestDrop {
+    predictor: Predictor,
+}
+
+/// Heap entry: the candidate step-down for one core, ordered so the
+/// *cheapest* performance loss per watt saved pops first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Drop {
+    /// BIPS lost per watt saved by this step (lower pops first).
+    loss_per_watt: f64,
+    core: usize,
+    from: usize,
+}
+
+impl Eq for Drop {}
+
+impl Ord for Drop {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the smallest ratio pops first.
+        other
+            .loss_per_watt
+            .partial_cmp(&self.loss_per_watt)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.core.cmp(&self.core))
+    }
+}
+
+impl PartialOrd for Drop {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl SteepestDrop {
+    /// Creates a Steepest Drop controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::EmptySpec`] for a degenerate spec.
+    pub fn new(spec: SystemSpec) -> Result<Self, ControllerError> {
+        if spec.cores == 0 || spec.vf_table.is_empty() {
+            return Err(ControllerError::EmptySpec);
+        }
+        Ok(Self {
+            predictor: Predictor::new(spec),
+        })
+    }
+
+    fn step_loss(pred: &[PredictedPoint], from: usize) -> Option<Drop> {
+        if from == 0 {
+            return None;
+        }
+        let hi = pred[from];
+        let lo = pred[from - 1];
+        let saved = (hi.power - lo.power).value().max(1e-12);
+        let lost = (hi.ips - lo.ips).max(0.0);
+        Some(Drop {
+            loss_per_watt: lost / saved,
+            core: 0, // filled by caller
+            from,
+        })
+    }
+}
+
+impl PowerController for SteepestDrop {
+    fn name(&self) -> &str {
+        "steepest-drop"
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+        let preds = self.predictor.predict_all(&obs.cores);
+        let n = preds.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let top = preds[0].len() - 1;
+        let mut levels = vec![top; n];
+        let mut power: f64 = preds.iter().map(|p| p[top].power.value()).sum();
+        let budget = obs.budget.value();
+
+        let mut heap = BinaryHeap::with_capacity(n);
+        for (i, pred) in preds.iter().enumerate() {
+            if let Some(mut d) = Self::step_loss(pred, top) {
+                d.core = i;
+                heap.push(d);
+            }
+        }
+
+        while power > budget {
+            let Some(d) = heap.pop() else {
+                break; // every core already at its minimum level
+            };
+            // Skip stale entries (the core moved since this was pushed).
+            if levels[d.core] != d.from {
+                continue;
+            }
+            let pred = &preds[d.core];
+            power -= (pred[d.from].power - pred[d.from - 1].power).value();
+            levels[d.core] = d.from - 1;
+            if let Some(mut next) = Self::step_loss(pred, d.from - 1) {
+                next.core = d.core;
+                heap.push(next);
+            }
+        }
+        levels.into_iter().map(LevelId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrl_manycore::{System, SystemConfig};
+    use odrl_power::Watts;
+    use odrl_workload::MixPolicy;
+
+    fn observation(cores: usize, budget: f64, mix: MixPolicy, seed: u64) -> Observation {
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .mix(mix)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut sys = System::new(config).unwrap();
+        sys.step(&vec![LevelId(4); cores]).unwrap();
+        sys.observation(Watts::new(budget))
+    }
+
+    fn spec(cores: usize) -> SystemSpec {
+        SystemConfig::builder().cores(cores).build().unwrap().spec()
+    }
+
+    #[test]
+    fn generous_budget_keeps_top_levels() {
+        let mut ctrl = SteepestDrop::new(spec(8)).unwrap();
+        let obs = observation(8, 1e6, MixPolicy::RoundRobin, 1);
+        let actions = ctrl.decide(&obs);
+        assert!(actions.iter().all(|&a| a == LevelId(7)));
+    }
+
+    #[test]
+    fn impossible_budget_bottoms_out() {
+        let mut ctrl = SteepestDrop::new(spec(8)).unwrap();
+        let obs = observation(8, 0.0, MixPolicy::RoundRobin, 1);
+        let actions = ctrl.decide(&obs);
+        assert!(actions.iter().all(|&a| a == LevelId(0)));
+    }
+
+    #[test]
+    fn predicted_power_fits_budget_when_feasible() {
+        let mut ctrl = SteepestDrop::new(spec(16)).unwrap();
+        let obs = observation(16, 35.0, MixPolicy::RoundRobin, 2);
+        let actions = ctrl.decide(&obs);
+        let predictor = Predictor::new(spec(16));
+        let preds = predictor.predict_all(&obs.cores);
+        let total: f64 = actions
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| preds[i][a.index()].power.value())
+            .sum();
+        let min_possible: f64 = preds.iter().map(|p| p[0].power.value()).sum();
+        if min_possible <= 35.0 {
+            assert!(total <= 35.0 + 1e-9, "predicted {total} W > 35 W budget");
+        }
+    }
+
+    #[test]
+    fn memory_bound_cores_are_throttled_first() {
+        // Mixed workload: under a medium budget, Steepest Drop should leave
+        // compute-bound cores (high marginal BIPS/W) faster than
+        // memory-bound ones.
+        let mut ctrl = SteepestDrop::new(spec(12)).unwrap();
+        let obs = observation(12, 24.0, MixPolicy::RoundRobin, 3);
+        let actions = ctrl.decide(&obs);
+        // Find the most memory-bound and most compute-bound core.
+        let mb: Vec<f64> = obs.cores.iter().map(|c| c.memory_boundedness()).collect();
+        let most_mem = (0..12).max_by(|&a, &b| mb[a].total_cmp(&mb[b])).unwrap();
+        let most_cpu = (0..12).min_by(|&a, &b| mb[a].total_cmp(&mb[b])).unwrap();
+        assert!(
+            actions[most_cpu] >= actions[most_mem],
+            "compute-bound core at {:?}, memory-bound at {:?}",
+            actions[most_cpu],
+            actions[most_mem]
+        );
+    }
+
+    #[test]
+    fn drop_ordering_pops_cheapest_loss() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Drop {
+            loss_per_watt: 5.0,
+            core: 0,
+            from: 3,
+        });
+        heap.push(Drop {
+            loss_per_watt: 1.0,
+            core: 1,
+            from: 3,
+        });
+        heap.push(Drop {
+            loss_per_watt: 3.0,
+            core: 2,
+            from: 3,
+        });
+        assert_eq!(heap.pop().unwrap().core, 1);
+        assert_eq!(heap.pop().unwrap().core, 2);
+        assert_eq!(heap.pop().unwrap().core, 0);
+    }
+}

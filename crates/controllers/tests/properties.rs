@@ -1,0 +1,148 @@
+//! Property-based tests for the baseline controllers.
+
+use odrl_controllers::{
+    MaxBips, MaxBipsMode, PidController, PidGains, PowerController, Predictor, PriorityGreedy,
+    StaticUniform, SteepestDrop,
+};
+use odrl_manycore::{Observation, System, SystemConfig, SystemSpec};
+use odrl_power::{LevelId, Watts};
+use proptest::prelude::*;
+
+fn setting(cores: usize, seed: u64, warm_level: usize) -> (Observation, SystemSpec) {
+    let config = SystemConfig::builder()
+        .cores(cores)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let mut sys = System::new(config).unwrap();
+    sys.step(&vec![LevelId(warm_level); cores]).unwrap();
+    let spec = sys.spec();
+    (sys.observation(Watts::ZERO), spec)
+}
+
+fn with_budget(mut obs: Observation, budget: f64) -> Observation {
+    obs.budget = Watts::new(budget);
+    obs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every controller returns exactly one valid level per core, for any
+    /// budget — including zero and absurdly large ones.
+    #[test]
+    fn controllers_return_valid_actions(
+        cores in 1usize..16,
+        seed in 0u64..30,
+        warm in 0usize..8,
+        budget in 0.0f64..1e4,
+    ) {
+        let (obs, spec) = setting(cores, seed, warm);
+        let obs = with_budget(obs, budget);
+        let mut controllers: Vec<Box<dyn PowerController>> = vec![
+            Box::new(MaxBips::dp(spec.clone()).unwrap()),
+            Box::new(SteepestDrop::new(spec.clone()).unwrap()),
+            Box::new(PidController::new(spec.clone(), PidGains::default()).unwrap()),
+            Box::new(StaticUniform::for_budget(spec.clone(), obs.budget).unwrap()),
+            Box::new(PriorityGreedy::new(spec.clone()).unwrap()),
+        ];
+        for ctrl in controllers.iter_mut() {
+            let actions = ctrl.decide(&obs);
+            prop_assert_eq!(actions.len(), cores, "{}", ctrl.name());
+            for a in &actions {
+                prop_assert!(a.index() < spec.vf_table.len(), "{}", ctrl.name());
+            }
+        }
+    }
+
+    /// MaxBIPS-DP and Steepest Drop never plan above the budget (on their
+    /// own predictions) whenever an under-budget assignment exists.
+    #[test]
+    fn planners_respect_predicted_budget(
+        cores in 1usize..16,
+        seed in 0u64..30,
+        budget in 1.0f64..200.0,
+    ) {
+        let (obs, spec) = setting(cores, seed, 4);
+        let obs = with_budget(obs, budget);
+        let predictor = Predictor::new(spec.clone());
+        let preds = predictor.predict_all(&obs.cores);
+        let min_possible: f64 = preds.iter().map(|p| p[0].power.value()).sum();
+        let planned = |actions: &[LevelId]| -> f64 {
+            actions
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| preds[i][a.index()].power.value())
+                .sum()
+        };
+        let mut dp = MaxBips::dp(spec.clone()).unwrap();
+        let mut sd = SteepestDrop::new(spec.clone()).unwrap();
+        if min_possible <= budget {
+            prop_assert!(planned(&dp.decide(&obs)) <= budget + 1e-9);
+            prop_assert!(planned(&sd.decide(&obs)) <= budget + 1e-9);
+        } else {
+            // Infeasible: both bottom out at level 0.
+            prop_assert!(dp.decide(&obs).iter().all(|&a| a == LevelId(0)));
+            prop_assert!(sd.decide(&obs).iter().all(|&a| a == LevelId(0)));
+        }
+    }
+
+    /// On tiny systems, the DP solution is within quantization slack of the
+    /// exhaustive optimum and never better (DP is conservative).
+    #[test]
+    fn dp_at_most_exhaustive(
+        cores in 1usize..5,
+        seed in 0u64..20,
+        budget in 2.0f64..40.0,
+    ) {
+        let (obs, spec) = setting(cores, seed, 4);
+        let obs = with_budget(obs, budget);
+        let predictor = Predictor::new(spec.clone());
+        let preds = predictor.predict_all(&obs.cores);
+        let bips = |actions: &[LevelId]| -> f64 {
+            actions
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| preds[i][a.index()].ips)
+                .sum()
+        };
+        let mut ex = MaxBips::new(spec.clone(), MaxBipsMode::Exhaustive).unwrap();
+        let mut dp = MaxBips::new(spec, MaxBipsMode::Dp { power_bins: 4096 }).unwrap();
+        let b_ex = bips(&ex.decide(&obs));
+        let b_dp = bips(&dp.decide(&obs));
+        prop_assert!(b_dp <= b_ex + 1e-6, "dp {b_dp} beat exhaustive {b_ex}");
+        prop_assert!(b_dp >= 0.85 * b_ex, "dp {b_dp} too far below {b_ex}");
+    }
+
+    /// The predictor's points are monotone in level for every observed core.
+    #[test]
+    fn predictions_monotone(cores in 1usize..8, seed in 0u64..30, warm in 0usize..8) {
+        let (obs, spec) = setting(cores, seed, warm);
+        let predictor = Predictor::new(spec);
+        for core in &obs.cores {
+            let points = predictor.predict(core);
+            for w in points.windows(2) {
+                prop_assert!(w[1].power >= w[0].power);
+                prop_assert!(w[1].ips >= w[0].ips);
+            }
+        }
+    }
+
+    /// PID's index stays in range whatever error sequence it sees.
+    #[test]
+    fn pid_index_bounded(
+        cores in 1usize..8,
+        budgets in prop::collection::vec(0.0f64..1e3, 1..50),
+    ) {
+        let config = SystemConfig::builder().cores(cores).build().unwrap();
+        let mut sys = System::new(config).unwrap();
+        let mut pid = PidController::new(sys.spec(), PidGains::default()).unwrap();
+        for &b in &budgets {
+            let obs = sys.observation(Watts::new(b));
+            let actions = pid.decide(&obs);
+            sys.step(&actions).unwrap();
+            prop_assert!(pid.index().is_finite());
+            prop_assert!((0.0..=7.0).contains(&pid.index()));
+        }
+    }
+}

@@ -1,0 +1,730 @@
+//! The OD-RL controller: fine-grain per-core Q-learning plus coarse-grain
+//! global budget reallocation.
+
+use crate::budget::BudgetAllocator;
+use crate::config::OdRlConfig;
+use crate::error::OdRlError;
+use crate::reward::RewardShaper;
+use crate::state::StateEncoder;
+use odrl_controllers::PowerController;
+use odrl_manycore::{Observation, SystemSpec};
+use odrl_power::{LevelId, Watts};
+use odrl_rl::{Agent, Algorithm, DoubleAgent, Policy, RlError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The per-core learner: plain/SARSA tabular agent or a double-Q pair,
+/// chosen by [`OdRlConfig::algorithm`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+enum CoreAgent {
+    Single(Agent),
+    Double(DoubleAgent),
+}
+
+impl CoreAgent {
+    fn select<R: Rng + ?Sized>(&mut self, s: usize, rng: &mut R) -> Result<usize, RlError> {
+        match self {
+            Self::Single(a) => a.select(s, rng),
+            Self::Double(a) => a.select(s, rng),
+        }
+    }
+
+    fn update(
+        &mut self,
+        algorithm: Algorithm,
+        s: usize,
+        a: usize,
+        r: f64,
+        s_next: usize,
+        a_next: usize,
+    ) -> Result<(), RlError> {
+        match self {
+            Self::Single(agent) => match algorithm {
+                Algorithm::Sarsa => agent.update_sarsa(s, a, r, s_next, a_next),
+                _ => agent.update(s, a, r, s_next),
+            },
+            Self::Double(agent) => agent.update(s, a, r, s_next),
+        }
+    }
+
+    fn coverage(&self) -> f64 {
+        match self {
+            Self::Single(a) => a.q().coverage(),
+            Self::Double(a) => a.coverage(),
+        }
+    }
+
+    fn values(&self, s: usize) -> Result<Vec<f64>, RlError> {
+        match self {
+            Self::Single(a) => a.q().row(s).map(<[f64]>::to_vec),
+            Self::Double(a) => a.combined_row(s),
+        }
+    }
+}
+
+/// On-line Distributed Reinforcement Learning DVFS control
+/// (Chen & Marculescu, DATE 2015).
+///
+/// * **Fine grain** — one tabular Q-learning [`Agent`] per core learns,
+///   model-free, which VF level maximizes its throughput without exceeding
+///   its share of the chip power budget. State: (local power/budget ratio,
+///   memory-boundedness, current level); actions: VF levels; reward:
+///   normalized IPS minus a strong local overshoot penalty.
+/// * **Coarse grain** — every `realloc_period` epochs a [`BudgetAllocator`]
+///   redistributes the chip budget toward the cores with the highest
+///   observed marginal throughput per watt.
+///
+/// The per-epoch decision cost is **O(n · L)** for `n` cores and `L`
+/// levels — no combinatorial search — which is the source of the paper's
+/// two-orders-of-magnitude runtime advantage over MaxBIPS-class controllers
+/// at hundreds of cores.
+///
+/// ```
+/// use odrl_core::{OdRlConfig, OdRlController};
+/// use odrl_controllers::PowerController;
+/// use odrl_manycore::{System, SystemConfig};
+/// use odrl_power::Watts;
+///
+/// let config = SystemConfig::builder().cores(16).seed(7).build()?;
+/// let budget = Watts::new(0.6 * config.max_power().value());
+/// let mut system = System::new(config)?;
+/// let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget)?;
+/// for _ in 0..30 {
+///     let obs = system.observation(budget);
+///     let actions = ctrl.decide(&obs);
+///     system.step(&actions)?;
+/// }
+/// assert!(system.telemetry().total_instructions() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OdRlController {
+    config: OdRlConfig,
+    encoder: StateEncoder,
+    agents: Vec<CoreAgent>,
+    shaper: RewardShaper,
+    allocator: Option<BudgetAllocator>,
+    budgets: Vec<Watts>,
+    total_budget: Watts,
+    /// Decaying per-core maximum of observed power — the denominator of
+    /// the state's budget-affordability dimension.
+    max_power_seen: Vec<f64>,
+    /// Chip-level utilisation feedback: per-core shares are scaled by this
+    /// factor so that *measured chip power* tracks the budget. Discrete VF
+    /// levels leave each core a safety margin below its share; without this
+    /// term those margins add up to 15-25 % of unused budget. The scale
+    /// rises while the chip is under budget and falls immediately when it
+    /// is over (asymmetric gains: slow fill, fast back-off).
+    utilisation_scale: f64,
+    rng: StdRng,
+    /// (state, action) pairs awaiting their reward.
+    pending: Option<Vec<(usize, usize)>>,
+    epochs: u64,
+    name: &'static str,
+}
+
+impl OdRlController {
+    /// Creates the full OD-RL controller (fine + coarse grain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdRlError::EmptySpec`] for a degenerate spec or
+    /// [`OdRlError::InvalidConfig`] for bad tuning parameters.
+    pub fn new(
+        config: OdRlConfig,
+        spec: &SystemSpec,
+        initial_budget: Watts,
+    ) -> Result<Self, OdRlError> {
+        Self::build(config, spec, initial_budget, true)
+    }
+
+    /// The ablation variant: per-core RL only, with budgets frozen at the
+    /// fair split (no coarse-grain reallocation).
+    ///
+    /// # Errors
+    ///
+    /// As [`OdRlController::new`].
+    pub fn without_reallocation(
+        config: OdRlConfig,
+        spec: &SystemSpec,
+        initial_budget: Watts,
+    ) -> Result<Self, OdRlError> {
+        Self::build(config, spec, initial_budget, false)
+    }
+
+    fn build(
+        config: OdRlConfig,
+        spec: &SystemSpec,
+        initial_budget: Watts,
+        reallocate: bool,
+    ) -> Result<Self, OdRlError> {
+        config.validate()?;
+        if spec.cores == 0 || spec.vf_table.is_empty() {
+            return Err(OdRlError::EmptySpec);
+        }
+        let levels = spec.vf_table.len();
+        let encoder = StateEncoder::new(&config, levels)?;
+        // Optimistic initialisation at the value of a perfect steady
+        // reward (1/(1-gamma)) makes every untried level greedily
+        // attractive once, so agents discover newly affordable levels
+        // after a budget reallocation without waiting for epsilon
+        // exploration.
+        let optimistic = 1.0 / (1.0 - config.gamma);
+        let policy = Policy::EpsilonGreedy {
+            epsilon: config.epsilon,
+        };
+        let agents = (0..spec.cores)
+            .map(|_| match config.algorithm {
+                Algorithm::DoubleQLearning => Ok(CoreAgent::Double(
+                    DoubleAgent::builder(encoder.num_states(), encoder.num_actions())
+                        .gamma(config.gamma)
+                        .alpha(config.alpha)
+                        .policy(policy)
+                        // Selection sums both tables, so halve the prior.
+                        .optimistic(optimistic / 2.0)
+                        .build()?,
+                )),
+                _ => Ok(CoreAgent::Single(
+                    Agent::builder(encoder.num_states(), encoder.num_actions())
+                        .gamma(config.gamma)
+                        .alpha(config.alpha)
+                        .policy(policy)
+                        .optimistic(optimistic)
+                        .build()?,
+                )),
+            })
+            .collect::<Result<Vec<_>, RlError>>()?;
+        let allocator = reallocate
+            .then(|| BudgetAllocator::new(spec.cores, config.realloc_gain, config.min_share));
+        Ok(Self {
+            shaper: RewardShaper::new(spec.cores, encoder.num_mem_bins(), config.overshoot_penalty),
+            budgets: BudgetAllocator::fair_split(initial_budget, spec.cores),
+            max_power_seen: vec![0.0; spec.cores],
+            utilisation_scale: 1.0,
+            total_budget: initial_budget,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x0D51_5EED_0D51_5EED),
+            pending: None,
+            epochs: 0,
+            name: if reallocate { "od-rl" } else { "od-rl-local" },
+            config,
+            encoder,
+            agents,
+            allocator,
+        })
+    }
+
+    /// The per-core budgets currently in force.
+    pub fn budgets(&self) -> &[Watts] {
+        &self.budgets
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &OdRlConfig {
+        &self.config
+    }
+
+    /// Exports the learned per-core policies for persistence or transfer
+    /// (warm-starting a controller on another chip or a later run). Only
+    /// the Q-tables travel; fast-relearning state (reward normalizers,
+    /// power ceilings, budgets) is rebuilt on-line within tens of epochs.
+    pub fn export_policy(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            states: self.encoder.num_states(),
+            actions: self.encoder.num_actions(),
+            agents: self.agents.clone(),
+        }
+    }
+
+    /// Replaces the per-core agents with a previously exported snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdRlError::InvalidConfig`] if the snapshot's state/action
+    /// dimensions or core count do not match this controller.
+    pub fn import_policy(&mut self, snapshot: PolicySnapshot) -> Result<(), OdRlError> {
+        if snapshot.states != self.encoder.num_states()
+            || snapshot.actions != self.encoder.num_actions()
+        {
+            return Err(OdRlError::InvalidConfig {
+                field: "snapshot",
+                reason: format!(
+                    "snapshot is {}x{}, controller expects {}x{}",
+                    snapshot.states,
+                    snapshot.actions,
+                    self.encoder.num_states(),
+                    self.encoder.num_actions()
+                ),
+            });
+        }
+        if snapshot.agents.len() != self.agents.len() {
+            return Err(OdRlError::InvalidConfig {
+                field: "snapshot",
+                reason: format!(
+                    "snapshot has {} agents, controller has {}",
+                    snapshot.agents.len(),
+                    self.agents.len()
+                ),
+            });
+        }
+        self.agents = snapshot.agents;
+        // Rewards already earned under the old tables are stale.
+        self.pending = None;
+        Ok(())
+    }
+
+    /// The Q-values of core `i`'s agent in the state it would encode from
+    /// `obs` — the learned preference over VF levels at this instant.
+    /// Returns `None` if `i` is out of range.
+    ///
+    /// Intended for telemetry and debugging of learned policies.
+    pub fn policy_values(&self, i: usize, obs: &Observation) -> Option<Vec<f64>> {
+        let core = obs.cores.get(i)?;
+        let agent = self.agents.get(i)?;
+        let s = self.encoder.encode(core, self.affordability(i));
+        agent.values(s).ok()
+    }
+
+    /// Core `i`'s effective share: its base allocation times the chip
+    /// utilisation scale.
+    fn effective_budget(&self, i: usize) -> Watts {
+        self.budgets[i] * self.utilisation_scale
+    }
+
+    /// `effective budget_i / max power seen on core i` (∞ before any power
+    /// reading).
+    fn affordability(&self, i: usize) -> f64 {
+        let p_max = self.max_power_seen[i];
+        if p_max > 0.0 {
+            self.effective_budget(i).value() / p_max
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Fraction of `(state, action)` pairs the per-core agents have visited
+    /// (averaged over cores) — a learning-progress diagnostic.
+    pub fn coverage(&self) -> f64 {
+        let sum: f64 = self.agents.iter().map(CoreAgent::coverage).sum();
+        sum / self.agents.len() as f64
+    }
+
+    /// Rescales per-core budgets when the chip budget changes, preserving
+    /// relative shares.
+    fn track_budget(&mut self, budget: Watts) {
+        if (budget - self.total_budget).abs().value() < 1e-12 {
+            return;
+        }
+        let old = self.total_budget.value();
+        if old > 0.0 {
+            let k = budget.value() / old;
+            for b in &mut self.budgets {
+                *b = *b * k;
+            }
+        } else {
+            self.budgets = BudgetAllocator::fair_split(budget, self.budgets.len());
+        }
+        self.total_budget = budget;
+    }
+}
+
+impl PowerController for OdRlController {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+        let n = obs.cores.len().min(self.agents.len());
+        if n == 0 {
+            return Vec::new();
+        }
+        self.track_budget(obs.budget);
+
+        // Coarse grain: update marginal estimates every epoch, reallocate
+        // every K epochs.
+        if let Some(allocator) = &mut self.allocator {
+            allocator.observe(obs);
+            if self.epochs > 0 && self.epochs.is_multiple_of(self.config.realloc_period) {
+                self.budgets = allocator.reallocate(obs, &self.budgets, obs.budget);
+            }
+        }
+
+        // Chip-level utilisation feedback (see `utilisation_scale`), with
+        // AIMD dynamics: additive fill while under budget, multiplicative
+        // back-off on any overshoot epoch. The multiplicative decrease is
+        // what keeps homogeneous workloads — where all cores hit their
+        // share boundary in lock-step — just below the chip budget instead
+        // of oscillating across it.
+        if obs.total_power.value() > 0.0 && obs.budget.value() > 0.0 {
+            let err = (obs.budget - obs.total_power).value() / obs.budget.value();
+            if err >= 0.0 {
+                self.utilisation_scale += 0.01 * err;
+            } else {
+                self.utilisation_scale *= 0.95;
+            }
+            self.utilisation_scale = self.utilisation_scale.clamp(0.9, 1.6);
+        }
+
+        // Track each core's power ceiling (decaying max) for the
+        // affordability state dimension.
+        for (seen, core) in self.max_power_seen.iter_mut().zip(&obs.cores) {
+            *seen = (*seen * 0.999).max(core.power.value());
+        }
+
+        // Fine grain: close the RL loop per core.
+        let states: Vec<usize> = (0..n)
+            .map(|i| self.encoder.encode(&obs.cores[i], self.affordability(i)))
+            .collect();
+        let mut actions = Vec::with_capacity(n);
+        let mut new_pending = Vec::with_capacity(n);
+        for i in 0..n {
+            let s_next = states[i];
+            let a_next = self.agents[i]
+                .select(s_next, &mut self.rng)
+                .expect("encoded state is in range");
+            if let Some(pending) = &self.pending {
+                let (s, a) = pending[i];
+                let phase = self.encoder.mem_bin(&obs.cores[i]);
+                let mut r = self.shaper.reward(
+                    i,
+                    phase,
+                    obs.cores[i].ips,
+                    obs.cores[i].power,
+                    self.effective_budget(i),
+                );
+                if let Some(limit) = self.config.thermal_limit {
+                    let excess = (obs.cores[i].temperature.value() - limit).max(0.0);
+                    r -= self.config.thermal_penalty * excess / 10.0;
+                }
+                self.agents[i]
+                    .update(self.config.algorithm, s, a, r, s_next, a_next)
+                    .expect("indices are in range");
+            }
+            new_pending.push((s_next, a_next));
+            actions.push(LevelId(a_next));
+        }
+        self.pending = Some(new_pending);
+        self.epochs += 1;
+        actions
+    }
+}
+
+/// An exported set of learned per-core policies (see
+/// [`OdRlController::export_policy`]). Opaque but serializable, so it can
+/// be written to disk and imported into a compatible controller later.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PolicySnapshot {
+    states: usize,
+    actions: usize,
+    agents: Vec<CoreAgent>,
+}
+
+impl PolicySnapshot {
+    /// Number of per-core agents in the snapshot.
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrl_manycore::{System, SystemConfig};
+    use odrl_workload::MixPolicy;
+
+    fn run(
+        cores: usize,
+        budget_frac: f64,
+        epochs: u64,
+        seed: u64,
+    ) -> (System, OdRlController, Watts) {
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let budget = Watts::new(budget_frac * config.max_power().value());
+        let mut system = System::new(config).unwrap();
+        let mut ctrl = OdRlController::new(
+            OdRlConfig {
+                seed,
+                ..OdRlConfig::default()
+            },
+            &system.spec(),
+            budget,
+        )
+        .unwrap();
+        for _ in 0..epochs {
+            let obs = system.observation(budget);
+            let actions = ctrl.decide(&obs);
+            system.step(&actions).unwrap();
+        }
+        (system, ctrl, budget)
+    }
+
+    #[test]
+    fn actions_are_always_valid() {
+        let config = SystemConfig::builder().cores(8).seed(3).build().unwrap();
+        let budget = Watts::new(0.5 * config.max_power().value());
+        let mut system = System::new(config).unwrap();
+        let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget).unwrap();
+        for _ in 0..100 {
+            let obs = system.observation(budget);
+            let actions = ctrl.decide(&obs);
+            assert_eq!(actions.len(), 8);
+            assert!(actions.iter().all(|a| a.index() < 8));
+            system.step(&actions).unwrap();
+        }
+    }
+
+    #[test]
+    fn learns_to_respect_the_budget() {
+        let (system, _, budget) = run(16, 0.5, 600, 1);
+        // Average power over the last quarter of the run must be near or
+        // under the budget — the learned policy caps power.
+        let total_energy = system.telemetry().total_energy().value();
+        let avg_power = total_energy / system.telemetry().elapsed().value();
+        assert!(
+            avg_power < budget.value() * 1.10,
+            "avg power {avg_power} vs budget {}",
+            budget.value()
+        );
+    }
+
+    #[test]
+    fn budgets_sum_to_chip_budget() {
+        let (_, ctrl, budget) = run(16, 0.6, 100, 2);
+        let sum: f64 = ctrl.budgets().iter().map(|w| w.value()).sum();
+        assert!(
+            (sum - budget.value()).abs() < 1e-6 * budget.value(),
+            "budgets sum {sum} vs {budget}"
+        );
+    }
+
+    #[test]
+    fn coverage_grows_with_experience() {
+        let (_, ctrl_short, _) = run(8, 0.6, 20, 3);
+        let (_, ctrl_long, _) = run(8, 0.6, 400, 3);
+        assert!(ctrl_long.coverage() > ctrl_short.coverage());
+        assert!(ctrl_long.coverage() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (sys_a, _, _) = run(8, 0.6, 100, 42);
+        let (sys_b, _, _) = run(8, 0.6, 100, 42);
+        assert_eq!(
+            sys_a.telemetry().total_instructions(),
+            sys_b.telemetry().total_instructions()
+        );
+        assert_eq!(
+            sys_a.telemetry().total_energy(),
+            sys_b.telemetry().total_energy()
+        );
+    }
+
+    #[test]
+    fn tracks_budget_steps() {
+        let config = SystemConfig::builder().cores(8).seed(5).build().unwrap();
+        let max = config.max_power();
+        let mut system = System::new(config).unwrap();
+        let mut ctrl =
+            OdRlController::new(OdRlConfig::default(), &system.spec(), max * 0.8).unwrap();
+        for _ in 0..50 {
+            let obs = system.observation(max * 0.8);
+            let a = ctrl.decide(&obs);
+            system.step(&a).unwrap();
+        }
+        // Halve the budget: the controller's internal allocation follows.
+        let new_budget = max * 0.4;
+        let obs = system.observation(new_budget);
+        ctrl.decide(&obs);
+        let sum: f64 = ctrl.budgets().iter().map(|w| w.value()).sum();
+        assert!((sum - new_budget.value()).abs() < 1e-6 * new_budget.value());
+    }
+
+    #[test]
+    fn without_reallocation_keeps_fair_split() {
+        let config = SystemConfig::builder()
+            .cores(8)
+            .mix(MixPolicy::RoundRobin)
+            .seed(6)
+            .build()
+            .unwrap();
+        let budget = Watts::new(0.5 * config.max_power().value());
+        let mut system = System::new(config).unwrap();
+        let mut ctrl =
+            OdRlController::without_reallocation(OdRlConfig::default(), &system.spec(), budget)
+                .unwrap();
+        assert_eq!(ctrl.name(), "od-rl-local");
+        for _ in 0..60 {
+            let obs = system.observation(budget);
+            let a = ctrl.decide(&obs);
+            system.step(&a).unwrap();
+        }
+        let fair = budget.value() / 8.0;
+        for b in ctrl.budgets() {
+            assert!((b.value() - fair).abs() < 1e-9, "shares drifted: {b}");
+        }
+    }
+
+    #[test]
+    fn reallocation_diverges_budgets_on_heterogeneous_load() {
+        let (_, ctrl, budget) = run(12, 0.6, 400, 7);
+        let fair = budget.value() / 12.0;
+        let max_dev = ctrl
+            .budgets()
+            .iter()
+            .map(|b| (b.value() - fair).abs() / fair)
+            .fold(0.0, f64::max);
+        assert!(
+            max_dev > 0.05,
+            "heterogeneous mix should move budgets, max dev {max_dev}"
+        );
+    }
+
+    #[test]
+    fn thermal_limit_reduces_peak_temperature() {
+        // Uncapped power budget, aggressive thermal limit: the thermally
+        // aware controller must run measurably cooler than the plain one.
+        let run = |limit: Option<f64>| {
+            let config = SystemConfig::builder().cores(16).seed(9).build().unwrap();
+            let budget = config.max_power(); // power cap never binds
+            let mut system = System::new(config).unwrap();
+            let mut ctrl = OdRlController::new(
+                OdRlConfig {
+                    thermal_limit: limit,
+                    thermal_penalty: 5.0,
+                    ..OdRlConfig::default()
+                },
+                &system.spec(),
+                budget,
+            )
+            .unwrap();
+            for _ in 0..600 {
+                let obs = system.observation(budget);
+                let actions = ctrl.decide(&obs);
+                system.step(&actions).unwrap();
+            }
+            system.telemetry().peak_temperature().value()
+        };
+        let hot = run(None);
+        let cool = run(Some(60.0));
+        assert!(
+            cool < hot - 1.0,
+            "thermal limit should cool the die: {cool} vs {hot}"
+        );
+    }
+
+    #[test]
+    fn every_algorithm_variant_runs() {
+        use odrl_rl::Algorithm;
+        for algorithm in [
+            Algorithm::QLearning,
+            Algorithm::Sarsa,
+            Algorithm::DoubleQLearning,
+        ] {
+            let config = SystemConfig::builder().cores(8).seed(4).build().unwrap();
+            let budget = Watts::new(0.6 * config.max_power().value());
+            let mut system = System::new(config).unwrap();
+            let mut ctrl = OdRlController::new(
+                OdRlConfig {
+                    algorithm,
+                    ..OdRlConfig::default()
+                },
+                &system.spec(),
+                budget,
+            )
+            .unwrap();
+            for _ in 0..100 {
+                let obs = system.observation(budget);
+                let actions = ctrl.decide(&obs);
+                system.step(&actions).unwrap();
+            }
+            assert!(
+                system.telemetry().total_instructions() > 0.0,
+                "{algorithm:?}"
+            );
+            assert!(ctrl.coverage() > 0.0, "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn warm_start_transfers_learning() {
+        let mk = || {
+            let config = SystemConfig::builder().cores(12).seed(45).build().unwrap();
+            let budget = Watts::new(0.55 * config.max_power().value());
+            let system = System::new(config).unwrap();
+            let ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget).unwrap();
+            (system, ctrl, budget)
+        };
+        // Train a controller for 800 epochs and export its policy.
+        let (mut system, mut trained, budget) = mk();
+        for _ in 0..800 {
+            let obs = system.observation(budget);
+            let a = trained.decide(&obs);
+            system.step(&a).unwrap();
+        }
+        let snapshot = trained.export_policy();
+        assert_eq!(snapshot.num_agents(), 12);
+
+        // Cold vs warm on a fresh system: compare the first 150 epochs.
+        let early = |warm: bool| {
+            let (mut system, mut ctrl, budget) = mk();
+            if warm {
+                ctrl.import_policy(snapshot.clone()).unwrap();
+            }
+            let mut instr = 0.0;
+            for _ in 0..150 {
+                let obs = system.observation(budget);
+                let a = ctrl.decide(&obs);
+                let r = system.step(&a).unwrap();
+                instr += r.total_instructions();
+            }
+            instr
+        };
+        let cold = early(false);
+        let warm = early(true);
+        assert!(
+            warm > cold * 1.02,
+            "warm start should beat cold start early: {warm} vs {cold}"
+        );
+    }
+
+    #[test]
+    fn import_rejects_mismatched_snapshots() {
+        let config = SystemConfig::builder().cores(8).seed(1).build().unwrap();
+        let budget = Watts::new(20.0);
+        let spec = config.spec();
+        let ctrl = OdRlController::new(OdRlConfig::default(), &spec, budget).unwrap();
+        let snapshot = ctrl.export_policy();
+
+        // Different core count.
+        let mut small_spec = spec.clone();
+        small_spec.cores = 4;
+        let mut other = OdRlController::new(OdRlConfig::default(), &small_spec, budget).unwrap();
+        assert!(other.import_policy(snapshot.clone()).is_err());
+
+        // Different state space (more bins).
+        let mut other = OdRlController::new(
+            OdRlConfig {
+                power_bins: 16,
+                ..OdRlConfig::default()
+            },
+            &spec,
+            budget,
+        )
+        .unwrap();
+        assert!(other.import_policy(snapshot).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_spec() {
+        let spec = SystemConfig::builder().cores(4).build().unwrap().spec();
+        let mut empty = spec.clone();
+        empty.cores = 0;
+        assert!(matches!(
+            OdRlController::new(OdRlConfig::default(), &empty, Watts::new(10.0)),
+            Err(OdRlError::EmptySpec)
+        ));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for the OD-RL controller.
+
+use odrl_rl::RlError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or running OD-RL.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OdRlError {
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The system spec was degenerate (zero cores or levels).
+    EmptySpec,
+    /// An error bubbled up from the RL machinery.
+    Rl(RlError),
+}
+
+impl fmt::Display for OdRlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { field, reason } => {
+                write!(f, "invalid OD-RL config field `{field}`: {reason}")
+            }
+            Self::EmptySpec => write!(f, "system spec has no cores or levels"),
+            Self::Rl(e) => write!(f, "rl: {e}"),
+        }
+    }
+}
+
+impl Error for OdRlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Rl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RlError> for OdRlError {
+    fn from(e: RlError) -> Self {
+        Self::Rl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_rl_errors() {
+        let e = OdRlError::from(RlError::EmptySpace { what: "state" });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("rl:"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<OdRlError>();
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the many-core simulator.
+
+use odrl_power::PowerModelError;
+use odrl_thermal::ThermalError;
+use odrl_workload::WorkloadError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or stepping a [`crate::System`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The action vector length does not match the number of cores.
+    ActionLengthMismatch {
+        /// Number of actions supplied.
+        supplied: usize,
+        /// Number of cores in the system.
+        expected: usize,
+    },
+    /// An error from the power-model substrate.
+    Power(PowerModelError),
+    /// An error from the thermal substrate.
+    Thermal(ThermalError),
+    /// An error from the workload substrate.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { field, reason } => {
+                write!(f, "invalid config field `{field}`: {reason}")
+            }
+            Self::ActionLengthMismatch { supplied, expected } => write!(
+                f,
+                "action vector has {supplied} entries but the system has {expected} cores"
+            ),
+            Self::Power(e) => write!(f, "power model: {e}"),
+            Self::Thermal(e) => write!(f, "thermal model: {e}"),
+            Self::Workload(e) => write!(f, "workload: {e}"),
+        }
+    }
+}
+
+impl Error for SystemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Power(e) => Some(e),
+            Self::Thermal(e) => Some(e),
+            Self::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PowerModelError> for SystemError {
+    fn from(e: PowerModelError) -> Self {
+        Self::Power(e)
+    }
+}
+
+impl From<ThermalError> for SystemError {
+    fn from(e: ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+impl From<WorkloadError> for SystemError {
+    fn from(e: WorkloadError) -> Self {
+        Self::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_substrate_errors_with_source() {
+        let e = SystemError::from(PowerModelError::EmptyVfTable);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("power model"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SystemError>();
+    }
+}

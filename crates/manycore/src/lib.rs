@@ -1,0 +1,54 @@
+//! Epoch-based analytical many-core simulator with per-core DVFS domains.
+//!
+//! This crate is the substrate the paper's evaluation runs on (substituting
+//! for a Sniper/McPAT-class simulator — see DESIGN.md). It ties together the
+//! power, thermal and workload crates into a closed control loop:
+//!
+//! 1. a controller reads an [`Observation`] (per-core counters, powers,
+//!    temperatures, chip power — exactly what real sensors expose),
+//! 2. it picks one [`odrl_power::LevelId`] per core,
+//! 3. [`System::step`] executes a control epoch: the [`PerfModel`] converts
+//!    each core's current workload phase and frequency into retired
+//!    instructions (memory-bound phases saturate), the power model converts
+//!    the V/f point, activity and temperature into watts, and the RC
+//!    thermal grid integrates the power map,
+//! 4. telemetry and the [`EpochReport`] feed metrics and the next decision.
+//!
+//! # Example
+//!
+//! ```
+//! use odrl_manycore::{System, SystemConfig};
+//! use odrl_power::LevelId;
+//!
+//! let config = SystemConfig::builder().cores(16).seed(42).build()?;
+//! let mut system = System::new(config)?;
+//! // Run 10 epochs at a mid VF level.
+//! for _ in 0..10 {
+//!     system.step(&vec![LevelId(4); 16])?;
+//! }
+//! assert_eq!(system.telemetry().epochs(), 10);
+//! # Ok::<(), odrl_manycore::SystemError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod error;
+pub mod perf;
+pub mod report;
+pub mod sensors;
+pub mod sync;
+pub mod system;
+pub mod telemetry;
+pub mod variation;
+
+pub use config::{SystemConfig, SystemConfigBuilder, SystemSpec};
+pub use error::SystemError;
+pub use perf::PerfModel;
+pub use report::{CoreEpoch, CoreObservation, EpochReport, Observation};
+pub use sensors::SensorModel;
+pub use sync::SyncModel;
+pub use system::System;
+pub use telemetry::{Telemetry, TelemetrySample};
+pub use variation::VariationModel;

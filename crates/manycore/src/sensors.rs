@@ -1,0 +1,191 @@
+//! Power-sensor models: noise and quantisation on measured power.
+
+use crate::error::SystemError;
+use odrl_power::Watts;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A model of the on-die power sensors controllers read.
+///
+/// Real power telemetry is noisy and quantised; a robust controller must
+/// tolerate both. `noise_rel` is the relative standard deviation of
+/// multiplicative Gaussian noise (0 = ideal sensor), and `quantum` is the
+/// reporting granularity in watts (0 = continuous).
+///
+/// ```
+/// use odrl_manycore::SensorModel;
+/// let ideal = SensorModel::ideal();
+/// assert_eq!(ideal.noise_rel, 0.0);
+/// let real = SensorModel::new(0.02, 0.125)?;
+/// assert!(real.quantum > 0.0);
+/// # Ok::<(), odrl_manycore::SystemError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorModel {
+    /// Relative standard deviation of multiplicative Gaussian noise.
+    pub noise_rel: f64,
+    /// Reporting quantum in watts (0 disables quantisation).
+    pub quantum: f64,
+    /// Probability that a read fails outright and returns zero
+    /// (fault injection for controller-robustness testing; 0 disables).
+    #[serde(default)]
+    pub dropout: f64,
+}
+
+impl SensorModel {
+    /// Creates a sensor model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] if `noise_rel` is not in
+    /// `[0, 0.5]` or `quantum` is negative/non-finite.
+    pub fn new(noise_rel: f64, quantum: f64) -> Result<Self, SystemError> {
+        Self::with_dropout(noise_rel, quantum, 0.0)
+    }
+
+    /// Creates a sensor model with a read-failure (dropout) probability: a
+    /// dropped read returns zero watts, as a hung power-telemetry agent
+    /// does in practice.
+    ///
+    /// # Errors
+    ///
+    /// As [`SensorModel::new`]; additionally if `dropout` is outside
+    /// `[0, 0.5]`.
+    pub fn with_dropout(noise_rel: f64, quantum: f64, dropout: f64) -> Result<Self, SystemError> {
+        if !(noise_rel.is_finite() && (0.0..=0.5).contains(&noise_rel)) {
+            return Err(SystemError::InvalidConfig {
+                field: "noise_rel",
+                reason: format!("must be in [0, 0.5], got {noise_rel}"),
+            });
+        }
+        if !(quantum.is_finite() && quantum >= 0.0) {
+            return Err(SystemError::InvalidConfig {
+                field: "quantum",
+                reason: format!("must be finite and non-negative, got {quantum}"),
+            });
+        }
+        if !(dropout.is_finite() && (0.0..=0.5).contains(&dropout)) {
+            return Err(SystemError::InvalidConfig {
+                field: "dropout",
+                reason: format!("must be in [0, 0.5], got {dropout}"),
+            });
+        }
+        Ok(Self {
+            noise_rel,
+            quantum,
+            dropout,
+        })
+    }
+
+    /// A perfect sensor: no noise, no quantisation.
+    pub fn ideal() -> Self {
+        Self {
+            noise_rel: 0.0,
+            quantum: 0.0,
+            dropout: 0.0,
+        }
+    }
+
+    /// Applies the sensor model to a true power value.
+    ///
+    /// Uses Box–Muller on two uniform draws so only `rand::Rng` is needed.
+    /// Measurements are clamped at zero (a power sensor never reads
+    /// negative).
+    pub fn measure<R: Rng + ?Sized>(&self, truth: Watts, rng: &mut R) -> Watts {
+        if self.dropout > 0.0 && rng.gen::<f64>() < self.dropout {
+            return Watts::ZERO;
+        }
+        let mut value = truth.value();
+        if self.noise_rel > 0.0 {
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            value *= 1.0 + self.noise_rel * gauss;
+        }
+        if self.quantum > 0.0 {
+            value = (value / self.quantum).round() * self.quantum;
+        }
+        Watts::new(value.max(0.0))
+    }
+}
+
+impl Default for SensorModel {
+    /// A realistic default: 1 % relative noise, 1/16 W quantum — RAPL-like.
+    fn default() -> Self {
+        Self {
+            noise_rel: 0.01,
+            quantum: 0.0625,
+            dropout: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_sensor_is_exact() {
+        let s = SensorModel::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.measure(Watts::new(3.7), &mut rng).value(), 3.7);
+    }
+
+    #[test]
+    fn quantisation_rounds_to_grid() {
+        let s = SensorModel::new(0.0, 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.measure(Watts::new(3.13), &mut rng).value(), 3.25);
+        assert_eq!(s.measure(Watts::new(3.12), &mut rng).value(), 3.0);
+    }
+
+    #[test]
+    fn noise_is_unbiased_and_bounded() {
+        let s = SensorModel::new(0.05, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let truth = Watts::new(10.0);
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|_| s.measure(truth, &mut rng).value())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn never_reads_negative() {
+        let s = SensorModel::new(0.5, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            assert!(s.measure(Watts::new(0.01), &mut rng).value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(SensorModel::new(-0.1, 0.0).is_err());
+        assert!(SensorModel::new(0.6, 0.0).is_err());
+        assert!(SensorModel::new(0.0, -1.0).is_err());
+        assert!(SensorModel::new(f64::NAN, 0.0).is_err());
+        assert!(SensorModel::with_dropout(0.0, 0.0, -0.1).is_err());
+        assert!(SensorModel::with_dropout(0.0, 0.0, 0.9).is_err());
+    }
+
+    #[test]
+    fn dropout_returns_zero_at_the_configured_rate() {
+        let s = SensorModel::with_dropout(0.0, 0.0, 0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 10_000;
+        let zeros = (0..n)
+            .filter(|_| s.measure(Watts::new(5.0), &mut rng).value() == 0.0)
+            .count();
+        let rate = zeros as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "dropout rate {rate}");
+        // Non-dropped reads are exact with zero noise.
+        let mut rng = StdRng::seed_from_u64(18);
+        let any_exact = (0..50).any(|_| s.measure(Watts::new(5.0), &mut rng).value() == 5.0);
+        assert!(any_exact);
+    }
+}

@@ -1,0 +1,657 @@
+//! The epoch-based many-core system simulator.
+
+use crate::config::{SystemConfig, SystemSpec};
+use crate::error::SystemError;
+use crate::report::{CoreEpoch, CoreObservation, EpochReport, Observation};
+use crate::telemetry::Telemetry;
+use odrl_noc::NocModel;
+use odrl_power::{LevelId, Seconds, Watts};
+use odrl_thermal::{Floorplan, ThermalGrid};
+use odrl_workload::{WorkloadMix, WorkloadStream};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A simulated many-core chip with per-core DVFS domains.
+///
+/// Each call to [`System::step`] advances one control epoch: the supplied
+/// per-core VF levels are applied, every core executes its current workload
+/// phase under the analytical performance model, power is computed from the
+/// V/f point, activity and die temperature, the RC thermal grid integrates
+/// the new power map, and an [`EpochReport`] is returned.
+///
+/// Controllers interact with the system purely through
+/// [`System::observation`] (sensor data) and the level vector they pass to
+/// `step` — the same interface real power-management firmware has.
+///
+/// ```
+/// use odrl_manycore::{System, SystemConfig};
+/// use odrl_power::LevelId;
+///
+/// let config = SystemConfig::builder().cores(4).seed(3).build()?;
+/// let mut system = System::new(config)?;
+/// let top = system.spec().vf_table.max_level();
+/// let report = system.step(&vec![top; 4])?;
+/// assert_eq!(report.cores.len(), 4);
+/// assert!(report.total_power.value() > 0.0);
+/// # Ok::<(), odrl_manycore::SystemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct System {
+    config: SystemConfig,
+    spec: SystemSpec,
+    streams: Vec<WorkloadStream>,
+    grid: ThermalGrid,
+    levels: Vec<LevelId>,
+    epoch: u64,
+    sensor_rng: StdRng,
+    last_report: Option<EpochReport>,
+    last_measured_core_power: Vec<Watts>,
+    /// Per-core (dynamic, leakage) process-variation multipliers.
+    variation: Vec<(f64, f64)>,
+    /// NoC model and the per-core memory latency it produced last epoch.
+    noc: Option<NocModel>,
+    mem_latency: Vec<f64>,
+    telemetry: Telemetry,
+}
+
+impl System {
+    /// Builds a system from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] or substrate errors if the
+    /// configuration is inconsistent.
+    pub fn new(config: SystemConfig) -> Result<Self, SystemError> {
+        Self::with_telemetry(config, Telemetry::new())
+    }
+
+    /// Builds a system that records the full per-epoch telemetry series.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::new`].
+    pub fn new_recording(config: SystemConfig) -> Result<Self, SystemError> {
+        Self::with_telemetry(config, Telemetry::with_series())
+    }
+
+    fn with_telemetry(config: SystemConfig, telemetry: Telemetry) -> Result<Self, SystemError> {
+        config.validate()?;
+        let mix = WorkloadMix::from_suite(config.cores, config.mix.clone(), config.seed)?;
+        let streams = mix.streams();
+        let floorplan = Floorplan::squarish(config.cores)?;
+        let grid = ThermalGrid::new(floorplan, config.thermal)?;
+        let spec = config.spec();
+        let levels = vec![LevelId(0); config.cores];
+        let sensor_rng = StdRng::seed_from_u64(config.seed ^ 0xD1CE_5EED);
+        let variation = config.variation.sample(config.cores, config.seed);
+        let noc = config
+            .noc
+            .clone()
+            .map(NocModel::new)
+            .transpose()
+            .map_err(|e| SystemError::InvalidConfig {
+                field: "noc",
+                reason: e.to_string(),
+            })?;
+        let mem_latency = match &noc {
+            Some(model) => model.latencies(&vec![0.0; config.cores]),
+            None => vec![config.perf.mem_latency_ns; config.cores],
+        };
+        Ok(Self {
+            config,
+            spec,
+            streams,
+            grid,
+            levels,
+            epoch: 0,
+            sensor_rng,
+            last_report: None,
+            last_measured_core_power: Vec::new(),
+            variation,
+            noc,
+            mem_latency,
+            telemetry,
+        })
+    }
+
+    /// The static system description (core count, VF table, models, epoch).
+    pub fn spec(&self) -> SystemSpec {
+        self.spec.clone()
+    }
+
+    /// The full configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.config.cores
+    }
+
+    /// Index of the next epoch to execute.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The VF levels currently applied.
+    pub fn levels(&self) -> &[LevelId] {
+        &self.levels
+    }
+
+    /// Accumulated run telemetry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The report of the most recently executed epoch, if any.
+    pub fn last_report(&self) -> Option<&EpochReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Builds the sensor observation a controller decides from, for a given
+    /// chip power budget.
+    ///
+    /// Before the first epoch, counters reflect the initial workload phases
+    /// and measured rates/powers are zero (no epoch has executed yet).
+    pub fn observation(&self, budget: Watts) -> Observation {
+        let cores = match &self.last_report {
+            Some(report) => report
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| CoreObservation {
+                    level: c.level,
+                    ips: c.ips,
+                    power: self
+                        .last_measured_core_power
+                        .get(i)
+                        .copied()
+                        .unwrap_or_else(|| c.power.total()),
+                    temperature: c.temperature,
+                    counters: c.counters,
+                })
+                .collect(),
+            None => self
+                .streams
+                .iter()
+                .enumerate()
+                .map(|(i, s)| CoreObservation {
+                    level: self.levels[i],
+                    ips: 0.0,
+                    power: Watts::ZERO,
+                    temperature: self.grid.temperature(i),
+                    counters: s.params(),
+                })
+                .collect(),
+        };
+        Observation {
+            epoch: self.epoch,
+            dt: self.config.epoch,
+            budget,
+            cores,
+            total_power: self
+                .last_report
+                .as_ref()
+                .map(|r| r.measured_power)
+                .unwrap_or(Watts::ZERO),
+        }
+    }
+
+    /// Executes one control epoch with the given per-core VF levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::ActionLengthMismatch`] if `actions` does not
+    /// have one entry per core, or [`SystemError::Power`] if any level id is
+    /// out of range for the VF table.
+    pub fn step(&mut self, actions: &[LevelId]) -> Result<EpochReport, SystemError> {
+        if actions.len() != self.config.cores {
+            return Err(SystemError::ActionLengthMismatch {
+                supplied: actions.len(),
+                expected: self.config.cores,
+            });
+        }
+        for &a in actions {
+            self.config.vf_table.check(a)?;
+        }
+        // A VF transition stalls the core for the PLL/VR settling time;
+        // record which cores switched before overwriting the level state.
+        let switched: Vec<bool> = self
+            .levels
+            .iter()
+            .zip(actions)
+            .map(|(old, new)| old != new)
+            .collect();
+        self.levels.copy_from_slice(actions);
+
+        let dt = self.config.epoch;
+        let n = self.config.cores;
+
+        // Pass 1: standalone progress of every core this epoch, using the
+        // NoC-derived memory latency from the previous epoch (one-epoch
+        // relaxation, standard for epoch-granularity congestion models).
+        let mut standalone = Vec::with_capacity(n);
+        for i in 0..n {
+            let params = self.streams[i].params();
+            let level = self.config.vf_table.level(actions[i]);
+            let ips =
+                self.config
+                    .perf
+                    .ips_with_latency(&params, level.frequency, self.mem_latency[i]);
+            let effective_dt = if switched[i] && self.epoch > 0 {
+                dt.value() - self.config.transition_penalty.value()
+            } else {
+                dt.value()
+            };
+            standalone.push(ips * effective_dt);
+        }
+        // Pass 2: barrier gating — each core retires its group's minimum
+        // and idles (reduced activity) for the time it saved.
+        let gated = self.config.sync.gate(&standalone);
+
+        let mut cores = Vec::with_capacity(n);
+        let mut powers = Vec::with_capacity(n);
+        let mut measured = Vec::with_capacity(n);
+        for i in 0..n {
+            let params = self.streams[i].params();
+            let level = self.config.vf_table.level(actions[i]);
+            let (instructions, idle_frac) = gated[i];
+            // Stalled cycles clock-gate most of the datapath: scale the
+            // activity factor by the fraction of cycles doing useful work,
+            // with a floor for the always-on front-end and caches.
+            let busy = params.cpi_base
+                / self.config.perf.effective_cpi_with_latency(
+                    &params,
+                    level.frequency,
+                    self.mem_latency[i],
+                );
+            let mut activity = params.activity * (0.3 + 0.7 * busy);
+            if idle_frac > 0.0 {
+                // Barrier wait: the active stretch runs at full activity,
+                // the idle tail at the sync model's idle activity.
+                activity =
+                    activity * (1.0 - idle_frac) + self.config.sync.idle_activity() * idle_frac;
+            }
+            let temp_before = self.grid.temperature(i);
+            let nominal = self.config.power.power(level, activity, temp_before);
+            let (dm, lm) = self.variation[i];
+            let power = odrl_power::PowerBreakdown {
+                dynamic: nominal.dynamic * dm,
+                leakage: nominal.leakage * lm,
+            };
+            powers.push(power.total());
+            measured.push(
+                self.config
+                    .sensors
+                    .measure(power.total(), &mut self.sensor_rng),
+            );
+            self.streams[i].advance(instructions);
+            cores.push(CoreEpoch {
+                level: actions[i],
+                ips: instructions / dt.value(),
+                instructions,
+                power,
+                temperature: temp_before, // refreshed after the thermal step
+                counters: params,
+            });
+        }
+        // Update next epoch's memory latencies from this epoch's traffic.
+        if let Some(noc) = &self.noc {
+            let miss_rates: Vec<f64> = cores
+                .iter()
+                .map(|c| c.counters.mpki / 1000.0 * c.ips)
+                .collect();
+            self.mem_latency = noc.latencies(&miss_rates);
+        }
+        self.grid.step(&powers, dt)?;
+        for (i, core) in cores.iter_mut().enumerate() {
+            core.temperature = self.grid.temperature(i);
+        }
+
+        let total_power: Watts = powers.iter().sum();
+        let measured_power = self
+            .config
+            .sensors
+            .measure(total_power, &mut self.sensor_rng);
+        let report = EpochReport {
+            epoch: self.epoch,
+            dt,
+            cores,
+            total_power,
+            measured_power,
+            energy: total_power.energy_over(dt),
+        };
+        self.telemetry.record(&report);
+        self.epoch += 1;
+        self.last_measured_core_power = measured;
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// Runs `epochs` epochs with a fixed level vector (useful for warmup
+    /// and static baselines).
+    ///
+    /// # Errors
+    ///
+    /// As [`System::step`].
+    pub fn run_fixed(&mut self, levels: &[LevelId], epochs: u64) -> Result<(), SystemError> {
+        for _ in 0..epochs {
+            self.step(levels)?;
+        }
+        Ok(())
+    }
+
+    /// Simulated time elapsed so far.
+    pub fn elapsed(&self) -> Seconds {
+        self.telemetry.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrl_workload::MixPolicy;
+
+    fn small_system(cores: usize, seed: u64) -> System {
+        System::new(
+            SystemConfig::builder()
+                .cores(cores)
+                .seed(seed)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn step_produces_consistent_report() {
+        let mut sys = small_system(8, 1);
+        let r = sys.step(&[LevelId(4); 8]).unwrap();
+        assert_eq!(r.epoch, 0);
+        assert_eq!(r.cores.len(), 8);
+        let sum: f64 = r.cores.iter().map(|c| c.power.total().value()).sum();
+        assert!((sum - r.total_power.value()).abs() < 1e-9);
+        assert!(r.total_instructions() > 0.0);
+        assert_eq!(sys.epoch(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_actions() {
+        let mut sys = small_system(4, 1);
+        assert!(matches!(
+            sys.step(&[LevelId(0); 3]),
+            Err(SystemError::ActionLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            sys.step(&[LevelId(99); 4]),
+            Err(SystemError::Power(_))
+        ));
+        // A failed step must not advance the epoch.
+        assert_eq!(sys.epoch(), 0);
+    }
+
+    #[test]
+    fn higher_levels_mean_more_power_and_throughput() {
+        let mut slow = small_system(8, 7);
+        let mut fast = small_system(8, 7);
+        let r_slow = slow.step(&[LevelId(0); 8]).unwrap();
+        let r_fast = fast.step(&[LevelId(7); 8]).unwrap();
+        assert!(r_fast.total_power > r_slow.total_power);
+        assert!(r_fast.total_instructions() > r_slow.total_instructions());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = small_system(8, 5);
+        let mut b = small_system(8, 5);
+        for i in 0..20 {
+            let lv = vec![LevelId(i % 8); 8];
+            let ra = a.step(&lv).unwrap();
+            let rb = b.step(&lv).unwrap();
+            assert_eq!(ra.total_power, rb.total_power);
+            assert_eq!(ra.measured_power, rb.measured_power);
+            assert_eq!(ra.total_instructions(), rb.total_instructions());
+        }
+    }
+
+    #[test]
+    fn initial_observation_has_zero_rates() {
+        let sys = small_system(4, 2);
+        let obs = sys.observation(Watts::new(10.0));
+        assert_eq!(obs.num_cores(), 4);
+        assert_eq!(obs.total_power, Watts::ZERO);
+        assert!(obs.cores.iter().all(|c| c.ips == 0.0));
+        assert!(obs.cores.iter().all(|c| c.counters.cpi_base > 0.0));
+    }
+
+    #[test]
+    fn observation_reflects_last_epoch() {
+        let mut sys = small_system(4, 2);
+        sys.step(&[LevelId(5); 4]).unwrap();
+        let obs = sys.observation(Watts::new(10.0));
+        assert!(obs.total_power.value() > 0.0);
+        assert!(obs.cores.iter().all(|c| c.ips > 0.0));
+        assert!(obs.cores.iter().all(|c| c.level == LevelId(5)));
+        assert_eq!(obs.epoch, 1);
+    }
+
+    #[test]
+    fn sustained_load_heats_the_die() {
+        let mut sys = small_system(16, 3);
+        let t0 = sys.observation(Watts::ZERO).cores[0].temperature;
+        sys.run_fixed(&[LevelId(7); 16], 200).unwrap();
+        let t1 = sys.observation(Watts::ZERO).cores[0].temperature;
+        assert!(
+            t1.value() > t0.value() + 5.0,
+            "die should heat: {t0} -> {t1}"
+        );
+    }
+
+    #[test]
+    fn telemetry_accumulates_over_run() {
+        let mut sys = small_system(4, 9);
+        sys.run_fixed(&[LevelId(3); 4], 50).unwrap();
+        let t = sys.telemetry();
+        assert_eq!(t.epochs(), 50);
+        assert!(t.total_instructions() > 0.0);
+        assert!(t.total_energy().value() > 0.0);
+        assert!((t.elapsed().value() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_core_gains_little_from_frequency() {
+        let config = SystemConfig::builder()
+            .cores(2)
+            .mix(MixPolicy::Homogeneous("streamcluster".into()))
+            .seed(1)
+            .build()
+            .unwrap();
+        let mut slow = System::new(config.clone()).unwrap();
+        let mut fast = System::new(config).unwrap();
+        let rs = slow.step(&[LevelId(0); 2]).unwrap();
+        let rf = fast.step(&[LevelId(7); 2]).unwrap();
+        let perf_gain = rf.total_instructions() / rs.total_instructions();
+        let power_gain = rf.total_power / rs.total_power;
+        assert!(perf_gain < 1.6, "memory-bound perf gain {perf_gain}");
+        assert!(power_gain > 2.0, "power gain {power_gain}");
+    }
+
+    #[test]
+    fn transitions_cost_execution_time() {
+        use odrl_power::Seconds;
+        let mk = |penalty: f64| {
+            SystemConfig::builder()
+                .cores(4)
+                .seed(1)
+                .transition_penalty(Seconds::new(penalty))
+                .build()
+                .unwrap()
+        };
+        // Thrash levels every epoch with and without a transition penalty.
+        let mut free = System::new(mk(0.0)).unwrap();
+        let mut costly = System::new(mk(100e-6)).unwrap();
+        for e in 0..50u64 {
+            let lv = vec![LevelId((e % 2) as usize + 3); 4];
+            free.step(&lv).unwrap();
+            costly.step(&lv).unwrap();
+        }
+        let lost =
+            1.0 - costly.telemetry().total_instructions() / free.telemetry().total_instructions();
+        // 100 us lost per 1 ms epoch (after the first) ~ 10%.
+        assert!((0.05..0.15).contains(&lost), "lost fraction {lost}");
+
+        // A steady level vector pays only the very first transition check.
+        let mut steady = System::new(mk(100e-6)).unwrap();
+        let mut ideal = System::new(mk(0.0)).unwrap();
+        for _ in 0..50 {
+            steady.step(&[LevelId(4); 4]).unwrap();
+            ideal.step(&[LevelId(4); 4]).unwrap();
+        }
+        let lost =
+            1.0 - steady.telemetry().total_instructions() / ideal.telemetry().total_instructions();
+        assert!(lost < 0.01, "steady levels should be nearly free: {lost}");
+    }
+
+    #[test]
+    fn barrier_groups_share_throughput() {
+        use crate::sync::SyncModel;
+        let config = SystemConfig::builder()
+            .cores(8)
+            .sync(SyncModel::barrier(4))
+            .seed(6)
+            .build()
+            .unwrap();
+        let mut sys = System::new(config).unwrap();
+        // Heterogeneous levels inside each group: fast members must be
+        // gated down to the group's slowest.
+        let levels: Vec<LevelId> = (0..8)
+            .map(|i| LevelId(if i % 2 == 0 { 7 } else { 0 }))
+            .collect();
+        let r = sys.step(&levels).unwrap();
+        for g in 0..2 {
+            let group = &r.cores[g * 4..(g + 1) * 4];
+            let first = group[0].instructions;
+            assert!(
+                group.iter().all(|c| (c.instructions - first).abs() < 1e-6),
+                "group {g} not gated: {:?}",
+                group.iter().map(|c| c.instructions).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn gated_fast_cores_burn_less_power() {
+        use crate::sync::SyncModel;
+        // Same actions, same seed: coupling an idle-prone fast core to a
+        // slow one must reduce its power vs running independently.
+        let mk = |sync| {
+            SystemConfig::builder()
+                .cores(2)
+                .sync(sync)
+                .seed(3)
+                .build()
+                .unwrap()
+        };
+        let mut coupled = System::new(mk(SyncModel::barrier(2))).unwrap();
+        let mut free = System::new(mk(SyncModel::Independent)).unwrap();
+        let levels = vec![LevelId(7), LevelId(0)]; // core 0 races ahead
+        let rc = coupled.step(&levels).unwrap();
+        let rf = free.step(&levels).unwrap();
+        assert!(
+            rc.cores[0].power.total() < rf.cores[0].power.total(),
+            "gated core should idle-save: {} vs {}",
+            rc.cores[0].power.total(),
+            rf.cores[0].power.total()
+        );
+        assert!(rc.cores[0].instructions < rf.cores[0].instructions);
+        // The slow core is unaffected.
+        assert_eq!(rc.cores[1].instructions, rf.cores[1].instructions);
+    }
+
+    #[test]
+    fn process_variation_spreads_core_power() {
+        use crate::variation::VariationModel;
+        let config = SystemConfig::builder()
+            .cores(16)
+            .mix(MixPolicy::Homogeneous("swaptions".into()))
+            .variation(VariationModel::typical())
+            .seed(21)
+            .build()
+            .unwrap();
+        let mut varied = System::new(config.clone()).unwrap();
+        let r = varied.step(&[LevelId(7); 16]).unwrap();
+        // Same benchmark, same level: only variation separates the cores.
+        let powers: Vec<f64> = r.cores.iter().map(|c| c.power.total().value()).collect();
+        let max = powers.iter().cloned().fold(0.0, f64::max);
+        let min = powers.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min > 1.1,
+            "variation should spread power: {min}..{max}"
+        );
+
+        // Nominal chip: all cores identical.
+        let mut nominal_cfg = config;
+        nominal_cfg.variation = VariationModel::none();
+        let mut nominal = System::new(nominal_cfg).unwrap();
+        let r = nominal.step(&[LevelId(7); 16]).unwrap();
+        let powers: Vec<f64> = r.cores.iter().map(|c| c.power.total().value()).collect();
+        let max = powers.iter().cloned().fold(0.0, f64::max);
+        let min = powers.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max / min - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noc_congestion_couples_cores() {
+        use odrl_noc::NocConfig;
+        use odrl_thermal::Floorplan;
+        let mk = |mix: MixPolicy| {
+            SystemConfig::builder()
+                .cores(64)
+                .mix(mix)
+                .noc(NocConfig::for_floorplan(Floorplan::new(8, 8).unwrap()))
+                .seed(8)
+                .build()
+                .unwrap()
+        };
+        // Memory-heavy homogeneous load at top level: corner cores (next to
+        // a controller) should out-run the die center once congestion kicks
+        // in.
+        let mut sys = System::new(mk(MixPolicy::Homogeneous("streamcluster".into()))).unwrap();
+        for _ in 0..10 {
+            sys.step(&vec![LevelId(7); 64]).unwrap();
+        }
+        let r = sys.last_report().unwrap();
+        let corner = r.cores[0].ips;
+        let center = r.cores[27].ips;
+        assert!(
+            corner > center * 1.02,
+            "corner {corner} should beat center {center} under congestion"
+        );
+
+        // And NoC-enabled throughput is below the flat-latency ideal.
+        let flat = SystemConfig::builder()
+            .cores(64)
+            .mix(MixPolicy::Homogeneous("streamcluster".into()))
+            .seed(8)
+            .build()
+            .unwrap();
+        let mut flat_sys = System::new(flat).unwrap();
+        for _ in 0..10 {
+            flat_sys.step(&vec![LevelId(7); 64]).unwrap();
+        }
+        // Note: flat model uses 80 ns everywhere; the NoC's unloaded corner
+        // latency is lower (60 ns DRAM + short path), so compare totals
+        // qualitatively: congestion must hurt the center cores vs flat.
+        let flat_center = flat_sys.last_report().unwrap().cores[27].ips;
+        assert!(center < flat_center);
+    }
+
+    #[test]
+    fn recording_system_captures_series() {
+        let config = SystemConfig::builder().cores(4).seed(1).build().unwrap();
+        let mut sys = System::new_recording(config).unwrap();
+        sys.run_fixed(&[LevelId(2); 4], 10).unwrap();
+        assert_eq!(sys.telemetry().series().len(), 10);
+    }
+}

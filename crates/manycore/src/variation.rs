@@ -1,0 +1,160 @@
+//! Manufacturing process variation: core-to-core power heterogeneity.
+//!
+//! Identically designed cores do not come out of the fab identical:
+//! within-die variation gives each core its own effective capacitance
+//! (dynamic power) and, much more strongly, its own leakage current —
+//! leakage spreads of 2–3× across a die are routinely reported. Controllers
+//! that assume nominal per-core models systematically misallocate power on
+//! real silicon; per-core *learned* models adapt to each core's actual
+//! behaviour (the variation-aware DVFS argument of Herbert & Marculescu,
+//! HPCA 2009, from the same research group as this paper).
+//!
+//! [`VariationModel`] draws one log-normal multiplier per core for dynamic
+//! power and one for leakage, deterministically from a seed. The simulator
+//! applies them to the true physics; the [`crate::SystemSpec`] keeps the
+//! *nominal* models, so predictive baselines mis-estimate exactly the way
+//! they would in production.
+
+use crate::error::SystemError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Log-normal core-to-core variation of dynamic and leakage power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Sigma of `ln(dynamic multiplier)` (0 disables; typical ≤ 0.05).
+    pub sigma_dynamic: f64,
+    /// Sigma of `ln(leakage multiplier)` (0 disables; typical 0.2–0.4).
+    pub sigma_leakage: f64,
+}
+
+impl VariationModel {
+    /// No variation: every core is nominal.
+    pub fn none() -> Self {
+        Self {
+            sigma_dynamic: 0.0,
+            sigma_leakage: 0.0,
+        }
+    }
+
+    /// A typical 22 nm within-die corner: 3 % dynamic spread, 30 % leakage
+    /// spread (log-sigma).
+    pub fn typical() -> Self {
+        Self {
+            sigma_dynamic: 0.03,
+            sigma_leakage: 0.30,
+        }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] for non-finite or negative
+    /// sigmas, or sigmas above 1 (beyond physical plausibility).
+    pub fn validate(&self) -> Result<(), SystemError> {
+        for (name, v) in [
+            ("sigma_dynamic", self.sigma_dynamic),
+            ("sigma_leakage", self.sigma_leakage),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(SystemError::InvalidConfig {
+                    field: "variation",
+                    reason: format!("{name} must be in [0, 1], got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws `(dynamic multiplier, leakage multiplier)` for `cores` cores,
+    /// deterministically from `seed`. Multipliers are log-normal with
+    /// median 1.
+    pub fn sample(&self, cores: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51_11C0_0EAD);
+        (0..cores)
+            .map(|_| {
+                let g1 = gaussian(&mut rng);
+                let g2 = gaussian(&mut rng);
+                (
+                    (self.sigma_dynamic * g1).exp(),
+                    (self.sigma_leakage * g2).exp(),
+                )
+            })
+            .collect()
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_all_ones() {
+        let m = VariationModel::none();
+        for (d, l) in m.sample(16, 42) {
+            assert_eq!(d, 1.0);
+            assert_eq!(l, 1.0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = VariationModel::typical();
+        assert_eq!(m.sample(32, 7), m.sample(32, 7));
+        assert_ne!(m.sample(32, 7), m.sample(32, 8));
+    }
+
+    #[test]
+    fn leakage_spread_exceeds_dynamic_spread() {
+        let m = VariationModel::typical();
+        let samples = m.sample(500, 3);
+        let spread = |f: fn(&(f64, f64)) -> f64| {
+            let max = samples.iter().map(f).fold(0.0, f64::max);
+            let min = samples.iter().map(f).fold(f64::MAX, f64::min);
+            max / min
+        };
+        assert!(spread(|s| s.1) > 2.0, "leakage spread should be >2x");
+        assert!(spread(|s| s.0) < spread(|s| s.1));
+    }
+
+    #[test]
+    fn multipliers_have_median_near_one() {
+        let m = VariationModel::typical();
+        let mut leak: Vec<f64> = m.sample(1001, 9).iter().map(|s| s.1).collect();
+        leak.sort_by(f64::total_cmp);
+        let median = leak[500];
+        assert!((0.9..1.1).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(VariationModel::none().validate().is_ok());
+        assert!(VariationModel::typical().validate().is_ok());
+        assert!(VariationModel {
+            sigma_dynamic: -0.1,
+            sigma_leakage: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(VariationModel {
+            sigma_dynamic: 0.0,
+            sigma_leakage: 1.5
+        }
+        .validate()
+        .is_err());
+    }
+}

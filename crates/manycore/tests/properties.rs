@@ -1,0 +1,127 @@
+//! Property-based tests for the many-core simulator invariants.
+
+use odrl_manycore::{PerfModel, System, SystemConfig};
+use odrl_power::{GigaHertz, LevelId, Seconds, Watts};
+use odrl_workload::{MixPolicy, PhaseParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Energy bookkeeping: report energy equals total power times dt, and
+    /// total power equals the sum of per-core powers, for any level vector.
+    #[test]
+    fn energy_accounting_is_exact(
+        cores in 1usize..12,
+        seed in 0u64..50,
+        levels in prop::collection::vec(0usize..8, 12),
+    ) {
+        let config = SystemConfig::builder().cores(cores).seed(seed).build().unwrap();
+        let mut sys = System::new(config).unwrap();
+        let actions: Vec<LevelId> = levels[..cores].iter().map(|&l| LevelId(l)).collect();
+        for _ in 0..5 {
+            let r = sys.step(&actions).unwrap();
+            let per_core: f64 = r.cores.iter().map(|c| c.power.total().value()).sum();
+            prop_assert!((per_core - r.total_power.value()).abs() < 1e-9);
+            let e = r.total_power.energy_over(r.dt);
+            prop_assert!((e.value() - r.energy.value()).abs() < 1e-12);
+        }
+    }
+
+    /// IPS and instruction counts are consistent: instructions = ips * dt,
+    /// always positive at positive frequency.
+    #[test]
+    fn throughput_consistency(
+        cores in 1usize..8,
+        seed in 0u64..50,
+        level in 0usize..8,
+    ) {
+        let config = SystemConfig::builder().cores(cores).seed(seed).build().unwrap();
+        let dt = config.epoch;
+        let mut sys = System::new(config).unwrap();
+        let r = sys.step(&vec![LevelId(level); cores]).unwrap();
+        for c in &r.cores {
+            prop_assert!(c.ips > 0.0);
+            prop_assert!((c.instructions - c.ips * dt.value()).abs() < 1e-3);
+        }
+    }
+
+    /// Temperatures stay physical: between ambient and 150 degC for any
+    /// sustained level choice (no runaway, no sub-ambient).
+    #[test]
+    fn temperatures_stay_physical(
+        cores in 1usize..16,
+        seed in 0u64..50,
+        level in 0usize..8,
+        epochs in 1u64..100,
+    ) {
+        let config = SystemConfig::builder().cores(cores).seed(seed).build().unwrap();
+        let mut sys = System::new(config).unwrap();
+        sys.run_fixed(&vec![LevelId(level); cores], epochs).unwrap();
+        for c in &sys.last_report().unwrap().cores {
+            let t = c.temperature.value();
+            prop_assert!((44.9..150.0).contains(&t), "temperature {t}");
+        }
+    }
+
+    /// The perf model's IPS is monotone in frequency and bounded by the
+    /// memory-bandwidth ceiling for every phase signature.
+    #[test]
+    fn perf_model_monotone_and_bounded(
+        cpi in 0.3f64..3.0,
+        mpki in 0.0f64..40.0,
+        f1 in 0.5f64..4.0,
+        f2 in 0.5f64..4.0,
+    ) {
+        let m = PerfModel::default();
+        let p = PhaseParams::new(cpi, mpki, 0.8).unwrap();
+        let ips1 = m.ips(&p, GigaHertz::new(f1));
+        let ips2 = m.ips(&p, GigaHertz::new(f2));
+        if f1 <= f2 {
+            prop_assert!(ips1 <= ips2 + 1e-6);
+        }
+        prop_assert!(ips1 < m.saturation_ips(&p));
+        prop_assert!(ips1 > 0.0);
+    }
+
+    /// Observation totals equal the last report's measured values, and the
+    /// observation is stable (repeated calls agree).
+    #[test]
+    fn observation_matches_last_report(
+        cores in 1usize..8,
+        seed in 0u64..50,
+    ) {
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .seed(seed)
+            .mix(MixPolicy::RoundRobin)
+            .build()
+            .unwrap();
+        let mut sys = System::new(config).unwrap();
+        sys.step(&vec![LevelId(4); cores]).unwrap();
+        let budget = Watts::new(10.0);
+        let a = sys.observation(budget);
+        let b = sys.observation(budget);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.total_power, sys.last_report().unwrap().measured_power);
+        prop_assert_eq!(a.num_cores(), cores);
+    }
+
+    /// Simulated time advances by exactly dt per epoch.
+    #[test]
+    fn time_advances_linearly(
+        cores in 1usize..6,
+        epochs in 1u64..50,
+        epoch_ms in 0.1f64..5.0,
+    ) {
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .epoch(Seconds::new(epoch_ms * 1e-3))
+            .build()
+            .unwrap();
+        let mut sys = System::new(config).unwrap();
+        sys.run_fixed(&vec![LevelId(0); cores], epochs).unwrap();
+        let expect = epochs as f64 * epoch_ms * 1e-3;
+        prop_assert!((sys.elapsed().value() - expect).abs() < 1e-12 * epochs as f64 + 1e-15);
+    }
+}

@@ -1,0 +1,215 @@
+//! Fixed-bin histograms and quantile estimation.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-range, fixed-bin histogram with out-of-range overflow bins.
+///
+/// TDP compliance is a *tail* property — the mean hides the 1-in-100
+/// epochs that trip the package's throttle — so run analysis wants
+/// quantiles (p95/p99/max) of the power distribution, not just moments.
+///
+/// ```
+/// use odrl_metrics::Histogram;
+/// let mut h = Histogram::new(0.0, 100.0, 50)?;
+/// for i in 0..1000 {
+///     h.record(i as f64 / 10.0); // 0.0 .. 99.9
+/// }
+/// let p50 = h.quantile(0.5);
+/// assert!((45.0..56.0).contains(&p50), "{p50}");
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `bins == 0` or the range is degenerate.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, String> {
+        if bins == 0 {
+            return Err("histogram needs at least one bin".into());
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(format!("invalid histogram range [{lo}, {hi})"));
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+            total: 0,
+        })
+    }
+
+    /// Records one sample. Non-finite samples are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.total += 1;
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let t = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((t * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of recorded (finite) samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of samples at or above `x` (an exceedance probability,
+    /// resolved at bin granularity).
+    pub fn exceedance(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if x <= self.lo {
+            return (self.total - self.below) as f64 / self.total as f64;
+        }
+        if x >= self.hi {
+            return self.above as f64 / self.total as f64;
+        }
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+        let tail: u64 = self.counts[idx..].iter().sum::<u64>() + self.above;
+        tail as f64 / self.total as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), linearly interpolated within the
+    /// containing bin. Returns `lo`/`hi` for quantiles falling into the
+    /// overflow bins, and 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.below;
+        if target <= seen {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if seen + c >= target {
+                let into = (target - seen) as f64 / c.max(1) as f64;
+                return self.lo + width * (i as f64 + into);
+            }
+            seen += c;
+        }
+        self.hi
+    }
+
+    /// Merges another histogram with the identical range/bin layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram layouts differ");
+        assert_eq!(self.hi, other.hi, "histogram layouts differ");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram layouts differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.below += other.below;
+        self.above += other.above;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_layouts() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_stream() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        for i in 0..10_000 {
+            h.record(i as f64 % 100.0);
+        }
+        for (q, expect) in [(0.25, 25.0), (0.5, 50.0), (0.95, 95.0), (0.99, 99.0)] {
+            let got = h.quantile(q);
+            assert!((got - expect).abs() < 2.0, "q{q}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn overflow_bins_count_and_clamp() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        let h = h.as_mut().unwrap();
+        h.record(-5.0);
+        h.record(5.0);
+        h.record(50.0);
+        h.record(f64::INFINITY); // ignored
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), 0.0); // below-range clamps to lo
+        assert_eq!(h.quantile(1.0), 10.0); // above-range clamps to hi
+    }
+
+    #[test]
+    fn exceedance_matches_construction() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0);
+        }
+        assert!((h.exceedance(0.0) - 1.0).abs() < 1e-9);
+        let e90 = h.exceedance(90.0);
+        assert!((e90 - 0.1).abs() < 0.02, "{e90}");
+        assert_eq!(h.exceedance(100.0), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 10).unwrap();
+        let mut b = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..50 {
+            a.record(i as f64 % 10.0);
+            b.record(i as f64 % 10.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts differ")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(0.0, 10.0, 10).unwrap();
+        let b = Histogram::new(0.0, 20.0, 10).unwrap();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.exceedance(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Evaluation metrics for power-capped many-core runs.
+//!
+//! Defines the headline quantities of the paper's results tables:
+//!
+//! * **budget overshoot** — energy spent above the power budget, its
+//!   per-epoch frequency and peak (claim: OD-RL produces up to 98 % less);
+//! * **throughput per over-the-budget energy (TpOE)** — instructions per
+//!   joule of overshoot (claim: up to 44.3× better);
+//! * **energy efficiency** — instructions per joule overall (claim: up to
+//!   23 % higher);
+//!
+//! plus the plumbing to compute and print them: [`RunRecorder`] /
+//! [`RunSummary`] per run, [`Comparison`] for paper-style ratios against a
+//! baseline, [`OnlineStats`] for single-pass statistics, [`Histogram`] for
+//! power-tail quantiles (p95/p99 — TDP compliance is a tail property), and
+//! [`Table`] for aligned text output.
+//!
+//! # Example
+//!
+//! ```
+//! use odrl_metrics::{Comparison, RunRecorder};
+//! use odrl_power::{Watts, Seconds};
+//!
+//! let mut good = RunRecorder::new("od-rl");
+//! let mut bad = RunRecorder::new("baseline");
+//! for _ in 0..100 {
+//!     good.record(Watts::new(9.9), Watts::new(10.0), 1.0e6, Seconds::new(1e-3));
+//!     bad.record(Watts::new(11.0), Watts::new(10.0), 1.0e6, Seconds::new(1e-3));
+//! }
+//! let c = Comparison::against(&good.finish(), &bad.finish());
+//! assert_eq!(c.tpoe_ratio, Some(f64::INFINITY)); // od-rl never overshot
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod histogram;
+pub mod run;
+pub mod stats;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use run::{Comparison, RunRecorder, RunSummary};
+pub use stats::OnlineStats;
+pub use table::{fmt_num, fmt_percent, fmt_ratio, Table};

@@ -1,0 +1,201 @@
+//! Plain-text results tables (aligned columns, Markdown-ish).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple column-aligned text table for experiment output.
+///
+/// ```
+/// use odrl_metrics::Table;
+/// let mut t = Table::new(vec!["bench", "tpoe"]);
+/// t.add_row(vec!["canneal".into(), "12.5".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("canneal"));
+/// assert!(s.lines().count() >= 3); // header, rule, one row
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows are
+    /// truncated to the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        let mut row = row;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as CSV (header row first). Cells containing
+    /// commas or quotes are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let row_line = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&row_line(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row_line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        write_row(f, &rule)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for tables: engineering-style with 3
+/// significant figures, `inf`/`nan` spelled out.
+pub fn fmt_num(x: f64) -> String {
+    if x.is_nan() {
+        return "nan".into();
+    }
+    if x.is_infinite() {
+        return if x > 0.0 { "inf".into() } else { "-inf".into() };
+    }
+    let abs = x.abs();
+    if abs == 0.0 {
+        "0".into()
+    } else if !(1e-3..1e5).contains(&abs) {
+        format!("{x:.2e}")
+    } else if abs >= 100.0 {
+        format!("{x:.1}")
+    } else if abs >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats a ratio as a paper-style multiplier (`12.3x`, `inf`).
+pub fn fmt_ratio(x: Option<f64>) -> String {
+    match x {
+        None => "n/a".into(),
+        Some(v) if v.is_infinite() => "inf".into(),
+        Some(v) => format!("{}x", fmt_num(v)),
+    }
+}
+
+/// Formats a fraction as a percentage (`97.5%`).
+pub fn fmt_percent(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.add_row(vec!["xxxxxx".into(), "1".into()]);
+        t.add_row(vec!["y".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal length (aligned).
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["1".into()]);
+        t.add_row(vec!["1".into(), "2".into(), "3".into()]);
+        let s = t.to_string();
+        assert!(!s.contains('3'), "extra cells must be dropped");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["plain".into(), "with,comma".into()]);
+        t.add_row(vec!["with\"quote".into(), "x".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+        assert_eq!(fmt_num(f64::NEG_INFINITY), "-inf");
+        assert_eq!(fmt_num(f64::NAN), "nan");
+        assert_eq!(fmt_num(1.234), "1.23");
+        assert_eq!(fmt_num(123.4), "123.4");
+        assert_eq!(fmt_num(0.1234), "0.123");
+        assert!(fmt_num(1.23e9).contains('e'));
+        assert!(fmt_num(1.2e-5).contains('e'));
+    }
+
+    #[test]
+    fn fmt_ratio_and_percent() {
+        assert_eq!(fmt_ratio(None), "n/a");
+        assert_eq!(fmt_ratio(Some(f64::INFINITY)), "inf");
+        assert_eq!(fmt_ratio(Some(44.3)), "44.30x");
+        assert_eq!(fmt_percent(0.98), "98.0%");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the metrics crate.
+
+use odrl_metrics::{Comparison, OnlineStats, RunRecorder, Table};
+use odrl_power::{Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    /// RunSummary invariants hold for any recorded sequence.
+    #[test]
+    fn run_summary_invariants(
+        samples in prop::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0, 0.0f64..1e8, 1e-4f64..1e-2), 1..200),
+    ) {
+        let mut rec = RunRecorder::new("prop");
+        for &(p, b, instr, dt) in &samples {
+            rec.record(Watts::new(p), Watts::new(b), instr, Seconds::new(dt));
+        }
+        let s = rec.finish();
+        prop_assert_eq!(s.epochs as usize, samples.len());
+        prop_assert!(s.overshoot_energy <= s.total_energy);
+        prop_assert!((0.0..=1.0).contains(&s.overshoot_fraction));
+        prop_assert!(s.peak_overshoot <= s.peak_power);
+        prop_assert!(s.mean_power <= s.peak_power + Watts::new(1e-9));
+        prop_assert!(s.throughput_ips() >= 0.0);
+        prop_assert!(s.instructions_per_joule() >= 0.0);
+        prop_assert!(s.throughput_per_overshoot_energy() >= 0.0);
+        let f = s.overshoot_energy_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// Comparison of a run against itself is the identity (ratios 1, or
+    /// None where both sides are overshoot-free).
+    #[test]
+    fn self_comparison_is_identity(
+        samples in prop::collection::vec(
+            (1.0f64..100.0, 1.0f64..100.0, 1.0f64..1e8, 1e-4f64..1e-2), 1..50),
+    ) {
+        let mk = || {
+            let mut rec = RunRecorder::new("x");
+            for &(p, b, instr, dt) in &samples {
+                rec.record(Watts::new(p), Watts::new(b), instr, Seconds::new(dt));
+            }
+            rec.finish()
+        };
+        let a = mk();
+        let c = Comparison::against(&a, &mk());
+        prop_assert!((c.throughput_ratio - 1.0).abs() < 1e-9);
+        prop_assert!((c.efficiency_ratio - 1.0).abs() < 1e-9);
+        match c.tpoe_ratio {
+            None => prop_assert_eq!(a.overshoot_energy.value(), 0.0),
+            Some(r) => prop_assert!((r - 1.0).abs() < 1e-9),
+        }
+        match c.overshoot_reduction {
+            None => prop_assert_eq!(a.overshoot_energy.value(), 0.0),
+            Some(r) => prop_assert!(r.abs() < 1e-9),
+        }
+    }
+
+    /// Online stats agree with a two-pass computation on arbitrary data.
+    #[test]
+    fn online_stats_match_two_pass(data in prop::collection::vec(-1e6f64..1e6, 2..300)) {
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (data.len() - 1) as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+        prop_assert_eq!(s.min(), data.iter().copied().fold(f64::MAX, f64::min));
+        prop_assert_eq!(s.max(), data.iter().copied().fold(f64::MIN, f64::max));
+    }
+
+    /// Merged stats equal sequential stats for any split point.
+    #[test]
+    fn merge_is_associative_with_push(
+        data in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((data.len() as f64 * split_frac) as usize).min(data.len());
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..split] {
+            a.push(x);
+        }
+        for &x in &data[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+        prop_assert!(
+            (a.variance() - whole.variance()).abs() < 1e-7 * whole.variance().abs().max(1.0)
+        );
+    }
+
+    /// Tables render one line per row plus header and rule, with all lines
+    /// equally wide, for arbitrary cell contents.
+    #[test]
+    fn tables_render_rectangular(
+        rows in prop::collection::vec(
+            prop::collection::vec("[a-z0-9]{0,12}", 0..5), 0..10),
+    ) {
+        let mut t = Table::new(vec!["col_a", "col_b", "col_c"]);
+        for r in rows.iter() {
+            t.add_row(r.clone());
+        }
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        prop_assert_eq!(lines.len(), rows.len() + 2);
+        for w in lines.windows(2) {
+            prop_assert_eq!(w[0].len(), w[1].len());
+        }
+    }
+}

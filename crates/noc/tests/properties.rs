@@ -1,0 +1,99 @@
+//! Property-based tests for the NoC model invariants.
+
+use odrl_noc::{NocConfig, NocModel};
+use odrl_thermal::Floorplan;
+use proptest::prelude::*;
+
+fn model(cols: usize, rows: usize) -> NocModel {
+    NocModel::new(NocConfig::for_floorplan(
+        Floorplan::new(cols, rows).expect("valid"),
+    ))
+    .expect("valid")
+}
+
+proptest! {
+    /// Latencies are finite, at least the unloaded value, and monotone in
+    /// everyone's traffic (more traffic anywhere never speeds anyone up).
+    #[test]
+    fn latencies_monotone_in_traffic(
+        cols in 1usize..7,
+        rows in 1usize..7,
+        base in prop::collection::vec(0.0f64..1e8, 49),
+        extra in 0.0f64..1e8,
+        which in 0usize..49,
+    ) {
+        let m = model(cols, rows);
+        let tiles = cols * rows;
+        let t1: Vec<f64> = base[..tiles].to_vec();
+        let mut t2 = t1.clone();
+        t2[which % tiles] += extra;
+        let l1 = m.latencies(&t1);
+        let l2 = m.latencies(&t2);
+        let unloaded = m.latencies(&vec![0.0; tiles]);
+        for i in 0..tiles {
+            prop_assert!(l1[i].is_finite());
+            prop_assert!(l1[i] >= unloaded[i] - 1e-9);
+            prop_assert!(l2[i] >= l1[i] - 1e-9, "tile {i}: {} -> {}", l1[i], l2[i]);
+        }
+    }
+
+    /// Unloaded latency equals DRAM + 2 hops × hop latency for every tile,
+    /// and the hop count is the minimum distance to any controller.
+    #[test]
+    fn unloaded_latency_is_exact(cols in 1usize..8, rows in 1usize..8) {
+        let m = model(cols, rows);
+        let fp = Floorplan::new(cols, rows).unwrap();
+        let tiles = fp.tiles();
+        let lat = m.latencies(&vec![0.0; tiles]);
+        for (i, &l) in lat.iter().enumerate() {
+            let min_hops = m
+                .config()
+                .controllers
+                .iter()
+                .map(|&c| fp.manhattan(i, c))
+                .min()
+                .unwrap();
+            prop_assert_eq!(m.hops(i), min_hops);
+            let expect = m.config().dram_ns + 2.0 * min_hops as f64 * m.config().hop_ns;
+            prop_assert!((l - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Negative traffic entries are clamped (treated as zero), never
+    /// reducing latency below unloaded.
+    #[test]
+    fn negative_traffic_is_clamped(
+        cols in 2usize..5,
+        rows in 2usize..5,
+        bad in -1e9f64..0.0,
+    ) {
+        let m = model(cols, rows);
+        let tiles = cols * rows;
+        let mut traffic = vec![0.0; tiles];
+        traffic[tiles / 2] = bad;
+        let lat = m.latencies(&traffic);
+        let unloaded = m.latencies(&vec![0.0; tiles]);
+        for i in 0..tiles {
+            prop_assert!((lat[i] - unloaded[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Latency is bounded even under absurd overload (rho clamp).
+    #[test]
+    fn overload_is_bounded(
+        cols in 1usize..6,
+        rows in 1usize..6,
+        traffic in 1e10f64..1e14,
+    ) {
+        let m = model(cols, rows);
+        let tiles = cols * rows;
+        let lat = m.latencies(&vec![traffic; tiles]);
+        let max_hops = (cols - 1) + (rows - 1);
+        // Per hop: hop_ns + hop_ns * 0.95/0.05 = hop_ns * 20.
+        let bound = m.config().dram_ns + 2.0 * max_hops as f64 * m.config().hop_ns * 20.0 + 1e-6;
+        for l in lat {
+            prop_assert!(l.is_finite());
+            prop_assert!(l <= bound, "{l} > {bound}");
+        }
+    }
+}

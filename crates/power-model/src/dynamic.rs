@@ -1,0 +1,113 @@
+//! Dynamic (switching) power: `P_dyn = a · C_eff · V² · f`.
+
+use crate::error::PowerModelError;
+use crate::units::Watts;
+use crate::vf::VfLevel;
+use serde::{Deserialize, Serialize};
+
+/// Activity-proportional CV²f dynamic power model for one core.
+///
+/// `c_eff` is the effective switched capacitance of the whole core in
+/// nanofarads; with V in volts and f in gigahertz, `C[nF]·V²·f[GHz]`
+/// conveniently comes out directly in watts (1e-9 F · 1e9 Hz = 1).
+///
+/// ```
+/// use odrl_power::{DynamicPowerModel, VfLevel, Volts, GigaHertz};
+/// let model = DynamicPowerModel::new(0.8).unwrap();
+/// let nominal = VfLevel::new(Volts::new(1.0), GigaHertz::new(2.0));
+/// let p = model.power(nominal, 1.0);
+/// assert!((p.value() - 1.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicPowerModel {
+    c_eff_nf: f64,
+}
+
+impl DynamicPowerModel {
+    /// Creates a model with the given effective capacitance in nanofarads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerModelError::InvalidParameter`] if `c_eff_nf` is not
+    /// finite and positive.
+    pub fn new(c_eff_nf: f64) -> Result<Self, PowerModelError> {
+        if !(c_eff_nf.is_finite() && c_eff_nf > 0.0) {
+            return Err(PowerModelError::InvalidParameter {
+                name: "c_eff_nf",
+                value: c_eff_nf,
+            });
+        }
+        Ok(Self { c_eff_nf })
+    }
+
+    /// Effective switched capacitance in nanofarads.
+    pub fn c_eff_nf(&self) -> f64 {
+        self.c_eff_nf
+    }
+
+    /// Dynamic power at an operating point with a given activity factor.
+    ///
+    /// `activity` in `[0, 1+]` scales the switched capacitance with workload
+    /// intensity (an idle core clock-gates most of its logic). Values are
+    /// clamped at zero from below; values slightly above 1.0 are allowed for
+    /// power-virus-like phases.
+    pub fn power(&self, level: VfLevel, activity: f64) -> Watts {
+        let a = activity.max(0.0);
+        let v = level.voltage.value();
+        let f = level.frequency.value();
+        Watts::new(a * self.c_eff_nf * v * v * f)
+    }
+}
+
+impl Default for DynamicPowerModel {
+    /// A 22 nm-class core: ~2 W dynamic at (1.1 V, 2.5 GHz) full activity.
+    fn default() -> Self {
+        Self { c_eff_nf: 0.66 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{GigaHertz, Volts};
+
+    fn vf(v: f64, f: f64) -> VfLevel {
+        VfLevel::new(Volts::new(v), GigaHertz::new(f))
+    }
+
+    #[test]
+    fn scales_quadratically_with_voltage() {
+        let m = DynamicPowerModel::new(1.0).unwrap();
+        let p1 = m.power(vf(1.0, 2.0), 1.0).value();
+        let p2 = m.power(vf(2.0, 2.0), 1.0).value();
+        assert!((p2 / p1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_linearly_with_frequency_and_activity() {
+        let m = DynamicPowerModel::new(1.0).unwrap();
+        let base = m.power(vf(1.0, 1.0), 1.0).value();
+        assert!((m.power(vf(1.0, 3.0), 1.0).value() / base - 3.0).abs() < 1e-12);
+        assert!((m.power(vf(1.0, 1.0), 0.5).value() / base - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_activity_clamps_to_zero() {
+        let m = DynamicPowerModel::default();
+        assert_eq!(m.power(vf(1.0, 2.0), -3.0), Watts::ZERO);
+    }
+
+    #[test]
+    fn rejects_bad_capacitance() {
+        assert!(DynamicPowerModel::new(0.0).is_err());
+        assert!(DynamicPowerModel::new(-1.0).is_err());
+        assert!(DynamicPowerModel::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn default_is_calibrated_to_about_two_watts() {
+        let m = DynamicPowerModel::default();
+        let p = m.power(vf(1.1, 2.5), 1.0).value();
+        assert!((1.5..2.5).contains(&p), "default dynamic power {p} W");
+    }
+}

@@ -1,0 +1,193 @@
+//! Energy accounting: cumulative, over-budget and per-interval energy.
+
+use crate::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates total and over-budget energy from a sequence of
+/// (power, budget, duration) samples.
+///
+/// This is the book-keeping behind the paper's headline metrics: *budget
+/// overshoot* (energy spent above the budget) and *throughput per
+/// over-the-budget energy*.
+///
+/// ```
+/// use odrl_power::{EnergyAccount, Watts, Seconds};
+/// let mut acc = EnergyAccount::new();
+/// acc.record(Watts::new(10.0), Watts::new(8.0), Seconds::new(1.0));
+/// acc.record(Watts::new(6.0), Watts::new(8.0), Seconds::new(1.0));
+/// assert_eq!(acc.total_energy().value(), 16.0);
+/// assert_eq!(acc.overshoot_energy().value(), 2.0);
+/// assert_eq!(acc.overshoot_intervals(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    total: Joules,
+    overshoot: Joules,
+    elapsed: Seconds,
+    intervals: u64,
+    overshoot_intervals: u64,
+    peak_power: Watts,
+    peak_overshoot: Watts,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one interval at constant `power` against `budget`.
+    ///
+    /// Negative durations are ignored (recorded as zero-length).
+    pub fn record(&mut self, power: Watts, budget: Watts, dt: Seconds) {
+        let dt = dt.max(Seconds::ZERO);
+        self.total += power.energy_over(dt);
+        self.elapsed += dt;
+        self.intervals += 1;
+        self.peak_power = self.peak_power.max(power);
+        let over = power - budget;
+        if over > Watts::ZERO {
+            self.overshoot += over.energy_over(dt);
+            self.overshoot_intervals += 1;
+            self.peak_overshoot = self.peak_overshoot.max(over);
+        }
+    }
+
+    /// Total energy consumed so far.
+    pub fn total_energy(&self) -> Joules {
+        self.total
+    }
+
+    /// Energy consumed *above* the budget (the paper's "budget overshoot").
+    pub fn overshoot_energy(&self) -> Joules {
+        self.overshoot
+    }
+
+    /// Wall-clock time covered by the recorded intervals.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Number of recorded intervals.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Number of intervals in which power exceeded the budget.
+    pub fn overshoot_intervals(&self) -> u64 {
+        self.overshoot_intervals
+    }
+
+    /// Fraction of intervals that exceeded the budget, in `[0, 1]`.
+    pub fn overshoot_fraction(&self) -> f64 {
+        if self.intervals == 0 {
+            0.0
+        } else {
+            self.overshoot_intervals as f64 / self.intervals as f64
+        }
+    }
+
+    /// Highest instantaneous power seen.
+    pub fn peak_power(&self) -> Watts {
+        self.peak_power
+    }
+
+    /// Largest single-interval power excess over the budget.
+    pub fn peak_overshoot(&self) -> Watts {
+        self.peak_overshoot
+    }
+
+    /// Mean power over the recorded time, or zero if nothing was recorded.
+    pub fn average_power(&self) -> Watts {
+        if self.elapsed.value() <= 0.0 {
+            Watts::ZERO
+        } else {
+            self.total.average_power(self.elapsed)
+        }
+    }
+
+    /// Merges another account into this one (peaks take the max).
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        self.total += other.total;
+        self.overshoot += other.overshoot;
+        self.elapsed += other.elapsed;
+        self.intervals += other.intervals;
+        self.overshoot_intervals += other.overshoot_intervals;
+        self.peak_power = self.peak_power.max(other.peak_power);
+        self.peak_overshoot = self.peak_overshoot.max(other.peak_overshoot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_account_is_all_zero() {
+        let acc = EnergyAccount::new();
+        assert_eq!(acc.total_energy(), Joules::ZERO);
+        assert_eq!(acc.overshoot_energy(), Joules::ZERO);
+        assert_eq!(acc.overshoot_fraction(), 0.0);
+        assert_eq!(acc.average_power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn under_budget_records_no_overshoot() {
+        let mut acc = EnergyAccount::new();
+        acc.record(Watts::new(5.0), Watts::new(8.0), Seconds::new(2.0));
+        assert_eq!(acc.total_energy().value(), 10.0);
+        assert_eq!(acc.overshoot_energy(), Joules::ZERO);
+        assert_eq!(acc.overshoot_intervals(), 0);
+        assert_eq!(acc.peak_overshoot(), Watts::ZERO);
+    }
+
+    #[test]
+    fn exactly_at_budget_is_not_overshoot() {
+        let mut acc = EnergyAccount::new();
+        acc.record(Watts::new(8.0), Watts::new(8.0), Seconds::new(1.0));
+        assert_eq!(acc.overshoot_intervals(), 0);
+    }
+
+    #[test]
+    fn overshoot_fraction_counts_intervals() {
+        let mut acc = EnergyAccount::new();
+        for i in 0..10 {
+            let p = if i < 3 { 10.0 } else { 5.0 };
+            acc.record(Watts::new(p), Watts::new(8.0), Seconds::new(0.001));
+        }
+        assert!((acc.overshoot_fraction() - 0.3).abs() < 1e-12);
+        assert!((acc.peak_overshoot().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_power_matches_total_over_time() {
+        let mut acc = EnergyAccount::new();
+        acc.record(Watts::new(4.0), Watts::new(10.0), Seconds::new(1.0));
+        acc.record(Watts::new(8.0), Watts::new(10.0), Seconds::new(1.0));
+        assert!((acc.average_power().value() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_duration_is_ignored() {
+        let mut acc = EnergyAccount::new();
+        acc.record(Watts::new(4.0), Watts::new(2.0), Seconds::new(-1.0));
+        assert_eq!(acc.total_energy(), Joules::ZERO);
+        assert_eq!(acc.overshoot_energy(), Joules::ZERO);
+        // The interval is still counted (as an instantaneous sample).
+        assert_eq!(acc.intervals(), 1);
+    }
+
+    #[test]
+    fn merge_combines_accounts() {
+        let mut a = EnergyAccount::new();
+        a.record(Watts::new(10.0), Watts::new(8.0), Seconds::new(1.0));
+        let mut b = EnergyAccount::new();
+        b.record(Watts::new(4.0), Watts::new(8.0), Seconds::new(3.0));
+        a.merge(&b);
+        assert_eq!(a.total_energy().value(), 22.0);
+        assert_eq!(a.overshoot_energy().value(), 2.0);
+        assert_eq!(a.intervals(), 2);
+        assert_eq!(a.elapsed().value(), 4.0);
+        assert_eq!(a.peak_power().value(), 10.0);
+    }
+}

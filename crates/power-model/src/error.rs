@@ -1,0 +1,88 @@
+//! Error types for the power-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating power-model components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerModelError {
+    /// A voltage/frequency table was built with no levels.
+    EmptyVfTable,
+    /// A VF level has a non-positive or non-finite voltage or frequency.
+    InvalidVfLevel {
+        /// Index of the offending level.
+        index: usize,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// VF levels must be strictly increasing in both voltage and frequency.
+    NonMonotonicVfTable {
+        /// Index of the first level that breaks monotonicity.
+        index: usize,
+    },
+    /// A level id referenced a level outside the table.
+    LevelOutOfRange {
+        /// The requested level index.
+        requested: usize,
+        /// Number of levels in the table.
+        available: usize,
+    },
+    /// A model parameter was non-finite or out of its physical range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PowerModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyVfTable => write!(f, "voltage/frequency table has no levels"),
+            Self::InvalidVfLevel { index, reason } => {
+                write!(f, "invalid VF level at index {index}: {reason}")
+            }
+            Self::NonMonotonicVfTable { index } => write!(
+                f,
+                "VF table is not strictly increasing in voltage and frequency at index {index}"
+            ),
+            Self::LevelOutOfRange {
+                requested,
+                available,
+            } => write!(
+                f,
+                "VF level {requested} out of range (table has {available} levels)"
+            ),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl Error for PowerModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = PowerModelError::EmptyVfTable;
+        assert_eq!(e.to_string(), "voltage/frequency table has no levels");
+        let e = PowerModelError::LevelOutOfRange {
+            requested: 9,
+            available: 4,
+        };
+        assert!(e.to_string().contains("level 9"));
+        assert!(e.to_string().contains("4 levels"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<PowerModelError>();
+    }
+}

@@ -1,0 +1,202 @@
+//! Leakage (static) power with voltage and temperature dependence.
+
+use crate::error::PowerModelError;
+use crate::units::{Celsius, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Exponential-in-voltage, exponential-in-temperature leakage model:
+///
+/// `P_leak(V, T) = P_ref · (V / V_ref) · e^(kv·(V − V_ref)) · 2^((T − T_ref)/T_double)`
+///
+/// This is the standard compact form used by architecture-level power tools:
+/// subthreshold leakage current grows roughly exponentially with supply
+/// voltage (via DIBL) and doubles every 20–30 °C.
+///
+/// ```
+/// use odrl_power::{LeakagePowerModel, Volts, Celsius};
+/// let m = LeakagePowerModel::default();
+/// let cool = m.power(Volts::new(1.0), Celsius::new(50.0));
+/// let hot = m.power(Volts::new(1.0), Celsius::new(75.0));
+/// assert!(hot > cool);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakagePowerModel {
+    /// Leakage power at (`v_ref`, `t_ref`).
+    p_ref: Watts,
+    /// Reference voltage.
+    v_ref: Volts,
+    /// Reference temperature.
+    t_ref: Celsius,
+    /// Voltage sensitivity exponent (1/V).
+    kv: f64,
+    /// Temperature increase that doubles leakage (°C).
+    t_double: f64,
+}
+
+impl LeakagePowerModel {
+    /// Creates a leakage model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerModelError::InvalidParameter`] if any parameter is
+    /// non-finite, `p_ref`/`v_ref`/`t_double` is non-positive, or `kv` is
+    /// negative.
+    pub fn new(
+        p_ref: Watts,
+        v_ref: Volts,
+        t_ref: Celsius,
+        kv: f64,
+        t_double: f64,
+    ) -> Result<Self, PowerModelError> {
+        let check = |name: &'static str, value: f64, positive: bool| {
+            if !value.is_finite() || (positive && value <= 0.0) {
+                Err(PowerModelError::InvalidParameter { name, value })
+            } else {
+                Ok(())
+            }
+        };
+        check("p_ref", p_ref.value(), true)?;
+        check("v_ref", v_ref.value(), true)?;
+        check("t_ref", t_ref.value(), false)?;
+        check("kv", kv, false)?;
+        if kv < 0.0 {
+            return Err(PowerModelError::InvalidParameter {
+                name: "kv",
+                value: kv,
+            });
+        }
+        check("t_double", t_double, true)?;
+        Ok(Self {
+            p_ref,
+            v_ref,
+            t_ref,
+            kv,
+            t_double,
+        })
+    }
+
+    /// Leakage power at the given supply voltage and temperature.
+    pub fn power(&self, voltage: Volts, temperature: Celsius) -> Watts {
+        let v = voltage.value().max(0.0);
+        let vr = self.v_ref.value();
+        let v_scale = (v / vr) * (self.kv * (v - vr)).exp();
+        let t_scale = ((temperature.value() - self.t_ref.value()) / self.t_double).exp2();
+        Watts::new(self.p_ref.value() * v_scale * t_scale)
+    }
+
+    /// Reference leakage power (at `v_ref`, `t_ref`).
+    pub fn p_ref(&self) -> Watts {
+        self.p_ref
+    }
+
+    /// Reference voltage.
+    pub fn v_ref(&self) -> Volts {
+        self.v_ref
+    }
+
+    /// Reference temperature.
+    pub fn t_ref(&self) -> Celsius {
+        self.t_ref
+    }
+}
+
+impl Default for LeakagePowerModel {
+    /// 22 nm-class defaults: 0.5 W leakage per core at (1.0 V, 60 °C),
+    /// leakage doubling every 30 °C, moderate voltage sensitivity. The
+    /// doubling interval is chosen jointly with the thermal resistance so
+    /// the leakage–temperature feedback has a stable fixed point at full
+    /// load (no thermal runaway at the top VF level).
+    fn default() -> Self {
+        Self {
+            p_ref: Watts::new(0.5),
+            v_ref: Volts::new(1.0),
+            t_ref: Celsius::new(60.0),
+            kv: 1.5,
+            t_double: 30.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_at_reference_point_is_p_ref() {
+        let m = LeakagePowerModel::default();
+        let p = m.power(m.v_ref(), m.t_ref());
+        assert!((p.value() - m.p_ref().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_doubles_per_t_double() {
+        let m = LeakagePowerModel::default();
+        let p0 = m.power(Volts::new(1.0), Celsius::new(60.0)).value();
+        let p1 = m.power(Volts::new(1.0), Celsius::new(90.0)).value();
+        assert!((p1 / p0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_grows_superlinearly_with_voltage() {
+        let m = LeakagePowerModel::default();
+        let t = Celsius::new(60.0);
+        let p_low = m.power(Volts::new(0.8), t).value();
+        let p_high = m.power(Volts::new(1.2), t).value();
+        // Superlinear: ratio exceeds the plain voltage ratio 1.5x.
+        assert!(p_high / p_low > 1.5);
+    }
+
+    #[test]
+    fn monotone_in_both_arguments() {
+        let m = LeakagePowerModel::default();
+        let mut last = 0.0;
+        for i in 0..10 {
+            let v = Volts::new(0.7 + 0.06 * i as f64);
+            let p = m.power(v, Celsius::new(60.0)).value();
+            assert!(p > last);
+            last = p;
+        }
+        last = 0.0;
+        for i in 0..10 {
+            let t = Celsius::new(40.0 + 6.0 * i as f64);
+            let p = m.power(Volts::new(1.0), t).value();
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LeakagePowerModel::new(
+            Watts::new(0.0),
+            Volts::new(1.0),
+            Celsius::new(60.0),
+            1.0,
+            25.0
+        )
+        .is_err());
+        assert!(LeakagePowerModel::new(
+            Watts::new(0.5),
+            Volts::new(1.0),
+            Celsius::new(60.0),
+            -1.0,
+            25.0
+        )
+        .is_err());
+        assert!(LeakagePowerModel::new(
+            Watts::new(0.5),
+            Volts::new(1.0),
+            Celsius::new(60.0),
+            1.0,
+            0.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn negative_voltage_clamps_to_zero_leakage() {
+        let m = LeakagePowerModel::default();
+        let p = m.power(Volts::new(-1.0), Celsius::new(60.0));
+        assert_eq!(p.value(), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Power modeling substrate for the OD-RL many-core DVFS reproduction.
+//!
+//! This crate provides the physical foundation every other crate builds on:
+//!
+//! * [`units`] — `f64` newtypes for volts, gigahertz, watts, joules,
+//!   degrees Celsius and seconds, so units cannot be confused at compile
+//!   time;
+//! * [`VfTable`] / [`VfLevel`] / [`LevelId`] — discrete DVFS operating
+//!   points, mirroring hardware P-state tables;
+//! * [`DynamicPowerModel`] — activity-proportional `a·C·V²·f` switching
+//!   power;
+//! * [`LeakagePowerModel`] — voltage- and temperature-dependent static
+//!   power (exponential in V, doubling every `t_double` °C);
+//! * [`CorePowerModel`] / [`PowerBreakdown`] — the combined per-core model;
+//! * [`EnergyAccount`] — total / over-budget energy book-keeping behind the
+//!   paper's overshoot and throughput-per-over-budget-energy metrics.
+//!
+//! # Example
+//!
+//! Compute the power of a core sweeping its DVFS range:
+//!
+//! ```
+//! use odrl_power::{CorePowerModel, VfTable, Celsius};
+//!
+//! let model = CorePowerModel::default();
+//! let table = VfTable::alpha_like();
+//! let temp = Celsius::new(70.0);
+//!
+//! let mut last = 0.0;
+//! for (_, level) in table.iter() {
+//!     let p = model.total_power(level, 1.0, temp);
+//!     assert!(p.value() > last); // power strictly increases with V/f
+//!     last = p.value();
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dynamic;
+pub mod energy;
+pub mod error;
+pub mod leakage;
+pub mod model;
+pub mod units;
+pub mod vf;
+
+pub use dynamic::DynamicPowerModel;
+pub use energy::EnergyAccount;
+pub use error::PowerModelError;
+pub use leakage::LeakagePowerModel;
+pub use model::{CorePowerModel, PowerBreakdown};
+pub use units::{Celsius, GigaHertz, Joules, Seconds, Volts, Watts};
+pub use vf::{LevelId, VfLevel, VfTable};

@@ -1,0 +1,137 @@
+//! Combined per-core power model (dynamic + leakage) and its breakdown.
+
+use crate::dynamic::DynamicPowerModel;
+use crate::leakage::LeakagePowerModel;
+use crate::units::{Celsius, Watts};
+use crate::vf::VfLevel;
+use serde::{Deserialize, Serialize};
+use std::ops::Add;
+
+/// Dynamic/leakage decomposition of a power sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Switching power.
+    pub dynamic: Watts,
+    /// Static (leakage) power.
+    pub leakage: Watts,
+}
+
+impl PowerBreakdown {
+    /// Total power (dynamic + leakage).
+    #[inline]
+    pub fn total(&self) -> Watts {
+        self.dynamic + self.leakage
+    }
+}
+
+impl Add for PowerBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            dynamic: self.dynamic + rhs.dynamic,
+            leakage: self.leakage + rhs.leakage,
+        }
+    }
+}
+
+/// Full per-core power model combining [`DynamicPowerModel`] and
+/// [`LeakagePowerModel`].
+///
+/// ```
+/// use odrl_power::{CorePowerModel, VfTable, Celsius, LevelId};
+/// let model = CorePowerModel::default();
+/// let table = VfTable::alpha_like();
+/// let p = model.power(table.level(LevelId(7)), 1.0, Celsius::new(70.0));
+/// assert!(p.total().value() > p.leakage.value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CorePowerModel {
+    /// Switching-power component.
+    pub dynamic: DynamicPowerModel,
+    /// Leakage-power component.
+    pub leakage: LeakagePowerModel,
+}
+
+impl CorePowerModel {
+    /// Creates a model from its two components.
+    pub fn new(dynamic: DynamicPowerModel, leakage: LeakagePowerModel) -> Self {
+        Self { dynamic, leakage }
+    }
+
+    /// Power consumed at an operating point, activity factor and die
+    /// temperature.
+    pub fn power(&self, level: VfLevel, activity: f64, temperature: Celsius) -> PowerBreakdown {
+        PowerBreakdown {
+            dynamic: self.dynamic.power(level, activity),
+            leakage: self.leakage.power(level.voltage, temperature),
+        }
+    }
+
+    /// Total power — convenience for callers that do not need the breakdown.
+    pub fn total_power(&self, level: VfLevel, activity: f64, temperature: Celsius) -> Watts {
+        self.power(level, activity, temperature).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{GigaHertz, Volts};
+    use crate::vf::VfTable;
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let m = CorePowerModel::default();
+        let level = VfLevel::new(Volts::new(1.0), GigaHertz::new(2.0));
+        let b = m.power(level, 0.8, Celsius::new(65.0));
+        assert!((b.total().value() - (b.dynamic.value() + b.leakage.value())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_core_still_leaks() {
+        let m = CorePowerModel::default();
+        let level = VfLevel::new(Volts::new(1.0), GigaHertz::new(2.0));
+        let b = m.power(level, 0.0, Celsius::new(60.0));
+        assert_eq!(b.dynamic, Watts::ZERO);
+        assert!(b.leakage.value() > 0.0);
+    }
+
+    #[test]
+    fn power_monotone_in_level() {
+        let m = CorePowerModel::default();
+        let table = VfTable::alpha_like();
+        let mut last = 0.0;
+        for (_, level) in table.iter() {
+            let p = m.total_power(level, 1.0, Celsius::new(70.0)).value();
+            assert!(p > last, "power must increase with level");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn breakdown_addition() {
+        let a = PowerBreakdown {
+            dynamic: Watts::new(1.0),
+            leakage: Watts::new(0.5),
+        };
+        let b = PowerBreakdown {
+            dynamic: Watts::new(2.0),
+            leakage: Watts::new(0.25),
+        };
+        let c = a + b;
+        assert_eq!(c.dynamic.value(), 3.0);
+        assert_eq!(c.leakage.value(), 0.75);
+        assert_eq!(c.total().value(), 3.75);
+    }
+
+    #[test]
+    fn top_level_power_is_plausible_for_22nm_core() {
+        let m = CorePowerModel::default();
+        let table = VfTable::alpha_like();
+        let p = m
+            .total_power(table.level(table.max_level()), 1.0, Celsius::new(80.0))
+            .value();
+        // A fast 22nm core at max V/f and 80 degC burns a few watts.
+        assert!((2.0..10.0).contains(&p), "top-level power {p} W");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the power-model crate invariants.
+
+use odrl_power::{
+    Celsius, CorePowerModel, DynamicPowerModel, EnergyAccount, GigaHertz, LeakagePowerModel,
+    Seconds, VfLevel, VfTable, Volts, Watts,
+};
+use proptest::prelude::*;
+
+fn arb_level() -> impl Strategy<Value = VfLevel> {
+    (0.5f64..1.5, 0.5f64..4.0).prop_map(|(v, f)| VfLevel::new(Volts::new(v), GigaHertz::new(f)))
+}
+
+proptest! {
+    /// Dynamic power is non-negative and monotone in activity.
+    #[test]
+    fn dynamic_power_monotone_in_activity(
+        level in arb_level(),
+        c in 0.1f64..2.0,
+        a1 in 0.0f64..1.2,
+        a2 in 0.0f64..1.2,
+    ) {
+        let m = DynamicPowerModel::new(c).unwrap();
+        let p1 = m.power(level, a1);
+        let p2 = m.power(level, a2);
+        prop_assert!(p1.value() >= 0.0);
+        if a1 <= a2 {
+            prop_assert!(p1 <= p2);
+        } else {
+            prop_assert!(p1 >= p2);
+        }
+    }
+
+    /// Leakage is positive and monotone in temperature for any valid model.
+    #[test]
+    fn leakage_monotone_in_temperature(
+        v in 0.5f64..1.5,
+        t1 in 20.0f64..110.0,
+        t2 in 20.0f64..110.0,
+    ) {
+        let m = LeakagePowerModel::default();
+        let p1 = m.power(Volts::new(v), Celsius::new(t1));
+        let p2 = m.power(Volts::new(v), Celsius::new(t2));
+        prop_assert!(p1.value() > 0.0);
+        if t1 <= t2 {
+            prop_assert!(p1 <= p2);
+        }
+    }
+
+    /// Total power equals dynamic + leakage for any operating condition.
+    #[test]
+    fn breakdown_is_consistent(
+        level in arb_level(),
+        a in 0.0f64..1.2,
+        t in 20.0f64..110.0,
+    ) {
+        let m = CorePowerModel::default();
+        let b = m.power(level, a, Celsius::new(t));
+        let total = m.total_power(level, a, Celsius::new(t));
+        prop_assert!((b.total().value() - total.value()).abs() < 1e-12);
+        prop_assert!((b.total().value() - b.dynamic.value() - b.leakage.value()).abs() < 1e-12);
+    }
+
+    /// A linear VF table is always valid and strictly monotone.
+    #[test]
+    fn linear_tables_are_monotone(
+        v_lo in 0.5f64..0.9,
+        dv in 0.05f64..0.8,
+        f_lo in 0.5f64..1.5,
+        df in 0.1f64..3.0,
+        n in 2usize..16,
+    ) {
+        let t = VfTable::linear(
+            VfLevel::new(Volts::new(v_lo), GigaHertz::new(f_lo)),
+            VfLevel::new(Volts::new(v_lo + dv), GigaHertz::new(f_lo + df)),
+            n,
+        ).unwrap();
+        prop_assert_eq!(t.len(), n);
+        let levels: Vec<_> = t.iter().map(|(_, l)| l).collect();
+        for w in levels.windows(2) {
+            prop_assert!(w[0].voltage < w[1].voltage);
+            prop_assert!(w[0].frequency < w[1].frequency);
+        }
+    }
+
+    /// EnergyAccount invariants: overshoot energy never exceeds total energy
+    /// when the budget is non-negative, and fractions stay in [0, 1].
+    #[test]
+    fn energy_account_invariants(
+        samples in prop::collection::vec((0.0f64..100.0, 0.0f64..50.0, 1e-4f64..1e-2), 1..100),
+    ) {
+        let mut acc = EnergyAccount::new();
+        for (p, b, dt) in &samples {
+            acc.record(Watts::new(*p), Watts::new(*b), Seconds::new(*dt));
+        }
+        prop_assert!(acc.overshoot_energy() <= acc.total_energy());
+        let f = acc.overshoot_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(acc.overshoot_intervals() <= acc.intervals());
+        prop_assert!(acc.peak_overshoot() <= acc.peak_power());
+        // Average power lies between 0 and the peak.
+        prop_assert!(acc.average_power() >= Watts::ZERO);
+        prop_assert!(acc.average_power() <= acc.peak_power() + Watts::new(1e-9));
+    }
+
+    /// `level_for_frequency` returns the slowest level meeting the request,
+    /// and its frequency is >= the request whenever the request is in range.
+    #[test]
+    fn level_for_frequency_is_tight(
+        f_req in 0.5f64..4.0,
+        n in 2usize..12,
+    ) {
+        let t = VfTable::linear(
+            VfLevel::new(Volts::new(0.7), GigaHertz::new(1.0)),
+            VfLevel::new(Volts::new(1.3), GigaHertz::new(3.0)),
+            n,
+        ).unwrap();
+        let id = t.level_for_frequency(GigaHertz::new(f_req));
+        let chosen = t.level(id).frequency.value();
+        if f_req <= t.max_frequency().value() {
+            prop_assert!(chosen >= f_req - 1e-12);
+            // No slower level also satisfies the request.
+            if id.index() > 0 {
+                let below = t.level(odrl_power::LevelId(id.index() - 1)).frequency.value();
+                prop_assert!(below < f_req);
+            }
+        } else {
+            prop_assert_eq!(id, t.max_level());
+        }
+    }
+}

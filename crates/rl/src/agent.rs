@@ -1,0 +1,340 @@
+//! Tabular temporal-difference agents (Q-learning and SARSA).
+
+use crate::error::RlError;
+use crate::policy::Policy;
+use crate::qtable::QTable;
+use crate::schedule::Schedule;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which TD update rule a controller applies ([`Agent::update`] implements
+/// Q-learning; [`Agent::update_sarsa`] implements SARSA — this enum lets
+/// configurations name the choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// Off-policy: `Q(s,a) ← Q + α·(r + γ·max_a' Q(s',a') − Q)`.
+    QLearning,
+    /// On-policy: `Q(s,a) ← Q + α·(r + γ·Q(s',a') − Q)` with the actually
+    /// selected `a'`.
+    Sarsa,
+    /// Double Q-learning (two tables, decoupled selection/evaluation); see
+    /// [`crate::DoubleAgent`].
+    DoubleQLearning,
+}
+
+/// A tabular TD agent: Q-table, update rule, learning-rate schedule and
+/// exploration policy.
+///
+/// The paper's per-core controllers are instances of this with the OD-RL
+/// state encoding; the agent itself is domain-agnostic.
+///
+/// ```
+/// use odrl_rl::{Agent, Algorithm, Policy, Schedule};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let _which = Algorithm::QLearning; // named in configs; `update` implements it
+/// let mut agent = Agent::builder(4, 2)
+///     .gamma(0.9)
+///     .alpha(Schedule::constant(0.2)?)
+///     .policy(Policy::default_epsilon_greedy())
+///     .build()?;
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let a = agent.select(0, &mut rng)?;
+/// agent.update(0, a, 1.0, 1)?;
+/// # Ok::<(), odrl_rl::RlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Agent {
+    q: QTable,
+    gamma: f64,
+    alpha: Schedule,
+    policy: Policy,
+    step: u64,
+}
+
+impl Agent {
+    /// Starts building an agent over `states × actions`.
+    pub fn builder(states: usize, actions: usize) -> AgentBuilder {
+        AgentBuilder {
+            states,
+            actions,
+            gamma: 0.9,
+            alpha: Schedule::Constant { value: 0.1 },
+            policy: Policy::default_epsilon_greedy(),
+            optimistic: 0.0,
+        }
+    }
+
+    /// The agent's Q-table.
+    pub fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    /// Number of decisions made so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// The discount factor.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Selects an action in state `s` (advances the decision counter, which
+    /// drives the exploration schedule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn select<R: Rng + ?Sized>(&mut self, s: usize, rng: &mut R) -> Result<usize, RlError> {
+        let a = self.policy.select(&self.q, s, self.step, rng)?;
+        self.step += 1;
+        Ok(a)
+    }
+
+    /// The greedy action in state `s` without exploring or counting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn exploit(&self, s: usize) -> Result<usize, RlError> {
+        self.q.best_action(s)
+    }
+
+    /// Applies one TD update for transition `(s, a, r, s')`.
+    ///
+    /// For [`Algorithm::Sarsa`] the bootstrap uses the greedy action of
+    /// `s'` as a stand-in when the next action has not been chosen yet; use
+    /// [`Agent::update_sarsa`] to supply the actual `a'`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices or
+    /// [`RlError::InvalidParameter`] for a non-finite reward.
+    pub fn update(
+        &mut self,
+        s: usize,
+        a: usize,
+        reward: f64,
+        s_next: usize,
+    ) -> Result<(), RlError> {
+        let bootstrap = self.q.max_value(s_next)?;
+        self.td_update(s, a, reward, bootstrap)
+    }
+
+    /// SARSA update with an explicit next action `a'`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::update`].
+    pub fn update_sarsa(
+        &mut self,
+        s: usize,
+        a: usize,
+        reward: f64,
+        s_next: usize,
+        a_next: usize,
+    ) -> Result<(), RlError> {
+        let bootstrap = self.q.get(s_next, a_next)?;
+        self.td_update(s, a, reward, bootstrap)
+    }
+
+    fn td_update(
+        &mut self,
+        s: usize,
+        a: usize,
+        reward: f64,
+        bootstrap: f64,
+    ) -> Result<(), RlError> {
+        if !reward.is_finite() {
+            return Err(RlError::InvalidParameter {
+                name: "reward",
+                value: reward,
+            });
+        }
+        let visits = self.q.visit(s, a)?;
+        // Per-(s,a) learning rate driven by visit count gives the
+        // Robbins-Monro convergence conditions when using InverseTime.
+        let alpha = self.alpha.value(visits - 1);
+        let old = self.q.get(s, a)?;
+        let target = reward + self.gamma * bootstrap;
+        self.q.set(s, a, old + alpha * (target - old))?;
+        Ok(())
+    }
+}
+
+/// Builder for [`Agent`].
+#[derive(Debug, Clone)]
+pub struct AgentBuilder {
+    states: usize,
+    actions: usize,
+    gamma: f64,
+    alpha: Schedule,
+    policy: Policy,
+    optimistic: f64,
+}
+
+impl AgentBuilder {
+    /// Sets the discount factor (must be in `[0, 1)`).
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets the learning-rate schedule (indexed by `(s, a)` visit count).
+    pub fn alpha(mut self, alpha: Schedule) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the exploration policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Initialises all action values to `value` (optimistic exploration).
+    pub fn optimistic(mut self, value: f64) -> Self {
+        self.optimistic = value;
+        self
+    }
+
+    /// Builds the agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::EmptySpace`] for empty spaces or
+    /// [`RlError::InvalidParameter`] for `gamma` outside `[0, 1)`.
+    pub fn build(self) -> Result<Agent, RlError> {
+        if !(self.gamma.is_finite() && (0.0..1.0).contains(&self.gamma)) {
+            return Err(RlError::InvalidParameter {
+                name: "gamma",
+                value: self.gamma,
+            });
+        }
+        let q = if self.optimistic != 0.0 {
+            QTable::optimistic(self.states, self.actions, self.optimistic)?
+        } else {
+            QTable::new(self.states, self.actions)?
+        };
+        Ok(Agent {
+            q,
+            gamma: self.gamma,
+            alpha: self.alpha,
+            policy: self.policy,
+            step: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 2-state chain: action 1 in state 0 yields +1 and stays; action 0
+    /// yields 0. The agent must learn Q(0,1) > Q(0,0).
+    #[test]
+    fn q_learning_learns_a_trivial_preference() {
+        let mut agent = Agent::builder(2, 2)
+            .gamma(0.5)
+            .alpha(Schedule::constant(0.3).unwrap())
+            .policy(Policy::EpsilonGreedy {
+                epsilon: Schedule::constant(0.3).unwrap(),
+            })
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let a = agent.select(0, &mut rng).unwrap();
+            let r = if a == 1 { 1.0 } else { 0.0 };
+            agent.update(0, a, r, 0).unwrap();
+        }
+        assert_eq!(agent.exploit(0).unwrap(), 1);
+        assert!(agent.q().get(0, 1).unwrap() > agent.q().get(0, 0).unwrap());
+    }
+
+    /// Deterministic chain with known optimal values:
+    /// state 0 --a1/r=0--> state 1 --a1/r=1--> state 1 (absorbing, r=1).
+    /// Q*(1,1) = 1/(1-γ)·... with γ=0.5: Q*(1,1)=2, Q*(0,1)=0+0.5·2=1.
+    #[test]
+    fn q_learning_converges_to_known_values() {
+        let mut agent = Agent::builder(2, 2)
+            .gamma(0.5)
+            .alpha(Schedule::inverse_time(1.0, 0.0).unwrap())
+            .policy(Policy::EpsilonGreedy {
+                epsilon: Schedule::constant(0.5).unwrap(),
+            })
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = 0;
+        for _ in 0..20_000 {
+            let a = agent.select(s, &mut rng).unwrap();
+            let (r, s2) = match (s, a) {
+                (0, 1) => (0.0, 1),
+                (0, 0) => (0.0, 0),
+                (1, 1) => (1.0, 1),
+                (1, 0) => (0.0, 0),
+                _ => unreachable!(),
+            };
+            agent.update(s, a, r, s2).unwrap();
+            s = s2;
+        }
+        let q11 = agent.q().get(1, 1).unwrap();
+        let q01 = agent.q().get(0, 1).unwrap();
+        assert!((q11 - 2.0).abs() < 0.1, "Q(1,1) = {q11}");
+        assert!((q01 - 1.0).abs() < 0.1, "Q(0,1) = {q01}");
+    }
+
+    #[test]
+    fn sarsa_update_uses_supplied_action() {
+        let mut agent = Agent::builder(2, 2)
+            .gamma(0.9)
+            .alpha(Schedule::constant(1.0).unwrap())
+            .build()
+            .unwrap();
+        // Set Q(1,0)=0, Q(1,1)=10. SARSA with a'=0 must bootstrap from 0.
+        agent.q.set(1, 1, 10.0).unwrap();
+        agent.update_sarsa(0, 0, 1.0, 1, 0).unwrap();
+        assert!((agent.q().get(0, 0).unwrap() - 1.0).abs() < 1e-12);
+        // Q-learning-style update would instead have used max = 10.
+        agent.update(0, 1, 1.0, 1).unwrap();
+        assert!((agent.q().get(0, 1).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_gamma_and_reward() {
+        assert!(Agent::builder(2, 2).gamma(1.0).build().is_err());
+        assert!(Agent::builder(2, 2).gamma(-0.1).build().is_err());
+        let mut agent = Agent::builder(2, 2).build().unwrap();
+        assert!(agent.update(0, 0, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn optimistic_initialisation_applies() {
+        let agent = Agent::builder(2, 2).optimistic(5.0).build().unwrap();
+        assert_eq!(agent.q().get(0, 0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn step_counter_advances_on_select_only() {
+        let mut agent = Agent::builder(2, 2).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(agent.step_count(), 0);
+        agent.select(0, &mut rng).unwrap();
+        agent.update(0, 0, 0.0, 0).unwrap();
+        assert_eq!(agent.step_count(), 1);
+    }
+
+    #[test]
+    fn update_errors_on_bad_indices() {
+        let mut agent = Agent::builder(2, 2).build().unwrap();
+        assert!(agent.update(5, 0, 0.0, 0).is_err());
+        assert!(agent.update(0, 5, 0.0, 0).is_err());
+        assert!(agent.update(0, 0, 0.0, 5).is_err());
+    }
+}

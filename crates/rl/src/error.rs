@@ -1,0 +1,70 @@
+//! Error types for the tabular RL crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing RL components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RlError {
+    /// A state or action space was empty.
+    EmptySpace {
+        /// Which space was empty.
+        what: &'static str,
+    },
+    /// An index was outside its space.
+    IndexOutOfRange {
+        /// Which index kind.
+        what: &'static str,
+        /// The requested index.
+        requested: usize,
+        /// Size of the space.
+        size: usize,
+    },
+    /// A numeric parameter was non-finite or out of range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for RlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptySpace { what } => write!(f, "{what} space is empty"),
+            Self::IndexOutOfRange {
+                what,
+                requested,
+                size,
+            } => write!(f, "{what} index {requested} out of range (size {size})"),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl Error for RlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RlError::IndexOutOfRange {
+            what: "state",
+            requested: 10,
+            size: 4,
+        };
+        assert!(e.to_string().contains("state index 10"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<RlError>();
+    }
+}

@@ -1,0 +1,63 @@
+//! Reusable tabular reinforcement learning for on-line controllers.
+//!
+//! OD-RL's per-core agents are tabular Q-learners. This crate provides the
+//! domain-agnostic machinery they are built from:
+//!
+//! * [`QTable`] — dense `|S| × |A|` action values with visit counts;
+//! * [`Agent`] — Q-learning / SARSA TD updates with per-`(s,a)` learning
+//!   rates;
+//! * [`DoubleAgent`] — double Q-learning (two tables, decoupled selection
+//!   and evaluation) for noise-robust value estimates;
+//! * [`TraceAgent`] — Watkins Q(λ) with sparse eligibility traces for
+//!   faster credit propagation;
+//! * [`Policy`] — greedy, ε-greedy and softmax action selection;
+//! * [`Schedule`] — constant / exponential / inverse-time / linear decay
+//!   for learning and exploration rates (always floored: an on-line
+//!   controller must never stop adapting);
+//! * [`UniformBins`] and [`StateSpace`] — discretization of continuous
+//!   sensor readings into table indices.
+//!
+//! # Example
+//!
+//! Learn a two-armed bandit preference:
+//!
+//! ```
+//! use odrl_rl::{Agent, Policy, Schedule};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut agent = Agent::builder(1, 2)
+//!     .gamma(0.0) // bandit: no bootstrapping
+//!     .alpha(Schedule::constant(0.1)?)
+//!     .policy(Policy::EpsilonGreedy { epsilon: Schedule::constant(0.2)? })
+//!     .build()?;
+//! let mut rng = StdRng::seed_from_u64(0);
+//! for _ in 0..300 {
+//!     let a = agent.select(0, &mut rng)?;
+//!     let reward = if a == 1 { 1.0 } else { 0.0 };
+//!     agent.update(0, a, reward, 0)?;
+//! }
+//! assert_eq!(agent.exploit(0)?, 1);
+//! # Ok::<(), odrl_rl::RlError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agent;
+pub mod discretize;
+pub mod double_q;
+pub mod error;
+pub mod policy;
+pub mod qtable;
+pub mod schedule;
+pub mod traces;
+
+pub use agent::{Agent, AgentBuilder, Algorithm};
+pub use discretize::{StateSpace, UniformBins};
+pub use double_q::{DoubleAgent, DoubleAgentBuilder};
+pub use error::RlError;
+pub use policy::Policy;
+pub use qtable::QTable;
+pub use schedule::Schedule;
+pub use traces::{TraceAgent, TraceAgentBuilder};

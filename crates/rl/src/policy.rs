@@ -1,0 +1,283 @@
+//! Action-selection policies.
+
+use crate::error::RlError;
+use crate::qtable::QTable;
+use crate::schedule::Schedule;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How an agent turns action values into an action.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Policy {
+    /// Always the greedy action.
+    Greedy,
+    /// Greedy with probability `1 − ε(t)`, uniform random otherwise.
+    EpsilonGreedy {
+        /// The exploration-rate schedule.
+        epsilon: Schedule,
+    },
+    /// Boltzmann exploration: `P(a) ∝ e^(Q(s,a)/τ(t))`.
+    Softmax {
+        /// The temperature schedule (higher = more random).
+        temperature: Schedule,
+    },
+    /// UCB1 (Auer et al.): pick `argmax Q(s,a) + c·√(ln N(s) / N(s,a))`,
+    /// where `N` are visit counts. Untried actions are tried first.
+    /// Exploration is *directed* — uncertainty, not coin flips — which
+    /// suits short-horizon on-line control.
+    Ucb1 {
+        /// The exploration constant (larger = more exploration).
+        c: f64,
+    },
+}
+
+impl Policy {
+    /// The standard OD-RL policy: ε-greedy with exponential decay to a
+    /// floor (the agent never stops exploring, so it can track workload
+    /// phase changes).
+    pub fn default_epsilon_greedy() -> Self {
+        Self::EpsilonGreedy {
+            epsilon: Schedule::Exponential {
+                initial: 0.5,
+                rate: 5e-3,
+                floor: 0.05,
+            },
+        }
+    }
+
+    /// Selects an action for state `s` at decision step `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] if `s` is out of range for `q`.
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        q: &QTable,
+        s: usize,
+        t: u64,
+        rng: &mut R,
+    ) -> Result<usize, RlError> {
+        if let Self::Ucb1 { c } = self {
+            let row = q.row(s)?;
+            let mut visits = Vec::with_capacity(row.len());
+            let mut total = 0u64;
+            for a in 0..row.len() {
+                let v = q.visits(s, a)?;
+                visits.push(v);
+                total += v;
+            }
+            // Untried action: explore it immediately (in index order).
+            if let Some(a) = visits.iter().position(|&v| v == 0) {
+                return Ok(a);
+            }
+            let ln_n = (total.max(1) as f64).ln();
+            let mut best = 0;
+            let mut best_score = f64::NEG_INFINITY;
+            for (a, (&qv, &v)) in row.iter().zip(&visits).enumerate() {
+                let score = qv + c * (ln_n / v as f64).sqrt();
+                if score > best_score {
+                    best_score = score;
+                    best = a;
+                }
+            }
+            return Ok(best);
+        }
+        Ok(self.select_row(q.row(s)?, t, rng))
+    }
+
+    /// Selects an action from a raw action-value row (used by agents that
+    /// combine several tables, e.g. double Q-learning). [`Policy::Ucb1`]
+    /// needs visit counts, which a raw row does not carry, so it degrades
+    /// to greedy here — use [`Policy::select`] for true UCB behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is empty.
+    pub fn select_row<R: Rng + ?Sized>(&self, row: &[f64], t: u64, rng: &mut R) -> usize {
+        assert!(!row.is_empty(), "action-value row is empty");
+        let greedy = |row: &[f64]| {
+            let mut best = 0;
+            for (a, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = a;
+                }
+            }
+            best
+        };
+        match self {
+            Self::Greedy | Self::Ucb1 { .. } => greedy(row),
+            Self::EpsilonGreedy { epsilon } => {
+                let eps = epsilon.value(t).clamp(0.0, 1.0);
+                if rng.gen::<f64>() < eps {
+                    rng.gen_range(0..row.len())
+                } else {
+                    greedy(row)
+                }
+            }
+            Self::Softmax { temperature } => {
+                let tau = temperature.value(t).max(1e-6);
+                let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let weights: Vec<f64> = row.iter().map(|&v| ((v - m) / tau).exp()).collect();
+                let total: f64 = weights.iter().sum();
+                let mut u = rng.gen::<f64>() * total;
+                for (a, w) in weights.iter().enumerate() {
+                    u -= w;
+                    if u <= 0.0 {
+                        return a;
+                    }
+                }
+                weights.len() - 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> QTable {
+        let mut q = QTable::new(2, 3).unwrap();
+        q.set(0, 1, 10.0).unwrap();
+        q.set(1, 2, 10.0).unwrap();
+        q
+    }
+
+    #[test]
+    fn greedy_always_picks_best() {
+        let q = table();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(Policy::Greedy.select(&q, 0, 0, &mut rng).unwrap(), 1);
+            assert_eq!(Policy::Greedy.select(&q, 1, 0, &mut rng).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy() {
+        let q = table();
+        let p = Policy::EpsilonGreedy {
+            epsilon: Schedule::constant(0.0).unwrap(),
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(p.select(&q, 0, 0, &mut rng).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn epsilon_one_is_uniform() {
+        let q = table();
+        let p = Policy::EpsilonGreedy {
+            epsilon: Schedule::constant(1.0).unwrap(),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..3_000 {
+            counts[p.select(&q, 0, 0, &mut rng).unwrap()] += 1;
+        }
+        for c in counts {
+            let f = c as f64 / 3_000.0;
+            assert!((f - 1.0 / 3.0).abs() < 0.05, "uniform check failed: {f}");
+        }
+    }
+
+    #[test]
+    fn epsilon_decays_with_step() {
+        let q = table();
+        let p = Policy::EpsilonGreedy {
+            epsilon: Schedule::exponential(1.0, 0.1, 0.0).unwrap(),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        // At a very late step, exploration is negligible.
+        for _ in 0..50 {
+            assert_eq!(p.select(&q, 0, 1_000, &mut rng).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn softmax_low_temperature_is_nearly_greedy() {
+        let q = table();
+        let p = Policy::Softmax {
+            temperature: Schedule::constant(0.01).unwrap(),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let greedy = (0..500)
+            .filter(|_| p.select(&q, 0, 0, &mut rng).unwrap() == 1)
+            .count();
+        assert!(greedy > 490);
+    }
+
+    #[test]
+    fn softmax_high_temperature_is_nearly_uniform() {
+        let q = table();
+        let p = Policy::Softmax {
+            temperature: Schedule::constant(1e6).unwrap(),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..3_000 {
+            counts[p.select(&q, 0, 0, &mut rng).unwrap()] += 1;
+        }
+        for c in counts {
+            assert!(c > 800, "softmax at high T should be uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ucb_tries_every_action_before_repeating() {
+        let mut q = QTable::new(1, 4).unwrap();
+        let p = Policy::Ucb1 { c: 1.0 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = [false; 4];
+        for _ in 0..4 {
+            let a = p.select(&q, 0, 0, &mut rng).unwrap();
+            assert!(!seen[a], "repeated {a} before trying all actions");
+            seen[a] = true;
+            q.visit(0, a).unwrap();
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn ucb_prefers_high_value_when_counts_match() {
+        let mut q = QTable::new(1, 3).unwrap();
+        q.set(0, 1, 5.0).unwrap();
+        for a in 0..3 {
+            for _ in 0..10 {
+                q.visit(0, a).unwrap();
+            }
+        }
+        let p = Policy::Ucb1 { c: 0.5 };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.select(&q, 0, 0, &mut rng).unwrap(), 1);
+    }
+
+    #[test]
+    fn ucb_bonus_pulls_toward_undervisited_actions() {
+        let mut q = QTable::new(1, 2).unwrap();
+        // Action 0 slightly better but heavily visited; action 1 barely
+        // visited: a large-enough c must pick action 1.
+        q.set(0, 0, 1.0).unwrap();
+        q.set(0, 1, 0.9).unwrap();
+        for _ in 0..1000 {
+            q.visit(0, 0).unwrap();
+        }
+        q.visit(0, 1).unwrap();
+        let p = Policy::Ucb1 { c: 2.0 };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.select(&q, 0, 0, &mut rng).unwrap(), 1);
+    }
+
+    #[test]
+    fn invalid_state_errors() {
+        let q = table();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Policy::Greedy.select(&q, 9, 0, &mut rng).is_err());
+        let p = Policy::default_epsilon_greedy();
+        assert!(p.select(&q, 9, 0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Dense action-value tables.
+
+use crate::error::RlError;
+use serde::{Deserialize, Serialize};
+
+/// A dense `|S| × |A|` table of action values with visit counts.
+///
+/// ```
+/// use odrl_rl::QTable;
+/// let mut q = QTable::new(4, 2)?;
+/// q.set(1, 0, 3.0)?;
+/// q.set(1, 1, 5.0)?;
+/// assert_eq!(q.best_action(1)?, 1);
+/// assert_eq!(q.max_value(1)?, 5.0);
+/// # Ok::<(), odrl_rl::RlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    states: usize,
+    actions: usize,
+    values: Vec<f64>,
+    visits: Vec<u64>,
+}
+
+impl QTable {
+    /// Creates a zero-initialised table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::EmptySpace`] if either dimension is zero.
+    pub fn new(states: usize, actions: usize) -> Result<Self, RlError> {
+        if states == 0 {
+            return Err(RlError::EmptySpace { what: "state" });
+        }
+        if actions == 0 {
+            return Err(RlError::EmptySpace { what: "action" });
+        }
+        Ok(Self {
+            states,
+            actions,
+            values: vec![0.0; states * actions],
+            visits: vec![0; states * actions],
+        })
+    }
+
+    /// Creates a table optimistically initialised to `value` (optimistic
+    /// initialisation drives systematic early exploration).
+    ///
+    /// # Errors
+    ///
+    /// As [`QTable::new`]; additionally if `value` is not finite.
+    pub fn optimistic(states: usize, actions: usize, value: f64) -> Result<Self, RlError> {
+        if !value.is_finite() {
+            return Err(RlError::InvalidParameter {
+                name: "value",
+                value,
+            });
+        }
+        let mut t = Self::new(states, actions)?;
+        t.values.fill(value);
+        Ok(t)
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of actions.
+    pub fn actions(&self) -> usize {
+        self.actions
+    }
+
+    fn idx(&self, s: usize, a: usize) -> Result<usize, RlError> {
+        if s >= self.states {
+            return Err(RlError::IndexOutOfRange {
+                what: "state",
+                requested: s,
+                size: self.states,
+            });
+        }
+        if a >= self.actions {
+            return Err(RlError::IndexOutOfRange {
+                what: "action",
+                requested: a,
+                size: self.actions,
+            });
+        }
+        Ok(s * self.actions + a)
+    }
+
+    /// The value of `(s, a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices.
+    pub fn get(&self, s: usize, a: usize) -> Result<f64, RlError> {
+        Ok(self.values[self.idx(s, a)?])
+    }
+
+    /// Sets the value of `(s, a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices, or
+    /// [`RlError::InvalidParameter`] for a non-finite value.
+    pub fn set(&mut self, s: usize, a: usize, value: f64) -> Result<(), RlError> {
+        if !value.is_finite() {
+            return Err(RlError::InvalidParameter {
+                name: "value",
+                value,
+            });
+        }
+        let i = self.idx(s, a)?;
+        self.values[i] = value;
+        Ok(())
+    }
+
+    /// Records a visit to `(s, a)` and returns the new count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices.
+    pub fn visit(&mut self, s: usize, a: usize) -> Result<u64, RlError> {
+        let i = self.idx(s, a)?;
+        self.visits[i] += 1;
+        Ok(self.visits[i])
+    }
+
+    /// Visit count of `(s, a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices.
+    pub fn visits(&self, s: usize, a: usize) -> Result<u64, RlError> {
+        Ok(self.visits[self.idx(s, a)?])
+    }
+
+    /// The action values of state `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn row(&self, s: usize) -> Result<&[f64], RlError> {
+        let start = self.idx(s, 0)?;
+        Ok(&self.values[start..start + self.actions])
+    }
+
+    /// The greedy action in state `s` (lowest index wins ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn best_action(&self, s: usize) -> Result<usize, RlError> {
+        let row = self.row(s)?;
+        let mut best = 0;
+        for (a, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = a;
+            }
+        }
+        Ok(best)
+    }
+
+    /// The maximum action value in state `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn max_value(&self, s: usize) -> Result<f64, RlError> {
+        let row = self.row(s)?;
+        Ok(row.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Total number of `(s, a)` visits recorded.
+    pub fn total_visits(&self) -> u64 {
+        self.visits.iter().sum()
+    }
+
+    /// Fraction of `(s, a)` pairs visited at least once.
+    pub fn coverage(&self) -> f64 {
+        let seen = self.visits.iter().filter(|&&v| v > 0).count();
+        seen as f64 / self.visits.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_table_is_zero() {
+        let q = QTable::new(3, 2).unwrap();
+        assert_eq!(q.get(2, 1).unwrap(), 0.0);
+        assert_eq!(q.max_value(0).unwrap(), 0.0);
+        assert_eq!(q.total_visits(), 0);
+        assert_eq!(q.coverage(), 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_dimensions() {
+        assert!(QTable::new(0, 2).is_err());
+        assert!(QTable::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn set_get_roundtrip_and_bounds() {
+        let mut q = QTable::new(2, 2).unwrap();
+        q.set(0, 1, 2.5).unwrap();
+        assert_eq!(q.get(0, 1).unwrap(), 2.5);
+        assert!(q.get(2, 0).is_err());
+        assert!(q.get(0, 2).is_err());
+        assert!(q.set(0, 0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn best_action_breaks_ties_low() {
+        let mut q = QTable::new(1, 3).unwrap();
+        q.set(0, 0, 1.0).unwrap();
+        q.set(0, 2, 1.0).unwrap();
+        assert_eq!(q.best_action(0).unwrap(), 0);
+        q.set(0, 2, 1.5).unwrap();
+        assert_eq!(q.best_action(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn optimistic_initialisation() {
+        let q = QTable::optimistic(2, 2, 10.0).unwrap();
+        assert_eq!(q.get(1, 1).unwrap(), 10.0);
+        assert!(QTable::optimistic(2, 2, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn visits_and_coverage() {
+        let mut q = QTable::new(2, 2).unwrap();
+        assert_eq!(q.visit(0, 0).unwrap(), 1);
+        assert_eq!(q.visit(0, 0).unwrap(), 2);
+        q.visit(1, 1).unwrap();
+        assert_eq!(q.visits(0, 0).unwrap(), 2);
+        assert_eq!(q.total_visits(), 3);
+        assert_eq!(q.coverage(), 0.5);
+    }
+
+    #[test]
+    fn row_exposes_action_values() {
+        let mut q = QTable::new(2, 3).unwrap();
+        q.set(1, 0, 1.0).unwrap();
+        q.set(1, 2, 3.0).unwrap();
+        assert_eq!(q.row(1).unwrap(), &[1.0, 0.0, 3.0]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Decay schedules for learning rates and exploration parameters.
+
+use crate::error::RlError;
+use serde::{Deserialize, Serialize};
+
+/// A scalar-valued schedule over discrete steps (epochs, visits, …).
+///
+/// Used for both the learning rate `α(t)` and the exploration rate `ε(t)`.
+/// On-line controllers never stop learning, so every decaying schedule has
+/// a floor to preserve adaptivity to workload changes — the property OD-RL
+/// depends on.
+///
+/// ```
+/// use odrl_rl::Schedule;
+/// let eps = Schedule::exponential(0.5, 0.01, 0.05)?;
+/// assert!(eps.value(0) == 0.5);
+/// assert!(eps.value(10_000) >= 0.05); // floored, never stops exploring
+/// # Ok::<(), odrl_rl::RlError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Schedule {
+    /// A constant value.
+    Constant {
+        /// The value at every step.
+        value: f64,
+    },
+    /// `max(floor, initial · e^(−rate·t))`.
+    Exponential {
+        /// Value at `t = 0`.
+        initial: f64,
+        /// Decay rate per step.
+        rate: f64,
+        /// Lower bound.
+        floor: f64,
+    },
+    /// `max(floor, initial / (1 + t))` — the classic Robbins–Monro rate.
+    InverseTime {
+        /// Value at `t = 0`.
+        initial: f64,
+        /// Lower bound.
+        floor: f64,
+    },
+    /// Linear interpolation from `initial` to `floor` over `steps` steps,
+    /// then constant at `floor`.
+    Linear {
+        /// Value at `t = 0`.
+        initial: f64,
+        /// Value from `t = steps` on.
+        floor: f64,
+        /// Number of steps over which to interpolate.
+        steps: u64,
+    },
+}
+
+impl Schedule {
+    /// A constant schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidParameter`] if `value` is not finite and
+    /// non-negative.
+    pub fn constant(value: f64) -> Result<Self, RlError> {
+        check("value", value)?;
+        Ok(Self::Constant { value })
+    }
+
+    /// An exponentially decaying schedule with a floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidParameter`] for non-finite or negative
+    /// parameters, or if `floor > initial`.
+    pub fn exponential(initial: f64, rate: f64, floor: f64) -> Result<Self, RlError> {
+        check("initial", initial)?;
+        check("rate", rate)?;
+        check("floor", floor)?;
+        if floor > initial {
+            return Err(RlError::InvalidParameter {
+                name: "floor",
+                value: floor,
+            });
+        }
+        Ok(Self::Exponential {
+            initial,
+            rate,
+            floor,
+        })
+    }
+
+    /// A `1/(1+t)` schedule with a floor.
+    ///
+    /// # Errors
+    ///
+    /// As [`Schedule::exponential`].
+    pub fn inverse_time(initial: f64, floor: f64) -> Result<Self, RlError> {
+        check("initial", initial)?;
+        check("floor", floor)?;
+        if floor > initial {
+            return Err(RlError::InvalidParameter {
+                name: "floor",
+                value: floor,
+            });
+        }
+        Ok(Self::InverseTime { initial, floor })
+    }
+
+    /// A linearly decaying schedule.
+    ///
+    /// # Errors
+    ///
+    /// As [`Schedule::exponential`].
+    pub fn linear(initial: f64, floor: f64, steps: u64) -> Result<Self, RlError> {
+        check("initial", initial)?;
+        check("floor", floor)?;
+        if floor > initial {
+            return Err(RlError::InvalidParameter {
+                name: "floor",
+                value: floor,
+            });
+        }
+        Ok(Self::Linear {
+            initial,
+            floor,
+            steps,
+        })
+    }
+
+    /// The schedule's value at step `t`.
+    pub fn value(&self, t: u64) -> f64 {
+        match *self {
+            Self::Constant { value } => value,
+            Self::Exponential {
+                initial,
+                rate,
+                floor,
+            } => (initial * (-rate * t as f64).exp()).max(floor),
+            Self::InverseTime { initial, floor } => (initial / (1.0 + t as f64)).max(floor),
+            Self::Linear {
+                initial,
+                floor,
+                steps,
+            } => {
+                if steps == 0 || t >= steps {
+                    floor
+                } else {
+                    initial + (floor - initial) * (t as f64 / steps as f64)
+                }
+            }
+        }
+    }
+}
+
+fn check(name: &'static str, value: f64) -> Result<(), RlError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(RlError::InvalidParameter { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = Schedule::constant(0.3).unwrap();
+        assert_eq!(s.value(0), 0.3);
+        assert_eq!(s.value(1_000_000), 0.3);
+    }
+
+    #[test]
+    fn exponential_decays_to_floor() {
+        let s = Schedule::exponential(1.0, 0.1, 0.05).unwrap();
+        assert_eq!(s.value(0), 1.0);
+        assert!(s.value(10) < s.value(5));
+        assert_eq!(s.value(1_000), 0.05);
+    }
+
+    #[test]
+    fn inverse_time_is_robbins_monro() {
+        let s = Schedule::inverse_time(1.0, 0.0).unwrap();
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(1) - 0.5).abs() < 1e-12);
+        assert!((s.value(9) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_hits_floor_exactly_at_steps() {
+        let s = Schedule::linear(1.0, 0.2, 10).unwrap();
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(5) - 0.6).abs() < 1e-12);
+        assert_eq!(s.value(10), 0.2);
+        assert_eq!(s.value(99), 0.2);
+    }
+
+    #[test]
+    fn linear_with_zero_steps_is_floor() {
+        let s = Schedule::linear(1.0, 0.2, 0).unwrap();
+        assert_eq!(s.value(0), 0.2);
+    }
+
+    #[test]
+    fn schedules_are_monotone_nonincreasing() {
+        let schedules = [
+            Schedule::exponential(0.8, 0.02, 0.1).unwrap(),
+            Schedule::inverse_time(0.8, 0.1).unwrap(),
+            Schedule::linear(0.8, 0.1, 50).unwrap(),
+        ];
+        for s in schedules {
+            let mut last = f64::MAX;
+            for t in 0..200 {
+                let v = s.value(t);
+                assert!(v <= last + 1e-12);
+                assert!(v >= 0.1 - 1e-12);
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Schedule::constant(-0.1).is_err());
+        assert!(Schedule::constant(f64::NAN).is_err());
+        assert!(Schedule::exponential(0.1, 0.01, 0.5).is_err()); // floor > initial
+        assert!(Schedule::inverse_time(1.0, 2.0).is_err());
+        assert!(Schedule::linear(f64::INFINITY, 0.0, 10).is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! Watkins Q(λ): eligibility traces for faster credit propagation.
+
+use crate::error::RlError;
+use crate::policy::Policy;
+use crate::qtable::QTable;
+use crate::schedule::Schedule;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A tabular Q(λ) agent (Watkins' variant).
+///
+/// Plain one-step Q-learning propagates credit one transition per update;
+/// with eligibility traces, a reward updates every recently visited
+/// `(s, a)` pair at once, decayed by `(γλ)^age` — and, per Watkins, traces
+/// are cut whenever an exploratory (non-greedy) action breaks the greedy
+/// trajectory. For slowly mixing control loops this can shorten the
+/// transient by a large factor.
+///
+/// Traces are stored sparsely (only pairs above a cutoff), so the per-step
+/// cost stays proportional to the effective trace length, not the table.
+///
+/// ```
+/// use odrl_rl::{Policy, Schedule, TraceAgent};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut agent = TraceAgent::builder(4, 2)
+///     .gamma(0.9)
+///     .lambda(0.8)
+///     .alpha(Schedule::constant(0.2)?)
+///     .build()?;
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let a = agent.select(0, &mut rng)?;
+/// agent.update(0, a, 1.0, 1)?;
+/// # Ok::<(), odrl_rl::RlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceAgent {
+    q: QTable,
+    gamma: f64,
+    lambda: f64,
+    alpha: Schedule,
+    policy: Policy,
+    step: u64,
+    /// Sparse eligibility traces: `(state, action, eligibility)`.
+    traces: Vec<(usize, usize, f64)>,
+    /// Whether the last selected action was greedy (Watkins cut rule).
+    last_was_greedy: bool,
+}
+
+/// Traces below this weight are dropped (keeps the sparse list short).
+const TRACE_CUTOFF: f64 = 1e-3;
+
+impl TraceAgent {
+    /// Starts building an agent over `states × actions`.
+    pub fn builder(states: usize, actions: usize) -> TraceAgentBuilder {
+        TraceAgentBuilder {
+            states,
+            actions,
+            gamma: 0.9,
+            lambda: 0.8,
+            alpha: Schedule::Constant { value: 0.1 },
+            policy: Policy::default_epsilon_greedy(),
+        }
+    }
+
+    /// The agent's Q-table.
+    pub fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    /// Number of live eligibility traces.
+    pub fn trace_len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Selects an action in state `s`, tracking whether it was greedy (for
+    /// the Watkins trace-cut rule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn select<R: Rng + ?Sized>(&mut self, s: usize, rng: &mut R) -> Result<usize, RlError> {
+        let a = self.policy.select(&self.q, s, self.step, rng)?;
+        self.last_was_greedy = a == self.q.best_action(s)?;
+        self.step += 1;
+        Ok(a)
+    }
+
+    /// The greedy action in state `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn exploit(&self, s: usize) -> Result<usize, RlError> {
+        self.q.best_action(s)
+    }
+
+    /// Applies a Q(λ) update for `(s, a, r, s')`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices or
+    /// [`RlError::InvalidParameter`] for a non-finite reward.
+    pub fn update(
+        &mut self,
+        s: usize,
+        a: usize,
+        reward: f64,
+        s_next: usize,
+    ) -> Result<(), RlError> {
+        if !reward.is_finite() {
+            return Err(RlError::InvalidParameter {
+                name: "reward",
+                value: reward,
+            });
+        }
+        let visits = self.q.visit(s, a)?;
+        let alpha = self.alpha.value(visits - 1);
+        let delta = reward + self.gamma * self.q.max_value(s_next)? - self.q.get(s, a)?;
+
+        // Bump (or insert) the current pair's eligibility to 1 (replacing
+        // traces — more stable than accumulating for cyclic visits).
+        if let Some(entry) = self
+            .traces
+            .iter_mut()
+            .find(|(ts, ta, _)| *ts == s && *ta == a)
+        {
+            entry.2 = 1.0;
+        } else {
+            self.traces.push((s, a, 1.0));
+        }
+
+        // Apply the TD error along every eligible pair.
+        for &(ts, ta, e) in &self.traces {
+            let old = self.q.get(ts, ta)?;
+            self.q.set(ts, ta, old + alpha * delta * e)?;
+        }
+
+        // Decay — or cut, per Watkins, if the action taken was exploratory.
+        if self.last_was_greedy {
+            let decay = self.gamma * self.lambda;
+            for entry in &mut self.traces {
+                entry.2 *= decay;
+            }
+            self.traces.retain(|&(_, _, e)| e >= TRACE_CUTOFF);
+        } else {
+            self.traces.clear();
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`TraceAgent`].
+#[derive(Debug, Clone)]
+pub struct TraceAgentBuilder {
+    states: usize,
+    actions: usize,
+    gamma: f64,
+    lambda: f64,
+    alpha: Schedule,
+    policy: Policy,
+}
+
+impl TraceAgentBuilder {
+    /// Sets the discount factor (must be in `[0, 1)`).
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets the trace-decay parameter λ (must be in `[0, 1]`).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the learning-rate schedule.
+    pub fn alpha(mut self, alpha: Schedule) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the exploration policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::EmptySpace`] for empty spaces or
+    /// [`RlError::InvalidParameter`] for `gamma` outside `[0, 1)` or
+    /// `lambda` outside `[0, 1]`.
+    pub fn build(self) -> Result<TraceAgent, RlError> {
+        if !(self.gamma.is_finite() && (0.0..1.0).contains(&self.gamma)) {
+            return Err(RlError::InvalidParameter {
+                name: "gamma",
+                value: self.gamma,
+            });
+        }
+        if !(self.lambda.is_finite() && (0.0..=1.0).contains(&self.lambda)) {
+            return Err(RlError::InvalidParameter {
+                name: "lambda",
+                value: self.lambda,
+            });
+        }
+        Ok(TraceAgent {
+            q: QTable::new(self.states, self.actions)?,
+            gamma: self.gamma,
+            lambda: self.lambda,
+            alpha: self.alpha,
+            policy: self.policy,
+            step: 0,
+            traces: Vec::new(),
+            last_was_greedy: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 5-state corridor: start at 0, action 0 moves right, reward 1 only
+    /// on reaching state 4 (then reset). Count updates until the start
+    /// state's value becomes positive — traces must get there faster.
+    fn updates_until_start_learns(lambda: f64) -> u32 {
+        let mut agent = TraceAgent::builder(5, 1)
+            .gamma(0.9)
+            .lambda(lambda)
+            .alpha(Schedule::constant(0.5).unwrap())
+            .policy(Policy::Greedy)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut updates = 0;
+        for _ in 0..100 {
+            let mut s = 0;
+            while s < 4 {
+                let a = agent.select(s, &mut rng).unwrap();
+                let s2 = s + 1;
+                let r = if s2 == 4 { 1.0 } else { 0.0 };
+                agent.update(s, a, r, s2).unwrap();
+                updates += 1;
+                s = s2;
+            }
+            agent.traces.clear(); // episode boundary
+            if agent.q().get(0, 0).unwrap() > 0.01 {
+                return updates;
+            }
+        }
+        updates
+    }
+
+    #[test]
+    fn traces_accelerate_credit_propagation() {
+        let no_traces = updates_until_start_learns(0.0);
+        let with_traces = updates_until_start_learns(0.9);
+        assert!(
+            with_traces < no_traces,
+            "Q(lambda) should be faster: {with_traces} vs {no_traces} updates"
+        );
+        // One-step Q-learning needs ~one episode per state to back up.
+        assert!(no_traces >= 4 * 4, "{no_traces}");
+        // With lambda=0.9 one episode suffices.
+        assert!(with_traces <= 4, "{with_traces}");
+    }
+
+    #[test]
+    fn exploratory_actions_cut_traces() {
+        let mut agent = TraceAgent::builder(3, 2)
+            .gamma(0.9)
+            .lambda(0.9)
+            .policy(Policy::EpsilonGreedy {
+                epsilon: Schedule::constant(1.0).unwrap(), // always explore
+            })
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Make action 0 greedy in every state so random action 1 is
+        // exploratory.
+        for s in 0..3 {
+            agent.q.set(s, 0, 1.0).unwrap();
+        }
+        for _ in 0..20 {
+            let a = agent.select(0, &mut rng).unwrap();
+            agent.update(0, a, 0.0, 1).unwrap();
+            if a != 0 {
+                // Exploratory action: traces must have been cleared.
+                assert_eq!(agent.trace_len(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn traces_stay_bounded() {
+        let mut agent = TraceAgent::builder(50, 2)
+            .gamma(0.9)
+            .lambda(0.9)
+            .policy(Policy::Greedy)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..5_000 {
+            let s = i % 50;
+            let a = agent.select(s, &mut rng).unwrap();
+            agent.update(s, a, 0.1, (s + 1) % 50).unwrap();
+        }
+        // (gamma*lambda)^k < cutoff bounds the trace length at ~33.
+        assert!(agent.trace_len() < 60, "{}", agent.trace_len());
+    }
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(TraceAgent::builder(2, 2).lambda(1.5).build().is_err());
+        assert!(TraceAgent::builder(2, 2).lambda(-0.1).build().is_err());
+        assert!(TraceAgent::builder(2, 2).lambda(1.0).build().is_ok());
+    }
+
+    #[test]
+    fn converges_on_constant_reward() {
+        let mut agent = TraceAgent::builder(1, 1)
+            .gamma(0.5)
+            .lambda(0.5)
+            .alpha(Schedule::constant(0.2).unwrap())
+            .policy(Policy::Greedy)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..3_000 {
+            let a = agent.select(0, &mut rng).unwrap();
+            agent.update(0, a, 1.0, 0).unwrap();
+        }
+        let q = agent.q().get(0, 0).unwrap();
+        assert!((q - 2.0).abs() < 0.05, "q = {q}");
+    }
+}

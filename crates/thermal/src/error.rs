@@ -1,0 +1,64 @@
+//! Error types for the thermal crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or stepping a thermal model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// The floorplan would contain zero tiles.
+    EmptyFloorplan,
+    /// The number of power inputs does not match the number of tiles.
+    PowerLengthMismatch {
+        /// Number of power samples supplied.
+        supplied: usize,
+        /// Number of tiles in the floorplan.
+        expected: usize,
+    },
+    /// A model parameter was non-finite or out of its physical range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyFloorplan => write!(f, "floorplan has zero tiles"),
+            Self::PowerLengthMismatch { supplied, expected } => write!(
+                f,
+                "power vector has {supplied} entries but the floorplan has {expected} tiles"
+            ),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ThermalError::PowerLengthMismatch {
+            supplied: 3,
+            expected: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("16"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ThermalError>();
+    }
+}

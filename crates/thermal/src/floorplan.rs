@@ -1,0 +1,197 @@
+//! Rectangular mesh floorplans: tile indexing and adjacency.
+
+use crate::error::ThermalError;
+use serde::{Deserialize, Serialize};
+
+/// A `cols × rows` rectangular mesh of identical core tiles.
+///
+/// Tiles are indexed row-major: tile `i` sits at
+/// `(x, y) = (i % cols, i / cols)`. This mirrors the tiled many-core
+/// layouts (mesh NoC) that the paper's target systems use.
+///
+/// ```
+/// use odrl_thermal::Floorplan;
+/// let fp = Floorplan::new(8, 8).unwrap();
+/// assert_eq!(fp.tiles(), 64);
+/// assert_eq!(fp.position(9), (1, 1));
+/// assert_eq!(fp.neighbors(0).count(), 2); // corner tile
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Floorplan {
+    cols: usize,
+    rows: usize,
+}
+
+impl Floorplan {
+    /// Creates a `cols × rows` floorplan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::EmptyFloorplan`] if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Result<Self, ThermalError> {
+        if cols == 0 || rows == 0 {
+            return Err(ThermalError::EmptyFloorplan);
+        }
+        Ok(Self { cols, rows })
+    }
+
+    /// Creates the most-square floorplan holding exactly `n` tiles.
+    ///
+    /// Picks `cols` as the largest divisor of `n` that is at most `√n`, so a
+    /// perfect square gives a square mesh and e.g. 48 gives 6 × 8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::EmptyFloorplan`] if `n == 0`.
+    pub fn squarish(n: usize) -> Result<Self, ThermalError> {
+        if n == 0 {
+            return Err(ThermalError::EmptyFloorplan);
+        }
+        let mut best = 1;
+        let mut d = 1;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                best = d;
+            }
+            d += 1;
+        }
+        Self::new(best, n / best)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// `(x, y)` grid position of tile `i` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.tiles()`.
+    pub fn position(&self, i: usize) -> (usize, usize) {
+        assert!(i < self.tiles(), "tile index {i} out of range");
+        (i % self.cols, i / self.cols)
+    }
+
+    /// Tile index at grid position `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is outside the mesh.
+    pub fn index(&self, x: usize, y: usize) -> usize {
+        assert!(
+            x < self.cols && y < self.rows,
+            "position ({x},{y}) out of range"
+        );
+        y * self.cols + x
+    }
+
+    /// Iterates over the 4-connected mesh neighbors of tile `i`.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let (x, y) = self.position(i);
+        let cols = self.cols;
+        let rows = self.rows;
+        let candidates = [
+            (x > 0).then(|| self.index(x - 1, y)),
+            (x + 1 < cols).then(|| self.index(x + 1, y)),
+            (y > 0).then(|| self.index(x, y - 1)),
+            (y + 1 < rows).then(|| self.index(x, y + 1)),
+        ];
+        candidates.into_iter().flatten()
+    }
+
+    /// Manhattan distance between two tiles (the mesh-NoC hop count).
+    pub fn manhattan(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.position(a);
+        let (bx, by) = self.position(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert_eq!(Floorplan::new(0, 4), Err(ThermalError::EmptyFloorplan));
+        assert_eq!(Floorplan::new(4, 0), Err(ThermalError::EmptyFloorplan));
+        assert_eq!(Floorplan::squarish(0), Err(ThermalError::EmptyFloorplan));
+    }
+
+    #[test]
+    fn squarish_prefers_square() {
+        assert_eq!(
+            Floorplan::squarish(64).unwrap(),
+            Floorplan::new(8, 8).unwrap()
+        );
+        assert_eq!(
+            Floorplan::squarish(48).unwrap(),
+            Floorplan::new(6, 8).unwrap()
+        );
+        assert_eq!(
+            Floorplan::squarish(7).unwrap(),
+            Floorplan::new(1, 7).unwrap()
+        );
+        assert_eq!(Floorplan::squarish(1).unwrap().tiles(), 1);
+    }
+
+    #[test]
+    fn position_index_roundtrip() {
+        let fp = Floorplan::new(5, 3).unwrap();
+        for i in 0..fp.tiles() {
+            let (x, y) = fp.position(i);
+            assert_eq!(fp.index(x, y), i);
+        }
+    }
+
+    #[test]
+    fn neighbor_counts_match_mesh_topology() {
+        let fp = Floorplan::new(4, 4).unwrap();
+        // Corners have 2, edges 3, interior 4.
+        assert_eq!(fp.neighbors(0).count(), 2);
+        assert_eq!(fp.neighbors(1).count(), 3);
+        assert_eq!(fp.neighbors(5).count(), 4);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let fp = Floorplan::new(3, 4).unwrap();
+        for i in 0..fp.tiles() {
+            for j in fp.neighbors(i) {
+                assert!(fp.neighbors(j).any(|k| k == i), "asymmetric {i}<->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_tile_has_no_neighbors() {
+        let fp = Floorplan::new(1, 1).unwrap();
+        assert_eq!(fp.neighbors(0).count(), 0);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let fp = Floorplan::new(4, 4).unwrap();
+        assert_eq!(fp.manhattan(0, 0), 0);
+        assert_eq!(fp.manhattan(0, 3), 3);
+        assert_eq!(fp.manhattan(0, 15), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn position_panics_out_of_range() {
+        let fp = Floorplan::new(2, 2).unwrap();
+        let _ = fp.position(4);
+    }
+}

@@ -1,0 +1,333 @@
+//! The RC thermal grid: transient stepping and steady-state solving.
+
+use crate::error::ThermalError;
+use crate::floorplan::Floorplan;
+use crate::params::ThermalParams;
+use odrl_power::{Celsius, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A lumped RC thermal network over a mesh [`Floorplan`].
+///
+/// Each tile is one thermal node with capacitance `C`, a vertical
+/// conductance `Gv = 1/Rv` to ambient, and lateral conductances `Gl` to its
+/// 4-connected neighbors:
+///
+/// `C · dT_i/dt = P_i − Gv·(T_i − T_amb) − Σ_j Gl·(T_i − T_j)`
+///
+/// Transient stepping uses forward Euler with automatic sub-stepping to stay
+/// inside the stability bound `Δt < C / (Gv + deg·Gl)`.
+///
+/// ```
+/// use odrl_thermal::{Floorplan, ThermalGrid, ThermalParams};
+/// use odrl_power::{Watts, Seconds};
+///
+/// let fp = Floorplan::new(4, 4).unwrap();
+/// let mut grid = ThermalGrid::new(fp, ThermalParams::default()).unwrap();
+/// let powers = vec![Watts::new(2.0); 16];
+/// for _ in 0..200 {
+///     grid.step(&powers, Seconds::new(1e-3)).unwrap();
+/// }
+/// // After many time constants the grid approaches steady state.
+/// let ss = grid.steady_state(&powers).unwrap();
+/// let diff = (grid.temperature(5).value() - ss[5].value()).abs();
+/// assert!(diff < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalGrid {
+    floorplan: Floorplan,
+    params: ThermalParams,
+    temps: Vec<Celsius>,
+}
+
+impl ThermalGrid {
+    /// Creates a grid with every tile at ambient temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `params` fail validation.
+    pub fn new(floorplan: Floorplan, params: ThermalParams) -> Result<Self, ThermalError> {
+        params.validate()?;
+        let temps = vec![params.ambient; floorplan.tiles()];
+        Ok(Self {
+            floorplan,
+            params,
+            temps,
+        })
+    }
+
+    /// The floorplan this grid models.
+    pub fn floorplan(&self) -> Floorplan {
+        self.floorplan
+    }
+
+    /// The thermal parameters.
+    pub fn params(&self) -> &ThermalParams {
+        &self.params
+    }
+
+    /// Current temperature of tile `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn temperature(&self, i: usize) -> Celsius {
+        self.temps[i]
+    }
+
+    /// All tile temperatures.
+    pub fn temperatures(&self) -> &[Celsius] {
+        &self.temps
+    }
+
+    /// Hottest tile temperature.
+    pub fn max_temperature(&self) -> Celsius {
+        self.temps
+            .iter()
+            .copied()
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    /// Resets every tile to ambient.
+    pub fn reset(&mut self) {
+        self.temps.fill(self.params.ambient);
+    }
+
+    /// Overwrites the temperature state (e.g. to start from a steady state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] if the slice length does
+    /// not match the tile count.
+    pub fn set_temperatures(&mut self, temps: &[Celsius]) -> Result<(), ThermalError> {
+        self.check_len(temps.len())?;
+        self.temps.copy_from_slice(temps);
+        Ok(())
+    }
+
+    fn check_len(&self, len: usize) -> Result<(), ThermalError> {
+        if len != self.temps.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                supplied: len,
+                expected: self.temps.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Largest stable forward-Euler step for this grid.
+    fn stable_dt(&self) -> f64 {
+        let g_max = self.params.g_vertical() + 4.0 * self.params.g_lateral;
+        // Half the theoretical bound for a comfortable stability margin.
+        0.5 * self.params.c_tile / g_max
+    }
+
+    /// Advances the grid by `dt` under the given per-tile powers.
+    ///
+    /// Sub-steps internally as needed for numerical stability, so any `dt`
+    /// is safe (larger steps just cost more sub-iterations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] if `powers` does not
+    /// have one entry per tile.
+    pub fn step(&mut self, powers: &[Watts], dt: Seconds) -> Result<(), ThermalError> {
+        self.check_len(powers.len())?;
+        let dt = dt.value();
+        if dt <= 0.0 {
+            return Ok(());
+        }
+        let h_max = self.stable_dt();
+        let substeps = (dt / h_max).ceil().max(1.0) as usize;
+        let h = dt / substeps as f64;
+        let gv = self.params.g_vertical();
+        let gl = self.params.g_lateral;
+        let c = self.params.c_tile;
+        let amb = self.params.ambient.value();
+        let n = self.temps.len();
+        let mut next = vec![0.0f64; n];
+        for _ in 0..substeps {
+            for i in 0..n {
+                let t_i = self.temps[i].value();
+                let mut flow = powers[i].value() - gv * (t_i - amb);
+                for j in self.floorplan.neighbors(i) {
+                    flow -= gl * (t_i - self.temps[j].value());
+                }
+                next[i] = t_i + h * flow / c;
+            }
+            for (t, &v) in self.temps.iter_mut().zip(&next) {
+                *t = Celsius::new(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves for the steady-state temperature field under constant powers.
+    ///
+    /// Uses Gauss–Seidel iteration on the conductance system; converges
+    /// quickly because the matrix is strictly diagonally dominant
+    /// (`Gv > 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] if `powers` does not
+    /// have one entry per tile.
+    pub fn steady_state(&self, powers: &[Watts]) -> Result<Vec<Celsius>, ThermalError> {
+        self.check_len(powers.len())?;
+        let gv = self.params.g_vertical();
+        let gl = self.params.g_lateral;
+        let amb = self.params.ambient.value();
+        let n = self.temps.len();
+        let mut t: Vec<f64> = self.temps.iter().map(|c| c.value()).collect();
+        for _ in 0..10_000 {
+            let mut max_delta = 0.0f64;
+            for i in 0..n {
+                let mut num = powers[i].value() + gv * amb;
+                let mut den = gv;
+                for j in self.floorplan.neighbors(i) {
+                    num += gl * t[j];
+                    den += gl;
+                }
+                let new = num / den;
+                max_delta = max_delta.max((new - t[i]).abs());
+                t[i] = new;
+            }
+            if max_delta < 1e-9 {
+                break;
+            }
+        }
+        Ok(t.into_iter().map(Celsius::new).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(cols: usize, rows: usize) -> ThermalGrid {
+        ThermalGrid::new(
+            Floorplan::new(cols, rows).unwrap(),
+            ThermalParams::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let g = grid(4, 4);
+        for &t in g.temperatures() {
+            assert_eq!(t, ThermalParams::default().ambient);
+        }
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let mut g = grid(3, 3);
+        let p = vec![Watts::ZERO; 9];
+        for _ in 0..100 {
+            g.step(&p, Seconds::new(1e-3)).unwrap();
+        }
+        for &t in g.temperatures() {
+            assert!((t.value() - 45.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_power_steady_state_matches_analytic() {
+        // With uniform power, lateral flows cancel: T = amb + P*Rv.
+        let g = grid(4, 4);
+        let p = vec![Watts::new(2.0); 16];
+        let ss = g.steady_state(&p).unwrap();
+        let expect = 45.0 + 2.0 * 6.0;
+        for t in ss {
+            assert!((t.value() - expect).abs() < 1e-6, "{t} != {expect}");
+        }
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let mut g = grid(4, 4);
+        let mut p = vec![Watts::new(1.0); 16];
+        p[5] = Watts::new(5.0); // hot spot
+        let ss = g.steady_state(&p).unwrap();
+        for _ in 0..500 {
+            g.step(&p, Seconds::new(1e-3)).unwrap();
+        }
+        for (a, b) in g.temperatures().iter().zip(&ss) {
+            assert!((a.value() - b.value()).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn hot_spot_heats_neighbors() {
+        let g = grid(5, 5);
+        let mut p = vec![Watts::ZERO; 25];
+        p[12] = Watts::new(5.0); // center
+        let ss = g.steady_state(&p).unwrap();
+        let center = ss[12].value();
+        let neighbor = ss[11].value();
+        let corner = ss[0].value();
+        assert!(center > neighbor, "center {center} neighbor {neighbor}");
+        assert!(neighbor > corner, "neighbor {neighbor} corner {corner}");
+        assert!(corner >= 45.0 - 1e-9);
+    }
+
+    #[test]
+    fn step_rejects_wrong_power_length() {
+        let mut g = grid(2, 2);
+        let err = g.step(&[Watts::ZERO; 3], Seconds::new(1e-3)).unwrap_err();
+        assert_eq!(
+            err,
+            ThermalError::PowerLengthMismatch {
+                supplied: 3,
+                expected: 4
+            }
+        );
+        assert!(g.steady_state(&[Watts::ZERO; 5]).is_err());
+    }
+
+    #[test]
+    fn zero_or_negative_dt_is_a_noop() {
+        let mut g = grid(2, 2);
+        let before = g.temperatures().to_vec();
+        g.step(&[Watts::new(5.0); 4], Seconds::new(0.0)).unwrap();
+        g.step(&[Watts::new(5.0); 4], Seconds::new(-1.0)).unwrap();
+        assert_eq!(g.temperatures(), &before[..]);
+    }
+
+    #[test]
+    fn large_dt_is_stable() {
+        // A dt far beyond the Euler stability bound must not blow up.
+        let mut g = grid(4, 4);
+        let p = vec![Watts::new(3.0); 16];
+        g.step(&p, Seconds::new(1.0)).unwrap();
+        for &t in g.temperatures() {
+            assert!(t.value().is_finite());
+            assert!((45.0..200.0).contains(&t.value()));
+        }
+    }
+
+    #[test]
+    fn set_temperatures_roundtrip_and_reset() {
+        let mut g = grid(2, 2);
+        let warm = vec![Celsius::new(80.0); 4];
+        g.set_temperatures(&warm).unwrap();
+        assert_eq!(g.temperature(3).value(), 80.0);
+        assert_eq!(g.max_temperature().value(), 80.0);
+        g.reset();
+        assert_eq!(g.temperature(0).value(), 45.0);
+        assert!(g.set_temperatures(&[Celsius::ZERO; 3]).is_err());
+    }
+
+    #[test]
+    fn monotone_heating_under_constant_power() {
+        let mut g = grid(3, 3);
+        let p = vec![Watts::new(2.0); 9];
+        let mut last = 45.0;
+        for _ in 0..20 {
+            g.step(&p, Seconds::new(1e-3)).unwrap();
+            let t = g.temperature(4).value();
+            assert!(t >= last - 1e-12);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! HotSpot-lite RC thermal simulation for tiled many-core floorplans.
+//!
+//! The paper's leakage power — and therefore part of its power-capping
+//! difficulty — depends on die temperature. This crate models the die as a
+//! lumped RC network over a rectangular mesh [`Floorplan`]: each core tile
+//! is one node with a vertical conductance to ambient and lateral
+//! conductances to its mesh neighbors.
+//!
+//! * [`Floorplan`] — mesh geometry, tile indexing, adjacency;
+//! * [`ThermalParams`] — per-tile R, C, lateral G and ambient temperature;
+//! * [`ThermalGrid`] — transient forward-Euler stepping (auto-substepped
+//!   for stability) and Gauss–Seidel steady-state solving.
+//!
+//! # Example
+//!
+//! ```
+//! use odrl_thermal::{Floorplan, ThermalGrid, ThermalParams};
+//! use odrl_power::{Watts, Seconds};
+//!
+//! let fp = Floorplan::squarish(64)?;
+//! let mut grid = ThermalGrid::new(fp, ThermalParams::default())?;
+//! let powers = vec![Watts::new(1.5); 64];
+//! grid.step(&powers, Seconds::new(1e-3))?;
+//! assert!(grid.max_temperature().value() > 45.0);
+//! # Ok::<(), odrl_thermal::ThermalError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod floorplan;
+pub mod grid;
+pub mod params;
+
+pub use error::ThermalError;
+pub use floorplan::Floorplan;
+pub use grid::ThermalGrid;
+pub use params::ThermalParams;

@@ -1,0 +1,112 @@
+//! Property-based tests for the thermal grid.
+
+use odrl_power::{Celsius, Seconds, Watts};
+use odrl_thermal::{Floorplan, ThermalGrid, ThermalParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transient stepping never produces non-finite or sub-ambient
+    /// temperatures for any non-negative power map.
+    #[test]
+    fn transients_stay_physical(
+        cols in 1usize..6,
+        rows in 1usize..6,
+        powers in prop::collection::vec(0.0f64..10.0, 36),
+        dt_ms in 0.01f64..10.0,
+        steps in 1usize..30,
+    ) {
+        let fp = Floorplan::new(cols, rows).unwrap();
+        let mut grid = ThermalGrid::new(fp, ThermalParams::default()).unwrap();
+        let p: Vec<Watts> = powers[..fp.tiles()].iter().map(|&w| Watts::new(w)).collect();
+        for _ in 0..steps {
+            grid.step(&p, Seconds::new(dt_ms * 1e-3)).unwrap();
+        }
+        for &t in grid.temperatures() {
+            prop_assert!(t.value().is_finite());
+            prop_assert!(t.value() >= 45.0 - 1e-9, "sub-ambient {t}");
+            prop_assert!(t.value() < 500.0, "runaway {t}");
+        }
+    }
+
+    /// Steady state is a fixed point of the transient dynamics: starting
+    /// from the steady state and stepping leaves temperatures unchanged.
+    #[test]
+    fn steady_state_is_a_fixed_point(
+        cols in 1usize..5,
+        rows in 1usize..5,
+        powers in prop::collection::vec(0.0f64..8.0, 25),
+    ) {
+        let fp = Floorplan::new(cols, rows).unwrap();
+        let mut grid = ThermalGrid::new(fp, ThermalParams::default()).unwrap();
+        let p: Vec<Watts> = powers[..fp.tiles()].iter().map(|&w| Watts::new(w)).collect();
+        let ss = grid.steady_state(&p).unwrap();
+        grid.set_temperatures(&ss).unwrap();
+        grid.step(&p, Seconds::new(5e-3)).unwrap();
+        for (a, b) in grid.temperatures().iter().zip(&ss) {
+            prop_assert!((a.value() - b.value()).abs() < 1e-3,
+                "moved off steady state: {} vs {}", a, b);
+        }
+    }
+
+    /// Monotonicity: more power in one tile never cools any tile at steady
+    /// state.
+    #[test]
+    fn steady_state_monotone_in_power(
+        cols in 2usize..5,
+        rows in 2usize..5,
+        base in 0.0f64..4.0,
+        extra in 0.1f64..5.0,
+        which in 0usize..25,
+    ) {
+        let fp = Floorplan::new(cols, rows).unwrap();
+        let grid = ThermalGrid::new(fp, ThermalParams::default()).unwrap();
+        let idx = which % fp.tiles();
+        let p1 = vec![Watts::new(base); fp.tiles()];
+        let mut p2 = p1.clone();
+        p2[idx] = Watts::new(base + extra);
+        let s1 = grid.steady_state(&p1).unwrap();
+        let s2 = grid.steady_state(&p2).unwrap();
+        for (a, b) in s1.iter().zip(&s2) {
+            prop_assert!(b.value() >= a.value() - 1e-9);
+        }
+        prop_assert!(s2[idx].value() > s1[idx].value());
+    }
+
+    /// Energy balance at steady state: total heat in equals total heat out
+    /// through the vertical path (lateral flows cancel internally).
+    #[test]
+    fn steady_state_energy_balance(
+        cols in 1usize..5,
+        rows in 1usize..5,
+        powers in prop::collection::vec(0.0f64..6.0, 25),
+    ) {
+        let fp = Floorplan::new(cols, rows).unwrap();
+        let grid = ThermalGrid::new(fp, ThermalParams::default()).unwrap();
+        let p: Vec<Watts> = powers[..fp.tiles()].iter().map(|&w| Watts::new(w)).collect();
+        let ss = grid.steady_state(&p).unwrap();
+        let gv = grid.params().g_vertical();
+        let amb = grid.params().ambient.value();
+        let heat_in: f64 = p.iter().map(|w| w.value()).sum();
+        let heat_out: f64 = ss.iter().map(|t| gv * (t.value() - amb)).sum();
+        prop_assert!((heat_in - heat_out).abs() < 1e-5 * heat_in.max(1.0),
+            "in {heat_in} out {heat_out}");
+    }
+
+    /// set_temperatures/temperatures round-trips.
+    #[test]
+    fn temperature_roundtrip(
+        cols in 1usize..5,
+        rows in 1usize..5,
+        temps in prop::collection::vec(45.0f64..120.0, 25),
+    ) {
+        let fp = Floorplan::new(cols, rows).unwrap();
+        let mut grid = ThermalGrid::new(fp, ThermalParams::default()).unwrap();
+        let t: Vec<Celsius> = temps[..fp.tiles()].iter().map(|&v| Celsius::new(v)).collect();
+        grid.set_temperatures(&t).unwrap();
+        prop_assert_eq!(grid.temperatures(), &t[..]);
+        let max = t.iter().cloned().fold(Celsius::new(f64::MIN), Celsius::max);
+        prop_assert_eq!(grid.max_temperature(), max);
+    }
+}

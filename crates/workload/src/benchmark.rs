@@ -1,0 +1,208 @@
+//! Benchmark specifications: named sets of phases plus switching behaviour.
+
+use crate::error::WorkloadError;
+use crate::markov::TransitionMatrix;
+use crate::phase::{PhaseParams, PhaseSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A complete benchmark description: phases, dwell times, and the Markov
+/// model governing phase switching.
+///
+/// ```
+/// use odrl_workload::{BenchmarkSpec, PhaseParams, PhaseSpec, TransitionMatrix};
+///
+/// let spec = BenchmarkSpec::new(
+///     "toy",
+///     vec![
+///         PhaseSpec::new(PhaseParams::new(0.8, 1.0, 1.0)?, 1e7)?,
+///         PhaseSpec::new(PhaseParams::new(1.2, 12.0, 0.6)?, 5e6)?,
+///     ],
+///     TransitionMatrix::cycle(2)?,
+/// )?;
+/// assert_eq!(spec.phases().len(), 2);
+/// # Ok::<(), odrl_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    name: String,
+    phases: Vec<PhaseSpec>,
+    transitions: TransitionMatrix,
+}
+
+impl BenchmarkSpec {
+    /// Creates a benchmark specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::NoPhases`] if `phases` is empty, or
+    /// [`WorkloadError::InvalidTransitionMatrix`] if the matrix dimension
+    /// does not match the phase count.
+    pub fn new(
+        name: impl Into<String>,
+        phases: Vec<PhaseSpec>,
+        transitions: TransitionMatrix,
+    ) -> Result<Self, WorkloadError> {
+        if phases.is_empty() {
+            return Err(WorkloadError::NoPhases);
+        }
+        if transitions.len() != phases.len() {
+            return Err(WorkloadError::InvalidTransitionMatrix {
+                reason: format!(
+                    "matrix has {} states but benchmark has {} phases",
+                    transitions.len(),
+                    phases.len()
+                ),
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            phases,
+            transitions,
+        })
+    }
+
+    /// A single-phase, steady benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidPhase`] if the parameters are out of
+    /// range.
+    pub fn steady(name: impl Into<String>, params: PhaseParams) -> Result<Self, WorkloadError> {
+        Self::new(
+            name,
+            vec![PhaseSpec::new(params, 1e9)?],
+            TransitionMatrix::identity(1)?,
+        )
+    }
+
+    /// Generates a random but valid benchmark: 1–5 phases with parameters
+    /// drawn across the compute-/memory-bound spectrum, uniform switching.
+    /// Deterministic per seed — used for fuzz/stress-testing controllers
+    /// beyond the curated suite.
+    ///
+    /// ```
+    /// use odrl_workload::BenchmarkSpec;
+    /// let a = BenchmarkSpec::random(7);
+    /// let b = BenchmarkSpec::random(7);
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn random(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBE9C_4A11);
+        let n = rng.gen_range(1..=5);
+        let phases = (0..n)
+            .map(|_| {
+                let params = PhaseParams::new(
+                    rng.gen_range(0.4..2.5),
+                    rng.gen_range(0.0..30.0),
+                    rng.gen_range(0.2..1.2),
+                )
+                .expect("sampled ranges are valid");
+                PhaseSpec::new(params, rng.gen_range(1e6..5e7)).expect("sampled dwell is valid")
+            })
+            .collect();
+        Self::new(
+            format!("random-{seed}"),
+            phases,
+            TransitionMatrix::uniform(n).expect("n >= 1"),
+        )
+        .expect("generated benchmarks are valid")
+    }
+
+    /// Benchmark name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The phases of this benchmark.
+    pub fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    /// The phase-switching Markov model.
+    pub fn transitions(&self) -> &TransitionMatrix {
+        &self.transitions
+    }
+
+    /// Dwell-weighted average phase parameters (the long-run workload
+    /// signature, assuming roughly uniform phase visitation).
+    pub fn average_params(&self) -> PhaseParams {
+        let total: f64 = self.phases.iter().map(|p| p.mean_dwell_instructions).sum();
+        let mut cpi = 0.0;
+        let mut mpki = 0.0;
+        let mut act = 0.0;
+        for p in &self.phases {
+            let w = p.mean_dwell_instructions / total;
+            cpi += w * p.params.cpi_base;
+            mpki += w * p.params.mpki;
+            act += w * p.params.activity;
+        }
+        PhaseParams {
+            cpi_base: cpi,
+            mpki,
+            activity: act,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(cpi: f64, mpki: f64, act: f64, dwell: f64) -> PhaseSpec {
+        PhaseSpec::new(PhaseParams::new(cpi, mpki, act).unwrap(), dwell).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_phases() {
+        let m = TransitionMatrix::identity(1).unwrap();
+        assert_eq!(
+            BenchmarkSpec::new("x", vec![], m),
+            Err(WorkloadError::NoPhases)
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_matrix() {
+        let err = BenchmarkSpec::new(
+            "x",
+            vec![phase(1.0, 1.0, 1.0, 1e6)],
+            TransitionMatrix::identity(2).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WorkloadError::InvalidTransitionMatrix { .. }));
+    }
+
+    #[test]
+    fn steady_benchmark_has_one_phase() {
+        let b = BenchmarkSpec::steady("s", PhaseParams::new(1.0, 2.0, 0.8).unwrap()).unwrap();
+        assert_eq!(b.phases().len(), 1);
+        assert_eq!(b.name(), "s");
+    }
+
+    #[test]
+    fn random_benchmarks_are_valid_and_deterministic() {
+        for seed in 0..50 {
+            let b = BenchmarkSpec::random(seed);
+            assert!(!b.phases().is_empty());
+            assert_eq!(b.phases().len(), b.transitions().len());
+            assert_eq!(b, BenchmarkSpec::random(seed));
+        }
+        assert_ne!(BenchmarkSpec::random(1), BenchmarkSpec::random(2));
+    }
+
+    #[test]
+    fn average_params_is_dwell_weighted() {
+        let b = BenchmarkSpec::new(
+            "w",
+            vec![phase(1.0, 0.0, 1.0, 3e6), phase(2.0, 10.0, 0.0, 1e6)],
+            TransitionMatrix::cycle(2).unwrap(),
+        )
+        .unwrap();
+        let avg = b.average_params();
+        assert!((avg.cpi_base - 1.25).abs() < 1e-12);
+        assert!((avg.mpki - 2.5).abs() < 1e-12);
+        assert!((avg.activity - 0.75).abs() < 1e-12);
+    }
+}

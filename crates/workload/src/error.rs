@@ -1,0 +1,70 @@
+//! Error types for the workload crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing workloads.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A benchmark was defined with no phases.
+    NoPhases,
+    /// A phase parameter was non-finite or out of range.
+    InvalidPhase {
+        /// Index of the offending phase.
+        index: usize,
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The Markov transition matrix is not square or not row-stochastic.
+    InvalidTransitionMatrix {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A benchmark name was not found in the suite.
+    UnknownBenchmark {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoPhases => write!(f, "benchmark has no phases"),
+            Self::InvalidPhase { index, name, value } => {
+                write!(
+                    f,
+                    "phase {index}: parameter `{name}` has invalid value {value}"
+                )
+            }
+            Self::InvalidTransitionMatrix { reason } => {
+                write!(f, "invalid transition matrix: {reason}")
+            }
+            Self::UnknownBenchmark { name } => write!(f, "unknown benchmark `{name}`"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = WorkloadError::UnknownBenchmark {
+            name: "frob".into(),
+        };
+        assert!(e.to_string().contains("frob"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<WorkloadError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! Synthetic phase-based workloads for the OD-RL many-core reproduction.
+//!
+//! The paper evaluates on SPLASH-2/PARSEC benchmarks running in an
+//! architectural simulator. A DVFS controller, however, only observes each
+//! workload through its time-varying microarchitectural signature — IPC,
+//! cache-miss intensity and switching activity — so this crate substitutes
+//! the real binaries with *phase-based synthetic workloads* that reproduce
+//! exactly those signatures (see DESIGN.md, "Substitutions"):
+//!
+//! * [`PhaseParams`] — the `(cpi_base, mpki, activity)` signature of one
+//!   phase;
+//! * [`BenchmarkSpec`] — named phases + a Markov [`TransitionMatrix`]
+//!   governing switching, with exponential dwell times;
+//! * [`WorkloadStream`] — a running, seeded instance advanced by retired
+//!   instructions;
+//! * [`suite()`] / [`by_name`] — twelve built-in benchmarks spanning the
+//!   compute-bound ↔ memory-bound spectrum;
+//! * [`WorkloadMix`] — reproducible multiprogrammed assignments to `n`
+//!   cores;
+//! * [`Trace`] — exact recording and deterministic replay of a stream's
+//!   phase sequence.
+//!
+//! # Example
+//!
+//! ```
+//! use odrl_workload::{WorkloadMix, MixPolicy};
+//!
+//! // 16 cores, each drawing a random suite benchmark, fully reproducible.
+//! let mix = WorkloadMix::from_suite(16, MixPolicy::Random, 7)?;
+//! let mut streams = mix.streams();
+//! for s in &mut streams {
+//!     s.advance(2.0e6); // one epoch's worth of instructions
+//! }
+//! assert!(streams.iter().all(|s| s.total_instructions() == 2.0e6));
+//! # Ok::<(), odrl_workload::WorkloadError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod benchmark;
+pub mod error;
+pub mod markov;
+pub mod mix;
+pub mod phase;
+pub mod stream;
+pub mod suite;
+pub mod trace;
+
+pub use benchmark::BenchmarkSpec;
+pub use error::WorkloadError;
+pub use markov::TransitionMatrix;
+pub use mix::{MixPolicy, WorkloadMix};
+pub use phase::{DwellModel, PhaseParams, PhaseSpec};
+pub use stream::WorkloadStream;
+pub use suite::{by_name, names, suite};
+pub use trace::{Trace, TraceSegment};

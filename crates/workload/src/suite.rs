@@ -1,0 +1,242 @@
+//! The built-in benchmark suite.
+//!
+//! Twelve synthetic benchmarks whose phase signatures mimic the published
+//! characterisations of the PARSEC and SPLASH-2 suites (the workloads used
+//! by the paper's evaluation): compute-bound option pricing, memory-bound
+//! clustering/annealing, and phase-alternating pipelines. Only the
+//! time-varying (CPI, MPKI, activity) signature matters to a DVFS
+//! controller, so that is what each entry reproduces.
+
+use crate::benchmark::BenchmarkSpec;
+use crate::error::WorkloadError;
+use crate::markov::TransitionMatrix;
+use crate::phase::{PhaseParams, PhaseSpec};
+
+/// Instructions per "short" phase (tens of control epochs at ~10 MIPS-scale
+/// epochs) — short enough that controllers see several switches per run.
+const SHORT: f64 = 8.0e6;
+/// Instructions per "long" phase.
+const LONG: f64 = 3.0e7;
+
+fn phase(cpi: f64, mpki: f64, act: f64, dwell: f64) -> PhaseSpec {
+    PhaseSpec::new(
+        PhaseParams::new(cpi, mpki, act).expect("suite phase params are valid"),
+        dwell,
+    )
+    .expect("suite dwell is valid")
+}
+
+fn bench(name: &str, phases: Vec<PhaseSpec>, transitions: TransitionMatrix) -> BenchmarkSpec {
+    BenchmarkSpec::new(name, phases, transitions).expect("suite benchmarks are valid")
+}
+
+/// Returns the full built-in suite.
+///
+/// ```
+/// let suite = odrl_workload::suite();
+/// assert_eq!(suite.len(), 12);
+/// assert!(suite.iter().any(|b| b.name() == "blackscholes"));
+/// ```
+pub fn suite() -> Vec<BenchmarkSpec> {
+    vec![
+        // --- PARSEC-like ---
+        // Option pricing: embarrassingly parallel, compute-bound, steady.
+        bench(
+            "blackscholes",
+            vec![phase(0.65, 0.2, 1.05, LONG), phase(0.70, 0.6, 0.95, SHORT)],
+            TransitionMatrix::cycle(2).expect("valid"),
+        ),
+        // Body tracking: alternating compute/memory pipeline stages.
+        bench(
+            "bodytrack",
+            vec![
+                phase(0.80, 1.5, 0.95, SHORT),
+                phase(1.05, 6.0, 0.70, SHORT),
+                phase(0.90, 3.0, 0.85, SHORT),
+            ],
+            TransitionMatrix::new(vec![
+                vec![0.1, 0.6, 0.3],
+                vec![0.5, 0.1, 0.4],
+                vec![0.4, 0.5, 0.1],
+            ])
+            .expect("valid"),
+        ),
+        // Simulated annealing on a graph: cache-hostile, memory-bound.
+        bench(
+            "canneal",
+            vec![phase(1.10, 14.0, 0.55, LONG), phase(1.00, 9.0, 0.65, SHORT)],
+            TransitionMatrix::new(vec![vec![0.3, 0.7], vec![0.6, 0.4]]).expect("valid"),
+        ),
+        // Deduplication pipeline: bursty mixed phases.
+        bench(
+            "dedup",
+            vec![phase(0.85, 2.0, 0.90, SHORT), phase(1.00, 7.5, 0.65, SHORT)],
+            TransitionMatrix::new(vec![vec![0.2, 0.8], vec![0.7, 0.3]]).expect("valid"),
+        ),
+        // Content-based search pipeline: four stages of varying intensity.
+        bench(
+            "ferret",
+            vec![
+                phase(0.75, 1.0, 1.00, SHORT),
+                phase(0.95, 4.5, 0.80, SHORT),
+                phase(1.10, 10.0, 0.60, SHORT),
+            ],
+            TransitionMatrix::cycle(3).expect("valid"),
+        ),
+        // Fluid dynamics: compute phases with periodic neighbor exchanges.
+        bench(
+            "fluidanimate",
+            vec![phase(0.70, 0.8, 1.00, LONG), phase(1.00, 8.0, 0.70, SHORT)],
+            TransitionMatrix::cycle(2).expect("valid"),
+        ),
+        // Streaming k-median clustering: the memory-bound extreme.
+        bench(
+            "streamcluster",
+            vec![
+                phase(1.20, 20.0, 0.50, LONG),
+                phase(1.05, 12.0, 0.60, SHORT),
+            ],
+            TransitionMatrix::new(vec![vec![0.5, 0.5], vec![0.5, 0.5]]).expect("valid"),
+        ),
+        // Swaption pricing: the compute-bound extreme, near-zero misses.
+        bench(
+            "swaptions",
+            vec![phase(0.60, 0.1, 1.10, LONG)],
+            TransitionMatrix::identity(1).expect("valid"),
+        ),
+        // Video encoding: highly bursty activity (motion estimation vs DCT).
+        bench(
+            "x264",
+            vec![
+                phase(0.70, 1.2, 1.10, SHORT),
+                phase(0.90, 5.0, 0.85, SHORT),
+                phase(1.10, 9.0, 0.55, SHORT),
+            ],
+            TransitionMatrix::new(vec![
+                vec![0.2, 0.5, 0.3],
+                vec![0.4, 0.2, 0.4],
+                vec![0.5, 0.4, 0.1],
+            ])
+            .expect("valid"),
+        ),
+        // --- SPLASH-2-like ---
+        // Barnes-Hut n-body: compute-bound tree traversal.
+        bench(
+            "barnes",
+            vec![phase(0.75, 1.0, 0.95, LONG), phase(0.90, 3.5, 0.80, SHORT)],
+            TransitionMatrix::cycle(2).expect("valid"),
+        ),
+        // Ocean current simulation: large-grid stencil, memory-bound.
+        bench(
+            "ocean",
+            vec![phase(1.05, 16.0, 0.60, LONG), phase(0.90, 8.0, 0.75, SHORT)],
+            TransitionMatrix::new(vec![vec![0.4, 0.6], vec![0.5, 0.5]]).expect("valid"),
+        ),
+        // Radix sort: streaming passes over large arrays.
+        bench(
+            "radix",
+            vec![
+                phase(0.95, 11.0, 0.75, SHORT),
+                phase(0.80, 4.0, 0.90, SHORT),
+            ],
+            TransitionMatrix::cycle(2).expect("valid"),
+        ),
+    ]
+}
+
+/// Looks a benchmark up by name.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::UnknownBenchmark`] if the name is not in the
+/// suite.
+///
+/// ```
+/// let b = odrl_workload::by_name("streamcluster")?;
+/// assert!(b.average_params().mpki > 10.0);
+/// # Ok::<(), odrl_workload::WorkloadError>(())
+/// ```
+pub fn by_name(name: &str) -> Result<BenchmarkSpec, WorkloadError> {
+    suite()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| WorkloadError::UnknownBenchmark { name: name.into() })
+}
+
+/// Names of all built-in benchmarks, in suite order.
+pub fn names() -> Vec<&'static str> {
+    vec![
+        "blackscholes",
+        "bodytrack",
+        "canneal",
+        "dedup",
+        "ferret",
+        "fluidanimate",
+        "streamcluster",
+        "swaptions",
+        "x264",
+        "barnes",
+        "ocean",
+        "radix",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_names() {
+        let suite = suite();
+        let names = names();
+        assert_eq!(suite.len(), names.len());
+        for (b, n) in suite.iter().zip(names) {
+            assert_eq!(b.name(), n);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_each_benchmark() {
+        for n in names() {
+            assert_eq!(by_name(n).unwrap().name(), n);
+        }
+        assert!(matches!(
+            by_name("nonexistent"),
+            Err(WorkloadError::UnknownBenchmark { .. })
+        ));
+    }
+
+    #[test]
+    fn suite_spans_compute_to_memory_bound() {
+        let mb: Vec<f64> = suite()
+            .iter()
+            .map(|b| b.average_params().memory_boundedness())
+            .collect();
+        let min = mb.iter().cloned().fold(f64::MAX, f64::min);
+        let max = mb.iter().cloned().fold(0.0, f64::max);
+        assert!(min < 0.1, "suite needs a compute-bound extreme, min={min}");
+        assert!(max > 0.6, "suite needs a memory-bound extreme, max={max}");
+    }
+
+    #[test]
+    fn swaptions_is_most_compute_bound() {
+        let s = by_name("swaptions").unwrap().average_params();
+        let c = by_name("streamcluster").unwrap().average_params();
+        assert!(s.memory_boundedness() < c.memory_boundedness());
+    }
+
+    #[test]
+    fn all_specs_have_matching_matrix_dimension() {
+        for b in suite() {
+            assert_eq!(b.phases().len(), b.transitions().len());
+        }
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for b in suite() {
+            assert!(seen.insert(b.name().to_string()), "duplicate {}", b.name());
+        }
+    }
+}

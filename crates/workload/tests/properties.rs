@@ -1,0 +1,129 @@
+//! Property-based tests for workload invariants.
+
+use odrl_workload::{
+    BenchmarkSpec, MixPolicy, PhaseParams, PhaseSpec, TransitionMatrix, WorkloadMix, WorkloadStream,
+};
+use proptest::prelude::*;
+
+fn arb_phase() -> impl Strategy<Value = PhaseSpec> {
+    (0.3f64..3.0, 0.0f64..40.0, 0.0f64..1.2, 1e5f64..1e8).prop_map(|(cpi, mpki, act, dwell)| {
+        PhaseSpec::new(PhaseParams::new(cpi, mpki, act).unwrap(), dwell).unwrap()
+    })
+}
+
+fn arb_benchmark() -> impl Strategy<Value = BenchmarkSpec> {
+    prop::collection::vec(arb_phase(), 1..5).prop_map(|phases| {
+        let n = phases.len();
+        BenchmarkSpec::new("prop", phases, TransitionMatrix::uniform(n).unwrap()).unwrap()
+    })
+}
+
+proptest! {
+    /// Memory-boundedness is always in [0, 1] and monotone in MPKI.
+    #[test]
+    fn memory_boundedness_in_unit_interval(
+        cpi in 0.3f64..3.0,
+        mpki1 in 0.0f64..100.0,
+        mpki2 in 0.0f64..100.0,
+    ) {
+        let a = PhaseParams::new(cpi, mpki1, 0.5).unwrap().memory_boundedness();
+        let b = PhaseParams::new(cpi, mpki2, 0.5).unwrap().memory_boundedness();
+        prop_assert!((0.0..=1.0).contains(&a));
+        if mpki1 <= mpki2 {
+            prop_assert!(a <= b);
+        }
+    }
+
+    /// Streams conserve instructions exactly and never panic, whatever the
+    /// advance pattern.
+    #[test]
+    fn streams_conserve_instructions(
+        spec in arb_benchmark(),
+        seed in 0u64..1000,
+        advances in prop::collection::vec(1e3f64..1e8, 1..50),
+    ) {
+        let mut s = WorkloadStream::new(spec, seed);
+        let mut total = 0.0;
+        for &a in &advances {
+            s.advance(a);
+            total += a;
+        }
+        prop_assert_eq!(s.total_instructions(), total);
+        // The current phase is always a valid index.
+        prop_assert!(s.phase_index() < s.spec().phases().len());
+    }
+
+    /// Two streams with the same spec and seed remain identical under any
+    /// shared advance pattern.
+    #[test]
+    fn streams_are_reproducible(
+        spec in arb_benchmark(),
+        seed in 0u64..1000,
+        advances in prop::collection::vec(1e3f64..1e7, 1..40),
+    ) {
+        let mut a = WorkloadStream::new(spec.clone(), seed);
+        let mut b = WorkloadStream::new(spec, seed);
+        for &adv in &advances {
+            a.advance(adv);
+            b.advance(adv);
+            prop_assert_eq!(a.phase_index(), b.phase_index());
+            prop_assert_eq!(a.phase_switches(), b.phase_switches());
+        }
+    }
+
+    /// Average parameters of any benchmark stay within the per-phase
+    /// parameter hull.
+    #[test]
+    fn average_params_within_hull(spec in arb_benchmark()) {
+        let avg = spec.average_params();
+        let lo = |f: fn(&PhaseParams) -> f64| {
+            spec.phases().iter().map(|p| f(&p.params)).fold(f64::MAX, f64::min)
+        };
+        let hi = |f: fn(&PhaseParams) -> f64| {
+            spec.phases().iter().map(|p| f(&p.params)).fold(f64::MIN, f64::max)
+        };
+        prop_assert!(avg.cpi_base >= lo(|p| p.cpi_base) - 1e-9);
+        prop_assert!(avg.cpi_base <= hi(|p| p.cpi_base) + 1e-9);
+        prop_assert!(avg.mpki >= lo(|p| p.mpki) - 1e-9);
+        prop_assert!(avg.mpki <= hi(|p| p.mpki) + 1e-9);
+        prop_assert!(avg.activity >= lo(|p| p.activity) - 1e-9);
+        prop_assert!(avg.activity <= hi(|p| p.activity) + 1e-9);
+    }
+
+    /// Any valid transition matrix samples only valid successor states.
+    #[test]
+    fn transition_samples_in_range(
+        n in 1usize..6,
+        seed in 0u64..100,
+        draws in 1usize..100,
+    ) {
+        use rand::SeedableRng;
+        let m = TransitionMatrix::uniform(n).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..draws {
+            for i in 0..n {
+                prop_assert!(m.sample_next(i, &mut rng) < n);
+            }
+        }
+    }
+
+    /// Mixes are total: every core gets a benchmark, under every policy.
+    #[test]
+    fn mixes_cover_all_cores(
+        n in 1usize..64,
+        seed in 0u64..100,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = match policy_idx {
+            0 => MixPolicy::RoundRobin,
+            1 => MixPolicy::Random,
+            _ => MixPolicy::Homogeneous("canneal".into()),
+        };
+        let mix = WorkloadMix::from_suite(n, policy, seed).unwrap();
+        prop_assert_eq!(mix.len(), n);
+        prop_assert_eq!(mix.streams().len(), n);
+        for i in 0..n {
+            prop_assert!(!mix.benchmark(i).name().is_empty());
+        }
+    }
+}

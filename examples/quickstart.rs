@@ -1,0 +1,53 @@
+//! Quickstart: cap a 16-core chip at 60 % of its maximum power with OD-RL.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use odrl::controllers::PowerController;
+use odrl::core::{OdRlConfig, OdRlController};
+use odrl::manycore::{System, SystemConfig};
+use odrl::power::Watts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the chip: 16 cores, default 8-level DVFS table, default
+    //    power/thermal models, mixed PARSEC-like workload.
+    let config = SystemConfig::builder().cores(16).seed(42).build()?;
+    let budget = Watts::new(0.6 * config.max_power().value());
+    println!(
+        "16-core chip, max power {:.1}, budget {:.1}",
+        config.max_power(),
+        budget
+    );
+
+    // 2. Build the simulated system and the OD-RL controller.
+    let mut system = System::new(config)?;
+    let mut controller = OdRlController::new(OdRlConfig::default(), &system.spec(), budget)?;
+
+    // 3. Closed loop: observe -> decide -> step, 1 ms per epoch.
+    let mut over_epochs = 0u32;
+    let epochs = 1_000;
+    for _ in 0..epochs {
+        let obs = system.observation(budget);
+        let actions = controller.decide(&obs);
+        let report = system.step(&actions)?;
+        if report.total_power > budget {
+            over_epochs += 1;
+        }
+    }
+
+    // 4. Results.
+    let t = system.telemetry();
+    println!(
+        "ran {} epochs ({:.3}): {:.2} Ginstr retired, {:.1} J, avg {:.1} GIPS",
+        t.epochs(),
+        t.elapsed(),
+        t.total_instructions() / 1e9,
+        t.total_energy().value(),
+        t.average_throughput_ips() / 1e9,
+    );
+    println!(
+        "epochs over budget: {over_epochs}/{epochs} ({:.1} %), state-space coverage {:.1} %",
+        100.0 * over_epochs as f64 / epochs as f64,
+        100.0 * controller.coverage(),
+    );
+    Ok(())
+}

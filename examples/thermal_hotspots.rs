@@ -1,0 +1,88 @@
+//! Thermal awareness: watch the leakage–temperature feedback loop.
+//!
+//! Runs the same 64-core workload uniformly at the top VF level and under
+//! OD-RL's 60 % cap, then prints the die's temperature map and the leakage
+//! share of total power for both. Uncapped operation produces hot spots
+//! whose leakage compounds the power problem; the capped run stays cool.
+//!
+//! Run with: `cargo run --release --example thermal_hotspots`
+
+use odrl::controllers::PowerController;
+use odrl::core::{OdRlConfig, OdRlController};
+use odrl::manycore::{System, SystemConfig};
+use odrl::power::Watts;
+
+const CORES: usize = 64;
+const EPOCHS: u64 = 800;
+
+fn temperature_map(system: &System) -> String {
+    // 8x8 grid of one-character temperature classes.
+    let mut out = String::new();
+    let obs = system.observation(Watts::ZERO);
+    for row in 0..8 {
+        out.push_str("    ");
+        for col in 0..8 {
+            let t = obs.cores[row * 8 + col].temperature.value();
+            out.push(match t {
+                t if t >= 95.0 => '@',
+                t if t >= 85.0 => '#',
+                t if t >= 75.0 => '+',
+                t if t >= 65.0 => '-',
+                _ => '.',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SystemConfig::builder().cores(CORES).seed(4).build()?;
+    let budget = Watts::new(0.6 * config.max_power().value());
+    let top = config.vf_table.max_level();
+
+    // Uncapped: everything at the top level.
+    let mut hot = System::new(config.clone())?;
+    let mut hot_leak = 0.0;
+    let mut hot_total = 0.0;
+    for _ in 0..EPOCHS {
+        let r = hot.step(&vec![top; CORES])?;
+        hot_leak += r.cores.iter().map(|c| c.power.leakage.value()).sum::<f64>();
+        hot_total += r.total_power.value();
+    }
+
+    // Capped with OD-RL.
+    let mut cool = System::new(config)?;
+    let mut ctrl = OdRlController::new(OdRlConfig::default(), &cool.spec(), budget)?;
+    let mut cool_leak = 0.0;
+    let mut cool_total = 0.0;
+    for _ in 0..EPOCHS {
+        let obs = cool.observation(budget);
+        let actions = ctrl.decide(&obs);
+        let r = cool.step(&actions)?;
+        cool_leak += r.cores.iter().map(|c| c.power.leakage.value()).sum::<f64>();
+        cool_total += r.total_power.value();
+    }
+
+    println!("temperature map legend: . <65  - 65-75  + 75-85  # 85-95  @ >=95 degC\n");
+    println!("uncapped (all cores at top level):");
+    print!("{}", temperature_map(&hot));
+    println!(
+        "    peak {:.1}, leakage share {:.1} %\n",
+        hot.telemetry().peak_temperature(),
+        100.0 * hot_leak / hot_total
+    );
+    println!("OD-RL capped at 60 %:");
+    print!("{}", temperature_map(&cool));
+    println!(
+        "    peak {:.1}, leakage share {:.1} %",
+        cool.telemetry().peak_temperature(),
+        100.0 * cool_leak / cool_total
+    );
+    println!(
+        "\nthroughput cost of the cap: {:.1} -> {:.1} GIPS",
+        hot.telemetry().average_throughput_ips() / 1e9,
+        cool.telemetry().average_throughput_ips() / 1e9
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Policy persistence: train once, save the learned tables to disk, and
+//! warm-start a fresh controller from them.
+//!
+//! On-line learning pays a transient: the first few hundred epochs run
+//! below the eventual operating point while the agents explore. If a chip
+//! reboots (or a fleet ships the same SKU), that transient can be skipped
+//! by importing a previously learned policy.
+//!
+//! Run with: `cargo run --release --example warm_start`
+
+use odrl::controllers::PowerController;
+use odrl::core::{OdRlConfig, OdRlController, PolicySnapshot};
+use odrl::manycore::{System, SystemConfig};
+use odrl::power::Watts;
+
+const CORES: usize = 32;
+
+fn fresh() -> Result<(System, OdRlController, Watts), Box<dyn std::error::Error>> {
+    let config = SystemConfig::builder().cores(CORES).seed(99).build()?;
+    let budget = Watts::new(0.55 * config.max_power().value());
+    let system = System::new(config)?;
+    let ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget)?;
+    Ok((system, ctrl, budget))
+}
+
+fn run(
+    system: &mut System,
+    ctrl: &mut OdRlController,
+    budget: Watts,
+    epochs: u64,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut instr = 0.0;
+    for _ in 0..epochs {
+        let obs = system.observation(budget);
+        let actions = ctrl.decide(&obs);
+        instr += system.step(&actions)?.total_instructions();
+    }
+    Ok(instr)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train for 1000 epochs and persist the policy as JSON.
+    let (mut system, mut trained, budget) = fresh()?;
+    run(&mut system, &mut trained, budget, 1_000)?;
+    let path = std::env::temp_dir().join("odrl_policy.json");
+    std::fs::write(&path, serde_json::to_string(&trained.export_policy())?)?;
+    println!(
+        "trained 1000 epochs, saved policy to {} ({} agents, coverage {:.0}%)",
+        path.display(),
+        trained.export_policy().num_agents(),
+        100.0 * trained.coverage()
+    );
+
+    // 2. Cold start vs warm start on a fresh system: first 200 epochs.
+    let (mut cold_sys, mut cold, _) = fresh()?;
+    let cold_instr = run(&mut cold_sys, &mut cold, budget, 200)?;
+
+    let snapshot: PolicySnapshot = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    let (mut warm_sys, mut warm, _) = fresh()?;
+    warm.import_policy(snapshot)?;
+    let warm_instr = run(&mut warm_sys, &mut warm, budget, 200)?;
+
+    println!(
+        "first 200 epochs: cold {:.1} Ginstr, warm {:.1} Ginstr ({:+.1}%)",
+        cold_instr / 1e9,
+        warm_instr / 1e9,
+        100.0 * (warm_instr / cold_instr - 1.0)
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # odrl — On-line Distributed Reinforcement Learning for power-limited many-core systems
+//!
+//! A from-scratch Rust reproduction of **"Distributed reinforcement learning
+//! for power limited many-core system performance optimization"** (Zhuo Chen
+//! and Diana Marculescu, DATE 2015): per-core model-free Q-learning chooses
+//! voltage/frequency levels at fine grain, while a coarse-grain global
+//! algorithm reallocates the chip power budget across cores to maximize
+//! throughput under a Thermal Design Power (TDP) constraint.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`power`] | `odrl-power` | units, VF tables, dynamic + leakage power, energy accounting |
+//! | [`thermal`] | `odrl-thermal` | RC thermal grid over the core mesh |
+//! | [`workload`] | `odrl-workload` | synthetic phase-based benchmarks (SPLASH-2/PARSEC-like) |
+//! | [`manycore`] | `odrl-manycore` | the epoch-based many-core simulator |
+//! | [`rl`] | `odrl-rl` | tabular Q-learning machinery |
+//! | [`controllers`] | `odrl-controllers` | controller trait + MaxBIPS / Steepest Drop / PID / static baselines |
+//! | [`core`] | `odrl-core` | **OD-RL**, the paper's contribution |
+//! | [`metrics`] | `odrl-metrics` | overshoot, throughput-per-over-budget-energy, efficiency |
+//!
+//! # Quickstart
+//!
+//! Run a 16-core system under a power cap with the OD-RL controller:
+//!
+//! ```
+//! use odrl::manycore::{System, SystemConfig};
+//! use odrl::controllers::PowerController;
+//! use odrl::core::{OdRlConfig, OdRlController};
+//! use odrl::power::Watts;
+//!
+//! let config = SystemConfig::builder().cores(16).seed(7).build()?;
+//! let budget = Watts::new(0.5 * config.max_power().value());
+//! let mut system = System::new(config)?;
+//! let mut controller = OdRlController::new(OdRlConfig::default(), &system.spec(), budget)?;
+//!
+//! for _ in 0..50 {
+//!     let obs = system.observation(budget);
+//!     let actions = controller.decide(&obs);
+//!     system.step(&actions)?;
+//! }
+//! assert!(system.telemetry().total_instructions() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for full scenarios and `crates/bench` for the harnesses
+//! that regenerate every table and figure of the paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub use odrl_controllers as controllers;
+pub use odrl_core as core;
+pub use odrl_manycore as manycore;
+pub use odrl_metrics as metrics;
+pub use odrl_noc as noc;
+pub use odrl_power as power;
+pub use odrl_rl as rl;
+pub use odrl_thermal as thermal;
+pub use odrl_workload as workload;

@@ -1,0 +1,162 @@
+//! End-to-end integration tests: the full closed loop across all crates.
+
+use odrl::controllers::{
+    MaxBips, PidController, PidGains, PowerController, PriorityGreedy, StaticUniform, SteepestDrop,
+};
+use odrl::core::{OdRlConfig, OdRlController};
+use odrl::manycore::{System, SystemConfig};
+use odrl::metrics::{RunRecorder, RunSummary};
+use odrl::power::Watts;
+use odrl::workload::MixPolicy;
+
+fn run(
+    ctrl: &mut dyn PowerController,
+    config: &SystemConfig,
+    budget: Watts,
+    epochs: u64,
+) -> RunSummary {
+    let mut system = System::new(config.clone()).unwrap();
+    let mut rec = RunRecorder::new(ctrl.name());
+    for _ in 0..epochs {
+        let obs = system.observation(budget);
+        let actions = ctrl.decide(&obs);
+        let report = system.step(&actions).unwrap();
+        rec.record(
+            report.total_power,
+            budget,
+            report.total_instructions(),
+            report.dt,
+        );
+    }
+    rec.finish()
+}
+
+fn config(cores: usize, seed: u64) -> SystemConfig {
+    SystemConfig::builder()
+        .cores(cores)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn all_controllers_complete_a_full_run() {
+    let cfg = config(16, 1);
+    let budget = Watts::new(0.6 * cfg.max_power().value());
+    let spec = cfg.spec();
+    let mut controllers: Vec<Box<dyn PowerController>> = vec![
+        Box::new(OdRlController::new(OdRlConfig::default(), &spec, budget).unwrap()),
+        Box::new(MaxBips::dp(spec.clone()).unwrap()),
+        Box::new(SteepestDrop::new(spec.clone()).unwrap()),
+        Box::new(PidController::new(spec.clone(), PidGains::default()).unwrap()),
+        Box::new(StaticUniform::for_budget(spec.clone(), budget).unwrap()),
+        Box::new(PriorityGreedy::new(spec.clone()).unwrap()),
+    ];
+    for ctrl in controllers.iter_mut() {
+        let s = run(ctrl.as_mut(), &cfg, budget, 200);
+        assert_eq!(s.epochs, 200, "{}", s.name);
+        assert!(s.total_instructions > 0.0, "{}", s.name);
+        assert!(s.mean_power.value() > 0.0, "{}", s.name);
+    }
+}
+
+#[test]
+fn odrl_average_power_respects_budget() {
+    let cfg = config(32, 7);
+    let budget = Watts::new(0.55 * cfg.max_power().value());
+    let mut ctrl = OdRlController::new(OdRlConfig::default(), &cfg.spec(), budget).unwrap();
+    let s = run(&mut ctrl, &cfg, budget, 1_000);
+    assert!(
+        s.mean_power.value() <= budget.value() * 1.08,
+        "mean power {} exceeds budget {} by more than 8%",
+        s.mean_power,
+        budget
+    );
+}
+
+#[test]
+fn every_controller_is_deterministic_per_seed() {
+    let cfg = config(12, 11);
+    let budget = Watts::new(0.6 * cfg.max_power().value());
+    let spec = cfg.spec();
+    type Factory = fn(&odrl::manycore::SystemSpec, Watts) -> Box<dyn PowerController>;
+    let make: Vec<(&str, Factory)> = vec![
+        ("od-rl", |s, b| {
+            Box::new(OdRlController::new(OdRlConfig::default(), s, b).unwrap())
+        }),
+        ("maxbips-dp", |s, _| {
+            Box::new(MaxBips::dp(s.clone()).unwrap())
+        }),
+        ("steepest-drop", |s, _| {
+            Box::new(SteepestDrop::new(s.clone()).unwrap())
+        }),
+        ("pid", |s, _| {
+            Box::new(PidController::new(s.clone(), PidGains::default()).unwrap())
+        }),
+    ];
+    for (name, factory) in make {
+        let a = run(factory(&spec, budget).as_mut(), &cfg, budget, 150);
+        let b = run(factory(&spec, budget).as_mut(), &cfg, budget, 150);
+        assert_eq!(a.total_instructions, b.total_instructions, "{name}");
+        assert_eq!(a.total_energy, b.total_energy, "{name}");
+        assert_eq!(a.overshoot_energy, b.overshoot_energy, "{name}");
+    }
+}
+
+#[test]
+fn tighter_budgets_mean_less_throughput_for_odrl() {
+    let cfg = config(16, 3);
+    let max = cfg.max_power();
+    let mut throughputs = Vec::new();
+    for frac in [0.4, 0.7, 1.0] {
+        let budget = max * frac;
+        let mut ctrl = OdRlController::new(OdRlConfig::default(), &cfg.spec(), budget).unwrap();
+        let s = run(&mut ctrl, &cfg, budget, 800);
+        throughputs.push(s.throughput_ips());
+    }
+    assert!(
+        throughputs[0] < throughputs[2],
+        "40% budget should be slower than 100%: {throughputs:?}"
+    );
+}
+
+#[test]
+fn homogeneous_memory_bound_mix_burns_less_power_at_cap() {
+    // streamcluster (memory-bound) vs swaptions (compute-bound), both
+    // uncapped at top level: memory-bound must draw less dynamic power
+    // (activity derating) and retire far fewer instructions.
+    let mk = |name: &str| {
+        SystemConfig::builder()
+            .cores(8)
+            .mix(MixPolicy::Homogeneous(name.into()))
+            .seed(5)
+            .build()
+            .unwrap()
+    };
+    let top = odrl::power::LevelId(7);
+    let mut mem = System::new(mk("streamcluster")).unwrap();
+    let mut cpu = System::new(mk("swaptions")).unwrap();
+    for _ in 0..300 {
+        mem.step(&[top; 8]).unwrap();
+        cpu.step(&[top; 8]).unwrap();
+    }
+    assert!(mem.telemetry().total_instructions() < 0.5 * cpu.telemetry().total_instructions());
+    assert!(mem.telemetry().total_energy() < cpu.telemetry().total_energy());
+}
+
+#[test]
+fn sensor_noise_does_not_break_the_loop() {
+    let cfg = SystemConfig::builder()
+        .cores(8)
+        .sensors(odrl::manycore::SensorModel::new(0.1, 0.5).unwrap())
+        .seed(13)
+        .build()
+        .unwrap();
+    let budget = Watts::new(0.5 * cfg.max_power().value());
+    let mut ctrl = OdRlController::new(OdRlConfig::default(), &cfg.spec(), budget).unwrap();
+    let s = run(&mut ctrl, &cfg, budget, 400);
+    assert!(s.total_instructions > 0.0);
+    // Even with very noisy sensors the learned policy keeps average power
+    // in the budget's vicinity.
+    assert!(s.mean_power.value() < budget.value() * 1.3);
+}

