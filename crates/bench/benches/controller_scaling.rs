@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odrl_bench::{ControllerKind, Scenario};
-use odrl_manycore::{Observation, System, SystemSpec};
+use odrl_manycore::{Observation, Parallelism, System, SystemSpec};
 use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
 use std::time::Duration;
@@ -20,8 +20,11 @@ fn observation_for(cores: usize) -> (Observation, SystemSpec, Watts) {
         epochs: 0,
         mix: MixPolicy::RoundRobin,
         seed: 7,
+        parallelism: Parallelism::Serial,
     };
-    let config = scenario.system_config();
+    let config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
     let budget = Watts::new(0.6 * config.max_power().value());
     let mut system = System::new(config).expect("valid config");
     let spec = system.spec();
@@ -47,8 +50,12 @@ fn bench_controllers(c: &mut Criterion) {
             ControllerKind::Pid,
         ] {
             let mut ctrl = kind.build(&spec, budget);
+            let mut actions = vec![LevelId(0); cores];
             group.bench_with_input(BenchmarkId::new(kind.label(), cores), &obs, |b, obs| {
-                b.iter(|| std::hint::black_box(ctrl.decide(obs)))
+                b.iter(|| {
+                    ctrl.decide_into(obs, &mut actions);
+                    std::hint::black_box(&mut actions);
+                })
             });
         }
     }
@@ -57,10 +64,16 @@ fn bench_controllers(c: &mut Criterion) {
     for &cores in &[4usize, 6, 8] {
         let (obs, spec, budget) = observation_for(cores);
         let mut ctrl = ControllerKind::MaxBipsExhaustive.build(&spec, budget);
+        let mut actions = vec![LevelId(0); cores];
         group.bench_with_input(
             BenchmarkId::new("maxbips-exhaustive", cores),
             &obs,
-            |b, obs| b.iter(|| std::hint::black_box(ctrl.decide(obs))),
+            |b, obs| {
+                b.iter(|| {
+                    ctrl.decide_into(obs, &mut actions);
+                    std::hint::black_box(&mut actions);
+                })
+            },
         );
     }
     group.finish();

@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use odrl_bench::{ControllerKind, Scenario};
 use odrl_core::{BudgetAllocator, OdRlConfig};
-use odrl_manycore::{Observation, System};
+use odrl_manycore::{Observation, Parallelism, System};
 use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
 use std::time::Duration;
@@ -21,8 +21,11 @@ fn observation_for(cores: usize) -> (Observation, odrl_manycore::SystemSpec, Wat
         epochs: 0,
         mix: MixPolicy::RoundRobin,
         seed: 7,
+        parallelism: Parallelism::Serial,
     };
-    let config = scenario.system_config();
+    let config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
     let budget = Watts::new(0.6 * config.max_power().value());
     let mut system = System::new(config).expect("valid config");
     let spec = system.spec();
@@ -42,11 +45,15 @@ fn bench_components(c: &mut Criterion) {
     for &cores in &[64usize, 256] {
         let (obs, spec, budget) = observation_for(cores);
 
-        // The full fine-grain + coarse-grain decide path.
+        // The full fine-grain + coarse-grain decide path (zero-alloc).
         let mut ctrl = ControllerKind::OdRl.build(&spec, budget);
+        let mut actions = vec![LevelId(0); cores];
         group.throughput(Throughput::Elements(cores as u64));
         group.bench_with_input(BenchmarkId::new("decide", cores), &obs, |b, obs| {
-            b.iter(|| std::hint::black_box(ctrl.decide(obs)))
+            b.iter(|| {
+                ctrl.decide_into(obs, &mut actions);
+                std::hint::black_box(&mut actions);
+            })
         });
 
         // The coarse-grain reallocation alone.

@@ -7,31 +7,21 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin abl_discretization`
 
-use odrl_bench::{ControllerKind, Scenario};
+use odrl_bench::{run_cells_parallel, run_loop, sweep_parallelism, ControllerKind, Scenario};
 use odrl_core::OdRlConfig;
-use odrl_manycore::System;
-use odrl_metrics::{fmt_num, fmt_percent, RunRecorder, Table};
+use odrl_manycore::{Parallelism, System};
+use odrl_metrics::{fmt_num, fmt_percent, Table};
 use odrl_power::Watts;
 use odrl_workload::MixPolicy;
 
 fn run_with(config: OdRlConfig, scenario: &Scenario) -> odrl_metrics::RunSummary {
-    let sys_config = scenario.system_config();
+    let sys_config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
     let budget = Watts::new(scenario.budget_frac * sys_config.max_power().value());
     let mut system = System::new(sys_config).expect("valid config");
     let mut ctrl = ControllerKind::OdRl.build_with_odrl_config(&system.spec(), budget, config);
-    let mut rec = RunRecorder::new("od-rl");
-    for _ in 0..scenario.epochs {
-        let obs = system.observation(budget);
-        let actions = ctrl.decide(&obs);
-        let report = system.step(&actions).expect("valid actions");
-        rec.record(
-            report.total_power,
-            budget,
-            report.total_instructions(),
-            report.dt,
-        );
-    }
-    rec.finish()
+    run_loop(&mut system, ctrl.as_mut(), budget, scenario.epochs).summary
 }
 
 fn main() {
@@ -41,17 +31,38 @@ fn main() {
         epochs: 2_000,
         mix: MixPolicy::RoundRobin,
         seed: 6,
+        parallelism: Parallelism::Serial,
     };
     println!("A2: state-discretization ablation (64 cores, 60% budget, 2000 epochs)\n");
 
+    let power_bins = [2usize, 4, 8, 16, 32];
+    let mem_bins = [1usize, 2, 4, 8];
+    // Fan both sweep axes out together: one cell per (axis, bins) point.
+    let cells: Vec<(bool, usize)> = power_bins
+        .iter()
+        .map(|&b| (true, b))
+        .chain(mem_bins.iter().map(|&b| (false, b)))
+        .collect();
+    let mut runs = run_cells_parallel(&cells, sweep_parallelism(), |&(is_power, bins)| {
+        let config = if is_power {
+            OdRlConfig {
+                power_bins: bins,
+                ..OdRlConfig::default()
+            }
+        } else {
+            OdRlConfig {
+                mem_bins: bins,
+                ..OdRlConfig::default()
+            }
+        };
+        run_with(config, &scenario)
+    })
+    .into_iter();
+
     println!("power-ratio bins (mem_bins fixed at 4):");
     let mut table = Table::new(vec!["power_bins", "gips", "overshoot_j", "over_epochs"]);
-    for bins in [2usize, 4, 8, 16, 32] {
-        let config = OdRlConfig {
-            power_bins: bins,
-            ..OdRlConfig::default()
-        };
-        let s = run_with(config, &scenario);
+    for bins in power_bins {
+        let s = runs.next().expect("one summary per cell");
         table.add_row(vec![
             bins.to_string(),
             fmt_num(s.throughput_ips() / 1e9),
@@ -63,12 +74,8 @@ fn main() {
 
     println!("memory-boundedness bins (power_bins fixed at 8):");
     let mut table = Table::new(vec!["mem_bins", "gips", "overshoot_j", "over_epochs"]);
-    for bins in [1usize, 2, 4, 8] {
-        let config = OdRlConfig {
-            mem_bins: bins,
-            ..OdRlConfig::default()
-        };
-        let s = run_with(config, &scenario);
+    for bins in mem_bins {
+        let s = runs.next().expect("one summary per cell");
         table.add_row(vec![
             bins.to_string(),
             fmt_num(s.throughput_ips() / 1e9),

@@ -7,7 +7,8 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin abl_reallocation`
 
-use odrl_bench::{run_scenario, ControllerKind, Scenario};
+use odrl_bench::{run_scenarios_parallel, sweep_parallelism, ControllerKind, Scenario};
+use odrl_manycore::Parallelism;
 use odrl_metrics::{fmt_num, fmt_percent, Table};
 use odrl_workload::MixPolicy;
 
@@ -23,16 +24,28 @@ fn main() {
         "local_ovj",
     ]);
     let mut max_gain = f64::NEG_INFINITY;
-    for pct in [40, 50, 60, 70] {
-        let scenario = Scenario {
-            cores: 64,
-            budget_frac: pct as f64 / 100.0,
-            epochs: 2_000,
-            mix: MixPolicy::RoundRobin,
-            seed: 4,
-        };
-        let full = run_scenario(&scenario, ControllerKind::OdRl);
-        let local = run_scenario(&scenario, ControllerKind::OdRlLocal);
+    let pcts = [40, 50, 60, 70];
+    let cells: Vec<_> = pcts
+        .iter()
+        .flat_map(|&pct| {
+            let scenario = Scenario {
+                cores: 64,
+                budget_frac: pct as f64 / 100.0,
+                epochs: 2_000,
+                mix: MixPolicy::RoundRobin,
+                seed: 4,
+                parallelism: Parallelism::Serial,
+            };
+            [
+                (scenario.clone(), ControllerKind::OdRl),
+                (scenario, ControllerKind::OdRlLocal),
+            ]
+        })
+        .collect();
+    let mut summaries = run_scenarios_parallel(&cells, sweep_parallelism()).into_iter();
+    for pct in pcts {
+        let full = summaries.next().expect("one summary per cell");
+        let local = summaries.next().expect("one summary per cell");
         let gain = full.throughput_ips() / local.throughput_ips() - 1.0;
         max_gain = max_gain.max(gain);
         table.add_row(vec![

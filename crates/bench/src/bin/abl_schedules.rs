@@ -8,32 +8,22 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin abl_schedules`
 
-use odrl_bench::{ControllerKind, Scenario};
+use odrl_bench::{run_cells_parallel, run_loop, sweep_parallelism, ControllerKind, Scenario};
 use odrl_core::OdRlConfig;
-use odrl_manycore::System;
-use odrl_metrics::{fmt_num, fmt_percent, RunRecorder, Table};
+use odrl_manycore::{Parallelism, System};
+use odrl_metrics::{fmt_num, fmt_percent, Table};
 use odrl_power::Watts;
 use odrl_rl::Schedule;
 use odrl_workload::MixPolicy;
 
 fn run_with(config: OdRlConfig, scenario: &Scenario) -> odrl_metrics::RunSummary {
-    let sys_config = scenario.system_config();
+    let sys_config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
     let budget = Watts::new(scenario.budget_frac * sys_config.max_power().value());
     let mut system = System::new(sys_config).expect("valid config");
     let mut ctrl = ControllerKind::OdRl.build_with_odrl_config(&system.spec(), budget, config);
-    let mut rec = RunRecorder::new("od-rl");
-    for _ in 0..scenario.epochs {
-        let obs = system.observation(budget);
-        let actions = ctrl.decide(&obs);
-        let report = system.step(&actions).expect("valid actions");
-        rec.record(
-            report.total_power,
-            budget,
-            report.total_instructions(),
-            report.dt,
-        );
-    }
-    rec.finish()
+    run_loop(&mut system, ctrl.as_mut(), budget, scenario.epochs).summary
 }
 
 fn main() {
@@ -43,31 +33,11 @@ fn main() {
         epochs: 2_000,
         mix: MixPolicy::RoundRobin,
         seed: 8,
+        parallelism: Parallelism::Serial,
     };
     println!("A3: schedule ablation (64 cores, 60% budget, 2000 epochs)\n");
 
-    println!("exploration floor (epsilon decays 0.5 -> floor):");
-    let mut table = Table::new(vec!["eps_floor", "gips", "overshoot_j", "over_epochs"]);
-    for floor in [0.0, 0.02, 0.05, 0.1, 0.2] {
-        let config = OdRlConfig {
-            epsilon: Schedule::Exponential {
-                initial: 0.5,
-                rate: 5e-3,
-                floor,
-            },
-            ..OdRlConfig::default()
-        };
-        let s = run_with(config, &scenario);
-        table.add_row(vec![
-            format!("{floor}"),
-            fmt_num(s.throughput_ips() / 1e9),
-            fmt_num(s.overshoot_energy.value()),
-            fmt_percent(s.overshoot_fraction),
-        ]);
-    }
-    println!("{table}");
-
-    println!("learning-rate schedule:");
+    let floors = [0.0, 0.02, 0.05, 0.1, 0.2];
     let schedules: Vec<(&str, Schedule)> = vec![
         ("const 0.05", Schedule::Constant { value: 0.05 }),
         ("const 0.2", Schedule::Constant { value: 0.2 }),
@@ -88,13 +58,45 @@ fn main() {
             },
         ),
     ];
-    let mut table = Table::new(vec!["alpha", "gips", "overshoot_j", "over_epochs"]);
-    for (label, alpha) in schedules {
-        let config = OdRlConfig {
-            alpha,
+
+    // Both sweep axes fan out together as one batch of cells.
+    let configs: Vec<OdRlConfig> = floors
+        .iter()
+        .map(|&floor| OdRlConfig {
+            epsilon: Schedule::Exponential {
+                initial: 0.5,
+                rate: 5e-3,
+                floor,
+            },
             ..OdRlConfig::default()
-        };
-        let s = run_with(config, &scenario);
+        })
+        .chain(schedules.iter().map(|(_, alpha)| OdRlConfig {
+            alpha: *alpha,
+            ..OdRlConfig::default()
+        }))
+        .collect();
+    let mut runs = run_cells_parallel(&configs, sweep_parallelism(), |config| {
+        run_with(config.clone(), &scenario)
+    })
+    .into_iter();
+
+    println!("exploration floor (epsilon decays 0.5 -> floor):");
+    let mut table = Table::new(vec!["eps_floor", "gips", "overshoot_j", "over_epochs"]);
+    for floor in floors {
+        let s = runs.next().expect("one summary per cell");
+        table.add_row(vec![
+            format!("{floor}"),
+            fmt_num(s.throughput_ips() / 1e9),
+            fmt_num(s.overshoot_energy.value()),
+            fmt_percent(s.overshoot_fraction),
+        ]);
+    }
+    println!("{table}");
+
+    println!("learning-rate schedule:");
+    let mut table = Table::new(vec!["alpha", "gips", "overshoot_j", "over_epochs"]);
+    for (label, _) in &schedules {
+        let s = runs.next().expect("one summary per cell");
         table.add_row(vec![
             label.to_string(),
             fmt_num(s.throughput_ips() / 1e9),

@@ -8,10 +8,12 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin abl_thermal`
 
+use odrl_bench::{run_cells_parallel, sweep_parallelism};
 use odrl_controllers::PowerController;
 use odrl_core::{OdRlConfig, OdRlController};
 use odrl_manycore::{System, SystemConfig};
 use odrl_metrics::{fmt_num, Table};
+use odrl_power::LevelId;
 use odrl_workload::MixPolicy;
 
 const CORES: usize = 64;
@@ -36,9 +38,10 @@ fn run(limit: Option<f64>) -> (f64, f64) {
         budget,
     )
     .expect("valid OD-RL config");
+    let mut actions = vec![LevelId(0); CORES];
     for _ in 0..EPOCHS {
         let obs = system.observation(budget);
-        let actions = ctrl.decide(&obs);
+        ctrl.decide_into(&obs, &mut actions);
         system.step(&actions).expect("valid actions");
     }
     (
@@ -49,12 +52,15 @@ fn run(limit: Option<f64>) -> (f64, f64) {
 
 fn main() {
     println!("A4: thermal capping extension ({CORES} cores, power cap not binding)\n");
+    let limits = [None, Some(80.0), Some(70.0), Some(60.0), Some(55.0)];
+    let runs = run_cells_parallel(&limits, sweep_parallelism(), |&limit| run(limit));
     let mut table = Table::new(vec!["thermal_limit", "peak_degc", "gips"]);
-    let (t_none, g_none) = run(None);
-    table.add_row(vec!["none".into(), fmt_num(t_none), fmt_num(g_none)]);
-    for limit in [80.0, 70.0, 60.0, 55.0] {
-        let (t, g) = run(Some(limit));
-        table.add_row(vec![format!("{limit:.0} degC"), fmt_num(t), fmt_num(g)]);
+    for (limit, (t, g)) in limits.iter().zip(runs) {
+        let label = match limit {
+            None => "none".to_string(),
+            Some(l) => format!("{l:.0} degC"),
+        };
+        table.add_row(vec![label, fmt_num(t), fmt_num(g)]);
     }
     println!("{table}");
     println!(

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin abl_transitions`
 
-use odrl_bench::{run_loop, ControllerKind};
+use odrl_bench::{run_cells_parallel, run_loop, sweep_parallelism, ControllerKind};
 use odrl_manycore::{System, SystemConfig};
 use odrl_metrics::{fmt_num, fmt_percent, Table};
 use odrl_power::{Seconds, Watts};
@@ -32,9 +32,12 @@ fn main() {
         h
     });
 
-    let mut baselines = vec![0.0; kinds.len()];
-    let mut final_row = vec![0.0; kinds.len()];
-    for (pi, penalty_us) in [0.0, 10.0, 50.0, 100.0].into_iter().enumerate() {
+    let penalties = [0.0, 10.0, 50.0, 100.0];
+    let cells: Vec<(f64, ControllerKind)> = penalties
+        .iter()
+        .flat_map(|&p| kinds.iter().map(move |&kind| (p, kind)))
+        .collect();
+    let mut runs = run_cells_parallel(&cells, sweep_parallelism(), |&(penalty_us, kind)| {
         let config = SystemConfig::builder()
             .cores(CORES)
             .mix(MixPolicy::RoundRobin)
@@ -43,12 +46,20 @@ fn main() {
             .build()
             .expect("valid config");
         let budget = Watts::new(0.6 * config.max_power().value());
+        let mut system = System::new(config).expect("valid system");
+        let mut ctrl = kind.build(&system.spec(), budget);
+        run_loop(&mut system, ctrl.as_mut(), budget, EPOCHS)
+            .summary
+            .throughput_ips()
+            / 1e9
+    })
+    .into_iter();
+
+    let mut baselines = vec![0.0; kinds.len()];
+    let mut final_row = vec![0.0; kinds.len()];
+    for (pi, penalty_us) in penalties.into_iter().enumerate() {
         let mut row = vec![format!("{penalty_us:.0}")];
-        for (ki, &kind) in kinds.iter().enumerate() {
-            let mut system = System::new(config.clone()).expect("valid system");
-            let mut ctrl = kind.build(&system.spec(), budget);
-            let run = run_loop(&mut system, ctrl.as_mut(), budget, EPOCHS);
-            let gips = run.summary.throughput_ips() / 1e9;
+        for (ki, gips) in runs.by_ref().take(kinds.len()).enumerate() {
             if pi == 0 {
                 baselines[ki] = gips;
             }

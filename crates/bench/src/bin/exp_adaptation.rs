@@ -52,6 +52,7 @@ fn main() {
     ]);
 
     let mut epoch = 0u64;
+    let mut actions = vec![odrl_power::LevelId(0); system.num_cores()];
     for &(frac, phase_epochs) in &PHASES {
         let budget = max_power * frac;
         let mut win_power = 0.0;
@@ -60,7 +61,7 @@ fn main() {
         let mut win_n = 0u64;
         for _ in 0..phase_epochs {
             let obs = system.observation(budget);
-            let actions = ctrl.decide(&obs);
+            ctrl.decide_into(&obs, &mut actions);
             let report = system.step(&actions).expect("valid actions");
             win_power += report.total_power.value();
             win_instr += report.total_instructions();

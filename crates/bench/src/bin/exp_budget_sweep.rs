@@ -8,7 +8,8 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin exp_budget_sweep`
 
-use odrl_bench::{run_scenario, ControllerKind, Scenario};
+use odrl_bench::{run_scenarios_parallel, sweep_parallelism, ControllerKind, Scenario};
+use odrl_manycore::Parallelism;
 use odrl_metrics::{fmt_num, Table};
 use odrl_workload::MixPolicy;
 
@@ -34,18 +35,26 @@ fn main() {
         h
     });
 
-    for pct in [40, 50, 60, 70, 80, 90, 100] {
-        let scenario = Scenario {
-            cores: 64,
-            budget_frac: pct as f64 / 100.0,
-            epochs: 1_500,
-            mix: MixPolicy::RoundRobin,
-            seed: 2,
-        };
+    let pcts = [40, 50, 60, 70, 80, 90, 100];
+    let cells: Vec<_> = pcts
+        .iter()
+        .flat_map(|&pct| {
+            let scenario = Scenario {
+                cores: 64,
+                budget_frac: pct as f64 / 100.0,
+                epochs: 1_500,
+                mix: MixPolicy::RoundRobin,
+                seed: 2,
+                parallelism: Parallelism::Serial,
+            };
+            kinds.iter().map(move |&kind| (scenario.clone(), kind))
+        })
+        .collect();
+    let mut summaries = run_scenarios_parallel(&cells, sweep_parallelism()).into_iter();
+    for pct in pcts {
         let mut tput_row = vec![format!("{pct}%")];
         let mut over_row = vec![format!("{pct}%")];
-        for &kind in &kinds {
-            let s = run_scenario(&scenario, kind);
+        for s in summaries.by_ref().take(kinds.len()) {
             tput_row.push(fmt_num(s.throughput_ips() / 1e9));
             over_row.push(fmt_num(s.overshoot_energy.value()));
         }

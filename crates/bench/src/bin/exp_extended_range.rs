@@ -35,9 +35,10 @@ fn run(table: VfTable, budget_frac: f64, reference_max: Watts) -> odrl_metrics::
     let mut ctrl = OdRlController::new(OdRlConfig::default(), &system.spec(), budget)
         .expect("valid OD-RL config");
     let mut rec = RunRecorder::new("od-rl");
+    let mut actions = vec![odrl_power::LevelId(0); CORES];
     for _ in 0..EPOCHS {
         let obs = system.observation(budget);
-        let actions = ctrl.decide(&obs);
+        ctrl.decide_into(&obs, &mut actions);
         let report = system.step(&actions).expect("valid actions");
         rec.record(
             report.total_power,

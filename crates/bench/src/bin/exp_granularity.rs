@@ -13,7 +13,7 @@
 use odrl_bench::{run_loop, Scenario};
 use odrl_controllers::{IslandController, IslandMap, PowerController, SteepestDrop};
 use odrl_core::{OdRlConfig, OdRlController};
-use odrl_manycore::System;
+use odrl_manycore::{Parallelism, System};
 use odrl_metrics::{fmt_num, fmt_percent, Table};
 use odrl_power::Watts;
 use odrl_workload::MixPolicy;
@@ -28,8 +28,11 @@ fn main() {
         epochs: EPOCHS,
         mix: MixPolicy::RoundRobin,
         seed: 9,
+        parallelism: Parallelism::Serial,
     };
-    let config = scenario.system_config();
+    let config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
     let budget = Watts::new(scenario.budget_frac * config.max_power().value());
     let spec = config.spec();
 

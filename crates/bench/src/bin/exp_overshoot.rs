@@ -8,13 +8,13 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin exp_overshoot`
 
-use odrl_bench::{benchmark_sweep, ControllerKind};
+use odrl_bench::{benchmark_sweep_parallel, sweep_parallelism, ControllerKind};
 use odrl_metrics::{fmt_num, fmt_percent, Table};
 
 fn main() {
     let kinds = ControllerKind::headline_set();
     println!("E2: budget overshoot per benchmark (64 cores, 60% budget, 2000 epochs)\n");
-    let sweep = benchmark_sweep(64, 0.6, 2_000, 1, &kinds);
+    let sweep = benchmark_sweep_parallel(64, 0.6, 2_000, 1, &kinds, sweep_parallelism());
 
     let mut headers = vec!["benchmark".to_string()];
     for k in &kinds {

@@ -14,7 +14,9 @@ const BUCKETS: usize = 40;
 
 fn main() {
     let scenario = Scenario::default_eval();
-    let config = scenario.system_config();
+    let config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
     let budget = scenario.budget_frac * config.max_power().value();
     println!("E1: power trace under budget");
     println!(

@@ -16,9 +16,10 @@
 
 use odrl_bench::{ControllerKind, Scenario};
 use odrl_controllers::PowerController;
-use odrl_manycore::{Observation, System};
+use odrl_core::{OdRlConfig, OdRlController};
+use odrl_manycore::{Observation, Parallelism, System};
 use odrl_metrics::{fmt_num, Table};
-use odrl_power::Watts;
+use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
 use std::time::Instant;
 
@@ -30,31 +31,33 @@ fn observation_for(cores: usize) -> (Observation, odrl_manycore::SystemSpec, Wat
         epochs: 0,
         mix: MixPolicy::RoundRobin,
         seed: 7,
+        parallelism: Parallelism::Serial,
     };
-    let config = scenario.system_config();
+    let config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
     let budget = Watts::new(0.6 * config.max_power().value());
     let mut system = System::new(config).expect("valid config");
     let spec = system.spec();
-    let mid = odrl_power::LevelId(4);
+    let mid = LevelId(4);
     for _ in 0..5 {
         system.step(&vec![mid; cores]).expect("valid step");
     }
     (system.observation(budget), spec, budget)
 }
 
-/// Median nanoseconds per `decide()` over `reps` calls.
+/// Median nanoseconds per decision over `reps` calls (zero-alloc hot path).
 fn measure(ctrl: &mut dyn PowerController, obs: &Observation, reps: usize) -> f64 {
+    let mut actions = vec![LevelId(0); obs.cores.len()];
     // Warmup.
     for _ in 0..3 {
-        let _ = ctrl.decide(obs);
+        ctrl.decide_into(obs, &mut actions);
     }
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let t = Instant::now();
-            let actions = ctrl.decide(obs);
-            let ns = t.elapsed().as_nanos() as f64;
-            assert_eq!(actions.len(), obs.cores.len());
-            ns
+            ctrl.decide_into(obs, &mut actions);
+            t.elapsed().as_nanos() as f64
         })
         .collect();
     samples.sort_by(f64::total_cmp);
@@ -117,6 +120,46 @@ fn main() {
     println!(
         "MaxBIPS-DP / OD-RL decision-cost ratio at >=256 cores: up to {worst_ratio:.0}x \
          (paper: two orders of magnitude vs state of the art; exhaustive MaxBIPS is \
-         infeasible outright beyond ~10 cores)"
+         infeasible outright beyond ~10 cores)\n"
     );
+
+    // Sharded decide path: the per-core agents are independent, so the
+    // decide loop parallelizes bit-identically across worker threads.
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "OD-RL decision latency vs worker threads (bit-identical output; \
+         {hw} hardware thread(s) available — speedups need spare hardware threads):"
+    );
+    let shard_counts = [1usize, 2, 4, 8];
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(shard_counts.iter().map(|t| format!("{t}_threads_ns")));
+    headers.push("best_speedup".into());
+    let mut par_table = Table::new(headers);
+    for &n in &[256usize, 512, 1024] {
+        let (obs, spec, budget) = observation_for(n);
+        let mut row = vec![n.to_string()];
+        let mut serial_ns = 0.0;
+        let mut best_ns = f64::INFINITY;
+        for (i, &threads) in shard_counts.iter().enumerate() {
+            let config = OdRlConfig {
+                parallelism: if threads == 1 {
+                    Parallelism::Serial
+                } else {
+                    Parallelism::Threads(threads)
+                },
+                ..OdRlConfig::default()
+            };
+            let mut ctrl =
+                OdRlController::new(config, &spec, budget).expect("valid OD-RL config");
+            let ns = measure(&mut ctrl, &obs, 11);
+            if i == 0 {
+                serial_ns = ns;
+            }
+            best_ns = best_ns.min(ns);
+            row.push(fmt_num(ns));
+        }
+        row.push(format!("{:.2}x", serial_ns / best_ns));
+        par_table.add_row(row);
+    }
+    println!("{par_table}");
 }

@@ -6,14 +6,14 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin exp_tpoe`
 
-use odrl_bench::{benchmark_sweep, geometric_mean, ControllerKind};
+use odrl_bench::{benchmark_sweep_parallel, geometric_mean, sweep_parallelism, ControllerKind};
 use odrl_metrics::{fmt_num, fmt_ratio, Table};
 
 fn main() {
     let kinds = ControllerKind::headline_set();
     println!("E3: throughput per over-budget energy (64 cores, 60% budget, 2000 epochs)");
     println!("TpOE = total instructions / overshoot energy [instr/J]; inf = no overshoot\n");
-    let sweep = benchmark_sweep(64, 0.6, 2_000, 1, &kinds);
+    let sweep = benchmark_sweep_parallel(64, 0.6, 2_000, 1, &kinds, sweep_parallelism());
 
     let mut headers = vec!["benchmark".to_string()];
     headers.extend(kinds.iter().map(|k| k.label().to_string()));

@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin exp_variation`
 
-use odrl_bench::{run_loop, ControllerKind};
+use odrl_bench::{run_cells_parallel, run_loop, sweep_parallelism, ControllerKind};
 use odrl_manycore::{System, SystemConfig, VariationModel};
 use odrl_metrics::{fmt_num, Table};
 use odrl_power::Watts;
@@ -33,7 +33,12 @@ fn main() {
         h
     });
 
-    for sigma in [0.0, 0.15, 0.30, 0.45] {
+    let sigmas = [0.0, 0.15, 0.30, 0.45];
+    let cells: Vec<(f64, ControllerKind)> = sigmas
+        .iter()
+        .flat_map(|&sigma| kinds.iter().map(move |&kind| (sigma, kind)))
+        .collect();
+    let mut runs = run_cells_parallel(&cells, sweep_parallelism(), |&(sigma, kind)| {
         let config = SystemConfig::builder()
             .cores(CORES)
             .mix(MixPolicy::RoundRobin)
@@ -45,14 +50,17 @@ fn main() {
             .build()
             .expect("valid config");
         let budget = Watts::new(0.6 * config.max_power().value());
+        let mut system = System::new(config).expect("valid system");
+        let mut ctrl = kind.build(&system.spec(), budget);
+        run_loop(&mut system, ctrl.as_mut(), budget, EPOCHS).summary
+    })
+    .into_iter();
+    for sigma in sigmas {
         let mut over_row = vec![format!("{sigma:.2}")];
         let mut tput_row = vec![format!("{sigma:.2}")];
-        for &kind in &kinds {
-            let mut system = System::new(config.clone()).expect("valid system");
-            let mut ctrl = kind.build(&system.spec(), budget);
-            let run = run_loop(&mut system, ctrl.as_mut(), budget, EPOCHS);
-            over_row.push(fmt_num(run.summary.overshoot_energy.value()));
-            tput_row.push(fmt_num(run.summary.throughput_ips() / 1e9));
+        for s in runs.by_ref().take(kinds.len()) {
+            over_row.push(fmt_num(s.overshoot_energy.value()));
+            tput_row.push(fmt_num(s.throughput_ips() / 1e9));
         }
         over.add_row(over_row);
         tput.add_row(tput_row);

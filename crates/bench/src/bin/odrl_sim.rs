@@ -13,6 +13,9 @@
 //!   --mix POLICY          roundrobin | random | <benchmark name>
 //!                                                      [default: roundrobin]
 //!   --islands SIZE        cores per VF island          [default: 1]
+//!   --threads N           worker threads for the epoch update and the
+//!                         OD-RL decide path (bit-identical results)
+//!                                                      [default: 1]
 //!   --csv PATH            write the per-epoch telemetry series as CSV
 //!   --config PATH         load the full SystemConfig from a JSON file
 //!                         (overrides --cores/--seed/--mix)
@@ -38,8 +41,8 @@ use std::process::ExitCode;
 fn usage() {
     eprintln!(
         "Usage: odrl_sim [--cores N] [--budget FRAC] [--controller NAME] \
-         [--epochs N] [--seed N] [--mix POLICY] [--islands SIZE] [--csv PATH] \
-         [--config PATH] [--dump-config]"
+         [--epochs N] [--seed N] [--mix POLICY] [--islands SIZE] [--threads N] \
+         [--csv PATH] [--config PATH] [--dump-config]"
     );
 }
 
@@ -84,8 +87,15 @@ fn main() -> ExitCode {
             epochs: args.epochs,
             mix: args.mix.clone(),
             seed: args.seed,
+            parallelism: args.parallelism(),
         };
-        scenario.system_config()
+        match scenario.try_system_config() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     };
     if args.dump_config {
         match serde_json::to_string_pretty(&config) {
@@ -143,9 +153,10 @@ fn main() -> ExitCode {
     );
 
     let mut recorder = RunRecorder::new(controller.name());
+    let mut actions = vec![odrl_power::LevelId(0); cores];
     for _ in 0..args.epochs {
         let obs = system.observation(budget);
-        let actions = controller.decide(&obs);
+        controller.decide_into(&obs, &mut actions);
         let report = match system.step(&actions) {
             Ok(r) => r,
             Err(e) => {
@@ -197,8 +208,8 @@ impl PowerController for BoxedController {
         self.0.name()
     }
 
-    fn decide(&mut self, obs: &odrl_manycore::Observation) -> Vec<odrl_power::LevelId> {
-        self.0.decide(obs)
+    fn decide_into(&mut self, obs: &odrl_manycore::Observation, out: &mut [odrl_power::LevelId]) {
+        self.0.decide_into(obs, out);
     }
 }
 

@@ -2,6 +2,7 @@
 //! the binary so it is unit-testable).
 
 use crate::ControllerKind;
+use odrl_manycore::Parallelism;
 use odrl_workload::MixPolicy;
 
 /// Parsed `odrl_sim` arguments.
@@ -21,6 +22,9 @@ pub struct SimArgs {
     pub mix: MixPolicy,
     /// Cores per VF island (1 = per-core DVFS).
     pub islands: usize,
+    /// Worker threads for the per-epoch update and decide paths
+    /// (1 = serial; any setting is bit-identical).
+    pub threads: usize,
     /// Optional telemetry CSV output path.
     pub csv: Option<String>,
     /// Optional JSON system-config path.
@@ -39,9 +43,21 @@ impl Default for SimArgs {
             seed: 1,
             mix: MixPolicy::RoundRobin,
             islands: 1,
+            threads: 1,
             csv: None,
             config_path: None,
             dump_config: false,
+        }
+    }
+}
+
+impl SimArgs {
+    /// The intra-epoch parallelism the `--threads` flag asks for.
+    pub fn parallelism(&self) -> Parallelism {
+        if self.threads <= 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(self.threads)
         }
     }
 }
@@ -118,6 +134,12 @@ where
                     return Err("--islands must be at least 1".into());
                 }
             }
+            "--threads" => {
+                args.threads = value.parse().map_err(|e| format!("--threads: {e}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             "--csv" => args.csv = Some(value),
             "--config" => args.config_path = Some(value),
             other => return Err(format!("unknown flag `{other}`")),
@@ -168,9 +190,18 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_maps_to_parallelism() {
+        let args = parse_sim_args(["--threads", "4"]).unwrap();
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.parallelism(), Parallelism::Threads(4));
+        assert_eq!(SimArgs::default().parallelism(), Parallelism::Serial);
+    }
+
+    #[test]
     fn rejects_bad_inputs() {
         assert!(parse_sim_args(["--budget", "1.5"]).is_err());
         assert!(parse_sim_args(["--islands", "0"]).is_err());
+        assert!(parse_sim_args(["--threads", "0"]).is_err());
         assert!(parse_sim_args(["--controller", "nonsense"]).is_err());
         assert!(parse_sim_args(["--mix", "not-a-benchmark"]).is_err());
         assert!(parse_sim_args(["--cores"]).is_err()); // missing value

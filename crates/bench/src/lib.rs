@@ -38,10 +38,13 @@ use odrl_controllers::{
     PowerController, PriorityGreedy, StaticUniform, SteepestDrop,
 };
 use odrl_core::{HierarchicalOdRl, OdRlConfig, OdRlController};
-use odrl_manycore::{System, SystemConfig, SystemSpec};
+use odrl_manycore::{Parallelism, System, SystemConfig, SystemError, SystemSpec};
 use odrl_metrics::{RunRecorder, RunSummary};
-use odrl_power::Watts;
+use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
 
 /// One experiment run: system size, workload, budget and length.
 #[derive(Debug, Clone)]
@@ -56,6 +59,46 @@ pub struct Scenario {
     pub mix: MixPolicy,
     /// Master seed.
     pub seed: u64,
+    /// How the per-core work *inside* each epoch executes (forwarded to
+    /// [`SystemConfig`] and [`OdRlConfig`]). Bit-identical at every setting;
+    /// orthogonal to the cross-run fan-out of [`run_scenarios_parallel`].
+    pub parallelism: Parallelism,
+}
+
+/// Why a [`Scenario`] could not be turned into a runnable configuration.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// `budget_frac` is not a finite, non-negative number.
+    BudgetFraction(f64),
+    /// The underlying system configuration failed validation.
+    Config(SystemError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BudgetFraction(v) => {
+                write!(f, "budget fraction {v} is not a finite non-negative number")
+            }
+            Self::Config(e) => write!(f, "invalid system configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::BudgetFraction(_) => None,
+            Self::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<SystemError> for ScenarioError {
+    fn from(e: SystemError) -> Self {
+        Self::Config(e)
+    }
 }
 
 impl Scenario {
@@ -68,21 +111,39 @@ impl Scenario {
             epochs: 2_000,
             mix: MixPolicy::RoundRobin,
             seed: 1,
+            parallelism: Parallelism::Serial,
         }
+    }
+
+    /// Builds the system configuration for this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the parameters do not describe a
+    /// runnable system (zero cores, malformed budget fraction, ...), so
+    /// CLI- or JSON-sourced scenarios surface as errors instead of panics.
+    pub fn try_system_config(&self) -> Result<SystemConfig, ScenarioError> {
+        if !self.budget_frac.is_finite() || self.budget_frac < 0.0 {
+            return Err(ScenarioError::BudgetFraction(self.budget_frac));
+        }
+        SystemConfig::builder()
+            .cores(self.cores)
+            .mix(self.mix.clone())
+            .seed(self.seed)
+            .parallelism(self.parallelism)
+            .build()
+            .map_err(ScenarioError::from)
     }
 
     /// Builds the system configuration for this scenario.
     ///
     /// # Panics
     ///
-    /// Panics if the scenario parameters are invalid (experiment harnesses
-    /// use vetted values).
+    /// Panics if the scenario parameters are invalid; prefer
+    /// [`Scenario::try_system_config`].
+    #[deprecated(since = "0.2.0", note = "use `try_system_config` instead")]
     pub fn system_config(&self) -> SystemConfig {
-        SystemConfig::builder()
-            .cores(self.cores)
-            .mix(self.mix.clone())
-            .seed(self.seed)
-            .build()
+        self.try_system_config()
             .expect("scenario parameters are valid")
     }
 }
@@ -223,10 +284,16 @@ pub fn run_scenario(scenario: &Scenario, kind: ControllerKind) -> RunSummary {
 ///
 /// Panics on simulator errors (cannot happen with vetted scenarios).
 pub fn run_scenario_traced(scenario: &Scenario, kind: ControllerKind) -> TracedRun {
-    let config = scenario.system_config();
+    let config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
     let budget = Watts::new(scenario.budget_frac * config.max_power().value());
     let mut system = System::new(config).expect("valid scenario config");
-    let mut controller = kind.build(&system.spec(), budget);
+    let odrl = OdRlConfig {
+        parallelism: scenario.parallelism,
+        ..OdRlConfig::default()
+    };
+    let mut controller = kind.build_with_odrl_config(&system.spec(), budget, odrl);
     run_loop(&mut system, controller.as_mut(), budget, scenario.epochs)
 }
 
@@ -246,9 +313,11 @@ pub fn run_loop(
     let mut recorder = RunRecorder::new(controller.name());
     let mut trace = Vec::with_capacity(epochs as usize);
     let mut time = system.elapsed().value();
+    // One action buffer for the whole run: the hot loop allocates nothing.
+    let mut actions = vec![LevelId(0); system.num_cores()];
     for _ in 0..epochs {
         let obs = system.observation(budget);
-        let actions = controller.decide(&obs);
+        controller.decide_into(&obs, &mut actions);
         let report = system.step(&actions).expect("controller actions are valid");
         time += report.dt.value();
         recorder.record(
@@ -263,6 +332,90 @@ pub fn run_loop(
         summary: recorder.finish(),
         power_trace: trace,
     }
+}
+
+/// The fan-out the sweep binaries use: `ODRL_SWEEP_THREADS=n` pins the
+/// worker count (`0` or `1` mean serial); unset or unparsable picks
+/// [`Parallelism::Auto`]. Output is identical either way — the knob only
+/// trades wall-clock time for threads.
+pub fn sweep_parallelism() -> Parallelism {
+    match std::env::var("ODRL_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(0) | Some(1) => Parallelism::Serial,
+        Some(n) => Parallelism::Threads(n),
+        None => Parallelism::Auto,
+    }
+}
+
+/// Runs every `(scenario, controller)` cell of a sweep, fanning the cells
+/// across `par` worker threads.
+///
+/// Cells are independent closed-loop runs, so this is embarrassingly
+/// parallel: workers pull the next unclaimed cell from a shared counter
+/// (good load balance when cell costs differ wildly, e.g. MaxBIPS-DP next
+/// to a static baseline) and results are returned **in input order**.
+/// Every run is seeded, so the output is identical to running the cells
+/// serially — `par` only changes wall-clock time.
+///
+/// # Panics
+///
+/// Panics on simulator errors (cannot happen with vetted scenarios) or if
+/// a worker thread panics.
+pub fn run_scenarios_parallel(
+    cells: &[(Scenario, ControllerKind)],
+    par: Parallelism,
+) -> Vec<RunSummary> {
+    run_cells_parallel(cells, par, |(scenario, kind)| run_scenario(scenario, *kind))
+}
+
+/// The generic work-queue behind [`run_scenarios_parallel`]: applies `run`
+/// to every cell on `par` worker threads and returns the results in input
+/// order. Useful for experiments whose cells are not plain
+/// `(Scenario, ControllerKind)` pairs (custom [`SystemConfig`]s, budget
+/// steps, ...).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (i.e. if `run` panics on some cell).
+pub fn run_cells_parallel<T, R, F>(cells: &[T], par: Parallelism, run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = cells.len();
+    let workers = par.shards(n);
+    if workers <= 1 {
+        return cells.iter().map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let run = &run;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, run(&cells[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("scenario worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Runs the headline benchmark × controller sweep behind tables E2–E4:
@@ -282,18 +435,45 @@ pub fn benchmark_sweep(
     seed: u64,
     kinds: &[ControllerKind],
 ) -> Vec<(String, Vec<RunSummary>)> {
-    odrl_workload::names()
-        .into_iter()
-        .map(|bench| {
+    benchmark_sweep_parallel(cores, budget_frac, epochs, seed, kinds, Parallelism::Serial)
+}
+
+/// As [`benchmark_sweep`], fanning the benchmark × controller cells across
+/// `par` worker threads via [`run_scenarios_parallel`]. Results are
+/// identical at every setting; only wall-clock time changes.
+///
+/// # Panics
+///
+/// As [`benchmark_sweep`].
+pub fn benchmark_sweep_parallel(
+    cores: usize,
+    budget_frac: f64,
+    epochs: u64,
+    seed: u64,
+    kinds: &[ControllerKind],
+    par: Parallelism,
+) -> Vec<(String, Vec<RunSummary>)> {
+    let benches = odrl_workload::names();
+    let cells: Vec<(Scenario, ControllerKind)> = benches
+        .iter()
+        .flat_map(|&bench| {
             let scenario = Scenario {
                 cores,
                 budget_frac,
                 epochs,
                 mix: MixPolicy::Homogeneous(bench.into()),
                 seed,
+                parallelism: Parallelism::Serial,
             };
-            let summaries = kinds.iter().map(|&k| run_scenario(&scenario, k)).collect();
-            (bench.to_string(), summaries)
+            kinds.iter().map(move |&k| (scenario.clone(), k))
+        })
+        .collect();
+    let mut summaries = run_scenarios_parallel(&cells, par).into_iter();
+    benches
+        .into_iter()
+        .map(|bench| {
+            let row = summaries.by_ref().take(kinds.len()).collect();
+            (bench.to_string(), row)
         })
         .collect()
 }
@@ -318,15 +498,19 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 mod tests {
     use super::*;
 
-    fn tiny(kind: ControllerKind) -> RunSummary {
-        let scenario = Scenario {
+    fn tiny_scenario() -> Scenario {
+        Scenario {
             cores: 8,
             budget_frac: 0.6,
             epochs: 50,
             mix: MixPolicy::RoundRobin,
             seed: 3,
-        };
-        run_scenario(&scenario, kind)
+            parallelism: Parallelism::Serial,
+        }
+    }
+
+    fn tiny(kind: ControllerKind) -> RunSummary {
+        run_scenario(&tiny_scenario(), kind)
     }
 
     #[test]
@@ -364,6 +548,7 @@ mod tests {
             epochs: 20,
             mix: MixPolicy::RoundRobin,
             seed: 1,
+            parallelism: Parallelism::Serial,
         };
         let t = run_scenario_traced(&scenario, ControllerKind::Pid);
         assert_eq!(t.power_trace.len(), 20);
@@ -378,6 +563,7 @@ mod tests {
             epochs: 10,
             mix: MixPolicy::RoundRobin,
             seed: 2,
+            parallelism: Parallelism::Serial,
         };
         let s = run_scenario(&scenario, ControllerKind::MaxBipsExhaustive);
         assert!(s.total_instructions > 0.0);
@@ -412,5 +598,90 @@ mod tests {
             assert_eq!(summaries[0].name, "pid");
             assert_eq!(summaries[1].name, "steepest-drop");
         }
+    }
+
+    #[test]
+    fn invalid_scenarios_surface_as_errors() {
+        let mut s = tiny_scenario();
+        s.cores = 0;
+        assert!(matches!(
+            s.try_system_config(),
+            Err(ScenarioError::Config(_))
+        ));
+        let mut s = tiny_scenario();
+        s.budget_frac = f64::NAN;
+        assert!(matches!(
+            s.try_system_config(),
+            Err(ScenarioError::BudgetFraction(_))
+        ));
+        let mut s = tiny_scenario();
+        s.budget_frac = -0.3;
+        let err = s.try_system_config().unwrap_err();
+        assert!(err.to_string().contains("budget fraction"));
+        assert!(tiny_scenario().try_system_config().is_ok());
+    }
+
+    #[test]
+    fn parallel_cells_match_serial_in_input_order() {
+        let mut cells = Vec::new();
+        for seed in [3, 5] {
+            for kind in [
+                ControllerKind::OdRl,
+                ControllerKind::SteepestDrop,
+                ControllerKind::Pid,
+            ] {
+                let mut s = tiny_scenario();
+                s.seed = seed;
+                s.epochs = 30;
+                cells.push((s, kind));
+            }
+        }
+        let serial = run_scenarios_parallel(&cells, Parallelism::Serial);
+        for threads in [2, 4, 8] {
+            let parallel = run_scenarios_parallel(&cells, Parallelism::Threads(threads));
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.name, s.name);
+                assert_eq!(p.epochs, s.epochs);
+                assert_eq!(p.total_instructions, s.total_instructions);
+                assert_eq!(p.total_energy, s.total_energy);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        let kinds = [ControllerKind::Pid, ControllerKind::StaticUniform];
+        let serial = benchmark_sweep(4, 0.6, 5, 1, &kinds);
+        let parallel = benchmark_sweep_parallel(4, 0.6, 5, 1, &kinds, Parallelism::Threads(4));
+        assert_eq!(serial.len(), parallel.len());
+        for ((bench_s, row_s), (bench_p, row_p)) in serial.iter().zip(&parallel) {
+            assert_eq!(bench_s, bench_p);
+            for (s, p) in row_s.iter().zip(row_p) {
+                assert_eq!(s.name, p.name);
+                assert_eq!(s.total_instructions, p.total_instructions);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_parallelism_does_not_change_results() {
+        let mut serial = tiny_scenario();
+        serial.epochs = 40;
+        let mut threaded = serial.clone();
+        threaded.parallelism = Parallelism::Threads(4);
+        for kind in [ControllerKind::OdRl, ControllerKind::OdRlHier] {
+            let a = run_scenario(&serial, kind);
+            let b = run_scenario(&threaded, kind);
+            assert_eq!(a.total_instructions, b.total_instructions, "{}", a.name);
+            assert_eq!(a.total_energy, b.total_energy, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn deprecated_system_config_still_builds() {
+        #[allow(deprecated)]
+        let config = tiny_scenario().system_config();
+        assert_eq!(config.cores, 8);
     }
 }

@@ -206,21 +206,20 @@ impl<C: PowerController> PowerController for IslandController<C> {
         &self.name
     }
 
-    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+    fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
         if obs.cores.len() != self.map.cores() {
             // Defensive: an observation of the wrong size gets the floor.
-            return vec![LevelId(0); obs.cores.len()];
+            out.fill(LevelId(0));
+            return;
         }
         let island_obs = self.collapse(obs);
         let island_levels = self.inner.decide(&island_obs);
-        (0..self.map.cores())
-            .map(|c| {
-                island_levels
-                    .get(self.map.island_of(c))
-                    .copied()
-                    .unwrap_or(LevelId(0))
-            })
-            .collect()
+        for (c, slot) in out.iter_mut().enumerate() {
+            *slot = island_levels
+                .get(self.map.island_of(c))
+                .copied()
+                .unwrap_or(LevelId(0));
+        }
     }
 }
 

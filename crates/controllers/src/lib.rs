@@ -70,13 +70,32 @@ use odrl_power::LevelId;
 ///
 /// Implementations must be deterministic given their construction seed and
 /// the observation sequence, so experiments are reproducible.
+///
+/// Implementors provide [`PowerController::decide_into`], the
+/// zero-allocation hot path the closed loop drives every epoch;
+/// [`PowerController::decide`] is a convenience wrapper that allocates a
+/// fresh vector per call.
 pub trait PowerController {
     /// A short stable identifier used in reports and tables.
     fn name(&self) -> &str;
 
-    /// Chooses one VF level per core for the upcoming epoch.
+    /// Chooses one VF level per core for the upcoming epoch, writing the
+    /// decision into `out` without allocating.
     ///
-    /// Must return exactly `obs.cores.len()` levels, each valid for the
-    /// system's VF table.
-    fn decide(&mut self, obs: &Observation) -> Vec<LevelId>;
+    /// `out` has exactly `obs.cores.len()` slots (one per observed core);
+    /// every slot must be written with a level valid for the system's VF
+    /// table.
+    fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]);
+
+    /// Chooses one VF level per core, returning a freshly allocated vector
+    /// of exactly `obs.cores.len()` levels.
+    ///
+    /// Prefer [`PowerController::decide_into`] with a reused buffer in hot
+    /// loops; this wrapper exists for convenience and backward
+    /// compatibility.
+    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+        let mut out = vec![LevelId(0); obs.cores.len()];
+        self.decide_into(obs, &mut out);
+        out
+    }
 }

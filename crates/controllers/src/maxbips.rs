@@ -273,16 +273,18 @@ impl PowerController for MaxBips {
         self.name
     }
 
-    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+    fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
         let preds = self.predictor.predict_all(&obs.cores);
+        debug_assert_eq!(out.len(), preds.len());
         if preds.is_empty() {
-            return Vec::new();
+            return;
         }
         let budget = obs.budget.value();
-        match self.mode {
+        let levels = match self.mode {
             MaxBipsMode::Exhaustive => Self::solve_exhaustive(&preds, budget),
             MaxBipsMode::Dp { power_bins } => Self::solve_dp(&preds, budget, power_bins),
-        }
+        };
+        out.copy_from_slice(&levels);
     }
 }
 

@@ -107,7 +107,8 @@ impl PowerController for OndemandGovernor {
         "ondemand"
     }
 
-    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+    fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
+        debug_assert_eq!(out.len(), obs.cores.len());
         let n = obs.cores.len().min(self.levels.len());
         for i in 0..n {
             let mb = obs.cores[i].memory_boundedness();
@@ -125,7 +126,7 @@ impl PowerController for OndemandGovernor {
                 self.bound_streak[i] = 0;
             }
         }
-        self.levels[..n].to_vec()
+        out[..n].copy_from_slice(&self.levels[..n]);
     }
 }
 

@@ -106,10 +106,10 @@ impl PowerController for PidController {
         "pid"
     }
 
-    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
-        let n = obs.cores.len();
-        if n == 0 {
-            return Vec::new();
+    fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
+        debug_assert_eq!(out.len(), obs.cores.len());
+        if obs.cores.is_empty() {
+            return;
         }
         // Positive error = headroom below budget.
         let error = (obs.budget - obs.total_power).value() * self.error_scale;
@@ -120,8 +120,7 @@ impl PowerController for PidController {
         let output =
             self.gains.kp * error + self.gains.ki * self.integral + self.gains.kd * derivative;
         self.index = (self.index + output).clamp(0.0, self.max_level);
-        let level = LevelId(self.index.round() as usize);
-        vec![level; n]
+        out.fill(LevelId(self.index.round() as usize));
     }
 }
 

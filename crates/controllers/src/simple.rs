@@ -72,8 +72,10 @@ impl PowerController for StaticUniform {
         "static-uniform"
     }
 
-    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
-        vec![self.level; obs.cores.len().min(self.cores).max(obs.cores.len())]
+    fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
+        debug_assert_eq!(out.len(), obs.cores.len());
+        debug_assert_eq!(out.len(), self.cores);
+        out.fill(self.level);
     }
 }
 
@@ -109,11 +111,12 @@ impl PowerController for PriorityGreedy {
         "priority-greedy"
     }
 
-    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+    fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
         let preds = self.predictor.predict_all(&obs.cores);
         let n = preds.len();
+        debug_assert_eq!(out.len(), n);
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| obs.cores[b].ips.total_cmp(&obs.cores[a].ips));
@@ -122,7 +125,7 @@ impl PowerController for PriorityGreedy {
         // Reserve the minimum power of every unassigned core so nobody is
         // pushed below level 0 feasibility.
         let mut floor_reserve: f64 = preds.iter().map(|p| p[0].power.value()).sum();
-        let mut levels = vec![LevelId(0); n];
+        out.fill(LevelId(0));
         for &i in &order {
             floor_reserve -= preds[i][0].power.value();
             let mut chosen = 0;
@@ -132,10 +135,9 @@ impl PowerController for PriorityGreedy {
                     break;
                 }
             }
-            levels[i] = LevelId(chosen);
+            out[i] = LevelId(chosen);
             remaining -= preds[i][chosen].power.value();
         }
-        levels
     }
 }
 

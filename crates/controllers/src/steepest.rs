@@ -95,11 +95,12 @@ impl PowerController for SteepestDrop {
         "steepest-drop"
     }
 
-    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+    fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
         let preds = self.predictor.predict_all(&obs.cores);
         let n = preds.len();
+        debug_assert_eq!(out.len(), n);
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let top = preds[0].len() - 1;
         let mut levels = vec![top; n];
@@ -130,7 +131,9 @@ impl PowerController for SteepestDrop {
                 heap.push(next);
             }
         }
-        levels.into_iter().map(LevelId).collect()
+        for (slot, level) in out.iter_mut().zip(levels) {
+            *slot = LevelId(level);
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! OD-RL configuration.
 
 use crate::error::OdRlError;
+use odrl_manycore::Parallelism;
 use odrl_rl::{Algorithm, Schedule};
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,11 @@ pub struct OdRlConfig {
     pub thermal_penalty: f64,
     /// Which TD update to apply.
     pub algorithm: Algorithm,
+    /// How the per-core select/update loop executes. Per-core exploration
+    /// RNG streams make every setting bit-identical; the default is
+    /// [`Parallelism::Serial`].
+    #[serde(default)]
+    pub parallelism: Parallelism,
     /// Seed for the exploration randomness.
     pub seed: u64,
 }
@@ -82,6 +88,7 @@ impl Default for OdRlConfig {
             thermal_limit: None,
             thermal_penalty: 2.0,
             algorithm: Algorithm::QLearning,
+            parallelism: Parallelism::Serial,
             seed: 0,
         }
     }

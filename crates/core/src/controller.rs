@@ -7,6 +7,7 @@ use crate::error::OdRlError;
 use crate::reward::RewardShaper;
 use crate::state::StateEncoder;
 use odrl_controllers::PowerController;
+use odrl_manycore::parallel::{stream_seed, zip3_map_sharded};
 use odrl_manycore::{Observation, SystemSpec};
 use odrl_power::{LevelId, Watts};
 use odrl_rl::{Agent, Algorithm, DoubleAgent, Policy, RlError};
@@ -116,7 +117,10 @@ pub struct OdRlController {
     /// rises while the chip is under budget and falls immediately when it
     /// is over (asymmetric gains: slow fill, fast back-off).
     utilisation_scale: f64,
-    rng: StdRng,
+    /// One private exploration stream per core, derived from the config
+    /// seed and the core index — draws never depend on execution order, so
+    /// the sharded decide path is bit-identical to the serial one.
+    rngs: Vec<StdRng>,
     /// (state, action) pairs awaiting their reward.
     pending: Option<Vec<(usize, usize)>>,
     epochs: u64,
@@ -202,7 +206,14 @@ impl OdRlController {
             max_power_seen: vec![0.0; spec.cores],
             utilisation_scale: 1.0,
             total_budget: initial_budget,
-            rng: StdRng::seed_from_u64(config.seed ^ 0x0D51_5EED_0D51_5EED),
+            rngs: (0..spec.cores)
+                .map(|i| {
+                    StdRng::seed_from_u64(stream_seed(
+                        config.seed ^ 0x0D51_5EED_0D51_5EED,
+                        i as u64,
+                    ))
+                })
+                .collect(),
             pending: None,
             epochs: 0,
             name: if reallocate { "od-rl" } else { "od-rl-local" },
@@ -332,11 +343,14 @@ impl PowerController for OdRlController {
         self.name
     }
 
-    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+    fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
+        debug_assert_eq!(out.len(), obs.cores.len());
         let n = obs.cores.len().min(self.agents.len());
         if n == 0 {
-            return Vec::new();
+            return;
         }
+        // Cores beyond the agent population (defensive) get the floor.
+        out.fill(LevelId(0));
         self.track_budget(obs.budget);
 
         // Coarse grain: update marginal estimates every epoch, reallocate
@@ -370,41 +384,57 @@ impl PowerController for OdRlController {
             *seen = (*seen * 0.999).max(core.power.value());
         }
 
-        // Fine grain: close the RL loop per core.
+        // Fine grain: close the RL loop per core. Each core touches only
+        // its own agent, exploration RNG and reward row, so the loop shards
+        // across threads with bit-identical results (per-core streams plus
+        // in-order result concatenation).
         let states: Vec<usize> = (0..n)
             .map(|i| self.encoder.encode(&obs.cores[i], self.affordability(i)))
             .collect();
-        let mut actions = Vec::with_capacity(n);
-        let mut new_pending = Vec::with_capacity(n);
-        for i in 0..n {
-            let s_next = states[i];
-            let a_next = self.agents[i]
-                .select(s_next, &mut self.rng)
-                .expect("encoded state is in range");
-            if let Some(pending) = &self.pending {
-                let (s, a) = pending[i];
-                let phase = self.encoder.mem_bin(&obs.cores[i]);
-                let mut r = self.shaper.reward(
-                    i,
-                    phase,
-                    obs.cores[i].ips,
-                    obs.cores[i].power,
-                    self.effective_budget(i),
-                );
-                if let Some(limit) = self.config.thermal_limit {
-                    let excess = (obs.cores[i].temperature.value() - limit).max(0.0);
-                    r -= self.config.thermal_penalty * excess / 10.0;
-                }
-                self.agents[i]
-                    .update(self.config.algorithm, s, a, r, s_next, a_next)
-                    .expect("indices are in range");
-            }
-            new_pending.push((s_next, a_next));
-            actions.push(LevelId(a_next));
+        let old_pending = self.pending.take();
+        let decisions = {
+            let config = &self.config;
+            let encoder = &self.encoder;
+            let budgets = &self.budgets;
+            let scale = self.utilisation_scale;
+            let old_pending = old_pending.as_deref();
+            let mut rows = self.shaper.rows_mut();
+            zip3_map_sharded(
+                config.parallelism,
+                &mut self.agents[..n],
+                &mut self.rngs[..n],
+                &mut rows[..n],
+                move |i, agent, rng, row| {
+                    let s_next = states[i];
+                    let a_next = agent
+                        .select(s_next, rng)
+                        .expect("encoded state is in range");
+                    if let Some(pending) = old_pending {
+                        let (s, a) = pending[i];
+                        let phase = encoder.mem_bin(&obs.cores[i]);
+                        let mut r = row.reward(
+                            phase,
+                            obs.cores[i].ips,
+                            obs.cores[i].power,
+                            budgets[i] * scale,
+                        );
+                        if let Some(limit) = config.thermal_limit {
+                            let excess = (obs.cores[i].temperature.value() - limit).max(0.0);
+                            r -= config.thermal_penalty * excess / 10.0;
+                        }
+                        agent
+                            .update(config.algorithm, s, a, r, s_next, a_next)
+                            .expect("indices are in range");
+                    }
+                    (s_next, a_next)
+                },
+            )
+        };
+        for (slot, &(_, a)) in out.iter_mut().zip(&decisions) {
+            *slot = LevelId(a);
         }
-        self.pending = Some(new_pending);
+        self.pending = Some(decisions);
         self.epochs += 1;
-        actions
     }
 }
 
@@ -520,6 +550,53 @@ mod tests {
             sys_a.telemetry().total_energy(),
             sys_b.telemetry().total_energy()
         );
+    }
+
+    #[test]
+    fn parallel_decide_is_bit_identical_to_serial() {
+        use odrl_manycore::Parallelism;
+        let run = |par: Parallelism| {
+            let config = SystemConfig::builder()
+                .cores(16)
+                .seed(13)
+                .parallelism(par)
+                .build()
+                .unwrap();
+            let budget = Watts::new(0.55 * config.max_power().value());
+            let mut system = System::new(config).unwrap();
+            let mut ctrl = OdRlController::new(
+                OdRlConfig {
+                    parallelism: par,
+                    seed: 13,
+                    ..OdRlConfig::default()
+                },
+                &system.spec(),
+                budget,
+            )
+            .unwrap();
+            let mut all_actions = Vec::new();
+            for _ in 0..120 {
+                let obs = system.observation(budget);
+                let actions = ctrl.decide(&obs);
+                all_actions.push(actions.clone());
+                system.step(&actions).unwrap();
+            }
+            (all_actions, ctrl.export_policy(), system)
+        };
+        let (serial_actions, serial_policy, serial_sys) = run(Parallelism::Serial);
+        for threads in [1, 2, 4, 8] {
+            let (actions, policy, sys) = run(Parallelism::Threads(threads));
+            assert_eq!(actions, serial_actions, "{threads} threads");
+            assert_eq!(policy, serial_policy, "{threads} threads");
+            assert_eq!(
+                sys.telemetry().total_instructions(),
+                serial_sys.telemetry().total_instructions()
+            );
+            assert_eq!(
+                sys.telemetry().total_energy(),
+                serial_sys.telemetry().total_energy()
+            );
+        }
     }
 
     #[test]

@@ -162,11 +162,14 @@ impl PowerController for HierarchicalOdRl {
         "od-rl-hier"
     }
 
-    fn decide(&mut self, obs: &Observation) -> Vec<LevelId> {
+    fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
+        debug_assert_eq!(out.len(), obs.cores.len());
         let n = obs.cores.len().min(*self.bounds.last().expect("non-empty"));
         if n == 0 {
-            return Vec::new();
+            return;
         }
+        // Cores beyond the hierarchy (defensive) get the floor level.
+        out.fill(LevelId(0));
         // Track chip-budget changes proportionally.
         if (obs.budget - self.total_budget).abs().value() > 1e-12 {
             let old = self.total_budget.value();
@@ -191,7 +194,6 @@ impl PowerController for HierarchicalOdRl {
         self.epochs += 1;
 
         // Per cluster: slice the observation and delegate.
-        let mut actions = Vec::with_capacity(n);
         for k in 0..self.num_clusters() {
             let lo = self.bounds[k];
             let hi = self.bounds[k + 1].min(n);
@@ -205,9 +207,8 @@ impl PowerController for HierarchicalOdRl {
                 cores: obs.cores[lo..hi].to_vec(),
                 total_power: Watts::new(obs.cores[lo..hi].iter().map(|c| c.power.value()).sum()),
             };
-            actions.extend(self.clusters[k].decide(&sub));
+            self.clusters[k].decide_into(&sub, &mut out[lo..hi]);
         }
-        actions
     }
 }
 

@@ -69,12 +69,53 @@ impl RewardShaper {
         power: Watts,
         local_budget: Watts,
     ) -> f64 {
-        assert!(phase < self.phases, "phase {phase} out of range");
+        let phases = self.phases;
+        RewardRow {
+            lambda: self.lambda,
+            decay: self.decay,
+            refs: &mut self.refs[i * phases..(i + 1) * phases],
+        }
+        .reward(phase, ips, power, local_budget)
+    }
+
+    /// Splits the shaper into independent per-core views (one row each), so
+    /// a sharded decide loop can reward every core concurrently. Rows are
+    /// returned in core order and borrow disjoint slices of the state.
+    pub fn rows_mut(&mut self) -> Vec<RewardRow<'_>> {
+        let (lambda, decay) = (self.lambda, self.decay);
+        self.refs
+            .chunks_mut(self.phases)
+            .map(|refs| RewardRow {
+                lambda,
+                decay,
+                refs,
+            })
+            .collect()
+    }
+}
+
+/// One core's mutable slice of the [`RewardShaper`]: its per-phase IPS
+/// normalizers plus the (shared, immutable) penalty parameters.
+#[derive(Debug)]
+pub struct RewardRow<'a> {
+    lambda: f64,
+    decay: f64,
+    refs: &'a mut [f64],
+}
+
+impl RewardRow<'_> {
+    /// Computes this core's reward in phase class `phase` and updates the
+    /// phase's normalizer. Same arithmetic as [`RewardShaper::reward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is out of range.
+    pub fn reward(&mut self, phase: usize, ips: f64, power: Watts, local_budget: Watts) -> f64 {
+        assert!(phase < self.refs.len(), "phase {phase} out of range");
         let ips = ips.max(0.0);
-        let slot = i * self.phases + phase;
-        self.refs[slot] = (self.refs[slot] * self.decay).max(ips);
-        let perf = if self.refs[slot] > 0.0 {
-            ips / self.refs[slot]
+        self.refs[phase] = (self.refs[phase] * self.decay).max(ips);
+        let perf = if self.refs[phase] > 0.0 {
+            ips / self.refs[phase]
         } else {
             0.0
         };

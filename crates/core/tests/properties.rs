@@ -162,6 +162,7 @@ proptest! {
             power_bins,
             mem_bins,
             include_level,
+            algorithm,
             gamma,
             overshoot_penalty: penalty,
             realloc_period,

@@ -1,6 +1,7 @@
 //! System configuration and the spec controllers build against.
 
 use crate::error::SystemError;
+use crate::parallel::Parallelism;
 use crate::perf::PerfModel;
 use crate::sensors::SensorModel;
 use crate::sync::SyncModel;
@@ -58,6 +59,12 @@ pub struct SystemConfig {
     /// silicon.
     #[serde(default)]
     pub variation: VariationModel,
+    /// How the per-core work inside each epoch executes. Defaults to
+    /// [`Parallelism::Serial`]; every setting is bit-identical (per-core RNG
+    /// streams plus fixed-order reductions), so this only trades wall-clock
+    /// time for worker threads.
+    #[serde(default)]
+    pub parallelism: Parallelism,
     /// Execution time lost by a core whenever its VF level changes
     /// (PLL relock + voltage ramp). Real transitions cost 5-50 us; the
     /// default is zero so the idealized experiments stay comparable, and
@@ -180,6 +187,7 @@ impl Default for SystemConfigBuilder {
                 sync: SyncModel::Independent,
                 noc: None,
                 variation: VariationModel::none(),
+                parallelism: Parallelism::Serial,
                 transition_penalty: Seconds::ZERO,
                 seed: 0,
             },
@@ -251,6 +259,12 @@ impl SystemConfigBuilder {
     /// Sets the thread-synchronization model.
     pub fn sync(mut self, sync: SyncModel) -> Self {
         self.config.sync = sync;
+        self
+    }
+
+    /// Sets the epoch execution parallelism (bit-identical for any value).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
         self
     }
 

@@ -35,6 +35,7 @@
 
 pub mod config;
 pub mod error;
+pub mod parallel;
 pub mod perf;
 pub mod report;
 pub mod sensors;
@@ -45,6 +46,7 @@ pub mod variation;
 
 pub use config::{SystemConfig, SystemConfigBuilder, SystemSpec};
 pub use error::SystemError;
+pub use parallel::Parallelism;
 pub use perf::PerfModel;
 pub use report::{CoreEpoch, CoreObservation, EpochReport, Observation};
 pub use sensors::SensorModel;

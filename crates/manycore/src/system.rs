@@ -2,6 +2,7 @@
 
 use crate::config::{SystemConfig, SystemSpec};
 use crate::error::SystemError;
+use crate::parallel::{map_sharded, stream_seed, zip_map_sharded};
 use crate::report::{CoreEpoch, CoreObservation, EpochReport, Observation};
 use crate::telemetry::Telemetry;
 use odrl_noc::NocModel;
@@ -43,7 +44,11 @@ pub struct System {
     grid: ThermalGrid,
     levels: Vec<LevelId>,
     epoch: u64,
-    sensor_rng: StdRng,
+    /// One private sensor-noise stream per core, derived from the master
+    /// seed and the core index, so draws never depend on execution order.
+    sensor_rngs: Vec<StdRng>,
+    /// The chip-level power sensor's stream (the whole-chip measurement).
+    chip_sensor_rng: StdRng,
     last_report: Option<EpochReport>,
     last_measured_core_power: Vec<Watts>,
     /// Per-core (dynamic, leakage) process-variation multipliers.
@@ -82,7 +87,12 @@ impl System {
         let grid = ThermalGrid::new(floorplan, config.thermal)?;
         let spec = config.spec();
         let levels = vec![LevelId(0); config.cores];
-        let sensor_rng = StdRng::seed_from_u64(config.seed ^ 0xD1CE_5EED);
+        let sensor_seed = config.seed ^ 0xD1CE_5EED;
+        let sensor_rngs = (0..config.cores)
+            .map(|i| StdRng::seed_from_u64(stream_seed(sensor_seed, i as u64)))
+            .collect();
+        let chip_sensor_rng =
+            StdRng::seed_from_u64(stream_seed(sensor_seed, config.cores as u64));
         let variation = config.variation.sample(config.cores, config.seed);
         let noc = config
             .noc
@@ -104,7 +114,8 @@ impl System {
             grid,
             levels,
             epoch: 0,
-            sensor_rng,
+            sensor_rngs,
+            chip_sensor_rng,
             last_report: None,
             last_measured_core_power: Vec::new(),
             variation,
@@ -227,74 +238,101 @@ impl System {
 
         let dt = self.config.epoch;
         let n = self.config.cores;
+        let par = self.config.parallelism;
 
-        // Pass 1: standalone progress of every core this epoch, using the
-        // NoC-derived memory latency from the previous epoch (one-epoch
-        // relaxation, standard for epoch-granularity congestion models).
-        let mut standalone = Vec::with_capacity(n);
-        for i in 0..n {
-            let params = self.streams[i].params();
-            let level = self.config.vf_table.level(actions[i]);
-            let ips =
-                self.config
+        // Pass 1 (sharded): standalone progress of every core this epoch,
+        // using the NoC-derived memory latency from the previous epoch
+        // (one-epoch relaxation, standard for epoch-granularity congestion
+        // models). Read-only per core, so shards need no coordination.
+        let standalone = {
+            let config = &self.config;
+            let streams = &self.streams;
+            let mem_latency = &self.mem_latency;
+            let switched = &switched;
+            let epoch = self.epoch;
+            map_sharded(par, n, move |i| {
+                let params = streams[i].params();
+                let level = config.vf_table.level(actions[i]);
+                let ips = config
                     .perf
-                    .ips_with_latency(&params, level.frequency, self.mem_latency[i]);
-            let effective_dt = if switched[i] && self.epoch > 0 {
-                dt.value() - self.config.transition_penalty.value()
-            } else {
-                dt.value()
-            };
-            standalone.push(ips * effective_dt);
-        }
-        // Pass 2: barrier gating — each core retires its group's minimum
-        // and idles (reduced activity) for the time it saved.
+                    .ips_with_latency(&params, level.frequency, mem_latency[i]);
+                let effective_dt = if switched[i] && epoch > 0 {
+                    dt.value() - config.transition_penalty.value()
+                } else {
+                    dt.value()
+                };
+                ips * effective_dt
+            })
+        };
+        // Serial reduction: barrier gating couples cores within a group —
+        // each core retires its group's minimum and idles (reduced
+        // activity) for the time it saved.
         let gated = self.config.sync.gate(&standalone);
 
+        // Pass 2 (sharded): per-core activity scaling, power, sensor
+        // measurement and workload-stream advance. Each core's only mutable
+        // state is its own stream and its own sensor RNG, both visited by
+        // exactly one shard; results concatenate in core order.
+        let per_core = {
+            let config = &self.config;
+            let grid = &self.grid;
+            let variation = &self.variation;
+            let mem_latency = &self.mem_latency;
+            let gated = &gated;
+            zip_map_sharded(
+                par,
+                &mut self.streams,
+                &mut self.sensor_rngs,
+                move |i, stream, rng| {
+                    let params = stream.params();
+                    let level = config.vf_table.level(actions[i]);
+                    let (instructions, idle_frac) = gated[i];
+                    // Stalled cycles clock-gate most of the datapath: scale
+                    // the activity factor by the fraction of cycles doing
+                    // useful work, with a floor for the always-on front-end
+                    // and caches.
+                    let busy = params.cpi_base
+                        / config.perf.effective_cpi_with_latency(
+                            &params,
+                            level.frequency,
+                            mem_latency[i],
+                        );
+                    let mut activity = params.activity * (0.3 + 0.7 * busy);
+                    if idle_frac > 0.0 {
+                        // Barrier wait: the active stretch runs at full
+                        // activity, the idle tail at the sync model's idle
+                        // activity.
+                        activity = activity * (1.0 - idle_frac)
+                            + config.sync.idle_activity() * idle_frac;
+                    }
+                    let temp_before = grid.temperature(i);
+                    let nominal = config.power.power(level, activity, temp_before);
+                    let (dm, lm) = variation[i];
+                    let power = odrl_power::PowerBreakdown {
+                        dynamic: nominal.dynamic * dm,
+                        leakage: nominal.leakage * lm,
+                    };
+                    let measured = config.sensors.measure(power.total(), rng);
+                    stream.advance(instructions);
+                    let core = CoreEpoch {
+                        level: actions[i],
+                        ips: instructions / dt.value(),
+                        instructions,
+                        power,
+                        temperature: temp_before, // refreshed after the thermal step
+                        counters: params,
+                    };
+                    (core, power.total(), measured)
+                },
+            )
+        };
         let mut cores = Vec::with_capacity(n);
         let mut powers = Vec::with_capacity(n);
         let mut measured = Vec::with_capacity(n);
-        for i in 0..n {
-            let params = self.streams[i].params();
-            let level = self.config.vf_table.level(actions[i]);
-            let (instructions, idle_frac) = gated[i];
-            // Stalled cycles clock-gate most of the datapath: scale the
-            // activity factor by the fraction of cycles doing useful work,
-            // with a floor for the always-on front-end and caches.
-            let busy = params.cpi_base
-                / self.config.perf.effective_cpi_with_latency(
-                    &params,
-                    level.frequency,
-                    self.mem_latency[i],
-                );
-            let mut activity = params.activity * (0.3 + 0.7 * busy);
-            if idle_frac > 0.0 {
-                // Barrier wait: the active stretch runs at full activity,
-                // the idle tail at the sync model's idle activity.
-                activity =
-                    activity * (1.0 - idle_frac) + self.config.sync.idle_activity() * idle_frac;
-            }
-            let temp_before = self.grid.temperature(i);
-            let nominal = self.config.power.power(level, activity, temp_before);
-            let (dm, lm) = self.variation[i];
-            let power = odrl_power::PowerBreakdown {
-                dynamic: nominal.dynamic * dm,
-                leakage: nominal.leakage * lm,
-            };
-            powers.push(power.total());
-            measured.push(
-                self.config
-                    .sensors
-                    .measure(power.total(), &mut self.sensor_rng),
-            );
-            self.streams[i].advance(instructions);
-            cores.push(CoreEpoch {
-                level: actions[i],
-                ips: instructions / dt.value(),
-                instructions,
-                power,
-                temperature: temp_before, // refreshed after the thermal step
-                counters: params,
-            });
+        for (core, power, meas) in per_core {
+            cores.push(core);
+            powers.push(power);
+            measured.push(meas);
         }
         // Update next epoch's memory latencies from this epoch's traffic.
         if let Some(noc) = &self.noc {
@@ -313,7 +351,7 @@ impl System {
         let measured_power = self
             .config
             .sensors
-            .measure(total_power, &mut self.sensor_rng);
+            .measure(total_power, &mut self.chip_sensor_rng);
         let report = EpochReport {
             epoch: self.epoch,
             dt,
@@ -412,6 +450,39 @@ mod tests {
             assert_eq!(ra.total_power, rb.total_power);
             assert_eq!(ra.measured_power, rb.measured_power);
             assert_eq!(ra.total_instructions(), rb.total_instructions());
+        }
+    }
+
+    #[test]
+    fn parallel_step_is_bit_identical_to_serial() {
+        use crate::parallel::Parallelism;
+        let mk = |par| {
+            System::new(
+                SystemConfig::builder()
+                    .cores(16)
+                    .seed(11)
+                    .parallelism(par)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        let mut serial = mk(Parallelism::Serial);
+        for threads in [1, 2, 4, 8] {
+            let mut par = mk(Parallelism::Threads(threads));
+            let mut reference = mk(Parallelism::Serial);
+            for e in 0..30u64 {
+                let lv = vec![LevelId((e % 8) as usize); 16];
+                let rs = reference.step(&lv).unwrap();
+                let rp = par.step(&lv).unwrap();
+                assert_eq!(rs, rp, "diverged at epoch {e} with {threads} threads");
+            }
+        }
+        // And the reference run matches an untouched serial system.
+        let mut other = mk(Parallelism::Serial);
+        for e in 0..30u64 {
+            let lv = vec![LevelId((e % 8) as usize); 16];
+            assert_eq!(serial.step(&lv).unwrap(), other.step(&lv).unwrap());
         }
     }
 

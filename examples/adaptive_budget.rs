@@ -3,10 +3,8 @@
 //!
 //! Run with: `cargo run --release --example adaptive_budget`
 
-use odrl::controllers::PowerController;
-use odrl::core::{OdRlConfig, OdRlController};
-use odrl::manycore::{System, SystemConfig};
 use odrl::metrics::{fmt_num, Table};
+use odrl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SystemConfig::builder().cores(32).seed(3).build()?;

@@ -8,11 +8,10 @@
 //!
 //! Run with: `cargo run --release --example nonideal_silicon`
 
-use odrl::controllers::{MaxBips, PowerController};
-use odrl::core::{OdRlConfig, OdRlController};
-use odrl::manycore::{SyncModel, System, SystemConfig, VariationModel};
+use odrl::controllers::MaxBips;
+use odrl::manycore::{SyncModel, VariationModel};
 use odrl::metrics::{fmt_num, fmt_percent, RunRecorder, Table};
-use odrl::power::{Seconds, Watts};
+use odrl::prelude::*;
 
 const CORES: usize = 32;
 const EPOCHS: u64 = 1_500;

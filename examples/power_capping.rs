@@ -6,12 +6,10 @@
 //! Run with: `cargo run --release --example power_capping`
 
 use odrl::controllers::{
-    MaxBips, PidController, PidGains, PowerController, PriorityGreedy, StaticUniform, SteepestDrop,
+    MaxBips, PidController, PidGains, PriorityGreedy, StaticUniform, SteepestDrop,
 };
-use odrl::core::{OdRlConfig, OdRlController};
-use odrl::manycore::{System, SystemConfig};
 use odrl::metrics::{fmt_num, fmt_percent, RunRecorder, Table};
-use odrl::power::Watts;
+use odrl::prelude::*;
 
 const CORES: usize = 32;
 const EPOCHS: u64 = 1_500;

@@ -2,10 +2,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use odrl::controllers::PowerController;
-use odrl::core::{OdRlConfig, OdRlController};
-use odrl::manycore::{System, SystemConfig};
-use odrl::power::Watts;
+use odrl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the chip: 16 cores, default 8-level DVFS table, default
@@ -22,12 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut system = System::new(config)?;
     let mut controller = OdRlController::new(OdRlConfig::default(), &system.spec(), budget)?;
 
-    // 3. Closed loop: observe -> decide -> step, 1 ms per epoch.
+    // 3. Closed loop: observe -> decide -> step, 1 ms per epoch. The
+    //    action buffer is reused, so the loop allocates nothing.
     let mut over_epochs = 0u32;
+    let mut actions = vec![LevelId(0); system.num_cores()];
     let epochs = 1_000;
     for _ in 0..epochs {
         let obs = system.observation(budget);
-        let actions = controller.decide(&obs);
+        controller.decide_into(&obs, &mut actions);
         let report = system.step(&actions)?;
         if report.total_power > budget {
             over_epochs += 1;

@@ -7,10 +7,7 @@
 //!
 //! Run with: `cargo run --release --example thermal_hotspots`
 
-use odrl::controllers::PowerController;
-use odrl::core::{OdRlConfig, OdRlController};
-use odrl::manycore::{System, SystemConfig};
-use odrl::power::Watts;
+use odrl::prelude::*;
 
 const CORES: usize = 64;
 const EPOCHS: u64 = 800;

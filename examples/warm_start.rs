@@ -8,10 +8,8 @@
 //!
 //! Run with: `cargo run --release --example warm_start`
 
-use odrl::controllers::PowerController;
-use odrl::core::{OdRlConfig, OdRlController, PolicySnapshot};
-use odrl::manycore::{System, SystemConfig};
-use odrl::power::Watts;
+use odrl::core::PolicySnapshot;
+use odrl::prelude::*;
 
 const CORES: usize = 32;
 
@@ -30,9 +28,10 @@ fn run(
     epochs: u64,
 ) -> Result<f64, Box<dyn std::error::Error>> {
     let mut instr = 0.0;
+    let mut actions = vec![LevelId(0); system.num_cores()];
     for _ in 0..epochs {
         let obs = system.observation(budget);
-        let actions = ctrl.decide(&obs);
+        ctrl.decide_into(&obs, &mut actions);
         instr += system.step(&actions)?.total_instructions();
     }
     Ok(instr)

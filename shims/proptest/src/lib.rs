@@ -1,0 +1,495 @@
+//! A minimal, offline drop-in for the subset of `proptest` this workspace
+//! uses: the `proptest!` macro, numeric-range / tuple / `vec` / `bool` /
+//! `option` strategies, `prop_map`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * sampling is **deterministic** — the RNG is seeded from the test name
+//!   and case index, so failures reproduce exactly with no persistence
+//!   files (`*.proptest-regressions` files are ignored);
+//! * there is **no shrinking** — a failing case reports its inputs via the
+//!   panic message (every strategy value is `Debug`);
+//! * the default case count is 64 (vs 256) to keep simulation-heavy
+//!   property suites fast; `ProptestConfig::with_cases` overrides it.
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The sampling abstraction: a [`Strategy`] draws a value from an RNG.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform};
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The value type produced.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms sampled values with `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: SampleUniform + Debug,
+        Range<T>: Clone,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: SampleUniform + Debug,
+        RangeInclusive<T>: Clone,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `&str` patterns act as regex-subset string strategies, matching real
+    /// proptest's `StrategyFromRegex`. Supported syntax: literal characters,
+    /// `[a-z0-9_]` character classes (ranges and singletons), and the
+    /// quantifiers `{n}`, `{m,n}`, `?`, `*` (0..=8), `+` (1..=8) applied to
+    /// the preceding atom.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (chars, lo, hi) in &atoms {
+                let n = rng.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    let idx = rng.gen_range(0..chars.len());
+                    out.push(chars[idx]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Parses a pattern into (choices, min_reps, max_reps) atoms.
+    fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms: Vec<(Vec<char>, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (a, b) = (chars[j], chars[j + 2]);
+                            assert!(a <= b, "bad range {a}-{b} in pattern {pattern:?}");
+                            set.extend((a..=b).filter(|c| c.is_ascii()));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional quantifier on the atom just parsed.
+            let (lo, hi) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad quantifier"),
+                            n.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(!choices.is_empty(), "empty class in {pattern:?}");
+            atoms.push((choices, lo, hi));
+        }
+        atoms
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`collection::vec`, `bool::ANY`, `option::of`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// An inclusive length range for [`vec`] (from a fixed size or range).
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                Self {
+                    lo: r.start,
+                    hi: r.end.saturating_sub(1),
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                Self {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// A strategy producing `Vec`s with lengths drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: SizeRange,
+        }
+
+        /// `vec(element, len)`: vectors of `element` samples; `len` is a
+        /// fixed size or a length range.
+        pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                len: len.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let n = rng.gen_range(self.len.lo..=self.len.hi);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// A uniformly random boolean.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn sample(&self, rng: &mut StdRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// A strategy yielding `None` half the time.
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S>(S);
+
+        /// `of(element)`: `Some(sample)` or `None`, 50/50.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy(element)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                if rng.gen_bool(0.5) {
+                    Some(self.0.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-run configuration and failure type.
+
+    use std::fmt;
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test module needs.
+
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic 64-bit FNV-1a hash of the test name (seeds the case RNG).
+#[must_use]
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The deterministic per-case RNG used by [`proptest!`]. Public so the macro
+/// expansion works without the caller depending on `rand` directly.
+#[must_use]
+pub fn rng_for(name: &str, case: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed_for(name, case))
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments deterministically.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                for __case in 0..u64::from(__config.cases) {
+                    let mut __rng = $crate::rng_for(stringify!($name), __case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    let __inputs = format!(concat!($(stringify!($arg), " = {:?}, "),+), $(&$arg),+);
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = __result {
+                        panic!(
+                            "proptest case {} of {} failed: {}\n  inputs: {}",
+                            __case, stringify!($name), e, __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fails the enclosing property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skips the case when `cond` is false (this shim treats it as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

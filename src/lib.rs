@@ -22,22 +22,21 @@
 //!
 //! # Quickstart
 //!
-//! Run a 16-core system under a power cap with the OD-RL controller:
+//! Run a 16-core system under a power cap with the OD-RL controller. The
+//! [`prelude`] pulls in everything a closed control loop needs:
 //!
 //! ```
-//! use odrl::manycore::{System, SystemConfig};
-//! use odrl::controllers::PowerController;
-//! use odrl::core::{OdRlConfig, OdRlController};
-//! use odrl::power::Watts;
+//! use odrl::prelude::*;
 //!
 //! let config = SystemConfig::builder().cores(16).seed(7).build()?;
 //! let budget = Watts::new(0.5 * config.max_power().value());
 //! let mut system = System::new(config)?;
 //! let mut controller = OdRlController::new(OdRlConfig::default(), &system.spec(), budget)?;
 //!
+//! let mut actions = vec![LevelId(0); system.num_cores()];
 //! for _ in 0..50 {
 //!     let obs = system.observation(budget);
-//!     let actions = controller.decide(&obs);
+//!     controller.decide_into(&obs, &mut actions);
 //!     system.step(&actions)?;
 //! }
 //! assert!(system.telemetry().total_instructions() > 0.0);
@@ -58,3 +57,21 @@ pub use odrl_power as power;
 pub use odrl_rl as rl;
 pub use odrl_thermal as thermal;
 pub use odrl_workload as workload;
+
+pub mod prelude {
+    //! The closed-loop essentials in one import.
+    //!
+    //! Everything needed to build a system, drive a controller through it
+    //! epoch by epoch, and read the results back: the simulator and its
+    //! configuration, the controller trait plus the paper's OD-RL
+    //! implementation, the unit types that cross the loop boundary, and the
+    //! [`Parallelism`] knob for deterministic multi-threaded runs.
+
+    pub use odrl_controllers::PowerController;
+    pub use odrl_core::{HierarchicalOdRl, OdRlConfig, OdRlController};
+    pub use odrl_manycore::{
+        Observation, Parallelism, System, SystemConfig, SystemError, SystemSpec,
+    };
+    pub use odrl_power::{Celsius, LevelId, Seconds, Watts};
+    pub use odrl_workload::MixPolicy;
+}
