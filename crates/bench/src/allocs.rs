@@ -1,0 +1,81 @@
+//! Heap-allocation accounting for the zero-alloc epoch-kernel contract.
+//!
+//! The steady-state epoch pipeline (observe → decide → step → record) is
+//! required to perform **zero heap allocations** once its scratch buffers
+//! are warm. That contract is enforced, not assumed: benchmark binaries and
+//! the allocation-regression test install [`CountingAllocator`] as the
+//! global allocator and diff [`allocations`] around the hot loop.
+//!
+//! Counters are thread-local so concurrently running test threads cannot
+//! pollute each other's measurements; the counting fast path is two
+//! `Cell` increments and never allocates itself.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A global allocator that counts every allocation on the calling thread
+/// and forwards to the system allocator.
+///
+/// Install it in a binary or integration test with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: odrl_bench::allocs::CountingAllocator =
+///     odrl_bench::allocs::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+#[inline]
+fn count(bytes: usize) {
+    // `try_with`: the allocator may be called during TLS teardown, after
+    // the counter cells are gone — those late allocations are untracked
+    // rather than fatal.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+    let _ = BYTES.try_with(|c| c.set(c.get() + bytes as u64));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Number of heap allocations made by this thread so far (monotonic;
+/// includes reallocations). Zero unless [`CountingAllocator`] is installed.
+pub fn allocations() -> u64 {
+    ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Number of heap bytes requested by this thread so far (monotonic).
+pub fn allocated_bytes() -> u64 {
+    BYTES.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Runs `f` and returns `(allocations, bytes, result)` attributable to it
+/// on the calling thread.
+pub fn counting<T>(f: impl FnOnce() -> T) -> (u64, u64, T) {
+    let a0 = allocations();
+    let b0 = allocated_bytes();
+    let out = f();
+    (allocations() - a0, allocated_bytes() - b0, out)
+}

@@ -1,0 +1,156 @@
+//! Epoch-kernel throughput tracker: closed-loop epochs/sec and heap
+//! allocations per epoch at 64/256/1024 cores.
+//!
+//! Runs the full OD-RL control loop (observe → decide → step → record)
+//! under the counting global allocator and records the results as a
+//! labelled entry in `BENCH_epoch_kernel.json`, so the performance
+//! trajectory of the epoch kernel is tracked from PR 2 onward. Existing
+//! entries with other labels are preserved; re-running with the same label
+//! overwrites that entry.
+//!
+//! Run with: `scripts/bench_epoch_kernel.sh <label>` or
+//! `cargo run --release -p odrl-bench --bin epoch_kernel -- --label <label>`
+
+use odrl_bench::{allocs, ControllerKind, Scenario};
+use odrl_manycore::{Parallelism, System};
+use odrl_power::{LevelId, Watts};
+use odrl_workload::MixPolicy;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: allocs::CountingAllocator = allocs::CountingAllocator;
+
+/// One measured core count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CoreResult {
+    cores: usize,
+    /// Epochs measured (after warmup).
+    epochs: u64,
+    /// Closed-loop throughput, epochs per wall-clock second.
+    epochs_per_sec: f64,
+    /// Heap allocations per steady-state epoch (0 = zero-alloc kernel).
+    allocs_per_epoch: f64,
+    /// Heap bytes requested per steady-state epoch.
+    bytes_per_epoch: f64,
+}
+
+/// One labelled benchmark run (e.g. pre- vs post-refactor).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    label: String,
+    /// Unix timestamp (seconds) of the run.
+    unix_time: u64,
+    results: Vec<CoreResult>,
+}
+
+/// The whole `BENCH_epoch_kernel.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchDoc {
+    bench: String,
+    description: String,
+    entries: Vec<Entry>,
+}
+
+/// Measures the closed OD-RL loop at `cores` cores: builds the system and
+/// controller, warms the scratch buffers, then times `epochs` epochs and
+/// diffs the thread-local allocation counters around the timed region.
+fn measure(cores: usize, warmup: u64, epochs: u64) -> CoreResult {
+    let scenario = Scenario {
+        cores,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 42,
+        parallelism: Parallelism::Serial,
+    };
+    let config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
+    let budget = Watts::new(scenario.budget_frac * config.max_power().value());
+    let mut system = System::new(config).expect("valid scenario config");
+    let mut controller = ControllerKind::OdRl.build(&system.spec(), budget);
+    let mut actions = vec![LevelId(0); cores];
+    let mut obs = system.observation(budget);
+
+    let mut run = |n: u64| {
+        for _ in 0..n {
+            controller.decide_into(&obs, &mut actions);
+            system
+                .step_in_place(&actions)
+                .expect("controller actions are valid");
+            system.observation_into(budget, &mut obs);
+        }
+    };
+    run(warmup);
+
+    let a0 = allocs::allocations();
+    let b0 = allocs::allocated_bytes();
+    let t0 = Instant::now();
+    run(epochs);
+    let dt = t0.elapsed().as_secs_f64();
+    let da = allocs::allocations() - a0;
+    let db = allocs::allocated_bytes() - b0;
+
+    CoreResult {
+        cores,
+        epochs,
+        epochs_per_sec: epochs as f64 / dt,
+        allocs_per_epoch: da as f64 / epochs as f64,
+        bytes_per_epoch: db as f64 / epochs as f64,
+    }
+}
+
+fn main() {
+    let mut label = String::from("dev");
+    let mut out = String::from("BENCH_epoch_kernel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out = args.next().expect("--out needs a value"),
+            other => panic!("unknown argument: {other} (expected --label/--out)"),
+        }
+    }
+
+    println!("epoch_kernel: closed-loop OD-RL throughput (label: {label})\n");
+    println!(
+        "{:>6} {:>8} {:>14} {:>18} {:>16}",
+        "cores", "epochs", "epochs_per_sec", "allocs_per_epoch", "bytes_per_epoch"
+    );
+    let mut results = Vec::new();
+    for &(cores, warmup, epochs) in &[(64usize, 50u64, 400u64), (256, 50, 200), (1024, 25, 60)] {
+        let r = measure(cores, warmup, epochs);
+        println!(
+            "{:>6} {:>8} {:>14.1} {:>18.1} {:>16.1}",
+            r.cores, r.epochs, r.epochs_per_sec, r.allocs_per_epoch, r.bytes_per_epoch
+        );
+        results.push(r);
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = Entry {
+        label,
+        unix_time,
+        results,
+    };
+
+    let mut doc = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| serde_json::from_str::<BenchDoc>(&s).ok())
+        .unwrap_or_else(|| BenchDoc {
+            bench: "epoch_kernel".into(),
+            description: "Closed-loop OD-RL epoch throughput and per-epoch heap \
+                          allocations (serial shard path); one entry per labelled run."
+                .into(),
+            entries: Vec::new(),
+        });
+    doc.entries.retain(|e| e.label != entry.label);
+    doc.entries.push(entry);
+
+    let json = serde_json::to_string_pretty(&doc).expect("serializable document");
+    std::fs::write(&out, json + "\n").expect("writable output path");
+    println!("\nwrote {out}");
+}

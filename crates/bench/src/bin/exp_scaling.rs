@@ -14,7 +14,7 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin exp_scaling`
 
-use odrl_bench::{ControllerKind, Scenario};
+use odrl_bench::{allocs, ControllerKind, Scenario};
 use odrl_controllers::PowerController;
 use odrl_core::{OdRlConfig, OdRlController};
 use odrl_manycore::{Observation, Parallelism, System};
@@ -22,6 +22,9 @@ use odrl_metrics::{fmt_num, Table};
 use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: allocs::CountingAllocator = allocs::CountingAllocator;
 
 /// Builds a warmed-up observation for `cores` cores.
 fn observation_for(cores: usize) -> (Observation, odrl_manycore::SystemSpec, Watts) {
@@ -46,22 +49,36 @@ fn observation_for(cores: usize) -> (Observation, odrl_manycore::SystemSpec, Wat
     (system.observation(budget), spec, budget)
 }
 
-/// Median nanoseconds per decision over `reps` calls (zero-alloc hot path).
-fn measure(ctrl: &mut dyn PowerController, obs: &Observation, reps: usize) -> f64 {
+/// One controller's measured decision cost: median latency plus the heap
+/// traffic of the measured region (serial decides allocate on this thread,
+/// so the thread-local counters see every allocation).
+struct Sample {
+    ns: f64,
+    allocs_per_decide: f64,
+}
+
+/// Median nanoseconds per decision over `reps` calls (zero-alloc hot path),
+/// with the allocation counters diffed around the timed region.
+fn measure(ctrl: &mut dyn PowerController, obs: &Observation, reps: usize) -> Sample {
     let mut actions = vec![LevelId(0); obs.cores.len()];
-    // Warmup.
+    // Warmup: populates every scratch buffer so the timed region is the
+    // steady state.
     for _ in 0..3 {
         ctrl.decide_into(obs, &mut actions);
     }
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            ctrl.decide_into(obs, &mut actions);
-            t.elapsed().as_nanos() as f64
-        })
-        .collect();
+    let mut samples = vec![0.0f64; reps];
+    let a0 = allocs::allocations();
+    for s in samples.iter_mut() {
+        let t = Instant::now();
+        ctrl.decide_into(obs, &mut actions);
+        *s = t.elapsed().as_nanos() as f64;
+    }
+    let da = allocs::allocations() - a0;
     samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    Sample {
+        ns: samples[samples.len() / 2],
+        allocs_per_decide: da as f64 / reps as f64,
+    }
 }
 
 fn main() {
@@ -73,7 +90,7 @@ fn main() {
     for &n in &[2usize, 4, 6, 8] {
         let (obs, spec, budget) = observation_for(n);
         let mut ctrl = ControllerKind::MaxBipsExhaustive.build(&spec, budget);
-        let ns = measure(ctrl.as_mut(), &obs, 5);
+        let ns = measure(ctrl.as_mut(), &obs, 5).ns;
         ex_table.add_row(vec![n.to_string(), fmt_num(ns)]);
     }
     println!("{ex_table}");
@@ -90,24 +107,29 @@ fn main() {
     headers.extend(kinds.iter().map(|k| format!("{}_ns", k.label())));
     headers.push("dp_over_odrl".into());
     let mut table = Table::new(headers);
+    let mut alloc_headers = vec!["cores".to_string()];
+    alloc_headers.extend(kinds.iter().map(|k| format!("{}_allocs", k.label())));
+    let mut alloc_table = Table::new(alloc_headers);
 
     let mut worst_ratio = 0.0f64;
     for &n in &[16usize, 32, 64, 128, 256, 512, 1024] {
         let (obs, spec, budget) = observation_for(n);
         let mut row = vec![n.to_string()];
+        let mut alloc_row = vec![n.to_string()];
         let mut odrl_ns = 0.0;
         let mut dp_ns = 0.0;
         for kind in kinds {
             let mut ctrl = kind.build(&spec, budget);
             let reps = if n >= 512 { 7 } else { 11 };
-            let ns = measure(ctrl.as_mut(), &obs, reps);
+            let sample = measure(ctrl.as_mut(), &obs, reps);
             if kind == ControllerKind::OdRl {
-                odrl_ns = ns;
+                odrl_ns = sample.ns;
             }
             if kind == ControllerKind::MaxBipsDp {
-                dp_ns = ns;
+                dp_ns = sample.ns;
             }
-            row.push(fmt_num(ns));
+            row.push(fmt_num(sample.ns));
+            alloc_row.push(format!("{:.1}", sample.allocs_per_decide));
         }
         let ratio = dp_ns / odrl_ns;
         if n >= 256 {
@@ -115,8 +137,11 @@ fn main() {
         }
         row.push(format!("{ratio:.1}x"));
         table.add_row(row);
+        alloc_table.add_row(alloc_row);
     }
     println!("{table}");
+    println!("heap allocations per steady-state decide (0 = zero-alloc hot path):");
+    println!("{alloc_table}");
     println!(
         "MaxBIPS-DP / OD-RL decision-cost ratio at >=256 cores: up to {worst_ratio:.0}x \
          (paper: two orders of magnitude vs state of the art; exhaustive MaxBIPS is \
@@ -151,7 +176,7 @@ fn main() {
             };
             let mut ctrl =
                 OdRlController::new(config, &spec, budget).expect("valid OD-RL config");
-            let ns = measure(&mut ctrl, &obs, 11);
+            let ns = measure(&mut ctrl, &obs, 11).ns;
             if i == 0 {
                 serial_ns = ns;
             }

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod allocs;
 pub mod cli;
 
 use odrl_controllers::{
@@ -313,20 +314,22 @@ pub fn run_loop(
     let mut recorder = RunRecorder::new(controller.name());
     let mut trace = Vec::with_capacity(epochs as usize);
     let mut time = system.elapsed().value();
-    // One action buffer for the whole run: the hot loop allocates nothing.
+    // Observation and action buffers for the whole run: the hot loop
+    // allocates nothing (observation_into + step_in_place reuse buffers).
     let mut actions = vec![LevelId(0); system.num_cores()];
+    let mut obs = system.observation(budget);
     for _ in 0..epochs {
-        let obs = system.observation(budget);
         controller.decide_into(&obs, &mut actions);
-        let report = system.step(&actions).expect("controller actions are valid");
-        time += report.dt.value();
-        recorder.record(
-            report.total_power,
-            budget,
-            report.total_instructions(),
-            report.dt,
-        );
-        trace.push((time, report.total_power.value()));
+        let (total_power, total_instructions, dt) = {
+            let report = system
+                .step_in_place(&actions)
+                .expect("controller actions are valid");
+            (report.total_power, report.total_instructions(), report.dt)
+        };
+        time += dt.value();
+        recorder.record(total_power, budget, total_instructions, dt);
+        trace.push((time, total_power.value()));
+        system.observation_into(budget, &mut obs);
     }
     TracedRun {
         summary: recorder.finish(),

@@ -1,0 +1,63 @@
+//! Allocation regression gate: a steady-state closed-loop epoch performs
+//! **zero** heap allocations.
+//!
+//! The SoA epoch kernel pre-sizes every buffer (core arrays, epoch scratch,
+//! controller scratch, observation and action buffers) during warmup; after
+//! that, observe → decide → step must never touch the allocator. This test
+//! installs the counting allocator as the global allocator for this test
+//! binary and diffs the thread-local counters around a steady-state window.
+//!
+//! The warmup covers first-use sizing (thermal/NoC buffers, report core
+//! vector, pending double buffers) and several coarse-grain reallocations,
+//! so the measured window exercises both the every-epoch path and the
+//! every-`realloc_period` path.
+
+use odrl_bench::{allocs, ControllerKind, Scenario};
+use odrl_manycore::{Parallelism, System};
+use odrl_power::{LevelId, Watts};
+use odrl_workload::MixPolicy;
+
+#[global_allocator]
+static ALLOC: allocs::CountingAllocator = allocs::CountingAllocator;
+
+#[test]
+fn steady_state_epoch_allocates_nothing() {
+    let scenario = Scenario {
+        cores: 64,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 42,
+        parallelism: Parallelism::Serial,
+    };
+    let config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
+    let budget = Watts::new(scenario.budget_frac * config.max_power().value());
+    let mut system = System::new(config).expect("valid scenario config");
+    let mut controller = ControllerKind::OdRl.build(&system.spec(), budget);
+    let mut actions = vec![LevelId(0); 64];
+    let mut obs = system.observation(budget);
+
+    // Warmup: 30 epochs sizes every scratch buffer and passes through
+    // coarse-grain reallocations at epochs 10, 20 and 30.
+    for _ in 0..30 {
+        controller.decide_into(&obs, &mut actions);
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+    }
+
+    let a0 = allocs::allocations();
+    let b0 = allocs::allocated_bytes();
+    for _ in 0..50 {
+        controller.decide_into(&obs, &mut actions);
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+    }
+    let da = allocs::allocations() - a0;
+    let db = allocs::allocated_bytes() - b0;
+    assert_eq!(
+        da, 0,
+        "steady-state epochs allocated {da} times ({db} bytes) over 50 epochs"
+    );
+}

@@ -1,0 +1,125 @@
+//! Golden regression for the struct-of-arrays epoch kernel.
+//!
+//! The constants below were captured from the pre-SoA (per-core struct)
+//! implementation of the fixed-seed 256-core closed loop: run summary,
+//! telemetry totals and the exported Q-table snapshot, hashed over their
+//! canonical JSON encodings. The SoA kernel — `observation_into` +
+//! `step_in_place` with reused scratch — must reproduce every one of them
+//! bit for bit, both on the serial path and sharded four ways.
+//!
+//! If an intentional numerical change lands (new model term, different
+//! reduction order), re-capture the constants and say so in the commit.
+
+use odrl_controllers::PowerController;
+use odrl_core::{OdRlConfig, OdRlController};
+use odrl_manycore::{Parallelism, System, SystemConfig};
+use odrl_metrics::RunRecorder;
+use odrl_power::{LevelId, Watts};
+use odrl_workload::MixPolicy;
+
+/// Scenario: 256 cores, round-robin mix, seed 42, budget 0.6 × max power.
+const CORES: usize = 256;
+const SEED: u64 = 42;
+const BUDGET_FRAC: f64 = 0.6;
+const EPOCHS: u64 = 120;
+
+/// Captured from the pre-refactor kernel (see module docs).
+const GOLDEN_INSTR_BITS: u64 = 0x4228_a949_56c2_d94e;
+const GOLDEN_ENERGY_BITS: u64 = 0x4048_efab_519d_c520;
+const GOLDEN_MEAN_POWER_BITS: u64 = 0x4079_f9a7_ca59_ad54;
+const GOLDEN_OVERSHOOT_BITS: u64 = 0x0000_0000_0000_0000;
+const GOLDEN_SUMMARY_HASH: u64 = 0xee45_311d_891e_47ea;
+const GOLDEN_POLICY_HASH: u64 = 0x1237_6ed4_9bed_0b89;
+
+/// FNV-1a over a canonical JSON encoding: cheap, stable, and sensitive to
+/// any bit difference in any serialized field.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn check(par: Parallelism) {
+    let config = SystemConfig::builder()
+        .cores(CORES)
+        .mix(MixPolicy::RoundRobin)
+        .seed(SEED)
+        .parallelism(par)
+        .build()
+        .expect("valid config");
+    let budget = Watts::new(BUDGET_FRAC * config.max_power().value());
+    let mut system = System::new(config).expect("valid system");
+    let odrl = OdRlConfig {
+        parallelism: par,
+        ..OdRlConfig::default()
+    };
+    let mut ctrl = OdRlController::new(odrl, &system.spec(), budget).expect("valid config");
+    let mut recorder = RunRecorder::new("golden");
+    let mut actions = vec![LevelId(0); system.num_cores()];
+    let mut obs = system.observation(budget);
+    for _ in 0..EPOCHS {
+        ctrl.decide_into(&obs, &mut actions);
+        let report = system.step_in_place(&actions).expect("valid actions");
+        recorder.record(
+            report.total_power,
+            budget,
+            report.total_instructions(),
+            report.dt,
+        );
+        system.observation_into(budget, &mut obs);
+    }
+    let summary = recorder.finish();
+    let policy = ctrl.export_policy();
+
+    assert_eq!(system.telemetry().epochs(), EPOCHS, "{par:?}");
+    assert_eq!(
+        system.telemetry().total_instructions().to_bits(),
+        GOLDEN_INSTR_BITS,
+        "{par:?}: telemetry total instructions drifted"
+    );
+    assert_eq!(
+        system.telemetry().total_energy().value().to_bits(),
+        GOLDEN_ENERGY_BITS,
+        "{par:?}: telemetry total energy drifted"
+    );
+    assert_eq!(
+        summary.total_instructions.to_bits(),
+        GOLDEN_INSTR_BITS,
+        "{par:?}: summary total instructions drifted"
+    );
+    assert_eq!(
+        summary.mean_power.value().to_bits(),
+        GOLDEN_MEAN_POWER_BITS,
+        "{par:?}: summary mean power drifted"
+    );
+    assert_eq!(
+        summary.overshoot_energy.value().to_bits(),
+        GOLDEN_OVERSHOOT_BITS,
+        "{par:?}: summary overshoot energy drifted"
+    );
+    let summary_json = serde_json::to_string(&summary).expect("serializable summary");
+    assert_eq!(
+        fnv1a(&summary_json),
+        GOLDEN_SUMMARY_HASH,
+        "{par:?}: full run summary drifted"
+    );
+    let policy_json = serde_json::to_string(&policy).expect("serializable snapshot");
+    assert_eq!(
+        fnv1a(&policy_json),
+        GOLDEN_POLICY_HASH,
+        "{par:?}: exported Q-table snapshot drifted"
+    );
+}
+
+#[test]
+fn serial_closed_loop_matches_pre_soa_golden() {
+    check(Parallelism::Serial);
+}
+
+#[test]
+fn four_shard_closed_loop_matches_pre_soa_golden() {
+    check(Parallelism::Threads(4));
+}

@@ -1,0 +1,119 @@
+//! Cross-shard determinism of the closed loop.
+//!
+//! The epoch kernel's sharded passes and the OD-RL controller's sharded
+//! decide loop must be bit-identical to the serial path at every shard
+//! count: per-core RNG streams are derived from (seed, core index), shards
+//! cover contiguous core ranges, and all cross-core reductions are serial.
+//! These tests run the same fixed-seed closed loop serially and sharded
+//! (the shard count honours `ODRL_SWEEP_THREADS`, as in CI) and require
+//! identical action sequences, telemetry totals and learned Q-tables.
+
+use odrl_bench::sweep_parallelism;
+use odrl_controllers::PowerController;
+use odrl_core::{OdRlConfig, OdRlController, PolicySnapshot};
+use odrl_manycore::{Parallelism, System, SystemConfig};
+use odrl_power::{LevelId, Watts};
+use odrl_workload::MixPolicy;
+
+const CORES: usize = 64;
+const SEED: u64 = 17;
+const EPOCHS: u64 = 80;
+
+fn closed_loop(par: Parallelism) -> (Vec<Vec<LevelId>>, PolicySnapshot, f64, f64) {
+    let config = SystemConfig::builder()
+        .cores(CORES)
+        .mix(MixPolicy::RoundRobin)
+        .seed(SEED)
+        .parallelism(par)
+        .build()
+        .expect("valid config");
+    let budget = Watts::new(0.6 * config.max_power().value());
+    let mut system = System::new(config).expect("valid system");
+    let odrl = OdRlConfig {
+        parallelism: par,
+        ..OdRlConfig::default()
+    };
+    let mut ctrl = OdRlController::new(odrl, &system.spec(), budget).expect("valid config");
+    let mut actions = vec![LevelId(0); CORES];
+    let mut all_actions = Vec::new();
+    let mut obs = system.observation(budget);
+    for _ in 0..EPOCHS {
+        ctrl.decide_into(&obs, &mut actions);
+        all_actions.push(actions.clone());
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+    }
+    (
+        all_actions,
+        ctrl.export_policy(),
+        system.telemetry().total_instructions(),
+        system.telemetry().total_energy().value(),
+    )
+}
+
+/// The shard counts to sweep: serial, the CI-pinned count from
+/// `ODRL_SWEEP_THREADS` (when set), and a couple of fixed counts that do
+/// not divide the core count evenly.
+fn shard_counts() -> Vec<Parallelism> {
+    let mut counts = vec![
+        Parallelism::Threads(2),
+        Parallelism::Threads(3),
+        Parallelism::Threads(8),
+    ];
+    if let Parallelism::Threads(n) = sweep_parallelism() {
+        counts.push(Parallelism::Threads(n));
+    }
+    counts
+}
+
+#[test]
+fn sharded_closed_loop_is_bit_identical_to_serial() {
+    let (serial_actions, serial_policy, serial_instr, serial_energy) =
+        closed_loop(Parallelism::Serial);
+    for par in shard_counts() {
+        let (actions, policy, instr, energy) = closed_loop(par);
+        assert_eq!(actions, serial_actions, "{par:?}: action sequence diverged");
+        assert_eq!(policy, serial_policy, "{par:?}: learned Q-tables diverged");
+        assert_eq!(
+            instr.to_bits(),
+            serial_instr.to_bits(),
+            "{par:?}: total instructions diverged"
+        );
+        assert_eq!(
+            energy.to_bits(),
+            serial_energy.to_bits(),
+            "{par:?}: total energy diverged"
+        );
+    }
+}
+
+#[test]
+fn step_in_place_matches_allocating_step_across_shards() {
+    for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+        let build = || {
+            let config = SystemConfig::builder()
+                .cores(32)
+                .seed(5)
+                .parallelism(par)
+                .build()
+                .expect("valid config");
+            System::new(config).expect("valid system")
+        };
+        let mut via_step = build();
+        let mut via_in_place = build();
+        let actions = vec![LevelId(5); 32];
+        for _ in 0..25 {
+            let a = via_step.step(&actions).expect("valid actions");
+            let b = via_in_place
+                .step_in_place(&actions)
+                .expect("valid actions")
+                .clone();
+            assert_eq!(a, b, "{par:?}: epoch reports diverged");
+        }
+        assert_eq!(
+            via_step.telemetry().total_instructions().to_bits(),
+            via_in_place.telemetry().total_instructions().to_bits(),
+            "{par:?}"
+        );
+    }
+}

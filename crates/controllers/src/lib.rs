@@ -59,7 +59,7 @@ pub use islands::{IslandController, IslandMap};
 pub use maxbips::{MaxBips, MaxBipsMode, EXHAUSTIVE_CORE_LIMIT};
 pub use ondemand::{OndemandGovernor, OndemandTuning};
 pub use pid::{PidController, PidGains};
-pub use predict::{PredictedPoint, Predictor};
+pub use predict::{PredictedPoint, PredictionTable, Predictor};
 pub use simple::{PriorityGreedy, StaticUniform};
 pub use steepest::SteepestDrop;
 

@@ -17,7 +17,7 @@
 //!   at realistic core counts.
 
 use crate::error::ControllerError;
-use crate::predict::{PredictedPoint, Predictor};
+use crate::predict::{PredictionTable, Predictor};
 use crate::PowerController;
 use odrl_manycore::{Observation, SystemSpec};
 use odrl_power::LevelId;
@@ -52,6 +52,28 @@ pub struct MaxBips {
     predictor: Predictor,
     mode: MaxBipsMode,
     name: &'static str,
+    preds: PredictionTable,
+    scratch: MaxBipsScratch,
+}
+
+/// Solver working buffers, reused across decides so the steady-state
+/// decision path never allocates.
+#[derive(Debug, Clone, Default)]
+struct MaxBipsScratch {
+    /// Branch-and-bound: minimum completion power for cores `i..n`.
+    min_power_suffix: Vec<f64>,
+    /// Branch-and-bound: maximum remaining bips for cores `i..n`.
+    max_bips_suffix: Vec<f64>,
+    /// Branch-and-bound: the assignment on the current DFS path.
+    current: Vec<usize>,
+    /// Branch-and-bound: the best complete assignment found so far.
+    best: Vec<LevelId>,
+    /// Knapsack DP: best bips per power-quantum budget, previous core row.
+    dp: Vec<f64>,
+    /// Knapsack DP: best bips per power-quantum budget, current core row.
+    dp_cur: Vec<f64>,
+    /// Knapsack DP backtracking matrix, flattened to `n × (bins + 1)`.
+    choice: Vec<usize>,
 }
 
 /// Exhaustive search is capped at this many cores (8 levels ⇒ 8^10 ≈ 1e9
@@ -95,6 +117,8 @@ impl MaxBips {
             predictor: Predictor::new(spec),
             mode,
             name,
+            preds: PredictionTable::default(),
+            scratch: MaxBipsScratch::default(),
         })
     }
 
@@ -108,27 +132,38 @@ impl MaxBips {
         Self::new(spec, MaxBipsMode::Dp { power_bins: 1024 })
     }
 
-    fn solve_exhaustive(preds: &[Vec<PredictedPoint>], budget: f64) -> Vec<LevelId> {
-        let n = preds.len();
-        let levels = preds[0].len();
+    fn solve_exhaustive(
+        preds: &PredictionTable,
+        budget: f64,
+        scratch: &mut MaxBipsScratch,
+        out: &mut [LevelId],
+    ) {
+        let n = preds.cores();
+        let levels = preds.levels();
         // Branch and bound over cores in order. For pruning we need, for the
         // remaining cores, the minimum possible power and the maximum
         // possible additional bips.
-        let mut min_power_suffix = vec![0.0; n + 1];
-        let mut max_bips_suffix = vec![0.0; n + 1];
+        let min_power_suffix = &mut scratch.min_power_suffix;
+        let max_bips_suffix = &mut scratch.max_bips_suffix;
+        min_power_suffix.clear();
+        min_power_suffix.resize(n + 1, 0.0);
+        max_bips_suffix.clear();
+        max_bips_suffix.resize(n + 1, 0.0);
         for i in (0..n).rev() {
-            let min_p = preds[i]
-                .iter()
-                .map(|p| p.power.value())
-                .fold(f64::MAX, f64::min);
-            let max_b = preds[i].iter().map(|p| p.ips).fold(0.0, f64::max);
+            let row = preds.row(i);
+            let min_p = row.iter().map(|p| p.power.value()).fold(f64::MAX, f64::min);
+            let max_b = row.iter().map(|p| p.ips).fold(0.0, f64::max);
             min_power_suffix[i] = min_power_suffix[i + 1] + min_p;
             max_bips_suffix[i] = max_bips_suffix[i + 1] + max_b;
         }
 
         let mut best_bips = f64::NEG_INFINITY;
-        let mut best = vec![LevelId(0); n];
-        let mut current = vec![0usize; n];
+        let best = &mut scratch.best;
+        let current = &mut scratch.current;
+        best.clear();
+        best.resize(n, LevelId(0));
+        current.clear();
+        current.resize(n, 0usize);
 
         #[allow(clippy::too_many_arguments)] // recursive helper threads its search state explicitly
         fn dfs(
@@ -136,7 +171,7 @@ impl MaxBips {
             power: f64,
             bips: f64,
             budget: f64,
-            preds: &[Vec<PredictedPoint>],
+            preds: &PredictionTable,
             min_power_suffix: &[f64],
             max_bips_suffix: &[f64],
             current: &mut [usize],
@@ -144,7 +179,7 @@ impl MaxBips {
             best: &mut [LevelId],
             levels: usize,
         ) {
-            if i == preds.len() {
+            if i == preds.cores() {
                 if bips > *best_bips {
                     *best_bips = bips;
                     for (b, &c) in best.iter_mut().zip(current.iter()) {
@@ -163,7 +198,7 @@ impl MaxBips {
             }
             // Try fastest levels first so good incumbents appear early.
             for l in (0..levels).rev() {
-                let pt = preds[i][l];
+                let pt = preds.row(i)[l];
                 if power + pt.power.value() + min_power_suffix[i + 1] > budget {
                     continue;
                 }
@@ -190,26 +225,33 @@ impl MaxBips {
             0.0,
             budget,
             preds,
-            &min_power_suffix,
-            &max_bips_suffix,
-            &mut current,
+            min_power_suffix,
+            max_bips_suffix,
+            current,
             &mut best_bips,
-            &mut best,
+            best,
             levels,
         );
         if best_bips.is_finite() {
-            best
+            out.copy_from_slice(best);
         } else {
             // No feasible assignment even at minimum levels.
-            vec![LevelId(0); n]
+            out.fill(LevelId(0));
         }
     }
 
-    fn solve_dp(preds: &[Vec<PredictedPoint>], budget: f64, bins: usize) -> Vec<LevelId> {
-        let n = preds.len();
-        let levels = preds[0].len();
+    fn solve_dp(
+        preds: &PredictionTable,
+        budget: f64,
+        bins: usize,
+        scratch: &mut MaxBipsScratch,
+        out: &mut [LevelId],
+    ) {
+        let n = preds.cores();
+        let levels = preds.levels();
         if budget <= 0.0 {
-            return vec![LevelId(0); n];
+            out.fill(LevelId(0));
+            return;
         }
         let quantum = budget / bins as f64;
         // Quantize each point's power, rounding *up* so the DP's budget
@@ -218,12 +260,20 @@ impl MaxBips {
 
         const NEG: f64 = f64::NEG_INFINITY;
         // dp[b] = best total bips for the cores processed so far using at
-        // most b quanta; choice[i][b] = level picked for core i in the best
-        // solution at budget b (usize::MAX = infeasible).
-        let mut dp = vec![0.0; bins + 1]; // zero cores: zero bips everywhere
-        let mut dp_cur = vec![NEG; bins + 1];
-        let mut choice = vec![vec![usize::MAX; bins + 1]; n];
-        for (i, pred) in preds.iter().enumerate() {
+        // most b quanta; choice[i * (bins + 1) + b] = level picked for core
+        // i in the best solution at budget b (usize::MAX = infeasible).
+        let dp = &mut scratch.dp;
+        let dp_cur = &mut scratch.dp_cur;
+        let choice = &mut scratch.choice;
+        dp.clear();
+        dp.resize(bins + 1, 0.0); // zero cores: zero bips everywhere
+        dp_cur.clear();
+        dp_cur.resize(bins + 1, NEG);
+        choice.clear();
+        choice.resize(n * (bins + 1), usize::MAX);
+        for i in 0..n {
+            let pred = preds.row(i);
+            let choice_row = &mut choice[i * (bins + 1)..(i + 1) * (bins + 1)];
             for v in dp_cur.iter_mut() {
                 *v = NEG;
             }
@@ -240,31 +290,31 @@ impl MaxBips {
                     let total = prev + point.ips;
                     if total > dp_cur[b] {
                         dp_cur[b] = total;
-                        choice[i][b] = l;
+                        choice_row[b] = l;
                     }
                 }
             }
-            std::mem::swap(&mut dp, &mut dp_cur);
+            std::mem::swap(dp, dp_cur);
         }
 
         if dp[bins] == NEG {
-            return vec![LevelId(0); n];
+            out.fill(LevelId(0));
+            return;
         }
         // Backtrack. Because every dp row is monotone non-decreasing in b
         // (lower levels cost at most as much), following choice[i][b] and
         // subtracting its cost reconstructs a feasible assignment.
-        let mut out = vec![LevelId(0); n];
+        out.fill(LevelId(0));
         let mut b = bins;
         for i in (0..n).rev() {
-            let l = choice[i][b];
+            let l = choice[i * (bins + 1) + b];
             if l == usize::MAX {
                 break; // defensive: dp[bins] finite implies this never hits
             }
             out[i] = LevelId(l);
-            let c = cost(preds[i][l].power.value());
+            let c = cost(preds.row(i)[l].power.value());
             b = b.saturating_sub(c);
         }
-        out
     }
 }
 
@@ -274,17 +324,20 @@ impl PowerController for MaxBips {
     }
 
     fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
-        let preds = self.predictor.predict_all(&obs.cores);
-        debug_assert_eq!(out.len(), preds.len());
-        if preds.is_empty() {
+        self.predictor.predict_all_into(&obs.cores, &mut self.preds);
+        debug_assert_eq!(out.len(), self.preds.cores());
+        if self.preds.is_empty() {
             return;
         }
         let budget = obs.budget.value();
-        let levels = match self.mode {
-            MaxBipsMode::Exhaustive => Self::solve_exhaustive(&preds, budget),
-            MaxBipsMode::Dp { power_bins } => Self::solve_dp(&preds, budget, power_bins),
-        };
-        out.copy_from_slice(&levels);
+        match self.mode {
+            MaxBipsMode::Exhaustive => {
+                Self::solve_exhaustive(&self.preds, budget, &mut self.scratch, out);
+            }
+            MaxBipsMode::Dp { power_bins } => {
+                Self::solve_dp(&self.preds, budget, power_bins, &mut self.scratch, out);
+            }
+        }
     }
 }
 

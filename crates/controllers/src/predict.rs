@@ -62,30 +62,77 @@ impl Predictor {
     /// cycles clock-gate the datapath) and the core's measured temperature
     /// for leakage.
     pub fn predict(&self, core: &CoreObservation) -> Vec<PredictedPoint> {
-        let params = core.counters;
-        self.spec
-            .vf_table
-            .iter()
-            .map(|(id, level)| {
-                let ips = self.spec.perf.ips(&params, level.frequency);
-                let busy = params.cpi_base / self.spec.perf.effective_cpi(&params, level.frequency);
-                let activity = params.activity * (0.3 + 0.7 * busy);
-                let power = self
-                    .spec
-                    .power
-                    .total_power(level, activity, core.temperature);
-                PredictedPoint {
-                    level: id,
-                    ips,
-                    power,
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.each_point(core, |p| out.push(p));
+        out
     }
 
     /// Predicts the full system: one row per core, one column per level.
     pub fn predict_all(&self, cores: &[CoreObservation]) -> Vec<Vec<PredictedPoint>> {
         cores.iter().map(|c| self.predict(c)).collect()
+    }
+
+    /// Predicts the full system into a reusable flat [`PredictionTable`],
+    /// allocation-free once the table has reached capacity.
+    pub fn predict_all_into(&self, cores: &[CoreObservation], table: &mut PredictionTable) {
+        table.levels = self.spec.vf_table.len();
+        table.points.clear();
+        for core in cores {
+            self.each_point(core, |p| table.points.push(p));
+        }
+    }
+
+    /// Evaluates the model at every VF level for one core, slowest first.
+    /// Single source of the prediction arithmetic so the allocating and
+    /// scratch-reusing paths are bit-identical.
+    fn each_point(&self, core: &CoreObservation, mut f: impl FnMut(PredictedPoint)) {
+        let params = core.counters;
+        for (id, level) in self.spec.vf_table.iter() {
+            let ips = self.spec.perf.ips(&params, level.frequency);
+            let busy = params.cpi_base / self.spec.perf.effective_cpi(&params, level.frequency);
+            let activity = params.activity * (0.3 + 0.7 * busy);
+            let power = self
+                .spec
+                .power
+                .total_power(level, activity, core.temperature);
+            f(PredictedPoint {
+                level: id,
+                ips,
+                power,
+            });
+        }
+    }
+}
+
+/// A full-system prediction in flat row-major layout: row `i` holds core
+/// `i`'s predicted points across all VF levels, slowest first. Owned by a
+/// controller and refilled in place each decision, so steady-state decides
+/// never allocate.
+#[derive(Debug, Clone, Default)]
+pub struct PredictionTable {
+    points: Vec<PredictedPoint>,
+    levels: usize,
+}
+
+impl PredictionTable {
+    /// Number of cores in the table.
+    pub fn cores(&self) -> usize {
+        self.points.len().checked_div(self.levels).unwrap_or(0)
+    }
+
+    /// Number of VF levels per core row.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Whether the table holds no predictions.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Core `i`'s predicted points across all levels, slowest first.
+    pub fn row(&self, core: usize) -> &[PredictedPoint] {
+        &self.points[core * self.levels..(core + 1) * self.levels]
     }
 }
 

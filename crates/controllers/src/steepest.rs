@@ -7,7 +7,7 @@
 //! `O(n·L·log n)` with a binary heap.
 
 use crate::error::ControllerError;
-use crate::predict::{PredictedPoint, Predictor};
+use crate::predict::{PredictedPoint, PredictionTable, Predictor};
 use crate::PowerController;
 use odrl_manycore::{Observation, SystemSpec};
 use odrl_power::LevelId;
@@ -28,6 +28,9 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone)]
 pub struct SteepestDrop {
     predictor: Predictor,
+    preds: PredictionTable,
+    levels: Vec<usize>,
+    heap: BinaryHeap<Drop>,
 }
 
 /// Heap entry: the candidate step-down for one core, ordered so the
@@ -71,6 +74,9 @@ impl SteepestDrop {
         }
         Ok(Self {
             predictor: Predictor::new(spec),
+            preds: PredictionTable::default(),
+            levels: Vec::new(),
+            heap: BinaryHeap::new(),
         })
     }
 
@@ -96,20 +102,24 @@ impl PowerController for SteepestDrop {
     }
 
     fn decide_into(&mut self, obs: &Observation, out: &mut [LevelId]) {
-        let preds = self.predictor.predict_all(&obs.cores);
-        let n = preds.len();
+        self.predictor.predict_all_into(&obs.cores, &mut self.preds);
+        let preds = &self.preds;
+        let n = preds.cores();
         debug_assert_eq!(out.len(), n);
         if n == 0 {
             return;
         }
-        let top = preds[0].len() - 1;
-        let mut levels = vec![top; n];
-        let mut power: f64 = preds.iter().map(|p| p[top].power.value()).sum();
+        let top = preds.levels() - 1;
+        let levels = &mut self.levels;
+        levels.clear();
+        levels.resize(n, top);
+        let mut power: f64 = (0..n).map(|i| preds.row(i)[top].power.value()).sum();
         let budget = obs.budget.value();
 
-        let mut heap = BinaryHeap::with_capacity(n);
-        for (i, pred) in preds.iter().enumerate() {
-            if let Some(mut d) = Self::step_loss(pred, top) {
+        let heap = &mut self.heap;
+        heap.clear();
+        for i in 0..n {
+            if let Some(mut d) = Self::step_loss(preds.row(i), top) {
                 d.core = i;
                 heap.push(d);
             }
@@ -123,7 +133,7 @@ impl PowerController for SteepestDrop {
             if levels[d.core] != d.from {
                 continue;
             }
-            let pred = &preds[d.core];
+            let pred = preds.row(d.core);
             power -= (pred[d.from].power - pred[d.from - 1].power).value();
             levels[d.core] = d.from - 1;
             if let Some(mut next) = Self::step_loss(pred, d.from - 1) {
@@ -131,7 +141,7 @@ impl PowerController for SteepestDrop {
                 heap.push(next);
             }
         }
-        for (slot, level) in out.iter_mut().zip(levels) {
+        for (slot, &level) in out.iter_mut().zip(levels.iter()) {
             *slot = LevelId(level);
         }
     }

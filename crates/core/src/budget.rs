@@ -94,61 +94,92 @@ impl BudgetAllocator {
     /// Computes the new per-core budgets for chip budget `total`, blending
     /// into `current` with the configured gain.
     ///
+    /// Convenience wrapper over [`BudgetAllocator::reallocate_into`] that
+    /// allocates fresh working buffers and a fresh result vector per call.
+    ///
     /// # Panics
     ///
     /// Panics if `current.len()` differs from the observation's core count.
     pub fn reallocate(&self, obs: &Observation, current: &[Watts], total: Watts) -> Vec<Watts> {
+        let mut scratch = AllocScratch::default();
+        let mut out = Vec::new();
+        self.reallocate_into(obs, current, total, &mut scratch, &mut out);
+        out
+    }
+
+    /// Computes the new per-core budgets for chip budget `total`, blending
+    /// into `current` with the configured gain, writing the result into
+    /// `out` and using `scratch` for all intermediates. Allocation-free
+    /// once the buffers have reached capacity; bit-identical to
+    /// [`BudgetAllocator::reallocate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current.len()` differs from the observation's core count.
+    pub fn reallocate_into(
+        &self,
+        obs: &Observation,
+        current: &[Watts],
+        total: Watts,
+        scratch: &mut AllocScratch,
+        out: &mut Vec<Watts>,
+    ) {
         let n = obs.cores.len();
         assert_eq!(current.len(), n, "budget vector length mismatch");
+        out.clear();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let b = total.value().max(0.0);
         let fair = b / n as f64;
         let floor = self.min_share * fair;
 
         // Demand: recent power with headroom, at least the floor.
-        let demands: Vec<f64> = obs
-            .cores
-            .iter()
-            .map(|c| (c.power.value() * self.headroom).max(floor))
-            .collect();
+        let demands = &mut scratch.demands;
+        demands.clear();
+        demands.extend(
+            obs.cores
+                .iter()
+                .map(|c| (c.power.value() * self.headroom).max(floor)),
+        );
         let total_demand: f64 = demands.iter().sum();
 
-        let mut targets: Vec<f64> = if total_demand <= b {
+        let targets = &mut scratch.targets;
+        targets.clear();
+        if total_demand <= b {
             // Surplus: hand extra watts to the cores that convert them best.
             let surplus = b - total_demand;
-            let scores: Vec<f64> = (0..n).map(|i| self.score(obs, i)).collect();
+            let scores = &mut scratch.scores;
+            scores.clear();
+            scores.extend((0..n).map(|i| self.score(obs, i)));
             let score_sum: f64 = scores.iter().sum();
-            demands
-                .iter()
-                .zip(&scores)
-                .map(|(d, s)| d + surplus * s / score_sum.max(1e-12))
-                .collect()
+            targets.extend(
+                demands
+                    .iter()
+                    .zip(scores.iter())
+                    .map(|(d, s)| d + surplus * s / score_sum.max(1e-12)),
+            );
         } else {
             // Shortfall: shrink the above-floor portion uniformly.
             let above: f64 = demands.iter().map(|d| d - floor).sum();
             let available = (b - floor * n as f64).max(0.0);
             let scale = if above > 0.0 { available / above } else { 0.0 };
-            demands
-                .iter()
-                .map(|d| floor + (d - floor) * scale)
-                .collect()
-        };
+            targets.extend(demands.iter().map(|d| floor + (d - floor) * scale));
+        }
 
         // Cap each target at the core's observed power ceiling (with slack
         // for one level step); watts a core cannot physically spend are
         // redirected to cores that can. A few passes converge.
         for _ in 0..3 {
-            let caps: Vec<f64> = (0..n)
-                .map(|i| {
-                    if self.max_power_seen[i] > 0.0 {
-                        (self.max_power_seen[i] * 1.15).max(floor)
-                    } else {
-                        f64::INFINITY
-                    }
-                })
-                .collect();
+            let caps = &mut scratch.caps;
+            caps.clear();
+            caps.extend((0..n).map(|i| {
+                if self.max_power_seen[i] > 0.0 {
+                    (self.max_power_seen[i] * 1.15).max(floor)
+                } else {
+                    f64::INFINITY
+                }
+            }));
             let mut excess = 0.0;
             let mut open_score = 0.0;
             for i in 0..n {
@@ -170,21 +201,24 @@ impl BudgetAllocator {
         }
 
         // Blend and renormalize to exactly the chip budget.
-        let mut new: Vec<f64> = current
-            .iter()
-            .zip(&targets)
-            .map(|(c, t)| (1.0 - self.gain) * c.value() + self.gain * t)
-            .collect();
+        let new = &mut scratch.next;
+        new.clear();
+        new.extend(
+            current
+                .iter()
+                .zip(targets.iter())
+                .map(|(c, t)| (1.0 - self.gain) * c.value() + self.gain * t),
+        );
         let sum: f64 = new.iter().sum();
         if sum > 0.0 {
             let k = b / sum;
-            for v in &mut new {
+            for v in new.iter_mut() {
                 *v *= k;
             }
         } else {
             new.fill(fair);
         }
-        new.into_iter().map(Watts::new).collect()
+        out.extend(new.iter().copied().map(Watts::new));
     }
 
     /// An even split of `total` across `n` cores (the initial allocation).
@@ -196,6 +230,20 @@ impl BudgetAllocator {
         };
         vec![share; n]
     }
+}
+
+/// Reusable working buffers for [`BudgetAllocator::reallocate_into`].
+///
+/// The allocator itself serializes as learned state, so its per-invocation
+/// intermediates live here, owned by the caller and reused across
+/// reallocations.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    demands: Vec<f64>,
+    scores: Vec<f64>,
+    targets: Vec<f64>,
+    caps: Vec<f64>,
+    next: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -311,6 +359,36 @@ mod tests {
             assert!((w.value() - 3.0).abs() < 1e-12);
         }
         assert!(BudgetAllocator::fair_split(Watts::new(12.0), 0).is_empty());
+    }
+
+    #[test]
+    fn reallocate_into_matches_allocating_path() {
+        let mut alloc = BudgetAllocator::new(4, 0.7, 0.25);
+        alloc.observe(&obs(
+            &[1.0, 2.0, 0.5, 3.0],
+            &[1.0, 10.0, 0.1, 20.0],
+            &[1e9, 5e8, 2e9, 4e8],
+        ));
+        alloc.observe(&obs(
+            &[1.5, 1.8, 0.9, 2.5],
+            &[1.0, 10.0, 0.1, 20.0],
+            &[2e9, 4e8, 3e9, 5e8],
+        ));
+        let total = Watts::new(9.0);
+        let mut current = BudgetAllocator::fair_split(total, 4);
+        let mut scratch = AllocScratch::default();
+        let mut out = Vec::new();
+        for round in 0..5 {
+            let o = obs(
+                &[1.0 + round as f64 * 0.2, 2.0, 0.5, 3.0],
+                &[1.0, 10.0, 0.1, 20.0],
+                &[1e9, 5e8, 2e9, 4e8],
+            );
+            let fresh = alloc.reallocate(&o, &current, total);
+            alloc.reallocate_into(&o, &current, total, &mut scratch, &mut out);
+            assert_eq!(out, fresh, "round {round}");
+            current = fresh;
+        }
     }
 
     #[test]

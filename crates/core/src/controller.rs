@@ -1,13 +1,13 @@
 //! The OD-RL controller: fine-grain per-core Q-learning plus coarse-grain
 //! global budget reallocation.
 
-use crate::budget::BudgetAllocator;
+use crate::budget::{AllocScratch, BudgetAllocator};
 use crate::config::OdRlConfig;
 use crate::error::OdRlError;
 use crate::reward::RewardShaper;
 use crate::state::StateEncoder;
 use odrl_controllers::PowerController;
-use odrl_manycore::parallel::{stream_seed, zip3_map_sharded};
+use odrl_manycore::parallel::{shard_chunks, stream_seed, ShardSplit};
 use odrl_manycore::{Observation, SystemSpec};
 use odrl_power::{LevelId, Watts};
 use odrl_rl::{Agent, Algorithm, DoubleAgent, Policy, RlError};
@@ -123,6 +123,15 @@ pub struct OdRlController {
     rngs: Vec<StdRng>,
     /// (state, action) pairs awaiting their reward.
     pending: Option<Vec<(usize, usize)>>,
+    /// Retired pending buffer, reused for the next epoch's decisions so the
+    /// two (state, action) vectors ping-pong without reallocating.
+    spare: Vec<(usize, usize)>,
+    /// Per-core encoded states for the upcoming decision (reused buffer).
+    states: Vec<usize>,
+    /// Working buffers for the coarse-grain reallocation.
+    alloc_scratch: AllocScratch,
+    /// Double buffer for the per-core budgets across a reallocation.
+    budgets_next: Vec<Watts>,
     epochs: u64,
     name: &'static str,
 }
@@ -215,6 +224,10 @@ impl OdRlController {
                 })
                 .collect(),
             pending: None,
+            spare: Vec::new(),
+            states: Vec::new(),
+            alloc_scratch: AllocScratch::default(),
+            budgets_next: Vec::new(),
             epochs: 0,
             name: if reallocate { "od-rl" } else { "od-rl-local" },
             config,
@@ -354,11 +367,20 @@ impl PowerController for OdRlController {
         self.track_budget(obs.budget);
 
         // Coarse grain: update marginal estimates every epoch, reallocate
-        // every K epochs.
+        // every K epochs. The new allocation is written into the budget
+        // double buffer and swapped in, so periodic reallocations stay
+        // allocation-free at steady state.
         if let Some(allocator) = &mut self.allocator {
             allocator.observe(obs);
             if self.epochs > 0 && self.epochs.is_multiple_of(self.config.realloc_period) {
-                self.budgets = allocator.reallocate(obs, &self.budgets, obs.budget);
+                allocator.reallocate_into(
+                    obs,
+                    &self.budgets,
+                    obs.budget,
+                    &mut self.alloc_scratch,
+                    &mut self.budgets_next,
+                );
+                std::mem::swap(&mut self.budgets, &mut self.budgets_next);
             }
         }
 
@@ -387,52 +409,66 @@ impl PowerController for OdRlController {
         // Fine grain: close the RL loop per core. Each core touches only
         // its own agent, exploration RNG and reward row, so the loop shards
         // across threads with bit-identical results (per-core streams plus
-        // in-order result concatenation).
-        let states: Vec<usize> = (0..n)
-            .map(|i| self.encoder.encode(&obs.cores[i], self.affordability(i)))
-            .collect();
+        // contiguous chunks written in place).
+        self.states.clear();
+        for i in 0..n {
+            let s = self.encoder.encode(&obs.cores[i], self.affordability(i));
+            self.states.push(s);
+        }
         let old_pending = self.pending.take();
-        let decisions = {
+        let mut decisions = std::mem::take(&mut self.spare);
+        decisions.clear();
+        decisions.resize(n, (0, 0));
+        {
             let config = &self.config;
             let encoder = &self.encoder;
             let budgets = &self.budgets;
             let scale = self.utilisation_scale;
+            let states = &self.states;
             let old_pending = old_pending.as_deref();
-            let mut rows = self.shaper.rows_mut();
-            zip3_map_sharded(
+            let (rows, _) = self.shaper.rows_view().split_at_mut(n);
+            shard_chunks(
                 config.parallelism,
-                &mut self.agents[..n],
-                &mut self.rngs[..n],
-                &mut rows[..n],
-                move |i, agent, rng, row| {
-                    let s_next = states[i];
-                    let a_next = agent
-                        .select(s_next, rng)
-                        .expect("encoded state is in range");
-                    if let Some(pending) = old_pending {
-                        let (s, a) = pending[i];
-                        let phase = encoder.mem_bin(&obs.cores[i]);
-                        let mut r = row.reward(
-                            phase,
-                            obs.cores[i].ips,
-                            obs.cores[i].power,
-                            budgets[i] * scale,
-                        );
-                        if let Some(limit) = config.thermal_limit {
-                            let excess = (obs.cores[i].temperature.value() - limit).max(0.0);
-                            r -= config.thermal_penalty * excess / 10.0;
+                (
+                    &mut self.agents[..n],
+                    &mut self.rngs[..n],
+                    rows,
+                    &mut decisions[..n],
+                ),
+                move |base, (agents, rngs, mut rows, dec)| {
+                    for (j, (agent, rng)) in agents.iter_mut().zip(rngs.iter_mut()).enumerate() {
+                        let i = base + j;
+                        let s_next = states[i];
+                        let a_next = agent
+                            .select(s_next, rng)
+                            .expect("encoded state is in range");
+                        if let Some(pending) = old_pending {
+                            let (s, a) = pending[i];
+                            let phase = encoder.mem_bin(&obs.cores[i]);
+                            let mut r = rows.reward(
+                                j,
+                                phase,
+                                obs.cores[i].ips,
+                                obs.cores[i].power,
+                                budgets[i] * scale,
+                            );
+                            if let Some(limit) = config.thermal_limit {
+                                let excess = (obs.cores[i].temperature.value() - limit).max(0.0);
+                                r -= config.thermal_penalty * excess / 10.0;
+                            }
+                            agent
+                                .update(config.algorithm, s, a, r, s_next, a_next)
+                                .expect("indices are in range");
                         }
-                        agent
-                            .update(config.algorithm, s, a, r, s_next, a_next)
-                            .expect("indices are in range");
+                        dec[j] = (s_next, a_next);
                     }
-                    (s_next, a_next)
                 },
-            )
-        };
-        for (slot, &(_, a)) in out.iter_mut().zip(&decisions) {
+            );
+        }
+        for (slot, &(_, a)) in out.iter_mut().zip(decisions.iter()) {
             *slot = LevelId(a);
         }
+        self.spare = old_pending.unwrap_or_default();
         self.pending = Some(decisions);
         self.epochs += 1;
     }

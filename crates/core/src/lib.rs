@@ -53,7 +53,7 @@ pub mod hierarchy;
 pub mod reward;
 pub mod state;
 
-pub use budget::BudgetAllocator;
+pub use budget::{AllocScratch, BudgetAllocator};
 pub use config::OdRlConfig;
 pub use controller::{OdRlController, PolicySnapshot};
 pub use error::OdRlError;

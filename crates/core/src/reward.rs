@@ -1,5 +1,6 @@
 //! The reward shaping of the fine-grain agents.
 
+use odrl_manycore::parallel::ShardSplit;
 use odrl_power::Watts;
 use serde::{Deserialize, Serialize};
 
@@ -92,6 +93,19 @@ impl RewardShaper {
             })
             .collect()
     }
+
+    /// Borrows the whole shaper as a contiguous [`RewardRows`] view — the
+    /// allocation-free counterpart of [`RewardShaper::rows_mut`]. The view
+    /// implements [`ShardSplit`], so a sharded decide loop can split it at
+    /// core boundaries and reward disjoint core ranges concurrently.
+    pub fn rows_view(&mut self) -> RewardRows<'_> {
+        RewardRows {
+            lambda: self.lambda,
+            decay: self.decay,
+            phases: self.phases,
+            refs: &mut self.refs,
+        }
+    }
 }
 
 /// One core's mutable slice of the [`RewardShaper`]: its per-phase IPS
@@ -127,6 +141,78 @@ impl RewardRow<'_> {
             0.0
         };
         perf - self.lambda * over
+    }
+}
+
+/// A contiguous range of cores' reward state, borrowed from a
+/// [`RewardShaper`]. Splitting at a core boundary yields two disjoint
+/// views, so sharded decide loops can reward core ranges in parallel
+/// without materialising one [`RewardRow`] per core.
+#[derive(Debug)]
+pub struct RewardRows<'a> {
+    lambda: f64,
+    decay: f64,
+    phases: usize,
+    refs: &'a mut [f64],
+}
+
+impl RewardRows<'_> {
+    /// Number of cores covered by this view.
+    pub fn len(&self) -> usize {
+        self.refs.len() / self.phases
+    }
+
+    /// Whether the view covers no cores.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Computes the reward of the view's `row`-th core in phase class
+    /// `phase` and updates that normalizer. Same arithmetic as
+    /// [`RewardShaper::reward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `phase` is out of range.
+    pub fn reward(
+        &mut self,
+        row: usize,
+        phase: usize,
+        ips: f64,
+        power: Watts,
+        local_budget: Watts,
+    ) -> f64 {
+        let phases = self.phases;
+        RewardRow {
+            lambda: self.lambda,
+            decay: self.decay,
+            refs: &mut self.refs[row * phases..(row + 1) * phases],
+        }
+        .reward(phase, ips, power, local_budget)
+    }
+}
+
+impl ShardSplit for RewardRows<'_> {
+    fn shard_len(&self) -> usize {
+        self.len()
+    }
+
+    fn split_at_mut(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.refs.split_at_mut(mid * self.phases);
+        (
+            RewardRows {
+                lambda: self.lambda,
+                decay: self.decay,
+                phases: self.phases,
+                refs: head,
+            },
+            RewardRows {
+                lambda: self.lambda,
+                decay: self.decay,
+                phases: self.phases,
+                refs: tail,
+            },
+        )
     }
 }
 

@@ -39,6 +39,7 @@ pub mod parallel;
 pub mod perf;
 pub mod report;
 pub mod sensors;
+pub mod soa;
 pub mod sync;
 pub mod system;
 pub mod telemetry;
@@ -50,6 +51,7 @@ pub use parallel::Parallelism;
 pub use perf::PerfModel;
 pub use report::{CoreEpoch, CoreObservation, EpochReport, Observation};
 pub use sensors::SensorModel;
+pub use soa::CoreArrays;
 pub use sync::SyncModel;
 pub use system::System;
 pub use telemetry::{Telemetry, TelemetrySample};

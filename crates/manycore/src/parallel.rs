@@ -142,6 +142,97 @@ where
         .collect()
 }
 
+/// Per-core state that can be split into contiguous shard chunks for
+/// in-place sharded mutation (see [`shard_chunks`]).
+///
+/// Implemented for `&mut [T]` and for tuples of up to four `ShardSplit`
+/// values of equal length, so a pass over several parallel arrays (the
+/// struct-of-arrays layout in [`crate::soa::CoreArrays`]) can be sharded
+/// without collecting results into a fresh `Vec`.
+pub trait ShardSplit: Sized {
+    /// Number of per-core items in this state.
+    fn shard_len(&self) -> usize;
+    /// Splits into the leading `mid` items and the rest.
+    fn split_at_mut(self, mid: usize) -> (Self, Self);
+}
+
+impl<T> ShardSplit for &mut [T] {
+    fn shard_len(&self) -> usize {
+        self.len()
+    }
+    fn split_at_mut(self, mid: usize) -> (Self, Self) {
+        <[T]>::split_at_mut(self, mid)
+    }
+}
+
+macro_rules! impl_shard_split_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: ShardSplit),+> ShardSplit for ($($name,)+) {
+            fn shard_len(&self) -> usize {
+                let len = self.0.shard_len();
+                $(debug_assert_eq!(self.$idx.shard_len(), len,
+                    "sharded tuple slices must have equal length");)+
+                len
+            }
+            #[allow(non_snake_case)]
+            fn split_at_mut(self, mid: usize) -> (Self, Self) {
+                $(let $name = self.$idx.split_at_mut(mid);)+
+                (($($name.0,)+), ($($name.1,)+))
+            }
+        }
+    };
+}
+
+impl_shard_split_tuple!(A: 0);
+impl_shard_split_tuple!(A: 0, B: 1);
+impl_shard_split_tuple!(A: 0, B: 1, C: 2);
+impl_shard_split_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Runs `f(base_index, chunk)` over contiguous chunks of `state`, sharded
+/// across pool workers.
+///
+/// This is the zero-collection counterpart of [`zip_map_sharded`]: the
+/// caller's closure writes its results directly into the mutable chunk it
+/// receives, so the serial path ([`Parallelism::Serial`] or a single shard)
+/// performs **no heap allocation at all** — it is exactly `f(0, state)`.
+/// Chunk boundaries match the other sharded helpers (`ceil(n / shards)`
+/// items per chunk), and per-item work must not depend on any other item's
+/// evaluation, so results are bit-identical for every shard count.
+pub fn shard_chunks<S, F>(par: Parallelism, state: S, f: F)
+where
+    S: ShardSplit + Send,
+    F: Fn(usize, S) + Sync,
+{
+    let n = state.shard_len();
+    let shards = par.shards(n);
+    if shards <= 1 {
+        f(0, state);
+        return;
+    }
+    let chunk = n.div_ceil(shards);
+    let mut work: Vec<Mutex<Option<(usize, S)>>> = Vec::with_capacity(shards);
+    let mut base = 0usize;
+    let mut rest = Some(state);
+    while let Some(s) = rest.take() {
+        if s.shard_len() > chunk {
+            let (head, tail) = s.split_at_mut(chunk);
+            work.push(Mutex::new(Some((base, head))));
+            base += chunk;
+            rest = Some(tail);
+        } else {
+            work.push(Mutex::new(Some((base, s))));
+        }
+    }
+    pool::global().run_shards(work.len(), &|k| {
+        let (b, chunk_state) = work[k]
+            .lock()
+            .expect("work slot poisoned")
+            .take()
+            .expect("each chunk is taken exactly once");
+        f(b, chunk_state);
+    });
+}
+
 /// Maps `f` over three zipped mutable slices, sharded across pool workers,
 /// collecting results in index order. Same contract as
 /// [`zip_map_sharded`].
@@ -425,6 +516,39 @@ mod tests {
             assert!(a.iter().all(|&v| v == 1));
             assert_eq!(b, (0..25).map(|i| i as u64).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn shard_chunks_covers_every_index_once() {
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Threads(3),
+            Parallelism::Threads(8),
+        ] {
+            let mut a = vec![0u64; 37];
+            let mut b = vec![0u64; 37];
+            shard_chunks(par, (&mut a[..], &mut b[..]), |base, (ca, cb)| {
+                for j in 0..ca.len() {
+                    ca[j] += 1;
+                    cb[j] = (base + j) as u64;
+                }
+            });
+            assert!(a.iter().all(|&v| v == 1), "every item visited once");
+            assert_eq!(b, (0..37).map(|i| i as u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn shard_split_tuple_boundaries_match() {
+        let mut a = [0u32; 10];
+        let mut b = [0u32; 10];
+        let state = (&mut a[..], &mut b[..]);
+        assert_eq!(state.shard_len(), 10);
+        let (head, tail) = state.split_at_mut(4);
+        assert_eq!(head.0.len(), 4);
+        assert_eq!(head.1.len(), 4);
+        assert_eq!(tail.0.len(), 6);
+        assert_eq!(tail.1.len(), 6);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Struct-of-arrays core state and the reusable epoch scratch.
+//!
+//! The simulator's per-core state lives in [`CoreArrays`]: parallel flat
+//! slices indexed by core, one per quantity (VF level, retired
+//! instructions, dynamic/leakage power, temperature, sensor-noise streams,
+//! process-variation factors, memory latency). The epoch kernel iterates
+//! these slices in fixed passes instead of constructing per-core structs,
+//! which keeps the hot loop allocation-free and lets sharded passes split
+//! the arrays into contiguous chunks (see
+//! [`crate::parallel::shard_chunks`]).
+//!
+//! [`EpochScratch`] holds every intermediate buffer one epoch needs —
+//! standalone/gated progress, captured counters, activity factors, power
+//! totals, NoC miss rates, the thermal integration buffer and the NoC flow
+//! buffers. It is created once per run (by [`crate::System::new`]) and
+//! reused verbatim every epoch, so a steady-state epoch performs **zero**
+//! heap allocations.
+
+use crate::config::SystemConfig;
+use odrl_noc::NocScratch;
+use odrl_power::{Celsius, LevelId, VfLevel, Watts};
+use odrl_workload::{PhaseParams, WorkloadStream};
+use rand::rngs::StdRng;
+
+/// Per-core simulator state in struct-of-arrays layout: field `f` of core
+/// `i` is `f[i]`, and every vector has exactly one entry per core.
+#[derive(Debug, Clone)]
+pub struct CoreArrays {
+    /// The VF level currently applied to each core.
+    pub levels: Vec<LevelId>,
+    /// Instructions each core retired in the last executed epoch.
+    pub instructions: Vec<f64>,
+    /// True dynamic power of each core over the last epoch (post-variation).
+    pub dynamic: Vec<Watts>,
+    /// True leakage power of each core over the last epoch (post-variation).
+    pub leakage: Vec<Watts>,
+    /// Die temperature of each core (end of the last epoch).
+    pub temperature: Vec<Celsius>,
+    /// One private sensor-noise stream per core, derived from the master
+    /// seed and the core index, so draws never depend on execution order.
+    pub sensor_rngs: Vec<StdRng>,
+    /// Each core's power as read through its sensor over the last epoch.
+    pub measured: Vec<Watts>,
+    /// Per-core (dynamic, leakage) process-variation multipliers.
+    pub variation: Vec<(f64, f64)>,
+    /// Per-core round-trip memory latency in nanoseconds (NoC-derived when
+    /// a NoC model is configured, flat otherwise).
+    pub mem_latency: Vec<f64>,
+}
+
+impl CoreArrays {
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the system has no cores (never true for a valid config).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+/// Reusable per-epoch intermediates, created once per run and threaded
+/// through the epoch pipeline so the steady-state kernel never allocates.
+///
+/// All buffers are pre-sized to the core count except the thermal and NoC
+/// buffers, which size themselves on first use and are reused afterwards.
+#[derive(Debug, Clone)]
+pub(crate) struct EpochScratch {
+    /// Whether each core's level changed this epoch (transition penalty).
+    pub switched: Vec<bool>,
+    /// The resolved VF operating point each core runs at this epoch.
+    pub vf: Vec<VfLevel>,
+    /// Standalone (ungated) instruction progress per core.
+    pub standalone: Vec<f64>,
+    /// Barrier-gated `(instructions, idle_fraction)` per core.
+    pub gated: Vec<(f64, f64)>,
+    /// The workload signature each core executes this epoch (captured
+    /// before the stream advances).
+    pub params: Vec<PhaseParams>,
+    /// Effective switching-activity factor per core.
+    pub activity: Vec<f64>,
+    /// True total power per core (dynamic + leakage, post-variation).
+    pub powers: Vec<Watts>,
+    /// LLC misses per second per core, feeding the NoC congestion model.
+    pub miss_rates: Vec<f64>,
+    /// Forward-Euler integration buffer for the thermal grid.
+    pub thermal: Vec<f64>,
+    /// Per-link flow/wait buffers for the NoC latency model.
+    pub noc: NocScratch,
+}
+
+impl EpochScratch {
+    /// Pre-sizes every per-core buffer for the given run.
+    pub fn new(config: &SystemConfig, streams: &[WorkloadStream]) -> Self {
+        let n = config.cores;
+        let level0 = config.vf_table.level(LevelId(0));
+        Self {
+            switched: vec![false; n],
+            vf: vec![level0; n],
+            standalone: vec![0.0; n],
+            gated: vec![(0.0, 0.0); n],
+            params: streams.iter().map(|s| s.params()).collect(),
+            activity: vec![0.0; n],
+            powers: vec![Watts::ZERO; n],
+            miss_rates: vec![0.0; n],
+            thermal: Vec::new(),
+            noc: NocScratch::default(),
+        }
+    }
+}

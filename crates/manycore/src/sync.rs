@@ -86,11 +86,31 @@ impl SyncModel {
     /// returns `(actual_instructions, idle_fraction)` per core after
     /// barrier gating.
     pub fn gate(&self, standalone: &[f64]) -> Vec<(f64, f64)> {
+        let mut out = vec![(0.0, 0.0); standalone.len()];
+        self.gate_into(standalone, &mut out);
+        out
+    }
+
+    /// Allocation-free [`SyncModel::gate`]: writes each core's
+    /// `(actual_instructions, idle_fraction)` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != standalone.len()`.
+    pub fn gate_into(&self, standalone: &[f64], out: &mut [(f64, f64)]) {
+        assert_eq!(
+            standalone.len(),
+            out.len(),
+            "gate output must have one slot per core"
+        );
         match *self {
-            Self::Independent => standalone.iter().map(|&s| (s, 0.0)).collect(),
+            Self::Independent => {
+                for (o, &s) in out.iter_mut().zip(standalone) {
+                    *o = (s, 0.0);
+                }
+            }
             Self::Barrier { group_size, .. } => {
                 let n = standalone.len();
-                let mut out = vec![(0.0, 0.0); n];
                 let mut start = 0;
                 while start < n {
                     let end = (start + group_size).min(n);
@@ -108,7 +128,6 @@ impl SyncModel {
                     }
                     start = end;
                 }
-                out
             }
         }
     }

@@ -2,13 +2,14 @@
 
 use crate::config::{SystemConfig, SystemSpec};
 use crate::error::SystemError;
-use crate::parallel::{map_sharded, stream_seed, zip_map_sharded};
+use crate::parallel::{shard_chunks, stream_seed};
 use crate::report::{CoreEpoch, CoreObservation, EpochReport, Observation};
+use crate::soa::{CoreArrays, EpochScratch};
 use crate::telemetry::Telemetry;
 use odrl_noc::NocModel;
-use odrl_power::{LevelId, Seconds, Watts};
+use odrl_power::{Joules, LevelId, PowerBreakdown, Seconds, Watts};
 use odrl_thermal::{Floorplan, ThermalGrid};
-use odrl_workload::{WorkloadMix, WorkloadStream};
+use odrl_workload::{PhaseParams, WorkloadMix, WorkloadStream};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,20 +43,18 @@ pub struct System {
     spec: SystemSpec,
     streams: Vec<WorkloadStream>,
     grid: ThermalGrid,
-    levels: Vec<LevelId>,
+    /// Per-core state in struct-of-arrays layout (see [`CoreArrays`]).
+    arrays: CoreArrays,
+    /// Reusable per-epoch intermediates; created once, reused every epoch.
+    scratch: EpochScratch,
     epoch: u64,
-    /// One private sensor-noise stream per core, derived from the master
-    /// seed and the core index, so draws never depend on execution order.
-    sensor_rngs: Vec<StdRng>,
     /// The chip-level power sensor's stream (the whole-chip measurement).
     chip_sensor_rng: StdRng,
+    /// The last epoch's report, mutated in place every epoch after the
+    /// first so the steady-state kernel never allocates.
     last_report: Option<EpochReport>,
-    last_measured_core_power: Vec<Watts>,
-    /// Per-core (dynamic, leakage) process-variation multipliers.
-    variation: Vec<(f64, f64)>,
-    /// NoC model and the per-core memory latency it produced last epoch.
+    /// NoC model (its per-core latency output lives in `arrays`).
     noc: Option<NocModel>,
-    mem_latency: Vec<f64>,
     telemetry: Telemetry,
 }
 
@@ -86,14 +85,9 @@ impl System {
         let floorplan = Floorplan::squarish(config.cores)?;
         let grid = ThermalGrid::new(floorplan, config.thermal)?;
         let spec = config.spec();
-        let levels = vec![LevelId(0); config.cores];
+        let n = config.cores;
         let sensor_seed = config.seed ^ 0xD1CE_5EED;
-        let sensor_rngs = (0..config.cores)
-            .map(|i| StdRng::seed_from_u64(stream_seed(sensor_seed, i as u64)))
-            .collect();
-        let chip_sensor_rng =
-            StdRng::seed_from_u64(stream_seed(sensor_seed, config.cores as u64));
-        let variation = config.variation.sample(config.cores, config.seed);
+        let chip_sensor_rng = StdRng::seed_from_u64(stream_seed(sensor_seed, n as u64));
         let noc = config
             .noc
             .clone()
@@ -104,23 +98,34 @@ impl System {
                 reason: e.to_string(),
             })?;
         let mem_latency = match &noc {
-            Some(model) => model.latencies(&vec![0.0; config.cores]),
-            None => vec![config.perf.mem_latency_ns; config.cores],
+            Some(model) => model.latencies(&vec![0.0; n]),
+            None => vec![config.perf.mem_latency_ns; n],
         };
+        let arrays = CoreArrays {
+            levels: vec![LevelId(0); n],
+            instructions: vec![0.0; n],
+            dynamic: vec![Watts::ZERO; n],
+            leakage: vec![Watts::ZERO; n],
+            temperature: grid.temperatures().to_vec(),
+            sensor_rngs: (0..n)
+                .map(|i| StdRng::seed_from_u64(stream_seed(sensor_seed, i as u64)))
+                .collect(),
+            measured: vec![Watts::ZERO; n],
+            variation: config.variation.sample(n, config.seed),
+            mem_latency,
+        };
+        let scratch = EpochScratch::new(&config, &streams);
         Ok(Self {
             config,
             spec,
             streams,
             grid,
-            levels,
+            arrays,
+            scratch,
             epoch: 0,
-            sensor_rngs,
             chip_sensor_rng,
             last_report: None,
-            last_measured_core_power: Vec::new(),
-            variation,
             noc,
-            mem_latency,
             telemetry,
         })
     }
@@ -147,7 +152,12 @@ impl System {
 
     /// The VF levels currently applied.
     pub fn levels(&self) -> &[LevelId] {
-        &self.levels
+        &self.arrays.levels
+    }
+
+    /// The per-core state in struct-of-arrays layout.
+    pub fn arrays(&self) -> &CoreArrays {
+        &self.arrays
     }
 
     /// Accumulated run telemetry.
@@ -166,46 +176,55 @@ impl System {
     /// Before the first epoch, counters reflect the initial workload phases
     /// and measured rates/powers are zero (no epoch has executed yet).
     pub fn observation(&self, budget: Watts) -> Observation {
-        let cores = match &self.last_report {
-            Some(report) => report
+        let mut out = Observation {
+            epoch: self.epoch,
+            dt: self.config.epoch,
+            budget,
+            cores: Vec::with_capacity(self.config.cores),
+            total_power: Watts::ZERO,
+        };
+        self.observation_into(budget, &mut out);
+        out
+    }
+
+    /// Allocation-free [`System::observation`]: refills the caller's
+    /// observation in place, reusing its `cores` buffer. After the first
+    /// call the steady-state observe/decide/step loop touches the heap
+    /// only if the caller's buffers are undersized.
+    pub fn observation_into(&self, budget: Watts, out: &mut Observation) {
+        out.epoch = self.epoch;
+        out.dt = self.config.epoch;
+        out.budget = budget;
+        out.total_power = self
+            .last_report
+            .as_ref()
+            .map(|r| r.measured_power)
+            .unwrap_or(Watts::ZERO);
+        out.cores.clear();
+        match &self.last_report {
+            Some(report) => out
                 .cores
-                .iter()
-                .enumerate()
-                .map(|(i, c)| CoreObservation {
+                .extend(report.cores.iter().enumerate().map(|(i, c)| CoreObservation {
                     level: c.level,
                     ips: c.ips,
                     power: self
-                        .last_measured_core_power
+                        .arrays
+                        .measured
                         .get(i)
                         .copied()
                         .unwrap_or_else(|| c.power.total()),
                     temperature: c.temperature,
                     counters: c.counters,
-                })
-                .collect(),
-            None => self
-                .streams
-                .iter()
-                .enumerate()
-                .map(|(i, s)| CoreObservation {
-                    level: self.levels[i],
+                })),
+            None => out
+                .cores
+                .extend(self.streams.iter().enumerate().map(|(i, s)| CoreObservation {
+                    level: self.arrays.levels[i],
                     ips: 0.0,
                     power: Watts::ZERO,
                     temperature: self.grid.temperature(i),
                     counters: s.params(),
-                })
-                .collect(),
-        };
-        Observation {
-            epoch: self.epoch,
-            dt: self.config.epoch,
-            budget,
-            cores,
-            total_power: self
-                .last_report
-                .as_ref()
-                .map(|r| r.measured_power)
-                .unwrap_or(Watts::ZERO),
+                })),
         }
     }
 
@@ -217,6 +236,27 @@ impl System {
     /// have one entry per core, or [`SystemError::Power`] if any level id is
     /// out of range for the VF table.
     pub fn step(&mut self, actions: &[LevelId]) -> Result<EpochReport, SystemError> {
+        Ok(self.step_in_place(actions)?.clone())
+    }
+
+    /// Allocation-free [`System::step`]: executes one control epoch and
+    /// returns a borrow of the internally maintained report instead of a
+    /// fresh one. After the first epoch (which sizes the report buffers),
+    /// the steady-state kernel performs zero heap allocations under
+    /// [`Parallelism::Serial`](crate::Parallelism::Serial).
+    ///
+    /// The epoch pipeline runs in fixed passes over the struct-of-arrays
+    /// state: standalone progress → barrier gating → workload advance and
+    /// activity → batch power evaluation → sensor reads → NoC/thermal/
+    /// report serial tail. Each pass evaluates the exact per-core
+    /// expressions of the original fused loop and every random draw stays
+    /// on its core-private stream, so results are bit-identical to the
+    /// pre-refactor kernel at every shard count.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::step`].
+    pub fn step_in_place(&mut self, actions: &[LevelId]) -> Result<&EpochReport, SystemError> {
         if actions.len() != self.config.cores {
             return Err(SystemError::ActionLengthMismatch {
                 supplied: actions.len(),
@@ -226,145 +266,207 @@ impl System {
         for &a in actions {
             self.config.vf_table.check(a)?;
         }
-        // A VF transition stalls the core for the PLL/VR settling time;
-        // record which cores switched before overwriting the level state.
-        let switched: Vec<bool> = self
-            .levels
-            .iter()
-            .zip(actions)
-            .map(|(old, new)| old != new)
-            .collect();
-        self.levels.copy_from_slice(actions);
-
         let dt = self.config.epoch;
         let n = self.config.cores;
         let par = self.config.parallelism;
+        let epoch = self.epoch;
 
-        // Pass 1 (sharded): standalone progress of every core this epoch,
-        // using the NoC-derived memory latency from the previous epoch
-        // (one-epoch relaxation, standard for epoch-granularity congestion
-        // models). Read-only per core, so shards need no coordination.
-        let standalone = {
+        let EpochScratch {
+            switched,
+            vf,
+            standalone,
+            gated,
+            params,
+            activity,
+            powers,
+            miss_rates,
+            thermal,
+            noc: noc_scratch,
+        } = &mut self.scratch;
+        let CoreArrays {
+            levels,
+            instructions,
+            dynamic,
+            leakage,
+            temperature,
+            sensor_rngs,
+            measured,
+            variation,
+            mem_latency,
+        } = &mut self.arrays;
+
+        // A VF transition stalls the core for the PLL/VR settling time;
+        // record which cores switched before overwriting the level state.
+        for (s, (old, new)) in switched.iter_mut().zip(levels.iter().zip(actions)) {
+            *s = old != new;
+        }
+        levels.copy_from_slice(actions);
+
+        // Pass 1 (sharded): resolved VF point, executing phase signature and
+        // standalone progress of every core this epoch, using the
+        // NoC-derived memory latency from the previous epoch (one-epoch
+        // relaxation, standard for epoch-granularity congestion models).
+        // Read-only per core, so shards need no coordination.
+        {
             let config = &self.config;
             let streams = &self.streams;
-            let mem_latency = &self.mem_latency;
-            let switched = &switched;
-            let epoch = self.epoch;
-            map_sharded(par, n, move |i| {
-                let params = streams[i].params();
-                let level = config.vf_table.level(actions[i]);
-                let ips = config
-                    .perf
-                    .ips_with_latency(&params, level.frequency, mem_latency[i]);
-                let effective_dt = if switched[i] && epoch > 0 {
-                    dt.value() - config.transition_penalty.value()
-                } else {
-                    dt.value()
-                };
-                ips * effective_dt
-            })
-        };
-        // Serial reduction: barrier gating couples cores within a group —
-        // each core retires its group's minimum and idles (reduced
-        // activity) for the time it saved.
-        let gated = self.config.sync.gate(&standalone);
-
-        // Pass 2 (sharded): per-core activity scaling, power, sensor
-        // measurement and workload-stream advance. Each core's only mutable
-        // state is its own stream and its own sensor RNG, both visited by
-        // exactly one shard; results concatenate in core order.
-        let per_core = {
-            let config = &self.config;
-            let grid = &self.grid;
-            let variation = &self.variation;
-            let mem_latency = &self.mem_latency;
-            let gated = &gated;
-            zip_map_sharded(
+            let mem_latency: &[f64] = mem_latency;
+            let switched: &[bool] = switched;
+            shard_chunks(
                 par,
-                &mut self.streams,
-                &mut self.sensor_rngs,
-                move |i, stream, rng| {
-                    let params = stream.params();
-                    let level = config.vf_table.level(actions[i]);
-                    let (instructions, idle_frac) = gated[i];
-                    // Stalled cycles clock-gate most of the datapath: scale
-                    // the activity factor by the fraction of cycles doing
-                    // useful work, with a floor for the always-on front-end
-                    // and caches.
-                    let busy = params.cpi_base
-                        / config.perf.effective_cpi_with_latency(
-                            &params,
+                (&mut vf[..], &mut params[..], &mut standalone[..]),
+                |base, (vf, params, standalone)| {
+                    for j in 0..vf.len() {
+                        let i = base + j;
+                        params[j] = streams[i].params();
+                        let level = config.vf_table.level(actions[i]);
+                        vf[j] = level;
+                        let ips = config.perf.ips_with_latency(
+                            &params[j],
                             level.frequency,
                             mem_latency[i],
                         );
-                    let mut activity = params.activity * (0.3 + 0.7 * busy);
-                    if idle_frac > 0.0 {
-                        // Barrier wait: the active stretch runs at full
-                        // activity, the idle tail at the sync model's idle
-                        // activity.
-                        activity = activity * (1.0 - idle_frac)
-                            + config.sync.idle_activity() * idle_frac;
+                        let effective_dt = if switched[i] && epoch > 0 {
+                            dt.value() - config.transition_penalty.value()
+                        } else {
+                            dt.value()
+                        };
+                        standalone[j] = ips * effective_dt;
                     }
-                    let temp_before = grid.temperature(i);
-                    let nominal = config.power.power(level, activity, temp_before);
-                    let (dm, lm) = variation[i];
-                    let power = odrl_power::PowerBreakdown {
-                        dynamic: nominal.dynamic * dm,
-                        leakage: nominal.leakage * lm,
-                    };
-                    let measured = config.sensors.measure(power.total(), rng);
-                    stream.advance(instructions);
-                    let core = CoreEpoch {
-                        level: actions[i],
-                        ips: instructions / dt.value(),
-                        instructions,
-                        power,
-                        temperature: temp_before, // refreshed after the thermal step
-                        counters: params,
-                    };
-                    (core, power.total(), measured)
                 },
-            )
-        };
-        let mut cores = Vec::with_capacity(n);
-        let mut powers = Vec::with_capacity(n);
-        let mut measured = Vec::with_capacity(n);
-        for (core, power, meas) in per_core {
-            cores.push(core);
-            powers.push(power);
-            measured.push(meas);
+            );
         }
-        // Update next epoch's memory latencies from this epoch's traffic.
+        // Serial reduction: barrier gating couples cores within a group —
+        // each core retires its group's minimum and idles (reduced
+        // activity) for the time it saved.
+        self.config.sync.gate_into(standalone, gated);
+
+        // Pass 2 (sharded): per-core activity scaling and workload-stream
+        // advance. Stalled cycles clock-gate most of the datapath: the
+        // activity factor scales with the fraction of cycles doing useful
+        // work (floored for the always-on front-end and caches), and a core
+        // waiting at a barrier idles at the sync model's idle activity.
+        // Each core's only mutable state is its own stream, visited by
+        // exactly one shard.
+        {
+            let config = &self.config;
+            let gated: &[(f64, f64)] = gated;
+            let params: &[PhaseParams] = params;
+            let vf: &[odrl_power::VfLevel] = vf;
+            let mem_latency: &[f64] = mem_latency;
+            shard_chunks(
+                par,
+                (
+                    &mut self.streams[..],
+                    &mut activity[..],
+                    &mut instructions[..],
+                ),
+                |base, (streams, activity, instructions)| {
+                    for j in 0..activity.len() {
+                        let i = base + j;
+                        let (instr, idle_frac) = gated[i];
+                        let busy = params[i].cpi_base
+                            / config.perf.effective_cpi_with_latency(
+                                &params[i],
+                                vf[i].frequency,
+                                mem_latency[i],
+                            );
+                        let mut act = params[i].activity * (0.3 + 0.7 * busy);
+                        if idle_frac > 0.0 {
+                            // Barrier wait: the active stretch runs at full
+                            // activity, the idle tail at the sync model's
+                            // idle activity.
+                            act = act * (1.0 - idle_frac)
+                                + config.sync.idle_activity() * idle_frac;
+                        }
+                        activity[j] = act;
+                        instructions[j] = instr;
+                        streams[j].advance(instr);
+                    }
+                },
+            );
+        }
+
+        // Pass 3 (serial): batch power evaluation over the flat arrays —
+        // nominal dynamic/leakage at the pre-step die temperature, then the
+        // per-core process-variation multipliers.
+        temperature.copy_from_slice(self.grid.temperatures());
+        self.config
+            .power
+            .evaluate_into(vf, activity, temperature, dynamic, leakage);
+        for i in 0..n {
+            let (dm, lm) = variation[i];
+            dynamic[i] = dynamic[i] * dm;
+            leakage[i] = leakage[i] * lm;
+            powers[i] = dynamic[i] + leakage[i];
+        }
+
+        // Pass 4 (sharded): per-core power sensors. Each core's sensor RNG
+        // is private to its shard, so draws never depend on execution order.
+        {
+            let config = &self.config;
+            let powers: &[Watts] = powers;
+            shard_chunks(
+                par,
+                (&mut sensor_rngs[..], &mut measured[..]),
+                |base, (rngs, measured)| {
+                    for j in 0..measured.len() {
+                        measured[j] = config.sensors.measure(powers[base + j], &mut rngs[j]);
+                    }
+                },
+            );
+        }
+
+        // Serial tail. Update next epoch's memory latencies from this
+        // epoch's traffic.
         if let Some(noc) = &self.noc {
-            let miss_rates: Vec<f64> = cores
-                .iter()
-                .map(|c| c.counters.mpki / 1000.0 * c.ips)
-                .collect();
-            self.mem_latency = noc.latencies(&miss_rates);
+            for i in 0..n {
+                let ips = instructions[i] / dt.value();
+                miss_rates[i] = params[i].mpki / 1000.0 * ips;
+            }
+            noc.latencies_into(miss_rates, noc_scratch, mem_latency);
         }
-        self.grid.step(&powers, dt)?;
-        for (i, core) in cores.iter_mut().enumerate() {
-            core.temperature = self.grid.temperature(i);
-        }
+        self.grid.step_with_scratch(powers, dt, thermal)?;
+        temperature.copy_from_slice(self.grid.temperatures());
 
         let total_power: Watts = powers.iter().sum();
         let measured_power = self
             .config
             .sensors
             .measure(total_power, &mut self.chip_sensor_rng);
-        let report = EpochReport {
-            epoch: self.epoch,
+
+        // Refill the long-lived report in place (allocated once, on the
+        // first epoch).
+        let report = self.last_report.get_or_insert_with(|| EpochReport {
+            epoch: 0,
             dt,
-            cores,
-            total_power,
-            measured_power,
-            energy: total_power.energy_over(dt),
-        };
-        self.telemetry.record(&report);
+            cores: Vec::with_capacity(n),
+            total_power: Watts::ZERO,
+            measured_power: Watts::ZERO,
+            energy: Joules::new(0.0),
+        });
+        report.epoch = epoch;
+        report.dt = dt;
+        report.total_power = total_power;
+        report.measured_power = measured_power;
+        report.energy = total_power.energy_over(dt);
+        report.cores.clear();
+        for i in 0..n {
+            report.cores.push(CoreEpoch {
+                level: actions[i],
+                ips: instructions[i] / dt.value(),
+                instructions: instructions[i],
+                power: PowerBreakdown {
+                    dynamic: dynamic[i],
+                    leakage: leakage[i],
+                },
+                temperature: temperature[i],
+                counters: params[i],
+            });
+        }
+        self.telemetry.record(report);
         self.epoch += 1;
-        self.last_measured_core_power = measured;
-        self.last_report = Some(report.clone());
-        Ok(report)
+        Ok(self.last_report.as_ref().expect("report just refilled"))
     }
 
     /// Runs `epochs` epochs with a fixed level vector (useful for warmup
@@ -375,7 +477,7 @@ impl System {
     /// As [`System::step`].
     pub fn run_fixed(&mut self, levels: &[LevelId], epochs: u64) -> Result<(), SystemError> {
         for _ in 0..epochs {
-            self.step(levels)?;
+            self.step_in_place(levels)?;
         }
         Ok(())
     }
@@ -451,6 +553,23 @@ mod tests {
             assert_eq!(ra.measured_power, rb.measured_power);
             assert_eq!(ra.total_instructions(), rb.total_instructions());
         }
+    }
+
+    #[test]
+    fn step_in_place_matches_step() {
+        let mut owned = small_system(8, 5);
+        let mut borrowed = small_system(8, 5);
+        for i in 0..20 {
+            let lv = vec![LevelId(i % 8); 8];
+            let ra = owned.step(&lv).unwrap();
+            let rb = borrowed.step_in_place(&lv).unwrap();
+            assert_eq!(&ra, rb, "epoch {i}");
+        }
+        assert_eq!(owned.telemetry(), borrowed.telemetry());
+        assert_eq!(
+            owned.observation(Watts::new(10.0)),
+            borrowed.observation(Watts::new(10.0))
+        );
     }
 
     #[test]
@@ -689,8 +808,9 @@ mod tests {
         // a controller) should out-run the die center once congestion kicks
         // in.
         let mut sys = System::new(mk(MixPolicy::Homogeneous("streamcluster".into()))).unwrap();
+        let top = [LevelId(7); 64];
         for _ in 0..10 {
-            sys.step(&vec![LevelId(7); 64]).unwrap();
+            sys.step_in_place(&top).unwrap();
         }
         let r = sys.last_report().unwrap();
         let corner = r.cores[0].ips;
@@ -709,7 +829,7 @@ mod tests {
             .unwrap();
         let mut flat_sys = System::new(flat).unwrap();
         for _ in 0..10 {
-            flat_sys.step(&vec![LevelId(7); 64]).unwrap();
+            flat_sys.step_in_place(&top).unwrap();
         }
         // Note: flat model uses 80 ns everywhere; the NoC's unloaded corner
         // latency is lower (60 ns DRAM + short path), so compare totals

@@ -253,6 +253,25 @@ impl NocModel {
     ///
     /// Panics if `miss_rates.len()` differs from the mesh tile count.
     pub fn latencies(&self, miss_rates: &[f64]) -> Vec<f64> {
+        let mut scratch = NocScratch::default();
+        let mut out = Vec::new();
+        self.latencies_into(miss_rates, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free [`NocModel::latencies`]: writes each core's
+    /// round-trip latency into `out`, reusing the caller's scratch buffers.
+    /// Buffers are sized on first use and reused verbatim afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_rates.len()` differs from the mesh tile count.
+    pub fn latencies_into(
+        &self,
+        miss_rates: &[f64],
+        scratch: &mut NocScratch,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(
             miss_rates.len(),
             self.config.floorplan.tiles(),
@@ -260,28 +279,35 @@ impl NocModel {
         );
         // Accumulate bytes/s per directed link (request path; the response
         // path is the mirror image with identical flow).
-        let mut flow = vec![0.0f64; self.links];
+        let flow = &mut scratch.flow;
+        flow.clear();
+        flow.resize(self.links, 0.0);
         for (i, &rate) in miss_rates.iter().enumerate() {
             let bytes = rate.max(0.0) * self.config.bytes_per_miss;
             for &l in &self.routes[i] {
                 flow[l] += bytes;
             }
         }
-        let waits: Vec<f64> = flow
-            .iter()
-            .map(|&f| {
-                let rho = (f / self.config.link_bandwidth).clamp(0.0, 0.95);
-                self.config.hop_ns * rho / (1.0 - rho)
-            })
-            .collect();
-        self.routes
-            .iter()
-            .map(|route| {
-                let path: f64 = route.iter().map(|&l| self.config.hop_ns + waits[l]).sum();
-                self.config.dram_ns + 2.0 * path
-            })
-            .collect()
+        let waits = &mut scratch.waits;
+        waits.clear();
+        waits.extend(flow.iter().map(|&f| {
+            let rho = (f / self.config.link_bandwidth).clamp(0.0, 0.95);
+            self.config.hop_ns * rho / (1.0 - rho)
+        }));
+        out.clear();
+        out.extend(self.routes.iter().map(|route| {
+            let path: f64 = route.iter().map(|&l| self.config.hop_ns + waits[l]).sum();
+            self.config.dram_ns + 2.0 * path
+        }));
     }
+}
+
+/// Reusable buffers for [`NocModel::latencies_into`] — per-link flows and
+/// waiting times, kept across epochs so the hot loop never reallocates.
+#[derive(Debug, Clone, Default)]
+pub struct NocScratch {
+    flow: Vec<f64>,
+    waits: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -353,6 +379,20 @@ mod tests {
         let before = m.latencies(&quiet)[victim];
         let after = m.latencies(&loud)[victim];
         assert!(after > before, "victim latency {before} -> {after}");
+    }
+
+    #[test]
+    fn latencies_into_matches_allocating_path() {
+        let m = model(8, 8);
+        let mut scratch = NocScratch::default();
+        let mut out = Vec::new();
+        for scale in [0.0, 1e5, 1e8, 1e12] {
+            let rates = vec![scale; 64];
+            m.latencies_into(&rates, &mut scratch, &mut out);
+            assert_eq!(out, m.latencies(&rates), "scale {scale}");
+        }
+        // Buffers are reused across calls, never regrown.
+        assert_eq!(out.len(), 64);
     }
 
     #[test]

@@ -71,6 +71,40 @@ impl CorePowerModel {
     pub fn total_power(&self, level: VfLevel, activity: f64, temperature: Celsius) -> Watts {
         self.power(level, activity, temperature).total()
     }
+
+    /// Batch [`CorePowerModel::power`] over parallel per-core slices,
+    /// writing the nominal dynamic and leakage power of core `i` into
+    /// `dynamic[i]` / `leakage[i]`.
+    ///
+    /// The per-core arithmetic is exactly `power(levels[i], activity[i],
+    /// temperature[i])`, so results are bit-identical to the scalar path;
+    /// the batch form exists so a simulator with struct-of-arrays state can
+    /// evaluate an epoch without allocating per-core temporaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not all have the same length.
+    pub fn evaluate_into(
+        &self,
+        levels: &[VfLevel],
+        activity: &[f64],
+        temperature: &[Celsius],
+        dynamic: &mut [Watts],
+        leakage: &mut [Watts],
+    ) {
+        let n = levels.len();
+        assert!(
+            activity.len() == n
+                && temperature.len() == n
+                && dynamic.len() == n
+                && leakage.len() == n,
+            "evaluate_into slices must have equal length"
+        );
+        for i in 0..n {
+            dynamic[i] = self.dynamic.power(levels[i], activity[i]);
+            leakage[i] = self.leakage.power(levels[i].voltage, temperature[i]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +139,24 @@ mod tests {
             let p = m.total_power(level, 1.0, Celsius::new(70.0)).value();
             assert!(p > last, "power must increase with level");
             last = p;
+        }
+    }
+
+    #[test]
+    fn evaluate_into_matches_scalar_power() {
+        let m = CorePowerModel::default();
+        let table = VfTable::alpha_like();
+        let levels: Vec<VfLevel> = table.iter().map(|(_, l)| l).collect();
+        let n = levels.len();
+        let activity: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let temperature: Vec<Celsius> = (0..n).map(|i| Celsius::new(50.0 + i as f64)).collect();
+        let mut dynamic = vec![Watts::ZERO; n];
+        let mut leakage = vec![Watts::ZERO; n];
+        m.evaluate_into(&levels, &activity, &temperature, &mut dynamic, &mut leakage);
+        for i in 0..n {
+            let scalar = m.power(levels[i], activity[i], temperature[i]);
+            assert_eq!(dynamic[i], scalar.dynamic, "core {i} dynamic");
+            assert_eq!(leakage[i], scalar.leakage, "core {i} leakage");
         }
     }
 

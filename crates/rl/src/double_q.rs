@@ -89,8 +89,13 @@ impl DoubleAgent {
     ///
     /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
     pub fn select<R: Rng + ?Sized>(&mut self, s: usize, rng: &mut R) -> Result<usize, RlError> {
-        let row = self.combined_row(s)?;
-        let a = self.policy.select_row(&row, self.step, rng);
+        // Sum the two rows on the fly instead of materialising the
+        // combined row — keeps per-decision selection allocation-free.
+        let qa_row = self.qa.row(s)?;
+        let qb_row = self.qb.row(s)?;
+        let a = self
+            .policy
+            .select_with(qa_row.len(), |i| qa_row[i] + qb_row[i], self.step, rng);
         self.step += 1;
         Ok(a)
     }
@@ -101,8 +106,18 @@ impl DoubleAgent {
     ///
     /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
     pub fn exploit(&self, s: usize) -> Result<usize, RlError> {
-        let row = self.combined_row(s)?;
-        Ok(argmax(&row))
+        let qa_row = self.qa.row(s)?;
+        let qb_row = self.qb.row(s)?;
+        let mut best = 0;
+        let mut best_v = f64::NEG_INFINITY;
+        for i in 0..qa_row.len() {
+            let v = qa_row[i] + qb_row[i];
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        Ok(best)
     }
 
     /// Applies one double-Q update for `(s, a, r, s')`. Which table is

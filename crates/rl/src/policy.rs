@@ -60,21 +60,23 @@ impl Policy {
     ) -> Result<usize, RlError> {
         if let Self::Ucb1 { c } = self {
             let row = q.row(s)?;
-            let mut visits = Vec::with_capacity(row.len());
+            // First pass: total visits, and any untried action is explored
+            // immediately (in index order) — two passes over the visit
+            // counts instead of collecting them, so selection is
+            // allocation-free.
             let mut total = 0u64;
             for a in 0..row.len() {
                 let v = q.visits(s, a)?;
-                visits.push(v);
+                if v == 0 {
+                    return Ok(a);
+                }
                 total += v;
-            }
-            // Untried action: explore it immediately (in index order).
-            if let Some(a) = visits.iter().position(|&v| v == 0) {
-                return Ok(a);
             }
             let ln_n = (total.max(1) as f64).ln();
             let mut best = 0;
             let mut best_score = f64::NEG_INFINITY;
-            for (a, (&qv, &v)) in row.iter().zip(&visits).enumerate() {
+            for (a, &qv) in row.iter().enumerate() {
+                let v = q.visits(s, a)?;
                 let score = qv + c * (ln_n / v as f64).sqrt();
                 if score > best_score {
                     best_score = score;
@@ -95,39 +97,73 @@ impl Policy {
     ///
     /// Panics if `row` is empty.
     pub fn select_row<R: Rng + ?Sized>(&self, row: &[f64], t: u64, rng: &mut R) -> usize {
-        assert!(!row.is_empty(), "action-value row is empty");
-        let greedy = |row: &[f64]| {
+        self.select_with(row.len(), |a| row[a], t, rng)
+    }
+
+    /// Selects an action from a *virtual* action-value row: `value_fn(a)`
+    /// yields the value of action `a` for `a` in `0..len`.
+    ///
+    /// This is the allocation-free core of [`Policy::select_row`]; agents
+    /// that combine several tables (e.g. double Q-learning's `QA + QB`) use
+    /// it to select without materialising the combined row. `value_fn` must
+    /// be deterministic — softmax evaluates each action more than once and
+    /// relies on identical values per pass. RNG draws and float operations
+    /// match `select_row` on the materialised row exactly, so the two are
+    /// bit-identical and interchangeable mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn select_with<R: Rng + ?Sized>(
+        &self,
+        len: usize,
+        value_fn: impl Fn(usize) -> f64,
+        t: u64,
+        rng: &mut R,
+    ) -> usize {
+        assert!(len > 0, "action-value row is empty");
+        let greedy = |value_fn: &dyn Fn(usize) -> f64| {
             let mut best = 0;
-            for (a, &v) in row.iter().enumerate() {
-                if v > row[best] {
+            let mut best_v = value_fn(0);
+            for a in 1..len {
+                let v = value_fn(a);
+                if v > best_v {
+                    best_v = v;
                     best = a;
                 }
             }
             best
         };
         match self {
-            Self::Greedy | Self::Ucb1 { .. } => greedy(row),
+            Self::Greedy | Self::Ucb1 { .. } => greedy(&value_fn),
             Self::EpsilonGreedy { epsilon } => {
                 let eps = epsilon.value(t).clamp(0.0, 1.0);
                 if rng.gen::<f64>() < eps {
-                    rng.gen_range(0..row.len())
+                    rng.gen_range(0..len)
                 } else {
-                    greedy(row)
+                    greedy(&value_fn)
                 }
             }
             Self::Softmax { temperature } => {
+                // Three passes recomputing the weights instead of one pass
+                // collecting them: identical float order, no heap.
                 let tau = temperature.value(t).max(1e-6);
-                let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let weights: Vec<f64> = row.iter().map(|&v| ((v - m) / tau).exp()).collect();
-                let total: f64 = weights.iter().sum();
+                let mut m = f64::NEG_INFINITY;
+                for a in 0..len {
+                    m = m.max(value_fn(a));
+                }
+                let mut total = 0.0;
+                for a in 0..len {
+                    total += ((value_fn(a) - m) / tau).exp();
+                }
                 let mut u = rng.gen::<f64>() * total;
-                for (a, w) in weights.iter().enumerate() {
-                    u -= w;
+                for a in 0..len {
+                    u -= ((value_fn(a) - m) / tau).exp();
                     if u <= 0.0 {
                         return a;
                     }
                 }
-                weights.len() - 1
+                len - 1
             }
         }
     }

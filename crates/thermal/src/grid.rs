@@ -131,6 +131,24 @@ impl ThermalGrid {
     /// Returns [`ThermalError::PowerLengthMismatch`] if `powers` does not
     /// have one entry per tile.
     pub fn step(&mut self, powers: &[Watts], dt: Seconds) -> Result<(), ThermalError> {
+        let mut next = Vec::new();
+        self.step_with_scratch(powers, dt, &mut next)
+    }
+
+    /// Allocation-free [`ThermalGrid::step`]: the caller provides the
+    /// integration buffer, which is resized on first use and reused
+    /// verbatim afterwards. Results are identical to `step` for any
+    /// incoming buffer contents.
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalGrid::step`].
+    pub fn step_with_scratch(
+        &mut self,
+        powers: &[Watts],
+        dt: Seconds,
+        next: &mut Vec<f64>,
+    ) -> Result<(), ThermalError> {
         self.check_len(powers.len())?;
         let dt = dt.value();
         if dt <= 0.0 {
@@ -144,7 +162,8 @@ impl ThermalGrid {
         let c = self.params.c_tile;
         let amb = self.params.ambient.value();
         let n = self.temps.len();
-        let mut next = vec![0.0f64; n];
+        next.clear();
+        next.resize(n, 0.0);
         for _ in 0..substeps {
             for i in 0..n {
                 let t_i = self.temps[i].value();
@@ -154,7 +173,7 @@ impl ThermalGrid {
                 }
                 next[i] = t_i + h * flow / c;
             }
-            for (t, &v) in self.temps.iter_mut().zip(&next) {
+            for (t, &v) in self.temps.iter_mut().zip(next.iter()) {
                 *t = Celsius::new(v);
             }
         }
@@ -316,6 +335,23 @@ mod tests {
         g.reset();
         assert_eq!(g.temperature(0).value(), 45.0);
         assert!(g.set_temperatures(&[Celsius::ZERO; 3]).is_err());
+    }
+
+    #[test]
+    fn scratch_step_matches_plain_step() {
+        let mut plain = grid(4, 4);
+        let mut scratched = grid(4, 4);
+        let mut buf = Vec::new();
+        let p = vec![Watts::new(2.0); 16];
+        for _ in 0..50 {
+            plain.step(&p, Seconds::new(1e-3)).unwrap();
+            scratched
+                .step_with_scratch(&p, Seconds::new(1e-3), &mut buf)
+                .unwrap();
+            assert_eq!(plain.temperatures(), scratched.temperatures());
+        }
+        // The buffer is reused, not regrown.
+        assert_eq!(buf.len(), 16);
     }
 
     #[test]

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Records a labelled epoch-kernel throughput entry in BENCH_epoch_kernel.json.
+#
+# Usage: scripts/bench_epoch_kernel.sh [label]
+#
+# The label names the code state being measured (e.g. "pre_soa_baseline",
+# "soa_kernel"); re-running with an existing label overwrites that entry and
+# keeps the rest, so pre/post comparisons live side by side in the file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-dev}"
+cargo run --release -p odrl-bench --bin epoch_kernel -- \
+    --label "$LABEL" --out BENCH_epoch_kernel.json
