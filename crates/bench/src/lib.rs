@@ -38,7 +38,8 @@ use odrl_controllers::{
     MaxBips, MaxBipsMode, OndemandGovernor, OndemandTuning, PidController, PidGains,
     PowerController, PriorityGreedy, StaticUniform, SteepestDrop,
 };
-use odrl_core::{HierarchicalOdRl, OdRlConfig, OdRlController};
+use odrl_core::{HierarchicalOdRl, OdRlConfig, OdRlController, WatchdogConfig};
+use odrl_faults::FaultPlan;
 use odrl_manycore::{Parallelism, System, SystemConfig, SystemError, SystemSpec};
 use odrl_metrics::{RunRecorder, RunSummary};
 use odrl_power::{LevelId, Watts};
@@ -295,6 +296,72 @@ pub fn run_scenario_traced(scenario: &Scenario, kind: ControllerKind) -> TracedR
         ..OdRlConfig::default()
     };
     let mut controller = kind.build_with_odrl_config(&system.spec(), budget, odrl);
+    run_loop(&mut system, controller.as_mut(), budget, scenario.epochs)
+}
+
+/// Builds a scenario's system with a fault plan attached, plus the
+/// controller under test. With `watchdog` set, OD-RL variants run their
+/// sensor watchdog and route budget messages through the plan's
+/// unreliable channel (graceful degradation on); baselines take no
+/// degradation machinery either way — they simply suffer the faults.
+///
+/// Returns `(system, controller, budget)` ready for [`run_loop`].
+///
+/// # Panics
+///
+/// Panics on invalid scenarios or fault plans (harnesses pass vetted
+/// inputs).
+pub fn build_faulted(
+    scenario: &Scenario,
+    kind: ControllerKind,
+    plan: &FaultPlan,
+    watchdog: bool,
+) -> (System, Box<dyn PowerController>, Watts) {
+    let config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
+    let budget = Watts::new(scenario.budget_frac * config.max_power().value());
+    let mut system = System::new(config).expect("valid scenario config");
+    system.attach_faults(plan).expect("valid fault plan");
+    let odrl = OdRlConfig {
+        parallelism: scenario.parallelism,
+        watchdog: if watchdog {
+            WatchdogConfig::enabled()
+        } else {
+            WatchdogConfig::default()
+        },
+        ..OdRlConfig::default()
+    };
+    let controller: Box<dyn PowerController> = match kind {
+        ControllerKind::OdRl | ControllerKind::OdRlLocal if watchdog => {
+            let mut c = if kind == ControllerKind::OdRl {
+                OdRlController::new(odrl, &system.spec(), budget)
+            } else {
+                OdRlController::without_reallocation(odrl, &system.spec(), budget)
+            }
+            .expect("valid OD-RL config");
+            c.attach_budget_faults(system.fault_engine().expect("plan attached"))
+                .expect("engine and controller core counts match");
+            Box::new(c)
+        }
+        _ => kind.build_with_odrl_config(&system.spec(), budget, odrl),
+    };
+    (system, controller, budget)
+}
+
+/// Runs one controller through one scenario under a fault plan and
+/// summarizes it (see [`build_faulted`] for the `watchdog` semantics).
+///
+/// # Panics
+///
+/// As [`build_faulted`].
+pub fn run_scenario_faulted(
+    scenario: &Scenario,
+    kind: ControllerKind,
+    plan: &FaultPlan,
+    watchdog: bool,
+) -> TracedRun {
+    let (mut system, mut controller, budget) = build_faulted(scenario, kind, plan, watchdog);
     run_loop(&mut system, controller.as_mut(), budget, scenario.epochs)
 }
 

@@ -12,7 +12,10 @@
 //! so the measured window exercises both the every-epoch path and the
 //! every-`realloc_period` path.
 
-use odrl_bench::{allocs, ControllerKind, Scenario};
+use odrl_bench::{allocs, build_faulted, ControllerKind, Scenario};
+use odrl_faults::{
+    ActuatorFault, BudgetFault, CoreFault, FaultKind, FaultPlan, SensorFault, Target,
+};
 use odrl_manycore::{Parallelism, System};
 use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
@@ -59,5 +62,74 @@ fn steady_state_epoch_allocates_nothing() {
     assert_eq!(
         da, 0,
         "steady-state epochs allocated {da} times ({db} bytes) over 50 epochs"
+    );
+}
+
+#[test]
+fn fault_enabled_steady_state_allocates_nothing() {
+    // Same gate with the fault engine, sensor watchdog and unreliable
+    // budget channel all engaged, and faults from every family firing
+    // *inside* the measured window. The fault scratch (flag arrays,
+    // actuator command ring, channel inboxes) is sized when the plan is
+    // attached; refreshing it each epoch must never touch the allocator.
+    let scenario = Scenario {
+        cores: 64,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 42,
+        parallelism: Parallelism::Serial,
+    };
+    let plan = FaultPlan::new()
+        .with_event(FaultKind::Sensor(SensorFault::StuckLast), Target::Range { lo: 0, hi: 8 }, 0, 100)
+        .with_event(
+            FaultKind::Sensor(SensorFault::Drift { rate: 0.01 }),
+            Target::Range { lo: 8, hi: 16 },
+            0,
+            100,
+        )
+        .with_event(
+            FaultKind::Actuator(ActuatorFault::Delayed { epochs: 2 }),
+            Target::Range { lo: 16, hi: 24 },
+            0,
+            100,
+        )
+        .with_event(FaultKind::Budget(BudgetFault::Lost), Target::Range { lo: 24, hi: 32 }, 0, 100)
+        .with_event(
+            FaultKind::Budget(BudgetFault::Delayed { epochs: 2 }),
+            Target::Range { lo: 32, hi: 40 },
+            0,
+            100,
+        )
+        .with_event(FaultKind::Core(CoreFault::Unplug), Target::Range { lo: 40, hi: 44 }, 40, 60)
+        .with_event(
+            FaultKind::Core(CoreFault::Throttle { max_level: 2 }),
+            Target::Range { lo: 44, hi: 48 },
+            0,
+            100,
+        );
+    let (mut system, mut controller, budget) =
+        build_faulted(&scenario, ControllerKind::OdRl, &plan, true);
+    let mut actions = vec![LevelId(0); 64];
+    let mut obs = system.observation(budget);
+
+    for _ in 0..30 {
+        controller.decide_into(&obs, &mut actions);
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+    }
+
+    let a0 = allocs::allocations();
+    let b0 = allocs::allocated_bytes();
+    for _ in 0..50 {
+        controller.decide_into(&obs, &mut actions);
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+    }
+    let da = allocs::allocations() - a0;
+    let db = allocs::allocated_bytes() - b0;
+    assert_eq!(
+        da, 0,
+        "fault-enabled steady-state epochs allocated {da} times ({db} bytes) over 50 epochs"
     );
 }

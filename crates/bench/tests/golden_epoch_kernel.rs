@@ -12,6 +12,7 @@
 
 use odrl_controllers::PowerController;
 use odrl_core::{OdRlConfig, OdRlController};
+use odrl_faults::FaultPlan;
 use odrl_manycore::{Parallelism, System, SystemConfig};
 use odrl_metrics::RunRecorder;
 use odrl_power::{LevelId, Watts};
@@ -42,7 +43,7 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
-fn check(par: Parallelism) {
+fn check(par: Parallelism, empty_fault_plan: bool) {
     let config = SystemConfig::builder()
         .cores(CORES)
         .mix(MixPolicy::RoundRobin)
@@ -52,6 +53,14 @@ fn check(par: Parallelism) {
         .expect("valid config");
     let budget = Watts::new(BUDGET_FRAC * config.max_power().value());
     let mut system = System::new(config).expect("valid system");
+    if empty_fault_plan {
+        // A compiled-but-inert fault engine must leave every golden
+        // constant untouched: injection only ever transforms pass outputs,
+        // so a plan with no events is invisible to the kernel.
+        system
+            .attach_faults(&FaultPlan::new())
+            .expect("empty plan compiles");
+    }
     let odrl = OdRlConfig {
         parallelism: par,
         ..OdRlConfig::default()
@@ -116,10 +125,16 @@ fn check(par: Parallelism) {
 
 #[test]
 fn serial_closed_loop_matches_pre_soa_golden() {
-    check(Parallelism::Serial);
+    check(Parallelism::Serial, false);
 }
 
 #[test]
 fn four_shard_closed_loop_matches_pre_soa_golden() {
-    check(Parallelism::Threads(4));
+    check(Parallelism::Threads(4), false);
+}
+
+#[test]
+fn zero_fault_plan_preserves_golden_hashes() {
+    check(Parallelism::Serial, true);
+    check(Parallelism::Threads(4), true);
 }

@@ -1,6 +1,7 @@
 //! OD-RL configuration.
 
 use crate::error::OdRlError;
+use crate::watchdog::WatchdogConfig;
 use odrl_manycore::Parallelism;
 use odrl_rl::{Algorithm, Schedule};
 use serde::{Deserialize, Serialize};
@@ -61,6 +62,11 @@ pub struct OdRlConfig {
     /// [`Parallelism::Serial`].
     #[serde(default)]
     pub parallelism: Parallelism,
+    /// Controller-side sensor watchdog and graceful-degradation policy
+    /// (see [`WatchdogConfig`]). Disabled by default so fault-free runs
+    /// reproduce earlier releases bit-for-bit.
+    #[serde(default)]
+    pub watchdog: WatchdogConfig,
     /// Seed for the exploration randomness.
     pub seed: u64,
 }
@@ -89,6 +95,7 @@ impl Default for OdRlConfig {
             thermal_penalty: 2.0,
             algorithm: Algorithm::QLearning,
             parallelism: Parallelism::Serial,
+            watchdog: WatchdogConfig::default(),
             seed: 0,
         }
     }
@@ -159,6 +166,7 @@ impl OdRlConfig {
                 reason: format!("must be non-negative, got {}", self.thermal_penalty),
             });
         }
+        self.watchdog.validate()?;
         Ok(())
     }
 }
@@ -204,6 +212,16 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = OdRlConfig::default();
         c.thermal_penalty = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_watchdog_parameters() {
+        let mut c = OdRlConfig::default();
+        c.watchdog.margin = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = OdRlConfig::default();
+        c.watchdog.stale_epochs = 0;
         assert!(c.validate().is_err());
     }
 

@@ -6,11 +6,13 @@ use crate::config::OdRlConfig;
 use crate::error::OdRlError;
 use crate::reward::RewardShaper;
 use crate::state::StateEncoder;
+use crate::watchdog::SensorWatchdog;
 use odrl_controllers::PowerController;
+use odrl_faults::{BudgetChannel, FaultEngine};
 use odrl_manycore::parallel::{shard_chunks, stream_seed, ShardSplit};
 use odrl_manycore::{Observation, SystemSpec};
 use odrl_power::{LevelId, Watts};
-use odrl_rl::{Agent, Algorithm, DoubleAgent, Policy, RlError};
+use odrl_rl::{Agent, Algorithm, DoubleAgent, Policy, RlError, UpdateMask};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -126,6 +128,17 @@ pub struct OdRlController {
     /// Retired pending buffer, reused for the next epoch's decisions so the
     /// two (state, action) vectors ping-pong without reallocating.
     spare: Vec<(usize, usize)>,
+    /// Telemetry-health tracker, present when the config enables it.
+    watchdog: Option<SensorWatchdog>,
+    /// Unreliable budget-message link, present after
+    /// [`OdRlController::attach_budget_faults`]. When absent,
+    /// reallocations take effect instantly (the paper's assumption).
+    channel: Option<BudgetChannel>,
+    /// Validity of the (state, action) pairs recorded *this* epoch.
+    mask: UpdateMask,
+    /// Validity of the pending pairs (recorded last epoch); ping-pongs
+    /// with `mask` so masking never reallocates.
+    mask_prev: UpdateMask,
     /// Per-core encoded states for the upcoming decision (reused buffer).
     states: Vec<usize>,
     /// Working buffers for the coarse-grain reallocation.
@@ -209,6 +222,10 @@ impl OdRlController {
             .collect::<Result<Vec<_>, RlError>>()?;
         let allocator = reallocate
             .then(|| BudgetAllocator::new(spec.cores, config.realloc_gain, config.min_share));
+        let watchdog = config
+            .watchdog
+            .enabled
+            .then(|| SensorWatchdog::new(config.watchdog, spec.cores));
         Ok(Self {
             shaper: RewardShaper::new(spec.cores, encoder.num_mem_bins(), config.overshoot_penalty),
             budgets: BudgetAllocator::fair_split(initial_budget, spec.cores),
@@ -225,6 +242,10 @@ impl OdRlController {
                 .collect(),
             pending: None,
             spare: Vec::new(),
+            watchdog,
+            channel: None,
+            mask: UpdateMask::new(spec.cores),
+            mask_prev: UpdateMask::new(spec.cores),
             states: Vec::new(),
             alloc_scratch: AllocScratch::default(),
             budgets_next: Vec::new(),
@@ -240,6 +261,37 @@ impl OdRlController {
     /// The per-core budgets currently in force.
     pub fn budgets(&self) -> &[Watts] {
         &self.budgets
+    }
+
+    /// Routes coarse-grain budget messages through the fault engine's
+    /// unreliable channel: reallocated shares may now be lost, delayed or
+    /// replaced by stale retransmissions, and agents that hear nothing
+    /// keep their old share. Without this call the controller assumes the
+    /// paper's perfect same-epoch delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdRlError::InvalidConfig`] if the engine models a
+    /// different core count than this controller.
+    pub fn attach_budget_faults(&mut self, engine: &FaultEngine) -> Result<(), OdRlError> {
+        if engine.num_cores() != self.agents.len() {
+            return Err(OdRlError::InvalidConfig {
+                field: "faults",
+                reason: format!(
+                    "fault engine models {} cores, controller has {}",
+                    engine.num_cores(),
+                    self.agents.len()
+                ),
+            });
+        }
+        self.channel = Some(engine.budget_channel());
+        Ok(())
+    }
+
+    /// The sensor watchdog, when [`crate::WatchdogConfig::enabled`] is
+    /// set — for telemetry and tests.
+    pub fn watchdog(&self) -> Option<&SensorWatchdog> {
+        self.watchdog.as_ref()
     }
 
     /// The controller's configuration.
@@ -366,10 +418,36 @@ impl PowerController for OdRlController {
         out.fill(LevelId(0));
         self.track_budget(obs.budget);
 
+        // Telemetry health first: every degradation decision below keys
+        // off the flags this refreshes.
+        if let Some(wd) = &mut self.watchdog {
+            wd.observe(obs);
+        }
+
+        // Overshoot guard: with chip telemetry dark the controller cannot
+        // know whether it is over budget, and flying blind upward risks
+        // the part. Pin every core to the floor level (already written to
+        // `out`), drop the unpriceable pending transition, and wait for
+        // the meter to return.
+        if self.watchdog.as_ref().is_some_and(SensorWatchdog::chip_dark) {
+            if let Some(p) = self.pending.take() {
+                self.spare = p;
+            }
+            self.epochs += 1;
+            return;
+        }
+
+        if let Some(ch) = &mut self.channel {
+            ch.begin_epoch(self.epochs);
+        }
+
         // Coarse grain: update marginal estimates every epoch, reallocate
         // every K epochs. The new allocation is written into the budget
         // double buffer and swapped in, so periodic reallocations stay
-        // allocation-free at steady state.
+        // allocation-free at steady state. With an unreliable budget
+        // channel attached the shares travel as messages instead: each
+        // core's new share is sent on its link, and only what arrives is
+        // applied — an agent whose message is lost keeps its old share.
         if let Some(allocator) = &mut self.allocator {
             allocator.observe(obs);
             if self.epochs > 0 && self.epochs.is_multiple_of(self.config.realloc_period) {
@@ -380,7 +458,48 @@ impl PowerController for OdRlController {
                     &mut self.alloc_scratch,
                     &mut self.budgets_next,
                 );
-                std::mem::swap(&mut self.budgets, &mut self.budgets_next);
+                match &mut self.channel {
+                    None => std::mem::swap(&mut self.budgets, &mut self.budgets_next),
+                    Some(ch) => {
+                        for (i, b) in self.budgets_next.iter().enumerate().take(n) {
+                            ch.send(i, b.value());
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(ch) = &mut self.channel {
+            for (i, b) in self.budgets.iter_mut().enumerate().take(n) {
+                if let Some(v) = ch.poll(i) {
+                    *b = Watts::new(v);
+                }
+            }
+        }
+
+        // A dead core burns no watts: hand its share to the survivors so
+        // the chip budget keeps getting spent on work. The freed watts go
+        // out evenly; the next reallocation re-optimises the split (and
+        // restores a floor share to a core that rejoins).
+        if let Some(wd) = &self.watchdog {
+            if wd.any_dead() {
+                let mut freed = 0.0;
+                let mut alive = 0usize;
+                for i in 0..n {
+                    if wd.is_dead(i) {
+                        freed += self.budgets[i].value();
+                        self.budgets[i] = Watts::ZERO;
+                    } else {
+                        alive += 1;
+                    }
+                }
+                if freed > 0.0 && alive > 0 {
+                    let bonus = Watts::new(freed / alive as f64);
+                    for i in 0..n {
+                        if !wd.is_dead(i) {
+                            self.budgets[i] += bonus;
+                        }
+                    }
+                }
             }
         }
 
@@ -401,8 +520,14 @@ impl PowerController for OdRlController {
         }
 
         // Track each core's power ceiling (decaying max) for the
-        // affordability state dimension.
-        for (seen, core) in self.max_power_seen.iter_mut().zip(&obs.cores) {
+        // affordability state dimension. Stale and dead readings are
+        // frozen out: a stuck register must not decay (or define) a
+        // ceiling the core never actually drew.
+        let wd = self.watchdog.as_ref();
+        for (i, (seen, core)) in self.max_power_seen.iter_mut().zip(&obs.cores).enumerate() {
+            if wd.is_some_and(|w| w.is_dead(i) || w.is_stale(i)) {
+                continue;
+            }
             *seen = (*seen * 0.999).max(core.power.value());
         }
 
@@ -419,6 +544,10 @@ impl PowerController for OdRlController {
         let mut decisions = std::mem::take(&mut self.spare);
         decisions.clear();
         decisions.resize(n, (0, 0));
+        // Validity ping-pong: `mask_prev` now covers the pending pairs,
+        // `mask` is re-armed for the decisions recorded below.
+        std::mem::swap(&mut self.mask, &mut self.mask_prev);
+        self.mask.reset();
         {
             let config = &self.config;
             let encoder = &self.encoder;
@@ -426,7 +555,10 @@ impl PowerController for OdRlController {
             let scale = self.utilisation_scale;
             let states = &self.states;
             let old_pending = old_pending.as_deref();
+            let wd = self.watchdog.as_ref();
+            let prev_valid = self.mask_prev.as_slice();
             let (rows, _) = self.shaper.rows_view().split_at_mut(n);
+            let (mask_bits, _) = self.mask.as_mut_slice().split_at_mut(n);
             shard_chunks(
                 config.parallelism,
                 (
@@ -434,31 +566,48 @@ impl PowerController for OdRlController {
                     &mut self.rngs[..n],
                     rows,
                     &mut decisions[..n],
+                    mask_bits,
                 ),
-                move |base, (agents, rngs, mut rows, dec)| {
+                move |base, (agents, rngs, mut rows, dec, valid)| {
                     for (j, (agent, rng)) in agents.iter_mut().zip(rngs.iter_mut()).enumerate() {
                         let i = base + j;
                         let s_next = states[i];
+                        // A dead core takes no decision: pin it to the
+                        // floor and taint the recorded pair so the agent
+                        // never learns from a transition it did not choose.
+                        if wd.is_some_and(|w| w.is_dead(i)) {
+                            valid[j] = false;
+                            dec[j] = (s_next, 0);
+                            continue;
+                        }
                         let a_next = agent
                             .select(s_next, rng)
                             .expect("encoded state is in range");
                         if let Some(pending) = old_pending {
-                            let (s, a) = pending[i];
-                            let phase = encoder.mem_bin(&obs.cores[i]);
-                            let mut r = rows.reward(
-                                j,
-                                phase,
-                                obs.cores[i].ips,
-                                obs.cores[i].power,
-                                budgets[i] * scale,
-                            );
-                            if let Some(limit) = config.thermal_limit {
-                                let excess = (obs.cores[i].temperature.value() - limit).max(0.0);
-                                r -= config.thermal_penalty * excess / 10.0;
+                            if prev_valid[i] {
+                                let (s, a) = pending[i];
+                                let phase = encoder.mem_bin(&obs.cores[i]);
+                                // A stale sensor prices the transition
+                                // with the last good reading against a
+                                // margin-reduced budget: conservative
+                                // while partially blind.
+                                let (power, local_budget) = match wd {
+                                    Some(w) if w.is_stale(i) => {
+                                        (w.held_power(i), budgets[i] * (scale * w.margin()))
+                                    }
+                                    _ => (obs.cores[i].power, budgets[i] * scale),
+                                };
+                                let mut r =
+                                    rows.reward(j, phase, obs.cores[i].ips, power, local_budget);
+                                if let Some(limit) = config.thermal_limit {
+                                    let excess =
+                                        (obs.cores[i].temperature.value() - limit).max(0.0);
+                                    r -= config.thermal_penalty * excess / 10.0;
+                                }
+                                agent
+                                    .update(config.algorithm, s, a, r, s_next, a_next)
+                                    .expect("indices are in range");
                             }
-                            agent
-                                .update(config.algorithm, s, a, r, s_next, a_next)
-                                .expect("indices are in range");
                         }
                         dec[j] = (s_next, a_next);
                     }
@@ -828,6 +977,132 @@ mod tests {
         )
         .unwrap();
         assert!(other.import_policy(snapshot).is_err());
+    }
+
+    #[test]
+    fn degradation_survives_core_unplug() {
+        use crate::watchdog::WatchdogConfig;
+        use odrl_faults::{CoreFault, FaultKind, FaultPlan, Target};
+        let plan = FaultPlan::new().with_event(
+            FaultKind::Core(CoreFault::Unplug),
+            Target::Core(2),
+            50,
+            100,
+        );
+        let config = SystemConfig::builder().cores(8).seed(11).build().unwrap();
+        let budget = Watts::new(0.6 * config.max_power().value());
+        let mut system = System::new(config).unwrap();
+        system.attach_faults(&plan).unwrap();
+        let mut ctrl = OdRlController::new(
+            OdRlConfig {
+                watchdog: WatchdogConfig::enabled(),
+                seed: 11,
+                ..OdRlConfig::default()
+            },
+            &system.spec(),
+            budget,
+        )
+        .unwrap();
+        ctrl.attach_budget_faults(system.fault_engine().unwrap())
+            .unwrap();
+        let mut saw_dead = false;
+        for _ in 0..250 {
+            let obs = system.observation(budget);
+            let actions = ctrl.decide(&obs);
+            if ctrl.watchdog().unwrap().is_dead(2) {
+                saw_dead = true;
+                // The dead core's share has been handed to the survivors.
+                assert_eq!(ctrl.budgets()[2], Watts::ZERO);
+                let sum: f64 = ctrl.budgets().iter().map(|w| w.value()).sum();
+                assert!(sum > 0.0);
+            }
+            system.step(&actions).unwrap();
+        }
+        assert!(saw_dead, "watchdog never flagged the unplugged core");
+        // The outage ended at epoch 150: the core has rejoined by now.
+        assert!(!ctrl.watchdog().unwrap().is_dead(2));
+        assert!(system.telemetry().total_instructions() > 0.0);
+    }
+
+    #[test]
+    fn dark_chip_telemetry_pins_the_floor() {
+        use crate::watchdog::WatchdogConfig;
+        use odrl_faults::{FaultKind, FaultPlan, SensorFault, Target};
+        let plan = FaultPlan::new().with_event(
+            FaultKind::Sensor(SensorFault::StuckZero),
+            Target::Chip,
+            60,
+            40,
+        );
+        let config = SystemConfig::builder().cores(8).seed(21).build().unwrap();
+        let budget = Watts::new(0.6 * config.max_power().value());
+        let mut system = System::new(config).unwrap();
+        system.attach_faults(&plan).unwrap();
+        let mut ctrl = OdRlController::new(
+            OdRlConfig {
+                watchdog: WatchdogConfig::enabled(),
+                seed: 21,
+                ..OdRlConfig::default()
+            },
+            &system.spec(),
+            budget,
+        )
+        .unwrap();
+        let mut dark_epochs = 0;
+        for _ in 0..150 {
+            let obs = system.observation(budget);
+            let actions = ctrl.decide(&obs);
+            if ctrl.watchdog().unwrap().chip_dark() {
+                dark_epochs += 1;
+                assert!(
+                    actions.iter().all(|&a| a == LevelId(0)),
+                    "blind controller must pin the floor"
+                );
+            }
+            system.step(&actions).unwrap();
+        }
+        assert!(dark_epochs > 10, "dark window never detected");
+        // The meter healed at epoch 100; the controller runs freely again.
+        assert!(!ctrl.watchdog().unwrap().chip_dark());
+    }
+
+    #[test]
+    fn lost_budget_messages_keep_old_shares() {
+        use odrl_faults::{BudgetFault, FaultEngine, FaultKind, FaultPlan, Target};
+        let plan = FaultPlan::new().with_event(
+            FaultKind::Budget(BudgetFault::Lost),
+            Target::All,
+            0,
+            10_000,
+        );
+        let engine = FaultEngine::compile(&plan, 8, 1).unwrap();
+        let config = SystemConfig::builder().cores(8).seed(31).build().unwrap();
+        let budget = Watts::new(0.6 * config.max_power().value());
+        let mut system = System::new(config).unwrap();
+        let mut ctrl =
+            OdRlController::new(OdRlConfig::default(), &system.spec(), budget).unwrap();
+        ctrl.attach_budget_faults(&engine).unwrap();
+        for _ in 0..100 {
+            let obs = system.observation(budget);
+            let actions = ctrl.decide(&obs);
+            system.step(&actions).unwrap();
+        }
+        // Every reallocation message was lost: agents still hold the
+        // initial fair split.
+        let fair = budget.value() / 8.0;
+        for b in ctrl.budgets() {
+            assert!((b.value() - fair).abs() < 1e-9, "share drifted: {b}");
+        }
+    }
+
+    #[test]
+    fn attach_budget_faults_rejects_core_mismatch() {
+        use odrl_faults::{FaultEngine, FaultPlan};
+        let engine = FaultEngine::compile(&FaultPlan::new(), 4, 0).unwrap();
+        let spec = SystemConfig::builder().cores(8).build().unwrap().spec();
+        let mut ctrl =
+            OdRlController::new(OdRlConfig::default(), &spec, Watts::new(10.0)).unwrap();
+        assert!(ctrl.attach_budget_faults(&engine).is_err());
     }
 
     #[test]

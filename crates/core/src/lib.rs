@@ -52,6 +52,7 @@ pub mod error;
 pub mod hierarchy;
 pub mod reward;
 pub mod state;
+pub mod watchdog;
 
 pub use budget::{AllocScratch, BudgetAllocator};
 pub use config::OdRlConfig;
@@ -60,3 +61,4 @@ pub use error::OdRlError;
 pub use hierarchy::HierarchicalOdRl;
 pub use reward::RewardShaper;
 pub use state::StateEncoder;
+pub use watchdog::{SensorWatchdog, WatchdogConfig};

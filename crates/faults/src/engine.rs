@@ -1,0 +1,764 @@
+//! Compiling a [`FaultPlan`] into a runnable schedule and driving it.
+//!
+//! [`FaultEngine::compile`] resolves targets against a concrete core count
+//! and expands every seeded [`RandomBurst`](crate::RandomBurst) into
+//! concrete events, so all randomness is spent before the first epoch.
+//! At run time, [`FaultEngine::begin_epoch`] refreshes the flat per-core
+//! flag arrays of a [`FaultState`] (allocated once, by
+//! [`FaultEngine::state`]) with a linear scan over the compiled events —
+//! no allocation, no RNG — and the simulator's injection points read those
+//! flags. The schedule is therefore a pure function of `(plan, cores,
+//! seed, epoch)`, which makes faulted runs bit-identical at every shard
+//! count.
+
+use crate::error::FaultError;
+use crate::plan::{ActuatorFault, BudgetFault, CoreFault, FaultKind, FaultPlan, SensorFault, Target};
+use odrl_power::{LevelId, Watts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The widest actuator/budget delay a plan may request, in epochs. Bounds
+/// the command-history ring buffer.
+pub const MAX_DELAY_EPOCHS: u64 = 4096;
+
+/// One resolved fault window over a contiguous core range (or the chip
+/// sensor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CompiledEvent {
+    pub kind: FaultKind,
+    /// First affected core (ignored when `chip`).
+    pub lo: usize,
+    /// One past the last affected core (ignored when `chip`).
+    pub hi: usize,
+    /// Whether this event hits the chip-level sensor instead of cores.
+    pub chip: bool,
+    pub start: u64,
+    pub end: u64,
+}
+
+impl CompiledEvent {
+    fn active(&self, epoch: u64) -> bool {
+        epoch >= self.start && epoch < self.end
+    }
+}
+
+/// SplitMix64 — the same per-stream seed derivation the simulator uses, so
+/// burst expansion is decorrelated across (burst, core) pairs.
+fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A compiled, immutable fault schedule for one run (see the
+/// [crate docs](crate) for the overall flow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEngine {
+    cores: usize,
+    events: Vec<CompiledEvent>,
+    /// Widest actuator delay in the schedule (sizes the command ring).
+    max_delay: u64,
+}
+
+impl FaultEngine {
+    /// Validates `plan` against `cores` and expands its bursts with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidPlan`] for out-of-range targets,
+    /// non-finite parameters, chip-targeted non-sensor faults, or delays
+    /// beyond [`MAX_DELAY_EPOCHS`].
+    pub fn compile(plan: &FaultPlan, cores: usize, seed: u64) -> Result<Self, FaultError> {
+        if cores == 0 {
+            return Err(FaultError::InvalidPlan {
+                field: "cores",
+                reason: "cannot compile a plan for zero cores".into(),
+            });
+        }
+        let mut events = Vec::with_capacity(plan.events.len());
+        for ev in &plan.events {
+            validate_kind(&ev.kind)?;
+            let (lo, hi, chip) = resolve_target(ev.target, cores)?;
+            if chip && !matches!(ev.kind, FaultKind::Sensor(_)) {
+                return Err(FaultError::InvalidPlan {
+                    field: "target",
+                    reason: "only sensor faults can target the chip sensor".into(),
+                });
+            }
+            events.push(CompiledEvent {
+                kind: ev.kind,
+                lo,
+                hi,
+                chip,
+                start: ev.start,
+                end: ev.start.saturating_add(ev.duration),
+            });
+        }
+        for (bi, burst) in plan.bursts.iter().enumerate() {
+            validate_kind(&burst.kind)?;
+            if !(burst.rate_per_kepoch.is_finite() && burst.rate_per_kepoch >= 0.0) {
+                return Err(FaultError::InvalidPlan {
+                    field: "rate_per_kepoch",
+                    reason: format!("must be finite and non-negative, got {}", burst.rate_per_kepoch),
+                });
+            }
+            if burst.end < burst.start {
+                return Err(FaultError::InvalidPlan {
+                    field: "burst window",
+                    reason: format!("end {} before start {}", burst.end, burst.start),
+                });
+            }
+            let p = (burst.rate_per_kepoch / 1000.0).min(1.0);
+            if p <= 0.0 || burst.duration == 0 {
+                continue;
+            }
+            // Each (burst, core) pair draws from its own stream, so the
+            // expansion never depends on iteration order elsewhere.
+            for core in 0..cores {
+                let mut rng =
+                    StdRng::seed_from_u64(mix_seed(seed ^ (bi as u64), core as u64));
+                for epoch in burst.start..burst.end {
+                    if rng.gen::<f64>() < p {
+                        events.push(CompiledEvent {
+                            kind: burst.kind,
+                            lo: core,
+                            hi: core + 1,
+                            chip: false,
+                            start: epoch,
+                            end: epoch.saturating_add(burst.duration),
+                        });
+                    }
+                }
+            }
+        }
+        let max_delay = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Actuator(ActuatorFault::Delayed { epochs }) => Some(epochs),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        Ok(Self {
+            cores,
+            events,
+            max_delay,
+        })
+    }
+
+    /// Number of cores the schedule was compiled for.
+    pub fn num_cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Number of resolved fault windows (after burst expansion).
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of fault windows active at `epoch` (diagnostics).
+    pub fn active_at(&self, epoch: u64) -> usize {
+        self.events.iter().filter(|e| e.active(epoch)).count()
+    }
+
+    /// The resolved budget-channel fault windows, for
+    /// [`crate::BudgetChannel`].
+    pub(crate) fn budget_events(&self) -> Vec<CompiledEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Budget(_)))
+            .copied()
+            .collect()
+    }
+
+    /// Allocates the per-run scratch all injection points read. Call once;
+    /// every later epoch reuses it without touching the heap.
+    pub fn state(&self) -> FaultState {
+        let n = self.cores;
+        let ring_len = self.max_delay + 1;
+        FaultState {
+            epoch: 0,
+            begun: false,
+            sensor: vec![None; n],
+            chip_sensor: None,
+            actuator: vec![None; n],
+            budget: vec![None; n],
+            alive: vec![true; n],
+            throttle: vec![None; n],
+            drift: vec![1.0; n],
+            chip_drift: 1.0,
+            ring: vec![LevelId(0); ring_len as usize * n],
+            ring_len,
+            applied: vec![LevelId(0); n],
+            effective: vec![LevelId(0); n],
+            any_dead: false,
+        }
+    }
+
+    /// Refreshes `state`'s per-core fault flags for `epoch`.
+    ///
+    /// The flags are a pure function of the epoch; the drift accumulators
+    /// and the actuator command history additionally assume this is called
+    /// once per epoch in increasing order (as the simulator's epoch loop
+    /// does). Performs no heap allocation.
+    pub fn begin_epoch(&self, epoch: u64, state: &mut FaultState) {
+        debug_assert_eq!(state.sensor.len(), self.cores);
+        state.epoch = epoch;
+        state.begun = true;
+        state.sensor.fill(None);
+        state.chip_sensor = None;
+        state.actuator.fill(None);
+        state.budget.fill(None);
+        state.alive.fill(true);
+        state.throttle.fill(None);
+        for ev in &self.events {
+            if !ev.active(epoch) {
+                continue;
+            }
+            if ev.chip {
+                if let FaultKind::Sensor(f) = ev.kind {
+                    state.chip_sensor = Some(f);
+                }
+                continue;
+            }
+            // Later plan entries override earlier ones on overlap.
+            match ev.kind {
+                FaultKind::Sensor(f) => state.sensor[ev.lo..ev.hi].fill(Some(f)),
+                FaultKind::Actuator(f) => state.actuator[ev.lo..ev.hi].fill(Some(f)),
+                FaultKind::Budget(f) => state.budget[ev.lo..ev.hi].fill(Some(f)),
+                FaultKind::Core(CoreFault::Unplug) => state.alive[ev.lo..ev.hi].fill(false),
+                FaultKind::Core(CoreFault::Throttle { max_level }) => {
+                    state.throttle[ev.lo..ev.hi].fill(Some(max_level));
+                }
+            }
+        }
+        // Drift accumulates only across consecutive active epochs and
+        // resets when the window ends.
+        for i in 0..self.cores {
+            match state.sensor[i] {
+                Some(SensorFault::Drift { rate }) => state.drift[i] *= 1.0 + rate,
+                _ => state.drift[i] = 1.0,
+            }
+        }
+        match state.chip_sensor {
+            Some(SensorFault::Drift { rate }) => state.chip_drift *= 1.0 + rate,
+            _ => state.chip_drift = 1.0,
+        }
+        state.any_dead = state.alive.iter().any(|a| !a);
+    }
+}
+
+fn validate_kind(kind: &FaultKind) -> Result<(), FaultError> {
+    match kind {
+        FaultKind::Sensor(SensorFault::Spike { gain })
+            if !(gain.is_finite() && *gain >= 0.0) =>
+        {
+            Err(FaultError::InvalidPlan {
+                field: "gain",
+                reason: format!("must be finite and non-negative, got {gain}"),
+            })
+        }
+        FaultKind::Sensor(SensorFault::Drift { rate })
+            if !(rate.is_finite() && *rate > -1.0) =>
+        {
+            Err(FaultError::InvalidPlan {
+                field: "rate",
+                reason: format!("must be finite and above -1, got {rate}"),
+            })
+        }
+        FaultKind::Actuator(ActuatorFault::Delayed { epochs })
+        | FaultKind::Budget(BudgetFault::Delayed { epochs })
+            if *epochs == 0 || *epochs > MAX_DELAY_EPOCHS =>
+        {
+            Err(FaultError::InvalidPlan {
+                field: "epochs",
+                reason: format!("delay must be in 1..={MAX_DELAY_EPOCHS}, got {epochs}"),
+            })
+        }
+        _ => Ok(()),
+    }
+}
+
+fn resolve_target(target: Target, cores: usize) -> Result<(usize, usize, bool), FaultError> {
+    match target {
+        Target::All => Ok((0, cores, false)),
+        Target::Chip => Ok((0, 0, true)),
+        Target::Core(i) => {
+            if i >= cores {
+                return Err(FaultError::InvalidPlan {
+                    field: "target",
+                    reason: format!("core {i} out of range for {cores} cores"),
+                });
+            }
+            Ok((i, i + 1, false))
+        }
+        Target::Range { lo, hi } => {
+            if lo >= hi || hi > cores {
+                return Err(FaultError::InvalidPlan {
+                    field: "target",
+                    reason: format!("range {lo}..{hi} invalid for {cores} cores"),
+                });
+            }
+            Ok((lo, hi, false))
+        }
+    }
+}
+
+/// Per-run fault scratch: the flag arrays every injection point reads,
+/// plus the actuator command history. Allocated once by
+/// [`FaultEngine::state`]; refreshed in place by
+/// [`FaultEngine::begin_epoch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultState {
+    epoch: u64,
+    /// Whether `begin_epoch` has run at least once.
+    begun: bool,
+    sensor: Vec<Option<SensorFault>>,
+    chip_sensor: Option<SensorFault>,
+    actuator: Vec<Option<ActuatorFault>>,
+    budget: Vec<Option<BudgetFault>>,
+    alive: Vec<bool>,
+    throttle: Vec<Option<usize>>,
+    /// Multiplicative drift accumulator per core (1.0 when inactive).
+    drift: Vec<f64>,
+    chip_drift: f64,
+    /// Commanded-level history, `ring_len` epochs × `n` cores, for delayed
+    /// actuator delivery.
+    ring: Vec<LevelId>,
+    ring_len: u64,
+    /// The level most recently applied to each core.
+    applied: Vec<LevelId>,
+    /// The levels actually applied this epoch (after actuator/core faults).
+    effective: Vec<LevelId>,
+    any_dead: bool,
+}
+
+impl FaultState {
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Resolves the commanded levels through the active actuator and core
+    /// faults, recording them in the command history. The result is
+    /// readable via [`FaultState::effective`]. Call exactly once per
+    /// epoch, after [`FaultEngine::begin_epoch`]. Allocation-free.
+    pub fn apply_actions(&mut self, commanded: &[LevelId]) {
+        let n = self.alive.len();
+        assert_eq!(commanded.len(), n, "one commanded level per core");
+        let slot = (self.epoch % self.ring_len) as usize * n;
+        self.ring[slot..slot + n].copy_from_slice(commanded);
+        for (i, &cmd) in commanded.iter().enumerate() {
+            let mut level = match self.actuator[i] {
+                None => cmd,
+                Some(ActuatorFault::Dropped) => self.applied[i],
+                Some(ActuatorFault::Delayed { epochs }) => {
+                    if self.epoch >= epochs {
+                        let past = ((self.epoch - epochs) % self.ring_len) as usize * n;
+                        self.ring[past + i]
+                    } else {
+                        self.applied[i]
+                    }
+                }
+                Some(ActuatorFault::Clamped { max_level }) => LevelId(cmd.index().min(max_level)),
+            };
+            if let Some(cap) = self.throttle[i] {
+                level = LevelId(level.index().min(cap));
+            }
+            if !self.alive[i] {
+                // An unplugged core is power-gated at the floor level.
+                level = LevelId(0);
+            }
+            self.effective[i] = level;
+            self.applied[i] = level;
+        }
+    }
+
+    /// The levels actually applied this epoch (valid after
+    /// [`FaultState::apply_actions`]).
+    pub fn effective(&self) -> &[LevelId] {
+        &self.effective
+    }
+
+    /// Per-core liveness mask (false = hot-unplugged this epoch).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Whether core `i` is plugged in this epoch.
+    pub fn core_alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// Whether any core is unplugged this epoch (cheap guard for the
+    /// masking passes).
+    pub fn any_dead(&self) -> bool {
+        self.any_dead
+    }
+
+    /// The sensor fault active on core `i` this epoch, if any.
+    pub fn sensor_fault(&self, i: usize) -> Option<SensorFault> {
+        self.sensor[i]
+    }
+
+    /// The actuator fault active on core `i` this epoch, if any.
+    pub fn actuator_fault(&self, i: usize) -> Option<ActuatorFault> {
+        self.actuator[i]
+    }
+
+    /// The budget-channel fault active on core `i` this epoch, if any.
+    pub fn budget_fault(&self, i: usize) -> Option<BudgetFault> {
+        self.budget[i]
+    }
+
+    /// A read-only view for the (possibly sharded) sensor pass.
+    pub fn sensor_view(&self) -> SensorView<'_> {
+        SensorView {
+            sensor: &self.sensor,
+            drift: &self.drift,
+            alive: &self.alive,
+        }
+    }
+
+    /// Applies the chip-sensor fault (if any) to the fresh chip reading,
+    /// given the previous epoch's chip reading.
+    pub fn chip_sensor_value(&self, fresh: Watts, last: Watts) -> Watts {
+        match self.chip_sensor {
+            None => fresh,
+            Some(SensorFault::StuckLast) => last,
+            Some(SensorFault::StuckZero) => Watts::ZERO,
+            Some(SensorFault::Spike { gain }) => Watts::new(fresh.value() * gain),
+            Some(SensorFault::Drift { .. }) => Watts::new(fresh.value() * self.chip_drift),
+        }
+    }
+}
+
+/// Read-only per-core sensor-fault view, shareable across sensor-pass
+/// shards (all fields are plain slices).
+#[derive(Debug, Clone, Copy)]
+pub struct SensorView<'a> {
+    sensor: &'a [Option<SensorFault>],
+    drift: &'a [f64],
+    alive: &'a [bool],
+}
+
+impl SensorView<'_> {
+    /// Resolves core `i`'s reading: `fresh` is what the healthy sensor
+    /// would report this epoch, `last` is the previous epoch's reading.
+    /// An unplugged core's telemetry is dark (zero watts).
+    pub fn apply(&self, i: usize, fresh: Watts, last: Watts) -> Watts {
+        if !self.alive[i] {
+            return Watts::ZERO;
+        }
+        match self.sensor[i] {
+            None => fresh,
+            Some(SensorFault::StuckLast) => last,
+            Some(SensorFault::StuckZero) => Watts::ZERO,
+            Some(SensorFault::Spike { gain }) => Watts::new(fresh.value() * gain),
+            Some(SensorFault::Drift { .. }) => Watts::new(fresh.value() * self.drift[i]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultEvent, RandomBurst};
+
+    fn plan_one(kind: FaultKind, target: Target, start: u64, duration: u64) -> FaultPlan {
+        FaultPlan::new().with_event(kind, target, start, duration)
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_inert_engine() {
+        let engine = FaultEngine::compile(&FaultPlan::new(), 8, 1).unwrap();
+        assert!(engine.is_empty());
+        let mut st = engine.state();
+        engine.begin_epoch(0, &mut st);
+        st.apply_actions(&[LevelId(5); 8]);
+        assert_eq!(st.effective(), &[LevelId(5); 8]);
+        assert!(st.alive().iter().all(|&a| a));
+        let v = st.sensor_view();
+        assert_eq!(v.apply(3, Watts::new(2.5), Watts::new(9.0)).value(), 2.5);
+    }
+
+    #[test]
+    fn windows_activate_and_deactivate() {
+        let plan = plan_one(
+            FaultKind::Sensor(SensorFault::StuckZero),
+            Target::Range { lo: 1, hi: 3 },
+            10,
+            5,
+        );
+        let engine = FaultEngine::compile(&plan, 4, 1).unwrap();
+        let mut st = engine.state();
+        for (epoch, active) in [(9, false), (10, true), (14, true), (15, false)] {
+            engine.begin_epoch(epoch, &mut st);
+            assert_eq!(st.sensor_fault(1).is_some(), active, "epoch {epoch}");
+            assert_eq!(st.sensor_fault(0), None);
+            assert_eq!(st.sensor_fault(3), None);
+        }
+        assert_eq!(engine.active_at(12), 1);
+        assert_eq!(engine.active_at(20), 0);
+    }
+
+    #[test]
+    fn dropped_and_clamped_actuators() {
+        let plan = FaultPlan::new()
+            .with_event(
+                FaultKind::Actuator(ActuatorFault::Dropped),
+                Target::Core(0),
+                2,
+                3,
+            )
+            .with_event(
+                FaultKind::Actuator(ActuatorFault::Clamped { max_level: 2 }),
+                Target::Core(1),
+                0,
+                100,
+            );
+        let engine = FaultEngine::compile(&plan, 2, 1).unwrap();
+        let mut st = engine.state();
+        engine.begin_epoch(0, &mut st);
+        st.apply_actions(&[LevelId(4), LevelId(7)]);
+        assert_eq!(st.effective(), &[LevelId(4), LevelId(2)]);
+        engine.begin_epoch(1, &mut st);
+        st.apply_actions(&[LevelId(5), LevelId(1)]);
+        assert_eq!(st.effective(), &[LevelId(5), LevelId(1)]);
+        // Drop window: core 0 holds its last applied level.
+        for epoch in 2..5 {
+            engine.begin_epoch(epoch, &mut st);
+            st.apply_actions(&[LevelId(7), LevelId(7)]);
+            assert_eq!(st.effective()[0], LevelId(5), "epoch {epoch}");
+        }
+        engine.begin_epoch(5, &mut st);
+        st.apply_actions(&[LevelId(7), LevelId(7)]);
+        assert_eq!(st.effective()[0], LevelId(7));
+    }
+
+    #[test]
+    fn delayed_actuator_replays_old_commands() {
+        let plan = plan_one(
+            FaultKind::Actuator(ActuatorFault::Delayed { epochs: 2 }),
+            Target::Core(0),
+            3,
+            4,
+        );
+        let engine = FaultEngine::compile(&plan, 1, 1).unwrap();
+        let mut st = engine.state();
+        let commands = [3usize, 4, 5, 6, 7, 2, 1, 0];
+        let mut applied = Vec::new();
+        for (epoch, &c) in commands.iter().enumerate() {
+            engine.begin_epoch(epoch as u64, &mut st);
+            st.apply_actions(&[LevelId(c)]);
+            applied.push(st.effective()[0].index());
+        }
+        // Epochs 3..7 apply the command from two epochs earlier.
+        assert_eq!(applied, vec![3, 4, 5, 4, 5, 6, 7, 0]);
+    }
+
+    #[test]
+    fn unplug_masks_and_rejoins() {
+        let plan = plan_one(FaultKind::Core(CoreFault::Unplug), Target::Core(1), 5, 10);
+        let engine = FaultEngine::compile(&plan, 3, 1).unwrap();
+        let mut st = engine.state();
+        engine.begin_epoch(7, &mut st);
+        assert!(!st.core_alive(1));
+        assert!(st.any_dead());
+        st.apply_actions(&[LevelId(6); 3]);
+        assert_eq!(st.effective(), &[LevelId(6), LevelId(0), LevelId(6)]);
+        // Dark telemetry while unplugged.
+        let v = st.sensor_view();
+        assert_eq!(v.apply(1, Watts::new(3.0), Watts::new(2.0)), Watts::ZERO);
+        engine.begin_epoch(15, &mut st);
+        assert!(st.core_alive(1));
+        assert!(!st.any_dead());
+    }
+
+    #[test]
+    fn throttle_caps_below_command() {
+        let plan = plan_one(
+            FaultKind::Core(CoreFault::Throttle { max_level: 1 }),
+            Target::All,
+            0,
+            10,
+        );
+        let engine = FaultEngine::compile(&plan, 2, 1).unwrap();
+        let mut st = engine.state();
+        engine.begin_epoch(0, &mut st);
+        st.apply_actions(&[LevelId(7), LevelId(0)]);
+        assert_eq!(st.effective(), &[LevelId(1), LevelId(0)]);
+    }
+
+    #[test]
+    fn sensor_modes_transform_readings() {
+        let plan = FaultPlan::new()
+            .with_event(FaultKind::Sensor(SensorFault::StuckLast), Target::Core(0), 0, 10)
+            .with_event(
+                FaultKind::Sensor(SensorFault::Spike { gain: 2.0 }),
+                Target::Core(1),
+                0,
+                10,
+            )
+            .with_event(
+                FaultKind::Sensor(SensorFault::Drift { rate: 0.5 }),
+                Target::Core(2),
+                0,
+                2,
+            );
+        let engine = FaultEngine::compile(&plan, 3, 1).unwrap();
+        let mut st = engine.state();
+        engine.begin_epoch(0, &mut st);
+        let v = st.sensor_view();
+        assert_eq!(v.apply(0, Watts::new(4.0), Watts::new(1.5)).value(), 1.5);
+        assert_eq!(v.apply(1, Watts::new(4.0), Watts::new(1.5)).value(), 8.0);
+        assert_eq!(v.apply(2, Watts::new(4.0), Watts::new(1.5)).value(), 6.0);
+        // Drift compounds on the second active epoch, then resets.
+        engine.begin_epoch(1, &mut st);
+        let v = st.sensor_view();
+        assert_eq!(v.apply(2, Watts::new(4.0), Watts::new(1.5)).value(), 9.0);
+        engine.begin_epoch(2, &mut st);
+        let v = st.sensor_view();
+        assert_eq!(v.apply(2, Watts::new(4.0), Watts::new(1.5)).value(), 4.0);
+    }
+
+    #[test]
+    fn chip_sensor_faults_apply() {
+        let plan = plan_one(
+            FaultKind::Sensor(SensorFault::StuckZero),
+            Target::Chip,
+            0,
+            5,
+        );
+        let engine = FaultEngine::compile(&plan, 2, 1).unwrap();
+        let mut st = engine.state();
+        engine.begin_epoch(0, &mut st);
+        assert_eq!(
+            st.chip_sensor_value(Watts::new(30.0), Watts::new(28.0)),
+            Watts::ZERO
+        );
+        engine.begin_epoch(5, &mut st);
+        assert_eq!(
+            st.chip_sensor_value(Watts::new(30.0), Watts::new(28.0)).value(),
+            30.0
+        );
+    }
+
+    #[test]
+    fn burst_expansion_is_seed_deterministic() {
+        let plan = FaultPlan::new().with_burst(RandomBurst {
+            kind: FaultKind::Sensor(SensorFault::StuckLast),
+            start: 0,
+            end: 1000,
+            rate_per_kepoch: 20.0,
+            duration: 5,
+        });
+        let a = FaultEngine::compile(&plan, 16, 7).unwrap();
+        let b = FaultEngine::compile(&plan, 16, 7).unwrap();
+        let c = FaultEngine::compile(&plan, 16, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds must give different schedules");
+        // ~20 events per core per kilo-epoch, 16 cores: expect ~320.
+        assert!(
+            (150..600).contains(&a.num_events()),
+            "got {} events",
+            a.num_events()
+        );
+    }
+
+    #[test]
+    fn compile_rejects_bad_plans() {
+        let cases = [
+            plan_one(FaultKind::Core(CoreFault::Unplug), Target::Core(8), 0, 1),
+            plan_one(
+                FaultKind::Core(CoreFault::Unplug),
+                Target::Range { lo: 3, hi: 3 },
+                0,
+                1,
+            ),
+            plan_one(
+                FaultKind::Core(CoreFault::Unplug),
+                Target::Range { lo: 0, hi: 9 },
+                0,
+                1,
+            ),
+            plan_one(FaultKind::Core(CoreFault::Unplug), Target::Chip, 0, 1),
+            plan_one(
+                FaultKind::Sensor(SensorFault::Spike { gain: f64::NAN }),
+                Target::All,
+                0,
+                1,
+            ),
+            plan_one(
+                FaultKind::Actuator(ActuatorFault::Delayed { epochs: 0 }),
+                Target::All,
+                0,
+                1,
+            ),
+            plan_one(
+                FaultKind::Budget(BudgetFault::Delayed {
+                    epochs: MAX_DELAY_EPOCHS + 1,
+                }),
+                Target::All,
+                0,
+                1,
+            ),
+        ];
+        for plan in cases {
+            assert!(
+                FaultEngine::compile(&plan, 8, 1).is_err(),
+                "{:?} should fail",
+                plan.events
+            );
+        }
+        // Burst validation.
+        let bad = FaultPlan {
+            events: Vec::new(),
+            bursts: vec![RandomBurst {
+                kind: FaultKind::Sensor(SensorFault::StuckZero),
+                start: 10,
+                end: 5,
+                rate_per_kepoch: 1.0,
+                duration: 1,
+            }],
+        };
+        assert!(FaultEngine::compile(&bad, 8, 1).is_err());
+    }
+
+    #[test]
+    fn begin_epoch_allocates_nothing_observably() {
+        // No direct counter here (the bench crate owns the counting
+        // allocator); instead pin the invariant structurally: state vectors
+        // keep their capacity across many epochs.
+        let plan = FaultPlan::new()
+            .with_event(FaultKind::Sensor(SensorFault::StuckLast), Target::All, 0, 50)
+            .with_event(
+                FaultKind::Actuator(ActuatorFault::Delayed { epochs: 3 }),
+                Target::All,
+                10,
+                50,
+            );
+        let engine = FaultEngine::compile(&plan, 32, 3).unwrap();
+        let mut st = engine.state();
+        let ring_cap = st.ring.capacity();
+        for epoch in 0..100 {
+            engine.begin_epoch(epoch, &mut st);
+            st.apply_actions(&[LevelId(4); 32]);
+        }
+        assert_eq!(st.ring.capacity(), ring_cap);
+        let ev = FaultEvent {
+            kind: FaultKind::Sensor(SensorFault::StuckZero),
+            target: Target::All,
+            start: 0,
+            duration: 1,
+        };
+        // Events are plain copyable data.
+        let _ = ev;
+    }
+}

@@ -1,0 +1,27 @@
+//! Error type for fault-plan validation and compilation.
+
+use std::fmt;
+
+/// Why a [`crate::FaultPlan`] failed to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A plan field is inconsistent (bad range, out-of-chip target, ...).
+    InvalidPlan {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidPlan { field, reason } => {
+                write!(f, "invalid fault plan: {field}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}

@@ -1,0 +1,236 @@
+//! The declarative fault plan: what goes wrong, where, and when.
+//!
+//! A [`FaultPlan`] is plain serde-friendly data — deterministic
+//! [`FaultEvent`] windows plus seeded [`RandomBurst`] generators — with no
+//! behaviour of its own. [`crate::FaultEngine::compile`] validates it
+//! against a concrete core count and expands the bursts into concrete
+//! events.
+
+use serde::{Deserialize, Serialize};
+
+/// A power-sensor fault mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SensorFault {
+    /// The reading sticks at the last value measured before (or during)
+    /// the fault — the default failure mode of a hung telemetry agent.
+    StuckLast,
+    /// The reading sticks at zero watts (a dead sensor rail). Controllers
+    /// that trust it see infinite headroom and ramp up.
+    StuckZero,
+    /// The reading is multiplied by `gain` (a miscalibrated or glitching
+    /// ADC; `gain > 1` fakes overshoot, `gain < 1` fakes headroom).
+    Spike {
+        /// Multiplicative gain on the true reading.
+        gain: f64,
+    },
+    /// The reading drifts multiplicatively by `rate` per epoch while the
+    /// fault is active (accumulating calibration loss); the accumulator
+    /// resets when the fault window ends.
+    Drift {
+        /// Per-epoch relative drift (0.01 = +1 %/epoch).
+        rate: f64,
+    },
+}
+
+/// A VF-actuator fault mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActuatorFault {
+    /// The commanded level is silently dropped; the core keeps its last
+    /// applied level.
+    Dropped,
+    /// The commanded level is applied `epochs` epochs late (a slow or
+    /// congested power-management mailbox).
+    Delayed {
+        /// Delivery delay in whole epochs.
+        epochs: u64,
+    },
+    /// The applied level is clamped to at most `max_level` (a stuck VR
+    /// rail that cannot reach the upper operating points).
+    Clamped {
+        /// Highest applicable VF level index.
+        max_level: usize,
+    },
+}
+
+/// A fault on the budget message from the global reallocator to one
+/// per-core agent (see [`crate::BudgetChannel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BudgetFault {
+    /// The reallocation message is lost; the agent keeps its previous
+    /// share.
+    Lost,
+    /// The message arrives `epochs` epochs late.
+    Delayed {
+        /// Delivery delay in whole epochs.
+        epochs: u64,
+    },
+    /// The agent receives the *previous* round's allocation instead of the
+    /// fresh one (stale reuse from a retransmit buffer).
+    Stale,
+}
+
+/// A whole-core fault mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoreFault {
+    /// The core hot-unplugs: it retires nothing, burns nothing, and its
+    /// telemetry goes dark for the fault window. It rejoins (with its
+    /// workload where it left off) when the window ends.
+    Unplug,
+    /// The core is force-throttled: whatever the controller commands, the
+    /// applied level is clamped to at most `max_level` (firmware thermal
+    /// throttling outside the controller's authority).
+    Throttle {
+        /// Highest applicable VF level index.
+        max_level: usize,
+    },
+}
+
+/// One fault mode, across all four injection points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Power-sensor fault (injected at the sensor read).
+    Sensor(SensorFault),
+    /// VF-actuator fault (injected at the VF apply).
+    Actuator(ActuatorFault),
+    /// Budget-channel fault (injected at the budget distribution).
+    Budget(BudgetFault),
+    /// Whole-core fault (injected at the core mask).
+    Core(CoreFault),
+}
+
+/// Which cores (or which chip-level resource) an event hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Target {
+    /// Every core.
+    All,
+    /// The chip-level power sensor (meaningful for sensor faults only).
+    Chip,
+    /// A single core.
+    Core(usize),
+    /// The half-open core range `lo..hi`.
+    Range {
+        /// First affected core.
+        lo: usize,
+        /// One past the last affected core.
+        hi: usize,
+    },
+}
+
+/// One deterministic fault window: `kind` affects `target` for epochs
+/// `start..start + duration`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Where it goes wrong.
+    pub target: Target,
+    /// First faulty epoch.
+    pub start: u64,
+    /// Number of faulty epochs (use a large value for a permanent fault).
+    pub duration: u64,
+}
+
+/// A seeded generator of fault events: within `start..end`, each core
+/// independently starts a `kind` fault with the given per-kilo-epoch rate;
+/// each generated event lasts `duration` epochs. Expansion into concrete
+/// [`FaultEvent`]s happens once, inside [`crate::FaultEngine::compile`],
+/// from the compile seed — runs need no randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomBurst {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// First epoch of the generation window.
+    pub start: u64,
+    /// One past the last epoch of the generation window.
+    pub end: u64,
+    /// Expected fault starts per core per 1000 epochs.
+    pub rate_per_kepoch: f64,
+    /// Duration of each generated event, in epochs.
+    pub duration: u64,
+}
+
+/// The complete declarative fault scenario for one run.
+///
+/// An empty plan is valid and injects nothing; a system driven through an
+/// empty plan is bit-identical to one with no plan attached.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Deterministic fault windows.
+    #[serde(default)]
+    pub events: Vec<FaultEvent>,
+    /// Seeded stochastic fault generators, expanded at compile time.
+    #[serde(default)]
+    pub bursts: Vec<RandomBurst>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan contains no events and no bursts.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.bursts.is_empty()
+    }
+
+    /// Adds one deterministic fault window (builder style).
+    #[must_use]
+    pub fn with_event(mut self, kind: FaultKind, target: Target, start: u64, duration: u64) -> Self {
+        self.events.push(FaultEvent {
+            kind,
+            target,
+            start,
+            duration,
+        });
+        self
+    }
+
+    /// Adds one seeded burst generator (builder style).
+    #[must_use]
+    pub fn with_burst(mut self, burst: RandomBurst) -> Self {
+        self.bursts.push(burst);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(!FaultPlan::new()
+            .with_event(FaultKind::Core(CoreFault::Unplug), Target::Core(0), 5, 10)
+            .is_empty());
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan::new()
+            .with_event(
+                FaultKind::Sensor(SensorFault::Spike { gain: 0.5 }),
+                Target::Range { lo: 2, hi: 6 },
+                100,
+                40,
+            )
+            .with_event(
+                FaultKind::Actuator(ActuatorFault::Delayed { epochs: 3 }),
+                Target::All,
+                0,
+                1000,
+            )
+            .with_event(FaultKind::Sensor(SensorFault::StuckLast), Target::Chip, 7, 3)
+            .with_burst(RandomBurst {
+                kind: FaultKind::Budget(BudgetFault::Lost),
+                start: 50,
+                end: 250,
+                rate_per_kepoch: 20.0,
+                duration: 10,
+            });
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

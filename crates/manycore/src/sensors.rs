@@ -26,8 +26,10 @@ pub struct SensorModel {
     pub noise_rel: f64,
     /// Reporting quantum in watts (0 disables quantisation).
     pub quantum: f64,
-    /// Probability that a read fails outright and returns zero
+    /// Probability that a read fails outright and holds the last reading
     /// (fault injection for controller-robustness testing; 0 disables).
+    /// For a persistently dead sensor rail that reads zero, use
+    /// `SensorFault::StuckZero` from `odrl-faults` instead.
     #[serde(default)]
     pub dropout: f64,
 }
@@ -44,8 +46,11 @@ impl SensorModel {
     }
 
     /// Creates a sensor model with a read-failure (dropout) probability: a
-    /// dropped read returns zero watts, as a hung power-telemetry agent
-    /// does in practice.
+    /// dropped read holds the previous reading, as a hung power-telemetry
+    /// agent does in practice — the stale register value is what the
+    /// controller sees. (An earlier revision returned zero watts, which
+    /// controllers interpreted as free headroom and ramped up; that mode
+    /// is now the explicit `SensorFault::StuckZero` in `odrl-faults`.)
     ///
     /// # Errors
     ///
@@ -86,14 +91,30 @@ impl SensorModel {
         }
     }
 
-    /// Applies the sensor model to a true power value.
+    /// Applies the sensor model to a true power value, with no reading
+    /// history: a dropped read returns zero watts. Prefer
+    /// [`SensorModel::measure_with_last`] wherever the previous reading is
+    /// available (the simulator's epoch loop always has it).
+    pub fn measure<R: Rng + ?Sized>(&self, truth: Watts, rng: &mut R) -> Watts {
+        self.measure_with_last(truth, Watts::ZERO, rng)
+    }
+
+    /// Applies the sensor model to a true power value. `last` is the
+    /// previous epoch's reading on the same sensor; a dropped read holds
+    /// it (stuck-at-last-value — the register simply is not updated).
     ///
     /// Uses Box–Muller on two uniform draws so only `rand::Rng` is needed.
-    /// Measurements are clamped at zero (a power sensor never reads
-    /// negative).
-    pub fn measure<R: Rng + ?Sized>(&self, truth: Watts, rng: &mut R) -> Watts {
+    /// With `dropout == 0` the history argument is never read, so
+    /// fault-free runs are byte-for-byte unaffected by it. Measurements
+    /// are clamped at zero (a power sensor never reads negative).
+    pub fn measure_with_last<R: Rng + ?Sized>(
+        &self,
+        truth: Watts,
+        last: Watts,
+        rng: &mut R,
+    ) -> Watts {
         if self.dropout > 0.0 && rng.gen::<f64>() < self.dropout {
-            return Watts::ZERO;
+            return last;
         }
         let mut value = truth.value();
         if self.noise_rel > 0.0 {
@@ -174,18 +195,45 @@ mod tests {
     }
 
     #[test]
-    fn dropout_returns_zero_at_the_configured_rate() {
+    fn dropout_holds_the_last_reading_at_the_configured_rate() {
         let s = SensorModel::with_dropout(0.0, 0.0, 0.2).unwrap();
         let mut rng = StdRng::seed_from_u64(17);
         let n = 10_000;
-        let zeros = (0..n)
-            .filter(|_| s.measure(Watts::new(5.0), &mut rng).value() == 0.0)
+        let last = Watts::new(2.75);
+        let held = (0..n)
+            .filter(|_| s.measure_with_last(Watts::new(5.0), last, &mut rng) == last)
             .count();
-        let rate = zeros as f64 / n as f64;
+        let rate = held as f64 / n as f64;
         assert!((rate - 0.2).abs() < 0.02, "dropout rate {rate}");
         // Non-dropped reads are exact with zero noise.
         let mut rng = StdRng::seed_from_u64(18);
-        let any_exact = (0..50).any(|_| s.measure(Watts::new(5.0), &mut rng).value() == 5.0);
+        let any_exact = (0..50)
+            .any(|_| s.measure_with_last(Watts::new(5.0), last, &mut rng).value() == 5.0);
         assert!(any_exact);
+    }
+
+    #[test]
+    fn historyless_measure_drops_to_zero() {
+        // Without a previous reading there is nothing to hold: `measure`
+        // keeps the legacy zero-on-dropout behaviour.
+        let s = SensorModel::with_dropout(0.0, 0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let any_zero = (0..50).any(|_| s.measure(Watts::new(5.0), &mut rng) == Watts::ZERO);
+        assert!(any_zero);
+    }
+
+    #[test]
+    fn measure_matches_measure_with_last_when_dropout_is_off() {
+        // With no dropout the history argument must be dead: the two entry
+        // points draw and return identically.
+        let s = SensorModel::default();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        for i in 0..200 {
+            let truth = Watts::new(0.5 + i as f64 * 0.01);
+            let a = s.measure(truth, &mut rng_a);
+            let b = s.measure_with_last(truth, Watts::new(123.0), &mut rng_b);
+            assert_eq!(a, b);
+        }
     }
 }

@@ -17,6 +17,7 @@
 //! heap allocations.
 
 use crate::config::SystemConfig;
+use odrl_faults::FaultState;
 use odrl_noc::NocScratch;
 use odrl_power::{Celsius, LevelId, VfLevel, Watts};
 use odrl_workload::{PhaseParams, WorkloadStream};
@@ -88,6 +89,11 @@ pub(crate) struct EpochScratch {
     pub thermal: Vec<f64>,
     /// Per-link flow/wait buffers for the NoC latency model.
     pub noc: NocScratch,
+    /// Per-epoch fault flags and actuator history, present only while a
+    /// fault plan is attached (see [`crate::System::attach_faults`]).
+    /// Refreshed in place every epoch, so fault-enabled steady-state
+    /// epochs stay allocation-free.
+    pub faults: Option<FaultState>,
 }
 
 impl EpochScratch {
@@ -106,6 +112,7 @@ impl EpochScratch {
             miss_rates: vec![0.0; n],
             thermal: Vec::new(),
             noc: NocScratch::default(),
+            faults: None,
         }
     }
 }

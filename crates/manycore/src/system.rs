@@ -6,6 +6,7 @@ use crate::parallel::{shard_chunks, stream_seed};
 use crate::report::{CoreEpoch, CoreObservation, EpochReport, Observation};
 use crate::soa::{CoreArrays, EpochScratch};
 use crate::telemetry::Telemetry;
+use odrl_faults::{FaultEngine, FaultPlan, FaultState};
 use odrl_noc::NocModel;
 use odrl_power::{Joules, LevelId, PowerBreakdown, Seconds, Watts};
 use odrl_thermal::{Floorplan, ThermalGrid};
@@ -55,6 +56,9 @@ pub struct System {
     last_report: Option<EpochReport>,
     /// NoC model (its per-core latency output lives in `arrays`).
     noc: Option<NocModel>,
+    /// Compiled fault schedule, when a plan is attached (its per-epoch
+    /// scratch lives in `scratch.faults`).
+    faults: Option<FaultEngine>,
     telemetry: Telemetry,
 }
 
@@ -126,8 +130,53 @@ impl System {
             chip_sensor_rng,
             last_report: None,
             noc,
+            faults: None,
             telemetry,
         })
+    }
+
+    /// Compiles and attaches a fault plan: from the next epoch on, the
+    /// plan's sensor/actuator/core faults are injected into the epoch
+    /// pipeline (budget-channel faults live on the controller side — see
+    /// `odrl-faults`). The schedule is seeded from the system seed, so the
+    /// same config + plan always reproduces the same faulted run, and an
+    /// **empty plan is bit-identical to no plan at all**. Replaces any
+    /// previously attached plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] if the plan does not compile
+    /// for this core count.
+    pub fn attach_faults(&mut self, plan: &FaultPlan) -> Result<(), SystemError> {
+        let engine = FaultEngine::compile(plan, self.config.cores, self.fault_seed()).map_err(
+            |e| SystemError::InvalidConfig {
+                field: "faults",
+                reason: e.to_string(),
+            },
+        )?;
+        self.scratch.faults = Some(engine.state());
+        self.faults = Some(engine);
+        Ok(())
+    }
+
+    /// The seed fault schedules derive from (shared with
+    /// [`System::attach_faults`], so a controller-side
+    /// `odrl_faults::BudgetChannel` compiled from the same plan and seed
+    /// sees the same schedule).
+    pub fn fault_seed(&self) -> u64 {
+        self.config.seed ^ 0xFA17_FA17_FA17_FA17
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_engine(&self) -> Option<&FaultEngine> {
+        self.faults.as_ref()
+    }
+
+    /// The per-epoch fault flags of the last executed epoch (liveness
+    /// mask, active sensor/actuator faults, effective levels), if a plan
+    /// is attached.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.scratch.faults.as_ref()
     }
 
     /// The static system description (core count, VF table, models, epoch).
@@ -282,6 +331,7 @@ impl System {
             miss_rates,
             thermal,
             noc: noc_scratch,
+            faults,
         } = &mut self.scratch;
         let CoreArrays {
             levels,
@@ -294,6 +344,19 @@ impl System {
             variation,
             mem_latency,
         } = &mut self.arrays;
+
+        // VF-apply and core-mask injection points: resolve the commanded
+        // levels through the fault schedule (dropped/delayed/clamped
+        // actuators, forced throttles, unplugged cores). From here on
+        // `actions` are the *effective* levels; with no plan attached the
+        // commanded slice passes through untouched, and an empty plan
+        // resolves every level to itself.
+        if let (Some(engine), Some(fs)) = (&self.faults, faults.as_mut()) {
+            engine.begin_epoch(epoch, fs);
+            fs.apply_actions(actions);
+        }
+        let fstate: Option<&FaultState> = faults.as_ref();
+        let actions: &[LevelId] = fstate.map_or(actions, FaultState::effective);
 
         // A VF transition stalls the core for the PLL/VR settling time;
         // record which cores switched before overwriting the level state.
@@ -335,6 +398,19 @@ impl System {
                     }
                 },
             );
+        }
+        // Core-mask injection point: an unplugged core makes no progress
+        // this epoch. Masked *before* barrier gating so losing a member
+        // genuinely stalls its barrier group — the physical semantics of a
+        // hot-unplug under synchronized workloads.
+        if let Some(fs) = fstate {
+            if fs.any_dead() {
+                for (s, &alive) in standalone.iter_mut().zip(fs.alive()) {
+                    if !alive {
+                        *s = 0.0;
+                    }
+                }
+            }
         }
         // Serial reduction: barrier gating couples cores within a group —
         // each core retires its group's minimum and idles (reduced
@@ -400,18 +476,42 @@ impl System {
             leakage[i] = leakage[i] * lm;
             powers[i] = dynamic[i] + leakage[i];
         }
+        // An unplugged core is power-gated: no dynamic, no leakage.
+        if let Some(fs) = fstate {
+            if fs.any_dead() {
+                for i in 0..n {
+                    if !fs.core_alive(i) {
+                        dynamic[i] = Watts::ZERO;
+                        leakage[i] = Watts::ZERO;
+                        powers[i] = Watts::ZERO;
+                        activity[i] = 0.0;
+                    }
+                }
+            }
+        }
 
         // Pass 4 (sharded): per-core power sensors. Each core's sensor RNG
-        // is private to its shard, so draws never depend on execution order.
+        // is private to its shard, so draws never depend on execution
+        // order. This is the sensor-read injection point: the healthy
+        // reading is always computed first (keeping every RNG stream
+        // aligned with the fault-free run), then the active sensor fault —
+        // if any — transforms it.
         {
             let config = &self.config;
             let powers: &[Watts] = powers;
+            let fview = fstate.map(FaultState::sensor_view);
             shard_chunks(
                 par,
                 (&mut sensor_rngs[..], &mut measured[..]),
                 |base, (rngs, measured)| {
                     for j in 0..measured.len() {
-                        measured[j] = config.sensors.measure(powers[base + j], &mut rngs[j]);
+                        let i = base + j;
+                        let last = measured[j];
+                        let fresh = config.sensors.measure_with_last(powers[i], last, &mut rngs[j]);
+                        measured[j] = match fview {
+                            Some(v) => v.apply(i, fresh, last),
+                            None => fresh,
+                        };
                     }
                 },
             );
@@ -430,10 +530,19 @@ impl System {
         temperature.copy_from_slice(self.grid.temperatures());
 
         let total_power: Watts = powers.iter().sum();
-        let measured_power = self
-            .config
-            .sensors
-            .measure(total_power, &mut self.chip_sensor_rng);
+        let last_chip = self
+            .last_report
+            .as_ref()
+            .map(|r| r.measured_power)
+            .unwrap_or(Watts::ZERO);
+        let fresh_chip =
+            self.config
+                .sensors
+                .measure_with_last(total_power, last_chip, &mut self.chip_sensor_rng);
+        let measured_power = match fstate {
+            Some(fs) => fs.chip_sensor_value(fresh_chip, last_chip),
+            None => fresh_chip,
+        };
 
         // Refill the long-lived report in place (allocated once, on the
         // first epoch).

@@ -48,6 +48,7 @@ pub mod agent;
 pub mod discretize;
 pub mod double_q;
 pub mod error;
+pub mod mask;
 pub mod policy;
 pub mod qtable;
 pub mod schedule;
@@ -57,6 +58,7 @@ pub use agent::{Agent, AgentBuilder, Algorithm};
 pub use discretize::{StateSpace, UniformBins};
 pub use double_q::{DoubleAgent, DoubleAgentBuilder};
 pub use error::RlError;
+pub use mask::UpdateMask;
 pub use policy::Policy;
 pub use qtable::QTable;
 pub use schedule::Schedule;

@@ -1,0 +1,115 @@
+//! Per-agent update masking for fleets of tabular learners.
+//!
+//! An on-line controller driving one agent per core sometimes has to
+//! discard a transition: the core was power-gated mid-epoch, its sensors
+//! returned garbage, or the recorded action was forced rather than chosen
+//! by the policy. Applying a TD update from such a transition corrupts the
+//! table with a reward the policy never earned. [`UpdateMask`] is the
+//! bookkeeping for that decision — one validity bit per agent, reusable
+//! across epochs without reallocating.
+
+/// One validity bit per agent: `true` means the agent's recorded
+/// `(state, action)` pair may receive a TD update, `false` means the
+/// transition is tainted and must be skipped.
+///
+/// ```
+/// use odrl_rl::UpdateMask;
+/// let mut mask = UpdateMask::new(4);
+/// assert!(mask.is_valid(2));
+/// mask.invalidate(2);
+/// assert!(!mask.is_valid(2));
+/// mask.reset();
+/// assert!(mask.is_valid(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct UpdateMask {
+    valid: Vec<bool>,
+}
+
+impl UpdateMask {
+    /// A mask over `n` agents, all initially valid.
+    pub fn new(n: usize) -> Self {
+        Self {
+            valid: vec![true; n],
+        }
+    }
+
+    /// Number of agents covered.
+    pub fn len(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Whether the mask covers no agents.
+    pub fn is_empty(&self) -> bool {
+        self.valid.is_empty()
+    }
+
+    /// Whether agent `i`'s recorded transition may be learned from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.valid[i]
+    }
+
+    /// Marks agent `i`'s recorded transition as tainted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn invalidate(&mut self, i: usize) {
+        self.valid[i] = false;
+    }
+
+    /// Marks every transition valid again (start of a fresh epoch).
+    pub fn reset(&mut self) {
+        self.valid.fill(true);
+    }
+
+    /// The underlying bits, read-only.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.valid
+    }
+
+    /// The underlying bits, mutable — lets a sharded decision loop write
+    /// validity per contiguous core chunk.
+    pub fn as_mut_slice(&mut self) -> &mut [bool] {
+        &mut self.valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_valid_and_resets() {
+        let mut m = UpdateMask::new(3);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert!((0..3).all(|i| m.is_valid(i)));
+        m.invalidate(0);
+        m.invalidate(2);
+        assert!(!m.is_valid(0));
+        assert!(m.is_valid(1));
+        assert!(!m.is_valid(2));
+        m.reset();
+        assert!((0..3).all(|i| m.is_valid(i)));
+    }
+
+    #[test]
+    fn slice_views_expose_the_bits() {
+        let mut m = UpdateMask::new(2);
+        m.as_mut_slice()[1] = false;
+        assert_eq!(m.as_slice(), &[true, false]);
+        assert!(!m.is_valid(1));
+    }
+
+    #[test]
+    fn empty_mask_is_fine() {
+        let m = UpdateMask::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.as_slice(), &[] as &[bool]);
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`rl`] | `odrl-rl` | tabular Q-learning machinery |
 //! | [`controllers`] | `odrl-controllers` | controller trait + MaxBIPS / Steepest Drop / PID / static baselines |
 //! | [`core`] | `odrl-core` | **OD-RL**, the paper's contribution |
+//! | [`faults`] | `odrl-faults` | deterministic fault injection (sensors, actuators, budget channel, cores) |
 //! | [`metrics`] | `odrl-metrics` | overshoot, throughput-per-over-budget-energy, efficiency |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@
 
 pub use odrl_controllers as controllers;
 pub use odrl_core as core;
+pub use odrl_faults as faults;
 pub use odrl_manycore as manycore;
 pub use odrl_metrics as metrics;
 pub use odrl_noc as noc;
