@@ -1,5 +1,5 @@
-//! Epoch-kernel throughput tracker: closed-loop epochs/sec and heap
-//! allocations per epoch at 64/256/1024 cores.
+//! Epoch-kernel throughput tracker: closed-loop epochs/sec, heap
+//! allocations per epoch and per-stage time at 64/256/1024 cores.
 //!
 //! Runs the full OD-RL control loop (observe → decide → step → record)
 //! under the counting global allocator and records the results as a
@@ -8,14 +8,29 @@
 //! entries with other labels are preserved; re-running with the same label
 //! overwrites that entry.
 //!
+//! Each result carries a `stage_ns_per_epoch` breakdown (workload, power,
+//! sensor, noc, thermal, rl, realloc) from the merged system + controller
+//! [`StageTimers`]; pass `--stage-profile` to also print the full table
+//! per core count.
+//!
+//! `--smoke` is the CI gate: a short fault-free run and a short
+//! fault-injected run (watchdog + unreliable budget channel engaged), each
+//! asserting zero steady-state allocations, with no JSON written.
+//!
 //! Run with: `scripts/bench_epoch_kernel.sh <label>` or
 //! `cargo run --release -p odrl-bench --bin epoch_kernel -- --label <label>`
 
-use odrl_bench::{allocs, ControllerKind, Scenario};
-use odrl_manycore::{Parallelism, System};
+use odrl_bench::{allocs, build_faulted, ControllerKind, Scenario};
+use odrl_controllers::PowerController;
+use odrl_core::{OdRlConfig, OdRlController};
+use odrl_faults::{
+    ActuatorFault, BudgetFault, CoreFault, FaultKind, FaultPlan, SensorFault, Target,
+};
+use odrl_manycore::{Observation, Parallelism, Stage, StageTimers, System};
 use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 #[global_allocator]
@@ -33,6 +48,11 @@ struct CoreResult {
     allocs_per_epoch: f64,
     /// Heap bytes requested per steady-state epoch.
     bytes_per_epoch: f64,
+    /// Mean nanoseconds per epoch spent in each pipeline stage (system +
+    /// controller timers merged). Empty for entries recorded before the
+    /// stage timers existed.
+    #[serde(default)]
+    stage_ns_per_epoch: BTreeMap<String, f64>,
 }
 
 /// One labelled benchmark run (e.g. pre- vs post-refactor).
@@ -52,27 +72,134 @@ struct BenchDoc {
     entries: Vec<Entry>,
 }
 
-/// Measures the closed OD-RL loop at `cores` cores: builds the system and
-/// controller, warms the scratch buffers, then times `epochs` epochs and
-/// diffs the thread-local allocation counters around the timed region.
-fn measure(cores: usize, warmup: u64, epochs: u64) -> CoreResult {
-    let scenario = Scenario {
+fn scenario(cores: usize) -> Scenario {
+    Scenario {
         cores,
         budget_frac: 0.6,
         epochs: 0,
         mix: MixPolicy::RoundRobin,
         seed: 42,
         parallelism: Parallelism::Serial,
-    };
-    let config = scenario
+    }
+}
+
+/// Measures the closed OD-RL loop at `cores` cores: builds the system and
+/// controller, warms the scratch buffers, then times `epochs` epochs and
+/// diffs the thread-local allocation counters around the timed region.
+/// Returns the result plus the merged per-stage timers for the window.
+fn measure(cores: usize, warmup: u64, epochs: u64) -> (CoreResult, StageTimers) {
+    let config = scenario(cores)
         .try_system_config()
         .expect("scenario parameters are valid");
-    let budget = Watts::new(scenario.budget_frac * config.max_power().value());
+    let budget = Watts::new(0.6 * config.max_power().value());
     let mut system = System::new(config).expect("valid scenario config");
-    let mut controller = ControllerKind::OdRl.build(&system.spec(), budget);
+    // Built directly (not through `ControllerKind::build`) so the concrete
+    // type's stage timers stay reachable; same config, same behaviour.
+    let mut controller = OdRlController::new(OdRlConfig::default(), &system.spec(), budget)
+        .expect("valid OD-RL config");
     let mut actions = vec![LevelId(0); cores];
     let mut obs = system.observation(budget);
 
+    fn drive(
+        system: &mut System,
+        controller: &mut OdRlController,
+        budget: Watts,
+        obs: &mut Observation,
+        actions: &mut [LevelId],
+        n: u64,
+    ) {
+        for _ in 0..n {
+            controller.decide_into(obs, actions);
+            system
+                .step_in_place(actions)
+                .expect("controller actions are valid");
+            system.observation_into(budget, obs);
+        }
+    }
+    drive(&mut system, &mut controller, budget, &mut obs, &mut actions, warmup);
+    system.reset_stage_timers();
+    controller.reset_stage_timers();
+
+    let a0 = allocs::allocations();
+    let b0 = allocs::allocated_bytes();
+    let t0 = Instant::now();
+    drive(&mut system, &mut controller, budget, &mut obs, &mut actions, epochs);
+    let dt = t0.elapsed().as_secs_f64();
+    let da = allocs::allocations() - a0;
+    let db = allocs::allocated_bytes() - b0;
+
+    let mut timers = *system.stage_timers();
+    timers.merge(controller.stage_timers());
+    let stage_ns_per_epoch = Stage::ALL
+        .iter()
+        .map(|&s| (s.name().to_string(), timers.mean_nanos(s)))
+        .collect();
+
+    let result = CoreResult {
+        cores,
+        epochs,
+        epochs_per_sec: epochs as f64 / dt,
+        allocs_per_epoch: da as f64 / epochs as f64,
+        bytes_per_epoch: db as f64 / epochs as f64,
+        stage_ns_per_epoch,
+    };
+    (result, timers)
+}
+
+/// The fault plan the smoke gate runs under: every fault family firing
+/// inside the measured window (mirrors the alloc-regression test).
+fn smoke_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_event(
+            FaultKind::Sensor(SensorFault::StuckLast),
+            Target::Range { lo: 0, hi: 8 },
+            0,
+            100,
+        )
+        .with_event(
+            FaultKind::Sensor(SensorFault::Drift { rate: 0.01 }),
+            Target::Range { lo: 8, hi: 16 },
+            0,
+            100,
+        )
+        .with_event(
+            FaultKind::Actuator(ActuatorFault::Delayed { epochs: 2 }),
+            Target::Range { lo: 16, hi: 24 },
+            0,
+            100,
+        )
+        .with_event(
+            FaultKind::Budget(BudgetFault::Lost),
+            Target::Range { lo: 24, hi: 32 },
+            0,
+            100,
+        )
+        .with_event(
+            FaultKind::Core(CoreFault::Unplug),
+            Target::Range { lo: 40, hi: 44 },
+            40,
+            60,
+        )
+}
+
+/// CI smoke gate: short fault-free and fault-injected closed-loop windows,
+/// each required to allocate nothing per steady-state epoch. Exits nonzero
+/// (panics) on regression; writes no JSON.
+fn smoke() {
+    let (clean, _) = measure(64, 30, 50);
+    println!(
+        "smoke fault-free : {:.1} epochs/s, {:.1} allocs/epoch",
+        clean.epochs_per_sec, clean.allocs_per_epoch
+    );
+    assert_eq!(
+        clean.allocs_per_epoch, 0.0,
+        "fault-free steady-state epoch must not allocate"
+    );
+
+    let (mut system, mut controller, budget) =
+        build_faulted(&scenario(64), ControllerKind::OdRl, &smoke_plan(), true);
+    let mut actions = vec![LevelId(0); 64];
+    let mut obs = system.observation(budget);
     let mut run = |n: u64| {
         for _ in 0..n {
             controller.decide_into(&obs, &mut actions);
@@ -82,34 +209,38 @@ fn measure(cores: usize, warmup: u64, epochs: u64) -> CoreResult {
             system.observation_into(budget, &mut obs);
         }
     };
-    run(warmup);
-
+    run(30);
     let a0 = allocs::allocations();
-    let b0 = allocs::allocated_bytes();
     let t0 = Instant::now();
-    run(epochs);
+    run(50);
     let dt = t0.elapsed().as_secs_f64();
     let da = allocs::allocations() - a0;
-    let db = allocs::allocated_bytes() - b0;
-
-    CoreResult {
-        cores,
-        epochs,
-        epochs_per_sec: epochs as f64 / dt,
-        allocs_per_epoch: da as f64 / epochs as f64,
-        bytes_per_epoch: db as f64 / epochs as f64,
-    }
+    println!(
+        "smoke faulted    : {:.1} epochs/s, {:.1} allocs/epoch",
+        50.0 / dt,
+        da as f64 / 50.0
+    );
+    assert_eq!(da, 0, "fault-enabled steady-state epoch must not allocate");
+    println!("\nsmoke OK: zero allocations per epoch, faulted and fault-free");
 }
 
 fn main() {
     let mut label = String::from("dev");
     let mut out = String::from("BENCH_epoch_kernel.json");
+    let mut stage_profile = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out = args.next().expect("--out needs a value"),
-            other => panic!("unknown argument: {other} (expected --label/--out)"),
+            "--stage-profile" => stage_profile = true,
+            "--smoke" => {
+                smoke();
+                return;
+            }
+            other => {
+                panic!("unknown argument: {other} (expected --label/--out/--stage-profile/--smoke)")
+            }
         }
     }
 
@@ -119,13 +250,20 @@ fn main() {
         "cores", "epochs", "epochs_per_sec", "allocs_per_epoch", "bytes_per_epoch"
     );
     let mut results = Vec::new();
+    let mut profiles = Vec::new();
     for &(cores, warmup, epochs) in &[(64usize, 50u64, 400u64), (256, 50, 200), (1024, 25, 60)] {
-        let r = measure(cores, warmup, epochs);
+        let (r, timers) = measure(cores, warmup, epochs);
         println!(
             "{:>6} {:>8} {:>14.1} {:>18.1} {:>16.1}",
             r.cores, r.epochs, r.epochs_per_sec, r.allocs_per_epoch, r.bytes_per_epoch
         );
         results.push(r);
+        profiles.push((cores, timers));
+    }
+    if stage_profile {
+        for (cores, timers) in &profiles {
+            println!("\nstage profile at {cores} cores:\n{timers}");
+        }
     }
 
     let unix_time = std::time::SystemTime::now()

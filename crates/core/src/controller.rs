@@ -10,11 +10,12 @@ use crate::watchdog::SensorWatchdog;
 use odrl_controllers::PowerController;
 use odrl_faults::{BudgetChannel, FaultEngine};
 use odrl_manycore::parallel::{shard_chunks, stream_seed, ShardSplit};
-use odrl_manycore::{Observation, SystemSpec};
+use odrl_manycore::{Observation, Stage, StageTimers, SystemSpec};
 use odrl_power::{LevelId, Watts};
-use odrl_rl::{Agent, Algorithm, DoubleAgent, Policy, RlError, UpdateMask};
+use odrl_rl::{Agent, Algorithm, DoubleAgent, EpsCache, Policy, RlError, UpdateMask};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// The per-core learner: plain/SARSA tabular agent or a double-Q pair,
 /// chosen by [`OdRlConfig::algorithm`].
@@ -25,28 +26,24 @@ enum CoreAgent {
 }
 
 impl CoreAgent {
-    fn select<R: Rng + ?Sized>(&mut self, s: usize, rng: &mut R) -> Result<usize, RlError> {
-        match self {
-            Self::Single(a) => a.select(s, rng),
-            Self::Double(a) => a.select(s, rng),
-        }
-    }
-
-    fn update(
+    /// One fused RL step: price the previous transition (when `prev` holds
+    /// its `(state, action, reward)`) and select this epoch's action in a
+    /// single pass over the Q-row — the argmax the TD target needs and the
+    /// greedy choice the policy needs are the same scan.
+    fn decide_learn<R: Rng + ?Sized>(
         &mut self,
         algorithm: Algorithm,
-        s: usize,
-        a: usize,
-        r: f64,
+        prev: Option<(usize, usize, f64)>,
         s_next: usize,
-        a_next: usize,
-    ) -> Result<(), RlError> {
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<usize, RlError> {
         match self {
             Self::Single(agent) => match algorithm {
-                Algorithm::Sarsa => agent.update_sarsa(s, a, r, s_next, a_next),
-                _ => agent.update(s, a, r, s_next),
+                Algorithm::Sarsa => agent.select_update_sarsa(prev, s_next, rng, cache),
+                _ => agent.select_update_q(prev, s_next, rng, cache),
             },
-            Self::Double(agent) => agent.update(s, a, r, s_next),
+            Self::Double(agent) => agent.select_update(prev, s_next, rng, cache),
         }
     }
 
@@ -139,12 +136,14 @@ pub struct OdRlController {
     /// Validity of the pending pairs (recorded last epoch); ping-pongs
     /// with `mask` so masking never reallocates.
     mask_prev: UpdateMask,
-    /// Per-core encoded states for the upcoming decision (reused buffer).
-    states: Vec<usize>,
     /// Working buffers for the coarse-grain reallocation.
     alloc_scratch: AllocScratch,
     /// Double buffer for the per-core budgets across a reallocation.
     budgets_next: Vec<Watts>,
+    /// Per-stage time spent in the controller side of the epoch pipeline
+    /// (`Rl` and `Realloc`); merge with the system's timers for the full
+    /// epoch breakdown.
+    timers: StageTimers,
     epochs: u64,
     name: &'static str,
 }
@@ -246,9 +245,9 @@ impl OdRlController {
             channel: None,
             mask: UpdateMask::new(spec.cores),
             mask_prev: UpdateMask::new(spec.cores),
-            states: Vec::new(),
             alloc_scratch: AllocScratch::default(),
             budgets_next: Vec::new(),
+            timers: StageTimers::new(),
             epochs: 0,
             name: if reallocate { "od-rl" } else { "od-rl-local" },
             config,
@@ -261,6 +260,19 @@ impl OdRlController {
     /// The per-core budgets currently in force.
     pub fn budgets(&self) -> &[Watts] {
         &self.budgets
+    }
+
+    /// Per-stage time spent in this controller's decision path
+    /// ([`Stage::Rl`] and [`Stage::Realloc`]). Merge with
+    /// [`odrl_manycore::System::stage_timers`] for the full epoch
+    /// breakdown.
+    pub fn stage_timers(&self) -> &StageTimers {
+        &self.timers
+    }
+
+    /// Zeroes the per-stage timers (e.g. after benchmark warmup).
+    pub fn reset_stage_timers(&mut self) {
+        self.timers.reset();
     }
 
     /// Routes coarse-grain budget messages through the fault engine's
@@ -433,6 +445,7 @@ impl PowerController for OdRlController {
             if let Some(p) = self.pending.take() {
                 self.spare = p;
             }
+            self.timers.bump_epoch();
             self.epochs += 1;
             return;
         }
@@ -448,6 +461,7 @@ impl PowerController for OdRlController {
         // channel attached the shares travel as messages instead: each
         // core's new share is sent on its link, and only what arrives is
         // applied — an agent whose message is lost keeps its old share.
+        let t_realloc = Instant::now();
         if let Some(allocator) = &mut self.allocator {
             allocator.observe(obs);
             if self.epochs > 0 && self.epochs.is_multiple_of(self.config.realloc_period) {
@@ -475,6 +489,7 @@ impl PowerController for OdRlController {
                 }
             }
         }
+        self.timers.record(Stage::Realloc, t_realloc);
 
         // A dead core burns no watts: hand its share to the survivors so
         // the chip budget keeps getting spent on work. The freed watts go
@@ -535,11 +550,7 @@ impl PowerController for OdRlController {
         // its own agent, exploration RNG and reward row, so the loop shards
         // across threads with bit-identical results (per-core streams plus
         // contiguous chunks written in place).
-        self.states.clear();
-        for i in 0..n {
-            let s = self.encoder.encode(&obs.cores[i], self.affordability(i));
-            self.states.push(s);
-        }
+        let t_rl = Instant::now();
         let old_pending = self.pending.take();
         let mut decisions = std::mem::take(&mut self.spare);
         decisions.clear();
@@ -553,7 +564,7 @@ impl PowerController for OdRlController {
             let encoder = &self.encoder;
             let budgets = &self.budgets;
             let scale = self.utilisation_scale;
-            let states = &self.states;
+            let max_seen = &self.max_power_seen;
             let old_pending = old_pending.as_deref();
             let wd = self.watchdog.as_ref();
             let prev_valid = self.mask_prev.as_slice();
@@ -569,9 +580,25 @@ impl PowerController for OdRlController {
                     mask_bits,
                 ),
                 move |base, (agents, rngs, mut rows, dec, valid)| {
+                    // Per-shard epsilon memo: every lockstep agent shares the
+                    // same (schedule, step) pair, so one `exp()` serves the
+                    // whole shard instead of one per core.
+                    let mut cache = EpsCache::new();
                     for (j, (agent, rng)) in agents.iter_mut().zip(rngs.iter_mut()).enumerate() {
                         let i = base + j;
-                        let s_next = states[i];
+                        // Encode in place (no separate serial pass over the
+                        // cores): same arithmetic as `affordability`, with
+                        // the decaying power ceiling read from the shared
+                        // immutable slice.
+                        let s_next = {
+                            let p_max = max_seen[i];
+                            let afford = if p_max > 0.0 {
+                                (budgets[i] * scale).value() / p_max
+                            } else {
+                                f64::INFINITY
+                            };
+                            encoder.encode(&obs.cores[i], afford)
+                        };
                         // A dead core takes no decision: pin it to the
                         // floor and taint the recorded pair so the agent
                         // never learns from a transition it did not choose.
@@ -580,11 +607,12 @@ impl PowerController for OdRlController {
                             dec[j] = (s_next, 0);
                             continue;
                         }
-                        let a_next = agent
-                            .select(s_next, rng)
-                            .expect("encoded state is in range");
-                        if let Some(pending) = old_pending {
-                            if prev_valid[i] {
+                        // Price last epoch's transition first — the reward
+                        // draws no randomness, so hoisting it ahead of the
+                        // fused select+update leaves the RNG stream (and
+                        // therefore every action) bit-identical.
+                        let prev = if prev_valid[i] {
+                            old_pending.map(|pending| {
                                 let (s, a) = pending[i];
                                 let phase = encoder.mem_bin(&obs.cores[i]);
                                 // A stale sensor prices the transition
@@ -604,11 +632,14 @@ impl PowerController for OdRlController {
                                         (obs.cores[i].temperature.value() - limit).max(0.0);
                                     r -= config.thermal_penalty * excess / 10.0;
                                 }
-                                agent
-                                    .update(config.algorithm, s, a, r, s_next, a_next)
-                                    .expect("indices are in range");
-                            }
-                        }
+                                (s, a, r)
+                            })
+                        } else {
+                            None
+                        };
+                        let a_next = agent
+                            .decide_learn(config.algorithm, prev, s_next, rng, &mut cache)
+                            .expect("encoded state and indices are in range");
                         dec[j] = (s_next, a_next);
                     }
                 },
@@ -619,6 +650,8 @@ impl PowerController for OdRlController {
         }
         self.spare = old_pending.unwrap_or_default();
         self.pending = Some(decisions);
+        self.timers.record(Stage::Rl, t_rl);
+        self.timers.bump_epoch();
         self.epochs += 1;
     }
 }

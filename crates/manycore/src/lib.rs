@@ -37,6 +37,7 @@ pub mod config;
 pub mod error;
 pub mod parallel;
 pub mod perf;
+pub mod profile;
 pub mod report;
 pub mod sensors;
 pub mod soa;
@@ -49,6 +50,7 @@ pub use config::{SystemConfig, SystemConfigBuilder, SystemSpec};
 pub use error::SystemError;
 pub use parallel::Parallelism;
 pub use perf::PerfModel;
+pub use profile::{Stage, StageTimers};
 pub use report::{CoreEpoch, CoreObservation, EpochReport, Observation};
 pub use sensors::SensorModel;
 pub use soa::CoreArrays;

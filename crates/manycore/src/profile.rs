@@ -1,0 +1,245 @@
+//! Per-stage wall-clock accounting for the epoch hot path.
+//!
+//! The epoch kernel is a fixed pipeline (workload → power → sensors → NoC →
+//! thermal on the system side, RL select/update → budget reallocation on
+//! the controller side). [`StageTimers`] is a zero-allocation accumulator —
+//! a fixed array of nanosecond counters — that both sides stamp as they
+//! run, so benchmarks can print where an epoch's time actually goes
+//! without any per-epoch heap traffic.
+
+use std::fmt;
+use std::time::Instant;
+
+/// One stage of the epoch pipeline. The first five are recorded by
+/// [`crate::System::step_in_place`]; `Rl` and `Realloc` belong to the
+/// controller's decision path and are recorded by controllers that carry
+/// their own [`StageTimers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Workload passes: VF resolve, standalone progress, barrier gating,
+    /// activity scaling and stream advance.
+    Workload,
+    /// Batch power evaluation (coefficient gather + variation).
+    Power,
+    /// Per-core power sensor reads.
+    Sensor,
+    /// NoC latency update from this epoch's traffic.
+    Noc,
+    /// Thermal grid forward-Euler integration.
+    Thermal,
+    /// Controller: RL state encoding, action selection and TD updates.
+    Rl,
+    /// Controller: budget tracking and per-core budget reallocation.
+    Realloc,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Workload,
+        Stage::Power,
+        Stage::Sensor,
+        Stage::Noc,
+        Stage::Thermal,
+        Stage::Rl,
+        Stage::Realloc,
+    ];
+
+    /// Stable lowercase name (used as a JSON field key by benchmarks).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Workload => "workload",
+            Stage::Power => "power",
+            Stage::Sensor => "sensor",
+            Stage::Noc => "noc",
+            Stage::Thermal => "thermal",
+            Stage::Rl => "rl",
+            Stage::Realloc => "realloc",
+        }
+    }
+}
+
+/// A zero-allocation per-stage time accumulator.
+///
+/// Stamp a stage with [`StageTimers::record`] around the work, bump the
+/// epoch count once per epoch, and read totals or per-epoch means at the
+/// end. `merge` combines system- and controller-side timers into one
+/// breakdown.
+///
+/// ```
+/// use odrl_manycore::{Stage, StageTimers, System, SystemConfig};
+/// use odrl_power::LevelId;
+///
+/// let config = SystemConfig::builder().cores(4).seed(1).build()?;
+/// let mut system = System::new(config)?;
+/// for _ in 0..3 {
+///     system.step(&vec![LevelId(2); 4])?;
+/// }
+/// let timers = *system.stage_timers();
+/// assert_eq!(timers.epochs(), 3);
+/// assert!(timers.total_nanos() > 0);
+/// assert!(timers.mean_nanos(Stage::Thermal) > 0.0);
+/// println!("{timers}"); // per-stage table: total ms, µs/epoch, share
+/// # Ok::<(), odrl_manycore::SystemError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimers {
+    nanos: [u64; Stage::ALL.len()],
+    epochs: u64,
+}
+
+impl StageTimers {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the time elapsed since `t0` to `stage`'s counter.
+    #[inline]
+    pub fn record(&mut self, stage: Stage, t0: Instant) {
+        self.nanos[stage as usize] += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Counts one completed epoch (drives the per-epoch means).
+    #[inline]
+    pub fn bump_epoch(&mut self) {
+        self.epochs += 1;
+    }
+
+    /// Total nanoseconds recorded for `stage`.
+    pub fn nanos(&self, stage: Stage) -> u64 {
+        self.nanos[stage as usize]
+    }
+
+    /// Total nanoseconds recorded across all stages.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Number of epochs counted.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Mean nanoseconds per epoch for `stage` (0 before any epoch).
+    pub fn mean_nanos(&self, stage: Stage) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.nanos[stage as usize] as f64 / self.epochs as f64
+        }
+    }
+
+    /// Zeroes every counter (e.g. after warmup).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Adds `other`'s counters into `self`. The epoch count becomes the
+    /// maximum of the two — merging a system's timers with its controller's
+    /// must not double-count the epochs both sides stamped.
+    pub fn merge(&mut self, other: &StageTimers) {
+        for (a, b) in self.nanos.iter_mut().zip(other.nanos.iter()) {
+            *a += b;
+        }
+        self.epochs = self.epochs.max(other.epochs);
+    }
+}
+
+impl fmt::Display for StageTimers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_nanos().max(1) as f64;
+        writeln!(f, "{:<10} {:>12} {:>14} {:>7}", "stage", "total ms", "us/epoch", "share")?;
+        for stage in Stage::ALL {
+            let ns = self.nanos(stage);
+            writeln!(
+                f,
+                "{:<10} {:>12.3} {:>14.3} {:>6.1}%",
+                stage.name(),
+                ns as f64 / 1e6,
+                self.mean_nanos(stage) / 1e3,
+                ns as f64 / total * 100.0
+            )?;
+        }
+        write!(
+            f,
+            "{:<10} {:>12.3} {:>14.3} {:>6.1}%",
+            "total",
+            self.total_nanos() as f64 / 1e6,
+            if self.epochs == 0 {
+                0.0
+            } else {
+                self.total_nanos() as f64 / self.epochs as f64 / 1e3
+            },
+            100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn records_and_averages() {
+        let mut t = StageTimers::new();
+        assert_eq!(t.total_nanos(), 0);
+        assert_eq!(t.mean_nanos(Stage::Rl), 0.0);
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        t.record(Stage::Rl, t0);
+        t.bump_epoch();
+        t.bump_epoch();
+        assert!(t.nanos(Stage::Rl) >= 2_000_000);
+        assert_eq!(t.epochs(), 2);
+        assert!((t.mean_nanos(Stage::Rl) - t.nanos(Stage::Rl) as f64 / 2.0).abs() < 1e-9);
+        assert_eq!(t.total_nanos(), t.nanos(Stage::Rl));
+        t.reset();
+        assert_eq!(t, StageTimers::default());
+    }
+
+    #[test]
+    fn merge_sums_nanos_and_takes_max_epochs() {
+        let mut a = StageTimers::new();
+        let mut b = StageTimers::new();
+        let t0 = Instant::now();
+        a.record(Stage::Power, t0);
+        a.bump_epoch();
+        b.record(Stage::Rl, t0);
+        b.bump_epoch();
+        b.bump_epoch();
+        let power = a.nanos(Stage::Power);
+        let rl = b.nanos(Stage::Rl);
+        a.merge(&b);
+        assert_eq!(a.nanos(Stage::Power), power);
+        assert_eq!(a.nanos(Stage::Rl), rl);
+        assert_eq!(a.epochs(), 2);
+    }
+
+    #[test]
+    fn stage_names_are_stable_and_unique() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["workload", "power", "sensor", "noc", "thermal", "rl", "realloc"]
+        );
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn display_renders_every_stage() {
+        let mut t = StageTimers::new();
+        let t0 = Instant::now();
+        t.record(Stage::Thermal, t0);
+        t.bump_epoch();
+        let s = format!("{t}");
+        for stage in Stage::ALL {
+            assert!(s.contains(stage.name()), "missing {}", stage.name());
+        }
+        assert!(s.contains("total"));
+    }
+}

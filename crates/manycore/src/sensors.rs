@@ -107,26 +107,151 @@ impl SensorModel {
     /// With `dropout == 0` the history argument is never read, so
     /// fault-free runs are byte-for-byte unaffected by it. Measurements
     /// are clamped at zero (a power sensor never reads negative).
+    ///
+    /// This one-shot form discards the second Gaussian of the Box–Muller
+    /// pair. Streams that read the same sensor every epoch should carry a
+    /// spare slot and call [`SensorModel::measure_with_spare`], which
+    /// consumes the pair across two reads — half the uniform draws and
+    /// half the `ln`/`sqrt`/trig work.
     pub fn measure_with_last<R: Rng + ?Sized>(
         &self,
         truth: Watts,
         last: Watts,
         rng: &mut R,
     ) -> Watts {
+        let mut spare = f64::NAN;
+        self.measure_with_spare(truth, last, rng, &mut spare)
+    }
+
+    /// [`SensorModel::measure_with_last`] with a caller-owned spare slot:
+    /// Box–Muller yields two independent Gaussians per `(ln, sqrt,
+    /// sin_cos)` evaluation, so reads alternate between generating a fresh
+    /// pair (storing the second half in `*spare`) and consuming the stored
+    /// half with no draws at all. `NaN` marks an empty slot; initialise
+    /// with `f64::NAN` and keep the slot private to one sensor stream —
+    /// per-core slots keep sharded runs order-independent.
+    ///
+    /// A dropped read holds `last` and leaves both the RNG's noise draws
+    /// and the spare slot untouched, exactly as the one-shot form does.
+    pub fn measure_with_spare<R: Rng + ?Sized>(
+        &self,
+        truth: Watts,
+        last: Watts,
+        rng: &mut R,
+        spare: &mut f64,
+    ) -> Watts {
         if self.dropout > 0.0 && rng.gen::<f64>() < self.dropout {
             return last;
         }
         let mut value = truth.value();
         if self.noise_rel > 0.0 {
-            let u1: f64 = rng.gen::<f64>().max(1e-12);
-            let u2: f64 = rng.gen();
-            let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            value *= 1.0 + self.noise_rel * gauss;
+            value *= 1.0 + self.noise_rel * next_gauss(rng, spare);
         }
         if self.quantum > 0.0 {
             value = (value / self.quantum).round() * self.quantum;
         }
         Watts::new(value.max(0.0))
+    }
+
+    /// Batch [`SensorModel::measure_with_spare`] over per-core slices —
+    /// the fault-free fast path of the epoch kernel. On a pair-generating
+    /// epoch (every spare slot empty) the uniform draws for all cores are
+    /// block-filled into the caller's `u1`/`u2` scratch first (same two
+    /// draws per core, in core order), then the Box–Muller / scale /
+    /// quantise / clamp arithmetic runs as tight slice passes, banking the
+    /// second Gaussian of each pair in `spares`. On a pair-consuming epoch
+    /// (every slot full) the pass is pure slice arithmetic: no draws, no
+    /// transcendentals. The slots stay in lockstep in steady state, so
+    /// epochs strictly alternate between the two. Each core's operation
+    /// chain is exactly the scalar one, so results are bit-identical to
+    /// per-core `measure_with_spare` calls with the same per-core RNGs
+    /// and slots — mixed slot states fall back to that scalar chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dropout != 0` (dropout consumes an extra draw per core
+    /// and needs reading history — callers must use the scalar path), or if
+    /// the slices do not all have the same length.
+    pub fn measure_block<R: Rng>(
+        &self,
+        truth: &[Watts],
+        rngs: &mut [R],
+        out: &mut [Watts],
+        u1: &mut [f64],
+        u2: &mut [f64],
+        spares: &mut [f64],
+    ) {
+        assert!(
+            self.dropout == 0.0,
+            "measure_block requires dropout == 0 (use measure_with_spare)"
+        );
+        let n = truth.len();
+        assert!(
+            rngs.len() == n
+                && out.len() == n
+                && u1.len() == n
+                && u2.len() == n
+                && spares.len() == n,
+            "measure_block slices must have equal length"
+        );
+        if self.noise_rel > 0.0 {
+            let noise_rel = self.noise_rel;
+            if spares.iter().all(|s| s.is_nan()) {
+                for i in 0..n {
+                    u1[i] = rngs[i].gen::<f64>().max(1e-12);
+                    u2[i] = rngs[i].gen();
+                }
+                for i in 0..n {
+                    let r = (-2.0 * u1[i].ln()).sqrt();
+                    let (sin, cos) = (2.0 * std::f64::consts::PI * u2[i]).sin_cos();
+                    spares[i] = r * sin;
+                    out[i] = Watts::new(truth[i].value() * (1.0 + noise_rel * (r * cos)));
+                }
+            } else if spares.iter().all(|s| !s.is_nan()) {
+                for i in 0..n {
+                    out[i] = Watts::new(truth[i].value() * (1.0 + noise_rel * spares[i]));
+                    spares[i] = f64::NAN;
+                }
+            } else {
+                // Mixed slot states (e.g. the first fault-free epoch after
+                // a faulted stretch left some cores mid-pair).
+                for i in 0..n {
+                    let g = next_gauss(&mut rngs[i], &mut spares[i]);
+                    out[i] = Watts::new(truth[i].value() * (1.0 + noise_rel * g));
+                }
+            }
+        } else {
+            out.copy_from_slice(truth);
+        }
+        if self.quantum > 0.0 {
+            let q = self.quantum;
+            for v in out.iter_mut() {
+                *v = Watts::new((v.value() / q).round() * q);
+            }
+        }
+        for v in out.iter_mut() {
+            *v = Watts::new(v.value().max(0.0));
+        }
+    }
+}
+
+/// One standard Gaussian from a Box–Muller pair: an empty (`NaN`) spare
+/// slot triggers a fresh pair — two uniform draws, one `ln`/`sqrt`/
+/// `sin_cos` — whose second half is banked in the slot; a full slot is
+/// consumed with no draws at all.
+#[inline]
+fn next_gauss<R: Rng + ?Sized>(rng: &mut R, spare: &mut f64) -> f64 {
+    if spare.is_nan() {
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        *spare = r * sin;
+        r * cos
+    } else {
+        let g = *spare;
+        *spare = f64::NAN;
+        g
     }
 }
 
@@ -220,6 +345,131 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let any_zero = (0..50).any(|_| s.measure(Watts::new(5.0), &mut rng) == Watts::ZERO);
         assert!(any_zero);
+    }
+
+    #[test]
+    fn measure_block_is_bit_identical_to_scalar_path() {
+        // Every (noise, quantum) corner, including tiny truths the clamp
+        // touches, over several epochs so both the pair-generating and the
+        // pair-consuming passes are exercised: the block path must
+        // reproduce per-core scalar calls exactly, draw for draw.
+        for (noise_rel, quantum) in [(0.0, 0.0), (0.0, 0.25), (0.01, 0.0625), (0.5, 0.125)] {
+            let s = SensorModel::new(noise_rel, quantum).unwrap();
+            let n = 131;
+            let mut rngs_block: Vec<StdRng> =
+                (0..n).map(|i| StdRng::seed_from_u64(i as u64)).collect();
+            let mut rngs_scalar: Vec<StdRng> =
+                (0..n).map(|i| StdRng::seed_from_u64(i as u64)).collect();
+            let mut spares_block = vec![f64::NAN; n];
+            let mut spares_scalar = vec![f64::NAN; n];
+            let mut out = vec![Watts::ZERO; n];
+            let mut u1 = vec![0.0; n];
+            let mut u2 = vec![0.0; n];
+            for epoch in 0..4 {
+                let truth: Vec<Watts> = (0..n)
+                    .map(|i| Watts::new(((i + epoch) as f64 * 0.37).sin().abs() * 4.0 - 0.01))
+                    .collect();
+                s.measure_block(
+                    &truth,
+                    &mut rngs_block,
+                    &mut out,
+                    &mut u1,
+                    &mut u2,
+                    &mut spares_block,
+                );
+                for i in 0..n {
+                    let scalar = s.measure_with_spare(
+                        truth[i],
+                        Watts::new(99.0),
+                        &mut rngs_scalar[i],
+                        &mut spares_scalar[i],
+                    );
+                    assert_eq!(
+                        out[i].value().to_bits(),
+                        scalar.value().to_bits(),
+                        "core {i} diverged at epoch {epoch} noise={noise_rel} quantum={quantum}"
+                    );
+                    assert_eq!(spares_block[i].to_bits(), spares_scalar[i].to_bits());
+                }
+            }
+            // RNG consumption matches too.
+            for i in 0..n {
+                assert_eq!(rngs_block[i].gen::<u64>(), rngs_scalar[i].gen::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn measure_block_handles_mixed_spare_states() {
+        // A mid-pair mixture (some slots banked, some empty) must still
+        // match the scalar chain — this is the state a faulted stretch can
+        // leave behind.
+        let s = SensorModel::new(0.3, 0.125).unwrap();
+        let n = 64;
+        let truth: Vec<Watts> = (0..n).map(|i| Watts::new(1.0 + i as f64 * 0.05)).collect();
+        let mut rngs_block: Vec<StdRng> =
+            (0..n).map(|i| StdRng::seed_from_u64(i as u64)).collect();
+        let mut rngs_scalar: Vec<StdRng> =
+            (0..n).map(|i| StdRng::seed_from_u64(i as u64)).collect();
+        // Odd cores are mid-pair, even cores are empty.
+        let seed_spare = |i: usize| if i % 2 == 1 { 0.25 * i as f64 } else { f64::NAN };
+        let mut spares_block: Vec<f64> = (0..n).map(seed_spare).collect();
+        let mut spares_scalar: Vec<f64> = (0..n).map(seed_spare).collect();
+        let mut out = vec![Watts::ZERO; n];
+        let (mut u1, mut u2) = (vec![0.0; n], vec![0.0; n]);
+        s.measure_block(
+            &truth,
+            &mut rngs_block,
+            &mut out,
+            &mut u1,
+            &mut u2,
+            &mut spares_block,
+        );
+        for i in 0..n {
+            let scalar = s.measure_with_spare(
+                truth[i],
+                Watts::new(99.0),
+                &mut rngs_scalar[i],
+                &mut spares_scalar[i],
+            );
+            assert_eq!(out[i].value().to_bits(), scalar.value().to_bits());
+            assert_eq!(spares_block[i].to_bits(), spares_scalar[i].to_bits());
+            assert_eq!(rngs_block[i].gen::<u64>(), rngs_scalar[i].gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn spare_slot_halves_draw_consumption() {
+        // Two spare-threaded reads consume one Box–Muller pair: two
+        // uniform draws total, versus four for two one-shot reads.
+        let s = SensorModel::new(0.02, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut witness = StdRng::seed_from_u64(77);
+        let mut spare = f64::NAN;
+        s.measure_with_spare(Watts::new(5.0), Watts::ZERO, &mut rng, &mut spare);
+        assert!(!spare.is_nan(), "first read banks the second Gaussian");
+        s.measure_with_spare(Watts::new(5.0), Watts::ZERO, &mut rng, &mut spare);
+        assert!(spare.is_nan(), "second read consumes the bank");
+        let _: (f64, f64) = (witness.gen(), witness.gen());
+        assert_eq!(rng.gen::<u64>(), witness.gen::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout")]
+    fn measure_block_rejects_dropout() {
+        let s = SensorModel::with_dropout(0.0, 0.0, 0.1).unwrap();
+        let mut rngs = vec![StdRng::seed_from_u64(0)];
+        let mut out = [Watts::ZERO];
+        let (mut u1, mut u2) = ([0.0], [0.0]);
+        let mut spares = [f64::NAN];
+        s.measure_block(
+            &[Watts::ZERO],
+            &mut rngs,
+            &mut out,
+            &mut u1,
+            &mut u2,
+            &mut spares,
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! heap allocations.
 
 use crate::config::SystemConfig;
+use crate::profile::StageTimers;
 use odrl_faults::FaultState;
 use odrl_noc::NocScratch;
 use odrl_power::{Celsius, LevelId, VfLevel, Watts};
@@ -40,6 +41,9 @@ pub struct CoreArrays {
     /// One private sensor-noise stream per core, derived from the master
     /// seed and the core index, so draws never depend on execution order.
     pub sensor_rngs: Vec<StdRng>,
+    /// The banked second Gaussian of each core's Box–Muller pair (`NaN` =
+    /// empty slot); per-core state so sharded runs stay order-independent.
+    pub gauss_spare: Vec<f64>,
     /// Each core's power as read through its sensor over the last epoch.
     pub measured: Vec<Watts>,
     /// Per-core (dynamic, leakage) process-variation multipliers.
@@ -79,6 +83,9 @@ pub(crate) struct EpochScratch {
     /// The workload signature each core executes this epoch (captured
     /// before the stream advances).
     pub params: Vec<PhaseParams>,
+    /// Effective cycles-per-instruction of each core this epoch (computed
+    /// once in the VF/progress pass, reused by the activity pass).
+    pub cpi: Vec<f64>,
     /// Effective switching-activity factor per core.
     pub activity: Vec<f64>,
     /// True total power per core (dynamic + leakage, post-variation).
@@ -94,6 +101,12 @@ pub(crate) struct EpochScratch {
     /// Refreshed in place every epoch, so fault-enabled steady-state
     /// epochs stay allocation-free.
     pub faults: Option<FaultState>,
+    /// Uniform-draw scratch for the block-filled sensor noise pass.
+    pub noise_u1: Vec<f64>,
+    /// Second uniform per core (Box–Muller needs two).
+    pub noise_u2: Vec<f64>,
+    /// Per-stage time spent in the system side of the epoch pipeline.
+    pub timers: StageTimers,
 }
 
 impl EpochScratch {
@@ -107,12 +120,16 @@ impl EpochScratch {
             standalone: vec![0.0; n],
             gated: vec![(0.0, 0.0); n],
             params: streams.iter().map(|s| s.params()).collect(),
+            cpi: vec![0.0; n],
             activity: vec![0.0; n],
             powers: vec![Watts::ZERO; n],
             miss_rates: vec![0.0; n],
             thermal: Vec::new(),
             noc: NocScratch::default(),
             faults: None,
+            noise_u1: vec![0.0; n],
+            noise_u2: vec![0.0; n],
+            timers: StageTimers::new(),
         }
     }
 }

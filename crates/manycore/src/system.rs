@@ -3,12 +3,14 @@
 use crate::config::{SystemConfig, SystemSpec};
 use crate::error::SystemError;
 use crate::parallel::{shard_chunks, stream_seed};
+use crate::profile::{Stage, StageTimers};
 use crate::report::{CoreEpoch, CoreObservation, EpochReport, Observation};
 use crate::soa::{CoreArrays, EpochScratch};
 use crate::telemetry::Telemetry;
 use odrl_faults::{FaultEngine, FaultPlan, FaultState};
 use odrl_noc::NocModel;
-use odrl_power::{Joules, LevelId, PowerBreakdown, Seconds, Watts};
+use odrl_power::{Joules, LevelId, PowerBreakdown, PowerCoefficients, Seconds, Watts};
+use std::time::Instant;
 use odrl_thermal::{Floorplan, ThermalGrid};
 use odrl_workload::{PhaseParams, WorkloadMix, WorkloadStream};
 use rand::rngs::StdRng;
@@ -46,11 +48,16 @@ pub struct System {
     grid: ThermalGrid,
     /// Per-core state in struct-of-arrays layout (see [`CoreArrays`]).
     arrays: CoreArrays,
+    /// Per-VF-level power coefficient tables (built once from the config's
+    /// power model and VF table; the batch power pass gathers from them).
+    coeffs: PowerCoefficients,
     /// Reusable per-epoch intermediates; created once, reused every epoch.
     scratch: EpochScratch,
     epoch: u64,
     /// The chip-level power sensor's stream (the whole-chip measurement).
     chip_sensor_rng: StdRng,
+    /// The chip sensor's banked Box–Muller half (`NaN` = empty).
+    chip_gauss_spare: f64,
     /// The last epoch's report, mutated in place every epoch after the
     /// first so the steady-state kernel never allocates.
     last_report: Option<EpochReport>,
@@ -114,20 +121,24 @@ impl System {
             sensor_rngs: (0..n)
                 .map(|i| StdRng::seed_from_u64(stream_seed(sensor_seed, i as u64)))
                 .collect(),
+            gauss_spare: vec![f64::NAN; n],
             measured: vec![Watts::ZERO; n],
             variation: config.variation.sample(n, config.seed),
             mem_latency,
         };
         let scratch = EpochScratch::new(&config, &streams);
+        let coeffs = config.power.coefficients(&config.vf_table);
         Ok(Self {
             config,
             spec,
             streams,
             grid,
             arrays,
+            coeffs,
             scratch,
             epoch: 0,
             chip_sensor_rng,
+            chip_gauss_spare: f64::NAN,
             last_report: None,
             noc,
             faults: None,
@@ -217,6 +228,20 @@ impl System {
     /// The report of the most recently executed epoch, if any.
     pub fn last_report(&self) -> Option<&EpochReport> {
         self.last_report.as_ref()
+    }
+
+    /// Per-stage time spent in the system side of the epoch pipeline
+    /// (workload/power/sensor/NoC/thermal) since construction or the last
+    /// [`System::reset_stage_timers`]. Controller-side stages (`rl`,
+    /// `realloc`) are recorded by controllers that keep their own
+    /// [`StageTimers`]; merge the two for a full breakdown.
+    pub fn stage_timers(&self) -> &StageTimers {
+        &self.scratch.timers
+    }
+
+    /// Zeroes the stage timers (e.g. after warmup epochs).
+    pub fn reset_stage_timers(&mut self) {
+        self.scratch.timers.reset();
     }
 
     /// Builds the sensor observation a controller decides from, for a given
@@ -326,12 +351,16 @@ impl System {
             standalone,
             gated,
             params,
+            cpi,
             activity,
             powers,
             miss_rates,
             thermal,
             noc: noc_scratch,
             faults,
+            noise_u1,
+            noise_u2,
+            timers,
         } = &mut self.scratch;
         let CoreArrays {
             levels,
@@ -340,6 +369,7 @@ impl System {
             leakage,
             temperature,
             sensor_rngs,
+            gauss_spare,
             measured,
             variation,
             mem_latency,
@@ -365,6 +395,7 @@ impl System {
         }
         levels.copy_from_slice(actions);
 
+        let t_workload = Instant::now();
         // Pass 1 (sharded): resolved VF point, executing phase signature and
         // standalone progress of every core this epoch, using the
         // NoC-derived memory latency from the previous epoch (one-epoch
@@ -377,18 +408,22 @@ impl System {
             let switched: &[bool] = switched;
             shard_chunks(
                 par,
-                (&mut vf[..], &mut params[..], &mut standalone[..]),
-                |base, (vf, params, standalone)| {
+                (&mut vf[..], &mut params[..], &mut standalone[..], &mut cpi[..]),
+                |base, (vf, params, standalone, cpi)| {
                     for j in 0..vf.len() {
                         let i = base + j;
                         params[j] = streams[i].params();
                         let level = config.vf_table.level(actions[i]);
                         vf[j] = level;
-                        let ips = config.perf.ips_with_latency(
+                        // One effective-CPI evaluation per core per epoch:
+                        // banked for the activity pass, which needs the
+                        // same value (identical inputs, identical bits).
+                        cpi[j] = config.perf.effective_cpi_with_latency(
                             &params[j],
                             level.frequency,
                             mem_latency[i],
                         );
+                        let ips = level.frequency.to_hertz() / cpi[j];
                         let effective_dt = if switched[i] && epoch > 0 {
                             dt.value() - config.transition_penalty.value()
                         } else {
@@ -428,8 +463,7 @@ impl System {
             let config = &self.config;
             let gated: &[(f64, f64)] = gated;
             let params: &[PhaseParams] = params;
-            let vf: &[odrl_power::VfLevel] = vf;
-            let mem_latency: &[f64] = mem_latency;
+            let cpi: &[f64] = cpi;
             shard_chunks(
                 par,
                 (
@@ -441,12 +475,7 @@ impl System {
                     for j in 0..activity.len() {
                         let i = base + j;
                         let (instr, idle_frac) = gated[i];
-                        let busy = params[i].cpi_base
-                            / config.perf.effective_cpi_with_latency(
-                                &params[i],
-                                vf[i].frequency,
-                                mem_latency[i],
-                            );
+                        let busy = params[i].cpi_base / cpi[i];
                         let mut act = params[i].activity * (0.3 + 0.7 * busy);
                         if idle_frac > 0.0 {
                             // Barrier wait: the active stretch runs at full
@@ -462,14 +491,16 @@ impl System {
                 },
             );
         }
+        timers.record(Stage::Workload, t_workload);
 
         // Pass 3 (serial): batch power evaluation over the flat arrays —
-        // nominal dynamic/leakage at the pre-step die temperature, then the
-        // per-core process-variation multipliers.
+        // per-VF-level coefficient gather for nominal dynamic/leakage at
+        // the pre-step die temperature, then the per-core
+        // process-variation multipliers.
+        let t_power = Instant::now();
         temperature.copy_from_slice(self.grid.temperatures());
-        self.config
-            .power
-            .evaluate_into(vf, activity, temperature, dynamic, leakage);
+        self.coeffs
+            .evaluate_into(levels, activity, temperature, dynamic, leakage);
         for i in 0..n {
             let (dm, lm) = variation[i];
             dynamic[i] = dynamic[i] * dm;
@@ -489,25 +520,49 @@ impl System {
                 }
             }
         }
+        timers.record(Stage::Power, t_power);
 
         // Pass 4 (sharded): per-core power sensors. Each core's sensor RNG
         // is private to its shard, so draws never depend on execution
-        // order. This is the sensor-read injection point: the healthy
-        // reading is always computed first (keeping every RNG stream
-        // aligned with the fault-free run), then the active sensor fault —
-        // if any — transforms it.
+        // order. Fault-free dropout-free runs take the block-filled batch
+        // path (bit-identical per core — see
+        // [`SensorModel::measure_block`]); otherwise this is the
+        // sensor-read injection point: the healthy reading is always
+        // computed first (keeping every RNG stream aligned with the
+        // fault-free run), then the active sensor fault — if any —
+        // transforms it.
+        let t_sensor = Instant::now();
         {
             let config = &self.config;
             let powers: &[Watts] = powers;
             let fview = fstate.map(FaultState::sensor_view);
+            let use_block = fview.is_none() && config.sensors.dropout == 0.0;
             shard_chunks(
                 par,
-                (&mut sensor_rngs[..], &mut measured[..]),
-                |base, (rngs, measured)| {
+                (
+                    &mut sensor_rngs[..],
+                    &mut measured[..],
+                    &mut noise_u1[..],
+                    &mut noise_u2[..],
+                    &mut gauss_spare[..],
+                ),
+                |base, (rngs, measured, u1, u2, spares)| {
+                    if use_block {
+                        let truth = &powers[base..base + measured.len()];
+                        config
+                            .sensors
+                            .measure_block(truth, rngs, measured, u1, u2, spares);
+                        return;
+                    }
                     for j in 0..measured.len() {
                         let i = base + j;
                         let last = measured[j];
-                        let fresh = config.sensors.measure_with_last(powers[i], last, &mut rngs[j]);
+                        let fresh = config.sensors.measure_with_spare(
+                            powers[i],
+                            last,
+                            &mut rngs[j],
+                            &mut spares[j],
+                        );
                         measured[j] = match fview {
                             Some(v) => v.apply(i, fresh, last),
                             None => fresh,
@@ -516,18 +571,24 @@ impl System {
                 },
             );
         }
+        timers.record(Stage::Sensor, t_sensor);
 
         // Serial tail. Update next epoch's memory latencies from this
         // epoch's traffic.
         if let Some(noc) = &self.noc {
+            let t_noc = Instant::now();
             for i in 0..n {
                 let ips = instructions[i] / dt.value();
                 miss_rates[i] = params[i].mpki / 1000.0 * ips;
             }
             noc.latencies_into(miss_rates, noc_scratch, mem_latency);
+            timers.record(Stage::Noc, t_noc);
         }
+        let t_thermal = Instant::now();
         self.grid.step_with_scratch(powers, dt, thermal)?;
         temperature.copy_from_slice(self.grid.temperatures());
+        timers.record(Stage::Thermal, t_thermal);
+        timers.bump_epoch();
 
         let total_power: Watts = powers.iter().sum();
         let last_chip = self
@@ -535,10 +596,12 @@ impl System {
             .as_ref()
             .map(|r| r.measured_power)
             .unwrap_or(Watts::ZERO);
-        let fresh_chip =
-            self.config
-                .sensors
-                .measure_with_last(total_power, last_chip, &mut self.chip_sensor_rng);
+        let fresh_chip = self.config.sensors.measure_with_spare(
+            total_power,
+            last_chip,
+            &mut self.chip_sensor_rng,
+            &mut self.chip_gauss_spare,
+        );
         let measured_power = match fstate {
             Some(fs) => fs.chip_sensor_value(fresh_chip, last_chip),
             None => fresh_chip,

@@ -1,0 +1,212 @@
+//! Precomputed per-VF-level coefficient tables for the batch power kernel.
+//!
+//! [`CorePowerModel::power`] spends most of its time on level-dependent
+//! factors: the dynamic `C·V²·f` product and the leakage voltage factor
+//! `P_ref·(V/V_ref)·e^(kv·(V−V_ref))` (one `exp` per call). Both depend
+//! only on the VF level, of which there are a handful, while the simulator
+//! evaluates them for a thousand cores per epoch. [`PowerCoefficients`]
+//! computes both factors once per level so the per-core loop is a pure
+//! gather-multiply over flat `f64` slices — no transcendentals except the
+//! temperature term, no enum matching, no wrapper round-trips — and is
+//! bit-identical to the scalar model by construction (the scalar methods
+//! are defined in terms of the same factored expressions).
+
+use crate::model::CorePowerModel;
+use crate::units::{Celsius, Watts};
+use crate::vf::{LevelId, VfTable};
+
+/// Per-VF-level coefficient tables derived from a [`CorePowerModel`] and a
+/// [`VfTable`], plus the scalar temperature constants of the leakage model.
+///
+/// Build once per run with [`CorePowerModel::coefficients`]; evaluate whole
+/// cores-length slices with [`PowerCoefficients::evaluate_into`]. Results
+/// match per-core [`CorePowerModel::power`] calls bit for bit.
+///
+/// ```
+/// use odrl_power::{Celsius, CorePowerModel, LevelId, VfTable, Watts};
+///
+/// let model = CorePowerModel::default();
+/// let table = VfTable::alpha_like();
+/// let coeffs = model.coefficients(&table);
+///
+/// let levels = [LevelId(3), LevelId(7)];
+/// let activity = [0.8, 1.0];
+/// let temperature = [Celsius::new(55.0), Celsius::new(80.0)];
+/// let mut dynamic = [Watts::ZERO; 2];
+/// let mut leakage = [Watts::ZERO; 2];
+/// coeffs.evaluate_into(&levels, &activity, &temperature, &mut dynamic, &mut leakage);
+///
+/// let scalar = model.power(table.level(LevelId(7)), 1.0, Celsius::new(80.0));
+/// assert_eq!(dynamic[1], scalar.dynamic);
+/// assert_eq!(leakage[1], scalar.leakage);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerCoefficients {
+    /// `dyn_coef[l] = C·V_l²·f_l` — dynamic watts of level `l` at activity 1.
+    dyn_coef: Vec<f64>,
+    /// `leak_v[l] = P_ref·(V_l/V_ref)·e^(kv·(V_l−V_ref))` — the whole
+    /// voltage-dependent leakage factor of level `l`, in watts.
+    leak_v: Vec<f64>,
+    /// Reference temperature of the leakage model, °C.
+    t_ref: f64,
+    /// Temperature increase that doubles leakage, °C.
+    t_double: f64,
+}
+
+impl PowerCoefficients {
+    /// Builds the tables for every level of `table` under `model`.
+    pub fn new(model: &CorePowerModel, table: &VfTable) -> Self {
+        let mut dyn_coef = Vec::with_capacity(table.len());
+        let mut leak_v = Vec::with_capacity(table.len());
+        for (_, level) in table.iter() {
+            dyn_coef.push(model.dynamic.level_coefficient(level));
+            leak_v.push(model.leakage.voltage_coefficient(level.voltage));
+        }
+        Self {
+            dyn_coef,
+            leak_v,
+            t_ref: model.leakage.t_ref().value(),
+            t_double: model.leakage.t_double(),
+        }
+    }
+
+    /// Number of VF levels covered.
+    pub fn levels(&self) -> usize {
+        self.dyn_coef.len()
+    }
+
+    /// Batch power evaluation over parallel per-core slices: writes the
+    /// nominal dynamic and leakage power of core `i` into `dynamic[i]` /
+    /// `leakage[i]`. Per core this is one gather-multiply for the dynamic
+    /// term and one gather-multiply plus `exp2` for the leakage term —
+    /// bit-identical to `model.power(table.level(levels[i]), activity[i],
+    /// temperature[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not all have the same length, or if any
+    /// level id is out of range for the table this was built from.
+    pub fn evaluate_into(
+        &self,
+        levels: &[LevelId],
+        activity: &[f64],
+        temperature: &[Celsius],
+        dynamic: &mut [Watts],
+        leakage: &mut [Watts],
+    ) {
+        let n = levels.len();
+        assert!(
+            activity.len() == n
+                && temperature.len() == n
+                && dynamic.len() == n
+                && leakage.len() == n,
+            "evaluate_into slices must have equal length"
+        );
+        let dyn_coef: &[f64] = &self.dyn_coef;
+        let leak_v: &[f64] = &self.leak_v;
+        let t_ref = self.t_ref;
+        let t_double = self.t_double;
+        for i in 0..n {
+            let l = levels[i].0;
+            dynamic[i] = Watts::new(activity[i].max(0.0) * dyn_coef[l]);
+            let t_scale = ((temperature[i].value() - t_ref) / t_double).exp2();
+            leakage[i] = Watts::new(leak_v[l] * t_scale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::DynamicPowerModel;
+    use crate::leakage::LeakagePowerModel;
+    use crate::units::Volts;
+
+    fn exercise(model: CorePowerModel, table: &VfTable) {
+        let coeffs = model.coefficients(table);
+        assert_eq!(coeffs.levels(), table.len());
+        // Every level × a grid of activities (incl. negative and >1) and
+        // temperatures must match the scalar model bit for bit.
+        let activities = [-0.5, 0.0, 0.1, 0.37, 0.8, 1.0, 1.2];
+        let temps = [-10.0, 25.0, 45.0, 60.0, 71.3, 85.0, 110.0];
+        for (id, level) in table.iter() {
+            for &a in &activities {
+                for &t in &temps {
+                    let temp = Celsius::new(t);
+                    let mut dynamic = [Watts::ZERO];
+                    let mut leakage = [Watts::ZERO];
+                    coeffs.evaluate_into(&[id], &[a], &[temp], &mut dynamic, &mut leakage);
+                    let scalar = model.power(level, a, temp);
+                    assert_eq!(
+                        dynamic[0].value().to_bits(),
+                        scalar.dynamic.value().to_bits(),
+                        "dynamic mismatch at level {id:?}, a={a}, t={t}"
+                    );
+                    assert_eq!(
+                        leakage[0].value().to_bits(),
+                        scalar.leakage.value().to_bits(),
+                        "leakage mismatch at level {id:?}, a={a}, t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_scalar_model_bit_for_bit() {
+        exercise(CorePowerModel::default(), &VfTable::alpha_like());
+    }
+
+    #[test]
+    fn matches_scalar_model_with_custom_parameters() {
+        let model = CorePowerModel::new(
+            DynamicPowerModel::new(1.37).unwrap(),
+            LeakagePowerModel::new(
+                Watts::new(0.81),
+                Volts::new(0.95),
+                Celsius::new(55.0),
+                2.1,
+                22.5,
+            )
+            .unwrap(),
+        );
+        exercise(model, &VfTable::alpha_like());
+    }
+
+    #[test]
+    fn batch_slices_match_per_core_calls() {
+        let model = CorePowerModel::default();
+        let table = VfTable::alpha_like();
+        let coeffs = model.coefficients(&table);
+        let n = 257; // intentionally not a multiple of anything
+        let levels: Vec<LevelId> = (0..n).map(|i| LevelId(i % table.len())).collect();
+        let activity: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin().abs()).collect();
+        let temperature: Vec<Celsius> = (0..n)
+            .map(|i| Celsius::new(40.0 + (i as f64 * 0.13).cos() * 30.0))
+            .collect();
+        let mut dynamic = vec![Watts::ZERO; n];
+        let mut leakage = vec![Watts::ZERO; n];
+        coeffs.evaluate_into(&levels, &activity, &temperature, &mut dynamic, &mut leakage);
+        for i in 0..n {
+            let scalar = model.power(table.level(levels[i]), activity[i], temperature[i]);
+            assert_eq!(dynamic[i], scalar.dynamic, "core {i} dynamic");
+            assert_eq!(leakage[i], scalar.leakage, "core {i} leakage");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_slices() {
+        let model = CorePowerModel::default();
+        let coeffs = model.coefficients(&VfTable::alpha_like());
+        let mut dynamic = [Watts::ZERO];
+        let mut leakage = [Watts::ZERO];
+        coeffs.evaluate_into(
+            &[LevelId(0), LevelId(1)],
+            &[1.0],
+            &[Celsius::new(60.0)],
+            &mut dynamic,
+            &mut leakage,
+        );
+    }
+}

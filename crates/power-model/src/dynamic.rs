@@ -51,11 +51,23 @@ impl DynamicPowerModel {
     /// intensity (an idle core clock-gates most of its logic). Values are
     /// clamped at zero from below; values slightly above 1.0 are allowed for
     /// power-virus-like phases.
+    ///
+    /// The arithmetic is grouped as `a · (C·V²·f)` so that the per-level
+    /// factor matches [`DynamicPowerModel::level_coefficient`] bit for bit —
+    /// the batch kernel gathers precomputed coefficients and must agree with
+    /// this scalar form exactly.
     pub fn power(&self, level: VfLevel, activity: f64) -> Watts {
-        let a = activity.max(0.0);
+        Watts::new(activity.max(0.0) * self.level_coefficient(level))
+    }
+
+    /// The level-dependent factor of the dynamic power: `C·V²·f`, i.e. the
+    /// dynamic power at activity 1. Precomputed per VF level by
+    /// [`crate::PowerCoefficients`] so the batch kernel reduces to one
+    /// multiply per core.
+    pub fn level_coefficient(&self, level: VfLevel) -> f64 {
         let v = level.voltage.value();
         let f = level.frequency.value();
-        Watts::new(a * self.c_eff_nf * v * v * f)
+        self.c_eff_nf * (v * v) * f
     }
 }
 

@@ -76,12 +76,29 @@ impl LeakagePowerModel {
     }
 
     /// Leakage power at the given supply voltage and temperature.
+    ///
+    /// Evaluated as `(P_ref · v_scale) · t_scale`: the voltage factor is
+    /// exactly [`LeakagePowerModel::voltage_coefficient`] and the
+    /// temperature factor [`LeakagePowerModel::temperature_scale`], so the
+    /// batch kernel (which precomputes the voltage factor per VF level) is
+    /// bit-identical to this scalar form.
     pub fn power(&self, voltage: Volts, temperature: Celsius) -> Watts {
+        Watts::new(self.voltage_coefficient(voltage) * self.temperature_scale(temperature))
+    }
+
+    /// The voltage-dependent factor of the leakage power, in watts:
+    /// `P_ref · (V/V_ref) · e^(kv·(V − V_ref))`. Depends only on the VF
+    /// level, so [`crate::PowerCoefficients`] precomputes it per level.
+    pub fn voltage_coefficient(&self, voltage: Volts) -> f64 {
         let v = voltage.value().max(0.0);
         let vr = self.v_ref.value();
         let v_scale = (v / vr) * (self.kv * (v - vr)).exp();
-        let t_scale = ((temperature.value() - self.t_ref.value()) / self.t_double).exp2();
-        Watts::new(self.p_ref.value() * v_scale * t_scale)
+        self.p_ref.value() * v_scale
+    }
+
+    /// The dimensionless temperature factor: `2^((T − T_ref)/T_double)`.
+    pub fn temperature_scale(&self, temperature: Celsius) -> f64 {
+        ((temperature.value() - self.t_ref.value()) / self.t_double).exp2()
     }
 
     /// Reference leakage power (at `v_ref`, `t_ref`).
@@ -97,6 +114,16 @@ impl LeakagePowerModel {
     /// Reference temperature.
     pub fn t_ref(&self) -> Celsius {
         self.t_ref
+    }
+
+    /// Voltage sensitivity exponent (1/V).
+    pub fn kv(&self) -> f64 {
+        self.kv
+    }
+
+    /// Temperature increase that doubles leakage (°C).
+    pub fn t_double(&self) -> f64 {
+        self.t_double
     }
 }
 

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod coeffs;
 pub mod dynamic;
 pub mod energy;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod model;
 pub mod units;
 pub mod vf;
 
+pub use coeffs::PowerCoefficients;
 pub use dynamic::DynamicPowerModel;
 pub use energy::EnergyAccount;
 pub use error::PowerModelError;

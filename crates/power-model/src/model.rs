@@ -1,5 +1,6 @@
 //! Combined per-core power model (dynamic + leakage) and its breakdown.
 
+use crate::coeffs::PowerCoefficients;
 use crate::dynamic::DynamicPowerModel;
 use crate::leakage::LeakagePowerModel;
 use crate::units::{Celsius, Watts};
@@ -70,6 +71,14 @@ impl CorePowerModel {
     /// Total power — convenience for callers that do not need the breakdown.
     pub fn total_power(&self, level: VfLevel, activity: f64, temperature: Celsius) -> Watts {
         self.power(level, activity, temperature).total()
+    }
+
+    /// Precomputes the per-VF-level coefficient tables the batch kernel
+    /// gathers from (see [`PowerCoefficients`]). Build once per run; the
+    /// batch evaluation is bit-identical to per-core
+    /// [`CorePowerModel::power`] calls.
+    pub fn coefficients(&self, table: &crate::vf::VfTable) -> PowerCoefficients {
+        PowerCoefficients::new(self, table)
     }
 
     /// Batch [`CorePowerModel::power`] over parallel per-core slices,

@@ -1,7 +1,7 @@
 //! Tabular temporal-difference agents (Q-learning and SARSA).
 
 use crate::error::RlError;
-use crate::policy::Policy;
+use crate::policy::{EpsCache, Policy};
 use crate::qtable::QTable;
 use crate::schedule::Schedule;
 use rand::Rng;
@@ -139,6 +139,72 @@ impl Agent {
     ) -> Result<(), RlError> {
         let bootstrap = self.q.get(s_next, a_next)?;
         self.td_update(s, a, reward, bootstrap)
+    }
+
+    /// Fused select + Q-learning update: selects an action in `s_next` and,
+    /// if `prev = (s, a, reward)` describes the transition that led here,
+    /// applies the Q-learning update for it — sharing a single pass over
+    /// the `s_next` row between the greedy selection and the bootstrap max.
+    ///
+    /// Behaviour (Q values, step counter, RNG draw sequence) is identical
+    /// to [`Agent::select`] followed by [`Agent::update`]; policies that
+    /// need more than the argmax (softmax, UCB1) transparently take the
+    /// unfused selection path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::select`] and [`Agent::update`].
+    pub fn select_update_q<R: Rng + ?Sized>(
+        &mut self,
+        prev: Option<(usize, usize, f64)>,
+        s_next: usize,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<usize, RlError> {
+        let (best, max_v) = self.q.best_action_and_max(s_next)?;
+        let a_next = match self
+            .policy
+            .select_from_argmax(self.q.actions(), best, self.step, rng, cache)
+        {
+            Some(a) => a,
+            None => self.policy.select(&self.q, s_next, self.step, rng)?,
+        };
+        self.step += 1;
+        if let Some((s, a, reward)) = prev {
+            self.td_update(s, a, reward, max_v)?;
+        }
+        Ok(a_next)
+    }
+
+    /// Fused select + SARSA update: like [`Agent::select_update_q`] but the
+    /// bootstrap is the value of the action actually selected in `s_next`,
+    /// matching [`Agent::select`] followed by [`Agent::update_sarsa`] with
+    /// that action.
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::select`] and [`Agent::update_sarsa`].
+    pub fn select_update_sarsa<R: Rng + ?Sized>(
+        &mut self,
+        prev: Option<(usize, usize, f64)>,
+        s_next: usize,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<usize, RlError> {
+        let (best, _) = self.q.best_action_and_max(s_next)?;
+        let a_next = match self
+            .policy
+            .select_from_argmax(self.q.actions(), best, self.step, rng, cache)
+        {
+            Some(a) => a,
+            None => self.policy.select(&self.q, s_next, self.step, rng)?,
+        };
+        self.step += 1;
+        if let Some((s, a, reward)) = prev {
+            let bootstrap = self.q.get(s_next, a_next)?;
+            self.td_update(s, a, reward, bootstrap)?;
+        }
+        Ok(a_next)
     }
 
     fn td_update(

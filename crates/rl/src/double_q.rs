@@ -3,7 +3,7 @@
 //! plain Q-learning under noisy rewards.
 
 use crate::error::RlError;
-use crate::policy::Policy;
+use crate::policy::{EpsCache, Policy};
 use crate::qtable::QTable;
 use crate::schedule::Schedule;
 use rand::Rng;
@@ -156,6 +156,78 @@ impl DoubleAgent {
         let target = reward + self.gamma * bootstrap;
         upd.set(s, a, old + alpha * (target - old))?;
         Ok(())
+    }
+
+    /// Fused select + double-Q update: selects in `s_next` on the combined
+    /// tables and, if `prev = (s, a, reward)` describes the transition that
+    /// led here, applies the double-Q update for it. A single pass over the
+    /// two `s_next` rows yields the combined argmax for selection *and* each
+    /// table's own argmax for the decoupled bootstrap, where the unfused
+    /// path scans the rows twice.
+    ///
+    /// Behaviour (tables, counters, RNG draw sequence) is identical to
+    /// [`DoubleAgent::select`] followed by [`DoubleAgent::update`];
+    /// policies that need more than the argmax (softmax, UCB1) take the
+    /// unfused selection path.
+    ///
+    /// # Errors
+    ///
+    /// As [`DoubleAgent::select`] and [`DoubleAgent::update`].
+    pub fn select_update<R: Rng + ?Sized>(
+        &mut self,
+        prev: Option<(usize, usize, f64)>,
+        s_next: usize,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<usize, RlError> {
+        let qa_row = self.qa.row(s_next)?;
+        let qb_row = self.qb.row(s_next)?;
+        let len = qa_row.len();
+        let mut best_c = 0;
+        let mut best_cv = qa_row[0] + qb_row[0];
+        let mut best_a = 0;
+        let mut best_b = 0;
+        for i in 1..len {
+            let v = qa_row[i] + qb_row[i];
+            let better = v > best_cv;
+            best_cv = if better { v } else { best_cv };
+            best_c = if better { i } else { best_c };
+            best_a = if qa_row[i] > qa_row[best_a] { i } else { best_a };
+            best_b = if qb_row[i] > qb_row[best_b] { i } else { best_b };
+        }
+        let a_next = match self
+            .policy
+            .select_from_argmax(len, best_c, self.step, rng, cache)
+        {
+            Some(a) => a,
+            None => self
+                .policy
+                .select_with(len, |i| qa_row[i] + qb_row[i], self.step, rng),
+        };
+        self.step += 1;
+        if let Some((s, a, reward)) = prev {
+            if !reward.is_finite() {
+                return Err(RlError::InvalidParameter {
+                    name: "reward",
+                    value: reward,
+                });
+            }
+            let update_a = self.updates.is_multiple_of(2);
+            self.updates += 1;
+            // Select with the updated table's argmax, evaluate with the
+            // other — both already computed in the fused pass above.
+            let (bootstrap, upd) = if update_a {
+                (self.qb.get(s_next, best_a)?, &mut self.qa)
+            } else {
+                (self.qa.get(s_next, best_b)?, &mut self.qb)
+            };
+            let visits = upd.visit(s, a)?;
+            let alpha = self.alpha.value(visits - 1);
+            let old = upd.get(s, a)?;
+            let target = reward + self.gamma * bootstrap;
+            upd.set(s, a, old + alpha * (target - old))?;
+        }
+        Ok(a_next)
     }
 
     /// Fraction of `(s, a)` pairs visited in either table.

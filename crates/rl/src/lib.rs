@@ -59,7 +59,7 @@ pub use discretize::{StateSpace, UniformBins};
 pub use double_q::{DoubleAgent, DoubleAgentBuilder};
 pub use error::RlError;
 pub use mask::UpdateMask;
-pub use policy::Policy;
+pub use policy::{EpsCache, Policy};
 pub use qtable::QTable;
 pub use schedule::Schedule;
 pub use traces::{TraceAgent, TraceAgentBuilder};

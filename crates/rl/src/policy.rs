@@ -32,6 +32,39 @@ pub enum Policy {
     },
 }
 
+/// Single-entry memo for the exploration-rate schedule.
+///
+/// A fleet of per-core agents advancing in lockstep evaluates the *same*
+/// `ε(t)` once per agent per epoch; for the exponential schedule that is
+/// one `exp()` per agent. Passing one cache through a batch of fused
+/// selections collapses those to a single evaluation — the cache keys on
+/// `(schedule, t)`, so agents whose steps diverge (e.g. cores that sat out
+/// epochs) still get their exact value. Values are bit-identical to
+/// uncached evaluation; only redundant recomputation is skipped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpsCache {
+    key: Option<(Schedule, u64)>,
+    value: f64,
+}
+
+impl EpsCache {
+    /// An empty cache (first lookup evaluates the schedule).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The clamped exploration rate `ε(t)`, evaluated once per distinct
+    /// `(schedule, t)` pair.
+    #[inline]
+    fn value(&mut self, schedule: &Schedule, t: u64) -> f64 {
+        if self.key != Some((*schedule, t)) {
+            self.value = schedule.value(t).clamp(0.0, 1.0);
+            self.key = Some((*schedule, t));
+        }
+        self.value
+    }
+}
+
 impl Policy {
     /// The standard OD-RL policy: ε-greedy with exponential decay to a
     /// floor (the agent never stops exploring, so it can track workload
@@ -98,6 +131,36 @@ impl Policy {
     /// Panics if `row` is empty.
     pub fn select_row<R: Rng + ?Sized>(&self, row: &[f64], t: u64, rng: &mut R) -> usize {
         self.select_with(row.len(), |a| row[a], t, rng)
+    }
+
+    /// Completes a selection from a *precomputed* greedy action, for agents
+    /// that have already scanned the row (e.g. to fuse argmax with the TD
+    /// bootstrap). Greedy and ε-greedy never need the values themselves —
+    /// only the argmax plus the RNG draws — so for those this is drop-in
+    /// bit-identical to [`Policy::select_with`] (same RNG call sequence).
+    /// Returns `None` for [`Policy::Softmax`] and [`Policy::Ucb1`], which
+    /// need the full row or visit counts; callers fall back to the unfused
+    /// path.
+    pub fn select_from_argmax<R: Rng + ?Sized>(
+        &self,
+        len: usize,
+        greedy: usize,
+        t: u64,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Option<usize> {
+        match self {
+            Self::Greedy => Some(greedy),
+            Self::EpsilonGreedy { epsilon } => {
+                let eps = cache.value(epsilon, t);
+                if rng.gen::<f64>() < eps {
+                    Some(rng.gen_range(0..len))
+                } else {
+                    Some(greedy)
+                }
+            }
+            _ => None,
+        }
     }
 
     /// Selects an action from a *virtual* action-value row: `value_fn(a)`

@@ -172,6 +172,27 @@ impl QTable {
         Ok(row.iter().copied().fold(f64::NEG_INFINITY, f64::max))
     }
 
+    /// [`QTable::best_action`] and [`QTable::max_value`] fused into a single
+    /// pass over the row, with branchless selects — the hot loop of a fused
+    /// select-and-update step needs both, and the separate calls would scan
+    /// the row twice. Results are identical to the separate methods.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn best_action_and_max(&self, s: usize) -> Result<(usize, f64), RlError> {
+        let row = self.row(s)?;
+        let mut best = 0;
+        let mut max_v = f64::NEG_INFINITY;
+        for (a, &v) in row.iter().enumerate() {
+            if v > max_v {
+                best = a;
+                max_v = v;
+            }
+        }
+        Ok((best, max_v))
+    }
+
     /// Total number of `(s, a)` visits recorded.
     pub fn total_visits(&self) -> u64 {
         self.visits.iter().sum()

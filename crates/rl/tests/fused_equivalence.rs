@@ -1,0 +1,183 @@
+//! The fused select-and-update paths must be indistinguishable from the
+//! unfused select-then-update sequence: identical Q tables (bit for bit,
+//! via `PartialEq` on `f64`), identical counters, identical action
+//! sequences, identical RNG consumption — for every policy, including the
+//! ones that fall back to the unfused selection internally.
+
+use odrl_rl::{Agent, DoubleAgent, EpsCache, Policy, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STATES: usize = 6;
+const ACTIONS: usize = 5;
+const EPOCHS: usize = 400;
+
+fn policies() -> Vec<Policy> {
+    vec![
+        Policy::Greedy,
+        Policy::default_epsilon_greedy(),
+        Policy::EpsilonGreedy {
+            epsilon: Schedule::constant(1.0).unwrap(),
+        },
+        // These two cannot be completed from the argmax alone and must take
+        // the fall-back path inside the fused call.
+        Policy::Softmax {
+            temperature: Schedule::constant(0.7).unwrap(),
+        },
+        Policy::Ucb1 { c: 1.2 },
+    ]
+}
+
+/// Deterministic environment: next state and reward from (state, action,
+/// epoch) only, so both twins see identical experience.
+fn env(s: usize, a: usize, t: usize) -> (usize, f64) {
+    let s_next = (s * 31 + a * 7 + t) % STATES;
+    let reward = ((s * ACTIONS + a) as f64 * 0.37 + t as f64 * 0.011).sin();
+    (s_next, reward)
+}
+
+#[test]
+fn fused_q_learning_matches_select_then_update() {
+    for (pi, policy) in policies().into_iter().enumerate() {
+        let build = || {
+            Agent::builder(STATES, ACTIONS)
+                .gamma(0.85)
+                .alpha(Schedule::inverse_time(0.5, 0.1).unwrap())
+                .policy(policy)
+                .build()
+                .unwrap()
+        };
+        let mut plain = build();
+        let mut fused = build();
+        let mut rng_p = StdRng::seed_from_u64(900 + pi as u64);
+        let mut rng_f = StdRng::seed_from_u64(900 + pi as u64);
+        let mut cache = EpsCache::new();
+        let mut prev: Option<(usize, usize, f64)> = None;
+        let mut s = 0usize;
+        for t in 0..EPOCHS {
+            let a_plain = plain.select(s, &mut rng_p).unwrap();
+            if let Some((ps, pa, pr)) = prev {
+                plain.update(ps, pa, pr, s).unwrap();
+            }
+            let a_fused = fused.select_update_q(prev, s, &mut rng_f, &mut cache).unwrap();
+            assert_eq!(a_plain, a_fused, "policy #{pi} diverged at epoch {t}");
+            assert_eq!(plain, fused, "policy #{pi} state diverged at epoch {t}");
+            let (s_next, r) = env(s, a_plain, t);
+            prev = Some((s, a_plain, r));
+            s = s_next;
+        }
+        // Equal RNG consumption: the next draw must match too.
+        assert_eq!(rng_p.gen::<u64>(), rng_f.gen::<u64>());
+    }
+}
+
+#[test]
+fn fused_sarsa_matches_select_then_update_sarsa() {
+    for (pi, policy) in policies().into_iter().enumerate() {
+        let build = || {
+            Agent::builder(STATES, ACTIONS)
+                .gamma(0.9)
+                .alpha(Schedule::constant(0.25).unwrap())
+                .policy(policy)
+                .build()
+                .unwrap()
+        };
+        let mut plain = build();
+        let mut fused = build();
+        let mut rng_p = StdRng::seed_from_u64(7_000 + pi as u64);
+        let mut rng_f = StdRng::seed_from_u64(7_000 + pi as u64);
+        let mut cache = EpsCache::new();
+        let mut prev: Option<(usize, usize, f64)> = None;
+        let mut s = 0usize;
+        for t in 0..EPOCHS {
+            let a_plain = plain.select(s, &mut rng_p).unwrap();
+            if let Some((ps, pa, pr)) = prev {
+                plain.update_sarsa(ps, pa, pr, s, a_plain).unwrap();
+            }
+            let a_fused = fused.select_update_sarsa(prev, s, &mut rng_f, &mut cache).unwrap();
+            assert_eq!(a_plain, a_fused, "policy #{pi} diverged at epoch {t}");
+            assert_eq!(plain, fused, "policy #{pi} state diverged at epoch {t}");
+            let (s_next, r) = env(s, a_plain, t);
+            prev = Some((s, a_plain, r));
+            s = s_next;
+        }
+        assert_eq!(rng_p.gen::<u64>(), rng_f.gen::<u64>());
+    }
+}
+
+#[test]
+fn fused_double_q_matches_select_then_update() {
+    for (pi, policy) in policies().into_iter().enumerate() {
+        let build = || {
+            DoubleAgent::builder(STATES, ACTIONS)
+                .gamma(0.8)
+                .alpha(Schedule::inverse_time(1.0, 0.05).unwrap())
+                .policy(policy)
+                .optimistic(0.5)
+                .build()
+                .unwrap()
+        };
+        let mut plain = build();
+        let mut fused = build();
+        let mut rng_p = StdRng::seed_from_u64(31_000 + pi as u64);
+        let mut rng_f = StdRng::seed_from_u64(31_000 + pi as u64);
+        let mut cache = EpsCache::new();
+        let mut prev: Option<(usize, usize, f64)> = None;
+        let mut s = 0usize;
+        for t in 0..EPOCHS {
+            let a_plain = plain.select(s, &mut rng_p).unwrap();
+            if let Some((ps, pa, pr)) = prev {
+                plain.update(ps, pa, pr, s).unwrap();
+            }
+            let a_fused = fused.select_update(prev, s, &mut rng_f, &mut cache).unwrap();
+            assert_eq!(a_plain, a_fused, "policy #{pi} diverged at epoch {t}");
+            assert_eq!(plain, fused, "policy #{pi} state diverged at epoch {t}");
+            let (s_next, r) = env(s, a_plain, t);
+            prev = Some((s, a_plain, r));
+            s = s_next;
+        }
+        assert_eq!(rng_p.gen::<u64>(), rng_f.gen::<u64>());
+    }
+}
+
+#[test]
+fn fused_best_action_and_max_match_separate_queries() {
+    let mut agent = Agent::builder(STATES, ACTIONS).build().unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut s = 0usize;
+    for t in 0..EPOCHS {
+        let a = agent.select(s, &mut rng).unwrap();
+        let (s_next, r) = env(s, a, t);
+        agent.update(s, a, r, s_next).unwrap();
+        s = s_next;
+    }
+    for state in 0..STATES {
+        let (best, max_v) = agent.q().best_action_and_max(state).unwrap();
+        assert_eq!(best, agent.q().best_action(state).unwrap());
+        assert_eq!(
+            max_v.to_bits(),
+            agent.q().max_value(state).unwrap().to_bits()
+        );
+    }
+    assert!(agent.q().best_action_and_max(STATES).is_err());
+}
+
+#[test]
+fn fused_update_error_paths_match_unfused() {
+    let mut agent = Agent::builder(2, 2).build().unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    // Invalid next state fails before anything advances.
+    assert!(agent.select_update_q(None, 9, &mut rng, &mut EpsCache::new()).is_err());
+    assert_eq!(agent.step_count(), 0);
+    // Non-finite reward fails after the selection advanced the counter.
+    assert!(agent
+        .select_update_q(Some((0, 0, f64::NAN)), 0, &mut rng, &mut EpsCache::new())
+        .is_err());
+    assert_eq!(agent.step_count(), 1);
+
+    let mut dbl = DoubleAgent::builder(2, 2).build().unwrap();
+    assert!(dbl.select_update(None, 9, &mut rng, &mut EpsCache::new()).is_err());
+    assert!(dbl
+        .select_update(Some((0, 0, f64::INFINITY)), 0, &mut rng, &mut EpsCache::new())
+        .is_err());
+}

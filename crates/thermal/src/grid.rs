@@ -32,11 +32,186 @@ use serde::{Deserialize, Serialize};
 /// let diff = (grid.temperature(5).value() - ss[5].value()).abs();
 /// assert!(diff < 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
+#[serde(try_from = "GridRepr")]
 pub struct ThermalGrid {
     floorplan: Floorplan,
     params: ThermalParams,
     temps: Vec<Celsius>,
+    /// Derived constants and the flattened stencil, rebuilt from
+    /// `floorplan`/`params` on construction and deserialization (not part
+    /// of the serialized or compared state).
+    stencil: Stencil,
+}
+
+/// The serialized shape of [`ThermalGrid`] — exactly the pre-stencil field
+/// set, so archives round-trip unchanged and the caches rebuild on load.
+#[derive(Serialize, Deserialize)]
+struct GridRepr {
+    floorplan: Floorplan,
+    params: ThermalParams,
+    temps: Vec<Celsius>,
+}
+
+impl Serialize for ThermalGrid {
+    fn to_value(&self) -> serde::Value {
+        GridRepr {
+            floorplan: self.floorplan,
+            params: self.params.clone(),
+            temps: self.temps.clone(),
+        }
+        .to_value()
+    }
+}
+
+impl TryFrom<GridRepr> for ThermalGrid {
+    type Error = std::convert::Infallible;
+
+    fn try_from(r: GridRepr) -> Result<Self, Self::Error> {
+        let stencil = Stencil::build(r.floorplan, &r.params);
+        Ok(Self {
+            floorplan: r.floorplan,
+            params: r.params,
+            temps: r.temps,
+            stencil,
+        })
+    }
+}
+
+impl PartialEq for ThermalGrid {
+    fn eq(&self, other: &Self) -> bool {
+        // The stencil is a pure function of floorplan + params.
+        self.floorplan == other.floorplan
+            && self.params == other.params
+            && self.temps == other.temps
+    }
+}
+
+/// Everything [`ThermalGrid::step`] can hoist out of the per-tile loop:
+/// conductances, the stability bound, the interior/boundary split of the
+/// mesh, and the sub-step schedule of the last-seen `dt`.
+///
+/// Interior tiles (all four neighbors present) are traversed row by row
+/// with fixed index offsets `i−1, i+1, i−cols, i+cols` — the same
+/// left/right/up/down order [`Floorplan::neighbors`] yields, so the flow
+/// sum is bit-identical to the naive stepper. Boundary tiles keep explicit
+/// per-tile neighbor lists in flat arrays.
+#[derive(Debug, Clone)]
+struct Stencil {
+    /// Vertical conductance `1/R_v`.
+    gv: f64,
+    /// Lateral conductance.
+    gl: f64,
+    /// Tile heat capacity.
+    c: f64,
+    /// Ambient temperature, °C.
+    amb: f64,
+    /// Largest stable forward-Euler sub-step (half the theoretical bound).
+    h_max: f64,
+    cols: usize,
+    rows: usize,
+    /// Boundary tile indices, ascending.
+    boundary: Vec<u32>,
+    /// Prefix offsets into `nbrs`: boundary tile `k` owns
+    /// `nbrs[nbr_start[k]..nbr_start[k + 1]]`.
+    nbr_start: Vec<u32>,
+    /// Flat neighbor indices of the boundary tiles, in
+    /// [`Floorplan::neighbors`] order per tile.
+    nbrs: Vec<u32>,
+    /// `f64` mirror of the temperature field (ping-pong partner of the
+    /// caller's integration buffer); sized on first use.
+    field: Vec<f64>,
+    /// The `dt` the cached sub-step schedule was computed for.
+    sched_dt: f64,
+    /// Sub-steps for `sched_dt`.
+    substeps: usize,
+    /// Sub-step length for `sched_dt`.
+    h: f64,
+}
+
+impl Stencil {
+    fn build(floorplan: Floorplan, params: &ThermalParams) -> Self {
+        let cols = floorplan.cols();
+        let rows = floorplan.rows();
+        let gv = params.g_vertical();
+        let gl = params.g_lateral;
+        let g_max = gv + 4.0 * gl;
+        // Half the theoretical bound for a comfortable stability margin.
+        let h_max = 0.5 * params.c_tile / g_max;
+        let mut boundary = Vec::new();
+        let mut nbr_start = vec![0u32];
+        let mut nbrs = Vec::new();
+        for i in 0..floorplan.tiles() {
+            let (x, y) = floorplan.position(i);
+            if x > 0 && x + 1 < cols && y > 0 && y + 1 < rows {
+                continue; // interior: handled by the offset loop
+            }
+            boundary.push(i as u32);
+            nbrs.extend(floorplan.neighbors(i).map(|j| j as u32));
+            nbr_start.push(nbrs.len() as u32);
+        }
+        Self {
+            gv,
+            gl,
+            c: params.c_tile,
+            amb: params.ambient.value(),
+            h_max,
+            cols,
+            rows,
+            boundary,
+            nbr_start,
+            nbrs,
+            field: Vec::new(),
+            sched_dt: f64::NAN,
+            substeps: 0,
+            h: 0.0,
+        }
+    }
+
+    /// The sub-step schedule for `dt`, memoized on the last-seen value (the
+    /// epoch length is fixed in steady state, so this computes once).
+    fn schedule(&mut self, dt: f64) -> (usize, f64) {
+        if dt != self.sched_dt {
+            self.substeps = (dt / self.h_max).ceil().max(1.0) as usize;
+            self.h = dt / self.substeps as f64;
+            self.sched_dt = dt;
+        }
+        (self.substeps, self.h)
+    }
+
+    /// One forward-Euler sub-step `src → dst` over flat `f64` fields. The
+    /// per-tile arithmetic is exactly the naive stepper's: vertical flow
+    /// first, then each present neighbor in left/right/up/down order.
+    fn substep(&self, powers: &[Watts], src: &[f64], dst: &mut [f64], h: f64) {
+        let (gv, gl, c, amb) = (self.gv, self.gl, self.c, self.amb);
+        let cols = self.cols;
+        // Interior rows: branch-free, fixed offsets, one cache-friendly
+        // sweep per row.
+        for y in 1..self.rows.saturating_sub(1) {
+            let row = y * cols;
+            for x in 1..cols.saturating_sub(1) {
+                let i = row + x;
+                let t_i = src[i];
+                let mut flow = powers[i].value() - gv * (t_i - amb);
+                flow -= gl * (t_i - src[i - 1]);
+                flow -= gl * (t_i - src[i + 1]);
+                flow -= gl * (t_i - src[i - cols]);
+                flow -= gl * (t_i - src[i + cols]);
+                dst[i] = t_i + h * flow / c;
+            }
+        }
+        // Boundary tiles: explicit neighbor lists.
+        for (k, &bi) in self.boundary.iter().enumerate() {
+            let i = bi as usize;
+            let t_i = src[i];
+            let mut flow = powers[i].value() - gv * (t_i - amb);
+            let (lo, hi) = (self.nbr_start[k] as usize, self.nbr_start[k + 1] as usize);
+            for &j in &self.nbrs[lo..hi] {
+                flow -= gl * (t_i - src[j as usize]);
+            }
+            dst[i] = t_i + h * flow / c;
+        }
+    }
 }
 
 impl ThermalGrid {
@@ -48,10 +223,12 @@ impl ThermalGrid {
     pub fn new(floorplan: Floorplan, params: ThermalParams) -> Result<Self, ThermalError> {
         params.validate()?;
         let temps = vec![params.ambient; floorplan.tiles()];
+        let stencil = Stencil::build(floorplan, &params);
         Ok(Self {
             floorplan,
             params,
             temps,
+            stencil,
         })
     }
 
@@ -114,13 +291,6 @@ impl ThermalGrid {
         Ok(())
     }
 
-    /// Largest stable forward-Euler step for this grid.
-    fn stable_dt(&self) -> f64 {
-        let g_max = self.params.g_vertical() + 4.0 * self.params.g_lateral;
-        // Half the theoretical bound for a comfortable stability margin.
-        0.5 * self.params.c_tile / g_max
-    }
-
     /// Advances the grid by `dt` under the given per-tile powers.
     ///
     /// Sub-steps internally as needed for numerical stability, so any `dt`
@@ -154,29 +324,31 @@ impl ThermalGrid {
         if dt <= 0.0 {
             return Ok(());
         }
-        let h_max = self.stable_dt();
-        let substeps = (dt / h_max).ceil().max(1.0) as usize;
-        let h = dt / substeps as f64;
-        let gv = self.params.g_vertical();
-        let gl = self.params.g_lateral;
-        let c = self.params.c_tile;
-        let amb = self.params.ambient.value();
+        let (substeps, h) = self.stencil.schedule(dt);
         let n = self.temps.len();
         next.clear();
         next.resize(n, 0.0);
-        for _ in 0..substeps {
-            for i in 0..n {
-                let t_i = self.temps[i].value();
-                let mut flow = powers[i].value() - gv * (t_i - amb);
-                for j in self.floorplan.neighbors(i) {
-                    flow -= gl * (t_i - self.temps[j].value());
-                }
-                next[i] = t_i + h * flow / c;
+        // Mirror the field into flat f64 buffers, ping-pong the sub-steps
+        // between them, and write back once at the end — the sub-step loop
+        // itself never touches the `Celsius` wrappers. The mirror is taken
+        // out of the stencil for the duration so the stencil tables can be
+        // borrowed immutably alongside it.
+        let mut field = std::mem::take(&mut self.stencil.field);
+        field.clear();
+        field.extend(self.temps.iter().map(|t| t.value()));
+        {
+            let stencil = &self.stencil;
+            let mut src: &mut Vec<f64> = &mut field;
+            let mut dst: &mut Vec<f64> = next;
+            for _ in 0..substeps {
+                stencil.substep(powers, src, dst, h);
+                std::mem::swap(&mut src, &mut dst);
             }
-            for (t, &v) in self.temps.iter_mut().zip(next.iter()) {
+            for (t, &v) in self.temps.iter_mut().zip(src.iter()) {
                 *t = Celsius::new(v);
             }
         }
+        self.stencil.field = field;
         Ok(())
     }
 
@@ -352,6 +524,128 @@ mod tests {
         }
         // The buffer is reused, not regrown.
         assert_eq!(buf.len(), 16);
+    }
+
+    /// The pre-stencil stepper, kept verbatim as the reference: per-tile
+    /// neighbor iteration through [`Floorplan::neighbors`], recomputing the
+    /// schedule every call. The blocked stencil must match it bit for bit.
+    struct NaiveGrid {
+        floorplan: Floorplan,
+        params: ThermalParams,
+        temps: Vec<f64>,
+    }
+
+    impl NaiveGrid {
+        fn of(g: &ThermalGrid) -> Self {
+            Self {
+                floorplan: g.floorplan(),
+                params: g.params().clone(),
+                temps: g.temperatures().iter().map(|t| t.value()).collect(),
+            }
+        }
+
+        fn step(&mut self, powers: &[Watts], dt: f64) {
+            let h_max = 0.5 * self.params.c_tile / (self.params.g_vertical() + 4.0 * self.params.g_lateral);
+            let substeps = (dt / h_max).ceil().max(1.0) as usize;
+            let h = dt / substeps as f64;
+            let gv = self.params.g_vertical();
+            let gl = self.params.g_lateral;
+            let c = self.params.c_tile;
+            let amb = self.params.ambient.value();
+            let n = self.temps.len();
+            let mut next = vec![0.0; n];
+            for _ in 0..substeps {
+                for i in 0..n {
+                    let t_i = self.temps[i];
+                    let mut flow = powers[i].value() - gv * (t_i - amb);
+                    for j in self.floorplan.neighbors(i) {
+                        flow -= gl * (t_i - self.temps[j]);
+                    }
+                    next[i] = t_i + h * flow / c;
+                }
+                self.temps.copy_from_slice(&next);
+            }
+        }
+    }
+
+    /// Deterministic LCG so the property sweep needs no RNG dependency.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn stencil_matches_naive_reference_bit_for_bit() {
+        let mut lcg = Lcg(0x5eed_1234);
+        // Shapes chosen to hit degenerate meshes (rows/cols < 3, i.e. no
+        // interior tiles), tall/wide strips and squarish grids.
+        let shapes = [
+            (1, 1),
+            (1, 7),
+            (6, 1),
+            (2, 2),
+            (2, 5),
+            (3, 3),
+            (4, 3),
+            (5, 8),
+            (8, 8),
+            (13, 4),
+        ];
+        for &(cols, rows) in &shapes {
+            let fp = Floorplan::new(cols, rows).unwrap();
+            let n = fp.tiles();
+            let mut fast = ThermalGrid::new(fp, ThermalParams::default()).unwrap();
+            // Random initial field and random powers per shape.
+            let init: Vec<Celsius> = (0..n)
+                .map(|_| Celsius::new(40.0 + 50.0 * lcg.next_f64()))
+                .collect();
+            fast.set_temperatures(&init).unwrap();
+            let mut naive = NaiveGrid::of(&fast);
+            let mut buf = Vec::new();
+            for step in 0..25 {
+                let powers: Vec<Watts> =
+                    (0..n).map(|_| Watts::new(6.0 * lcg.next_f64())).collect();
+                // Mix dts so both the 1-substep and multi-substep schedules
+                // are exercised (and the memoized schedule is invalidated).
+                let dt = if step % 3 == 0 { 1e-4 } else { 2.7e-3 };
+                fast.step_with_scratch(&powers, Seconds::new(dt), &mut buf)
+                    .unwrap();
+                naive.step(&powers, dt);
+                for i in 0..n {
+                    assert_eq!(
+                        fast.temperature(i).value().to_bits(),
+                        naive.temps[i].to_bits(),
+                        "tile {i} of {cols}x{rows} diverged at step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_stencil() {
+        let mut g = grid(4, 3);
+        let p = vec![Watts::new(2.5); 12];
+        g.step(&p, Seconds::new(1e-3)).unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        // The serialized shape carries only the logical state.
+        assert!(json.contains("floorplan") && json.contains("temps"));
+        assert!(!json.contains("stencil"));
+        let mut back: ThermalGrid = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+        // The rebuilt stencil steps identically to the original.
+        back.step(&p, Seconds::new(1e-3)).unwrap();
+        g.step(&p, Seconds::new(1e-3)).unwrap();
+        for i in 0..12 {
+            assert_eq!(
+                back.temperature(i).value().to_bits(),
+                g.temperature(i).value().to_bits()
+            );
+        }
     }
 
     #[test]

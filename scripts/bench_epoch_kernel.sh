@@ -4,11 +4,14 @@
 # Usage: scripts/bench_epoch_kernel.sh [label]
 #
 # The label names the code state being measured (e.g. "pre_soa_baseline",
-# "soa_kernel"); re-running with an existing label overwrites that entry and
-# keeps the rest, so pre/post comparisons live side by side in the file.
+# "soa_kernel", "vectorized_kernel"); re-running with an existing label
+# overwrites that entry and keeps the rest, so pre/post comparisons live
+# side by side in the file. Extra arguments (e.g. --stage-profile) are
+# forwarded to the benchmark binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-LABEL="${1:-dev}"
+LABEL="${1:-vectorized_kernel}"
+shift || true
 cargo run --release -p odrl-bench --bin epoch_kernel -- \
-    --label "$LABEL" --out BENCH_epoch_kernel.json
+    --label "$LABEL" --out BENCH_epoch_kernel.json "$@"
