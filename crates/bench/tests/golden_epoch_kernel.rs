@@ -24,13 +24,16 @@ const SEED: u64 = 42;
 const BUDGET_FRAC: f64 = 0.6;
 const EPOCHS: u64 = 120;
 
-/// Captured from the pre-refactor kernel (see module docs).
-const GOLDEN_INSTR_BITS: u64 = 0x4228_a949_56c2_d94e;
-const GOLDEN_ENERGY_BITS: u64 = 0x4048_efab_519d_c520;
-const GOLDEN_MEAN_POWER_BITS: u64 = 0x4079_f9a7_ca59_ad54;
+/// Re-captured when the power sensors switched to spare-slot Box-Muller
+/// (each `(ln, sqrt, sin_cos)` evaluation now yields two epochs of noise),
+/// which moved every downstream trajectory. Serial, four-shard and
+/// empty-fault-plan runs still agree on every constant bit for bit.
+const GOLDEN_INSTR_BITS: u64 = 0x4228_afd9_3345_0c22;
+const GOLDEN_ENERGY_BITS: u64 = 0x4049_0737_2bf4_f1ec;
+const GOLDEN_MEAN_POWER_BITS: u64 = 0x407a_122e_cdc9_d155;
 const GOLDEN_OVERSHOOT_BITS: u64 = 0x0000_0000_0000_0000;
-const GOLDEN_SUMMARY_HASH: u64 = 0xee45_311d_891e_47ea;
-const GOLDEN_POLICY_HASH: u64 = 0x1237_6ed4_9bed_0b89;
+const GOLDEN_SUMMARY_HASH: u64 = 0xfe16_4aa4_946d_c5c2;
+const GOLDEN_POLICY_HASH: u64 = 0x6069_4b94_39fd_4edd;
 
 /// FNV-1a over a canonical JSON encoding: cheap, stable, and sensitive to
 /// any bit difference in any serialized field.
@@ -82,6 +85,7 @@ fn check(par: Parallelism, empty_fault_plan: bool) {
     }
     let summary = recorder.finish();
     let policy = ctrl.export_policy();
+
 
     assert_eq!(system.telemetry().epochs(), EPOCHS, "{par:?}");
     assert_eq!(
