@@ -15,18 +15,28 @@
 //!
 //! `--smoke` is the CI gate: a short fault-free run and a short
 //! fault-injected run (watchdog + unreliable budget channel engaged), each
-//! asserting zero steady-state allocations, with no JSON written.
+//! asserting zero steady-state allocations, with no JSON written. It then
+//! repeats the faulted window with structured tracing enabled
+//! (`odrl-obs`), asserting zero steady-state allocations *while tracing*
+//! and a ≤5 % epochs/s overhead (best-of-3 each) against tracing off.
+//!
+//! `--trace <path>` runs a fault-injected, watchdog-enabled scenario with
+//! tracing on and writes the merged event stream as JSONL for
+//! `trace_inspect`.
 //!
 //! Run with: `scripts/bench_epoch_kernel.sh <label>` or
 //! `cargo run --release -p odrl-bench --bin epoch_kernel -- --label <label>`
 
-use odrl_bench::{allocs, build_faulted, ControllerKind, Scenario};
+use odrl_bench::{
+    allocs, build_faulted, build_observed, run_scenario_observed, ControllerKind, Scenario,
+};
 use odrl_controllers::PowerController;
 use odrl_core::{OdRlConfig, OdRlController};
 use odrl_faults::{
     ActuatorFault, BudgetFault, CoreFault, FaultKind, FaultPlan, SensorFault, Target,
 };
 use odrl_manycore::{Observation, Parallelism, Stage, StageTimers, System};
+use odrl_obs::{JsonlSink, ObsConfig, TraceSink};
 use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
 use serde::{Deserialize, Serialize};
@@ -221,7 +231,127 @@ fn smoke() {
         da as f64 / 50.0
     );
     assert_eq!(da, 0, "fault-enabled steady-state epoch must not allocate");
-    println!("\nsmoke OK: zero allocations per epoch, faulted and fault-free");
+
+    smoke_traced();
+    println!(
+        "\nsmoke OK: zero allocations per epoch (fault-free, faulted, traced) \
+         and tracing overhead within budget"
+    );
+}
+
+/// Times one fault-free closed-loop window (30 warmup + `epochs` measured)
+/// with tracing on or off; returns `(epochs_per_sec, allocs_in_window)`.
+fn time_window(traced: bool, epochs: u64) -> (f64, u64) {
+    let mut config = scenario(64)
+        .try_system_config()
+        .expect("scenario parameters are valid");
+    if traced {
+        config.obs = ObsConfig::enabled();
+    }
+    let budget = Watts::new(0.6 * config.max_power().value());
+    let mut system = System::new(config).expect("valid scenario config");
+    let odrl = OdRlConfig {
+        obs: if traced {
+            ObsConfig::enabled()
+        } else {
+            ObsConfig::default()
+        },
+        ..OdRlConfig::default()
+    };
+    let mut controller =
+        OdRlController::new(odrl, &system.spec(), budget).expect("valid OD-RL config");
+    let mut actions = vec![LevelId(0); 64];
+    let mut obs = system.observation(budget);
+    let mut run = |n: u64| {
+        for _ in 0..n {
+            controller.decide_into(&obs, &mut actions);
+            system
+                .step_in_place(&actions)
+                .expect("controller actions are valid");
+            system.observation_into(budget, &mut obs);
+        }
+    };
+    run(30);
+    let a0 = allocs::allocations();
+    let t0 = Instant::now();
+    run(epochs);
+    let dt = t0.elapsed().as_secs_f64();
+    (epochs as f64 / dt, allocs::allocations() - a0)
+}
+
+/// The tracing half of the smoke gate: (a) a fault-injected window with
+/// tracing on must allocate nothing at steady state, (b) best-of-3
+/// fault-free throughput with tracing on must stay within 5 % of
+/// tracing off.
+fn smoke_traced() {
+    let (mut system, mut controller, budget) =
+        build_observed(&scenario(64), ControllerKind::OdRl, Some(&smoke_plan()), true);
+    let mut actions = vec![LevelId(0); 64];
+    let mut obs = system.observation(budget);
+    let mut run = |n: u64| {
+        for _ in 0..n {
+            controller.decide_into(&obs, &mut actions);
+            system
+                .step_in_place(&actions)
+                .expect("controller actions are valid");
+            system.observation_into(budget, &mut obs);
+        }
+    };
+    run(30);
+    let a0 = allocs::allocations();
+    let t0 = Instant::now();
+    run(50);
+    let dt = t0.elapsed().as_secs_f64();
+    let da = allocs::allocations() - a0;
+    let counts = controller.event_counts().expect("tracing enabled");
+    println!(
+        "smoke traced     : {:.1} epochs/s, {:.1} allocs/epoch ({} events)",
+        50.0 / dt,
+        da as f64 / 50.0,
+        counts
+            .total()
+            .saturating_add(system.tracer().map_or(0, |t| t.counts().total()))
+    );
+    assert_eq!(da, 0, "traced steady-state epoch must not allocate");
+
+    // Interleaved best-of-3 so a background hiccup hits both sides alike.
+    let mut best_off: f64 = 0.0;
+    let mut best_on: f64 = 0.0;
+    for _ in 0..3 {
+        best_off = best_off.max(time_window(false, 150).0);
+        best_on = best_on.max(time_window(true, 150).0);
+    }
+    let overhead = best_off / best_on - 1.0;
+    println!(
+        "smoke overhead   : tracing off {best_off:.1} epochs/s, on {best_on:.1} \
+         ({:+.1} %)",
+        overhead * 100.0
+    );
+    assert!(
+        best_on >= best_off * 0.95,
+        "tracing overhead {:.1} % exceeds the 5 % budget",
+        overhead * 100.0
+    );
+}
+
+/// `--trace <path>`: run a fault-injected, watchdog-enabled scenario with
+/// tracing on and export the merged event stream as JSONL.
+fn export_trace(path: &str) {
+    let s = Scenario {
+        epochs: 200,
+        ..scenario(64)
+    };
+    let observed = run_scenario_observed(&s, ControllerKind::OdRl, Some(&smoke_plan()), true);
+    let file = std::fs::File::create(path).expect("writable trace path");
+    let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+    sink.emit_all(&observed.records).expect("trace writes");
+    use std::io::Write;
+    sink.into_inner().flush().expect("trace flush");
+    println!(
+        "wrote {} records to {path} (counts: {})",
+        observed.records.len(),
+        observed.counts.compact()
+    );
 }
 
 fn main() {
@@ -238,8 +368,15 @@ fn main() {
                 smoke();
                 return;
             }
+            "--trace" => {
+                export_trace(&args.next().expect("--trace needs a path"));
+                return;
+            }
             other => {
-                panic!("unknown argument: {other} (expected --label/--out/--stage-profile/--smoke)")
+                panic!(
+                    "unknown argument: {other} \
+                     (expected --label/--out/--stage-profile/--smoke/--trace)"
+                )
             }
         }
     }

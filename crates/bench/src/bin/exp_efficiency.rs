@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p odrl-bench --bin exp_efficiency`
 
 use odrl_bench::{benchmark_sweep_parallel, geometric_mean, sweep_parallelism, ControllerKind};
-use odrl_metrics::{fmt_num, fmt_percent, Table};
+use odrl_metrics::{fmt_num, fmt_percent, fmt_ratio, Table};
 
 fn main() {
     let kinds = ControllerKind::headline_set();
@@ -57,8 +57,8 @@ fn main() {
     println!("{tput}");
 
     println!(
-        "OD-RL efficiency vs best baseline: max gain {} (paper: up to 23%), geomean ratio {:.3}",
+        "OD-RL efficiency vs best baseline: max gain {} (paper: up to 23%), geomean ratio {}",
         fmt_percent(max_gain),
-        geometric_mean(&gains)
+        fmt_ratio(Some(geometric_mean(&gains)))
     );
 }

@@ -9,7 +9,11 @@
 //! * overshoot energy (J) — budget violations under faulty telemetry;
 //! * GIPS — throughput kept while degraded;
 //! * recovery epochs — epochs after the incident ends until true chip
-//!   power holds at or below budget for 10 consecutive epochs.
+//!   power holds at or below budget for 10 consecutive epochs;
+//! * events — per-kind structured-event totals from `odrl-obs`
+//!   (`st`ale / `dd`ead / `dk` dark watchdog flips, `ra` reallocations,
+//!   `rd` redistributions, `ov`ershoot onsets, `f`ault edges) for the
+//!   instrumented OD-RL runs; `n/a` for the uninstrumented baselines.
 //!
 //! OD-RL runs with its sensor watchdog and the unreliable budget channel
 //! (graceful degradation on); the baselines take the same faults with no
@@ -19,7 +23,10 @@
 //! Run with: `cargo run --release -p odrl-bench --bin exp_resilience`
 //! (`--smoke` for the small CI variant).
 
-use odrl_bench::{run_cells_parallel, run_scenario_faulted, sweep_parallelism, ControllerKind, Scenario, TracedRun};
+use odrl_bench::{
+    run_cells_parallel, run_scenario_faulted, run_scenario_observed, sweep_parallelism,
+    ControllerKind, Scenario, TracedRun,
+};
 use odrl_faults::{
     ActuatorFault, BudgetFault, CoreFault, FaultKind, FaultPlan, RandomBurst, SensorFault, Target,
 };
@@ -190,10 +197,16 @@ fn main() {
         .into_iter()
         .flat_map(|i| kinds.iter().map(move |&k| (i, k)))
         .collect();
+    // OD-RL runs carry the structured-event layer (watchdog + tracing);
+    // baselines run uninstrumented, exactly as before.
     let runs = run_cells_parallel(&cells, sweep_parallelism(), |&(intensity, kind)| {
         let plan = plan_for(intensity, cores, epochs);
-        let watchdog = matches!(kind, ControllerKind::OdRl | ControllerKind::OdRlLocal);
-        run_scenario_faulted(&scenario, kind, &plan, watchdog)
+        if matches!(kind, ControllerKind::OdRl | ControllerKind::OdRlLocal) {
+            let observed = run_scenario_observed(&scenario, kind, Some(&plan), true);
+            (observed.traced, Some(observed.counts))
+        } else {
+            (run_scenario_faulted(&scenario, kind, &plan, false), None)
+        }
     });
 
     let mut table = Table::new(vec![
@@ -202,8 +215,9 @@ fn main() {
         "overshoot_j",
         "gips",
         "recovery_ep",
+        "events",
     ]);
-    for (&(intensity, kind), run) in cells.iter().zip(&runs) {
+    for (&(intensity, kind), (run, counts)) in cells.iter().zip(&runs) {
         let s = &run.summary;
         let recovery = if intensity == Intensity::None {
             "-".to_string()
@@ -217,6 +231,7 @@ fn main() {
             fmt_num(s.overshoot_energy.value()),
             fmt_num(s.throughput_ips() / 1e9),
             recovery,
+            counts.map_or_else(|| "n/a".to_string(), |c| c.compact()),
         ]);
     }
     println!("{table}");
@@ -228,7 +243,7 @@ fn main() {
             cells
                 .iter()
                 .position(|&c| c == (intensity, k))
-                .map(|i| runs[i].summary.overshoot_energy.value())
+                .map(|i| runs[i].0.summary.overshoot_energy.value())
                 .unwrap_or(f64::NAN)
         };
         let odrl = row(ControllerKind::OdRl);

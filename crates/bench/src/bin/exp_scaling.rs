@@ -18,7 +18,7 @@ use odrl_bench::{allocs, ControllerKind, Scenario};
 use odrl_controllers::PowerController;
 use odrl_core::{OdRlConfig, OdRlController};
 use odrl_manycore::{Observation, Parallelism, System};
-use odrl_metrics::{fmt_num, Table};
+use odrl_metrics::{fmt_num, fmt_ratio, Table};
 use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
 use std::time::Instant;
@@ -135,7 +135,7 @@ fn main() {
         if n >= 256 {
             worst_ratio = worst_ratio.max(ratio);
         }
-        row.push(format!("{ratio:.1}x"));
+        row.push(fmt_ratio(Some(ratio)));
         table.add_row(row);
         alloc_table.add_row(alloc_row);
     }

@@ -16,6 +16,9 @@
 //!   --threads N           worker threads for the epoch update and the
 //!                         OD-RL decide path (bit-identical results)
 //!                                                      [default: 1]
+//!   --decimate N          keep every Nth telemetry sample; by default a
+//!                         stride is chosen so long-horizon series stay
+//!                         near 10k samples            [default: auto]
 //!   --csv PATH            write the per-epoch telemetry series as CSV
 //!   --config PATH         load the full SystemConfig from a JSON file
 //!                         (overrides --cores/--seed/--mix)
@@ -42,7 +45,7 @@ fn usage() {
     eprintln!(
         "Usage: odrl_sim [--cores N] [--budget FRAC] [--controller NAME] \
          [--epochs N] [--seed N] [--mix POLICY] [--islands SIZE] [--threads N] \
-         [--csv PATH] [--config PATH] [--dump-config]"
+         [--decimate N] [--csv PATH] [--config PATH] [--dump-config]"
     );
 }
 
@@ -112,7 +115,9 @@ fn main() -> ExitCode {
     let cores = config.cores;
     let budget = Watts::new(args.budget_frac * config.max_power().value());
 
-    let mut system = match System::new_recording(config.clone()) {
+    // Long horizons decimate the recorded series (aggregates still fold
+    // in every epoch); `--decimate` overrides the automatic stride.
+    let mut system = match System::new_recording_decimated(config.clone(), args.series_every_n()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");

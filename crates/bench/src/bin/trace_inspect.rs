@@ -1,0 +1,175 @@
+//! Trace inspector: filters and windows a structured JSONL trace
+//! (written by `epoch_kernel --trace` or any `odrl_obs::JsonlSink`) and
+//! prints it as an aligned table plus per-kind totals.
+//!
+//! ```text
+//! trace_inspect out.jsonl                     # whole trace
+//! trace_inspect out.jsonl --core 3            # one core (plus chip rows: --core chip)
+//! trace_inspect out.jsonl --kind fault        # one event family
+//! trace_inspect out.jsonl --around-overshoot 5  # ±5 epochs around each overshoot onset
+//! trace_inspect out.jsonl --limit 40          # first 40 matching rows
+//! ```
+//!
+//! Filters compose (logical AND). `--kind` takes the family names
+//! `watchdog`, `overshoot`, `realloc`, `redistribution`, `rl`, `fault`,
+//! `vf`, `epoch`.
+
+use odrl_metrics::Table;
+use odrl_obs::{read_jsonl, Event, EventRecord, CHIP};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+/// Parsed command line.
+struct Args {
+    path: String,
+    core: Option<u32>,
+    kind: Option<String>,
+    around_overshoot: Option<u64>,
+    limit: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_inspect <trace.jsonl> [--core K|chip] [--kind NAME] \
+         [--around-overshoot N] [--limit M]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut path = None;
+    let mut core = None;
+    let mut kind = None;
+    let mut around_overshoot = None;
+    let mut limit = usize::MAX;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--core" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                core = Some(if v == "chip" {
+                    CHIP
+                } else {
+                    v.parse().unwrap_or_else(|_| usage())
+                });
+            }
+            "--kind" => kind = Some(args.next().unwrap_or_else(|| usage())),
+            "--around-overshoot" => {
+                around_overshoot = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--limit" => {
+                limit = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            other if path.is_none() && !other.starts_with("--") => path = Some(arg),
+            _ => usage(),
+        }
+    }
+    Args {
+        path: path.unwrap_or_else(|| usage()),
+        core,
+        kind,
+        around_overshoot,
+        limit,
+    }
+}
+
+/// Epochs within `±n` of any overshoot onset in the trace.
+fn overshoot_windows(records: &[EventRecord], n: u64) -> Vec<(u64, u64)> {
+    records
+        .iter()
+        .filter(|r| matches!(r.event, Event::OvershootOnset { .. }))
+        .map(|r| (r.epoch.saturating_sub(n), r.epoch.saturating_add(n)))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let file = match std::fs::File::open(&args.path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trace_inspect: cannot open {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match read_jsonl(BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace_inspect: cannot parse {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let total = records.len();
+    let windows = args
+        .around_overshoot
+        .map(|n| overshoot_windows(&records, n));
+    if let (Some(w), Some(n)) = (&windows, args.around_overshoot) {
+        println!(
+            "{} overshoot onset(s); windowing to ±{n} epochs around each",
+            w.len()
+        );
+    }
+
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut table = Table::new(vec!["epoch", "core", "seq", "kind", "detail"]);
+    let mut shown = 0usize;
+    let mut matched = 0usize;
+    for r in &records {
+        if let Some(core) = args.core {
+            if r.core != core {
+                continue;
+            }
+        }
+        if let Some(kind) = &args.kind {
+            if r.event.kind_name() != kind {
+                continue;
+            }
+        }
+        if let Some(w) = &windows {
+            if !w.iter().any(|&(lo, hi)| (lo..=hi).contains(&r.epoch)) {
+                continue;
+            }
+        }
+        matched += 1;
+        *by_kind.entry(r.event.kind_name()).or_insert(0) += 1;
+        if shown < args.limit {
+            let core = if r.core == CHIP {
+                "chip".to_string()
+            } else {
+                r.core.to_string()
+            };
+            table.add_row(vec![
+                r.epoch.to_string(),
+                core,
+                r.seq.to_string(),
+                r.event.kind_name().to_string(),
+                r.event.detail(),
+            ]);
+            shown += 1;
+        }
+    }
+
+    if table.is_empty() {
+        println!("no records match ({total} in trace)");
+        return ExitCode::SUCCESS;
+    }
+    println!("{table}");
+    if shown < matched {
+        println!("... {matched} matched, first {shown} shown (--limit)");
+    }
+    let mut counts = Table::new(vec!["kind", "count"]);
+    for (kind, count) in &by_kind {
+        counts.add_row(vec![(*kind).to_string(), count.to_string()]);
+    }
+    println!("per-kind totals ({matched} of {total} records matched):");
+    println!("{counts}");
+    ExitCode::SUCCESS
+}

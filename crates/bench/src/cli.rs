@@ -25,6 +25,9 @@ pub struct SimArgs {
     /// Worker threads for the per-epoch update and decide paths
     /// (1 = serial; any setting is bit-identical).
     pub threads: usize,
+    /// Telemetry series decimation stride (`None` = choose automatically
+    /// from the horizon; see [`SimArgs::series_every_n`]).
+    pub decimate: Option<u64>,
     /// Optional telemetry CSV output path.
     pub csv: Option<String>,
     /// Optional JSON system-config path.
@@ -44,12 +47,17 @@ impl Default for SimArgs {
             mix: MixPolicy::RoundRobin,
             islands: 1,
             threads: 1,
+            decimate: None,
             csv: None,
             config_path: None,
             dump_config: false,
         }
     }
 }
+
+/// Roughly how many per-epoch telemetry samples an automatic decimation
+/// stride keeps for long-horizon runs.
+const AUTO_SERIES_POINTS: u64 = 10_000;
 
 impl SimArgs {
     /// The intra-epoch parallelism the `--threads` flag asks for.
@@ -59,6 +67,14 @@ impl SimArgs {
         } else {
             Parallelism::Threads(self.threads)
         }
+    }
+
+    /// The telemetry decimation stride: an explicit `--decimate N`, or an
+    /// automatic stride that caps long-horizon series near
+    /// [`AUTO_SERIES_POINTS`] samples (1 = record every epoch).
+    pub fn series_every_n(&self) -> u64 {
+        self.decimate
+            .unwrap_or_else(|| self.epochs.div_ceil(AUTO_SERIES_POINTS).max(1))
     }
 }
 
@@ -140,6 +156,13 @@ where
                     return Err("--threads must be at least 1".into());
                 }
             }
+            "--decimate" => {
+                let n: u64 = value.parse().map_err(|e| format!("--decimate: {e}"))?;
+                if n == 0 {
+                    return Err("--decimate must be at least 1".into());
+                }
+                args.decimate = Some(n);
+            }
             "--csv" => args.csv = Some(value),
             "--config" => args.config_path = Some(value),
             other => return Err(format!("unknown flag `{other}`")),
@@ -198,8 +221,22 @@ mod tests {
     }
 
     #[test]
+    fn decimation_defaults_to_the_horizon_and_accepts_overrides() {
+        // Short horizons keep the full series.
+        assert_eq!(SimArgs::default().series_every_n(), 1);
+        // Long horizons thin automatically to ~AUTO_SERIES_POINTS samples.
+        let long = parse_sim_args(["--epochs", "1000000"]).unwrap();
+        assert_eq!(long.decimate, None);
+        assert_eq!(long.series_every_n(), 100);
+        // An explicit stride always wins.
+        let forced = parse_sim_args(["--epochs", "1000000", "--decimate", "7"]).unwrap();
+        assert_eq!(forced.series_every_n(), 7);
+    }
+
+    #[test]
     fn rejects_bad_inputs() {
         assert!(parse_sim_args(["--budget", "1.5"]).is_err());
+        assert!(parse_sim_args(["--decimate", "0"]).is_err());
         assert!(parse_sim_args(["--islands", "0"]).is_err());
         assert!(parse_sim_args(["--threads", "0"]).is_err());
         assert!(parse_sim_args(["--controller", "nonsense"]).is_err());

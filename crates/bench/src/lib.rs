@@ -42,6 +42,7 @@ use odrl_core::{HierarchicalOdRl, OdRlConfig, OdRlController, WatchdogConfig};
 use odrl_faults::FaultPlan;
 use odrl_manycore::{Parallelism, System, SystemConfig, SystemError, SystemSpec};
 use odrl_metrics::{RunRecorder, RunSummary};
+use odrl_obs::{merge_records, EventCounts, EventRecord, ObsConfig};
 use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
 use std::fmt;
@@ -347,6 +348,105 @@ pub fn build_faulted(
         _ => kind.build_with_odrl_config(&system.spec(), budget, odrl),
     };
     (system, controller, budget)
+}
+
+/// The result of [`run_scenario_observed`]: the traced run plus the
+/// merged structured-event stream and per-kind totals from `odrl-obs`.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The run's summary and power trace.
+    pub traced: TracedRun,
+    /// Every controller- and system-side event, in the canonical
+    /// `(epoch, rank, core)` merge order (shard-count invariant).
+    pub records: Vec<EventRecord>,
+    /// Per-kind event totals (controller + system sides summed).
+    pub counts: EventCounts,
+}
+
+/// As [`build_faulted`], but with structured tracing enabled on both the
+/// system and the controller (see `odrl-obs`), and the fault plan
+/// optional. Baselines still trace nothing controller-side; the system
+/// records fault edges, VF switches and epoch boundaries either way.
+///
+/// # Panics
+///
+/// As [`build_faulted`].
+pub fn build_observed(
+    scenario: &Scenario,
+    kind: ControllerKind,
+    plan: Option<&FaultPlan>,
+    watchdog: bool,
+) -> (System, Box<dyn PowerController>, Watts) {
+    let mut config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
+    config.obs = ObsConfig::enabled();
+    let budget = Watts::new(scenario.budget_frac * config.max_power().value());
+    let mut system = System::new(config).expect("valid scenario config");
+    if let Some(plan) = plan {
+        system.attach_faults(plan).expect("valid fault plan");
+    }
+    let odrl = OdRlConfig {
+        parallelism: scenario.parallelism,
+        watchdog: if watchdog {
+            WatchdogConfig::enabled()
+        } else {
+            WatchdogConfig::default()
+        },
+        obs: ObsConfig::enabled(),
+        ..OdRlConfig::default()
+    };
+    let controller: Box<dyn PowerController> = match kind {
+        ControllerKind::OdRl | ControllerKind::OdRlLocal if watchdog => {
+            let mut c = if kind == ControllerKind::OdRl {
+                OdRlController::new(odrl, &system.spec(), budget)
+            } else {
+                OdRlController::without_reallocation(odrl, &system.spec(), budget)
+            }
+            .expect("valid OD-RL config");
+            if let Some(engine) = system.fault_engine() {
+                c.attach_budget_faults(engine)
+                    .expect("engine and controller core counts match");
+            }
+            Box::new(c)
+        }
+        _ => kind.build_with_odrl_config(&system.spec(), budget, odrl),
+    };
+    (system, controller, budget)
+}
+
+/// Runs one controller through one scenario with structured tracing on,
+/// returning the summary plus the merged event stream and per-kind
+/// counts (see [`build_observed`] for the `plan`/`watchdog` semantics).
+///
+/// # Panics
+///
+/// As [`build_faulted`].
+pub fn run_scenario_observed(
+    scenario: &Scenario,
+    kind: ControllerKind,
+    plan: Option<&FaultPlan>,
+    watchdog: bool,
+) -> ObservedRun {
+    let (mut system, mut controller, budget) = build_observed(scenario, kind, plan, watchdog);
+    let traced = run_loop(&mut system, controller.as_mut(), budget, scenario.epochs);
+    let mut records = Vec::new();
+    controller.extend_trace_into(&mut records);
+    system.extend_trace_into(&mut records);
+    merge_records(&mut records);
+    let system_counts = system
+        .tracer()
+        .map(odrl_manycore::SysTracer::counts)
+        .unwrap_or_default();
+    let counts = controller
+        .event_counts()
+        .unwrap_or_default()
+        .merged(&system_counts);
+    ObservedRun {
+        traced,
+        records,
+        counts,
+    }
 }
 
 /// Runs one controller through one scenario under a fault plan and

@@ -64,6 +64,7 @@ pub use simple::{PriorityGreedy, StaticUniform};
 pub use steepest::SteepestDrop;
 
 use odrl_manycore::Observation;
+use odrl_obs::{EventCounts, EventRecord};
 use odrl_power::LevelId;
 
 /// A per-epoch DVFS power-capping policy.
@@ -97,5 +98,20 @@ pub trait PowerController {
         let mut out = vec![LevelId(0); obs.cores.len()];
         self.decide_into(obs, &mut out);
         out
+    }
+
+    /// Per-kind totals of the structured events this controller recorded,
+    /// when it is instrumented (see `odrl-obs`). The default — and the
+    /// baselines, which have no tracer — report `None`.
+    fn event_counts(&self) -> Option<EventCounts> {
+        None
+    }
+
+    /// Appends every trace record this controller holds onto `out`
+    /// (see `odrl-obs`). The default — and the baselines, which record
+    /// nothing — is a no-op; pass the result through
+    /// `odrl_obs::merge_records` before export.
+    fn extend_trace_into(&self, out: &mut Vec<EventRecord>) {
+        let _ = out;
     }
 }

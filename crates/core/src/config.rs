@@ -3,6 +3,7 @@
 use crate::error::OdRlError;
 use crate::watchdog::WatchdogConfig;
 use odrl_manycore::Parallelism;
+use odrl_obs::ObsConfig;
 use odrl_rl::{Algorithm, Schedule};
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +68,11 @@ pub struct OdRlConfig {
     /// reproduce earlier releases bit-for-bit.
     #[serde(default)]
     pub watchdog: WatchdogConfig,
+    /// Structured tracing and metrics (see `odrl-obs`). Off by default:
+    /// a disabled controller allocates no rings and the hot path costs
+    /// one branch per recording site.
+    #[serde(default)]
+    pub obs: ObsConfig,
     /// Seed for the exploration randomness.
     pub seed: u64,
 }
@@ -96,6 +102,7 @@ impl Default for OdRlConfig {
             algorithm: Algorithm::QLearning,
             parallelism: Parallelism::Serial,
             watchdog: WatchdogConfig::default(),
+            obs: ObsConfig::default(),
             seed: 0,
         }
     }

@@ -4,6 +4,7 @@
 use crate::budget::{AllocScratch, BudgetAllocator};
 use crate::config::OdRlConfig;
 use crate::error::OdRlError;
+use crate::obs::CtrlTracer;
 use crate::reward::RewardShaper;
 use crate::state::StateEncoder;
 use crate::watchdog::SensorWatchdog;
@@ -11,6 +12,7 @@ use odrl_controllers::PowerController;
 use odrl_faults::{BudgetChannel, FaultEngine};
 use odrl_manycore::parallel::{shard_chunks, stream_seed, ShardSplit};
 use odrl_manycore::{Observation, Stage, StageTimers, SystemSpec};
+use odrl_obs::{Event, EventCounts, EventRecord};
 use odrl_power::{LevelId, Watts};
 use odrl_rl::{Agent, Algorithm, DoubleAgent, EpsCache, Policy, RlError, UpdateMask};
 use rand::rngs::StdRng;
@@ -29,7 +31,8 @@ impl CoreAgent {
     /// One fused RL step: price the previous transition (when `prev` holds
     /// its `(state, action, reward)`) and select this epoch's action in a
     /// single pass over the Q-row — the argmax the TD target needs and the
-    /// greedy choice the policy needs are the same scan.
+    /// greedy choice the policy needs are the same scan. The returned flag
+    /// is `true` when the action came from an exploration draw.
     fn decide_learn<R: Rng + ?Sized>(
         &mut self,
         algorithm: Algorithm,
@@ -37,13 +40,13 @@ impl CoreAgent {
         s_next: usize,
         rng: &mut R,
         cache: &mut EpsCache,
-    ) -> Result<usize, RlError> {
+    ) -> Result<(usize, bool), RlError> {
         match self {
             Self::Single(agent) => match algorithm {
-                Algorithm::Sarsa => agent.select_update_sarsa(prev, s_next, rng, cache),
-                _ => agent.select_update_q(prev, s_next, rng, cache),
+                Algorithm::Sarsa => agent.select_update_sarsa_explored(prev, s_next, rng, cache),
+                _ => agent.select_update_q_explored(prev, s_next, rng, cache),
             },
-            Self::Double(agent) => agent.select_update(prev, s_next, rng, cache),
+            Self::Double(agent) => agent.select_update_explored(prev, s_next, rng, cache),
         }
     }
 
@@ -140,6 +143,10 @@ pub struct OdRlController {
     alloc_scratch: AllocScratch,
     /// Double buffer for the per-core budgets across a reallocation.
     budgets_next: Vec<Watts>,
+    /// Structured-event recorder, present only when
+    /// [`OdRlConfig::obs`] enables it (boxed: ~8 bytes on the hot
+    /// struct when tracing is off).
+    tracer: Option<Box<CtrlTracer>>,
     /// Per-stage time spent in the controller side of the epoch pipeline
     /// (`Rl` and `Realloc`); merge with the system's timers for the full
     /// epoch breakdown.
@@ -247,6 +254,13 @@ impl OdRlController {
             mask_prev: UpdateMask::new(spec.cores),
             alloc_scratch: AllocScratch::default(),
             budgets_next: Vec::new(),
+            tracer: config.obs.enabled.then(|| {
+                Box::new(CtrlTracer::new(
+                    &config.obs,
+                    spec.cores,
+                    config.parallelism.shards(spec.cores),
+                ))
+            }),
             timers: StageTimers::new(),
             epochs: 0,
             name: if reallocate { "od-rl" } else { "od-rl-local" },
@@ -304,6 +318,20 @@ impl OdRlController {
     /// set — for telemetry and tests.
     pub fn watchdog(&self) -> Option<&SensorWatchdog> {
         self.watchdog.as_ref()
+    }
+
+    /// The structured-event tracer, when [`OdRlConfig::obs`] enables it.
+    pub fn tracer(&self) -> Option<&CtrlTracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Appends every trace record this controller holds onto `out`
+    /// (no-op when tracing is disabled). Pass the result through
+    /// [`odrl_obs::merge_records`] for the canonical order.
+    pub fn extend_trace_into(&self, out: &mut Vec<EventRecord>) {
+        if let Some(tr) = self.tracer.as_deref() {
+            tr.extend_into(out);
+        }
     }
 
     /// The controller's configuration.
@@ -429,11 +457,21 @@ impl PowerController for OdRlController {
         // Cores beyond the agent population (defensive) get the floor.
         out.fill(LevelId(0));
         self.track_budget(obs.budget);
+        let epoch = self.epochs;
+        // Clock reads only when tracing: the disabled path must cost
+        // nothing beyond the `Option` branches.
+        let t0 = self.tracer.is_some().then(Instant::now);
 
         // Telemetry health first: every degradation decision below keys
         // off the flags this refreshes.
         if let Some(wd) = &mut self.watchdog {
             wd.observe(obs);
+        }
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            if let Some(wd) = &self.watchdog {
+                tr.record_watchdog(epoch, wd);
+            }
+            tr.record_power(epoch, obs.total_power.value(), obs.budget.value());
         }
 
         // Overshoot guard: with chip telemetry dark the controller cannot
@@ -444,6 +482,9 @@ impl PowerController for OdRlController {
         if self.watchdog.as_ref().is_some_and(SensorWatchdog::chip_dark) {
             if let Some(p) = self.pending.take() {
                 self.spare = p;
+            }
+            if let (Some(tr), Some(t0)) = (self.tracer.as_deref_mut(), t0) {
+                tr.end_epoch(epoch, t0);
             }
             self.timers.bump_epoch();
             self.epochs += 1;
@@ -472,6 +513,15 @@ impl PowerController for OdRlController {
                     &mut self.alloc_scratch,
                     &mut self.budgets_next,
                 );
+                if let Some(tr) = self.tracer.as_deref_mut() {
+                    let moved: f64 = self
+                        .budgets_next
+                        .iter()
+                        .zip(&self.budgets)
+                        .map(|(new, old)| (*new - *old).abs().value())
+                        .sum();
+                    tr.record_realloc(epoch, moved);
+                }
                 match &mut self.channel {
                     None => std::mem::swap(&mut self.budgets, &mut self.budgets_next),
                     Some(ch) => {
@@ -513,6 +563,9 @@ impl PowerController for OdRlController {
                         if !wd.is_dead(i) {
                             self.budgets[i] += bonus;
                         }
+                    }
+                    if let Some(tr) = self.tracer.as_deref_mut() {
+                        tr.record_redistribution(epoch, freed);
                     }
                 }
             }
@@ -568,6 +621,12 @@ impl PowerController for OdRlController {
             let old_pending = old_pending.as_deref();
             let wd = self.watchdog.as_ref();
             let prev_valid = self.mask_prev.as_slice();
+            // Exploration events are recorded inside the sharded loop, so
+            // each shard writes a private ring (`base / chunk` — the same
+            // chunking `shard_chunks` applies). Locking is uncontended and
+            // only happens on the rare exploration epochs.
+            let trace_rings = self.tracer.as_deref().map(CtrlTracer::shard_rings);
+            let chunk = n.div_ceil(config.parallelism.shards(n));
             let (rows, _) = self.shaper.rows_view().split_at_mut(n);
             let (mask_bits, _) = self.mask.as_mut_slice().split_at_mut(n);
             shard_chunks(
@@ -637,9 +696,21 @@ impl PowerController for OdRlController {
                         } else {
                             None
                         };
-                        let a_next = agent
+                        let (a_next, explored) = agent
                             .decide_learn(config.algorithm, prev, s_next, rng, &mut cache)
                             .expect("encoded state and indices are in range");
+                        if explored {
+                            if let Some(rings) = trace_rings {
+                                rings[base / chunk].lock().expect("shard ring poisoned").record(
+                                    epoch,
+                                    i as u32,
+                                    Event::RlChoice {
+                                        action: a_next as u8,
+                                        explored: true,
+                                    },
+                                );
+                            }
+                        }
                         dec[j] = (s_next, a_next);
                     }
                 },
@@ -651,8 +722,19 @@ impl PowerController for OdRlController {
         self.spare = old_pending.unwrap_or_default();
         self.pending = Some(decisions);
         self.timers.record(Stage::Rl, t_rl);
+        if let (Some(tr), Some(t0)) = (self.tracer.as_deref_mut(), t0) {
+            tr.end_epoch(epoch, t0);
+        }
         self.timers.bump_epoch();
         self.epochs += 1;
+    }
+
+    fn event_counts(&self) -> Option<EventCounts> {
+        self.tracer.as_deref().map(CtrlTracer::counts)
+    }
+
+    fn extend_trace_into(&self, out: &mut Vec<EventRecord>) {
+        OdRlController::extend_trace_into(self, out);
     }
 }
 
@@ -707,6 +789,60 @@ mod tests {
             system.step(&actions).unwrap();
         }
         (system, ctrl, budget)
+    }
+
+    #[test]
+    fn tracer_absent_by_default_and_event_counts_none() {
+        let (_, ctrl, _) = run(8, 0.6, 20, 9);
+        assert!(ctrl.tracer().is_none());
+        assert!(ctrl.event_counts().is_none());
+        let mut recs = Vec::new();
+        ctrl.extend_trace_into(&mut recs);
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn tracer_records_and_merged_trace_is_shard_count_invariant() {
+        use odrl_manycore::Parallelism;
+        use odrl_obs::{merge_records, ObsConfig};
+
+        let mut traces = Vec::new();
+        let mut counts = Vec::new();
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let sys_config = SystemConfig::builder().cores(16).seed(11).build().unwrap();
+            let budget = Watts::new(0.5 * sys_config.max_power().value());
+            let mut system = System::new(sys_config).unwrap();
+            let mut ctrl = OdRlController::new(
+                OdRlConfig {
+                    seed: 11,
+                    parallelism: par,
+                    obs: ObsConfig {
+                        enabled: true,
+                        ..ObsConfig::default()
+                    },
+                    ..OdRlConfig::default()
+                },
+                &system.spec(),
+                budget,
+            )
+            .unwrap();
+            let mut out = vec![LevelId(0); 16];
+            for _ in 0..150 {
+                let obs = system.observation(budget);
+                ctrl.decide_into(&obs, &mut out);
+                system.step(&out).unwrap();
+            }
+            let c = ctrl.event_counts().expect("tracer enabled");
+            assert!(c.explorations > 0, "epsilon floor guarantees exploration");
+            assert!(c.reallocations > 0, "realloc every 10 epochs");
+            counts.push(c);
+            let mut recs = Vec::new();
+            ctrl.extend_trace_into(&mut recs);
+            merge_records(&mut recs);
+            traces.push(recs);
+        }
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(traces[0], traces[1], "merged trace must not depend on shard count");
     }
 
     #[test]

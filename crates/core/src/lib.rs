@@ -50,6 +50,7 @@ pub mod config;
 pub mod controller;
 pub mod error;
 pub mod hierarchy;
+pub mod obs;
 pub mod reward;
 pub mod state;
 pub mod watchdog;
@@ -59,6 +60,7 @@ pub use config::OdRlConfig;
 pub use controller::{OdRlController, PolicySnapshot};
 pub use error::OdRlError;
 pub use hierarchy::HierarchicalOdRl;
+pub use obs::CtrlTracer;
 pub use reward::RewardShaper;
 pub use state::StateEncoder;
 pub use watchdog::{SensorWatchdog, WatchdogConfig};

@@ -417,6 +417,40 @@ impl FaultState {
         self.budget[i]
     }
 
+    /// Bitmask of the fault classes active on core `i` this epoch, in the
+    /// order of `odrl-obs`'s `FaultClass::ALL`: bit 0 sensor, bit 1
+    /// actuator, bit 2 budget channel, bit 3 unplugged, bit 4 throttled.
+    /// Diffing this mask epoch-to-epoch yields fault inject/clear edges.
+    pub fn class_mask(&self, i: usize) -> u8 {
+        let mut m = 0u8;
+        if self.sensor[i].is_some() {
+            m |= 1;
+        }
+        if self.actuator[i].is_some() {
+            m |= 1 << 1;
+        }
+        if self.budget[i].is_some() {
+            m |= 1 << 2;
+        }
+        if !self.alive[i] {
+            m |= 1 << 3;
+        }
+        if self.throttle[i].is_some() {
+            m |= 1 << 4;
+        }
+        m
+    }
+
+    /// Bitmask of chip-wide fault classes this epoch: bit 5 chip sensor
+    /// (matching `class_mask`'s numbering).
+    pub fn chip_class_mask(&self) -> u8 {
+        if self.chip_sensor.is_some() {
+            1 << 5
+        } else {
+            0
+        }
+    }
+
     /// A read-only view for the (possibly sharded) sensor pass.
     pub fn sensor_view(&self) -> SensorView<'_> {
         SensorView {

@@ -7,6 +7,7 @@ use crate::sensors::SensorModel;
 use crate::sync::SyncModel;
 use crate::variation::VariationModel;
 use odrl_noc::NocConfig;
+use odrl_obs::ObsConfig;
 use odrl_power::{Celsius, CorePowerModel, Seconds, VfTable, Watts};
 use odrl_thermal::ThermalParams;
 use odrl_workload::MixPolicy;
@@ -70,6 +71,11 @@ pub struct SystemConfig {
     /// default is zero so the idealized experiments stay comparable, and
     /// the `transition-overhead` ablation turns it on.
     pub transition_penalty: Seconds,
+    /// Structured tracing + metrics for the simulator side (fault edges,
+    /// VF switches, epoch boundaries). Defaults to off, which costs
+    /// nothing on the hot path.
+    #[serde(default)]
+    pub obs: ObsConfig,
     /// Master seed for workloads and sensor noise.
     pub seed: u64,
 }
@@ -189,6 +195,7 @@ impl Default for SystemConfigBuilder {
                 variation: VariationModel::none(),
                 parallelism: Parallelism::Serial,
                 transition_penalty: Seconds::ZERO,
+                obs: ObsConfig::default(),
                 seed: 0,
             },
         }
@@ -271,6 +278,12 @@ impl SystemConfigBuilder {
     /// Sets the per-VF-transition execution-time penalty.
     pub fn transition_penalty(mut self, penalty: Seconds) -> Self {
         self.config.transition_penalty = penalty;
+        self
+    }
+
+    /// Sets the observability (tracing + metrics) configuration.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.config.obs = obs;
         self
     }
 

@@ -35,6 +35,7 @@
 
 pub mod config;
 pub mod error;
+pub mod obs;
 pub mod parallel;
 pub mod perf;
 pub mod profile;
@@ -48,6 +49,7 @@ pub mod variation;
 
 pub use config::{SystemConfig, SystemConfigBuilder, SystemSpec};
 pub use error::SystemError;
+pub use obs::SysTracer;
 pub use parallel::Parallelism;
 pub use perf::PerfModel;
 pub use profile::{Stage, StageTimers};

@@ -2,6 +2,7 @@
 
 use crate::config::{SystemConfig, SystemSpec};
 use crate::error::SystemError;
+use crate::obs::SysTracer;
 use crate::parallel::{shard_chunks, stream_seed};
 use crate::profile::{Stage, StageTimers};
 use crate::report::{CoreEpoch, CoreObservation, EpochReport, Observation};
@@ -66,6 +67,9 @@ pub struct System {
     /// Compiled fault schedule, when a plan is attached (its per-epoch
     /// scratch lives in `scratch.faults`).
     faults: Option<FaultEngine>,
+    /// System-side flight recorder, present only when
+    /// `SystemConfig::obs.enabled` is set.
+    tracer: Option<Box<SysTracer>>,
     telemetry: Telemetry,
 }
 
@@ -87,6 +91,21 @@ impl System {
     /// As [`System::new`].
     pub fn new_recording(config: SystemConfig) -> Result<Self, SystemError> {
         Self::with_telemetry(config, Telemetry::with_series())
+    }
+
+    /// Builds a system that records every `every_n`-th epoch into the
+    /// telemetry series (aggregates stay exact — see
+    /// [`Telemetry::with_series_decimated`]), bounding series memory for
+    /// long-horizon runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::new`].
+    pub fn new_recording_decimated(
+        config: SystemConfig,
+        every_n: u64,
+    ) -> Result<Self, SystemError> {
+        Self::with_telemetry(config, Telemetry::with_series_decimated(every_n))
     }
 
     fn with_telemetry(config: SystemConfig, telemetry: Telemetry) -> Result<Self, SystemError> {
@@ -128,6 +147,10 @@ impl System {
         };
         let scratch = EpochScratch::new(&config, &streams);
         let coeffs = config.power.coefficients(&config.vf_table);
+        let tracer = config
+            .obs
+            .enabled
+            .then(|| Box::new(SysTracer::new(&config.obs, n)));
         Ok(Self {
             config,
             spec,
@@ -142,6 +165,7 @@ impl System {
             last_report: None,
             noc,
             faults: None,
+            tracer,
             telemetry,
         })
     }
@@ -223,6 +247,21 @@ impl System {
     /// Accumulated run telemetry.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The system-side tracer, when `SystemConfig::obs` is enabled.
+    pub fn tracer(&self) -> Option<&SysTracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Appends the system-side trace records (oldest → newest) onto
+    /// `out`; a no-op when tracing is disabled. Merge with the
+    /// controller's records via `odrl_obs::merge_records` for the
+    /// canonical stream.
+    pub fn extend_trace_into(&self, out: &mut Vec<odrl_obs::EventRecord>) {
+        if let Some(tr) = &self.tracer {
+            tr.extend_into(out);
+        }
     }
 
     /// The report of the most recently executed epoch, if any.
@@ -387,6 +426,9 @@ impl System {
         }
         let fstate: Option<&FaultState> = faults.as_ref();
         let actions: &[LevelId] = fstate.map_or(actions, FaultState::effective);
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.record_fault_edges(epoch, fstate);
+        }
 
         // A VF transition stalls the core for the PLL/VR settling time;
         // record which cores switched before overwriting the level state.
@@ -394,6 +436,13 @@ impl System {
             *s = old != new;
         }
         levels.copy_from_slice(actions);
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            for (i, (&s, &lv)) in switched.iter().zip(actions.iter()).enumerate() {
+                if s {
+                    tr.record_vf(epoch, i as u32, lv.0 as u8);
+                }
+            }
+        }
 
         let t_workload = Instant::now();
         // Pass 1 (sharded): resolved VF point, executing phase signature and
@@ -635,6 +684,9 @@ impl System {
                 temperature: temperature[i],
                 counters: params[i],
             });
+        }
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.record_epoch(epoch, total_power.value());
         }
         self.telemetry.record(report);
         self.epoch += 1;

@@ -33,6 +33,10 @@ pub struct Telemetry {
     peak_power: Watts,
     peak_temperature: Celsius,
     record_series: bool,
+    /// Record every Nth epoch into the series (0 and 1 both mean every
+    /// epoch). Aggregates are never decimated — only the plotting series.
+    #[serde(default)]
+    decimate: u64,
     series: Vec<TelemetrySample>,
 }
 
@@ -51,6 +55,19 @@ impl Telemetry {
         }
     }
 
+    /// Creates telemetry that records every `every_n`-th epoch into the
+    /// series (`0` and `1` both mean every epoch), bounding series memory
+    /// for long-horizon runs to `epochs / every_n` samples. Aggregates
+    /// (instructions, energy, peaks, rates) are computed from every epoch
+    /// regardless of decimation.
+    pub fn with_series_decimated(every_n: u64) -> Self {
+        Self {
+            record_series: true,
+            decimate: every_n,
+            ..Self::default()
+        }
+    }
+
     /// Folds one epoch report into the aggregates.
     pub fn record(&mut self, report: &EpochReport) {
         self.total_instructions += report.total_instructions();
@@ -59,7 +76,7 @@ impl Telemetry {
         self.epochs += 1;
         self.peak_power = self.peak_power.max(report.total_power);
         self.peak_temperature = self.peak_temperature.max(report.max_temperature());
-        if self.record_series {
+        if self.record_series && report.epoch.is_multiple_of(self.decimate.max(1)) {
             self.series.push(TelemetrySample {
                 epoch: report.epoch,
                 time: self.elapsed,
@@ -195,6 +212,38 @@ mod tests {
         let t = Telemetry::new();
         assert_eq!(t.average_throughput_ips(), 0.0);
         assert_eq!(t.instructions_per_joule(), 0.0);
+    }
+
+    #[test]
+    fn decimation_thins_series_but_not_aggregates() {
+        let mut full = Telemetry::with_series();
+        let mut thin = Telemetry::with_series_decimated(4);
+        for epoch in 0..10 {
+            let r = report(epoch, 10.0 + epoch as f64, 1e6);
+            full.record(&r);
+            thin.record(&r);
+        }
+        // Epochs 0, 4, 8 survive decimation.
+        assert_eq!(full.series().len(), 10);
+        assert_eq!(thin.series().len(), 3);
+        assert_eq!(
+            thin.series().iter().map(|s| s.epoch).collect::<Vec<_>>(),
+            vec![0, 4, 8]
+        );
+        // Every aggregate is identical to the undecimated run.
+        assert_eq!(thin.total_instructions(), full.total_instructions());
+        assert_eq!(thin.total_energy(), full.total_energy());
+        assert_eq!(thin.elapsed(), full.elapsed());
+        assert_eq!(thin.epochs(), full.epochs());
+        assert_eq!(thin.peak_power(), full.peak_power());
+        assert_eq!(thin.peak_temperature(), full.peak_temperature());
+        assert_eq!(thin.average_throughput_ips(), full.average_throughput_ips());
+        assert_eq!(thin.instructions_per_joule(), full.instructions_per_joule());
+        // 0 and 1 both mean "every epoch".
+        let mut zero = Telemetry::with_series_decimated(0);
+        zero.record(&report(0, 1.0, 1e6));
+        zero.record(&report(1, 1.0, 1e6));
+        assert_eq!(zero.series().len(), 2);
     }
 
     #[test]

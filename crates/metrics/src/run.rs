@@ -1,8 +1,10 @@
 //! Per-run metric recording and the summary behind every results table.
 
 use crate::stats::OnlineStats;
+use crate::table::{fmt_percent, fmt_ratio};
 use odrl_power::{EnergyAccount, Joules, Seconds, Watts};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Records one controller run epoch-by-epoch and produces a
 /// [`RunSummary`].
@@ -206,6 +208,27 @@ impl Comparison {
     }
 }
 
+impl fmt::Display for Comparison {
+    /// One paper-style line; every ratio goes through [`fmt_ratio`], so a
+    /// zero-overshoot baseline prints `inf`/`n/a` rather than
+    /// `infx`/`nanx`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let overshoot = self
+            .overshoot_reduction
+            .map_or_else(|| "n/a".to_string(), fmt_percent);
+        write!(
+            f,
+            "{} vs {}: throughput {}, overshoot reduction {}, tpoe {}, efficiency {}",
+            self.name,
+            self.baseline,
+            fmt_ratio(Some(self.throughput_ratio)),
+            overshoot,
+            fmt_ratio(self.tpoe_ratio),
+            fmt_ratio(Some(self.efficiency_ratio)),
+        )
+    }
+}
+
 fn safe_ratio(a: f64, b: f64) -> f64 {
     if b == 0.0 {
         if a == 0.0 {
@@ -284,6 +307,23 @@ mod tests {
         let cand2 = summary(1e9, 10.0, 1.0, 1.0);
         let c2 = Comparison::against(&cand2, &base);
         assert_eq!(c2.tpoe_ratio, Some(0.0));
+    }
+
+    #[test]
+    fn display_spells_out_nonfinite_ratios() {
+        // Neither run overshoots: tpoe and reduction are undefined.
+        let cand = summary(1e9, 10.0, 0.0, 1.0);
+        let base = summary(1e9, 10.0, 0.0, 1.0);
+        let line = Comparison::against(&cand, &base).to_string();
+        assert!(line.contains("tpoe n/a"), "{line}");
+        assert!(line.contains("overshoot reduction n/a"), "{line}");
+        assert!(!line.contains("nanx") && !line.contains("NaN"), "{line}");
+
+        // Baseline overshoots, candidate doesn't: tpoe ratio is infinite.
+        let base = summary(1e9, 10.0, 2.0, 1.0);
+        let line = Comparison::against(&cand, &base).to_string();
+        assert!(line.contains("tpoe inf"), "{line}");
+        assert!(!line.contains("infx"), "{line}");
     }
 
     #[test]

@@ -126,10 +126,20 @@ pub fn fmt_num(x: f64) -> String {
 }
 
 /// Formats a ratio as a paper-style multiplier (`12.3x`, `inf`).
+///
+/// Non-finite ratios — the 0/0 and x/0 cases a zero-overshoot baseline
+/// produces — render as `n/a` and `inf` instead of `nanx`/`infx`.
 pub fn fmt_ratio(x: Option<f64>) -> String {
     match x {
         None => "n/a".into(),
-        Some(v) if v.is_infinite() => "inf".into(),
+        Some(v) if v.is_nan() => "n/a".into(),
+        Some(v) if v.is_infinite() => {
+            if v > 0.0 {
+                "inf".into()
+            } else {
+                "-inf".into()
+            }
+        }
         Some(v) => format!("{}x", fmt_num(v)),
     }
 }
@@ -197,5 +207,16 @@ mod tests {
         assert_eq!(fmt_ratio(Some(f64::INFINITY)), "inf");
         assert_eq!(fmt_ratio(Some(44.3)), "44.30x");
         assert_eq!(fmt_percent(0.98), "98.0%");
+    }
+
+    #[test]
+    fn fmt_ratio_nonfinite_never_prints_a_multiplier_suffix() {
+        // 0/0 (a zero-overshoot baseline against a zero-overshoot
+        // candidate) must read as "not applicable", not "nanx".
+        assert_eq!(fmt_ratio(Some(f64::NAN)), "n/a");
+        assert_eq!(fmt_ratio(Some(f64::NEG_INFINITY)), "-inf");
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(!fmt_ratio(Some(v)).ends_with('x'), "{v}");
+        }
     }
 }

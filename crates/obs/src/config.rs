@@ -1,0 +1,167 @@
+//! Observability configuration and the aggregate event-count summary.
+
+use serde::{Deserialize, Serialize};
+
+/// Ring capacity used when [`ObsConfig::ring_capacity`] is 0 ("default").
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Observability switches, embedded in `SystemConfig` and `OdRlConfig`.
+///
+/// Defaults to **off**: the instrumented components then hold no tracer at
+/// all and every recording site is a single `Option` check on the no-op
+/// path, so disabled tracing costs nothing measurable and allocates
+/// nothing.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Whether structured tracing + metrics are recorded.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Per-ring record capacity; 0 means [`DEFAULT_RING_CAPACITY`].
+    /// Rings never grow: once full they overwrite their oldest records.
+    #[serde(default)]
+    pub ring_capacity: usize,
+}
+
+impl ObsConfig {
+    /// Tracing enabled with the default ring capacity.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ring_capacity: 0,
+        }
+    }
+
+    /// Tracing enabled with an explicit per-ring capacity.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        Self {
+            enabled: true,
+            ring_capacity: capacity,
+        }
+    }
+
+    /// The capacity rings are actually built with (resolves the 0 =
+    /// default sentinel).
+    pub fn effective_ring_capacity(&self) -> usize {
+        if self.ring_capacity == 0 {
+            DEFAULT_RING_CAPACITY
+        } else {
+            self.ring_capacity
+        }
+    }
+}
+
+/// Per-kind event totals for one run, summed across the instrumented
+/// components (controller watchdog/budget/RL events plus simulator fault
+/// edges). The compact summary `exp_resilience` prints per cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// Watchdog stale-flag transitions (enter + clear).
+    pub watchdog_stale: u64,
+    /// Watchdog dead-flag transitions (enter + clear).
+    pub watchdog_dead: u64,
+    /// Chip-dark transitions (enter + clear).
+    pub watchdog_dark: u64,
+    /// Coarse-grain budget reallocations applied.
+    pub reallocations: u64,
+    /// Dead-core budget redistributions applied.
+    pub redistributions: u64,
+    /// Budget-overshoot onsets.
+    pub overshoot_onsets: u64,
+    /// RL exploration choices taken.
+    pub explorations: u64,
+    /// Fault windows opened (all classes).
+    pub faults_injected: u64,
+    /// Fault windows closed (all classes).
+    pub faults_cleared: u64,
+}
+
+impl EventCounts {
+    /// Element-wise sum of two summaries (e.g. controller + system).
+    #[must_use]
+    pub fn merged(&self, other: &EventCounts) -> EventCounts {
+        EventCounts {
+            watchdog_stale: self.watchdog_stale + other.watchdog_stale,
+            watchdog_dead: self.watchdog_dead + other.watchdog_dead,
+            watchdog_dark: self.watchdog_dark + other.watchdog_dark,
+            reallocations: self.reallocations + other.reallocations,
+            redistributions: self.redistributions + other.redistributions,
+            overshoot_onsets: self.overshoot_onsets + other.overshoot_onsets,
+            explorations: self.explorations + other.explorations,
+            faults_injected: self.faults_injected + other.faults_injected,
+            faults_cleared: self.faults_cleared + other.faults_cleared,
+        }
+    }
+
+    /// Total events across every kind.
+    pub fn total(&self) -> u64 {
+        self.watchdog_stale
+            + self.watchdog_dead
+            + self.watchdog_dark
+            + self.reallocations
+            + self.redistributions
+            + self.overshoot_onsets
+            + self.explorations
+            + self.faults_injected
+            + self.faults_cleared
+    }
+
+    /// Compact per-kind rendering for table cells, e.g.
+    /// `st2 dd1 dk0 ra12 rd3 ov5 f8` (explorations omitted: they dominate
+    /// volume without being resilience events).
+    pub fn compact(&self) -> String {
+        format!(
+            "st{} dd{} dk{} ra{} rd{} ov{} f{}",
+            self.watchdog_stale,
+            self.watchdog_dead,
+            self.watchdog_dark,
+            self.reallocations,
+            self.redistributions,
+            self.overshoot_onsets,
+            self.faults_injected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off_with_sentinel_capacity() {
+        let c = ObsConfig::default();
+        assert!(!c.enabled);
+        assert_eq!(c.effective_ring_capacity(), DEFAULT_RING_CAPACITY);
+        assert_eq!(ObsConfig::with_ring_capacity(128).effective_ring_capacity(), 128);
+        assert!(ObsConfig::enabled().enabled);
+    }
+
+    #[test]
+    fn serde_missing_fields_mean_disabled() {
+        let c: ObsConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(c, ObsConfig::default());
+        let c: ObsConfig = serde_json::from_str(r#"{"enabled":true}"#).unwrap();
+        assert!(c.enabled);
+        assert_eq!(c.effective_ring_capacity(), DEFAULT_RING_CAPACITY);
+        let json = serde_json::to_string(&ObsConfig::with_ring_capacity(64)).unwrap();
+        let back: ObsConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.effective_ring_capacity(), 64);
+    }
+
+    #[test]
+    fn counts_merge_and_render() {
+        let a = EventCounts {
+            watchdog_stale: 2,
+            faults_injected: 1,
+            ..EventCounts::default()
+        };
+        let b = EventCounts {
+            watchdog_stale: 1,
+            explorations: 10,
+            ..EventCounts::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.watchdog_stale, 3);
+        assert_eq!(m.total(), 14);
+        assert_eq!(m.compact(), "st3 dd0 dk0 ra0 rd0 ov0 f1");
+    }
+}

@@ -1,0 +1,42 @@
+//! # odrl-obs — zero-alloc structured tracing + metrics for the control loop
+//!
+//! A flight-recorder-style observability layer for the OD-RL power
+//! controller and manycore simulator:
+//!
+//! - **Events** ([`Event`], [`EventRecord`]): a compact, `Copy` vocabulary
+//!   of control-loop state changes — epoch boundaries, per-core VF
+//!   actions, budget reallocations and redistributions, watchdog flag
+//!   transitions, fault injection/clear edges, overshoot onset/end, and
+//!   RL exploration choices.
+//! - **Rings** ([`TraceRing`]): fixed-capacity per-shard ring buffers
+//!   allocated at construction; steady-state recording never touches the
+//!   heap. [`merge_records`] merges rings into one canonical stream that
+//!   is bit-identical whether the run used 1, 2, 4 or 8 shards.
+//! - **Metrics** ([`MetricsRegistry`]): named counters, gauges and
+//!   `odrl_metrics::Histogram`s registered once at construction and
+//!   updated by index; [`MetricsRegistry::snapshot_into`] captures them
+//!   per epoch into a reusable [`MetricsSnapshot`] without allocating.
+//! - **Sinks** ([`JsonlSink`], [`CsvSink`], [`MemorySink`]): export-time
+//!   consumers of merged traces, plus [`read_jsonl`] for loading a trace
+//!   back (the `trace_inspect` tool's input path).
+//! - **Config** ([`ObsConfig`]): the enable switch embedded in
+//!   `SystemConfig`/`OdRlConfig`, defaulting to off so uninstrumented
+//!   runs pay nothing; [`EventCounts`] summarizes a run's events per kind.
+//!
+//! The crate deliberately has no dependency on the simulator or
+//! controller crates — they depend on it and push events in.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod event;
+pub mod registry;
+pub mod ring;
+pub mod sink;
+
+pub use config::{EventCounts, ObsConfig, DEFAULT_RING_CAPACITY};
+pub use event::{merge_records, Event, EventRecord, FaultClass, WatchdogFlag, CHIP};
+pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot};
+pub use ring::TraceRing;
+pub use sink::{read_jsonl, CsvSink, JsonlSink, MemorySink, TraceSink};

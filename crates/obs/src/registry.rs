@@ -1,0 +1,238 @@
+//! A registry of named counters, gauges and histograms.
+//!
+//! All metrics are registered once at construction (allocating their
+//! storage and names); after that every update — [`MetricsRegistry::inc`],
+//! [`MetricsRegistry::add`], [`MetricsRegistry::set`],
+//! [`MetricsRegistry::observe`] — is an indexed store with no heap
+//! traffic, and [`MetricsRegistry::snapshot_into`] copies the scalar
+//! metrics into a reusable [`MetricsSnapshot`] without allocating once
+//! the snapshot buffers are warm.
+
+use odrl_metrics::Histogram;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Named counters/gauges/histograms with fixed-at-construction layout.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a monotonically increasing counter (construction time).
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge (construction time).
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a histogram over `[lo, hi)` with `bins` equal bins
+    /// (construction time).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Histogram::new`]'s layout validation.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Result<HistogramId, String> {
+        let h = Histogram::new(lo, hi, bins)?;
+        self.histograms.push((name.to_string(), h));
+        Ok(HistogramId(self.histograms.len() - 1))
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].1 += 1;
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Records a sample into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0].1.record(value);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].1
+    }
+
+    /// The histogram behind a handle.
+    pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Iterates `(name, value)` over all counters.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Iterates `(name, value)` over all gauges.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Iterates `(name, histogram)` over all histograms.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// Looks a counter up by name (diagnostics/tests; O(metrics)).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Copies every counter and gauge into `snap`. The first call sizes
+    /// the snapshot's buffers; every later call with the same registry
+    /// layout is allocation-free.
+    pub fn snapshot_into(&self, epoch: u64, snap: &mut MetricsSnapshot) {
+        snap.epoch = epoch;
+        snap.counters.resize(self.counters.len(), 0);
+        snap.gauges.resize(self.gauges.len(), 0.0);
+        for (dst, (_, v)) in snap.counters.iter_mut().zip(&self.counters) {
+            *dst = *v;
+        }
+        for (dst, (_, v)) in snap.gauges.iter_mut().zip(&self.gauges) {
+            *dst = *v;
+        }
+    }
+
+    /// Renders every metric as `name,value` CSV lines; histograms are
+    /// summarized as `count`, `p50`, `p99`. Export-time only (allocates).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (n, v) in self.counters() {
+            out.push_str(&format!("{n},{v}\n"));
+        }
+        for (n, v) in self.gauges() {
+            out.push_str(&format!("{n},{v}\n"));
+        }
+        for (n, h) in self.histograms() {
+            out.push_str(&format!("{n}_count,{}\n", h.count()));
+            for (q, label) in [(0.5, "p50"), (0.99, "p99")] {
+                if h.count() > 0 {
+                    out.push_str(&format!("{n}_{label},{}\n", h.quantile(q)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A point-in-time copy of a registry's scalar metrics, reusable across
+/// epochs without reallocating.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Epoch the snapshot was taken at.
+    pub epoch: u64,
+    /// Counter values, in registration order.
+    pub counters: Vec<u64>,
+    /// Gauge values, in registration order.
+    pub gauges: Vec<f64>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot (sized on first [`MetricsRegistry::snapshot_into`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_update_in_place() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("flips");
+        let g = reg.gauge("scale");
+        reg.inc(c);
+        reg.add(c, 4);
+        reg.set(g, 1.25);
+        assert_eq!(reg.counter_value(c), 5);
+        assert_eq!(reg.gauge_value(g), 1.25);
+        assert_eq!(reg.counter_by_name("flips"), Some(5));
+        assert_eq!(reg.counter_by_name("missing"), None);
+    }
+
+    #[test]
+    fn histograms_record_and_summarize() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("latency", 0.0, 100.0, 10).unwrap();
+        for v in [5.0, 15.0, 15.0, 95.0] {
+            reg.observe(h, v);
+        }
+        assert_eq!(reg.histogram_ref(h).count(), 4);
+        let csv = reg.to_csv();
+        assert!(csv.contains("latency_count,4"));
+        assert!(reg.histogram("bad", 10.0, 0.0, 4).is_err());
+    }
+
+    #[test]
+    fn snapshot_reuses_buffers() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("a");
+        let g = reg.gauge("b");
+        let mut snap = MetricsSnapshot::new();
+        reg.snapshot_into(0, &mut snap);
+        let cap_c = snap.counters.capacity();
+        let cap_g = snap.gauges.capacity();
+        reg.inc(c);
+        reg.set(g, 2.0);
+        for epoch in 1..50 {
+            reg.snapshot_into(epoch, &mut snap);
+        }
+        assert_eq!(snap.epoch, 49);
+        assert_eq!(snap.counters, vec![1]);
+        assert_eq!(snap.gauges, vec![2.0]);
+        assert_eq!(snap.counters.capacity(), cap_c);
+        assert_eq!(snap.gauges.capacity(), cap_g);
+    }
+}

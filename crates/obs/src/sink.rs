@@ -1,0 +1,215 @@
+//! Trace sinks: JSONL and CSV exporters plus an in-memory sink for tests.
+//!
+//! Sinks consume *merged* records (see [`crate::merge_records`]) at
+//! export time — the hot loop only ever touches the preallocated rings,
+//! so sinks are free to allocate and do I/O.
+
+use crate::event::EventRecord;
+use std::io::{self, BufRead, Write};
+
+/// A consumer of merged trace records.
+pub trait TraceSink {
+    /// Emits one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error, if any.
+    fn emit(&mut self, record: &EventRecord) -> io::Result<()>;
+
+    /// Emits every record in order.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceSink::emit`].
+    fn emit_all(&mut self, records: &[EventRecord]) -> io::Result<()> {
+        for r in records {
+            self.emit(r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes one JSON object per line (the `trace_inspect` input format).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        Self { writer }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, record: &EventRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+}
+
+/// Writes `epoch,core,seq,kind,detail` CSV rows (header emitted first).
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    writer: W,
+    wrote_header: bool,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            wrote_header: false,
+        }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for CsvSink<W> {
+    fn emit(&mut self, record: &EventRecord) -> io::Result<()> {
+        if !self.wrote_header {
+            self.writer.write_all(b"epoch,core,seq,kind,detail\n")?;
+            self.wrote_header = true;
+        }
+        let core = if record.core == crate::event::CHIP {
+            "chip".to_string()
+        } else {
+            record.core.to_string()
+        };
+        writeln!(
+            self.writer,
+            "{},{},{},{},{}",
+            record.epoch,
+            core,
+            record.seq,
+            record.event.kind_name(),
+            record.event.detail()
+        )
+    }
+}
+
+/// Collects records in memory (tests and programmatic consumers).
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    /// The records received, in emit order.
+    pub records: Vec<EventRecord>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, record: &EventRecord) -> io::Result<()> {
+        self.records.push(*record);
+        Ok(())
+    }
+}
+
+/// Parses a JSONL trace (as written by [`JsonlSink`]) back into records.
+/// Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] for unreadable input or undecodable lines.
+pub fn read_jsonl<R: BufRead>(reader: R) -> io::Result<Vec<EventRecord>> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let rec: EventRecord = serde_json::from_str(trimmed)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, FaultClass, WatchdogFlag, CHIP};
+
+    fn sample() -> Vec<EventRecord> {
+        vec![
+            EventRecord {
+                epoch: 1,
+                core: 0,
+                seq: 0,
+                event: Event::Watchdog {
+                    flag: WatchdogFlag::Stale,
+                    entered: true,
+                },
+            },
+            EventRecord {
+                epoch: 1,
+                core: 3,
+                seq: 1,
+                event: Event::FaultInjected {
+                    class: FaultClass::Sensor,
+                },
+            },
+            EventRecord {
+                epoch: 1,
+                core: CHIP,
+                seq: 2,
+                event: Event::Epoch { power_w: 12.5 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let records = sample();
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit_all(&records).unwrap();
+        let bytes = sink.into_inner();
+        assert_eq!(bytes.iter().filter(|&&b| b == b'\n').count(), 3);
+        let parsed = read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_and_rejects_garbage() {
+        let parsed = read_jsonl("\n\n".as_bytes()).unwrap();
+        assert!(parsed.is_empty());
+        assert!(read_jsonl("not json\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn csv_has_header_and_chip_label() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.emit_all(&sample()).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "epoch,core,seq,kind,detail");
+        assert!(lines[1].contains("watchdog"));
+        assert!(lines[3].starts_with("1,chip,"));
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        sink.emit_all(&sample()).unwrap();
+        assert_eq!(sink.records.len(), 3);
+        assert_eq!(sink.records[1].core, 3);
+    }
+}

@@ -161,19 +161,40 @@ impl Agent {
         rng: &mut R,
         cache: &mut EpsCache,
     ) -> Result<usize, RlError> {
+        self.select_update_q_explored(prev, s_next, rng, cache)
+            .map(|(a, _)| a)
+    }
+
+    /// Like [`Agent::select_update_q`] but also reports whether the
+    /// selection explored (ε branch). Identical RNG draws and Q updates;
+    /// the unfused fallback (softmax, UCB1) reports `false`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::select_update_q`].
+    pub fn select_update_q_explored<R: Rng + ?Sized>(
+        &mut self,
+        prev: Option<(usize, usize, f64)>,
+        s_next: usize,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool), RlError> {
         let (best, max_v) = self.q.best_action_and_max(s_next)?;
-        let a_next = match self
-            .policy
-            .select_from_argmax(self.q.actions(), best, self.step, rng, cache)
-        {
-            Some(a) => a,
-            None => self.policy.select(&self.q, s_next, self.step, rng)?,
+        let (a_next, explored) = match self.policy.select_from_argmax_explored(
+            self.q.actions(),
+            best,
+            self.step,
+            rng,
+            cache,
+        ) {
+            Some(pair) => pair,
+            None => (self.policy.select(&self.q, s_next, self.step, rng)?, false),
         };
         self.step += 1;
         if let Some((s, a, reward)) = prev {
             self.td_update(s, a, reward, max_v)?;
         }
-        Ok(a_next)
+        Ok((a_next, explored))
     }
 
     /// Fused select + SARSA update: like [`Agent::select_update_q`] but the
@@ -191,20 +212,41 @@ impl Agent {
         rng: &mut R,
         cache: &mut EpsCache,
     ) -> Result<usize, RlError> {
+        self.select_update_sarsa_explored(prev, s_next, rng, cache)
+            .map(|(a, _)| a)
+    }
+
+    /// Like [`Agent::select_update_sarsa`] but also reports whether the
+    /// selection explored (ε branch). Identical RNG draws and Q updates;
+    /// the unfused fallback (softmax, UCB1) reports `false`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::select_update_sarsa`].
+    pub fn select_update_sarsa_explored<R: Rng + ?Sized>(
+        &mut self,
+        prev: Option<(usize, usize, f64)>,
+        s_next: usize,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool), RlError> {
         let (best, _) = self.q.best_action_and_max(s_next)?;
-        let a_next = match self
-            .policy
-            .select_from_argmax(self.q.actions(), best, self.step, rng, cache)
-        {
-            Some(a) => a,
-            None => self.policy.select(&self.q, s_next, self.step, rng)?,
+        let (a_next, explored) = match self.policy.select_from_argmax_explored(
+            self.q.actions(),
+            best,
+            self.step,
+            rng,
+            cache,
+        ) {
+            Some(pair) => pair,
+            None => (self.policy.select(&self.q, s_next, self.step, rng)?, false),
         };
         self.step += 1;
         if let Some((s, a, reward)) = prev {
             let bootstrap = self.q.get(s_next, a_next)?;
             self.td_update(s, a, reward, bootstrap)?;
         }
-        Ok(a_next)
+        Ok((a_next, explored))
     }
 
     fn td_update(

@@ -180,6 +180,24 @@ impl DoubleAgent {
         rng: &mut R,
         cache: &mut EpsCache,
     ) -> Result<usize, RlError> {
+        self.select_update_explored(prev, s_next, rng, cache)
+            .map(|(a, _)| a)
+    }
+
+    /// Like [`DoubleAgent::select_update`] but also reports whether the
+    /// selection explored (ε branch). Identical RNG draws and table
+    /// updates; the unfused fallback (softmax, UCB1) reports `false`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DoubleAgent::select_update`].
+    pub fn select_update_explored<R: Rng + ?Sized>(
+        &mut self,
+        prev: Option<(usize, usize, f64)>,
+        s_next: usize,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool), RlError> {
         let qa_row = self.qa.row(s_next)?;
         let qb_row = self.qb.row(s_next)?;
         let len = qa_row.len();
@@ -195,14 +213,16 @@ impl DoubleAgent {
             best_a = if qa_row[i] > qa_row[best_a] { i } else { best_a };
             best_b = if qb_row[i] > qb_row[best_b] { i } else { best_b };
         }
-        let a_next = match self
+        let (a_next, explored) = match self
             .policy
-            .select_from_argmax(len, best_c, self.step, rng, cache)
+            .select_from_argmax_explored(len, best_c, self.step, rng, cache)
         {
-            Some(a) => a,
-            None => self
-                .policy
-                .select_with(len, |i| qa_row[i] + qb_row[i], self.step, rng),
+            Some(pair) => pair,
+            None => (
+                self.policy
+                    .select_with(len, |i| qa_row[i] + qb_row[i], self.step, rng),
+                false,
+            ),
         };
         self.step += 1;
         if let Some((s, a, reward)) = prev {
@@ -227,7 +247,7 @@ impl DoubleAgent {
             let target = reward + self.gamma * bootstrap;
             upd.set(s, a, old + alpha * (target - old))?;
         }
-        Ok(a_next)
+        Ok((a_next, explored))
     }
 
     /// Fraction of `(s, a)` pairs visited in either table.

@@ -149,14 +149,30 @@ impl Policy {
         rng: &mut R,
         cache: &mut EpsCache,
     ) -> Option<usize> {
+        self.select_from_argmax_explored(len, greedy, t, rng, cache)
+            .map(|(a, _)| a)
+    }
+
+    /// Like [`Policy::select_from_argmax`] but also reports whether the
+    /// selection *explored* (took the ε branch rather than the greedy
+    /// action). Identical RNG draw sequence, so swapping between the two
+    /// never perturbs a seeded run. [`Policy::Greedy`] never explores.
+    pub fn select_from_argmax_explored<R: Rng + ?Sized>(
+        &self,
+        len: usize,
+        greedy: usize,
+        t: u64,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Option<(usize, bool)> {
         match self {
-            Self::Greedy => Some(greedy),
+            Self::Greedy => Some((greedy, false)),
             Self::EpsilonGreedy { epsilon } => {
                 let eps = cache.value(epsilon, t);
                 if rng.gen::<f64>() < eps {
-                    Some(rng.gen_range(0..len))
+                    Some((rng.gen_range(0..len), true))
                 } else {
-                    Some(greedy)
+                    Some((greedy, false))
                 }
             }
             _ => None,

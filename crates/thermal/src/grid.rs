@@ -57,13 +57,16 @@ impl Serialize for ThermalGrid {
     fn to_value(&self) -> serde::Value {
         GridRepr {
             floorplan: self.floorplan,
-            params: self.params.clone(),
+            params: self.params,
             temps: self.temps.clone(),
         }
         .to_value()
     }
 }
 
+// Infallible by design: the derive layer only routes deserialization
+// through `try_from`, and rebuilding the stencil cannot fail.
+#[allow(clippy::infallible_try_from)]
 impl TryFrom<GridRepr> for ThermalGrid {
     type Error = std::convert::Infallible;
 
@@ -539,7 +542,7 @@ mod tests {
         fn of(g: &ThermalGrid) -> Self {
             Self {
                 floorplan: g.floorplan(),
-                params: g.params().clone(),
+                params: *g.params(),
                 temps: g.temperatures().iter().map(|t| t.value()).collect(),
             }
         }
