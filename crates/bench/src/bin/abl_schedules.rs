@@ -8,22 +8,26 @@
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin abl_schedules`
 
-use odrl_bench::{run_cells_parallel, run_loop, sweep_parallelism, ControllerKind, Scenario};
+use odrl_bench::{
+    run_cells_parallel, run_loop, sweep_parallelism, ChipRun, ControllerKind, RunBuilder, Scenario,
+};
 use odrl_core::OdRlConfig;
-use odrl_manycore::{Parallelism, System};
+use odrl_manycore::Parallelism;
 use odrl_metrics::{fmt_num, fmt_percent, Table};
-use odrl_power::Watts;
 use odrl_rl::Schedule;
 use odrl_workload::MixPolicy;
 
 fn run_with(config: OdRlConfig, scenario: &Scenario) -> odrl_metrics::RunSummary {
-    let sys_config = scenario
-        .try_system_config()
-        .expect("scenario parameters are valid");
-    let budget = Watts::new(scenario.budget_frac * sys_config.max_power().value());
-    let mut system = System::new(sys_config).expect("valid config");
-    let mut ctrl = ControllerKind::OdRl.build_with_odrl_config(&system.spec(), budget, config);
-    run_loop(&mut system, ctrl.as_mut(), budget, scenario.epochs).summary
+    let ChipRun {
+        mut system,
+        mut controller,
+        budget,
+    } = RunBuilder::new(scenario.clone())
+        .controller(ControllerKind::OdRl)
+        .odrl(config)
+        .build_chip()
+        .expect("valid ablation configuration");
+    run_loop(&mut system, controller.as_mut(), budget, scenario.epochs).summary
 }
 
 fn main() {

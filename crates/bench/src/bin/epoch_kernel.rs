@@ -27,9 +27,7 @@
 //! Run with: `scripts/bench_epoch_kernel.sh <label>` or
 //! `cargo run --release -p odrl-bench --bin epoch_kernel -- --label <label>`
 
-use odrl_bench::{
-    allocs, build_faulted, build_observed, run_scenario_observed, ControllerKind, Scenario,
-};
+use odrl_bench::{allocs, run_scenario_observed, ChipRun, ControllerKind, RunBuilder, Scenario};
 use odrl_controllers::PowerController;
 use odrl_core::{OdRlConfig, OdRlController};
 use odrl_faults::{
@@ -206,8 +204,16 @@ fn smoke() {
         "fault-free steady-state epoch must not allocate"
     );
 
-    let (mut system, mut controller, budget) =
-        build_faulted(&scenario(64), ControllerKind::OdRl, &smoke_plan(), true);
+    let ChipRun {
+        mut system,
+        mut controller,
+        budget,
+    } = RunBuilder::new(scenario(64))
+        .controller(ControllerKind::OdRl)
+        .faults(smoke_plan())
+        .watchdog(true)
+        .build_chip()
+        .expect("valid smoke configuration");
     let mut actions = vec![LevelId(0); 64];
     let mut obs = system.observation(budget);
     let mut run = |n: u64| {
@@ -284,8 +290,17 @@ fn time_window(traced: bool, epochs: u64) -> (f64, u64) {
 /// fault-free throughput with tracing on must stay within 5 % of
 /// tracing off.
 fn smoke_traced() {
-    let (mut system, mut controller, budget) =
-        build_observed(&scenario(64), ControllerKind::OdRl, Some(&smoke_plan()), true);
+    let ChipRun {
+        mut system,
+        mut controller,
+        budget,
+    } = RunBuilder::new(scenario(64))
+        .controller(ControllerKind::OdRl)
+        .faults(smoke_plan())
+        .watchdog(true)
+        .obs(true)
+        .build_chip()
+        .expect("valid smoke configuration");
     let mut actions = vec![LevelId(0); 64];
     let mut obs = system.observation(budget);
     let mut run = |n: u64| {

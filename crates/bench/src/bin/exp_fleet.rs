@@ -1,0 +1,139 @@
+//! **E14** — Fleet scaling: chips × cores under the rack-level budget
+//! arbiter.
+//!
+//! Steps fleets of N chips (each a full closed-loop system + OD-RL
+//! controller) concurrently on the deterministic shard pool, with the
+//! rack-level [`odrl_fleet::BudgetArbiter`] re-dividing the fleet power
+//! budget every few epochs. Reports epochs/s and cores-stepped/s per
+//! fleet shape, serial vs sharded cross-chip fan-out (bit-identical
+//! results either way — the fan-out only buys wall-clock time).
+//!
+//! `--smoke` is the CI gate: a small scaling slice plus a 16-chip ×
+//! 1024-core fleet window asserting that the arbitrated per-chip budgets
+//! sum to the fleet budget after every epoch.
+//!
+//! Run with: `cargo run --release -p odrl-bench --bin exp_fleet`
+//! (add `-- --smoke` for the CI gate).
+
+use odrl_bench::{Fleet, RunBuilder, Scenario};
+use odrl_manycore::Parallelism;
+use odrl_metrics::{fmt_num, Table};
+use odrl_workload::MixPolicy;
+use std::time::Instant;
+
+/// The per-chip scenario every fleet cell replicates (the fleet layer
+/// decorrelates seeds per chip).
+fn scenario(cores: usize, epochs: u64) -> Scenario {
+    Scenario {
+        cores,
+        budget_frac: 0.6,
+        epochs,
+        mix: MixPolicy::RoundRobin,
+        seed: 11,
+        parallelism: Parallelism::Serial,
+    }
+}
+
+/// Builds one fleet cell (reallocation every 20 epochs).
+fn build(chips: usize, cores: usize, epochs: u64, par: Parallelism) -> Fleet {
+    RunBuilder::new(scenario(cores, epochs))
+        .arbiter_period(20)
+        .fleet_parallelism(par)
+        .build_fleet(chips)
+        .expect("valid fleet configuration")
+}
+
+/// Runs one cell and returns `(epochs_per_sec, cores_stepped_per_sec)`.
+fn run_cell(chips: usize, cores: usize, epochs: u64, par: Parallelism) -> (f64, f64) {
+    let mut fleet = build(chips, cores, epochs, par);
+    let fleet_cores = fleet.num_cores() as f64;
+    let t0 = Instant::now();
+    fleet.run(epochs).expect("fleet run completes");
+    let dt = t0.elapsed().as_secs_f64();
+    let eps = epochs as f64 / dt;
+    (eps, eps * fleet_cores)
+}
+
+/// Steps a fleet epoch by epoch, asserting after every epoch that the
+/// arbitrated per-chip shares sum to the fleet budget (the conservation
+/// invariant the arbiter maintains bit-exactly on its side of the lossy
+/// links).
+fn conservation_gate(chips: usize, cores: usize, epochs: u64) {
+    let mut fleet = RunBuilder::new(scenario(cores, epochs))
+        .arbiter_period(2)
+        .build_fleet(chips)
+        .expect("valid fleet configuration");
+    let total = fleet.total_budget().value();
+    for _ in 0..epochs {
+        fleet.step_epoch().expect("fleet epoch completes");
+        let sum = fleet.arbitrated_sum();
+        assert!(
+            (sum - total).abs() <= 1e-9 * total,
+            "epoch {}: arbitrated shares sum to {sum} W, fleet budget is {total} W",
+            fleet.epoch()
+        );
+    }
+    println!(
+        "conservation     : {} chips x {} cores ({} fleet cores), {} epochs, \
+         {} arbiter rounds, shares sum to budget every epoch",
+        chips,
+        cores,
+        fleet.num_cores(),
+        fleet.epoch(),
+        fleet.arbiter().rounds()
+    );
+}
+
+/// The CI gate: a short scaling slice plus the 16-chip × 1024-core
+/// conservation window. Panics on regression.
+fn smoke() {
+    for &(chips, cores) in &[(1usize, 64usize), (4, 64), (16, 64)] {
+        let (eps, cps) = run_cell(chips, cores, 30, Parallelism::Auto);
+        println!(
+            "smoke {:>2} x {:>3}   : {:>8} epochs/s, {:>8} cores-stepped/s",
+            chips,
+            cores,
+            fmt_num(eps),
+            fmt_num(cps)
+        );
+    }
+    conservation_gate(16, 64, 10);
+    println!("\nsmoke OK: fleet scaling slice ran and budgets stay conserved");
+}
+
+fn main() {
+    let smoke_only = std::env::args().skip(1).any(|a| a == "--smoke");
+    if smoke_only {
+        smoke();
+        return;
+    }
+
+    println!("E14: fleet scaling under the rack-level budget arbiter\n");
+    let epochs = 200u64;
+    let mut table = Table::new(vec![
+        "chips",
+        "cores/chip",
+        "fleet cores",
+        "serial eps",
+        "auto eps",
+        "auto cores/s",
+        "speedup",
+    ]);
+    for &cores in &[64usize, 256] {
+        for &chips in &[1usize, 2, 4, 8, 16] {
+            let (serial_eps, _) = run_cell(chips, cores, epochs, Parallelism::Serial);
+            let (auto_eps, auto_cps) = run_cell(chips, cores, epochs, Parallelism::Auto);
+            table.add_row(vec![
+                chips.to_string(),
+                cores.to_string(),
+                (chips * cores).to_string(),
+                fmt_num(serial_eps),
+                fmt_num(auto_eps),
+                fmt_num(auto_cps),
+                format!("{:.2}x", auto_eps / serial_eps),
+            ]);
+        }
+    }
+    println!("{table}");
+    conservation_gate(16, 64, 20);
+}

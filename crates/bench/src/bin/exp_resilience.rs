@@ -28,7 +28,8 @@ use odrl_bench::{
     ControllerKind, Scenario, TracedRun,
 };
 use odrl_faults::{
-    ActuatorFault, BudgetFault, CoreFault, FaultKind, FaultPlan, RandomBurst, SensorFault, Target,
+    ActuatorFault, BudgetFault, ChipScope, CoreFault, FaultKind, FaultPlan, RandomBurst,
+    SensorFault, Target,
 };
 use odrl_manycore::Parallelism;
 use odrl_metrics::{fmt_num, Table};
@@ -109,6 +110,7 @@ fn plan_for(intensity: Intensity, n: usize, epochs: u64) -> FaultPlan {
             end: epochs,
             rate_per_kepoch: rate,
             duration: 8,
+            chip: ChipScope::All,
         })
         .with_burst(RandomBurst {
             kind: FaultKind::Budget(BudgetFault::Lost),
@@ -116,6 +118,7 @@ fn plan_for(intensity: Intensity, n: usize, epochs: u64) -> FaultPlan {
             end: epochs,
             rate_per_kepoch: rate,
             duration: 8,
+            chip: ChipScope::All,
         });
     if intensity != Intensity::Light {
         plan = plan
@@ -125,6 +128,7 @@ fn plan_for(intensity: Intensity, n: usize, epochs: u64) -> FaultPlan {
                 end: epochs,
                 rate_per_kepoch: rate / 2.0,
                 duration: 4,
+                chip: ChipScope::All,
             })
             .with_burst(RandomBurst {
                 kind: FaultKind::Actuator(ActuatorFault::Delayed { epochs: 2 }),
@@ -132,6 +136,7 @@ fn plan_for(intensity: Intensity, n: usize, epochs: u64) -> FaultPlan {
                 end: epochs,
                 rate_per_kepoch: rate / 2.0,
                 duration: 8,
+                chip: ChipScope::All,
             });
     }
     if intensity == Intensity::Heavy {
@@ -141,6 +146,7 @@ fn plan_for(intensity: Intensity, n: usize, epochs: u64) -> FaultPlan {
             end: epochs,
             rate_per_kepoch: rate / 3.0,
             duration: 12,
+            chip: ChipScope::All,
         });
     }
     plan

@@ -71,7 +71,7 @@ impl SimArgs {
 
     /// The telemetry decimation stride: an explicit `--decimate N`, or an
     /// automatic stride that caps long-horizon series near
-    /// [`AUTO_SERIES_POINTS`] samples (1 = record every epoch).
+    /// `AUTO_SERIES_POINTS` (10 000) samples (1 = record every epoch).
     pub fn series_every_n(&self) -> u64 {
         self.decimate
             .unwrap_or_else(|| self.epochs.div_ceil(AUTO_SERIES_POINTS).max(1))

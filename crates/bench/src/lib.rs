@@ -17,6 +17,7 @@
 //! | `exp_variation` | E10 — process variation |
 //! | `exp_noc` | E11 — mesh NoC contention |
 //! | `exp_extended_range` | E12 — near-threshold extended-range DVFS |
+//! | `exp_fleet` | E14 — multi-chip fleet scaling under the rack arbiter |
 //! | `abl_reallocation` | A1 — global reallocation on/off |
 //! | `abl_discretization` | A2 — state-bin granularity |
 //! | `abl_schedules` | A3 — exploration/learning-rate schedules |
@@ -25,8 +26,9 @@
 //! | `workload_report` | suite characterization table |
 //! | `odrl_sim` | CLI driver for one-off scenarios (JSON configs) |
 //!
-//! The shared machinery lives here: [`Scenario`] describes a run,
-//! [`ControllerKind`] names a controller, and [`run_scenario`] executes the
+//! The shared machinery lives here and in `odrl-fleet`: [`Scenario`]
+//! describes a run, [`ControllerKind`] names a controller, [`RunBuilder`]
+//! composes single-chip and fleet runs, and [`run_scenario`] executes the
 //! closed loop and returns a [`RunSummary`].
 
 #![warn(missing_docs)]
@@ -34,233 +36,22 @@
 pub mod allocs;
 pub mod cli;
 
-use odrl_controllers::{
-    MaxBips, MaxBipsMode, OndemandGovernor, OndemandTuning, PidController, PidGains,
-    PowerController, PriorityGreedy, StaticUniform, SteepestDrop,
-};
-use odrl_core::{HierarchicalOdRl, OdRlConfig, OdRlController, WatchdogConfig};
+use odrl_controllers::PowerController;
 use odrl_faults::FaultPlan;
-use odrl_manycore::{Parallelism, System, SystemConfig, SystemError, SystemSpec};
+use odrl_manycore::{Parallelism, System};
 use odrl_metrics::{RunRecorder, RunSummary};
-use odrl_obs::{merge_records, EventCounts, EventRecord, ObsConfig};
+use odrl_obs::{merge_records, EventCounts, EventRecord};
 use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
-use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-/// One experiment run: system size, workload, budget and length.
-#[derive(Debug, Clone)]
-pub struct Scenario {
-    /// Number of cores.
-    pub cores: usize,
-    /// Chip power budget as a fraction of `SystemConfig::max_power()`.
-    pub budget_frac: f64,
-    /// Number of control epochs.
-    pub epochs: u64,
-    /// Workload assignment.
-    pub mix: MixPolicy,
-    /// Master seed.
-    pub seed: u64,
-    /// How the per-core work *inside* each epoch executes (forwarded to
-    /// [`SystemConfig`] and [`OdRlConfig`]). Bit-identical at every setting;
-    /// orthogonal to the cross-run fan-out of [`run_scenarios_parallel`].
-    pub parallelism: Parallelism,
-}
-
-/// Why a [`Scenario`] could not be turned into a runnable configuration.
-#[derive(Debug)]
-#[non_exhaustive]
-pub enum ScenarioError {
-    /// `budget_frac` is not a finite, non-negative number.
-    BudgetFraction(f64),
-    /// The underlying system configuration failed validation.
-    Config(SystemError),
-}
-
-impl fmt::Display for ScenarioError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::BudgetFraction(v) => {
-                write!(f, "budget fraction {v} is not a finite non-negative number")
-            }
-            Self::Config(e) => write!(f, "invalid system configuration: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ScenarioError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            Self::BudgetFraction(_) => None,
-            Self::Config(e) => Some(e),
-        }
-    }
-}
-
-impl From<SystemError> for ScenarioError {
-    fn from(e: SystemError) -> Self {
-        Self::Config(e)
-    }
-}
-
-impl Scenario {
-    /// The evaluation's default setting: 64 cores, 60 % budget, mixed
-    /// workload, 2 000 ms of simulated time.
-    pub fn default_eval() -> Self {
-        Self {
-            cores: 64,
-            budget_frac: 0.6,
-            epochs: 2_000,
-            mix: MixPolicy::RoundRobin,
-            seed: 1,
-            parallelism: Parallelism::Serial,
-        }
-    }
-
-    /// Builds the system configuration for this scenario.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ScenarioError`] if the parameters do not describe a
-    /// runnable system (zero cores, malformed budget fraction, ...), so
-    /// CLI- or JSON-sourced scenarios surface as errors instead of panics.
-    pub fn try_system_config(&self) -> Result<SystemConfig, ScenarioError> {
-        if !self.budget_frac.is_finite() || self.budget_frac < 0.0 {
-            return Err(ScenarioError::BudgetFraction(self.budget_frac));
-        }
-        SystemConfig::builder()
-            .cores(self.cores)
-            .mix(self.mix.clone())
-            .seed(self.seed)
-            .parallelism(self.parallelism)
-            .build()
-            .map_err(ScenarioError::from)
-    }
-
-    /// Builds the system configuration for this scenario.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scenario parameters are invalid; prefer
-    /// [`Scenario::try_system_config`].
-    #[deprecated(since = "0.2.0", note = "use `try_system_config` instead")]
-    pub fn system_config(&self) -> SystemConfig {
-        self.try_system_config()
-            .expect("scenario parameters are valid")
-    }
-}
-
-/// The controllers under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum ControllerKind {
-    /// The paper's contribution (fine + coarse grain).
-    OdRl,
-    /// Ablation: per-core RL without global reallocation.
-    OdRlLocal,
-    /// MaxBIPS with the knapsack-DP solver.
-    MaxBipsDp,
-    /// MaxBIPS with exhaustive search (≤ 10 cores).
-    MaxBipsExhaustive,
-    /// Greedy steepest drop.
-    SteepestDrop,
-    /// Chip-level PID capping.
-    Pid,
-    /// Static worst-case provisioning.
-    StaticUniform,
-    /// Priority-greedy budget hand-out.
-    PriorityGreedy,
-    /// Linux-ondemand-style utilization governor (budget-oblivious).
-    Ondemand,
-    /// Hierarchical OD-RL: per-cluster controllers (16 cores each) under a
-    /// top-level budget reallocator.
-    OdRlHier,
-}
-
-impl ControllerKind {
-    /// The four-way comparison the headline tables use.
-    pub fn headline_set() -> Vec<ControllerKind> {
-        vec![
-            ControllerKind::OdRl,
-            ControllerKind::MaxBipsDp,
-            ControllerKind::SteepestDrop,
-            ControllerKind::Pid,
-        ]
-    }
-
-    /// Short display name (matches each controller's `name()`).
-    pub fn label(&self) -> &'static str {
-        match self {
-            Self::OdRl => "od-rl",
-            Self::OdRlLocal => "od-rl-local",
-            Self::MaxBipsDp => "maxbips-dp",
-            Self::MaxBipsExhaustive => "maxbips-exhaustive",
-            Self::SteepestDrop => "steepest-drop",
-            Self::Pid => "pid",
-            Self::StaticUniform => "static-uniform",
-            Self::PriorityGreedy => "priority-greedy",
-            Self::Ondemand => "ondemand",
-            Self::OdRlHier => "od-rl-hier",
-        }
-    }
-
-    /// Instantiates the controller for a spec and budget.
-    ///
-    /// # Panics
-    ///
-    /// Panics if construction fails (e.g. exhaustive MaxBIPS on too many
-    /// cores) — experiment harnesses pass vetted sizes.
-    pub fn build(&self, spec: &SystemSpec, budget: Watts) -> Box<dyn PowerController> {
-        self.build_with_odrl_config(spec, budget, OdRlConfig::default())
-    }
-
-    /// Instantiates the controller with an explicit OD-RL configuration
-    /// (ignored by the baselines); used by the ablation harnesses.
-    ///
-    /// # Panics
-    ///
-    /// As [`ControllerKind::build`].
-    pub fn build_with_odrl_config(
-        &self,
-        spec: &SystemSpec,
-        budget: Watts,
-        odrl: OdRlConfig,
-    ) -> Box<dyn PowerController> {
-        match self {
-            Self::OdRl => {
-                Box::new(OdRlController::new(odrl, spec, budget).expect("valid OD-RL config"))
-            }
-            Self::OdRlLocal => Box::new(
-                OdRlController::without_reallocation(odrl, spec, budget)
-                    .expect("valid OD-RL config"),
-            ),
-            Self::MaxBipsDp => Box::new(MaxBips::dp(spec.clone()).expect("valid MaxBIPS-DP spec")),
-            Self::MaxBipsExhaustive => Box::new(
-                MaxBips::new(spec.clone(), MaxBipsMode::Exhaustive)
-                    .expect("core count within exhaustive limit"),
-            ),
-            Self::SteepestDrop => Box::new(SteepestDrop::new(spec.clone()).expect("valid spec")),
-            Self::Pid => Box::new(
-                PidController::new(spec.clone(), PidGains::default()).expect("valid gains"),
-            ),
-            Self::StaticUniform => {
-                Box::new(StaticUniform::for_budget(spec.clone(), budget).expect("valid spec"))
-            }
-            Self::PriorityGreedy => {
-                Box::new(PriorityGreedy::new(spec.clone()).expect("valid spec"))
-            }
-            Self::Ondemand => Box::new(
-                OndemandGovernor::new(spec.clone(), OndemandTuning::default())
-                    .expect("valid tuning"),
-            ),
-            Self::OdRlHier => Box::new(
-                HierarchicalOdRl::new(odrl, spec, budget, 16)
-                    .expect("valid hierarchical OD-RL config"),
-            ),
-        }
-    }
-}
+// The run-construction surface moved to `odrl-fleet` with the fleet API
+// redesign; re-exported here so harness code keeps one import root.
+pub use odrl_fleet::{
+    BudgetArbiter, ChipRun, ChipSummary, ControllerKind, Fleet, FleetConfig, FleetError,
+    FleetSummary, FleetTelemetry, RunBuilder, Scenario, ScenarioError,
+};
 
 /// The result of [`run_scenario_traced`]: the summary plus the per-epoch
 /// power trace for figures.
@@ -287,16 +78,14 @@ pub fn run_scenario(scenario: &Scenario, kind: ControllerKind) -> RunSummary {
 ///
 /// Panics on simulator errors (cannot happen with vetted scenarios).
 pub fn run_scenario_traced(scenario: &Scenario, kind: ControllerKind) -> TracedRun {
-    let config = scenario
-        .try_system_config()
+    let ChipRun {
+        mut system,
+        mut controller,
+        budget,
+    } = RunBuilder::new(scenario.clone())
+        .controller(kind)
+        .build_chip()
         .expect("scenario parameters are valid");
-    let budget = Watts::new(scenario.budget_frac * config.max_power().value());
-    let mut system = System::new(config).expect("valid scenario config");
-    let odrl = OdRlConfig {
-        parallelism: scenario.parallelism,
-        ..OdRlConfig::default()
-    };
-    let mut controller = kind.build_with_odrl_config(&system.spec(), budget, odrl);
     run_loop(&mut system, controller.as_mut(), budget, scenario.epochs)
 }
 
@@ -312,41 +101,23 @@ pub fn run_scenario_traced(scenario: &Scenario, kind: ControllerKind) -> TracedR
 ///
 /// Panics on invalid scenarios or fault plans (harnesses pass vetted
 /// inputs).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `odrl_fleet::RunBuilder::new(scenario).faults(plan).watchdog(w).build_chip()`"
+)]
 pub fn build_faulted(
     scenario: &Scenario,
     kind: ControllerKind,
     plan: &FaultPlan,
     watchdog: bool,
 ) -> (System, Box<dyn PowerController>, Watts) {
-    let config = scenario
-        .try_system_config()
-        .expect("scenario parameters are valid");
-    let budget = Watts::new(scenario.budget_frac * config.max_power().value());
-    let mut system = System::new(config).expect("valid scenario config");
-    system.attach_faults(plan).expect("valid fault plan");
-    let odrl = OdRlConfig {
-        parallelism: scenario.parallelism,
-        watchdog: if watchdog {
-            WatchdogConfig::enabled()
-        } else {
-            WatchdogConfig::default()
-        },
-        ..OdRlConfig::default()
-    };
-    let controller: Box<dyn PowerController> = match kind {
-        ControllerKind::OdRl | ControllerKind::OdRlLocal if watchdog => {
-            let mut c = if kind == ControllerKind::OdRl {
-                OdRlController::new(odrl, &system.spec(), budget)
-            } else {
-                OdRlController::without_reallocation(odrl, &system.spec(), budget)
-            }
-            .expect("valid OD-RL config");
-            c.attach_budget_faults(system.fault_engine().expect("plan attached"))
-                .expect("engine and controller core counts match");
-            Box::new(c)
-        }
-        _ => kind.build_with_odrl_config(&system.spec(), budget, odrl),
-    };
+    let (system, controller, budget) = RunBuilder::new(scenario.clone())
+        .controller(kind)
+        .faults(plan.clone())
+        .watchdog(watchdog)
+        .build_chip()
+        .expect("valid scenario, fault plan and controller configuration")
+        .into_parts();
     (system, controller, budget)
 }
 
@@ -371,48 +142,38 @@ pub struct ObservedRun {
 /// # Panics
 ///
 /// As [`build_faulted`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `odrl_fleet::RunBuilder::new(scenario).obs(true)...build_chip()`"
+)]
 pub fn build_observed(
     scenario: &Scenario,
     kind: ControllerKind,
     plan: Option<&FaultPlan>,
     watchdog: bool,
 ) -> (System, Box<dyn PowerController>, Watts) {
-    let mut config = scenario
-        .try_system_config()
-        .expect("scenario parameters are valid");
-    config.obs = ObsConfig::enabled();
-    let budget = Watts::new(scenario.budget_frac * config.max_power().value());
-    let mut system = System::new(config).expect("valid scenario config");
-    if let Some(plan) = plan {
-        system.attach_faults(plan).expect("valid fault plan");
-    }
-    let odrl = OdRlConfig {
-        parallelism: scenario.parallelism,
-        watchdog: if watchdog {
-            WatchdogConfig::enabled()
-        } else {
-            WatchdogConfig::default()
-        },
-        obs: ObsConfig::enabled(),
-        ..OdRlConfig::default()
-    };
-    let controller: Box<dyn PowerController> = match kind {
-        ControllerKind::OdRl | ControllerKind::OdRlLocal if watchdog => {
-            let mut c = if kind == ControllerKind::OdRl {
-                OdRlController::new(odrl, &system.spec(), budget)
-            } else {
-                OdRlController::without_reallocation(odrl, &system.spec(), budget)
-            }
-            .expect("valid OD-RL config");
-            if let Some(engine) = system.fault_engine() {
-                c.attach_budget_faults(engine)
-                    .expect("engine and controller core counts match");
-            }
-            Box::new(c)
-        }
-        _ => kind.build_with_odrl_config(&system.spec(), budget, odrl),
-    };
+    let (system, controller, budget) = observed_builder(scenario, kind, plan, watchdog)
+        .build_chip()
+        .expect("valid scenario, fault plan and controller configuration")
+        .into_parts();
     (system, controller, budget)
+}
+
+/// The builder both observed-run entry points share.
+fn observed_builder(
+    scenario: &Scenario,
+    kind: ControllerKind,
+    plan: Option<&FaultPlan>,
+    watchdog: bool,
+) -> RunBuilder {
+    let mut builder = RunBuilder::new(scenario.clone())
+        .controller(kind)
+        .watchdog(watchdog)
+        .obs(true);
+    if let Some(plan) = plan {
+        builder = builder.faults(plan.clone());
+    }
+    builder
 }
 
 /// Runs one controller through one scenario with structured tracing on,
@@ -428,7 +189,13 @@ pub fn run_scenario_observed(
     plan: Option<&FaultPlan>,
     watchdog: bool,
 ) -> ObservedRun {
-    let (mut system, mut controller, budget) = build_observed(scenario, kind, plan, watchdog);
+    let ChipRun {
+        mut system,
+        mut controller,
+        budget,
+    } = observed_builder(scenario, kind, plan, watchdog)
+        .build_chip()
+        .expect("valid scenario, fault plan and controller configuration");
     let traced = run_loop(&mut system, controller.as_mut(), budget, scenario.epochs);
     let mut records = Vec::new();
     controller.extend_trace_into(&mut records);
@@ -461,7 +228,16 @@ pub fn run_scenario_faulted(
     plan: &FaultPlan,
     watchdog: bool,
 ) -> TracedRun {
-    let (mut system, mut controller, budget) = build_faulted(scenario, kind, plan, watchdog);
+    let ChipRun {
+        mut system,
+        mut controller,
+        budget,
+    } = RunBuilder::new(scenario.clone())
+        .controller(kind)
+        .faults(plan.clone())
+        .watchdog(watchdog)
+        .build_chip()
+        .expect("valid scenario, fault plan and controller configuration");
     run_loop(&mut system, controller.as_mut(), budget, scenario.epochs)
 }
 
@@ -543,7 +319,7 @@ pub fn run_scenarios_parallel(
 /// The generic work-queue behind [`run_scenarios_parallel`]: applies `run`
 /// to every cell on `par` worker threads and returns the results in input
 /// order. Useful for experiments whose cells are not plain
-/// `(Scenario, ControllerKind)` pairs (custom [`SystemConfig`]s, budget
+/// `(Scenario, ControllerKind)` pairs (custom [`odrl_manycore::SystemConfig`]s, budget
 /// steps, ...).
 ///
 /// # Panics
@@ -771,27 +547,6 @@ mod tests {
     }
 
     #[test]
-    fn invalid_scenarios_surface_as_errors() {
-        let mut s = tiny_scenario();
-        s.cores = 0;
-        assert!(matches!(
-            s.try_system_config(),
-            Err(ScenarioError::Config(_))
-        ));
-        let mut s = tiny_scenario();
-        s.budget_frac = f64::NAN;
-        assert!(matches!(
-            s.try_system_config(),
-            Err(ScenarioError::BudgetFraction(_))
-        ));
-        let mut s = tiny_scenario();
-        s.budget_frac = -0.3;
-        let err = s.try_system_config().unwrap_err();
-        assert!(err.to_string().contains("budget fraction"));
-        assert!(tiny_scenario().try_system_config().is_ok());
-    }
-
-    #[test]
     fn parallel_cells_match_serial_in_input_order() {
         let mut cells = Vec::new();
         for seed in [3, 5] {
@@ -849,9 +604,30 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_system_config_still_builds() {
-        #[allow(deprecated)]
-        let config = tiny_scenario().system_config();
-        assert_eq!(config.cores, 8);
+    #[allow(deprecated)]
+    fn deprecated_build_shims_match_the_builder() {
+        let scenario = tiny_scenario();
+        let plan = FaultPlan::default();
+        let (mut system, mut controller, budget) =
+            build_faulted(&scenario, ControllerKind::OdRl, &plan, true);
+        let via_shim = run_loop(&mut system, controller.as_mut(), budget, scenario.epochs);
+        let ChipRun {
+            mut system,
+            mut controller,
+            budget,
+        } = RunBuilder::new(scenario.clone())
+            .faults(plan.clone())
+            .watchdog(true)
+            .build_chip()
+            .expect("valid configuration");
+        let via_builder = run_loop(&mut system, controller.as_mut(), budget, scenario.epochs);
+        assert_eq!(
+            via_shim.summary.total_instructions,
+            via_builder.summary.total_instructions
+        );
+        assert_eq!(via_shim.summary.total_energy, via_builder.summary.total_energy);
+
+        let (system, _, _) = build_observed(&scenario, ControllerKind::Pid, Some(&plan), false);
+        assert!(system.tracer().is_some(), "observed shim enables tracing");
     }
 }

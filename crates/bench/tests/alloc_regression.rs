@@ -12,7 +12,7 @@
 //! so the measured window exercises both the every-epoch path and the
 //! every-`realloc_period` path.
 
-use odrl_bench::{allocs, build_faulted, ControllerKind, Scenario};
+use odrl_bench::{allocs, ChipRun, ControllerKind, RunBuilder, Scenario};
 use odrl_faults::{
     ActuatorFault, BudgetFault, CoreFault, FaultKind, FaultPlan, SensorFault, Target,
 };
@@ -108,8 +108,16 @@ fn fault_enabled_steady_state_allocates_nothing() {
             0,
             100,
         );
-    let (mut system, mut controller, budget) =
-        build_faulted(&scenario, ControllerKind::OdRl, &plan, true);
+    let ChipRun {
+        mut system,
+        mut controller,
+        budget,
+    } = RunBuilder::new(scenario)
+        .controller(ControllerKind::OdRl)
+        .faults(plan)
+        .watchdog(true)
+        .build_chip()
+        .expect("valid faulted configuration");
     let mut actions = vec![LevelId(0); 64];
     let mut obs = system.observation(budget);
 
@@ -131,5 +139,58 @@ fn fault_enabled_steady_state_allocates_nothing() {
     assert_eq!(
         da, 0,
         "fault-enabled steady-state epochs allocated {da} times ({db} bytes) over 50 epochs"
+    );
+}
+
+#[test]
+fn steady_state_fleet_stepping_allocates_nothing() {
+    let scenario = Scenario {
+        cores: 16,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 42,
+        parallelism: Parallelism::Serial,
+    };
+    let plan = FaultPlan::new()
+        .with_event(
+            FaultKind::Sensor(SensorFault::StuckLast),
+            Target::Range { lo: 0, hi: 4 },
+            40,
+            20,
+        )
+        .with_event(
+            FaultKind::Budget(BudgetFault::Lost),
+            Target::Range { lo: 4, hi: 8 },
+            40,
+            20,
+        );
+    let mut fleet = RunBuilder::new(scenario)
+        .controller(ControllerKind::OdRl)
+        .faults(plan)
+        .watchdog(true)
+        .arbiter_period(25)
+        .build_fleet(4)
+        .expect("valid fleet configuration");
+
+    // Warmup: sizes every per-chip scratch buffer and passes through one
+    // arbiter reallocation round (epoch 25) plus the fault window opening.
+    for _ in 0..45 {
+        fleet.step_epoch().expect("fleet epoch completes");
+    }
+
+    let a0 = allocs::allocations();
+    let b0 = allocs::allocated_bytes();
+    // The measured window crosses arbiter rounds at epochs 50 and 75 and
+    // the fault-window close, so arbitration, channel traffic and fault
+    // edges are all inside the zero-alloc envelope.
+    for _ in 0..50 {
+        fleet.step_epoch().expect("fleet epoch completes");
+    }
+    let da = allocs::allocations() - a0;
+    let db = allocs::allocated_bytes() - b0;
+    assert_eq!(
+        da, 0,
+        "steady-state fleet stepping allocated {da} times ({db} bytes) over 50 epochs"
     );
 }

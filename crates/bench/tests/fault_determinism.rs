@@ -13,7 +13,8 @@ use odrl_bench::sweep_parallelism;
 use odrl_controllers::PowerController;
 use odrl_core::{OdRlConfig, OdRlController, PolicySnapshot, WatchdogConfig};
 use odrl_faults::{
-    ActuatorFault, BudgetFault, CoreFault, FaultKind, FaultPlan, RandomBurst, SensorFault, Target,
+    ActuatorFault, BudgetFault, ChipScope, CoreFault, FaultKind, FaultPlan, RandomBurst,
+    SensorFault, Target,
 };
 use odrl_manycore::{Parallelism, System, SystemConfig};
 use odrl_power::{LevelId, Watts};
@@ -102,6 +103,7 @@ fn stress_plan() -> FaultPlan {
             end: EPOCHS,
             rate_per_kepoch: 15.0,
             duration: 6,
+            chip: ChipScope::All,
         })
 }
 

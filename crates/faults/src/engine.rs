@@ -64,12 +64,33 @@ pub struct FaultEngine {
 impl FaultEngine {
     /// Validates `plan` against `cores` and expands its bursts with `seed`.
     ///
+    /// Compiles as fleet chip 0: plan entries scoped to any other chip
+    /// (see [`ChipScope`](crate::plan::ChipScope)) are validated but not scheduled. Fleet runs use
+    /// [`FaultEngine::compile_for_chip`] with each chip's index.
+    ///
     /// # Errors
     ///
     /// Returns [`FaultError::InvalidPlan`] for out-of-range targets,
     /// non-finite parameters, chip-targeted non-sensor faults, or delays
     /// beyond [`MAX_DELAY_EPOCHS`].
     pub fn compile(plan: &FaultPlan, cores: usize, seed: u64) -> Result<Self, FaultError> {
+        Self::compile_for_chip(plan, 0, cores, seed)
+    }
+
+    /// Like [`FaultEngine::compile`], but schedules only the plan entries
+    /// whose [`ChipScope`](crate::plan::ChipScope) includes fleet chip `chip`.
+    ///
+    /// Every entry is still validated (a plan that is invalid for any chip
+    /// is invalid for all of them), and burst RNG streams are keyed by the
+    /// burst's position in the *unfiltered* plan, so an unscoped plan
+    /// compiles to the same schedule on every chip index and scoping one
+    /// burst never reshuffles another's stream.
+    pub fn compile_for_chip(
+        plan: &FaultPlan,
+        chip: u32,
+        cores: usize,
+        seed: u64,
+    ) -> Result<Self, FaultError> {
         if cores == 0 {
             return Err(FaultError::InvalidPlan {
                 field: "cores",
@@ -79,18 +100,21 @@ impl FaultEngine {
         let mut events = Vec::with_capacity(plan.events.len());
         for ev in &plan.events {
             validate_kind(&ev.kind)?;
-            let (lo, hi, chip) = resolve_target(ev.target, cores)?;
-            if chip && !matches!(ev.kind, FaultKind::Sensor(_)) {
+            let (lo, hi, chip_sensor) = resolve_target(ev.target, cores)?;
+            if chip_sensor && !matches!(ev.kind, FaultKind::Sensor(_)) {
                 return Err(FaultError::InvalidPlan {
                     field: "target",
                     reason: "only sensor faults can target the chip sensor".into(),
                 });
             }
+            if !ev.chip.includes(chip) {
+                continue;
+            }
             events.push(CompiledEvent {
                 kind: ev.kind,
                 lo,
                 hi,
-                chip,
+                chip: chip_sensor,
                 start: ev.start,
                 end: ev.start.saturating_add(ev.duration),
             });
@@ -110,7 +134,7 @@ impl FaultEngine {
                 });
             }
             let p = (burst.rate_per_kepoch / 1000.0).min(1.0);
-            if p <= 0.0 || burst.duration == 0 {
+            if p <= 0.0 || burst.duration == 0 || !burst.chip.includes(chip) {
                 continue;
             }
             // Each (burst, core) pair draws from its own stream, so the
@@ -503,7 +527,7 @@ impl SensorView<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{FaultEvent, RandomBurst};
+    use crate::plan::{ChipScope, FaultEvent, RandomBurst};
 
     fn plan_one(kind: FaultKind, target: Target, start: u64, duration: u64) -> FaultPlan {
         FaultPlan::new().with_event(kind, target, start, duration)
@@ -692,6 +716,7 @@ mod tests {
             end: 1000,
             rate_per_kepoch: 20.0,
             duration: 5,
+            chip: ChipScope::All,
         });
         let a = FaultEngine::compile(&plan, 16, 7).unwrap();
         let b = FaultEngine::compile(&plan, 16, 7).unwrap();
@@ -760,6 +785,7 @@ mod tests {
                 end: 5,
                 rate_per_kepoch: 1.0,
                 duration: 1,
+                chip: ChipScope::All,
             }],
         };
         assert!(FaultEngine::compile(&bad, 8, 1).is_err());
@@ -791,8 +817,83 @@ mod tests {
             target: Target::All,
             start: 0,
             duration: 1,
+            chip: ChipScope::All,
         };
         // Events are plain copyable data.
         let _ = ev;
+    }
+
+    #[test]
+    fn chip_scoped_events_compile_only_on_their_chip() {
+        let plan = FaultPlan::new()
+            .with_event(FaultKind::Sensor(SensorFault::StuckZero), Target::All, 0, 10)
+            .with_chip_event(2, FaultKind::Core(CoreFault::Unplug), Target::Core(1), 0, 10);
+        // Chip 0 (and the standalone `compile` path) sees only the
+        // unscoped event.
+        let chip0 = FaultEngine::compile(&plan, 4, 1).unwrap();
+        assert_eq!(chip0.num_events(), 1);
+        let chip1 = FaultEngine::compile_for_chip(&plan, 1, 4, 1).unwrap();
+        assert_eq!(chip1.num_events(), 1);
+        // Chip 2 additionally gets its unplug.
+        let chip2 = FaultEngine::compile_for_chip(&plan, 2, 4, 1).unwrap();
+        assert_eq!(chip2.num_events(), 2);
+        let mut st = chip2.state();
+        chip2.begin_epoch(0, &mut st);
+        assert!(!st.core_alive(1));
+        // An unscoped plan compiles identically on every chip index.
+        let unscoped = FaultPlan::new().with_event(
+            FaultKind::Sensor(SensorFault::StuckZero),
+            Target::All,
+            0,
+            10,
+        );
+        assert_eq!(
+            FaultEngine::compile_for_chip(&unscoped, 0, 4, 1).unwrap(),
+            FaultEngine::compile_for_chip(&unscoped, 5, 4, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn chip_scoped_entries_are_still_validated_everywhere() {
+        // A plan that is invalid for chip 3 is invalid on every chip, even
+        // ones where the offending entry would be filtered out.
+        let plan = FaultPlan::new().with_chip_event(
+            3,
+            FaultKind::Core(CoreFault::Unplug),
+            Target::Core(99),
+            0,
+            1,
+        );
+        assert!(FaultEngine::compile_for_chip(&plan, 0, 4, 1).is_err());
+    }
+
+    #[test]
+    fn scoping_one_burst_never_reshuffles_anothers_stream() {
+        let burst = |chip: ChipScope| RandomBurst {
+            kind: FaultKind::Sensor(SensorFault::StuckLast),
+            start: 0,
+            end: 500,
+            rate_per_kepoch: 20.0,
+            duration: 5,
+            chip,
+        };
+        // Plan A: both bursts everywhere. Plan B: the first burst scoped
+        // away from chip 1. On chip 1, the second burst (same plan
+        // position) must expand to the identical schedule in both plans.
+        let a = FaultPlan {
+            events: Vec::new(),
+            bursts: vec![burst(ChipScope::All), burst(ChipScope::All)],
+        };
+        let b = FaultPlan {
+            events: Vec::new(),
+            bursts: vec![burst(ChipScope::Chip(0)), burst(ChipScope::All)],
+        };
+        let ea = FaultEngine::compile_for_chip(&a, 1, 8, 7).unwrap();
+        let eb = FaultEngine::compile_for_chip(&b, 1, 8, 7).unwrap();
+        // Plan A's chip-1 schedule is burst-0's events followed by
+        // burst-1's; plan B's is burst-1's alone. The tail must match.
+        let half = ea.num_events() - eb.num_events();
+        assert_eq!(&ea.events[half..], &eb.events[..]);
+        assert!(eb.num_events() > 0);
     }
 }

@@ -68,6 +68,6 @@ pub use channel::BudgetChannel;
 pub use engine::{FaultEngine, FaultState, SensorView};
 pub use error::FaultError;
 pub use plan::{
-    ActuatorFault, BudgetFault, CoreFault, FaultEvent, FaultKind, FaultPlan, RandomBurst,
-    SensorFault, Target,
+    ActuatorFault, BudgetFault, ChipScope, CoreFault, FaultEvent, FaultKind, FaultPlan,
+    RandomBurst, SensorFault, Target,
 };

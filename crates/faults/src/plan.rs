@@ -98,6 +98,34 @@ pub enum FaultKind {
     Core(CoreFault),
 }
 
+/// Which chip of a fleet a plan entry applies to.
+///
+/// Core indices in [`Target`] are chip-local: core 3 of chip 0 and core 3
+/// of chip 5 are different cores. The scope pins an entry to one chip so a
+/// plan written for chip 0 cannot silently corrupt chip `k`'s cores when
+/// the same plan is attached to every chip of a fleet. The default
+/// ([`ChipScope::All`]) applies the entry to every chip, which is also the
+/// pre-fleet behaviour: standalone systems compile as chip 0 and `All`
+/// matches them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ChipScope {
+    /// The entry applies on every chip (and to standalone systems).
+    #[default]
+    All,
+    /// The entry applies only on the chip with this fleet index.
+    Chip(u32),
+}
+
+impl ChipScope {
+    /// Whether the scope includes the chip with fleet index `chip`.
+    pub fn includes(self, chip: u32) -> bool {
+        match self {
+            Self::All => true,
+            Self::Chip(c) => c == chip,
+        }
+    }
+}
+
 /// Which cores (or which chip-level resource) an event hits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Target {
@@ -128,6 +156,10 @@ pub struct FaultEvent {
     pub start: u64,
     /// Number of faulty epochs (use a large value for a permanent fault).
     pub duration: u64,
+    /// Which chip of a fleet the window applies to (core indices in
+    /// `target` are chip-local). Defaults to every chip.
+    #[serde(default)]
+    pub chip: ChipScope,
 }
 
 /// A seeded generator of fault events: within `start..end`, each core
@@ -147,6 +179,12 @@ pub struct RandomBurst {
     pub rate_per_kepoch: f64,
     /// Duration of each generated event, in epochs.
     pub duration: u64,
+    /// Which chip of a fleet the generator applies to. Defaults to every
+    /// chip; scoped bursts keep their RNG stream (the stream is keyed by
+    /// the burst's position in the plan, not by how many bursts survive
+    /// the scope filter).
+    #[serde(default)]
+    pub chip: ChipScope,
 }
 
 /// The complete declarative fault scenario for one run.
@@ -182,6 +220,29 @@ impl FaultPlan {
             target,
             start,
             duration,
+            chip: ChipScope::All,
+        });
+        self
+    }
+
+    /// Adds one deterministic fault window scoped to a single fleet chip
+    /// (builder style). On standalone systems (chip 0) a window scoped to
+    /// any other chip is compiled away.
+    #[must_use]
+    pub fn with_chip_event(
+        mut self,
+        chip: u32,
+        kind: FaultKind,
+        target: Target,
+        start: u64,
+        duration: u64,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            kind,
+            target,
+            start,
+            duration,
+            chip: ChipScope::Chip(chip),
         });
         self
     }
@@ -191,6 +252,48 @@ impl FaultPlan {
     pub fn with_burst(mut self, burst: RandomBurst) -> Self {
         self.bursts.push(burst);
         self
+    }
+
+    /// Projects the plan's budget faults onto the fleet-level arbiter →
+    /// chip channel, where each of the `chips` links plays the role of one
+    /// "core".
+    ///
+    /// A [`FaultKind::Budget`] event scoped [`ChipScope::All`] degrades
+    /// every arbiter link ([`Target::All`]); one scoped
+    /// [`ChipScope::Chip(k)`] degrades only chip `k`'s link
+    /// ([`Target::Core(k)`]) — a scope naming a chip outside the fleet
+    /// surfaces as a compile error on the projected plan rather than being
+    /// dropped silently. Budget bursts are kept only when scoped `All`
+    /// (chip-scoped budget bursts stay chip-local). Non-budget entries
+    /// never appear at fleet scope.
+    ///
+    /// [`ChipScope::Chip(k)`]: ChipScope::Chip
+    /// [`Target::Core(k)`]: Target::Core
+    #[must_use]
+    pub fn fleet_budget_plan(&self, chips: usize) -> FaultPlan {
+        let _ = chips; // the projected plan is validated against `chips` links at compile time
+        let events = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Budget(_)))
+            .map(|e| FaultEvent {
+                kind: e.kind,
+                target: match e.chip {
+                    ChipScope::All => Target::All,
+                    ChipScope::Chip(k) => Target::Core(k as usize),
+                },
+                start: e.start,
+                duration: e.duration,
+                chip: ChipScope::All,
+            })
+            .collect();
+        let bursts = self
+            .bursts
+            .iter()
+            .filter(|b| matches!(b.kind, FaultKind::Budget(_)) && b.chip == ChipScope::All)
+            .copied()
+            .collect();
+        FaultPlan { events, bursts }
     }
 }
 
@@ -222,15 +325,71 @@ mod tests {
                 1000,
             )
             .with_event(FaultKind::Sensor(SensorFault::StuckLast), Target::Chip, 7, 3)
+            .with_chip_event(
+                3,
+                FaultKind::Budget(BudgetFault::Stale),
+                Target::All,
+                20,
+                5,
+            )
             .with_burst(RandomBurst {
                 kind: FaultKind::Budget(BudgetFault::Lost),
                 start: 50,
                 end: 250,
                 rate_per_kepoch: 20.0,
                 duration: 10,
+                chip: ChipScope::All,
             });
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn chip_field_defaults_to_all_in_json() {
+        // Pre-fleet plans (no `chip` key) must deserialize unchanged.
+        let json = r#"{"events":[{"kind":{"Core":"Unplug"},"target":{"Core":2},"start":5,"duration":10}]}"#;
+        let plan: FaultPlan = serde_json::from_str(json).unwrap();
+        assert_eq!(plan.events[0].chip, ChipScope::All);
+        assert!(ChipScope::All.includes(0));
+        assert!(ChipScope::All.includes(7));
+        assert!(ChipScope::Chip(3).includes(3));
+        assert!(!ChipScope::Chip(3).includes(0));
+    }
+
+    #[test]
+    fn fleet_budget_plan_projects_scopes_onto_links() {
+        let plan = FaultPlan::new()
+            // Non-budget entries never reach fleet scope.
+            .with_event(FaultKind::Core(CoreFault::Unplug), Target::Core(1), 0, 5)
+            // Fleet-wide budget fault -> every arbiter link.
+            .with_event(FaultKind::Budget(BudgetFault::Lost), Target::All, 10, 5)
+            // Chip-scoped budget fault -> that chip's link only.
+            .with_chip_event(2, FaultKind::Budget(BudgetFault::Stale), Target::All, 20, 5)
+            .with_burst(RandomBurst {
+                kind: FaultKind::Budget(BudgetFault::Lost),
+                start: 0,
+                end: 100,
+                rate_per_kepoch: 10.0,
+                duration: 3,
+                chip: ChipScope::All,
+            })
+            .with_burst(RandomBurst {
+                kind: FaultKind::Budget(BudgetFault::Lost),
+                start: 0,
+                end: 100,
+                rate_per_kepoch: 10.0,
+                duration: 3,
+                chip: ChipScope::Chip(1), // chip-local: stays out of fleet scope
+            });
+        let fleet = plan.fleet_budget_plan(4);
+        assert_eq!(fleet.events.len(), 2);
+        assert_eq!(fleet.events[0].target, Target::All);
+        assert_eq!(fleet.events[1].target, Target::Core(2));
+        assert!(fleet
+            .events
+            .iter()
+            .all(|e| e.chip == ChipScope::All && matches!(e.kind, FaultKind::Budget(_))));
+        assert_eq!(fleet.bursts.len(), 1);
     }
 }

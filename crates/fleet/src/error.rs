@@ -1,0 +1,105 @@
+//! The unified error surface of the fleet layer.
+//!
+//! Every failure mode of building or stepping a fleet — an invalid
+//! [`FleetConfig`](crate::FleetConfig), a malformed
+//! [`Scenario`](crate::Scenario), a simulator rejection, a controller
+//! rejection, a fault plan that does not compile — converges on one
+//! [`FleetError`] with `From` conversions from each substrate error, so a
+//! binary can drive the whole stack with `?` end to end.
+
+use crate::scenario::ScenarioError;
+use odrl_core::OdRlError;
+use odrl_faults::FaultError;
+use odrl_manycore::SystemError;
+use std::fmt;
+
+/// Why a fleet (or a single chip run) could not be built or stepped.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A fleet-level parameter failed validation.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The per-chip scenario failed validation.
+    Scenario(ScenarioError),
+    /// The simulator rejected a configuration or an action vector.
+    System(SystemError),
+    /// The OD-RL controller rejected its configuration.
+    Controller(OdRlError),
+    /// A fault plan did not compile.
+    Faults(FaultError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { field, reason } => {
+                write!(f, "invalid fleet config: {field}: {reason}")
+            }
+            Self::Scenario(e) => write!(f, "invalid scenario: {e}"),
+            Self::System(e) => write!(f, "system error: {e}"),
+            Self::Controller(e) => write!(f, "controller error: {e}"),
+            Self::Faults(e) => write!(f, "fault plan error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidConfig { .. } => None,
+            Self::Scenario(e) => Some(e),
+            Self::System(e) => Some(e),
+            Self::Controller(e) => Some(e),
+            Self::Faults(e) => Some(e),
+        }
+    }
+}
+
+impl From<ScenarioError> for FleetError {
+    fn from(e: ScenarioError) -> Self {
+        Self::Scenario(e)
+    }
+}
+
+impl From<SystemError> for FleetError {
+    fn from(e: SystemError) -> Self {
+        Self::System(e)
+    }
+}
+
+impl From<OdRlError> for FleetError {
+    fn from(e: OdRlError) -> Self {
+        Self::Controller(e)
+    }
+}
+
+impl From<FaultError> for FleetError {
+    fn from(e: FaultError) -> Self {
+        Self::Faults(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_std_error_with_sources() {
+        let e = FleetError::InvalidConfig {
+            field: "chips",
+            reason: "must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("chips"));
+        let e: Box<dyn std::error::Error> = Box::new(e);
+        assert!(e.source().is_none());
+
+        let e = FleetError::from(ScenarioError::BudgetFraction(f64::NAN));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("budget fraction"));
+    }
+}

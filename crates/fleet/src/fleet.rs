@@ -1,0 +1,485 @@
+//! The fleet itself: N chips stepped concurrently under the rack arbiter.
+//!
+//! One fleet epoch is a fixed pipeline:
+//!
+//! 1. **Arbitrate** (serial): on reallocation rounds the
+//!    [`BudgetArbiter`] re-divides the fleet budget from smoothed per-chip
+//!    demand and the fresh shares are *sent* down the per-chip
+//!    [`BudgetChannel`] links — which may drop, delay or stale-replay them
+//!    (fault plans apply at fleet scope).
+//! 2. **Deliver** (serial, fixed chip order): each chip polls its link; no
+//!    delivery means it keeps its old budget, exactly the lossy-mailbox
+//!    semantics the per-core channel has one level down.
+//! 3. **Step** (sharded): every chip independently runs one closed-loop
+//!    epoch — observe, decide, step — touching only its own state, fanned
+//!    across worker shards by `shard_chunks`.
+//! 4. **Reduce** (serial, fixed chip order): per-chip scalars fold into
+//!    the arbiter's demand EMA and the fleet telemetry.
+//!
+//! Determinism: the sharded phase is embarrassingly parallel over chips
+//! (disjoint `&mut` chunks, no shared accumulator), and every cross-chip
+//! read or write happens in the serial phases in fleet-index order, so the
+//! shard count changes wall-clock time only — 1/2/4/8-shard runs are
+//! bit-identical. Steady-state stepping allocates nothing: observation,
+//! action and scalar buffers are built once per chip at construction.
+
+use crate::arbiter::BudgetArbiter;
+use crate::config::FleetConfig;
+use crate::error::FleetError;
+use crate::scenario::build_controller;
+use odrl_controllers::PowerController;
+use odrl_core::WatchdogConfig;
+use odrl_faults::{BudgetChannel, FaultEngine};
+use odrl_manycore::parallel::{shard_chunks, stream_seed};
+use odrl_manycore::{Observation, Parallelism, System, SystemError, Telemetry};
+use odrl_obs::{merge_fleet_records, EventRecord, FleetEventRecord, ObsConfig};
+use odrl_power::{Joules, LevelId, Seconds, Watts};
+use serde::Serialize;
+
+/// Salt decorrelating the fleet-level budget channel's fault schedule from
+/// the per-chip schedules derived from the same master seed.
+const FLEET_CHANNEL_SALT: u64 = 0xF1EE_7000_F1EE_7000;
+
+/// Salt decorrelating per-chip OD-RL exploration streams.
+const ODRL_SEED_SALT: u64 = 0x0D81_5EED_0D81_5EED;
+
+/// One chip of the fleet: a `System` + controller pair with its current
+/// budget share and the preallocated buffers its epoch step reuses.
+struct FleetChip {
+    system: System,
+    controller: Box<dyn PowerController + Send>,
+    /// The chip's current budget share (updated only by link deliveries).
+    budget: Watts,
+    obs: Observation,
+    actions: Vec<LevelId>,
+    /// Scalars of the last stepped epoch, read by the serial reduction.
+    power: Watts,
+    measured: Watts,
+    instructions: f64,
+    energy: Joules,
+    dt: Seconds,
+    /// First simulator error, if any (surfaced after the sharded phase).
+    failed: Option<SystemError>,
+}
+
+impl FleetChip {
+    /// One closed-loop epoch on this chip alone. Touches nothing outside
+    /// `self`; allocation-free.
+    fn step(&mut self) {
+        if self.failed.is_some() {
+            return;
+        }
+        self.obs.budget = self.budget;
+        self.controller.decide_into(&self.obs, &mut self.actions);
+        match self.system.step_in_place(&self.actions) {
+            Ok(report) => {
+                self.power = report.total_power;
+                self.measured = report.measured_power;
+                self.instructions = report.total_instructions();
+                self.energy = report.energy;
+                self.dt = report.dt;
+            }
+            Err(e) => {
+                self.failed = Some(e);
+                return;
+            }
+        }
+        self.system.observation_into(self.budget, &mut self.obs);
+    }
+}
+
+impl std::fmt::Debug for FleetChip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetChip")
+            .field("controller", &self.controller.name())
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Scalar fleet-wide telemetry, accumulated epoch by epoch with no
+/// per-epoch allocation (per-chip series stay on the chips' own
+/// [`Telemetry`]).
+#[derive(Debug, Clone, Default)]
+pub struct FleetTelemetry {
+    epochs: u64,
+    total_instructions: f64,
+    total_energy: f64,
+    elapsed: f64,
+    peak_power: f64,
+    overshoot_epochs: u64,
+    overshoot_energy: f64,
+}
+
+impl FleetTelemetry {
+    fn record(&mut self, fleet_power: Watts, budget: Watts, instructions: f64, energy: Joules, dt: Seconds) {
+        self.epochs += 1;
+        self.total_instructions += instructions;
+        self.total_energy += energy.value();
+        self.elapsed += dt.value();
+        self.peak_power = self.peak_power.max(fleet_power.value());
+        let over = fleet_power.value() - budget.value();
+        if over > 0.0 {
+            self.overshoot_epochs += 1;
+            self.overshoot_energy += over * dt.value();
+        }
+    }
+
+    /// Fleet epochs stepped.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Instructions retired across all chips.
+    pub fn total_instructions(&self) -> f64 {
+        self.total_instructions
+    }
+
+    /// Energy consumed across all chips.
+    pub fn total_energy(&self) -> Joules {
+        Joules::new(self.total_energy)
+    }
+
+    /// Simulated time elapsed.
+    pub fn elapsed(&self) -> Seconds {
+        Seconds::new(self.elapsed)
+    }
+
+    /// Highest single-epoch fleet power.
+    pub fn peak_power(&self) -> Watts {
+        Watts::new(self.peak_power)
+    }
+
+    /// Epochs in which true fleet power exceeded the fleet budget.
+    pub fn overshoot_epochs(&self) -> u64 {
+        self.overshoot_epochs
+    }
+
+    /// Energy spent above the fleet budget, joules.
+    pub fn overshoot_energy(&self) -> Joules {
+        Joules::new(self.overshoot_energy)
+    }
+}
+
+/// One chip's contribution to a [`FleetSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChipSummary {
+    /// Fleet index.
+    pub chip: u32,
+    /// The chip's budget share at the end of the run, watts.
+    pub budget_w: f64,
+    /// Instructions the chip retired.
+    pub instructions: f64,
+    /// Energy the chip consumed, joules.
+    pub energy_j: f64,
+    /// The chip's peak epoch power, watts.
+    pub peak_power_w: f64,
+}
+
+/// The serializable end-of-run digest of a fleet run — the fleet
+/// determinism golden hashes its canonical JSON form.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetSummary {
+    /// Number of chips.
+    pub chips: usize,
+    /// Cores per chip.
+    pub cores_per_chip: usize,
+    /// Fleet epochs stepped.
+    pub epochs: u64,
+    /// Total fleet budget, watts.
+    pub fleet_budget_w: f64,
+    /// Instructions retired across all chips.
+    pub total_instructions: f64,
+    /// Energy consumed across all chips, joules.
+    pub total_energy_j: f64,
+    /// Highest single-epoch fleet power, watts.
+    pub peak_power_w: f64,
+    /// Epochs with true fleet power above the fleet budget.
+    pub overshoot_epochs: u64,
+    /// Energy spent above the fleet budget, joules.
+    pub overshoot_energy_j: f64,
+    /// Arbiter reallocation rounds completed.
+    pub arbiter_rounds: u64,
+    /// Per-chip digests, in fleet order.
+    pub per_chip: Vec<ChipSummary>,
+}
+
+/// N chips stepped concurrently under one rack-level budget arbiter.
+///
+/// Build with [`FleetConfig`] + [`Fleet::new`], or through
+/// [`RunBuilder::build_fleet`](crate::RunBuilder::build_fleet).
+#[derive(Debug)]
+pub struct Fleet {
+    chips: Vec<FleetChip>,
+    arbiter: BudgetArbiter,
+    /// Arbiter → chip budget links (fault plans apply at fleet scope).
+    channel: BudgetChannel,
+    total_budget: Watts,
+    parallelism: Parallelism,
+    epoch: u64,
+    telemetry: FleetTelemetry,
+}
+
+impl Fleet {
+    /// Builds the fleet: `config.chips` replicas of the scenario with
+    /// decorrelated system and exploration seeds, each with the fault plan
+    /// attached under its own fleet index, under one arbiter whose budget
+    /// messages run through the plan's fleet-scope budget faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError`] for invalid fleet parameters, scenarios,
+    /// fault plans, or controller configurations.
+    pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        config.validate()?;
+        let n = config.chips;
+        // Per-chip system configs first: the fleet budget needs the chips'
+        // summed max power before any chip is built.
+        let mut sys_configs = Vec::with_capacity(n);
+        let mut fleet_max = 0.0;
+        for k in 0..n {
+            let mut scenario = config.scenario.clone();
+            scenario.seed = stream_seed(config.scenario.seed, k as u64);
+            let mut sys_config = scenario.try_system_config()?;
+            if config.obs {
+                sys_config.obs = ObsConfig::enabled();
+            }
+            fleet_max += sys_config.max_power().value();
+            sys_configs.push(sys_config);
+        }
+        let total_budget = Watts::new(config.scenario.budget_frac * fleet_max);
+        let arbiter = BudgetArbiter::new(
+            total_budget,
+            n,
+            config.arbiter_period,
+            config.arbiter_gain,
+            config.min_share,
+            config.demand_smoothing,
+        )?;
+        // The arbiter → chip links: one "core" per chip, degraded by the
+        // plan's budget faults projected to fleet scope.
+        let fleet_plan = config
+            .plan
+            .as_ref()
+            .map(|p| p.fleet_budget_plan(n))
+            .unwrap_or_default();
+        let channel_seed = stream_seed(config.scenario.seed ^ FLEET_CHANNEL_SALT, 0);
+        let channel = FaultEngine::compile(&fleet_plan, n, channel_seed)?.budget_channel();
+        let mut chips = Vec::with_capacity(n);
+        for (k, sys_config) in sys_configs.into_iter().enumerate() {
+            let mut system = System::new(sys_config)?;
+            if let Some(plan) = &config.plan {
+                system.attach_faults_for_chip(plan, k as u32)?;
+            }
+            let mut odrl = config.odrl.clone();
+            odrl.parallelism = config.scenario.parallelism;
+            if config.watchdog {
+                odrl.watchdog = WatchdogConfig::enabled();
+            }
+            if config.obs {
+                odrl.obs = ObsConfig::enabled();
+            }
+            // Decorrelate exploration across chips (uniformly, so a
+            // one-chip fleet is still a fleet, not a disguised chip run).
+            odrl.seed ^= stream_seed(config.scenario.seed ^ ODRL_SEED_SALT, k as u64);
+            let budget = Watts::new(arbiter.shares()[k]);
+            let controller =
+                build_controller(config.controller, &system, budget, odrl, config.watchdog)?;
+            let obs = system.observation(budget);
+            let cores = system.num_cores();
+            chips.push(FleetChip {
+                system,
+                controller,
+                budget,
+                obs,
+                actions: vec![LevelId(0); cores],
+                power: Watts::ZERO,
+                measured: Watts::ZERO,
+                instructions: 0.0,
+                energy: Joules::new(0.0),
+                dt: Seconds::new(0.0),
+                failed: None,
+            });
+        }
+        Ok(Self {
+            chips,
+            arbiter,
+            channel,
+            total_budget,
+            parallelism: config.parallelism,
+            epoch: 0,
+            telemetry: FleetTelemetry::default(),
+        })
+    }
+
+    /// Number of chips.
+    pub fn num_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Total cores across the fleet.
+    pub fn num_cores(&self) -> usize {
+        self.chips.iter().map(|c| c.system.num_cores()).sum()
+    }
+
+    /// Fleet epochs stepped so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The total fleet budget the arbiter divides.
+    pub fn total_budget(&self) -> Watts {
+        self.total_budget
+    }
+
+    /// Chip `k`'s current budget share.
+    pub fn chip_budget(&self, k: usize) -> Watts {
+        self.chips[k].budget
+    }
+
+    /// Sum of the per-chip shares *as arbitrated* (what the arbiter will
+    /// send). Lossy links mean chips may *hold* different values; this is
+    /// the conservation invariant on the arbiter side.
+    pub fn arbitrated_sum(&self) -> f64 {
+        self.arbiter.shares().iter().sum()
+    }
+
+    /// Sum of the budgets the chips currently hold.
+    pub fn held_sum(&self) -> f64 {
+        self.chips.iter().map(|c| c.budget.value()).sum()
+    }
+
+    /// The rack-level arbiter.
+    pub fn arbiter(&self) -> &BudgetArbiter {
+        &self.arbiter
+    }
+
+    /// Scalar fleet-wide telemetry.
+    pub fn telemetry(&self) -> &FleetTelemetry {
+        &self.telemetry
+    }
+
+    /// Chip `k`'s own simulator telemetry.
+    pub fn chip_telemetry(&self, k: usize) -> &Telemetry {
+        self.chips[k].system.telemetry()
+    }
+
+    /// Steps the whole fleet one epoch (see the module docs for the
+    /// pipeline and the determinism argument). Allocation-free in steady
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::System`] if any chip's simulator rejects its
+    /// actions (first failing chip in fleet order).
+    pub fn step_epoch(&mut self) -> Result<(), FleetError> {
+        // 1. Arbitrate: on round boundaries, re-divide and send the fresh
+        // shares down the (possibly faulty) links.
+        self.channel.begin_epoch(self.epoch);
+        if self.epoch > 0 && self.epoch.is_multiple_of(self.arbiter.period()) {
+            self.arbiter.reallocate();
+            for k in 0..self.chips.len() {
+                self.channel.send(k, self.arbiter.shares()[k]);
+            }
+        }
+        // 2. Deliver, in fleet order: an undelivered share leaves the old
+        // budget in force.
+        for (k, chip) in self.chips.iter_mut().enumerate() {
+            if let Some(w) = self.channel.poll(k) {
+                chip.budget = Watts::new(w);
+            }
+        }
+        // 3. Step every chip, sharded: disjoint &mut chunks, no shared
+        // state, so shard count cannot change results.
+        shard_chunks(self.parallelism, &mut self.chips[..], |_, chunk| {
+            for chip in chunk {
+                chip.step();
+            }
+        });
+        // 4. Reduce in fleet order.
+        let mut fleet_power = Watts::ZERO;
+        let mut instructions = 0.0;
+        let mut energy = 0.0;
+        let mut dt = Seconds::new(0.0);
+        for (k, chip) in self.chips.iter_mut().enumerate() {
+            if let Some(e) = chip.failed.take() {
+                return Err(FleetError::System(e));
+            }
+            self.arbiter.observe(k, chip.measured);
+            fleet_power = Watts::new(fleet_power.value() + chip.power.value());
+            instructions += chip.instructions;
+            energy += chip.energy.value();
+            dt = chip.dt;
+        }
+        self.telemetry
+            .record(fleet_power, self.total_budget, instructions, Joules::new(energy), dt);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Steps the fleet for `epochs` epochs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::step_epoch`].
+    pub fn run(&mut self, epochs: u64) -> Result<(), FleetError> {
+        for _ in 0..epochs {
+            self.step_epoch()?;
+        }
+        Ok(())
+    }
+
+    /// The serializable end-of-run digest (chips in fleet order).
+    pub fn summary(&self) -> FleetSummary {
+        FleetSummary {
+            chips: self.chips.len(),
+            cores_per_chip: self.chips.first().map_or(0, |c| c.system.num_cores()),
+            epochs: self.telemetry.epochs,
+            fleet_budget_w: self.total_budget.value(),
+            total_instructions: self.telemetry.total_instructions,
+            total_energy_j: self.telemetry.total_energy,
+            peak_power_w: self.telemetry.peak_power,
+            overshoot_epochs: self.telemetry.overshoot_epochs,
+            overshoot_energy_j: self.telemetry.overshoot_energy,
+            arbiter_rounds: self.arbiter.rounds(),
+            per_chip: self
+                .chips
+                .iter()
+                .enumerate()
+                .map(|(k, c)| ChipSummary {
+                    chip: k as u32,
+                    budget_w: c.budget.value(),
+                    instructions: c.system.telemetry().total_instructions(),
+                    energy_j: c.system.telemetry().total_energy().value(),
+                    peak_power_w: c.system.telemetry().peak_power().value(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends every chip's structured-event records (controller and
+    /// system sides), tagged with the chip's fleet index, **unmerged**.
+    /// Post-run export path — may allocate.
+    pub fn extend_trace_into(&self, out: &mut Vec<FleetEventRecord>) {
+        let mut scratch: Vec<EventRecord> = Vec::new();
+        for (k, chip) in self.chips.iter().enumerate() {
+            scratch.clear();
+            chip.controller.extend_trace_into(&mut scratch);
+            chip.system.extend_trace_into(&mut scratch);
+            out.extend(scratch.iter().map(|&record| FleetEventRecord {
+                chip: k as u32,
+                record,
+            }));
+        }
+    }
+
+    /// Every chip's structured-event records in the canonical fleet merge
+    /// order `(epoch, chip, rank, core)` — bit-identical at every shard
+    /// count. Post-run export path — allocates.
+    pub fn merged_trace(&self) -> Vec<FleetEventRecord> {
+        let mut records = Vec::new();
+        self.extend_trace_into(&mut records);
+        merge_fleet_records(&mut records);
+        records
+    }
+}

@@ -1,0 +1,48 @@
+//! # odrl-fleet — the multi-chip fleet layer
+//!
+//! The paper's OD-RL controller manages one power-limited chip. This crate
+//! lifts the same two-level idea one level up, toward the rack: a
+//! [`Fleet`] of N chips — each an ordinary `System` + controller pair —
+//! stepped concurrently on the deterministic shard pool, under a
+//! [`BudgetArbiter`] that periodically re-divides a total fleet power
+//! budget across chips exactly the way the paper's coarse-grain
+//! reallocator divides one chip's budget across cores. Budget messages
+//! travel through the same lossy `BudgetChannel` the per-core agents use,
+//! so fault plans apply at fleet scope, and `ChipScope` pins chip-local
+//! core indices to the chip they mean.
+//!
+//! The crate also owns the redesigned run-construction surface:
+//! [`Scenario`] + [`RunBuilder`] compose every closed-loop configuration —
+//! faults, watchdog, tracing, parallelism — behind `build_chip()` /
+//! `build_fleet(n)`, and every failure mode converges on [`FleetError`]
+//! so binaries drive the whole stack with `?`.
+//!
+//! ```
+//! use odrl_fleet::{RunBuilder, Scenario};
+//!
+//! let mut scenario = Scenario::default_eval();
+//! scenario.cores = 16;
+//! scenario.epochs = 20;
+//! let mut fleet = RunBuilder::new(scenario).arbiter_period(5).build_fleet(4)?;
+//! fleet.run(20)?;
+//! assert_eq!(fleet.telemetry().epochs(), 20);
+//! assert!(fleet.telemetry().total_instructions() > 0.0);
+//! # Ok::<(), odrl_fleet::FleetError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arbiter;
+pub mod builder;
+pub mod config;
+pub mod error;
+pub mod fleet;
+pub mod scenario;
+
+pub use arbiter::BudgetArbiter;
+pub use builder::{ChipRun, RunBuilder};
+pub use config::FleetConfig;
+pub use error::FleetError;
+pub use fleet::{ChipSummary, Fleet, FleetSummary, FleetTelemetry};
+pub use scenario::{ControllerKind, Scenario, ScenarioError};

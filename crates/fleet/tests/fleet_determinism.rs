@@ -1,0 +1,158 @@
+//! Golden determinism for fleet runs.
+//!
+//! The fleet epoch pipeline shards only the embarrassingly-parallel chip
+//! step; every cross-chip read or write (arbitration, link delivery, the
+//! demand reduction) happens serially in fleet-index order, and the merged
+//! trace is keyed by `(epoch, chip, rank, core)`. So a fleet run must be
+//! bit-identical at every cross-chip shard count, with or without an
+//! active fault plan — including one with chip-scoped entries. These
+//! tests pin that with FNV hashes over the canonical JSON of the summary
+//! and the merged trace, the same way `trace_determinism.rs` pins the
+//! single-chip stream.
+
+use odrl_faults::{BudgetFault, CoreFault, FaultKind, FaultPlan, SensorFault, Target};
+use odrl_fleet::{Fleet, RunBuilder, Scenario};
+use odrl_manycore::Parallelism;
+use odrl_obs::FleetEventRecord;
+use odrl_workload::MixPolicy;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn scenario() -> Scenario {
+    Scenario {
+        cores: 32,
+        budget_frac: 0.6,
+        epochs: 60,
+        mix: MixPolicy::RoundRobin,
+        seed: 9,
+        parallelism: Parallelism::Serial,
+    }
+}
+
+/// Chip-scoped sensor and core faults plus a fleet-wide budget fault, so
+/// the run exercises per-chip scoping *and* the arbiter → chip links.
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_chip_event(
+            1,
+            FaultKind::Sensor(SensorFault::StuckLast),
+            Target::Range { lo: 0, hi: 8 },
+            10,
+            30,
+        )
+        .with_chip_event(
+            2,
+            FaultKind::Core(CoreFault::Unplug),
+            Target::Range { lo: 28, hi: 30 },
+            20,
+            25,
+        )
+        .with_event(
+            FaultKind::Budget(BudgetFault::Lost),
+            Target::All,
+            15,
+            10,
+        )
+}
+
+fn run_fleet(par: Parallelism, plan: Option<&FaultPlan>) -> Fleet {
+    let mut builder = RunBuilder::new(scenario())
+        .watchdog(true)
+        .obs(true)
+        .arbiter_period(10)
+        .fleet_parallelism(par);
+    if let Some(p) = plan {
+        builder = builder.faults(p.clone());
+    }
+    let mut fleet = builder.build_fleet(4).expect("valid fleet configuration");
+    fleet.run(60).expect("fleet run completes");
+    fleet
+}
+
+fn summary_hash(fleet: &Fleet) -> u64 {
+    fnv1a(&serde_json::to_string(&fleet.summary()).expect("serializable summary"))
+}
+
+fn trace_hash(records: &[FleetEventRecord]) -> u64 {
+    let jsonl: String = records
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("serializable record"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    fnv1a(&jsonl)
+}
+
+fn check_invariant(plan: Option<&FaultPlan>) {
+    let serial = run_fleet(Parallelism::Serial, plan);
+    let serial_summary = summary_hash(&serial);
+    let serial_trace = serial.merged_trace();
+    assert!(
+        !serial_trace.is_empty(),
+        "an observed fleet run must record events"
+    );
+    assert!(
+        (0..4).all(|k| serial_trace.iter().any(|r| r.chip == k)),
+        "every chip must contribute trace records"
+    );
+    let serial_trace_hash = trace_hash(&serial_trace);
+    for shards in [2, 4, 8] {
+        let sharded = run_fleet(Parallelism::Threads(shards), plan);
+        assert_eq!(
+            serial_summary,
+            summary_hash(&sharded),
+            "{shards}-shard fleet summary drifted"
+        );
+        let sharded_trace = sharded.merged_trace();
+        assert_eq!(
+            serial_trace, sharded_trace,
+            "{shards}-shard merged fleet records drifted"
+        );
+        assert_eq!(
+            serial_trace_hash,
+            trace_hash(&sharded_trace),
+            "{shards}-shard fleet trace hash drifted"
+        );
+    }
+}
+
+#[test]
+fn fault_free_fleet_is_shard_count_invariant() {
+    check_invariant(None);
+}
+
+#[test]
+fn faulted_fleet_is_shard_count_invariant() {
+    check_invariant(Some(&plan()));
+}
+
+/// A large fleet (16 chips × 64 cores = 1024 fleet cores) keeps the
+/// arbitrated shares summing to the fleet budget after every epoch, across
+/// frequent reallocation rounds.
+#[test]
+fn large_fleet_conserves_the_budget_every_epoch() {
+    let mut s = scenario();
+    s.cores = 64;
+    let mut fleet = RunBuilder::new(s)
+        .arbiter_period(2)
+        .build_fleet(16)
+        .expect("valid fleet configuration");
+    assert_eq!(fleet.num_cores(), 1024);
+    let total = fleet.total_budget().value();
+    for _ in 0..6 {
+        fleet.step_epoch().expect("fleet epoch completes");
+        let sum = fleet.arbitrated_sum();
+        assert!(
+            (sum - total).abs() <= 1e-9 * total,
+            "epoch {}: shares sum to {sum} W, fleet budget is {total} W",
+            fleet.epoch()
+        );
+    }
+    assert!(fleet.arbiter().rounds() >= 2);
+}

@@ -9,7 +9,8 @@
 //! the arrays into contiguous chunks (see
 //! [`crate::parallel::shard_chunks`]).
 //!
-//! [`EpochScratch`] holds every intermediate buffer one epoch needs —
+//! `EpochScratch` (crate-private) holds every intermediate buffer one
+//! epoch needs —
 //! standalone/gated progress, captured counters, activity factors, power
 //! totals, NoC miss rates, the thermal integration buffer and the NoC flow
 //! buffers. It is created once per run (by [`crate::System::new`]) and

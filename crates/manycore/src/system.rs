@@ -183,12 +183,28 @@ impl System {
     /// Returns [`SystemError::InvalidConfig`] if the plan does not compile
     /// for this core count.
     pub fn attach_faults(&mut self, plan: &FaultPlan) -> Result<(), SystemError> {
-        let engine = FaultEngine::compile(plan, self.config.cores, self.fault_seed()).map_err(
-            |e| SystemError::InvalidConfig {
+        self.attach_faults_for_chip(plan, 0)
+    }
+
+    /// Like [`System::attach_faults`], but compiles the plan as fleet chip
+    /// `chip`: plan entries scoped (via `odrl_faults::ChipScope`) to a
+    /// different chip are validated but not scheduled, so a plan written
+    /// for chip 0 can be attached to every chip of a fleet without its
+    /// chip-local core indices corrupting the others. A standalone system
+    /// is chip 0 ([`System::attach_faults`] delegates here with that
+    /// index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] if the plan does not compile
+    /// for this core count (entries scoped to other chips included — an
+    /// invalid plan is rejected on every chip).
+    pub fn attach_faults_for_chip(&mut self, plan: &FaultPlan, chip: u32) -> Result<(), SystemError> {
+        let engine = FaultEngine::compile_for_chip(plan, chip, self.config.cores, self.fault_seed())
+            .map_err(|e| SystemError::InvalidConfig {
                 field: "faults",
                 reason: e.to_string(),
-            },
-        )?;
+            })?;
         self.scratch.faults = Some(engine.state());
         self.faults = Some(engine);
         Ok(())

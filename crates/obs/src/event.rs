@@ -247,6 +247,46 @@ pub fn merge_records(records: &mut [EventRecord]) {
     }
 }
 
+/// One recorded event in a multi-chip fleet run: a per-chip
+/// [`EventRecord`] tagged with the fleet index of the chip that produced
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetEventRecord {
+    /// Fleet index of the chip the event belongs to.
+    pub chip: u32,
+    /// The chip-local record (its `core` stays chip-local).
+    pub record: EventRecord,
+}
+
+impl FleetEventRecord {
+    /// The deterministic fleet merge key: `(epoch, chip, rank, core)`.
+    ///
+    /// Epoch-major so the merged trace interleaves chips epoch by epoch,
+    /// then chip-major within the epoch: which shard *stepped* a chip
+    /// depends on the fleet shard count, but the chip's fleet index does
+    /// not, so this key (with [`EventRecord::merge_key`]'s rank/core tail)
+    /// yields the same merged order at every shard count.
+    pub fn merge_key(&self) -> (u64, u32, u8, u32) {
+        (
+            self.record.epoch,
+            self.chip,
+            self.record.event.rank(),
+            self.record.core,
+        )
+    }
+}
+
+/// Stably sorts fleet records into the canonical merged order and
+/// renumbers `seq` to the merged position — [`merge_records`] one level
+/// up, keyed by [`FleetEventRecord::merge_key`], making the result
+/// independent of how many shards stepped the fleet.
+pub fn merge_fleet_records(records: &mut [FleetEventRecord]) {
+    records.sort_by_key(FleetEventRecord::merge_key);
+    for (i, r) in records.iter_mut().enumerate() {
+        r.record.seq = i as u32;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +369,35 @@ mod tests {
         merge_records(&mut v);
         assert_eq!(v[0].core, 3);
         assert_eq!(v[1].core, CHIP);
+    }
+
+    #[test]
+    fn fleet_merge_is_chip_layout_invariant() {
+        // Two chips' rings concatenated in either order must merge to the
+        // same canonical trace: chip-major within the epoch, epoch-major
+        // overall.
+        let rec = |chip: u32, epoch: u64, core: u32| FleetEventRecord {
+            chip,
+            record: EventRecord {
+                epoch,
+                core,
+                seq: 0,
+                event: Event::VfAction { level: 1 },
+            },
+        };
+        let mut ab = vec![rec(0, 1, 2), rec(0, 2, 0), rec(1, 1, 0), rec(1, 1, 1)];
+        let mut ba = vec![rec(1, 1, 1), rec(1, 1, 0), rec(0, 2, 0), rec(0, 1, 2)];
+        merge_fleet_records(&mut ab);
+        merge_fleet_records(&mut ba);
+        assert_eq!(ab, ba);
+        // Epoch-major, then chip-major, then the chip-local key.
+        let keys: Vec<(u64, u32, u32)> = ab
+            .iter()
+            .map(|r| (r.record.epoch, r.chip, r.record.core))
+            .collect();
+        assert_eq!(keys, vec![(1, 0, 2), (1, 1, 0), (1, 1, 1), (2, 0, 0)]);
+        // seq is renumbered to the merged position.
+        assert_eq!(ab.iter().map(|r| r.record.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
     }
 
     #[test]

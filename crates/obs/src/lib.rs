@@ -36,7 +36,10 @@ pub mod ring;
 pub mod sink;
 
 pub use config::{EventCounts, ObsConfig, DEFAULT_RING_CAPACITY};
-pub use event::{merge_records, Event, EventRecord, FaultClass, WatchdogFlag, CHIP};
+pub use event::{
+    merge_fleet_records, merge_records, Event, EventRecord, FaultClass, FleetEventRecord,
+    WatchdogFlag, CHIP,
+};
 pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot};
 pub use ring::TraceRing;
 pub use sink::{read_jsonl, CsvSink, JsonlSink, MemorySink, TraceSink};

@@ -224,7 +224,7 @@ pub mod prop {
         use rand::Rng;
         use std::ops::{Range, RangeInclusive};
 
-        /// An inclusive length range for [`vec`] (from a fixed size or range).
+        /// An inclusive length range for [`vec()`] (from a fixed size or range).
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,

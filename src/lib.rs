@@ -20,6 +20,7 @@
 //! | [`core`] | `odrl-core` | **OD-RL**, the paper's contribution |
 //! | [`faults`] | `odrl-faults` | deterministic fault injection (sensors, actuators, budget channel, cores) |
 //! | [`metrics`] | `odrl-metrics` | overshoot, throughput-per-over-budget-energy, efficiency |
+//! | [`fleet`] | `odrl-fleet` | multi-chip fleets under a rack-level budget arbiter + the [`RunBuilder`](odrl_fleet::RunBuilder) run surface |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@
 pub use odrl_controllers as controllers;
 pub use odrl_core as core;
 pub use odrl_faults as faults;
+pub use odrl_fleet as fleet;
 pub use odrl_manycore as manycore;
 pub use odrl_metrics as metrics;
 pub use odrl_noc as noc;
@@ -66,11 +68,14 @@ pub mod prelude {
     //! Everything needed to build a system, drive a controller through it
     //! epoch by epoch, and read the results back: the simulator and its
     //! configuration, the controller trait plus the paper's OD-RL
-    //! implementation, the unit types that cross the loop boundary, and the
-    //! [`Parallelism`] knob for deterministic multi-threaded runs.
+    //! implementation, the unit types that cross the loop boundary, the
+    //! [`Parallelism`] knob for deterministic multi-threaded runs, and the
+    //! fleet surface ([`RunBuilder`], [`Fleet`], [`BudgetArbiter`]) for
+    //! multi-chip runs under a rack-level budget.
 
     pub use odrl_controllers::PowerController;
     pub use odrl_core::{HierarchicalOdRl, OdRlConfig, OdRlController};
+    pub use odrl_fleet::{BudgetArbiter, Fleet, FleetConfig, FleetError, RunBuilder, Scenario};
     pub use odrl_manycore::{
         Observation, Parallelism, System, SystemConfig, SystemError, SystemSpec,
     };
