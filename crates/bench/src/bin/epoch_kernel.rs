@@ -9,9 +9,13 @@
 //! overwrites that entry.
 //!
 //! Each result carries a `stage_ns_per_epoch` breakdown (workload, power,
-//! sensor, noc, thermal, rl, realloc) from the merged system + controller
+//! sensor, noc, thermal, rl — split into `rl_decide` / `rl_learn`
+//! sub-stages — and realloc) from the merged system + controller
 //! [`StageTimers`]; pass `--stage-profile` to also print the full table
-//! per core count.
+//! per core count. `--quantized` switches the per-core agents to the
+//! banked fixed-point Q-table layout (`QTableLayout::Quantized`); record
+//! it as its own labelled entry, e.g.
+//! `scripts/bench_epoch_kernel.sh quantized_kernel --quantized`.
 //!
 //! `--smoke` is the CI gate: a short fault-free run and a short
 //! fault-injected run (watchdog + unreliable budget channel engaged), each
@@ -29,7 +33,7 @@
 
 use odrl_bench::{allocs, run_scenario_observed, ChipRun, ControllerKind, RunBuilder, Scenario};
 use odrl_controllers::PowerController;
-use odrl_core::{OdRlConfig, OdRlController};
+use odrl_core::{OdRlConfig, OdRlController, QTableLayout};
 use odrl_faults::{
     ActuatorFault, BudgetFault, CoreFault, FaultKind, FaultPlan, SensorFault, Target,
 };
@@ -92,10 +96,16 @@ fn scenario(cores: usize) -> Scenario {
 }
 
 /// Measures the closed OD-RL loop at `cores` cores: builds the system and
-/// controller, warms the scratch buffers, then times `epochs` epochs and
-/// diffs the thread-local allocation counters around the timed region.
-/// Returns the result plus the merged per-stage timers for the window.
-fn measure(cores: usize, warmup: u64, epochs: u64) -> (CoreResult, StageTimers) {
+/// controller (with the requested Q-table `layout`), warms the scratch
+/// buffers, then times `epochs` epochs and diffs the thread-local
+/// allocation counters around the timed region. Returns the result plus
+/// the merged per-stage timers for the window.
+fn measure(
+    cores: usize,
+    warmup: u64,
+    epochs: u64,
+    layout: QTableLayout,
+) -> (CoreResult, StageTimers) {
     let config = scenario(cores)
         .try_system_config()
         .expect("scenario parameters are valid");
@@ -103,8 +113,12 @@ fn measure(cores: usize, warmup: u64, epochs: u64) -> (CoreResult, StageTimers) 
     let mut system = System::new(config).expect("valid scenario config");
     // Built directly (not through `ControllerKind::build`) so the concrete
     // type's stage timers stay reachable; same config, same behaviour.
-    let mut controller = OdRlController::new(OdRlConfig::default(), &system.spec(), budget)
-        .expect("valid OD-RL config");
+    let odrl = OdRlConfig {
+        layout,
+        ..OdRlConfig::default()
+    };
+    let mut controller =
+        OdRlController::new(odrl, &system.spec(), budget).expect("valid OD-RL config");
     let mut actions = vec![LevelId(0); cores];
     let mut obs = system.observation(budget);
 
@@ -194,7 +208,7 @@ fn smoke_plan() -> FaultPlan {
 /// each required to allocate nothing per steady-state epoch. Exits nonzero
 /// (panics) on regression; writes no JSON.
 fn smoke() {
-    let (clean, _) = measure(64, 30, 50);
+    let (clean, _) = measure(64, 30, 50, QTableLayout::Scalar);
     println!(
         "smoke fault-free : {:.1} epochs/s, {:.1} allocs/epoch",
         clean.epochs_per_sec, clean.allocs_per_epoch
@@ -202,6 +216,16 @@ fn smoke() {
     assert_eq!(
         clean.allocs_per_epoch, 0.0,
         "fault-free steady-state epoch must not allocate"
+    );
+
+    let (quant, _) = measure(64, 30, 50, QTableLayout::Quantized);
+    println!(
+        "smoke quantized  : {:.1} epochs/s, {:.1} allocs/epoch",
+        quant.epochs_per_sec, quant.allocs_per_epoch
+    );
+    assert_eq!(
+        quant.allocs_per_epoch, 0.0,
+        "quantized steady-state epoch must not allocate"
     );
 
     let ChipRun {
@@ -373,12 +397,14 @@ fn main() {
     let mut label = String::from("dev");
     let mut out = String::from("BENCH_epoch_kernel.json");
     let mut stage_profile = false;
+    let mut layout = QTableLayout::Scalar;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out = args.next().expect("--out needs a value"),
             "--stage-profile" => stage_profile = true,
+            "--quantized" => layout = QTableLayout::Quantized,
             "--smoke" => {
                 smoke();
                 return;
@@ -390,13 +416,15 @@ fn main() {
             other => {
                 panic!(
                     "unknown argument: {other} \
-                     (expected --label/--out/--stage-profile/--smoke/--trace)"
+                     (expected --label/--out/--stage-profile/--quantized/--smoke/--trace)"
                 )
             }
         }
     }
 
-    println!("epoch_kernel: closed-loop OD-RL throughput (label: {label})\n");
+    println!(
+        "epoch_kernel: closed-loop OD-RL throughput (label: {label}, layout: {layout:?})\n"
+    );
     println!(
         "{:>6} {:>8} {:>14} {:>18} {:>16}",
         "cores", "epochs", "epochs_per_sec", "allocs_per_epoch", "bytes_per_epoch"
@@ -404,7 +432,7 @@ fn main() {
     let mut results = Vec::new();
     let mut profiles = Vec::new();
     for &(cores, warmup, epochs) in &[(64usize, 50u64, 400u64), (256, 50, 200), (1024, 25, 60)] {
-        let (r, timers) = measure(cores, warmup, epochs);
+        let (r, timers) = measure(cores, warmup, epochs, layout);
         println!(
             "{:>6} {:>8} {:>14.1} {:>18.1} {:>16.1}",
             r.cores, r.epochs, r.epochs_per_sec, r.allocs_per_epoch, r.bytes_per_epoch

@@ -13,13 +13,39 @@
 //! sum to the fleet budget after every epoch.
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin exp_fleet`
-//! (add `-- --smoke` for the CI gate).
+//! (add `-- --smoke` for the CI gate). `--quantized` switches every
+//! chip's agents to the banked fixed-point Q-table layout;
+//! `--warm-start <path>` boots every chip from a binary `PolicySnapshot`
+//! (the scenario must match the snapshot's geometry).
 
 use odrl_bench::{Fleet, RunBuilder, Scenario};
+use odrl_core::{OdRlConfig, QTableLayout};
 use odrl_manycore::Parallelism;
 use odrl_metrics::{fmt_num, Table};
 use odrl_workload::MixPolicy;
 use std::time::Instant;
+
+/// Per-run knobs threaded into every fleet build: the per-core agents'
+/// Q-table layout (`--quantized`) and an optional snapshot every chip
+/// boots from (`--warm-start <path>`).
+#[derive(Clone, Default)]
+struct Knobs {
+    layout: QTableLayout,
+    warm_start: Option<String>,
+}
+
+impl Knobs {
+    fn apply(&self, mut builder: RunBuilder) -> RunBuilder {
+        builder = builder.odrl(OdRlConfig {
+            layout: self.layout,
+            ..OdRlConfig::default()
+        });
+        if let Some(path) = &self.warm_start {
+            builder = builder.warm_start(path);
+        }
+        builder
+    }
+}
 
 /// The per-chip scenario every fleet cell replicates (the fleet layer
 /// decorrelates seeds per chip).
@@ -35,8 +61,9 @@ fn scenario(cores: usize, epochs: u64) -> Scenario {
 }
 
 /// Builds one fleet cell (reallocation every 20 epochs).
-fn build(chips: usize, cores: usize, epochs: u64, par: Parallelism) -> Fleet {
-    RunBuilder::new(scenario(cores, epochs))
+fn build(chips: usize, cores: usize, epochs: u64, par: Parallelism, knobs: &Knobs) -> Fleet {
+    knobs
+        .apply(RunBuilder::new(scenario(cores, epochs)))
         .arbiter_period(20)
         .fleet_parallelism(par)
         .build_fleet(chips)
@@ -44,8 +71,14 @@ fn build(chips: usize, cores: usize, epochs: u64, par: Parallelism) -> Fleet {
 }
 
 /// Runs one cell and returns `(epochs_per_sec, cores_stepped_per_sec)`.
-fn run_cell(chips: usize, cores: usize, epochs: u64, par: Parallelism) -> (f64, f64) {
-    let mut fleet = build(chips, cores, epochs, par);
+fn run_cell(
+    chips: usize,
+    cores: usize,
+    epochs: u64,
+    par: Parallelism,
+    knobs: &Knobs,
+) -> (f64, f64) {
+    let mut fleet = build(chips, cores, epochs, par, knobs);
     let fleet_cores = fleet.num_cores() as f64;
     let t0 = Instant::now();
     fleet.run(epochs).expect("fleet run completes");
@@ -58,8 +91,9 @@ fn run_cell(chips: usize, cores: usize, epochs: u64, par: Parallelism) -> (f64, 
 /// arbitrated per-chip shares sum to the fleet budget (the conservation
 /// invariant the arbiter maintains bit-exactly on its side of the lossy
 /// links).
-fn conservation_gate(chips: usize, cores: usize, epochs: u64) {
-    let mut fleet = RunBuilder::new(scenario(cores, epochs))
+fn conservation_gate(chips: usize, cores: usize, epochs: u64, knobs: &Knobs) {
+    let mut fleet = knobs
+        .apply(RunBuilder::new(scenario(cores, epochs)))
         .arbiter_period(2)
         .build_fleet(chips)
         .expect("valid fleet configuration");
@@ -86,9 +120,9 @@ fn conservation_gate(chips: usize, cores: usize, epochs: u64) {
 
 /// The CI gate: a short scaling slice plus the 16-chip × 1024-core
 /// conservation window. Panics on regression.
-fn smoke() {
+fn smoke(knobs: &Knobs) {
     for &(chips, cores) in &[(1usize, 64usize), (4, 64), (16, 64)] {
-        let (eps, cps) = run_cell(chips, cores, 30, Parallelism::Auto);
+        let (eps, cps) = run_cell(chips, cores, 30, Parallelism::Auto, knobs);
         println!(
             "smoke {:>2} x {:>3}   : {:>8} epochs/s, {:>8} cores-stepped/s",
             chips,
@@ -97,14 +131,28 @@ fn smoke() {
             fmt_num(cps)
         );
     }
-    conservation_gate(16, 64, 10);
+    conservation_gate(16, 64, 10, knobs);
     println!("\nsmoke OK: fleet scaling slice ran and budgets stay conserved");
 }
 
 fn main() {
-    let smoke_only = std::env::args().skip(1).any(|a| a == "--smoke");
+    let mut smoke_only = false;
+    let mut knobs = Knobs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke_only = true,
+            "--quantized" => knobs.layout = QTableLayout::Quantized,
+            "--warm-start" => {
+                knobs.warm_start = Some(args.next().expect("--warm-start needs a path"));
+            }
+            other => panic!(
+                "unknown argument: {other} (expected --smoke/--quantized/--warm-start <path>)"
+            ),
+        }
+    }
     if smoke_only {
-        smoke();
+        smoke(&knobs);
         return;
     }
 
@@ -121,8 +169,8 @@ fn main() {
     ]);
     for &cores in &[64usize, 256] {
         for &chips in &[1usize, 2, 4, 8, 16] {
-            let (serial_eps, _) = run_cell(chips, cores, epochs, Parallelism::Serial);
-            let (auto_eps, auto_cps) = run_cell(chips, cores, epochs, Parallelism::Auto);
+            let (serial_eps, _) = run_cell(chips, cores, epochs, Parallelism::Serial, &knobs);
+            let (auto_eps, auto_cps) = run_cell(chips, cores, epochs, Parallelism::Auto, &knobs);
             table.add_row(vec![
                 chips.to_string(),
                 cores.to_string(),
@@ -135,5 +183,5 @@ fn main() {
         }
     }
     println!("{table}");
-    conservation_gate(16, 64, 20);
+    conservation_gate(16, 64, 20, &knobs);
 }

@@ -89,38 +89,6 @@ pub fn run_scenario_traced(scenario: &Scenario, kind: ControllerKind) -> TracedR
     run_loop(&mut system, controller.as_mut(), budget, scenario.epochs)
 }
 
-/// Builds a scenario's system with a fault plan attached, plus the
-/// controller under test. With `watchdog` set, OD-RL variants run their
-/// sensor watchdog and route budget messages through the plan's
-/// unreliable channel (graceful degradation on); baselines take no
-/// degradation machinery either way — they simply suffer the faults.
-///
-/// Returns `(system, controller, budget)` ready for [`run_loop`].
-///
-/// # Panics
-///
-/// Panics on invalid scenarios or fault plans (harnesses pass vetted
-/// inputs).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `odrl_fleet::RunBuilder::new(scenario).faults(plan).watchdog(w).build_chip()`"
-)]
-pub fn build_faulted(
-    scenario: &Scenario,
-    kind: ControllerKind,
-    plan: &FaultPlan,
-    watchdog: bool,
-) -> (System, Box<dyn PowerController>, Watts) {
-    let (system, controller, budget) = RunBuilder::new(scenario.clone())
-        .controller(kind)
-        .faults(plan.clone())
-        .watchdog(watchdog)
-        .build_chip()
-        .expect("valid scenario, fault plan and controller configuration")
-        .into_parts();
-    (system, controller, budget)
-}
-
 /// The result of [`run_scenario_observed`]: the traced run plus the
 /// merged structured-event stream and per-kind totals from `odrl-obs`.
 #[derive(Debug, Clone)]
@@ -134,32 +102,10 @@ pub struct ObservedRun {
     pub counts: EventCounts,
 }
 
-/// As [`build_faulted`], but with structured tracing enabled on both the
-/// system and the controller (see `odrl-obs`), and the fault plan
-/// optional. Baselines still trace nothing controller-side; the system
+/// The observed-run builder: tracing on both the system and the
+/// controller (see `odrl-obs`), optional fault plan, watchdog per the
+/// flag. Baselines still trace nothing controller-side; the system
 /// records fault edges, VF switches and epoch boundaries either way.
-///
-/// # Panics
-///
-/// As [`build_faulted`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `odrl_fleet::RunBuilder::new(scenario).obs(true)...build_chip()`"
-)]
-pub fn build_observed(
-    scenario: &Scenario,
-    kind: ControllerKind,
-    plan: Option<&FaultPlan>,
-    watchdog: bool,
-) -> (System, Box<dyn PowerController>, Watts) {
-    let (system, controller, budget) = observed_builder(scenario, kind, plan, watchdog)
-        .build_chip()
-        .expect("valid scenario, fault plan and controller configuration")
-        .into_parts();
-    (system, controller, budget)
-}
-
-/// The builder both observed-run entry points share.
 fn observed_builder(
     scenario: &Scenario,
     kind: ControllerKind,
@@ -178,11 +124,13 @@ fn observed_builder(
 
 /// Runs one controller through one scenario with structured tracing on,
 /// returning the summary plus the merged event stream and per-kind
-/// counts (see [`build_observed`] for the `plan`/`watchdog` semantics).
+/// counts. With `watchdog` set, OD-RL variants run their sensor watchdog
+/// and route budget messages through the plan's unreliable channel.
 ///
 /// # Panics
 ///
-/// As [`build_faulted`].
+/// Panics on invalid scenarios, fault plans or controller configurations
+/// (harnesses pass vetted inputs).
 pub fn run_scenario_observed(
     scenario: &Scenario,
     kind: ControllerKind,
@@ -217,11 +165,11 @@ pub fn run_scenario_observed(
 }
 
 /// Runs one controller through one scenario under a fault plan and
-/// summarizes it (see [`build_faulted`] for the `watchdog` semantics).
+/// summarizes it (`watchdog` as in [`run_scenario_observed`]).
 ///
 /// # Panics
 ///
-/// As [`build_faulted`].
+/// As [`run_scenario_observed`].
 pub fn run_scenario_faulted(
     scenario: &Scenario,
     kind: ControllerKind,
@@ -604,30 +552,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_build_shims_match_the_builder() {
+    fn observed_builder_enables_tracing() {
         let scenario = tiny_scenario();
         let plan = FaultPlan::default();
-        let (mut system, mut controller, budget) =
-            build_faulted(&scenario, ControllerKind::OdRl, &plan, true);
-        let via_shim = run_loop(&mut system, controller.as_mut(), budget, scenario.epochs);
-        let ChipRun {
-            mut system,
-            mut controller,
-            budget,
-        } = RunBuilder::new(scenario.clone())
-            .faults(plan.clone())
-            .watchdog(true)
-            .build_chip()
-            .expect("valid configuration");
-        let via_builder = run_loop(&mut system, controller.as_mut(), budget, scenario.epochs);
-        assert_eq!(
-            via_shim.summary.total_instructions,
-            via_builder.summary.total_instructions
-        );
-        assert_eq!(via_shim.summary.total_energy, via_builder.summary.total_energy);
-
-        let (system, _, _) = build_observed(&scenario, ControllerKind::Pid, Some(&plan), false);
-        assert!(system.tracer().is_some(), "observed shim enables tracing");
+        let ChipRun { system, .. } =
+            observed_builder(&scenario, ControllerKind::Pid, Some(&plan), false)
+                .build_chip()
+                .expect("valid configuration");
+        assert!(system.tracer().is_some(), "observed builder enables tracing");
     }
 }

@@ -13,6 +13,8 @@
 //! every-`realloc_period` path.
 
 use odrl_bench::{allocs, ChipRun, ControllerKind, RunBuilder, Scenario};
+use odrl_controllers::PowerController;
+use odrl_core::{OdRlConfig, OdRlController, QTableLayout};
 use odrl_faults::{
     ActuatorFault, BudgetFault, CoreFault, FaultKind, FaultPlan, SensorFault, Target,
 };
@@ -139,6 +141,119 @@ fn fault_enabled_steady_state_allocates_nothing() {
     assert_eq!(
         da, 0,
         "fault-enabled steady-state epochs allocated {da} times ({db} bytes) over 50 epochs"
+    );
+}
+
+#[test]
+fn quantized_steady_state_allocates_nothing() {
+    // Same gate with the per-core agents on the banked fixed-point
+    // Q-table layout: the i16 banks, row scales and visit counters are all
+    // sized at construction, and requantization rewrites rows in place, so
+    // the quantized decide/learn path must stay inside the zero-alloc
+    // envelope too.
+    let scenario = Scenario {
+        cores: 64,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 42,
+        parallelism: Parallelism::Serial,
+    };
+    let ChipRun {
+        mut system,
+        mut controller,
+        budget,
+    } = RunBuilder::new(scenario)
+        .odrl(OdRlConfig {
+            layout: QTableLayout::Quantized,
+            ..OdRlConfig::default()
+        })
+        .build_chip()
+        .expect("valid quantized configuration");
+    let mut actions = vec![LevelId(0); 64];
+    let mut obs = system.observation(budget);
+
+    for _ in 0..30 {
+        controller.decide_into(&obs, &mut actions);
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+    }
+
+    let a0 = allocs::allocations();
+    let b0 = allocs::allocated_bytes();
+    for _ in 0..50 {
+        controller.decide_into(&obs, &mut actions);
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+    }
+    let da = allocs::allocations() - a0;
+    let db = allocs::allocated_bytes() - b0;
+    assert_eq!(
+        da, 0,
+        "quantized steady-state epochs allocated {da} times ({db} bytes) over 50 epochs"
+    );
+}
+
+#[test]
+fn warm_start_boot_allocates_nothing_at_steady_state() {
+    // Boot a chip from a Q-table snapshot on disk: the import happens once
+    // at build time (allocations there are fine), after which the warmed
+    // controller must hit the same zero-alloc steady state as a cold one.
+    let scenario = Scenario {
+        cores: 64,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 42,
+        parallelism: Parallelism::Serial,
+    };
+    let config = scenario
+        .try_system_config()
+        .expect("scenario parameters are valid");
+    let budget = Watts::new(scenario.budget_frac * config.max_power().value());
+    let mut donor_system = System::new(config).expect("valid scenario config");
+    let mut donor =
+        OdRlController::new(OdRlConfig::default(), &donor_system.spec(), budget)
+            .expect("valid OD-RL config");
+    let mut actions = vec![LevelId(0); 64];
+    let mut obs = donor_system.observation(budget);
+    for _ in 0..40 {
+        donor.decide_into(&obs, &mut actions);
+        donor_system.step_in_place(&actions).expect("valid actions");
+        donor_system.observation_into(budget, &mut obs);
+    }
+    let path = std::env::temp_dir().join("odrl_alloc_regression_warm_start.qsnap");
+    donor.export_policy().save(&path).expect("snapshot saves");
+
+    let ChipRun {
+        mut system,
+        mut controller,
+        budget,
+    } = RunBuilder::new(scenario)
+        .warm_start(&path)
+        .build_chip()
+        .expect("valid warm-started configuration");
+    let _ = std::fs::remove_file(&path);
+    let mut obs = system.observation(budget);
+
+    for _ in 0..30 {
+        controller.decide_into(&obs, &mut actions);
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+    }
+
+    let a0 = allocs::allocations();
+    let b0 = allocs::allocated_bytes();
+    for _ in 0..50 {
+        controller.decide_into(&obs, &mut actions);
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+    }
+    let da = allocs::allocations() - a0;
+    let db = allocs::allocated_bytes() - b0;
+    assert_eq!(
+        da, 0,
+        "warm-started steady-state epochs allocated {da} times ({db} bytes) over 50 epochs"
     );
 }
 

@@ -150,6 +150,9 @@ impl MaxBips {
         max_bips_suffix.clear();
         max_bips_suffix.resize(n + 1, 0.0);
         for i in (0..n).rev() {
+            if i > 0 {
+                preds.prefetch_row(i - 1);
+            }
             let row = preds.row(i);
             let min_p = row.iter().map(|p| p.power.value()).fold(f64::MAX, f64::min);
             let max_b = row.iter().map(|p| p.ips).fold(0.0, f64::max);
@@ -272,6 +275,7 @@ impl MaxBips {
         choice.clear();
         choice.resize(n * (bins + 1), usize::MAX);
         for i in 0..n {
+            preds.prefetch_row(i + 1);
             let pred = preds.row(i);
             let choice_row = &mut choice[i * (bins + 1)..(i + 1) * (bins + 1)];
             for v in dp_cur.iter_mut() {

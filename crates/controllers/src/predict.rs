@@ -134,6 +134,30 @@ impl PredictionTable {
     pub fn row(&self, core: usize) -> &[PredictedPoint] {
         &self.points[core * self.levels..(core + 1) * self.levels]
     }
+
+    /// Hints the prefetcher at core `i`'s row, mirroring
+    /// `odrl_rl::QTableStorage::prefetch_row`: a solver scanning core `i`
+    /// can pull core `i + 1`'s predictions toward L1 while the current
+    /// row's arithmetic retires. No-op on non-x86_64 targets and for
+    /// out-of-range cores.
+    #[inline]
+    pub fn prefetch_row(&self, core: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let start = core * self.levels;
+            if self.levels == 0 || start >= self.points.len() {
+                return;
+            }
+            // SAFETY: prefetch is a hint; the pointer derives from a live
+            // in-bounds slice and is never dereferenced architecturally.
+            unsafe { _mm_prefetch::<_MM_HINT_T0>(self.points[start..].as_ptr().cast::<i8>()) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = core;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use crate::error::OdRlError;
 use crate::watchdog::WatchdogConfig;
 use odrl_manycore::Parallelism;
 use odrl_obs::ObsConfig;
-use odrl_rl::{Algorithm, Schedule};
+use odrl_rl::{Algorithm, QTableLayout, Schedule};
 use serde::{Deserialize, Serialize};
 
 /// Tuning parameters of the OD-RL controller.
@@ -58,6 +58,13 @@ pub struct OdRlConfig {
     pub thermal_penalty: f64,
     /// Which TD update to apply.
     pub algorithm: Algorithm,
+    /// Q-table memory layout of the per-core agents. The default
+    /// [`QTableLayout::Scalar`] keeps the historical `f64` tables (and
+    /// bit-identical goldens); [`QTableLayout::Quantized`] stores banked
+    /// `i16` fixed-point rows with a shared per-row scale, halving Q-scan
+    /// cache traffic at a bounded (tested) policy-drift cost.
+    #[serde(default)]
+    pub layout: QTableLayout,
     /// How the per-core select/update loop executes. Per-core exploration
     /// RNG streams make every setting bit-identical; the default is
     /// [`Parallelism::Serial`].
@@ -100,6 +107,7 @@ impl Default for OdRlConfig {
             thermal_limit: None,
             thermal_penalty: 2.0,
             algorithm: Algorithm::QLearning,
+            layout: QTableLayout::default(),
             parallelism: Parallelism::Serial,
             watchdog: WatchdogConfig::default(),
             obs: ObsConfig::default(),

@@ -14,9 +14,14 @@ use odrl_manycore::parallel::{shard_chunks, stream_seed, ShardSplit};
 use odrl_manycore::{Observation, Stage, StageTimers, SystemSpec};
 use odrl_obs::{Event, EventCounts, EventRecord};
 use odrl_power::{LevelId, Watts};
-use odrl_rl::{Agent, Algorithm, DoubleAgent, EpsCache, Policy, RlError, UpdateMask};
+use odrl_rl::snapshot as rl_snapshot;
+use odrl_rl::{
+    Agent, Algorithm, DoubleAgent, EpsCache, Policy, RlError, SnapshotError, UpdateMask,
+    KIND_AGENT, KIND_DOUBLE_AGENT, KIND_POLICY_SET,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::Path;
 use std::time::Instant;
 
 /// The per-core learner: plain/SARSA tabular agent or a double-Q pair,
@@ -28,25 +33,46 @@ enum CoreAgent {
 }
 
 impl CoreAgent {
-    /// One fused RL step: price the previous transition (when `prev` holds
-    /// its `(state, action, reward)`) and select this epoch's action in a
-    /// single pass over the Q-row — the argmax the TD target needs and the
-    /// greedy choice the policy needs are the same scan. The returned flag
+    /// The decide half of the RL step: one pass over this state's Q-row
+    /// selects the action *and* captures the TD bootstrap the pending
+    /// transition will be priced with — the argmax the TD target needs
+    /// and the greedy choice the policy needs are the same scan. The flag
     /// is `true` when the action came from an exploration draw.
-    fn decide_learn<R: Rng + ?Sized>(
+    fn decide<R: Rng + ?Sized>(
         &mut self,
         algorithm: Algorithm,
-        prev: Option<(usize, usize, f64)>,
         s_next: usize,
         rng: &mut R,
         cache: &mut EpsCache,
-    ) -> Result<(usize, bool), RlError> {
+    ) -> Result<(usize, bool, f64), RlError> {
         match self {
             Self::Single(agent) => match algorithm {
-                Algorithm::Sarsa => agent.select_update_sarsa_explored(prev, s_next, rng, cache),
-                _ => agent.select_update_q_explored(prev, s_next, rng, cache),
+                Algorithm::Sarsa => agent.decide_sarsa_explored(s_next, rng, cache),
+                _ => agent.decide_q_explored(s_next, rng, cache),
             },
-            Self::Double(agent) => agent.select_update_explored(prev, s_next, rng, cache),
+            Self::Double(agent) => agent.decide_explored(s_next, rng, cache),
+        }
+    }
+
+    /// The learn half: applies the TD update for `(s, a, reward)` with the
+    /// bootstrap captured by the same epoch's [`CoreAgent::decide`].
+    fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
+        match self {
+            Self::Single(agent) => agent.learn(s, a, reward, bootstrap),
+            Self::Double(agent) => agent.learn(s, a, reward, bootstrap),
+        }
+    }
+
+    /// Hints the CPU to pull state `s`'s Q-row(s) toward L1 — issued one
+    /// decide ahead so the row is resident when its scan starts.
+    #[inline]
+    fn prefetch(&self, s: usize) {
+        match self {
+            Self::Single(a) => a.q().prefetch_row(s),
+            Self::Double(a) => {
+                a.qa().prefetch_row(s);
+                a.qb().prefetch_row(s);
+            }
         }
     }
 
@@ -59,8 +85,16 @@ impl CoreAgent {
 
     fn values(&self, s: usize) -> Result<Vec<f64>, RlError> {
         match self {
-            Self::Single(a) => a.q().row(s).map(<[f64]>::to_vec),
+            Self::Single(a) => a.q().row_values(s),
             Self::Double(a) => a.combined_row(s),
+        }
+    }
+
+    /// `(states, actions)` of the underlying table(s).
+    fn dims(&self) -> (usize, usize) {
+        match self {
+            Self::Single(a) => (a.q().states(), a.q().actions()),
+            Self::Double(a) => (a.qa().states(), a.qa().actions()),
         }
     }
 }
@@ -128,6 +162,14 @@ pub struct OdRlController {
     /// Retired pending buffer, reused for the next epoch's decisions so the
     /// two (state, action) vectors ping-pong without reallocating.
     spare: Vec<(usize, usize)>,
+    /// Per-core TD bootstraps captured by this epoch's decide pass (the
+    /// max/selected Q at the successor state, read *before* any update) —
+    /// consumed by the same epoch's learn pass. Scratch, sized once.
+    boots: Vec<f64>,
+    /// Per-shard `[decide_ns, learn_ns]` stamps, written at each shard's
+    /// chunk-base slot inside the parallel region and folded into the
+    /// stage timers afterwards. Scratch, sized once.
+    rl_ns: Vec<[u64; 2]>,
     /// Telemetry-health tracker, present when the config enables it.
     watchdog: Option<SensorWatchdog>,
     /// Unreliable budget-message link, present after
@@ -212,6 +254,7 @@ impl OdRlController {
                         .gamma(config.gamma)
                         .alpha(config.alpha)
                         .policy(policy)
+                        .layout(config.layout)
                         // Selection sums both tables, so halve the prior.
                         .optimistic(optimistic / 2.0)
                         .build()?,
@@ -221,6 +264,7 @@ impl OdRlController {
                         .gamma(config.gamma)
                         .alpha(config.alpha)
                         .policy(policy)
+                        .layout(config.layout)
                         .optimistic(optimistic)
                         .build()?,
                 )),
@@ -248,6 +292,8 @@ impl OdRlController {
                 .collect(),
             pending: None,
             spare: Vec::new(),
+            boots: vec![0.0; spec.cores],
+            rl_ns: vec![[0, 0]; spec.cores],
             watchdog,
             channel: None,
             mask: UpdateMask::new(spec.cores),
@@ -612,7 +658,7 @@ impl PowerController for OdRlController {
         // `mask` is re-armed for the decisions recorded below.
         std::mem::swap(&mut self.mask, &mut self.mask_prev);
         self.mask.reset();
-        {
+        let chunk = {
             let config = &self.config;
             let encoder = &self.encoder;
             let budgets = &self.budgets;
@@ -637,68 +683,59 @@ impl PowerController for OdRlController {
                     rows,
                     &mut decisions[..n],
                     mask_bits,
+                    &mut self.boots[..n],
+                    &mut self.rl_ns[..n],
                 ),
-                move |base, (agents, rngs, mut rows, dec, valid)| {
+                move |base, (agents, rngs, mut rows, dec, valid, boots, rl_ns)| {
                     // Per-shard epsilon memo: every lockstep agent shares the
                     // same (schedule, step) pair, so one `exp()` serves the
                     // whole shard instead of one per core.
                     let mut cache = EpsCache::new();
-                    for (j, (agent, rng)) in agents.iter_mut().zip(rngs.iter_mut()).enumerate() {
-                        let i = base + j;
-                        // Encode in place (no separate serial pass over the
-                        // cores): same arithmetic as `affordability`, with
-                        // the decaying power ceiling read from the shared
-                        // immutable slice.
-                        let s_next = {
-                            let p_max = max_seen[i];
-                            let afford = if p_max > 0.0 {
-                                (budgets[i] * scale).value() / p_max
-                            } else {
-                                f64::INFINITY
-                            };
-                            encoder.encode(&obs.cores[i], afford)
+                    let len = agents.len();
+                    // Encode in place (no separate serial pass over the
+                    // cores): same arithmetic as `affordability`, with the
+                    // decaying power ceiling read from the shared immutable
+                    // slice.
+                    let encode = |i: usize| {
+                        let p_max = max_seen[i];
+                        let afford = if p_max > 0.0 {
+                            (budgets[i] * scale).value() / p_max
+                        } else {
+                            f64::INFINITY
                         };
+                        encoder.encode(&obs.cores[i], afford)
+                    };
+                    // Decide pass, software-pipelined one core ahead: while
+                    // core j's row is scanned, core j+1's state is encoded
+                    // and its Q-row prefetched, hiding the row's memory
+                    // latency behind the previous scan. Per-core RNG
+                    // streams keep the draws independent of this order.
+                    let t_decide = Instant::now();
+                    if len > 0 {
+                        dec[0].0 = encode(base);
+                        agents[0].prefetch(dec[0].0);
+                    }
+                    for j in 0..len {
+                        if j + 1 < len {
+                            let s = encode(base + j + 1);
+                            dec[j + 1].0 = s;
+                            agents[j + 1].prefetch(s);
+                        }
+                        let i = base + j;
+                        let s_next = dec[j].0;
                         // A dead core takes no decision: pin it to the
                         // floor and taint the recorded pair so the agent
                         // never learns from a transition it did not choose.
                         if wd.is_some_and(|w| w.is_dead(i)) {
                             valid[j] = false;
                             dec[j] = (s_next, 0);
+                            boots[j] = 0.0;
                             continue;
                         }
-                        // Price last epoch's transition first — the reward
-                        // draws no randomness, so hoisting it ahead of the
-                        // fused select+update leaves the RNG stream (and
-                        // therefore every action) bit-identical.
-                        let prev = if prev_valid[i] {
-                            old_pending.map(|pending| {
-                                let (s, a) = pending[i];
-                                let phase = encoder.mem_bin(&obs.cores[i]);
-                                // A stale sensor prices the transition
-                                // with the last good reading against a
-                                // margin-reduced budget: conservative
-                                // while partially blind.
-                                let (power, local_budget) = match wd {
-                                    Some(w) if w.is_stale(i) => {
-                                        (w.held_power(i), budgets[i] * (scale * w.margin()))
-                                    }
-                                    _ => (obs.cores[i].power, budgets[i] * scale),
-                                };
-                                let mut r =
-                                    rows.reward(j, phase, obs.cores[i].ips, power, local_budget);
-                                if let Some(limit) = config.thermal_limit {
-                                    let excess =
-                                        (obs.cores[i].temperature.value() - limit).max(0.0);
-                                    r -= config.thermal_penalty * excess / 10.0;
-                                }
-                                (s, a, r)
-                            })
-                        } else {
-                            None
-                        };
-                        let (a_next, explored) = agent
-                            .decide_learn(config.algorithm, prev, s_next, rng, &mut cache)
+                        let (a_next, explored, bootstrap) = agents[j]
+                            .decide(config.algorithm, s_next, &mut rngs[j], &mut cache)
                             .expect("encoded state and indices are in range");
+                        boots[j] = bootstrap;
                         if explored {
                             if let Some(rings) = trace_rings {
                                 rings[base / chunk].lock().expect("shard ring poisoned").record(
@@ -713,8 +750,62 @@ impl PowerController for OdRlController {
                         }
                         dec[j] = (s_next, a_next);
                     }
+                    let decide_ns = t_decide.elapsed().as_nanos() as u64;
+                    // Learn pass: price last epoch's transition and apply
+                    // the TD update with the bootstrap the decide pass read
+                    // from the pre-update table — exactly what the fused
+                    // select+update computed, so splitting the passes is
+                    // bit-identical. The reward draws no randomness and
+                    // each core touches only its own shaper row, so the
+                    // reordering changes nothing else.
+                    let t_learn = Instant::now();
+                    if let Some(pending) = old_pending {
+                        for (j, agent) in agents.iter_mut().enumerate() {
+                            let i = base + j;
+                            if !prev_valid[i] || wd.is_some_and(|w| w.is_dead(i)) {
+                                continue;
+                            }
+                            let (s, a) = pending[i];
+                            let phase = encoder.mem_bin(&obs.cores[i]);
+                            // A stale sensor prices the transition with
+                            // the last good reading against a
+                            // margin-reduced budget: conservative while
+                            // partially blind.
+                            let (power, local_budget) = match wd {
+                                Some(w) if w.is_stale(i) => {
+                                    (w.held_power(i), budgets[i] * (scale * w.margin()))
+                                }
+                                _ => (obs.cores[i].power, budgets[i] * scale),
+                            };
+                            let mut r =
+                                rows.reward(j, phase, obs.cores[i].ips, power, local_budget);
+                            if let Some(limit) = config.thermal_limit {
+                                let excess = (obs.cores[i].temperature.value() - limit).max(0.0);
+                                r -= config.thermal_penalty * excess / 10.0;
+                            }
+                            agent
+                                .learn(s, a, r, boots[j])
+                                .expect("recorded state and action are in range");
+                        }
+                    }
+                    rl_ns[0] = [decide_ns, t_learn.elapsed().as_nanos() as u64];
                 },
             );
+            chunk
+        };
+        // Fold the per-shard stamps: shards ran concurrently, so each
+        // half's wall-clock contribution is the widest shard.
+        let (mut decide_ns, mut learn_ns) = (0u64, 0u64);
+        let mut b = 0;
+        while b < n {
+            decide_ns = decide_ns.max(self.rl_ns[b][0]);
+            learn_ns = learn_ns.max(self.rl_ns[b][1]);
+            b += chunk;
+        }
+        self.timers.add_nanos(Stage::RlDecide, decide_ns);
+        self.timers.add_nanos(Stage::RlLearn, learn_ns);
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.record_rl_split(decide_ns, learn_ns);
         }
         for (slot, &(_, a)) in out.iter_mut().zip(decisions.iter()) {
             *slot = LevelId(a);
@@ -752,6 +843,103 @@ impl PolicySnapshot {
     /// Number of per-core agents in the snapshot.
     pub fn num_agents(&self) -> usize {
         self.agents.len()
+    }
+
+    /// State-space size each agent's table was built for.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Action-space size each agent's table was built for.
+    pub fn actions(&self) -> usize {
+        self.actions
+    }
+
+    /// Encodes the snapshot in the versioned binary format (see
+    /// `odrl_rl::snapshot`): the common header with kind
+    /// [`KIND_POLICY_SET`], the table dimensions and agent count, then
+    /// one kind-tagged agent block per core. Floats travel as raw bits,
+    /// so a decode-encode round trip is bit-identical.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = rl_snapshot::header(KIND_POLICY_SET);
+        rl_snapshot::put_u64(&mut out, self.states as u64);
+        rl_snapshot::put_u64(&mut out, self.actions as u64);
+        rl_snapshot::put_u64(&mut out, self.agents.len() as u64);
+        for agent in &self.agents {
+            match agent {
+                CoreAgent::Single(a) => {
+                    rl_snapshot::put_u64(&mut out, u64::from(KIND_AGENT));
+                    a.encode_block(&mut out);
+                }
+                CoreAgent::Double(a) => {
+                    rl_snapshot::put_u64(&mut out, u64::from(KIND_DOUBLE_AGENT));
+                    a.encode_block(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a snapshot produced by [`PolicySnapshot::to_bytes`],
+    /// validating the magic, version, kind, every agent block and that
+    /// each agent's table matches the header dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Snapshot`] for any malformed, truncated or
+    /// mismatched input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RlError> {
+        let mut cur = rl_snapshot::check_header(bytes, KIND_POLICY_SET)?;
+        let states = cur.take_len()?;
+        let actions = cur.take_len()?;
+        let count = cur.take_len()?;
+        let mut agents = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let kind = cur.take_u64()?;
+            let agent = if kind == u64::from(KIND_AGENT) {
+                CoreAgent::Single(Agent::decode_block(&mut cur)?)
+            } else if kind == u64::from(KIND_DOUBLE_AGENT) {
+                CoreAgent::Double(DoubleAgent::decode_block(&mut cur)?)
+            } else {
+                return Err(RlError::Snapshot {
+                    reason: "unknown agent kind in policy set",
+                });
+            };
+            if agent.dims() != (states, actions) {
+                return Err(RlError::Snapshot {
+                    reason: "agent dimensions disagree with the policy-set header",
+                });
+            }
+            agents.push(agent);
+        }
+        cur.finish()?;
+        Ok(Self {
+            states,
+            actions,
+            agents,
+        })
+    }
+
+    /// Writes the binary snapshot to `path` — the on-disk warm-start
+    /// artifact [`crate::OdRlController::import_policy`] boots from after
+    /// a [`PolicySnapshot::load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] if the file cannot be written.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes()).map_err(SnapshotError::Io)
+    }
+
+    /// Reads a binary snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] if the file cannot be read, or
+    /// [`SnapshotError::Format`] if its contents do not decode.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+        Ok(Self::from_bytes(&bytes)?)
     }
 }
 

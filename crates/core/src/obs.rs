@@ -33,6 +33,8 @@ pub struct CtrlTracer {
     shard_rings: Vec<Mutex<TraceRing>>,
     metrics: MetricsRegistry,
     h_decide_ns: HistogramId,
+    h_rl_decide_ns: HistogramId,
+    h_rl_learn_ns: HistogramId,
     h_realloc_w: HistogramId,
     h_overshoot_w: HistogramId,
     c_stale: CounterId,
@@ -60,6 +62,12 @@ impl CtrlTracer {
         let h_decide_ns = metrics
             .histogram("decide_latency_ns", 0.0, 1e7, 64)
             .expect("static histogram layout is valid");
+        let h_rl_decide_ns = metrics
+            .histogram("rl_decide_ns", 0.0, 1e7, 64)
+            .expect("static histogram layout is valid");
+        let h_rl_learn_ns = metrics
+            .histogram("rl_learn_ns", 0.0, 1e7, 64)
+            .expect("static histogram layout is valid");
         let h_realloc_w = metrics
             .histogram("realloc_magnitude_w", 0.0, 100.0, 50)
             .expect("static histogram layout is valid");
@@ -82,6 +90,8 @@ impl CtrlTracer {
                 .collect(),
             metrics,
             h_decide_ns,
+            h_rl_decide_ns,
+            h_rl_learn_ns,
             h_realloc_w,
             h_overshoot_w,
             c_stale,
@@ -195,6 +205,15 @@ impl CtrlTracer {
         self.metrics.inc(self.c_redistribution);
     }
 
+    /// Records the RL stage's decide/learn split for this epoch — the
+    /// widest (wall-clock dominating) shard's nanoseconds in each half of
+    /// the sharded select/update loop.
+    #[inline]
+    pub fn record_rl_split(&mut self, decide_ns: u64, learn_ns: u64) {
+        self.metrics.observe(self.h_rl_decide_ns, decide_ns as f64);
+        self.metrics.observe(self.h_rl_learn_ns, learn_ns as f64);
+    }
+
     /// The per-shard rings the RL loop records exploration choices into
     /// (shard index = `base / chunk` — the `shard_chunks` chunking).
     pub fn shard_rings(&self) -> &[Mutex<TraceRing>] {
@@ -271,6 +290,8 @@ impl Clone for CtrlTracer {
                 .collect(),
             metrics: self.metrics.clone(),
             h_decide_ns: self.h_decide_ns,
+            h_rl_decide_ns: self.h_rl_decide_ns,
+            h_rl_learn_ns: self.h_rl_learn_ns,
             h_realloc_w: self.h_realloc_w,
             h_overshoot_w: self.h_overshoot_w,
             c_stale: self.c_stale,

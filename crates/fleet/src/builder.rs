@@ -2,12 +2,10 @@
 //! configuration the harnesses used to assemble by hand.
 //!
 //! `RunBuilder::new(scenario)` then chain what the run needs — a
-//! controller, a fault plan, the watchdog, structured tracing, a
-//! parallelism override — and finish with [`RunBuilder::build_chip`] (one
-//! system + controller pair) or [`RunBuilder::build_fleet`] (N chips under
-//! the rack arbiter). Replaces the `build_faulted` / `build_observed`
-//! free functions of `odrl-bench`, which survive one release as deprecated
-//! shims over this type.
+//! controller, a fault plan, the watchdog, structured tracing, a warm
+//! start, a parallelism override — and finish with
+//! [`RunBuilder::build_chip`] (one system + controller pair) or
+//! [`RunBuilder::build_fleet`] (N chips under the rack arbiter).
 
 use crate::config::FleetConfig;
 use crate::error::FleetError;
@@ -17,8 +15,10 @@ use odrl_controllers::PowerController;
 use odrl_core::{OdRlConfig, WatchdogConfig};
 use odrl_faults::FaultPlan;
 use odrl_manycore::{Parallelism, System};
+use odrl_core::PolicySnapshot;
 use odrl_obs::ObsConfig;
 use odrl_power::Watts;
+use std::path::PathBuf;
 
 /// A ready-to-run chip: the system, its controller, and the budget the
 /// scenario's fraction resolved to. Feed to a run loop (e.g.
@@ -63,6 +63,7 @@ pub struct RunBuilder {
     min_share: f64,
     demand_smoothing: f64,
     fleet_parallelism: Parallelism,
+    warm_start: Option<PathBuf>,
 }
 
 impl RunBuilder {
@@ -84,6 +85,7 @@ impl RunBuilder {
             min_share: defaults.min_share,
             demand_smoothing: defaults.demand_smoothing,
             fleet_parallelism: Parallelism::Serial,
+            warm_start: None,
         }
     }
 
@@ -158,6 +160,16 @@ impl RunBuilder {
         self
     }
 
+    /// Boot the OD-RL controller(s) from a binary `PolicySnapshot` on
+    /// disk (see `odrl_core::PolicySnapshot::save`) instead of cold
+    /// optimistic tables. Fleet builds import the same snapshot into every
+    /// chip; only OD-RL controller kinds accept a warm start.
+    #[must_use]
+    pub fn warm_start<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.warm_start = Some(path.into());
+        self
+    }
+
     /// Builds one chip: system (faults attached as chip 0, tracing per
     /// [`RunBuilder::obs`]), controller (watchdog wiring per
     /// [`RunBuilder::watchdog`]), and the resolved budget.
@@ -184,7 +196,18 @@ impl RunBuilder {
         if self.obs {
             odrl.obs = ObsConfig::enabled();
         }
-        let controller = build_controller(self.kind, &system, budget, odrl, self.watchdog)?;
+        let warm = self
+            .warm_start
+            .as_ref()
+            .map(|path| {
+                PolicySnapshot::load(path).map_err(|e| FleetError::InvalidConfig {
+                    field: "warm_start",
+                    reason: format!("cannot load snapshot from {}: {e}", path.display()),
+                })
+            })
+            .transpose()?;
+        let controller =
+            build_controller(self.kind, &system, budget, odrl, self.watchdog, warm.as_ref())?;
         Ok(ChipRun {
             system,
             controller,
@@ -212,6 +235,7 @@ impl RunBuilder {
             min_share: self.min_share,
             demand_smoothing: self.demand_smoothing,
             parallelism: self.fleet_parallelism,
+            warm_start: self.warm_start,
         };
         Fleet::new(config)
     }

@@ -5,6 +5,7 @@ use crate::scenario::{ControllerKind, Scenario};
 use odrl_core::OdRlConfig;
 use odrl_faults::FaultPlan;
 use odrl_manycore::Parallelism;
+use std::path::PathBuf;
 
 /// Everything a [`Fleet`](crate::Fleet) needs: how many chips, what each
 /// chip looks like (one [`Scenario`] replicated with decorrelated seeds),
@@ -53,6 +54,10 @@ pub struct FleetConfig {
     /// exclusive with intra-chip parallelism (`scenario.parallelism`):
     /// both layers share one worker pool whose jobs must not nest.
     pub parallelism: Parallelism,
+    /// Optional path to a binary `PolicySnapshot` every chip's OD-RL
+    /// controller boots from (warm start). Loaded once and imported per
+    /// chip; only OD-RL controller kinds accept it.
+    pub warm_start: Option<PathBuf>,
 }
 
 impl FleetConfig {
@@ -74,6 +79,7 @@ impl FleetConfig {
             min_share: 0.25,
             demand_smoothing: 0.25,
             parallelism: Parallelism::Serial,
+            warm_start: None,
         }
     }
 

@@ -28,7 +28,7 @@ use crate::config::FleetConfig;
 use crate::error::FleetError;
 use crate::scenario::build_controller;
 use odrl_controllers::PowerController;
-use odrl_core::WatchdogConfig;
+use odrl_core::{PolicySnapshot, WatchdogConfig};
 use odrl_faults::{BudgetChannel, FaultEngine};
 use odrl_manycore::parallel::{shard_chunks, stream_seed};
 use odrl_manycore::{Observation, Parallelism, System, SystemError, Telemetry};
@@ -265,6 +265,18 @@ impl Fleet {
             .unwrap_or_default();
         let channel_seed = stream_seed(config.scenario.seed ^ FLEET_CHANNEL_SALT, 0);
         let channel = FaultEngine::compile(&fleet_plan, n, channel_seed)?.budget_channel();
+        // Warm start: load the snapshot once; every chip imports a copy of
+        // the same learned tables (exploration stays decorrelated by seed).
+        let warm = config
+            .warm_start
+            .as_ref()
+            .map(|path| {
+                PolicySnapshot::load(path).map_err(|e| FleetError::InvalidConfig {
+                    field: "warm_start",
+                    reason: format!("cannot load snapshot from {}: {e}", path.display()),
+                })
+            })
+            .transpose()?;
         let mut chips = Vec::with_capacity(n);
         for (k, sys_config) in sys_configs.into_iter().enumerate() {
             let mut system = System::new(sys_config)?;
@@ -283,8 +295,14 @@ impl Fleet {
             // one-chip fleet is still a fleet, not a disguised chip run).
             odrl.seed ^= stream_seed(config.scenario.seed ^ ODRL_SEED_SALT, k as u64);
             let budget = Watts::new(arbiter.shares()[k]);
-            let controller =
-                build_controller(config.controller, &system, budget, odrl, config.watchdog)?;
+            let controller = build_controller(
+                config.controller,
+                &system,
+                budget,
+                odrl,
+                config.watchdog,
+                warm.as_ref(),
+            )?;
             let obs = system.observation(budget);
             let cores = system.num_cores();
             chips.push(FleetChip {

@@ -11,7 +11,7 @@ use odrl_controllers::{
     MaxBips, MaxBipsMode, OndemandGovernor, OndemandTuning, PidController, PidGains,
     PowerController, PriorityGreedy, StaticUniform, SteepestDrop,
 };
-use odrl_core::{HierarchicalOdRl, OdRlConfig, OdRlController};
+use odrl_core::{HierarchicalOdRl, OdRlConfig, OdRlController, PolicySnapshot};
 use odrl_manycore::{Parallelism, System, SystemConfig, SystemError, SystemSpec};
 use odrl_power::Watts;
 use odrl_workload::MixPolicy;
@@ -234,26 +234,42 @@ impl ControllerKind {
 /// watchdog path: with `watchdog` set, OD-RL variants run their sensor
 /// watchdog and route budget messages through the system's attached fault
 /// engine (graceful degradation on); baselines take no degradation
-/// machinery either way — they simply suffer the faults.
+/// machinery either way — they simply suffer the faults. With `warm` set,
+/// OD-RL variants boot from the given Q-table snapshot instead of the
+/// optimistic cold tables (other kinds have no tables to restore and
+/// reject the request).
 pub(crate) fn build_controller(
     kind: ControllerKind,
     system: &System,
     budget: Watts,
     odrl: OdRlConfig,
     watchdog: bool,
+    warm: Option<&PolicySnapshot>,
 ) -> Result<Box<dyn PowerController + Send>, FleetError> {
     match kind {
-        ControllerKind::OdRl | ControllerKind::OdRlLocal if watchdog => {
+        ControllerKind::OdRl | ControllerKind::OdRlLocal if watchdog || warm.is_some() => {
             let mut c = if kind == ControllerKind::OdRl {
                 OdRlController::new(odrl, &system.spec(), budget)
             } else {
                 OdRlController::without_reallocation(odrl, &system.spec(), budget)
             }?;
-            if let Some(engine) = system.fault_engine() {
-                c.attach_budget_faults(engine)?;
+            if watchdog {
+                if let Some(engine) = system.fault_engine() {
+                    c.attach_budget_faults(engine)?;
+                }
+            }
+            if let Some(snap) = warm {
+                c.import_policy(snap.clone())?;
             }
             Ok(Box::new(c))
         }
+        _ if warm.is_some() => Err(FleetError::InvalidConfig {
+            field: "warm_start",
+            reason: format!(
+                "controller {} cannot boot from a Q-table snapshot",
+                kind.label()
+            ),
+        }),
         _ => kind.try_instantiate(&system.spec(), budget, odrl),
     }
 }

@@ -10,10 +10,13 @@
 //! and the merged trace, the same way `trace_determinism.rs` pins the
 //! single-chip stream.
 
+use odrl_controllers::PowerController;
+use odrl_core::{OdRlConfig, OdRlController};
 use odrl_faults::{BudgetFault, CoreFault, FaultKind, FaultPlan, SensorFault, Target};
 use odrl_fleet::{Fleet, RunBuilder, Scenario};
-use odrl_manycore::Parallelism;
+use odrl_manycore::{Parallelism, System};
 use odrl_obs::FleetEventRecord;
+use odrl_power::{LevelId, Watts};
 use odrl_workload::MixPolicy;
 
 fn fnv1a(s: &str) -> u64 {
@@ -130,6 +133,57 @@ fn fault_free_fleet_is_shard_count_invariant() {
 #[test]
 fn faulted_fleet_is_shard_count_invariant() {
     check_invariant(Some(&plan()));
+}
+
+/// A 4-chip fleet booted from a Q-table snapshot on disk must be
+/// bit-identical across 1/2/4 cross-chip shards, and the warm start must
+/// actually change the run relative to a cold boot (the import is not a
+/// no-op).
+#[test]
+fn warm_started_fleet_is_shard_count_invariant() {
+    // Train a donor chip on the same scenario geometry and save its policy.
+    let s = scenario();
+    let config = s.try_system_config().expect("valid scenario");
+    let budget = Watts::new(s.budget_frac * config.max_power().value());
+    let mut donor_system = System::new(config).expect("valid scenario config");
+    let mut donor = OdRlController::new(OdRlConfig::default(), &donor_system.spec(), budget)
+        .expect("valid OD-RL config");
+    let mut actions = vec![LevelId(0); s.cores];
+    let mut obs = donor_system.observation(budget);
+    for _ in 0..80 {
+        donor.decide_into(&obs, &mut actions);
+        donor_system.step_in_place(&actions).expect("valid actions");
+        donor_system.observation_into(budget, &mut obs);
+    }
+    let path = std::env::temp_dir().join("odrl_fleet_warm_start.qsnap");
+    donor.export_policy().save(&path).expect("snapshot saves");
+
+    let run = |par: Parallelism, warm: bool| {
+        let mut builder = RunBuilder::new(scenario())
+            .arbiter_period(10)
+            .fleet_parallelism(par);
+        if warm {
+            builder = builder.warm_start(&path);
+        }
+        let mut fleet = builder.build_fleet(4).expect("valid fleet configuration");
+        fleet.run(60).expect("fleet run completes");
+        summary_hash(&fleet)
+    };
+
+    let serial = run(Parallelism::Serial, true);
+    for shards in [2, 4] {
+        assert_eq!(
+            serial,
+            run(Parallelism::Threads(shards), true),
+            "{shards}-shard warm-started fleet summary drifted"
+        );
+    }
+    assert_ne!(
+        serial,
+        run(Parallelism::Serial, false),
+        "warm start must change the trajectory relative to a cold boot"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 /// A large fleet (16 chips × 64 cores = 1024 fleet cores) keeps the

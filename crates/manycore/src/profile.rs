@@ -29,20 +29,35 @@ pub enum Stage {
     /// Thermal grid forward-Euler integration.
     Thermal,
     /// Controller: RL state encoding, action selection and TD updates.
+    /// This is the whole RL pass wall clock; [`Stage::RlDecide`] and
+    /// [`Stage::RlLearn`] break the same interval down and are excluded
+    /// from [`StageTimers::total_nanos`] so the pipeline total is not
+    /// double-counted — benchmarks should present them as a split of
+    /// `rl`, not as extra pipeline stages.
     Rl,
+    /// Controller: the action-selection (decide) half of the RL pass —
+    /// state encoding, greedy scan and ε-draw. A sub-interval of
+    /// [`Stage::Rl`].
+    RlDecide,
+    /// Controller: the TD-update (learn) half of the RL pass — reward
+    /// pricing and Q-table writes. A sub-interval of [`Stage::Rl`].
+    RlLearn,
     /// Controller: budget tracking and per-core budget reallocation.
     Realloc,
 }
 
 impl Stage {
-    /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    /// Every stage, in pipeline order. `rl_decide` and `rl_learn` follow
+    /// `rl` as its sub-interval split.
+    pub const ALL: [Stage; 9] = [
         Stage::Workload,
         Stage::Power,
         Stage::Sensor,
         Stage::Noc,
         Stage::Thermal,
         Stage::Rl,
+        Stage::RlDecide,
+        Stage::RlLearn,
         Stage::Realloc,
     ];
 
@@ -55,8 +70,16 @@ impl Stage {
             Stage::Noc => "noc",
             Stage::Thermal => "thermal",
             Stage::Rl => "rl",
+            Stage::RlDecide => "rl_decide",
+            Stage::RlLearn => "rl_learn",
             Stage::Realloc => "realloc",
         }
+    }
+
+    /// Whether this stage is a sub-interval of another stage (and thus
+    /// excluded from pipeline totals).
+    pub fn is_substage(self) -> bool {
+        matches!(self, Stage::RlDecide | Stage::RlLearn)
     }
 }
 
@@ -101,6 +124,14 @@ impl StageTimers {
         self.nanos[stage as usize] += t0.elapsed().as_nanos() as u64;
     }
 
+    /// Adds a pre-measured nanosecond count to `stage`'s counter — for
+    /// intervals stamped off-thread (e.g. per-shard sub-stage timings
+    /// aggregated after a parallel region) where no `Instant` survives.
+    #[inline]
+    pub fn add_nanos(&mut self, stage: Stage, nanos: u64) {
+        self.nanos[stage as usize] += nanos;
+    }
+
     /// Counts one completed epoch (drives the per-epoch means).
     #[inline]
     pub fn bump_epoch(&mut self) {
@@ -112,9 +143,15 @@ impl StageTimers {
         self.nanos[stage as usize]
     }
 
-    /// Total nanoseconds recorded across all stages.
+    /// Total nanoseconds recorded across all pipeline stages. Sub-stage
+    /// counters ([`Stage::is_substage`]) are excluded: they re-measure
+    /// intervals already covered by their parent stage.
     pub fn total_nanos(&self) -> u64 {
-        self.nanos.iter().sum()
+        Stage::ALL
+            .iter()
+            .filter(|s| !s.is_substage())
+            .map(|&s| self.nanos[s as usize])
+            .sum()
     }
 
     /// Number of epochs counted.
@@ -223,11 +260,26 @@ mod tests {
         let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["workload", "power", "sensor", "noc", "thermal", "rl", "realloc"]
+            [
+                "workload", "power", "sensor", "noc", "thermal", "rl", "rl_decide", "rl_learn",
+                "realloc"
+            ]
         );
         let mut dedup = names.clone();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn substages_do_not_double_count_totals() {
+        let mut t = StageTimers::new();
+        t.add_nanos(Stage::Rl, 100);
+        t.add_nanos(Stage::RlDecide, 60);
+        t.add_nanos(Stage::RlLearn, 40);
+        t.add_nanos(Stage::Thermal, 50);
+        assert_eq!(t.nanos(Stage::RlDecide), 60);
+        assert_eq!(t.nanos(Stage::RlLearn), 40);
+        assert_eq!(t.total_nanos(), 150);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 
 use crate::error::RlError;
 use crate::policy::{EpsCache, Policy};
-use crate::qtable::QTable;
 use crate::schedule::Schedule;
+use crate::snapshot::{self, SnapshotError};
+use crate::storage::{QTableLayout, QTableStorage};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Which TD update rule a controller applies ([`Agent::update`] implements
 /// Q-learning; [`Agent::update_sarsa`] implements SARSA — this enum lets
@@ -47,7 +49,7 @@ pub enum Algorithm {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Agent {
-    q: QTable,
+    q: QTableStorage,
     gamma: f64,
     alpha: Schedule,
     policy: Policy,
@@ -64,11 +66,12 @@ impl Agent {
             alpha: Schedule::Constant { value: 0.1 },
             policy: Policy::default_epsilon_greedy(),
             optimistic: 0.0,
+            layout: QTableLayout::Scalar,
         }
     }
 
-    /// The agent's Q-table.
-    pub fn q(&self) -> &QTable {
+    /// The agent's Q-table storage.
+    pub fn q(&self) -> &QTableStorage {
         &self.q
     }
 
@@ -89,7 +92,7 @@ impl Agent {
     ///
     /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
     pub fn select<R: Rng + ?Sized>(&mut self, s: usize, rng: &mut R) -> Result<usize, RlError> {
-        let a = self.policy.select(&self.q, s, self.step, rng)?;
+        let a = self.policy.select_storage(&self.q, s, self.step, rng)?;
         self.step += 1;
         Ok(a)
     }
@@ -179,6 +182,31 @@ impl Agent {
         rng: &mut R,
         cache: &mut EpsCache,
     ) -> Result<(usize, bool), RlError> {
+        let (a_next, explored, bootstrap) = self.decide_q_explored(s_next, rng, cache)?;
+        if let Some((s, a, reward)) = prev {
+            self.learn(s, a, reward, bootstrap)?;
+        }
+        Ok((a_next, explored))
+    }
+
+    /// The decision half of [`Agent::select_update_q_explored`]: selects an
+    /// action in `s_next` and returns `(action, explored, bootstrap)`,
+    /// where `bootstrap` is the Q-learning bootstrap `max_a Q(s_next, a)`
+    /// to feed [`Agent::learn`] once the transition's reward is known.
+    ///
+    /// Splitting decide from learn lets a controller run all decisions as
+    /// one pass and all TD updates as another (e.g. to time them apart);
+    /// the sequence decide → learn is bit-identical to the fused call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::select`].
+    pub fn decide_q_explored<R: Rng + ?Sized>(
+        &mut self,
+        s_next: usize,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool, f64), RlError> {
         let (best, max_v) = self.q.best_action_and_max(s_next)?;
         let (a_next, explored) = match self.policy.select_from_argmax_explored(
             self.q.actions(),
@@ -188,13 +216,13 @@ impl Agent {
             cache,
         ) {
             Some(pair) => pair,
-            None => (self.policy.select(&self.q, s_next, self.step, rng)?, false),
+            None => (
+                self.policy.select_storage(&self.q, s_next, self.step, rng)?,
+                false,
+            ),
         };
         self.step += 1;
-        if let Some((s, a, reward)) = prev {
-            self.td_update(s, a, reward, max_v)?;
-        }
-        Ok((a_next, explored))
+        Ok((a_next, explored, max_v))
     }
 
     /// Fused select + SARSA update: like [`Agent::select_update_q`] but the
@@ -230,6 +258,26 @@ impl Agent {
         rng: &mut R,
         cache: &mut EpsCache,
     ) -> Result<(usize, bool), RlError> {
+        let (a_next, explored, bootstrap) = self.decide_sarsa_explored(s_next, rng, cache)?;
+        if let Some((s, a, reward)) = prev {
+            self.learn(s, a, reward, bootstrap)?;
+        }
+        Ok((a_next, explored))
+    }
+
+    /// The decision half of [`Agent::select_update_sarsa_explored`]: like
+    /// [`Agent::decide_q_explored`] but the returned bootstrap is
+    /// `Q(s_next, a_next)` for the action actually selected (on-policy).
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::select`].
+    pub fn decide_sarsa_explored<R: Rng + ?Sized>(
+        &mut self,
+        s_next: usize,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool, f64), RlError> {
         let (best, _) = self.q.best_action_and_max(s_next)?;
         let (a_next, explored) = match self.policy.select_from_argmax_explored(
             self.q.actions(),
@@ -239,14 +287,101 @@ impl Agent {
             cache,
         ) {
             Some(pair) => pair,
-            None => (self.policy.select(&self.q, s_next, self.step, rng)?, false),
+            None => (
+                self.policy.select_storage(&self.q, s_next, self.step, rng)?,
+                false,
+            ),
         };
         self.step += 1;
-        if let Some((s, a, reward)) = prev {
-            let bootstrap = self.q.get(s_next, a_next)?;
-            self.td_update(s, a, reward, bootstrap)?;
-        }
-        Ok((a_next, explored))
+        let bootstrap = self.q.get(s_next, a_next)?;
+        Ok((a_next, explored, bootstrap))
+    }
+
+    /// The learning half of a decide/learn pair: applies the TD update for
+    /// `(s, a, reward)` against a bootstrap previously returned by
+    /// [`Agent::decide_q_explored`] or [`Agent::decide_sarsa_explored`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices or
+    /// [`RlError::InvalidParameter`] for a non-finite reward.
+    pub fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
+        self.td_update(s, a, reward, bootstrap)
+    }
+
+    /// Serializes the agent to the versioned binary snapshot format (see
+    /// [`crate::snapshot`] for the layout).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = snapshot::header(snapshot::KIND_AGENT);
+        snapshot::write_agent_block(
+            &mut out,
+            self.gamma,
+            self.step,
+            &self.alpha,
+            &self.policy,
+        );
+        snapshot::write_storage(&mut out, &self.q);
+        out
+    }
+
+    /// Decodes an agent from [`Agent::snapshot_bytes`] output. Round trips
+    /// are bit-identical: every Q value, visit count, scale and counter is
+    /// restored exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Snapshot`] for a malformed, truncated or
+    /// version-mismatched buffer.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, RlError> {
+        let mut cur = snapshot::check_header(bytes, snapshot::KIND_AGENT)?;
+        let agent = Self::decode_block(&mut cur)?;
+        cur.finish()?;
+        Ok(agent)
+    }
+
+    /// Decodes one agent block (header already consumed) — the building
+    /// block multi-agent controller snapshots frame per agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Snapshot`] for a malformed or truncated block.
+    pub fn decode_block(cur: &mut snapshot::SnapCursor<'_>) -> Result<Self, RlError> {
+        let (gamma, step, alpha, policy) = snapshot::read_agent_block(cur)?;
+        let q = snapshot::read_storage(cur)?;
+        Ok(Self {
+            q,
+            gamma,
+            alpha,
+            policy,
+            step,
+        })
+    }
+
+    /// Encodes this agent's block without the file header — the building
+    /// block multi-agent controller snapshots frame per agent.
+    pub fn encode_block(&self, out: &mut Vec<u8>) {
+        snapshot::write_agent_block(out, self.gamma, self.step, &self.alpha, &self.policy);
+        snapshot::write_storage(out, &self.q);
+    }
+
+    /// Writes the snapshot to `path` (see [`Agent::snapshot_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] if the file cannot be written.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.snapshot_bytes()).map_err(SnapshotError::Io)
+    }
+
+    /// Loads an agent saved with [`Agent::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] if the file cannot be read, or
+    /// [`SnapshotError::Format`] if the bytes do not decode.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+        Self::from_snapshot_bytes(&bytes).map_err(SnapshotError::Format)
     }
 
     fn td_update(
@@ -282,6 +417,7 @@ pub struct AgentBuilder {
     alpha: Schedule,
     policy: Policy,
     optimistic: f64,
+    layout: QTableLayout,
 }
 
 impl AgentBuilder {
@@ -309,6 +445,12 @@ impl AgentBuilder {
         self
     }
 
+    /// Selects the Q-table storage layout (default [`QTableLayout::Scalar`]).
+    pub fn layout(mut self, layout: QTableLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// Builds the agent.
     ///
     /// # Errors
@@ -323,9 +465,9 @@ impl AgentBuilder {
             });
         }
         let q = if self.optimistic != 0.0 {
-            QTable::optimistic(self.states, self.actions, self.optimistic)?
+            QTableStorage::optimistic(self.layout, self.states, self.actions, self.optimistic)?
         } else {
-            QTable::new(self.states, self.actions)?
+            QTableStorage::new(self.layout, self.states, self.actions)?
         };
         Ok(Agent {
             q,

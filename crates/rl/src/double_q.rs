@@ -4,10 +4,12 @@
 
 use crate::error::RlError;
 use crate::policy::{EpsCache, Policy};
-use crate::qtable::QTable;
 use crate::schedule::Schedule;
+use crate::snapshot::{self, SnapshotError};
+use crate::storage::{QTableLayout, QTableStorage};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// A tabular double Q-learning agent.
 ///
@@ -35,8 +37,8 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DoubleAgent {
-    qa: QTable,
-    qb: QTable,
+    qa: QTableStorage,
+    qb: QTableStorage,
     gamma: f64,
     alpha: Schedule,
     policy: Policy,
@@ -54,16 +56,17 @@ impl DoubleAgent {
             alpha: Schedule::Constant { value: 0.1 },
             policy: Policy::default_epsilon_greedy(),
             optimistic: 0.0,
+            layout: QTableLayout::Scalar,
         }
     }
 
     /// The first table.
-    pub fn qa(&self) -> &QTable {
+    pub fn qa(&self) -> &QTableStorage {
         &self.qa
     }
 
     /// The second table.
-    pub fn qb(&self) -> &QTable {
+    pub fn qb(&self) -> &QTableStorage {
         &self.qb
     }
 
@@ -78,9 +81,22 @@ impl DoubleAgent {
     ///
     /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
     pub fn combined_row(&self, s: usize) -> Result<Vec<f64>, RlError> {
-        let a = self.qa.row(s)?;
-        let b = self.qb.row(s)?;
-        Ok(a.iter().zip(b).map(|(x, y)| x + y).collect())
+        self.check_state(s)?;
+        let len = self.qa.actions();
+        Ok((0..len)
+            .map(|i| self.qa.value_at(s, i) + self.qb.value_at(s, i))
+            .collect())
+    }
+
+    fn check_state(&self, s: usize) -> Result<(), RlError> {
+        if s >= self.qa.states() {
+            return Err(RlError::IndexOutOfRange {
+                what: "state",
+                requested: s,
+                size: self.qa.states(),
+            });
+        }
+        Ok(())
     }
 
     /// Selects an action in state `s` using the combined tables.
@@ -91,11 +107,14 @@ impl DoubleAgent {
     pub fn select<R: Rng + ?Sized>(&mut self, s: usize, rng: &mut R) -> Result<usize, RlError> {
         // Sum the two rows on the fly instead of materialising the
         // combined row — keeps per-decision selection allocation-free.
-        let qa_row = self.qa.row(s)?;
-        let qb_row = self.qb.row(s)?;
-        let a = self
-            .policy
-            .select_with(qa_row.len(), |i| qa_row[i] + qb_row[i], self.step, rng);
+        self.check_state(s)?;
+        let (qa, qb) = (&self.qa, &self.qb);
+        let a = self.policy.select_with(
+            qa.actions(),
+            |i| qa.value_at(s, i) + qb.value_at(s, i),
+            self.step,
+            rng,
+        );
         self.step += 1;
         Ok(a)
     }
@@ -106,12 +125,11 @@ impl DoubleAgent {
     ///
     /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
     pub fn exploit(&self, s: usize) -> Result<usize, RlError> {
-        let qa_row = self.qa.row(s)?;
-        let qb_row = self.qb.row(s)?;
+        self.check_state(s)?;
         let mut best = 0;
         let mut best_v = f64::NEG_INFINITY;
-        for i in 0..qa_row.len() {
-            let v = qa_row[i] + qb_row[i];
+        for i in 0..self.qa.actions() {
+            let v = self.qa.value_at(s, i) + self.qb.value_at(s, i);
             if v > best_v {
                 best_v = v;
                 best = i;
@@ -148,7 +166,7 @@ impl DoubleAgent {
             (&mut self.qb, &self.qa)
         };
         // Select with the updated table, evaluate with the other.
-        let a_star = argmax(upd.row(s_next)?);
+        let a_star = upd.best_action(s_next)?;
         let bootstrap = eval.get(s_next, a_star)?;
         let visits = upd.visit(s, a)?;
         let alpha = self.alpha.value(visits - 1);
@@ -198,72 +216,214 @@ impl DoubleAgent {
         rng: &mut R,
         cache: &mut EpsCache,
     ) -> Result<(usize, bool), RlError> {
-        let qa_row = self.qa.row(s_next)?;
-        let qb_row = self.qb.row(s_next)?;
-        let len = qa_row.len();
+        let (a_next, explored, bootstrap) = self.decide_explored(s_next, rng, cache)?;
+        if let Some((s, a, reward)) = prev {
+            self.learn(s, a, reward, bootstrap)?;
+        }
+        Ok((a_next, explored))
+    }
+
+    /// One fused pass over both `s` rows: combined argmax for selection
+    /// plus each table's own argmax for the decoupled bootstrap.
+    fn scan_next(&self, s: usize) -> Result<(usize, usize, usize), RlError> {
+        self.check_state(s)?;
+        if let (QTableStorage::Scalar(qa), QTableStorage::Scalar(qb)) = (&self.qa, &self.qb) {
+            let qa_row = qa.row(s)?;
+            let qb_row = qb.row(s)?;
+            let len = qa_row.len();
+            let mut best_c = 0;
+            let mut best_cv = qa_row[0] + qb_row[0];
+            let mut best_a = 0;
+            let mut best_b = 0;
+            for i in 1..len {
+                let v = qa_row[i] + qb_row[i];
+                let better = v > best_cv;
+                best_cv = if better { v } else { best_cv };
+                best_c = if better { i } else { best_c };
+                best_a = if qa_row[i] > qa_row[best_a] { i } else { best_a };
+                best_b = if qb_row[i] > qb_row[best_b] { i } else { best_b };
+            }
+            return Ok((best_c, best_a, best_b));
+        }
+        let len = self.qa.actions();
         let mut best_c = 0;
-        let mut best_cv = qa_row[0] + qb_row[0];
+        let mut best_cv = self.qa.value_at(s, 0) + self.qb.value_at(s, 0);
         let mut best_a = 0;
+        let mut best_av = self.qa.value_at(s, 0);
         let mut best_b = 0;
+        let mut best_bv = self.qb.value_at(s, 0);
         for i in 1..len {
-            let v = qa_row[i] + qb_row[i];
+            let va = self.qa.value_at(s, i);
+            let vb = self.qb.value_at(s, i);
+            let v = va + vb;
             let better = v > best_cv;
             best_cv = if better { v } else { best_cv };
             best_c = if better { i } else { best_c };
-            best_a = if qa_row[i] > qa_row[best_a] { i } else { best_a };
-            best_b = if qb_row[i] > qb_row[best_b] { i } else { best_b };
+            let better_a = va > best_av;
+            best_av = if better_a { va } else { best_av };
+            best_a = if better_a { i } else { best_a };
+            let better_b = vb > best_bv;
+            best_bv = if better_b { vb } else { best_bv };
+            best_b = if better_b { i } else { best_b };
         }
+        Ok((best_c, best_a, best_b))
+    }
+
+    /// The decision half of [`DoubleAgent::select_update_explored`]:
+    /// selects in `s_next` on the combined tables and returns
+    /// `(action, explored, bootstrap)`, where the bootstrap is already the
+    /// decoupled double-Q one — the table next in the update rotation picks
+    /// the argmax, the other evaluates it. The rotation itself advances in
+    /// [`DoubleAgent::learn`], so a decide without a learn (no completed
+    /// transition) leaves it untouched, exactly like the fused call.
+    ///
+    /// # Errors
+    ///
+    /// As [`DoubleAgent::select`].
+    pub fn decide_explored<R: Rng + ?Sized>(
+        &mut self,
+        s_next: usize,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool, f64), RlError> {
+        let (best_c, best_a, best_b) = self.scan_next(s_next)?;
+        let len = self.qa.actions();
+        // Peek the rotation parity without advancing it: learn() flips it.
+        let bootstrap = if self.updates.is_multiple_of(2) {
+            self.qb.get(s_next, best_a)?
+        } else {
+            self.qa.get(s_next, best_b)?
+        };
         let (a_next, explored) = match self
             .policy
             .select_from_argmax_explored(len, best_c, self.step, rng, cache)
         {
             Some(pair) => pair,
-            None => (
-                self.policy
-                    .select_with(len, |i| qa_row[i] + qb_row[i], self.step, rng),
-                false,
-            ),
+            None => {
+                let (qa, qb) = (&self.qa, &self.qb);
+                (
+                    self.policy.select_with(
+                        len,
+                        |i| qa.value_at(s_next, i) + qb.value_at(s_next, i),
+                        self.step,
+                        rng,
+                    ),
+                    false,
+                )
+            }
         };
         self.step += 1;
-        if let Some((s, a, reward)) = prev {
-            if !reward.is_finite() {
-                return Err(RlError::InvalidParameter {
-                    name: "reward",
-                    value: reward,
-                });
-            }
-            let update_a = self.updates.is_multiple_of(2);
-            self.updates += 1;
-            // Select with the updated table's argmax, evaluate with the
-            // other — both already computed in the fused pass above.
-            let (bootstrap, upd) = if update_a {
-                (self.qb.get(s_next, best_a)?, &mut self.qa)
-            } else {
-                (self.qa.get(s_next, best_b)?, &mut self.qb)
-            };
-            let visits = upd.visit(s, a)?;
-            let alpha = self.alpha.value(visits - 1);
-            let old = upd.get(s, a)?;
-            let target = reward + self.gamma * bootstrap;
-            upd.set(s, a, old + alpha * (target - old))?;
+        Ok((a_next, explored, bootstrap))
+    }
+
+    /// The learning half of a decide/learn pair: applies the double-Q
+    /// update for `(s, a, reward)` against a bootstrap returned by
+    /// [`DoubleAgent::decide_explored`], advancing the table rotation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices or
+    /// [`RlError::InvalidParameter`] for a non-finite reward.
+    pub fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
+        if !reward.is_finite() {
+            return Err(RlError::InvalidParameter {
+                name: "reward",
+                value: reward,
+            });
         }
-        Ok((a_next, explored))
+        let update_a = self.updates.is_multiple_of(2);
+        self.updates += 1;
+        let upd = if update_a { &mut self.qa } else { &mut self.qb };
+        let visits = upd.visit(s, a)?;
+        let alpha = self.alpha.value(visits - 1);
+        let old = upd.get(s, a)?;
+        let target = reward + self.gamma * bootstrap;
+        upd.set(s, a, old + alpha * (target - old))?;
+        Ok(())
+    }
+
+    /// Serializes the agent to the versioned binary snapshot format (see
+    /// [`crate::snapshot`] for the layout).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = snapshot::header(snapshot::KIND_DOUBLE_AGENT);
+        self.encode_block(&mut out);
+        out
+    }
+
+    /// Decodes an agent from [`DoubleAgent::snapshot_bytes`] output
+    /// (bit-identical round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Snapshot`] for a malformed, truncated or
+    /// version-mismatched buffer.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, RlError> {
+        let mut cur = snapshot::check_header(bytes, snapshot::KIND_DOUBLE_AGENT)?;
+        let agent = Self::decode_block(&mut cur)?;
+        cur.finish()?;
+        Ok(agent)
+    }
+
+    /// Decodes one double-agent block (header already consumed) — the
+    /// building block multi-agent controller snapshots frame per agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Snapshot`] for a malformed or truncated block.
+    pub fn decode_block(cur: &mut snapshot::SnapCursor<'_>) -> Result<Self, RlError> {
+        let (gamma, step, alpha, policy) = snapshot::read_agent_block(cur)?;
+        let updates = cur.take_u64()?;
+        let qa = snapshot::read_storage(cur)?;
+        let qb = snapshot::read_storage(cur)?;
+        if qa.states() != qb.states() || qa.actions() != qb.actions() {
+            return Err(RlError::Snapshot {
+                reason: "double-agent tables disagree on dimensions",
+            });
+        }
+        Ok(Self {
+            qa,
+            qb,
+            gamma,
+            alpha,
+            policy,
+            step,
+            updates,
+        })
+    }
+
+    /// Encodes this agent's block without the file header — the building
+    /// block multi-agent controller snapshots frame per agent.
+    pub fn encode_block(&self, out: &mut Vec<u8>) {
+        snapshot::write_agent_block(out, self.gamma, self.step, &self.alpha, &self.policy);
+        snapshot::put_u64(out, self.updates);
+        snapshot::write_storage(out, &self.qa);
+        snapshot::write_storage(out, &self.qb);
+    }
+
+    /// Writes the snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] if the file cannot be written.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.snapshot_bytes()).map_err(SnapshotError::Io)
+    }
+
+    /// Loads an agent saved with [`DoubleAgent::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] if the file cannot be read, or
+    /// [`SnapshotError::Format`] if the bytes do not decode.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+        Self::from_snapshot_bytes(&bytes).map_err(SnapshotError::Format)
     }
 
     /// Fraction of `(s, a)` pairs visited in either table.
     pub fn coverage(&self) -> f64 {
         (self.qa.coverage() + self.qb.coverage()) / 2.0
     }
-}
-
-fn argmax(row: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &v) in row.iter().enumerate() {
-        if v > row[best] {
-            best = i;
-        }
-    }
-    best
 }
 
 /// Builder for [`DoubleAgent`].
@@ -275,6 +435,7 @@ pub struct DoubleAgentBuilder {
     alpha: Schedule,
     policy: Policy,
     optimistic: f64,
+    layout: QTableLayout,
 }
 
 impl DoubleAgentBuilder {
@@ -302,6 +463,12 @@ impl DoubleAgentBuilder {
         self
     }
 
+    /// Selects the Q-table storage layout (default [`QTableLayout::Scalar`]).
+    pub fn layout(mut self, layout: QTableLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// Builds the agent.
     ///
     /// # Errors
@@ -317,9 +484,9 @@ impl DoubleAgentBuilder {
         }
         let mk = || {
             if self.optimistic != 0.0 {
-                QTable::optimistic(self.states, self.actions, self.optimistic)
+                QTableStorage::optimistic(self.layout, self.states, self.actions, self.optimistic)
             } else {
-                QTable::new(self.states, self.actions)
+                QTableStorage::new(self.layout, self.states, self.actions)
             }
         };
         Ok(DoubleAgent {

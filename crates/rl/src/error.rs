@@ -28,6 +28,12 @@ pub enum RlError {
         /// The offending value.
         value: f64,
     },
+    /// A snapshot buffer could not be decoded (bad magic, version
+    /// mismatch, truncation, or inconsistent geometry).
+    Snapshot {
+        /// What the decoder rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for RlError {
@@ -42,6 +48,7 @@ impl fmt::Display for RlError {
             Self::InvalidParameter { name, value } => {
                 write!(f, "parameter `{name}` has invalid value {value}")
             }
+            Self::Snapshot { reason } => write!(f, "snapshot rejected: {reason}"),
         }
     }
 }

@@ -52,6 +52,8 @@ pub mod mask;
 pub mod policy;
 pub mod qtable;
 pub mod schedule;
+pub mod snapshot;
+pub mod storage;
 pub mod traces;
 
 pub use agent::{Agent, AgentBuilder, Algorithm};
@@ -62,4 +64,9 @@ pub use mask::UpdateMask;
 pub use policy::{EpsCache, Policy};
 pub use qtable::QTable;
 pub use schedule::Schedule;
+pub use snapshot::{
+    SnapshotError, KIND_AGENT, KIND_DOUBLE_AGENT, KIND_POLICY_SET, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
+pub use storage::{QTableLayout, QTableStorage, QuantizedTable, QUANT_LANES};
 pub use traces::{TraceAgent, TraceAgentBuilder};

@@ -3,6 +3,7 @@
 use crate::error::RlError;
 use crate::qtable::QTable;
 use crate::schedule::Schedule;
+use crate::storage::QTableStorage;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -119,6 +120,61 @@ impl Policy {
             return Ok(best);
         }
         Ok(self.select_row(q.row(s)?, t, rng))
+    }
+
+    /// Selects an action for state `s` against any [`QTableStorage`]
+    /// layout. For the scalar layout this delegates to [`Policy::select`]
+    /// and is bit-identical to it (same RNG draw sequence); the quantized
+    /// layout runs the same algorithms over dequantized values, with UCB1
+    /// reading the storage's own visit counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] if `s` is out of range for `q`.
+    pub fn select_storage<R: Rng + ?Sized>(
+        &self,
+        q: &QTableStorage,
+        s: usize,
+        t: u64,
+        rng: &mut R,
+    ) -> Result<usize, RlError> {
+        if let QTableStorage::Scalar(table) = q {
+            return self.select(table, s, t, rng);
+        }
+        let len = q.actions();
+        if let Self::Ucb1 { c } = self {
+            // Same allocation-free two-pass shape as the scalar path:
+            // untried actions first (in index order), then the UCB score.
+            let mut total = 0u64;
+            for a in 0..len {
+                let v = q.visits(s, a)?;
+                if v == 0 {
+                    return Ok(a);
+                }
+                total += v;
+            }
+            let ln_n = (total.max(1) as f64).ln();
+            let mut best = 0;
+            let mut best_score = f64::NEG_INFINITY;
+            for a in 0..len {
+                let v = q.visits(s, a)?;
+                let score = q.get(s, a)? + c * (ln_n / v as f64).sqrt();
+                if score > best_score {
+                    best_score = score;
+                    best = a;
+                }
+            }
+            return Ok(best);
+        }
+        // Bounds-check the state once, then select over the virtual row.
+        if s >= q.states() {
+            return Err(RlError::IndexOutOfRange {
+                what: "state",
+                requested: s,
+                size: q.states(),
+            });
+        }
+        Ok(self.select_with(len, |a| q.value_at(s, a), t, rng))
     }
 
     /// Selects an action from a raw action-value row (used by agents that

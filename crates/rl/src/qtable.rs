@@ -193,6 +193,42 @@ impl QTable {
         Ok((best, max_v))
     }
 
+    /// The value of `(s, a)` without bounds checks beyond slice indexing.
+    #[inline]
+    pub(crate) fn value_at(&self, s: usize, a: usize) -> f64 {
+        self.values[s * self.actions + a]
+    }
+
+    /// Raw snapshot parts: `(values, visits)`.
+    pub(crate) fn parts(&self) -> (&[f64], &[u64]) {
+        (&self.values, &self.visits)
+    }
+
+    /// Rebuilds a table from snapshot parts, validating geometry.
+    pub(crate) fn from_parts(
+        states: usize,
+        actions: usize,
+        values: Vec<f64>,
+        visits: Vec<u64>,
+    ) -> Result<Self, RlError> {
+        if states == 0 || actions == 0 {
+            return Err(RlError::Snapshot {
+                reason: "scalar table with empty dimensions",
+            });
+        }
+        if values.len() != states * actions || visits.len() != states * actions {
+            return Err(RlError::Snapshot {
+                reason: "scalar table geometry mismatch",
+            });
+        }
+        Ok(Self {
+            states,
+            actions,
+            values,
+            visits,
+        })
+    }
+
     /// Total number of `(s, a)` visits recorded.
     pub fn total_visits(&self) -> u64 {
         self.visits.iter().sum()

@@ -1,0 +1,731 @@
+//! Q-table storage layouts: the scalar `f64` reference and a banked
+//! fixed-point layout for SIMD-friendly scans.
+//!
+//! The scalar layout ([`QTable`]) stores one `f64` per `(s, a)` pair and is
+//! the bit-exact reference every golden test pins. The quantized layout
+//! ([`QuantizedTable`]) banks each state row as `i16` lanes sharing one
+//! per-row power-of-two scale, padded to a fixed lane multiple so the row
+//! scan in the decide hot path is a straight-line integer loop the compiler
+//! autovectorizes. A row occupies `actions.next_multiple_of(16)` lanes —
+//! 32 bytes for the 8-action OD-RL tables, half a cache line instead of
+//! the 64-byte `f64` row — and visit counts narrow from `u64` to `u32`,
+//! roughly halving the memory the per-epoch decide+learn walk touches.
+//!
+//! Because every lane in a row shares one positive scale, the integer
+//! argmax over the banked row equals the argmax over the dequantized
+//! values (ties included: equal lanes dequantize equal, and both scans
+//! break ties toward the lowest index). Padding lanes hold [`i16::MIN`]
+//! while real values clamp to `±i16::MAX`, so padding can never win the
+//! scan. TD updates compute the new value in `f64`, then requantize through
+//! an `i32` intermediate; when a value outgrows the row's range the scale
+//! doubles (it never shrinks) and the row is requantized in place with
+//! half-range headroom, so scale growth is rare after warmup.
+
+use crate::error::RlError;
+use crate::qtable::QTable;
+use serde::{Deserialize, Serialize};
+
+/// Lane multiple rows are padded to: 16 × `i16` is one 256-bit vector.
+pub const QUANT_LANES: usize = 16;
+
+/// Largest quantized magnitude a lane may hold (`i16::MIN` marks padding).
+const Q_MAX: i32 = i16::MAX as i32;
+
+/// Padding lanes hold the one value real lanes never take, so an argmax
+/// over the padded row cannot land on padding.
+const PAD: i16 = i16::MIN;
+
+/// On scale growth, the triggering value is given half-range headroom
+/// (`|q| ≤ 2^14`) so the very next update does not regrow the row.
+const HEADROOM: f64 = 16_384.0;
+
+/// Default per-row scale (2⁻¹³ ≈ 1.2e-4 resolution, ±4.0 range).
+const DEFAULT_SCALE: f32 = 1.0 / 8192.0;
+
+/// Which [`QTableStorage`] layout an agent's tables use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum QTableLayout {
+    /// One `f64` per `(s, a)`: the bit-exact reference layout.
+    #[default]
+    Scalar,
+    /// Banked `i16` lanes with a shared per-row scale (see module docs).
+    Quantized,
+}
+
+/// A dense `|S| × |A|` action-value table banked as `i16` lanes with one
+/// power-of-two scale per row (`value = lane × scale`).
+///
+/// ```
+/// use odrl_rl::QuantizedTable;
+/// let mut q = QuantizedTable::new(4, 2)?;
+/// q.set(1, 0, 3.0)?;
+/// q.set(1, 1, 5.0)?;
+/// assert_eq!(q.best_action(1)?, 1);
+/// assert!((q.max_value(1)? - 5.0).abs() < 1e-3);
+/// # Ok::<(), odrl_rl::RlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTable {
+    states: usize,
+    actions: usize,
+    /// Lanes per row: `actions` rounded up to [`QUANT_LANES`].
+    stride: usize,
+    /// `states × stride` lanes; lanes at `a >= actions` hold [`PAD`].
+    bank: Vec<i16>,
+    /// Per-row power-of-two scale; grows, never shrinks.
+    scales: Vec<f32>,
+    /// `states × actions` visit counts (unpadded).
+    visits: Vec<u32>,
+}
+
+impl QuantizedTable {
+    /// Creates a zero-initialised table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::EmptySpace`] if either dimension is zero.
+    pub fn new(states: usize, actions: usize) -> Result<Self, RlError> {
+        if states == 0 {
+            return Err(RlError::EmptySpace { what: "state" });
+        }
+        if actions == 0 {
+            return Err(RlError::EmptySpace { what: "action" });
+        }
+        let stride = actions.next_multiple_of(QUANT_LANES);
+        let mut bank = vec![PAD; states * stride];
+        for s in 0..states {
+            bank[s * stride..s * stride + actions].fill(0);
+        }
+        Ok(Self {
+            states,
+            actions,
+            stride,
+            bank,
+            scales: vec![DEFAULT_SCALE; states],
+            visits: vec![0; states * actions],
+        })
+    }
+
+    /// Creates a table optimistically initialised to `value`.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantizedTable::new`]; additionally if `value` is not finite.
+    pub fn optimistic(states: usize, actions: usize, value: f64) -> Result<Self, RlError> {
+        if !value.is_finite() {
+            return Err(RlError::InvalidParameter {
+                name: "value",
+                value,
+            });
+        }
+        let mut t = Self::new(states, actions)?;
+        for s in 0..states {
+            for a in 0..actions {
+                t.set(s, a, value)?;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of actions.
+    pub fn actions(&self) -> usize {
+        self.actions
+    }
+
+    /// Lanes per banked row (`actions` padded to [`QUANT_LANES`]).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The scale of row `s` (`value = lane × scale`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn scale(&self, s: usize) -> Result<f64, RlError> {
+        self.check_state(s)?;
+        Ok(f64::from(self.scales[s]))
+    }
+
+    fn check_state(&self, s: usize) -> Result<(), RlError> {
+        if s >= self.states {
+            return Err(RlError::IndexOutOfRange {
+                what: "state",
+                requested: s,
+                size: self.states,
+            });
+        }
+        Ok(())
+    }
+
+    fn idx(&self, s: usize, a: usize) -> Result<usize, RlError> {
+        self.check_state(s)?;
+        if a >= self.actions {
+            return Err(RlError::IndexOutOfRange {
+                what: "action",
+                requested: a,
+                size: self.actions,
+            });
+        }
+        Ok(s * self.actions + a)
+    }
+
+    /// The dequantized value of `(s, a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices.
+    pub fn get(&self, s: usize, a: usize) -> Result<f64, RlError> {
+        self.idx(s, a)?;
+        Ok(self.value_at(s, a))
+    }
+
+    /// The dequantized value of `(s, a)` without bounds checks (panics on
+    /// out-of-range indices like any slice access).
+    #[inline]
+    pub(crate) fn value_at(&self, s: usize, a: usize) -> f64 {
+        f64::from(self.bank[s * self.stride + a]) * f64::from(self.scales[s])
+    }
+
+    /// Grows row `s`'s scale (doubling) until `value` fits with half-range
+    /// headroom, requantizing the existing lanes in place.
+    fn grow_scale(&mut self, s: usize, value: f64) {
+        let mut scale = f64::from(self.scales[s]);
+        while value.abs() > HEADROOM * scale {
+            scale *= 2.0;
+        }
+        let row = &mut self.bank[s * self.stride..s * self.stride + self.actions];
+        let old = f64::from(self.scales[s]);
+        for lane in row {
+            // Old and new scales are both powers of two, so the ratio is
+            // exact and requantization is one shift's worth of rounding.
+            let v = f64::from(*lane) * old;
+            *lane = quantize(v, scale);
+        }
+        self.scales[s] = scale as f32;
+    }
+
+    /// Sets the value of `(s, a)`, growing the row scale if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices, or
+    /// [`RlError::InvalidParameter`] for a non-finite value.
+    pub fn set(&mut self, s: usize, a: usize, value: f64) -> Result<(), RlError> {
+        if !value.is_finite() {
+            return Err(RlError::InvalidParameter {
+                name: "value",
+                value,
+            });
+        }
+        self.idx(s, a)?;
+        if value.abs() > f64::from(Q_MAX) * f64::from(self.scales[s]) {
+            self.grow_scale(s, value);
+        }
+        let scale = f64::from(self.scales[s]);
+        self.bank[s * self.stride + a] = quantize(value, scale);
+        Ok(())
+    }
+
+    /// Records a visit to `(s, a)` and returns the new count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices.
+    pub fn visit(&mut self, s: usize, a: usize) -> Result<u64, RlError> {
+        let i = self.idx(s, a)?;
+        self.visits[i] = self.visits[i].saturating_add(1);
+        Ok(u64::from(self.visits[i]))
+    }
+
+    /// Visit count of `(s, a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices.
+    pub fn visits(&self, s: usize, a: usize) -> Result<u64, RlError> {
+        Ok(u64::from(self.visits[self.idx(s, a)?]))
+    }
+
+    /// The greedy action in state `s` (lowest index wins ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn best_action(&self, s: usize) -> Result<usize, RlError> {
+        self.best_action_and_max(s).map(|(a, _)| a)
+    }
+
+    /// The maximum dequantized value in state `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn max_value(&self, s: usize) -> Result<f64, RlError> {
+        self.best_action_and_max(s).map(|(_, v)| v)
+    }
+
+    /// Greedy action and maximum value of state `s` in one integer scan
+    /// over the banked row. The shared positive row scale makes the `i16`
+    /// argmax equal the argmax over dequantized values, ties included.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn best_action_and_max(&self, s: usize) -> Result<(usize, f64), RlError> {
+        self.check_state(s)?;
+        let row = &self.bank[s * self.stride..(s + 1) * self.stride];
+        let mut best = 0usize;
+        let mut best_q = row[0];
+        // Branchless scan over the whole padded row: padding lanes hold
+        // i16::MIN, which no real lane (clamped to ±i16::MAX) can lose to.
+        for (a, &q) in row.iter().enumerate().skip(1) {
+            let better = q > best_q;
+            best = if better { a } else { best };
+            best_q = if better { q } else { best_q };
+        }
+        Ok((best, f64::from(best_q) * f64::from(self.scales[s])))
+    }
+
+    /// Total number of `(s, a)` visits recorded.
+    pub fn total_visits(&self) -> u64 {
+        self.visits.iter().map(|&v| u64::from(v)).sum()
+    }
+
+    /// Fraction of `(s, a)` pairs visited at least once.
+    pub fn coverage(&self) -> f64 {
+        let seen = self.visits.iter().filter(|&&v| v > 0).count();
+        seen as f64 / self.visits.len() as f64
+    }
+
+    /// Raw snapshot parts: `(stride, bank, scales, visits)`.
+    pub(crate) fn parts(&self) -> (usize, &[i16], &[f32], &[u32]) {
+        (self.stride, &self.bank, &self.scales, &self.visits)
+    }
+
+    /// Rebuilds a table from snapshot parts, validating geometry.
+    pub(crate) fn from_parts(
+        states: usize,
+        actions: usize,
+        stride: usize,
+        bank: Vec<i16>,
+        scales: Vec<f32>,
+        visits: Vec<u32>,
+    ) -> Result<Self, RlError> {
+        if states == 0 || actions == 0 {
+            return Err(RlError::Snapshot {
+                reason: "quantized table with empty dimensions",
+            });
+        }
+        if stride != actions.next_multiple_of(QUANT_LANES)
+            || bank.len() != states * stride
+            || scales.len() != states
+            || visits.len() != states * actions
+        {
+            return Err(RlError::Snapshot {
+                reason: "quantized table geometry mismatch",
+            });
+        }
+        if scales.iter().any(|s| !(s.is_finite() && *s > 0.0)) {
+            return Err(RlError::Snapshot {
+                reason: "quantized table scale not positive finite",
+            });
+        }
+        Ok(Self {
+            states,
+            actions,
+            stride,
+            bank,
+            scales,
+            visits,
+        })
+    }
+}
+
+/// Rounds `value / scale` to the nearest lane, clamped to `±i16::MAX`
+/// through an `i32` intermediate (so accumulation never wraps).
+#[inline]
+fn quantize(value: f64, scale: f64) -> i16 {
+    let q = (value / scale).round() as i32;
+    q.clamp(-Q_MAX, Q_MAX) as i16
+}
+
+/// An agent's action-value storage: one of the [`QTableLayout`] layouts
+/// behind a single API mirroring [`QTable`].
+///
+/// Kept as an enum (not a trait object) so the decide/learn hot paths
+/// dispatch with one match per call and stay allocation-free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QTableStorage {
+    /// The `f64` reference layout.
+    Scalar(QTable),
+    /// The banked fixed-point layout.
+    Quantized(QuantizedTable),
+}
+
+impl QTableStorage {
+    /// Creates zero-initialised storage in the given layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::EmptySpace`] if either dimension is zero.
+    pub fn new(layout: QTableLayout, states: usize, actions: usize) -> Result<Self, RlError> {
+        match layout {
+            QTableLayout::Quantized => Ok(Self::Quantized(QuantizedTable::new(states, actions)?)),
+            _ => Ok(Self::Scalar(QTable::new(states, actions)?)),
+        }
+    }
+
+    /// Creates storage optimistically initialised to `value`.
+    ///
+    /// # Errors
+    ///
+    /// As [`QTableStorage::new`]; additionally if `value` is not finite.
+    pub fn optimistic(
+        layout: QTableLayout,
+        states: usize,
+        actions: usize,
+        value: f64,
+    ) -> Result<Self, RlError> {
+        match layout {
+            QTableLayout::Quantized => Ok(Self::Quantized(QuantizedTable::optimistic(
+                states, actions, value,
+            )?)),
+            _ => Ok(Self::Scalar(QTable::optimistic(states, actions, value)?)),
+        }
+    }
+
+    /// Which layout this storage uses.
+    pub fn layout(&self) -> QTableLayout {
+        match self {
+            Self::Scalar(_) => QTableLayout::Scalar,
+            Self::Quantized(_) => QTableLayout::Quantized,
+        }
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        match self {
+            Self::Scalar(t) => t.states(),
+            Self::Quantized(t) => t.states(),
+        }
+    }
+
+    /// Number of actions.
+    pub fn actions(&self) -> usize {
+        match self {
+            Self::Scalar(t) => t.actions(),
+            Self::Quantized(t) => t.actions(),
+        }
+    }
+
+    /// The value of `(s, a)` (dequantized for the banked layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices.
+    pub fn get(&self, s: usize, a: usize) -> Result<f64, RlError> {
+        match self {
+            Self::Scalar(t) => t.get(s, a),
+            Self::Quantized(t) => t.get(s, a),
+        }
+    }
+
+    /// The value of `(s, a)` without bounds checks beyond slice indexing.
+    #[inline]
+    pub(crate) fn value_at(&self, s: usize, a: usize) -> f64 {
+        match self {
+            Self::Scalar(t) => t.value_at(s, a),
+            Self::Quantized(t) => t.value_at(s, a),
+        }
+    }
+
+    /// Sets the value of `(s, a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices, or
+    /// [`RlError::InvalidParameter`] for a non-finite value.
+    pub fn set(&mut self, s: usize, a: usize, value: f64) -> Result<(), RlError> {
+        match self {
+            Self::Scalar(t) => t.set(s, a, value),
+            Self::Quantized(t) => t.set(s, a, value),
+        }
+    }
+
+    /// Records a visit to `(s, a)` and returns the new count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices.
+    pub fn visit(&mut self, s: usize, a: usize) -> Result<u64, RlError> {
+        match self {
+            Self::Scalar(t) => t.visit(s, a),
+            Self::Quantized(t) => t.visit(s, a),
+        }
+    }
+
+    /// Visit count of `(s, a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices.
+    pub fn visits(&self, s: usize, a: usize) -> Result<u64, RlError> {
+        match self {
+            Self::Scalar(t) => t.visits(s, a),
+            Self::Quantized(t) => t.visits(s, a),
+        }
+    }
+
+    /// The greedy action in state `s` (lowest index wins ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn best_action(&self, s: usize) -> Result<usize, RlError> {
+        match self {
+            Self::Scalar(t) => t.best_action(s),
+            Self::Quantized(t) => t.best_action(s),
+        }
+    }
+
+    /// The maximum action value in state `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn max_value(&self, s: usize) -> Result<f64, RlError> {
+        match self {
+            Self::Scalar(t) => t.max_value(s),
+            Self::Quantized(t) => t.max_value(s),
+        }
+    }
+
+    /// Greedy action and maximum value of state `s` in a single row scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn best_action_and_max(&self, s: usize) -> Result<(usize, f64), RlError> {
+        match self {
+            Self::Scalar(t) => t.best_action_and_max(s),
+            Self::Quantized(t) => t.best_action_and_max(s),
+        }
+    }
+
+    /// The action values of state `s`, materialised as `f64` (allocates —
+    /// inspection path, not the decide loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn row_values(&self, s: usize) -> Result<Vec<f64>, RlError> {
+        match self {
+            Self::Scalar(t) => t.row(s).map(<[f64]>::to_vec),
+            Self::Quantized(t) => {
+                t.check_state(s)?;
+                Ok((0..t.actions()).map(|a| t.value_at(s, a)).collect())
+            }
+        }
+    }
+
+    /// Total number of `(s, a)` visits recorded.
+    pub fn total_visits(&self) -> u64 {
+        match self {
+            Self::Scalar(t) => t.total_visits(),
+            Self::Quantized(t) => t.total_visits(),
+        }
+    }
+
+    /// Fraction of `(s, a)` pairs visited at least once.
+    pub fn coverage(&self) -> f64 {
+        match self {
+            Self::Scalar(t) => t.coverage(),
+            Self::Quantized(t) => t.coverage(),
+        }
+    }
+
+    /// Hints the prefetcher at the storage behind state `s`'s row, so a
+    /// decide loop can pull the *next* agent's row toward L1 while the
+    /// current agent's scan retires. No-op on non-x86_64 targets and for
+    /// out-of-range states.
+    #[inline]
+    pub fn prefetch_row(&self, s: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let ptr = match self {
+                Self::Scalar(t) => match t.row(s) {
+                    Ok(row) => row.as_ptr().cast::<i8>(),
+                    Err(_) => return,
+                },
+                Self::Quantized(t) => {
+                    if s >= t.states {
+                        return;
+                    }
+                    t.bank[s * t.stride..].as_ptr().cast::<i8>()
+                }
+            };
+            // SAFETY: prefetch is a hint; the pointer derives from a live
+            // in-bounds slice and is never dereferenced architecturally.
+            unsafe { _mm_prefetch::<_MM_HINT_T0>(ptr) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantized_new_is_zero_and_padded() {
+        let q = QuantizedTable::new(3, 5).unwrap();
+        assert_eq!(q.stride(), 16);
+        assert_eq!(q.get(2, 4).unwrap(), 0.0);
+        assert_eq!(q.max_value(0).unwrap(), 0.0);
+        assert_eq!(q.total_visits(), 0);
+        // Padding never wins the argmax even when real lanes go negative.
+        let mut q = QuantizedTable::new(1, 3).unwrap();
+        for a in 0..3 {
+            q.set(0, a, -3.9).unwrap();
+        }
+        assert!(q.best_action(0).unwrap() < 3);
+    }
+
+    #[test]
+    fn quantized_rejects_empty_dimensions_and_nonfinite() {
+        assert!(QuantizedTable::new(0, 2).is_err());
+        assert!(QuantizedTable::new(2, 0).is_err());
+        let mut q = QuantizedTable::new(2, 2).unwrap();
+        assert!(q.set(0, 0, f64::NAN).is_err());
+        assert!(QuantizedTable::optimistic(2, 2, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn quantized_set_get_roundtrip_within_resolution() {
+        let mut q = QuantizedTable::new(2, 2).unwrap();
+        q.set(0, 1, 2.5).unwrap();
+        assert!((q.get(0, 1).unwrap() - 2.5).abs() < 1e-3);
+        assert!(q.get(2, 0).is_err());
+        assert!(q.get(0, 2).is_err());
+    }
+
+    #[test]
+    fn quantized_scale_grows_to_fit_large_values() {
+        let mut q = QuantizedTable::new(1, 2).unwrap();
+        let s0 = q.scale(0).unwrap();
+        q.set(0, 0, 1.0).unwrap();
+        q.set(0, 1, 1000.0).unwrap();
+        let s1 = q.scale(0).unwrap();
+        assert!(s1 > s0, "scale must grow: {s0} -> {s1}");
+        // The resident lane was requantized with the grown scale.
+        assert!((q.get(0, 0).unwrap() - 1.0).abs() < 2.0 * s1);
+        assert!((q.get(0, 1).unwrap() - 1000.0).abs() < s1);
+        // Growth is monotone: small values never shrink the scale back.
+        q.set(0, 1, 0.5).unwrap();
+        assert_eq!(q.scale(0).unwrap(), s1);
+    }
+
+    #[test]
+    fn quantized_argmax_matches_dequantized_argmax() {
+        let mut q = QuantizedTable::new(1, 8).unwrap();
+        let vals = [0.3, -1.2, 0.7, 0.699, 3.9, -3.9, 0.0, 3.9];
+        for (a, &v) in vals.iter().enumerate() {
+            q.set(0, a, v).unwrap();
+        }
+        // Ties (actions 4 and 7 both quantize equal) break low.
+        assert_eq!(q.best_action(0).unwrap(), 4);
+        let (best, max) = q.best_action_and_max(0).unwrap();
+        assert_eq!(best, 4);
+        assert!((max - 3.9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantized_visits_and_coverage() {
+        let mut q = QuantizedTable::new(2, 2).unwrap();
+        assert_eq!(q.visit(0, 0).unwrap(), 1);
+        assert_eq!(q.visit(0, 0).unwrap(), 2);
+        q.visit(1, 1).unwrap();
+        assert_eq!(q.visits(0, 0).unwrap(), 2);
+        assert_eq!(q.total_visits(), 3);
+        assert_eq!(q.coverage(), 0.5);
+    }
+
+    #[test]
+    fn storage_layouts_mirror_the_qtable_api() {
+        for layout in [QTableLayout::Scalar, QTableLayout::Quantized] {
+            let mut st = QTableStorage::optimistic(layout, 2, 3, 1.0).unwrap();
+            assert_eq!(st.layout(), layout);
+            assert_eq!(st.states(), 2);
+            assert_eq!(st.actions(), 3);
+            assert!((st.get(1, 2).unwrap() - 1.0).abs() < 1e-3);
+            st.set(1, 0, 2.0).unwrap();
+            assert_eq!(st.best_action(1).unwrap(), 0);
+            let (best, max) = st.best_action_and_max(1).unwrap();
+            assert_eq!(best, 0);
+            assert!((max - 2.0).abs() < 1e-3);
+            assert_eq!(st.visit(1, 0).unwrap(), 1);
+            assert_eq!(st.visits(1, 0).unwrap(), 1);
+            assert!((st.coverage() - 1.0 / 6.0).abs() < 1e-12);
+            let row = st.row_values(1).unwrap();
+            assert_eq!(row.len(), 3);
+            assert!((row[0] - 2.0).abs() < 1e-3);
+            st.prefetch_row(0);
+            st.prefetch_row(99); // out of range: a silent no-op
+            assert!(st.get(5, 0).is_err());
+            assert!(st.set(0, 5, 1.0).is_err());
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_geometry() {
+        let q = QuantizedTable::new(2, 3).unwrap();
+        let (stride, bank, scales, visits) = q.parts();
+        assert!(QuantizedTable::from_parts(
+            2,
+            3,
+            stride,
+            bank.to_vec(),
+            scales.to_vec(),
+            visits.to_vec()
+        )
+        .is_ok());
+        assert!(QuantizedTable::from_parts(
+            2,
+            3,
+            stride + 1,
+            bank.to_vec(),
+            scales.to_vec(),
+            visits.to_vec()
+        )
+        .is_err());
+        assert!(QuantizedTable::from_parts(
+            2,
+            3,
+            stride,
+            bank[1..].to_vec(),
+            scales.to_vec(),
+            visits.to_vec()
+        )
+        .is_err());
+        assert!(QuantizedTable::from_parts(
+            2,
+            3,
+            stride,
+            bank.to_vec(),
+            vec![0.0; 2],
+            visits.to_vec()
+        )
+        .is_err());
+    }
+}

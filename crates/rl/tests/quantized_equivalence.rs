@@ -1,0 +1,184 @@
+//! Quantized-vs-scalar equivalence: the banked fixed-point Q-table layout
+//! is allowed to differ from the `f64` reference in low-order bits, but
+//! the *policy* it induces must track the scalar policy within an explicit
+//! tolerance — greedy-action agreement over seeded trajectories, bounded
+//! Q-value drift — and its snapshots must round-trip bit-identically.
+//!
+//! Both twins consume the same experience stream (the scalar agent picks
+//! the actions; both apply the same `(s, a, r, s')` updates), so every
+//! divergence measured here is quantization error and nothing else.
+
+use odrl_rl::{
+    Agent, DoubleAgent, QTableLayout, Schedule, KIND_AGENT, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STATES: usize = 64;
+const ACTIONS: usize = 7;
+const EPOCHS: usize = 4000;
+
+/// Deterministic environment: next state and reward from (state, action,
+/// epoch) only.
+fn env(s: usize, a: usize, t: usize) -> (usize, f64) {
+    let s_next = (s * 131 + a * 17 + t) % STATES;
+    let reward = ((s * ACTIONS + a) as f64 * 0.37 + t as f64 * 0.011).sin();
+    (s_next, reward)
+}
+
+fn build(layout: QTableLayout) -> Agent {
+    Agent::builder(STATES, ACTIONS)
+        .gamma(0.85)
+        .alpha(Schedule::inverse_time(0.5, 0.05).unwrap())
+        .optimistic(1.0)
+        .layout(layout)
+        .build()
+        .unwrap()
+}
+
+/// Trains a scalar/quantized twin pair on one shared trajectory and
+/// returns `(scalar, quantized, greedy_agreement_fraction)`, where the
+/// agreement is sampled over every state at every 10th epoch.
+fn train_twins(seed: u64) -> (Agent, Agent, f64) {
+    let mut scalar = build(QTableLayout::Scalar);
+    let mut quant = build(QTableLayout::Quantized);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = 0usize;
+    let (mut agree, mut total) = (0u64, 0u64);
+    for t in 0..EPOCHS {
+        let a = scalar.select(s, &mut rng).unwrap();
+        let (s_next, r) = env(s, a, t);
+        scalar.update(s, a, r, s_next).unwrap();
+        quant.update(s, a, r, s_next).unwrap();
+        if t % 10 == 9 {
+            for q in 0..STATES {
+                total += 1;
+                if scalar.exploit(q).unwrap() == quant.exploit(q).unwrap() {
+                    agree += 1;
+                }
+            }
+        }
+        s = s_next;
+    }
+    let agreement = agree as f64 / total as f64;
+    (scalar, quant, agreement)
+}
+
+#[test]
+fn greedy_actions_agree_within_tolerance_over_seeded_trajectories() {
+    for seed in [7u64, 8, 9] {
+        let (_, _, agreement) = train_twins(seed);
+        assert!(
+            agreement >= 0.999,
+            "seed {seed}: greedy-action agreement {agreement:.5} fell below 99.9 %"
+        );
+    }
+}
+
+#[test]
+fn quantized_q_value_drift_stays_bounded() {
+    // Rewards live in [-1, 1] and gamma = 0.85, so |Q| ≤ ~6.7; the banked
+    // layout's power-of-two row scales resolve that range to ~1e-3 per
+    // step. 1e-2 absolute drift over 4000 compounding TD updates is the
+    // explicit equivalence budget — failures mean the requantization path
+    // is leaking error, not that the tolerance is tight.
+    let (scalar, quant, _) = train_twins(11);
+    let mut worst = 0.0f64;
+    for s in 0..STATES {
+        for a in 0..ACTIONS {
+            let d = (scalar.q().get(s, a).unwrap() - quant.q().get(s, a).unwrap()).abs();
+            worst = worst.max(d);
+        }
+    }
+    assert!(
+        worst <= 1e-2,
+        "max |Q_scalar - Q_quantized| = {worst:.6} exceeds the 1e-2 drift budget"
+    );
+}
+
+#[test]
+fn snapshot_round_trip_is_bit_identical() {
+    for layout in [QTableLayout::Scalar, QTableLayout::Quantized] {
+        let (_, quant, _) = train_twins(13);
+        let trained = if layout == QTableLayout::Quantized {
+            quant
+        } else {
+            train_twins(13).0
+        };
+        let bytes = trained.snapshot_bytes();
+        let restored = Agent::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(
+            trained, restored,
+            "{layout:?} snapshot round trip must restore every bit"
+        );
+        // And through a file, the way warm starts consume it.
+        let path = std::env::temp_dir().join(format!("odrl_rt_{layout:?}.qsnap"));
+        trained.save(&path).unwrap();
+        let from_disk = Agent::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(trained, from_disk);
+    }
+}
+
+#[test]
+fn double_agent_snapshot_round_trips() {
+    let mut agent = DoubleAgent::builder(STATES, ACTIONS)
+        .gamma(0.9)
+        .layout(QTableLayout::Quantized)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut s = 0usize;
+    for t in 0..500 {
+        let a = agent.select(s, &mut rng).unwrap();
+        let (s_next, r) = env(s, a, t);
+        agent.update(s, a, r, s_next).unwrap();
+        s = s_next;
+    }
+    let restored = DoubleAgent::from_snapshot_bytes(&agent.snapshot_bytes()).unwrap();
+    assert_eq!(agent, restored);
+}
+
+#[test]
+fn snapshot_rejects_corruption() {
+    let (scalar, _, _) = train_twins(19);
+    let good = scalar.snapshot_bytes();
+    assert!(Agent::from_snapshot_bytes(&good).is_ok());
+
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    assert!(Agent::from_snapshot_bytes(&bad).is_err(), "bad magic must be rejected");
+
+    // Version from the future.
+    let mut bad = good.clone();
+    let v = (SNAPSHOT_VERSION + 1).to_le_bytes();
+    bad[SNAPSHOT_MAGIC.len()..SNAPSHOT_MAGIC.len() + 4].copy_from_slice(&v);
+    assert!(
+        Agent::from_snapshot_bytes(&bad).is_err(),
+        "version mismatch must be rejected"
+    );
+
+    // Wrong kind: a DoubleAgent payload fed to Agent.
+    let double = DoubleAgent::builder(STATES, ACTIONS).build().unwrap();
+    assert!(
+        Agent::from_snapshot_bytes(&double.snapshot_bytes()).is_err(),
+        "kind {KIND_AGENT} decoder must reject other kinds"
+    );
+
+    // Truncation anywhere in the payload.
+    for cut in [0, 4, good.len() / 2, good.len() - 1] {
+        assert!(
+            Agent::from_snapshot_bytes(&good[..cut]).is_err(),
+            "truncation at {cut} bytes must be rejected"
+        );
+    }
+
+    // Trailing garbage.
+    let mut bad = good.clone();
+    bad.push(0);
+    assert!(
+        Agent::from_snapshot_bytes(&bad).is_err(),
+        "trailing bytes must be rejected"
+    );
+}

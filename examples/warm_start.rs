@@ -38,11 +38,13 @@ fn run(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Train for 1000 epochs and persist the policy as JSON.
+    // 1. Train for 1000 epochs and persist the policy in the versioned
+    //    binary snapshot format (magic + version + quantization params +
+    //    raw table banks; round-trips bit-identically).
     let (mut system, mut trained, budget) = fresh()?;
     run(&mut system, &mut trained, budget, 1_000)?;
-    let path = std::env::temp_dir().join("odrl_policy.json");
-    std::fs::write(&path, serde_json::to_string(&trained.export_policy())?)?;
+    let path = std::env::temp_dir().join("odrl_policy.qsnap");
+    trained.export_policy().save(&path)?;
     println!(
         "trained 1000 epochs, saved policy to {} ({} agents, coverage {:.0}%)",
         path.display(),
@@ -54,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (mut cold_sys, mut cold, _) = fresh()?;
     let cold_instr = run(&mut cold_sys, &mut cold, budget, 200)?;
 
-    let snapshot: PolicySnapshot = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    let snapshot = PolicySnapshot::load(&path)?;
     let (mut warm_sys, mut warm, _) = fresh()?;
     warm.import_policy(snapshot)?;
     let warm_instr = run(&mut warm_sys, &mut warm, budget, 200)?;
