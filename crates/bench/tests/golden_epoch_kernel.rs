@@ -33,7 +33,12 @@ const GOLDEN_ENERGY_BITS: u64 = 0x4049_0737_2bf4_f1ec;
 const GOLDEN_MEAN_POWER_BITS: u64 = 0x407a_122e_cdc9_d155;
 const GOLDEN_OVERSHOOT_BITS: u64 = 0x0000_0000_0000_0000;
 const GOLDEN_SUMMARY_HASH: u64 = 0xfe16_4aa4_946d_c5c2;
-const GOLDEN_POLICY_HASH: u64 = 0x6069_4b94_39fd_4edd;
+/// Re-captured when per-agent tables moved behind the `QTableStorage`
+/// enum: the serialized snapshot gained the storage-layout wrapper, so the
+/// canonical JSON (and only it — every trajectory constant above is
+/// untouched, and serial and four-shard runs still agree bit for bit)
+/// hashes differently.
+const GOLDEN_POLICY_HASH: u64 = 0x295c_358b_e39a_0425;
 
 /// FNV-1a over a canonical JSON encoding: cheap, stable, and sensitive to
 /// any bit difference in any serialized field.
