@@ -6,7 +6,9 @@
 //! labelled entry in `BENCH_epoch_kernel.json`, so the performance
 //! trajectory of the epoch kernel is tracked from PR 2 onward. Existing
 //! entries with other labels are preserved; re-running with the same label
-//! overwrites that entry.
+//! overwrites that entry. Each entry carries a `host` fingerprint (CPU
+//! model, logical core count, optional `ODRL_HOST_LABEL`) so numbers from
+//! different machines are never read as one trajectory.
 //!
 //! Each result carries a `stage_ns_per_epoch` breakdown (workload, power,
 //! sensor, noc, thermal, rl — split into `rl_decide` / `rl_learn`
@@ -67,12 +69,47 @@ struct CoreResult {
     stage_ns_per_epoch: BTreeMap<String, f64>,
 }
 
+/// Fingerprint of the machine an entry was measured on, so entries from
+/// different hosts are never compared as if they were one trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HostInfo {
+    /// CPU model string (from `/proc/cpuinfo`; "unknown" elsewhere).
+    cpu_model: String,
+    /// Logical cores visible to the process.
+    cores: usize,
+    /// Free-form machine label from `ODRL_HOST_LABEL`, if set.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    label: Option<String>,
+}
+
+impl HostInfo {
+    fn detect() -> Self {
+        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split(':').nth(1))
+                    .map(|m| m.trim().to_string())
+            })
+            .unwrap_or_else(|| "unknown".into());
+        Self {
+            cpu_model,
+            cores: std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+            label: std::env::var("ODRL_HOST_LABEL").ok(),
+        }
+    }
+}
+
 /// One labelled benchmark run (e.g. pre- vs post-refactor).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Entry {
     label: String,
     /// Unix timestamp (seconds) of the run.
     unix_time: u64,
+    /// Machine fingerprint. Absent on entries recorded before it existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    host: Option<HostInfo>,
     results: Vec<CoreResult>,
 }
 
@@ -449,9 +486,20 @@ fn main() {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
+    let host = HostInfo::detect();
+    println!(
+        "\nhost: {} ({} cores{})",
+        host.cpu_model,
+        host.cores,
+        host.label
+            .as_deref()
+            .map(|l| format!(", label {l}"))
+            .unwrap_or_default()
+    );
     let entry = Entry {
         label,
         unix_time,
+        host: Some(host),
         results,
     };
 

@@ -1,0 +1,241 @@
+//! **E15** — Predictive slack market: overshoot and utilization vs the
+//! reactive OD-RL reference.
+//!
+//! The market arm (`odrl-market`) forecasts each core's next-epoch power
+//! with an EMA-plus-window predictor, collects predicted slack above a
+//! safety margin into a reclaim pool and re-grants it to over-budget
+//! cores before the AIMD step runs. This harness compares the arm
+//! against plain reactive OD-RL across the benchmark suite (overshoot
+//! energy, throughput, budget utilization), then runs the conservation
+//! gates: every market round at chip and rack scope must satisfy
+//! `donated − granted − residual = 0` **bit-exactly**.
+//!
+//! Run with: `cargo run --release -p odrl-bench --bin exp_market`
+//! (add `-- --smoke` for the CI gate).
+
+use odrl_bench::{benchmark_sweep_parallel, sweep_parallelism, ControllerKind, RunBuilder, Scenario};
+use odrl_controllers::PowerController;
+use odrl_core::{MarketConfig, OdRlConfig, OdRlController};
+use odrl_manycore::{Parallelism, System};
+use odrl_metrics::{fmt_num, fmt_percent, Table};
+use odrl_power::{LevelId, Watts};
+use odrl_workload::MixPolicy;
+
+/// Steps one chip with the market arm on, asserting after every epoch
+/// that the round ledger conserves bit-exactly, and returns
+/// `(rounds, trades, total_granted_w)`.
+fn chip_conservation_gate(cores: usize, budget_frac: f64, epochs: u64) -> (u64, u64, f64) {
+    let scenario = Scenario {
+        cores,
+        budget_frac,
+        epochs,
+        mix: MixPolicy::RoundRobin,
+        seed: 7,
+        parallelism: Parallelism::Serial,
+    };
+    let config = scenario.try_system_config().expect("valid scenario");
+    let budget = Watts::new(budget_frac * config.max_power().value());
+    let mut system = System::new(config).expect("valid scenario config");
+    let odrl = OdRlConfig {
+        market: MarketConfig::enabled(),
+        ..OdRlConfig::default()
+    };
+    let mut controller =
+        OdRlController::new(odrl, &system.spec(), budget).expect("valid OD-RL config");
+    let mut actions = vec![LevelId(0); cores];
+    let mut obs = system.observation(budget);
+    let mut trades = 0u64;
+    for _ in 0..epochs {
+        controller.decide_into(&obs, &mut actions);
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+        if let Some(round) = controller.market_round() {
+            assert_eq!(
+                round.conservation_error(),
+                0.0,
+                "chip-scope market ledger must conserve bit-exactly"
+            );
+            if round.moved() {
+                trades += 1;
+            }
+        }
+    }
+    let market = controller.market().expect("market arm is on");
+    (market.rounds(), trades, market.pool().total_granted())
+}
+
+/// Steps a 4-chip fleet with the rack-scope market on, asserting the
+/// round ledger conserves bit-exactly and the arbitrated shares keep
+/// summing to the fleet budget. Returns `(rounds, trades)`.
+fn fleet_conservation_gate(cores: usize, epochs: u64) -> (u64, u64) {
+    let scenario = Scenario {
+        cores,
+        // Tight budget: chips run clamped against their shares, so
+        // decorrelated workload phases produce donors *and* applicants.
+        budget_frac: 0.2,
+        epochs,
+        mix: MixPolicy::RoundRobin,
+        seed: 9,
+        parallelism: Parallelism::Serial,
+    };
+    let market = MarketConfig {
+        safety_margin: 0.0,
+        min_keep: 0.0,
+        min_grant: 0.0,
+        headroom: 1.0,
+        ..MarketConfig::enabled()
+    };
+    let mut fleet = RunBuilder::new(scenario)
+        .arbiter_period(20)
+        .market(market)
+        .build_fleet(4)
+        .expect("valid fleet configuration");
+    let total = fleet.total_budget().value();
+    let mut trades = 0u64;
+    for _ in 0..epochs {
+        fleet.step_epoch().expect("fleet epoch completes");
+        if let Some(round) = fleet.market_round() {
+            assert_eq!(
+                round.conservation_error(),
+                0.0,
+                "rack-scope market ledger must conserve bit-exactly"
+            );
+            if round.moved() {
+                trades += 1;
+            }
+        }
+        let sum = fleet.arbitrated_sum();
+        assert!(
+            (sum - total).abs() <= 1e-9 * total,
+            "epoch {}: arbitrated shares sum to {sum} W, fleet budget is {total} W",
+            fleet.epoch()
+        );
+    }
+    (fleet.market().expect("market is on").rounds(), trades)
+}
+
+/// Runs the reactive-vs-market benchmark comparison and prints the E15
+/// table. Returns suite totals
+/// `(reactive_overshoot_j, market_overshoot_j, reactive_instr, market_instr)`.
+fn comparison(cores: usize, epochs: u64, print: bool) -> (f64, f64, f64, f64) {
+    let kinds = [ControllerKind::OdRl, ControllerKind::OdRlMarket];
+    let sweep = benchmark_sweep_parallel(cores, 0.6, epochs, 1, &kinds, sweep_parallelism());
+    let mut table = Table::new(vec![
+        "benchmark",
+        "reactive_j",
+        "market_j",
+        "reduction",
+        "util_react",
+        "util_market",
+        "thru_ratio",
+    ]);
+    let mut totals = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (bench, summaries) in &sweep {
+        let (reactive, market) = (&summaries[0], &summaries[1]);
+        // Both cells share the budget (same scenario geometry): mean
+        // power over budget is the utilization the market tries to raise.
+        let budget = {
+            let scenario = Scenario {
+                cores,
+                budget_frac: 0.6,
+                epochs,
+                mix: MixPolicy::Homogeneous(bench.clone()),
+                seed: 1,
+                parallelism: Parallelism::Serial,
+            };
+            let config = scenario.try_system_config().expect("valid scenario");
+            0.6 * config.max_power().value()
+        };
+        let reduction = if reactive.overshoot_energy.value() > 0.0 {
+            1.0 - market.overshoot_energy.value() / reactive.overshoot_energy.value()
+        } else {
+            0.0
+        };
+        table.add_row(vec![
+            bench.clone(),
+            fmt_num(reactive.overshoot_energy.value()),
+            fmt_num(market.overshoot_energy.value()),
+            fmt_percent(reduction),
+            fmt_percent(reactive.mean_power.value() / budget),
+            fmt_percent(market.mean_power.value() / budget),
+            format!(
+                "{:.4}",
+                market.total_instructions / reactive.total_instructions
+            ),
+        ]);
+        totals.0 += reactive.overshoot_energy.value();
+        totals.1 += market.overshoot_energy.value();
+        totals.2 += reactive.total_instructions;
+        totals.3 += market.total_instructions;
+    }
+    if print {
+        println!("{table}");
+    }
+    totals
+}
+
+/// The CI gate: a small reactive-vs-market slice plus both conservation
+/// gates. Panics on regression.
+fn smoke() {
+    let (reactive_j, market_j, reactive_i, market_i) = comparison(16, 400, false);
+    let thru = market_i / reactive_i;
+    println!(
+        "smoke comparison : suite overshoot {} J -> {} J, throughput ratio {thru:.4}",
+        fmt_num(reactive_j),
+        fmt_num(market_j)
+    );
+    assert!(
+        market_j <= reactive_j,
+        "market arm must not increase suite-total overshoot ({market_j} J vs {reactive_j} J)"
+    );
+    assert!(
+        thru >= 0.99,
+        "market arm throughput regressed more than 1% (ratio {thru:.4})"
+    );
+    let (rounds, trades, granted) = chip_conservation_gate(16, 0.6, 400);
+    assert!(trades > 0, "the chip-scope market never traded");
+    assert!(granted > 0.0);
+    println!(
+        "smoke chip gate  : {rounds} rounds, {trades} trading, {} W granted, ledger bit-exact",
+        fmt_num(granted)
+    );
+    let (rounds, trades) = fleet_conservation_gate(16, 60);
+    assert!(trades > 0, "the rack-scope market never traded");
+    println!("smoke fleet gate : {rounds} rounds, {trades} trading, ledger bit-exact");
+    println!("\nsmoke OK: market beats reactive on overshoot and both ledgers conserve");
+}
+
+fn main() {
+    let smoke_only = std::env::args().skip(1).any(|a| a == "--smoke");
+    if smoke_only {
+        smoke();
+        return;
+    }
+
+    println!("E15: predictive slack market vs reactive OD-RL (64 cores, 60% budget, 2000 epochs)\n");
+    let (reactive_j, market_j, reactive_i, market_i) = comparison(64, 2_000, true);
+    let reduction = if reactive_j > 0.0 {
+        1.0 - market_j / reactive_j
+    } else {
+        0.0
+    };
+    println!(
+        "suite totals: overshoot {} J -> {} J ({} less), throughput ratio {:.4}\n",
+        fmt_num(reactive_j),
+        fmt_num(market_j),
+        fmt_percent(reduction),
+        market_i / reactive_i
+    );
+
+    let (rounds, trades, granted) = chip_conservation_gate(64, 0.6, 2_000);
+    println!(
+        "chip conservation : {rounds} rounds, {trades} trading, {} W granted, \
+         donated - granted - residual = 0 bit-exactly every round",
+        fmt_num(granted)
+    );
+    let (rounds, trades) = fleet_conservation_gate(64, 200);
+    println!(
+        "fleet conservation: {rounds} rounds, {trades} trading, ledger bit-exact, \
+         arbitrated shares sum to the fleet budget every epoch"
+    );
+}

@@ -2,9 +2,10 @@
 //! overshoot").
 //!
 //! For every suite benchmark (homogeneous on 64 cores, 60 % budget), runs
-//! the four headline controllers and reports overshoot energy, overshoot
-//! epoch fraction and peak overshoot, plus OD-RL's reduction relative to
-//! the *best* baseline on each benchmark.
+//! the four headline controllers plus the predictive-market OD-RL arm and
+//! reports overshoot energy, overshoot epoch fraction and peak overshoot,
+//! OD-RL's reduction relative to the *best* baseline on each benchmark,
+//! and the market arm's reduction relative to reactive OD-RL.
 //!
 //! Run with: `cargo run --release -p odrl-bench --bin exp_overshoot`
 
@@ -12,7 +13,10 @@ use odrl_bench::{benchmark_sweep_parallel, sweep_parallelism, ControllerKind};
 use odrl_metrics::{fmt_num, fmt_percent, Table};
 
 fn main() {
-    let kinds = ControllerKind::headline_set();
+    // Column 0 is the reactive OD-RL reference, column 1 its predictive
+    // market arm; the baseline comparison loops below start at column 2.
+    let mut kinds = ControllerKind::headline_set();
+    kinds.insert(1, ControllerKind::OdRlMarket);
     println!("E2: budget overshoot per benchmark (64 cores, 60% budget, 2000 epochs)\n");
     let sweep = benchmark_sweep_parallel(64, 0.6, 2_000, 1, &kinds, sweep_parallelism());
 
@@ -57,7 +61,7 @@ fn main() {
     // taken over benchmarks where the baseline overshoots meaningfully
     // (> 0.01 J — below that both schemes are effectively overshoot-free).
     println!("OD-RL overshoot-energy reduction (paper: up to 98% less):");
-    for (k, kind) in kinds.iter().enumerate().skip(1) {
+    for (k, kind) in kinds.iter().enumerate().skip(2) {
         let mut max_red = f64::NEG_INFINITY;
         let mut any = false;
         for (_, summaries) in &sweep {
@@ -85,5 +89,16 @@ fn main() {
                 kind.label()
             );
         }
+    }
+
+    // The market arm's headline: predicted-slack reclamation should shave
+    // overshoot relative to the purely reactive reference.
+    if totals[0] > 0.0 {
+        println!(
+            "market arm vs reactive OD-RL: {} less suite-total overshoot energy",
+            fmt_percent(1.0 - totals[1] / totals[0])
+        );
+    } else {
+        println!("market arm vs reactive OD-RL: reference is already overshoot-free");
     }
 }

@@ -5,8 +5,9 @@
 //!
 //!   --cores N             number of cores              [default: 64]
 //!   --budget FRAC         budget as a fraction of max  [default: 0.6]
-//!   --controller NAME     od-rl | od-rl-local | maxbips-dp | steepest-drop
-//!                         | pid | static-uniform | priority-greedy
+//!   --controller NAME     od-rl | od-rl-market | od-rl-local | maxbips-dp
+//!                         | steepest-drop | pid | static-uniform
+//!                         | priority-greedy
 //!                                                      [default: od-rl]
 //!   --epochs N            control epochs               [default: 2000]
 //!   --seed N              master seed                  [default: 1]

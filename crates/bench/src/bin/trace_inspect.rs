@@ -11,8 +11,8 @@
 //! ```
 //!
 //! Filters compose (logical AND). `--kind` takes the family names
-//! `watchdog`, `overshoot`, `realloc`, `redistribution`, `rl`, `fault`,
-//! `vf`, `epoch`.
+//! `watchdog`, `overshoot`, `realloc`, `redistribution`, `market`, `rl`,
+//! `fault`, `vf`, `epoch`.
 
 use odrl_metrics::Table;
 use odrl_obs::{read_jsonl, Event, EventRecord, CHIP};

@@ -18,6 +18,7 @@
 //! | `exp_noc` | E11 — mesh NoC contention |
 //! | `exp_extended_range` | E12 — near-threshold extended-range DVFS |
 //! | `exp_fleet` | E14 — multi-chip fleet scaling under the rack arbiter |
+//! | `exp_market` | E15 — predictive slack market vs reactive OD-RL |
 //! | `abl_reallocation` | A1 — global reallocation on/off |
 //! | `abl_discretization` | A2 — state-bin granularity |
 //! | `abl_schedules` | A3 — exploration/learning-rate schedules |
@@ -421,6 +422,7 @@ mod tests {
     fn labels_match_controller_names() {
         for kind in [
             ControllerKind::OdRl,
+            ControllerKind::OdRlMarket,
             ControllerKind::OdRlLocal,
             ControllerKind::MaxBipsDp,
             ControllerKind::SteepestDrop,

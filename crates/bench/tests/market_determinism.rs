@@ -1,0 +1,102 @@
+//! Cross-shard determinism of the predictive slack market.
+//!
+//! The market pass runs in the controller's serial coarse-grain section,
+//! so a market-enabled closed loop must be bit-identical to the serial
+//! path at every intra-chip shard count — with and without a lossy-budget
+//! fault plan disrupting the links the post-round shares ride on. These
+//! tests run the same fixed-seed loop serially and sharded and require
+//! identical action sequences and bit-identical telemetry totals.
+
+use odrl_bench::{ChipRun, ControllerKind, RunBuilder, Scenario};
+use odrl_faults::{BudgetFault, FaultKind, FaultPlan, Target};
+use odrl_manycore::Parallelism;
+use odrl_power::LevelId;
+use odrl_workload::MixPolicy;
+
+const CORES: usize = 64;
+const EPOCHS: u64 = 80;
+
+/// A budget-fault window wide enough that market share deliveries are
+/// lost mid-run on half the links.
+fn lossy_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_event(
+            FaultKind::Budget(BudgetFault::Lost),
+            Target::Range { lo: 0, hi: 24 },
+            20,
+            30,
+        )
+        .with_event(
+            FaultKind::Budget(BudgetFault::Delayed { epochs: 3 }),
+            Target::Range { lo: 24, hi: 40 },
+            30,
+            30,
+        )
+}
+
+fn closed_loop(par: Parallelism, plan: Option<FaultPlan>) -> (Vec<Vec<LevelId>>, f64, f64) {
+    let scenario = Scenario {
+        cores: CORES,
+        budget_frac: 0.6,
+        epochs: EPOCHS,
+        mix: MixPolicy::RoundRobin,
+        seed: 17,
+        parallelism: par,
+    };
+    let mut builder = RunBuilder::new(scenario).controller(ControllerKind::OdRlMarket);
+    if let Some(plan) = plan {
+        builder = builder.faults(plan).watchdog(true);
+    }
+    let ChipRun {
+        mut system,
+        mut controller,
+        budget,
+    } = builder.build_chip().expect("valid market configuration");
+    assert_eq!(controller.name(), "od-rl-market");
+    let mut actions = vec![LevelId(0); CORES];
+    let mut all_actions = Vec::new();
+    let mut obs = system.observation(budget);
+    for _ in 0..EPOCHS {
+        controller.decide_into(&obs, &mut actions);
+        all_actions.push(actions.clone());
+        system.step_in_place(&actions).expect("valid actions");
+        system.observation_into(budget, &mut obs);
+    }
+    (
+        all_actions,
+        system.telemetry().total_instructions(),
+        system.telemetry().total_energy().value(),
+    )
+}
+
+fn check(plan: Option<FaultPlan>) {
+    let (serial_actions, serial_instr, serial_energy) =
+        closed_loop(Parallelism::Serial, plan.clone());
+    for shards in [2, 4, 8] {
+        let (actions, instr, energy) = closed_loop(Parallelism::Threads(shards), plan.clone());
+        assert_eq!(
+            actions, serial_actions,
+            "{shards} shards: action sequence diverged"
+        );
+        assert_eq!(
+            instr.to_bits(),
+            serial_instr.to_bits(),
+            "{shards} shards: total instructions diverged"
+        );
+        assert_eq!(
+            energy.to_bits(),
+            serial_energy.to_bits(),
+            "{shards} shards: total energy diverged"
+        );
+    }
+}
+
+#[test]
+fn market_closed_loop_is_bit_identical_across_shards() {
+    check(None);
+}
+
+#[test]
+fn market_closed_loop_stays_bit_identical_under_lossy_budget_links() {
+    check(Some(lossy_plan()));
+}

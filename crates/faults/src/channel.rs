@@ -10,6 +10,9 @@
 //! [`BudgetChannel::send`] and picks deliveries up with
 //! [`BudgetChannel::poll`]; an agent that hears nothing simply keeps its
 //! old share — exactly the failure semantics of a lossy on-chip mailbox.
+//! The predictive slack market (`odrl-market`) routes its post-round
+//! shares through the same links, so budget-fault windows degrade market
+//! reclaim traffic and reallocator traffic alike.
 //!
 //! All per-core buffers are sized at construction; steady-state epochs are
 //! allocation-free, and behaviour is a deterministic function of the
@@ -34,6 +37,11 @@ pub struct BudgetChannel {
     prev: Vec<f64>,
     has_prev: Vec<bool>,
     epoch: u64,
+    /// Messages offered to [`BudgetChannel::send`] over the channel's life.
+    sent: u64,
+    /// Messages handed out by [`BudgetChannel::poll`] over the channel's
+    /// life. `sent - delivered` is the running loss on the links.
+    delivered: u64,
 }
 
 impl FaultEngine {
@@ -51,6 +59,8 @@ impl FaultEngine {
             prev: vec![0.0; n],
             has_prev: vec![false; n],
             epoch: 0,
+            sent: 0,
+            delivered: 0,
         }
     }
 }
@@ -90,6 +100,7 @@ impl BudgetChannel {
     /// delivers on this epoch's [`BudgetChannel::poll`]; a faulty link
     /// drops, defers or substitutes the stale previous share.
     pub fn send(&mut self, i: usize, value: f64) {
+        self.sent += 1;
         match self.fault[i] {
             None => {
                 self.inbox[i] = value;
@@ -122,9 +133,25 @@ impl BudgetChannel {
             let value = self.inbox[i];
             self.prev[i] = value;
             self.has_prev[i] = true;
+            self.delivered += 1;
             return Some(value);
         }
         None
+    }
+
+    /// Messages offered to the channel since construction. The market's
+    /// post-round shares ride the same links as the reallocator's, so this
+    /// counts both traffic classes.
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages actually delivered since construction.
+    /// `messages_sent() - messages_delivered()` is the watts-carrying
+    /// traffic the fault windows swallowed (lost outright, or still
+    /// in-flight behind a delay).
+    pub fn messages_delivered(&self) -> u64 {
+        self.delivered
     }
 }
 
@@ -209,6 +236,25 @@ mod tests {
         ch.begin_epoch(15);
         ch.send(0, 99.0);
         assert_eq!(ch.poll(0), Some(99.0));
+    }
+
+    #[test]
+    fn traffic_counters_track_sends_and_deliveries() {
+        let plan = FaultPlan::new().with_event(
+            FaultKind::Budget(BudgetFault::Lost),
+            Target::Core(0),
+            2,
+            2,
+        );
+        let mut ch = channel(plan, 1);
+        for epoch in 0..6 {
+            ch.begin_epoch(epoch);
+            ch.send(0, epoch as f64);
+            let _ = ch.poll(0);
+        }
+        assert_eq!(ch.messages_sent(), 6);
+        // Epochs 2 and 3 fall inside the lost window.
+        assert_eq!(ch.messages_delivered(), 4);
     }
 
     #[test]

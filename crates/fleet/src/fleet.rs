@@ -6,7 +6,10 @@
 //!    [`BudgetArbiter`] re-divides the fleet budget from smoothed per-chip
 //!    demand and the fresh shares are *sent* down the per-chip
 //!    [`BudgetChannel`] links — which may drop, delay or stale-replay them
-//!    (fault plans apply at fleet scope).
+//!    (fault plans apply at fleet scope). With the rack-scope slack market
+//!    on (see `FleetConfig::market`), a market round then lets chips
+//!    donate predicted slack and apply for reclaimed watts between
+//!    arbiter rounds, its trades riding the same lossy links.
 //! 2. **Deliver** (serial, fixed chip order): each chip polls its link; no
 //!    delivery means it keeps its old budget, exactly the lossy-mailbox
 //!    semantics the per-core channel has one level down.
@@ -28,7 +31,7 @@ use crate::config::FleetConfig;
 use crate::error::FleetError;
 use crate::scenario::build_controller;
 use odrl_controllers::PowerController;
-use odrl_core::{PolicySnapshot, WatchdogConfig};
+use odrl_core::{MarketAllocator, MarketRound, MarketScratch, PolicySnapshot, WatchdogConfig};
 use odrl_faults::{BudgetChannel, FaultEngine};
 use odrl_manycore::parallel::{shard_chunks, stream_seed};
 use odrl_manycore::{Observation, Parallelism, System, SystemError, Telemetry};
@@ -214,6 +217,11 @@ pub struct Fleet {
     arbiter: BudgetArbiter,
     /// Arbiter → chip budget links (fault plans apply at fleet scope).
     channel: BudgetChannel,
+    /// Rack-scope slack market over the arbitrated shares, present when
+    /// [`FleetConfig::market`] is enabled.
+    market: Option<MarketAllocator>,
+    market_scratch: MarketScratch,
+    last_market_round: Option<MarketRound>,
     total_budget: Watts,
     parallelism: Parallelism,
     epoch: u64,
@@ -265,6 +273,15 @@ impl Fleet {
             .unwrap_or_default();
         let channel_seed = stream_seed(config.scenario.seed ^ FLEET_CHANNEL_SALT, 0);
         let channel = FaultEngine::compile(&fleet_plan, n, channel_seed)?.budget_channel();
+        let market = config
+            .market
+            .enabled
+            .then(|| MarketAllocator::new(n, config.market))
+            .transpose()
+            .map_err(|e| FleetError::InvalidConfig {
+                field: "market",
+                reason: e.to_string(),
+            })?;
         // Warm start: load the snapshot once; every chip imports a copy of
         // the same learned tables (exploration stays decorrelated by seed).
         let warm = config
@@ -323,6 +340,9 @@ impl Fleet {
             chips,
             arbiter,
             channel,
+            market,
+            market_scratch: MarketScratch::default(),
+            last_market_round: None,
             total_budget,
             parallelism: config.parallelism,
             epoch: 0,
@@ -372,6 +392,19 @@ impl Fleet {
         &self.arbiter
     }
 
+    /// The rack-scope slack market, when [`FleetConfig::market`] enables
+    /// it.
+    pub fn market(&self) -> Option<&MarketAllocator> {
+        self.market.as_ref()
+    }
+
+    /// The ledger of the most recent rack-market round — `None` until the
+    /// first market epoch (or with the market off). Conservation gates
+    /// assert `conservation_error() == 0.0` on every round.
+    pub fn market_round(&self) -> Option<&MarketRound> {
+        self.last_market_round.as_ref()
+    }
+
     /// Scalar fleet-wide telemetry.
     pub fn telemetry(&self) -> &FleetTelemetry {
         &self.telemetry
@@ -398,6 +431,33 @@ impl Fleet {
             self.arbiter.reallocate();
             for k in 0..self.chips.len() {
                 self.channel.send(k, self.arbiter.shares()[k]);
+            }
+        }
+        // 1b. Rack-scope slack market (see `odrl-market`): each market
+        // epoch every chip's next-epoch demand is forecast from its
+        // measured power; chips whose arbitrated share exceeds their need
+        // donate the predicted slack and hot chips apply for it — watts
+        // move between arbiter rounds instead of waiting out the (much
+        // coarser) `arbiter_period`. Trades rewrite the arbitrated ledger
+        // and the fresh shares ride the same lossy links reallocations
+        // use, so fleet-scope fault plans exercise the market path too.
+        if let Some(market) = &mut self.market {
+            if self.epoch > 0 && self.epoch.is_multiple_of(market.period()) {
+                let (powers, shares) = self.market_scratch.stage();
+                for (k, chip) in self.chips.iter().enumerate() {
+                    powers.push(chip.measured.value());
+                    shares.push(self.arbiter.shares()[k]);
+                }
+                let round = market.step(self.total_budget.value(), &mut self.market_scratch);
+                if round.moved() {
+                    self.arbiter
+                        .shares_mut()
+                        .copy_from_slice(self.market_scratch.shares());
+                    for k in 0..self.chips.len() {
+                        self.channel.send(k, self.arbiter.shares()[k]);
+                    }
+                }
+                self.last_market_round = Some(round);
             }
         }
         // 2. Deliver, in fleet order: an undelivered share leaves the old

@@ -1,0 +1,229 @@
+//! Market configuration and validation.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Knobs for the predictive slack market. Embedded (with serde defaults)
+/// in `OdRlConfig` and `FleetConfig`; the default is **disabled**, so
+/// every pre-market golden stays bit-identical.
+///
+/// Deserialization starts from [`MarketConfig::default`] and overlays
+/// whatever fields are present, so old configs (and configs written
+/// before a knob existed) keep loading with today's defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MarketConfig {
+    /// Master switch. `false` (the default) means the market pass never
+    /// runs and the hosting controller behaves exactly as before.
+    pub enabled: bool,
+    /// EMA smoothing factor for the per-participant power predictor, in
+    /// `(0, 1]`. Higher tracks faster, lower smooths harder.
+    pub ema: f64,
+    /// History-window length (samples) for the predictor. Doubles as the
+    /// warm-up threshold: until a participant has seen this many samples
+    /// its prediction falls back to the reactive headroom estimate.
+    pub history: usize,
+    /// Safety margin kept above the predicted demand, as a fraction
+    /// (`0.1` = keep 10 % headroom before donating). Must be `>= 0`.
+    pub safety_margin: f64,
+    /// Reactive fallback multiplier applied to the last measured power
+    /// while the predictor warms up. Mirrors the reactive allocator's
+    /// demand headroom. Must be `>= 1`.
+    pub headroom: f64,
+    /// Minimum-grant floor as a fraction of the fair share
+    /// (`total / participants`). In a shortage round, pro-rated grants
+    /// below this floor are suppressed so the pool is not shredded into
+    /// dust; the freed watts pro-rate to the surviving applicants.
+    pub min_grant: f64,
+    /// Fraction of the fair share a donor always keeps — donations never
+    /// push a share below `min_keep * fair`. In `[0, 1]`.
+    pub min_keep: f64,
+    /// Market cadence in epochs (`1` = every epoch). Must be `>= 1`.
+    pub period: u64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            ema: 0.25,
+            history: 8,
+            safety_margin: 0.10,
+            headroom: 1.3,
+            min_grant: 0.05,
+            min_keep: 0.25,
+            period: 1,
+        }
+    }
+}
+
+impl Deserialize for MarketConfig {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v.as_object().ok_or_else(|| {
+            DeError::custom(format!("MarketConfig: expected object, got {}", v.kind()))
+        })?;
+        let mut config = Self::default();
+        if let Some(f) = map.get("enabled") {
+            config.enabled = Deserialize::from_value(f)?;
+        }
+        if let Some(f) = map.get("ema") {
+            config.ema = Deserialize::from_value(f)?;
+        }
+        if let Some(f) = map.get("history") {
+            config.history = Deserialize::from_value(f)?;
+        }
+        if let Some(f) = map.get("safety_margin") {
+            config.safety_margin = Deserialize::from_value(f)?;
+        }
+        if let Some(f) = map.get("headroom") {
+            config.headroom = Deserialize::from_value(f)?;
+        }
+        if let Some(f) = map.get("min_grant") {
+            config.min_grant = Deserialize::from_value(f)?;
+        }
+        if let Some(f) = map.get("min_keep") {
+            config.min_keep = Deserialize::from_value(f)?;
+        }
+        if let Some(f) = map.get("period") {
+            config.period = Deserialize::from_value(f)?;
+        }
+        Ok(config)
+    }
+}
+
+impl MarketConfig {
+    /// A default-valued config with the master switch on. Convenience
+    /// for `RunBuilder::market(MarketConfig::enabled())`-style call
+    /// sites.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Checks every field; returns the first violation.
+    pub fn validate(&self) -> Result<(), MarketError> {
+        fn bad(field: &'static str, reason: impl Into<String>) -> Result<(), MarketError> {
+            Err(MarketError::InvalidConfig {
+                field,
+                reason: reason.into(),
+            })
+        }
+        if !(self.ema > 0.0 && self.ema <= 1.0) {
+            return bad("ema", format!("must be in (0, 1], got {}", self.ema));
+        }
+        if self.history == 0 {
+            return bad("history", "window must hold at least one sample");
+        }
+        if !(self.safety_margin >= 0.0 && self.safety_margin.is_finite()) {
+            return bad(
+                "safety_margin",
+                format!("must be finite and >= 0, got {}", self.safety_margin),
+            );
+        }
+        if !(self.headroom >= 1.0 && self.headroom.is_finite()) {
+            return bad(
+                "headroom",
+                format!("must be finite and >= 1, got {}", self.headroom),
+            );
+        }
+        if !(self.min_grant >= 0.0 && self.min_grant.is_finite()) {
+            return bad(
+                "min_grant",
+                format!("must be finite and >= 0, got {}", self.min_grant),
+            );
+        }
+        if !(self.min_keep >= 0.0 && self.min_keep <= 1.0) {
+            return bad(
+                "min_keep",
+                format!("must be in [0, 1], got {}", self.min_keep),
+            );
+        }
+        if self.period == 0 {
+            return bad("period", "market cadence must be >= 1 epoch");
+        }
+        Ok(())
+    }
+}
+
+/// Errors surfaced by the market layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarketError {
+    /// A [`MarketConfig`] field failed validation.
+    InvalidConfig {
+        /// The offending field name.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { field, reason } => {
+                write!(f, "invalid market config: {field}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_and_valid() {
+        let c = MarketConfig::default();
+        assert!(!c.enabled);
+        c.validate().unwrap();
+        assert!(MarketConfig::enabled().enabled);
+        MarketConfig::enabled().validate().unwrap();
+    }
+
+    #[test]
+    fn each_field_is_checked() {
+        let base = MarketConfig::default();
+        let cases = [
+            MarketConfig { ema: 0.0, ..base },
+            MarketConfig { ema: 1.5, ..base },
+            MarketConfig { history: 0, ..base },
+            MarketConfig {
+                safety_margin: -0.1,
+                ..base
+            },
+            MarketConfig {
+                safety_margin: f64::NAN,
+                ..base
+            },
+            MarketConfig {
+                headroom: 0.9,
+                ..base
+            },
+            MarketConfig {
+                min_grant: -1.0,
+                ..base
+            },
+            MarketConfig {
+                min_keep: 1.1,
+                ..base
+            },
+            MarketConfig { period: 0, ..base },
+        ];
+        for c in cases {
+            assert!(c.validate().is_err(), "{c:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn serde_defaults_fill_missing_fields() {
+        let c: MarketConfig = serde_json::from_str("{\"enabled\":true}").unwrap();
+        assert!(c.enabled);
+        assert_eq!(c.history, MarketConfig::default().history);
+        let round: MarketConfig =
+            serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(round, c);
+    }
+}

@@ -1,0 +1,45 @@
+//! Predictive power-budget slack market.
+//!
+//! The paper's global reallocator is purely reactive: budget moves only
+//! after an overshoot has already been observed, so slack sits stranded
+//! on under-consuming cores while over-budget cores run hot for a full
+//! epoch. This crate adds the predictive counterpart — a per-epoch slack
+//! *economy* in the style of rtshyper's bandwidth reclaim manager:
+//!
+//! 1. a [`BudgetPredictor`] per participant forecasts next-epoch power
+//!    consumption (EMA blended with a short history window; until the
+//!    window fills it falls back to the reactive headroom estimate the
+//!    [`BudgetAllocator`] uses);
+//! 2. participants whose share exceeds the predicted need (plus a
+//!    configurable safety margin) *donate* the difference into a
+//!    [`ReclaimPool`];
+//! 3. participants whose predicted need exceeds their share *apply* for
+//!    reclaimed watts; grants are pro-rated when the pool cannot cover
+//!    every application, with a minimum-grant floor suppressing dust
+//!    grants, and any residual refunds to the donors.
+//!
+//! The whole pass is plain index-ordered arithmetic — no RNG, no
+//! allocation in steady state ([`MarketScratch`] follows the same
+//! clear-and-extend pattern as `AllocScratch`), and bit-deterministic
+//! regardless of how the surrounding controller shards its RL pass. The
+//! accounting identity `donations − grants − residual = 0` holds
+//! *bit-exactly* every round by construction ([`MarketRound::conservation_error`]
+//! returns `0.0`, not merely something small).
+//!
+//! The same [`MarketAllocator`] serves two scopes: per-core inside
+//! `OdRlController`'s global reallocation step (participants are cores)
+//! and rack-level next to the fleet `BudgetArbiter` (participants are
+//! chips, with share updates routed through the lossy budget channel).
+//!
+//! [`BudgetAllocator`]: https://docs.rs/odrl-core
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod market;
+mod predictor;
+
+pub use config::{MarketConfig, MarketError};
+pub use market::{MarketAllocator, MarketRound, MarketScratch, ReclaimPool};
+pub use predictor::BudgetPredictor;

@@ -1,0 +1,628 @@
+//! The reclaim pool and the per-epoch donate → grant → refund pass.
+
+use crate::config::{MarketConfig, MarketError};
+use crate::predictor::BudgetPredictor;
+
+/// The per-epoch slack pool. Donations deposit into it at the start of a
+/// round, grants withdraw, and whatever is left refunds to the donors —
+/// the pool always drains back to zero, so no budget is ever stranded
+/// between epochs. Lifetime totals are kept for utilization reporting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReclaimPool {
+    level: f64,
+    last_peak: f64,
+    total_donated: f64,
+    total_granted: f64,
+}
+
+impl ReclaimPool {
+    /// Current pool level in watts (zero between rounds).
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// The pool level after the most recent collection pass (the round's
+    /// peak), before grants drained it.
+    pub fn last_peak(&self) -> f64 {
+        self.last_peak
+    }
+
+    /// Lifetime watts donated into the pool.
+    pub fn total_donated(&self) -> f64 {
+        self.total_donated
+    }
+
+    /// Lifetime watts granted out of the pool.
+    pub fn total_granted(&self) -> f64 {
+        self.total_granted
+    }
+
+    fn deposit(&mut self, w: f64) {
+        self.level += w;
+        self.last_peak = self.level;
+        self.total_donated += w;
+    }
+
+    fn withdraw(&mut self, w: f64) {
+        self.level -= w;
+        self.total_granted += w;
+    }
+
+    fn drain(&mut self) {
+        self.level = 0.0;
+    }
+}
+
+/// One market round's ledger. The accounting identity
+/// `donated − granted − residual = 0` holds **bit-exactly**:
+/// [`MarketRound::conservation_error`] returns `0.0` by construction,
+/// because `residual` is computed from the very same `donated` and
+/// `granted` running sums in the same operation order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MarketRound {
+    /// Watts donated into the pool this round.
+    pub donated_w: f64,
+    /// Watts granted to applicants this round.
+    pub granted_w: f64,
+    /// Unclaimed watts refunded to the donors (`donated − granted`).
+    pub residual_w: f64,
+    /// Pool level after collection (equals `donated_w`; the pool carries
+    /// nothing between rounds).
+    pub pool_peak_w: f64,
+    /// Participants that donated slack.
+    pub donors: u32,
+    /// Participants that applied for reclaimed watts.
+    pub applicants: u32,
+    /// Applications actually granted (a shortage round's min-grant floor
+    /// can leave this below `applicants`).
+    pub grants: u32,
+    /// Sum over participants of |measured − previous prediction|, in
+    /// watts — the predictor's absolute error for this round.
+    pub prediction_abs_err_w: f64,
+}
+
+impl MarketRound {
+    /// `(donated − granted) − residual`; `0.0` bit-exactly every round.
+    pub fn conservation_error(&self) -> f64 {
+        (self.donated_w - self.granted_w) - self.residual_w
+    }
+
+    /// Whether any watts actually changed hands this round. A round with
+    /// no grants leaves every share untouched (donations are refunded
+    /// wholesale before they are applied), so callers can skip the
+    /// write-back / channel send entirely.
+    pub fn moved(&self) -> bool {
+        self.grants > 0
+    }
+}
+
+/// Reusable buffers for [`MarketAllocator::step`]. Same pattern as the
+/// controller's `AllocScratch`: the vectors grow to the participant
+/// count on first use and are only cleared afterwards, so steady-state
+/// rounds allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MarketScratch {
+    powers: Vec<f64>,
+    shares: Vec<f64>,
+    need: Vec<f64>,
+    donation: Vec<f64>,
+    apply: Vec<f64>,
+    grant: Vec<f64>,
+    inactive: Vec<usize>,
+    active: Vec<bool>,
+}
+
+impl MarketScratch {
+    /// Clears and hands out the two staging buffers the caller fills
+    /// before [`MarketAllocator::step`]: per-participant measured watts
+    /// and current budget shares, in participant order. Also resets any
+    /// [`MarketScratch::deactivate`] marks from the previous round.
+    pub fn stage(&mut self) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        self.powers.clear();
+        self.shares.clear();
+        self.inactive.clear();
+        (&mut self.powers, &mut self.shares)
+    }
+
+    /// Benches participant `i` for this round: it neither donates nor
+    /// applies, its predictor is not fed (its sensor reading is suspect
+    /// or it is gone entirely — a dead core, a failed chip), and its
+    /// staged share passes through untouched.
+    pub fn deactivate(&mut self, i: usize) {
+        self.inactive.push(i);
+    }
+
+    /// The post-round shares (same order the caller staged them in).
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+}
+
+/// The market itself: one [`BudgetPredictor`] per participant plus the
+/// [`ReclaimPool`], stepped once per market epoch over staged
+/// (power, share) pairs. Pure index-ordered arithmetic — deterministic,
+/// RNG-free and allocation-free in steady state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketAllocator {
+    config: MarketConfig,
+    predictors: Vec<BudgetPredictor>,
+    pool: ReclaimPool,
+    /// Previous round's per-participant demand prediction (NaN until one
+    /// exists), used to report the predictor's absolute error.
+    last_prediction: Vec<f64>,
+    rounds: u64,
+}
+
+impl MarketAllocator {
+    /// A market over `participants` cores (chip scope) or chips (fleet
+    /// scope). Validates `config`; the `enabled` knob is the *caller's*
+    /// gate — a host constructs the market only after consulting it.
+    pub fn new(participants: usize, config: MarketConfig) -> Result<Self, MarketError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            predictors: (0..participants)
+                .map(|_| BudgetPredictor::new(config.ema, config.history))
+                .collect(),
+            pool: ReclaimPool::default(),
+            last_prediction: vec![f64::NAN; participants],
+            rounds: 0,
+        })
+    }
+
+    /// Number of market participants.
+    pub fn num_participants(&self) -> usize {
+        self.predictors.len()
+    }
+
+    /// The configuration this market was built with.
+    pub fn config(&self) -> &MarketConfig {
+        &self.config
+    }
+
+    /// Market cadence in epochs.
+    pub fn period(&self) -> u64 {
+        self.config.period
+    }
+
+    /// Rounds stepped so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The reclaim pool (drained between rounds; exposes lifetime
+    /// donation/grant totals).
+    pub fn pool(&self) -> &ReclaimPool {
+        &self.pool
+    }
+
+    /// Read access to participant `i`'s predictor.
+    pub fn predictor(&self, i: usize) -> &BudgetPredictor {
+        &self.predictors[i]
+    }
+
+    /// Runs one market round over the staged buffers (fill them via
+    /// [`MarketScratch::stage`]): observe measured power, predict demand,
+    /// collect donations, grant applications, refund the residual. On
+    /// return `scratch.shares()` holds the post-round shares; when
+    /// [`MarketRound::moved`] is `false` they are bit-identical to the
+    /// staged ones.
+    ///
+    /// # Panics
+    ///
+    /// If the staged buffers do not both hold exactly
+    /// [`MarketAllocator::num_participants`] entries.
+    pub fn step(&mut self, total_w: f64, scratch: &mut MarketScratch) -> MarketRound {
+        let n = self.predictors.len();
+        assert_eq!(scratch.powers.len(), n, "stage one power per participant");
+        assert_eq!(scratch.shares.len(), n, "stage one share per participant");
+        let fair = if n > 0 { total_w / n as f64 } else { 0.0 };
+        let floor_grant = self.config.min_grant * fair;
+        let keep_floor = self.config.min_keep * fair;
+
+        scratch.need.clear();
+        scratch.donation.clear();
+        scratch.apply.clear();
+        scratch.grant.clear();
+        scratch.active.clear();
+        scratch.active.resize(n, true);
+        for &i in &scratch.inactive {
+            if i < n {
+                scratch.active[i] = false;
+            }
+        }
+
+        // Pass 1 (per participant, index order): feed the predictor,
+        // settle last round's prediction error, and split everyone into
+        // donors (share above need) and applicants (share below need).
+        // Deactivated participants sit the round out entirely.
+        let mut abs_err = 0.0;
+        let mut donors = 0u32;
+        let mut applicants = 0u32;
+        for i in 0..n {
+            if !scratch.active[i] {
+                self.last_prediction[i] = f64::NAN;
+                scratch.need.push(0.0);
+                scratch.donation.push(0.0);
+                scratch.apply.push(0.0);
+                continue;
+            }
+            let measured = scratch.powers[i];
+            if self.last_prediction[i].is_finite() {
+                abs_err += (measured - self.last_prediction[i]).abs();
+            }
+            let predictor = &mut self.predictors[i];
+            predictor.observe(measured);
+            let demand = if predictor.is_warm() {
+                predictor.predict()
+            } else {
+                // Warm-up fallback: the reactive allocator's headroom
+                // estimate over the latest measurement.
+                measured * self.config.headroom
+            };
+            self.last_prediction[i] = demand;
+            let need = (demand * (1.0 + self.config.safety_margin)).max(keep_floor);
+            scratch.need.push(need);
+            let share = scratch.shares[i];
+            if share > need {
+                scratch.donation.push(share - need);
+                scratch.apply.push(0.0);
+                donors += 1;
+            } else {
+                scratch.donation.push(0.0);
+                scratch.apply.push(need - share);
+                if need > share {
+                    applicants += 1;
+                }
+            }
+        }
+
+        // Pass 2: collect donations into the pool (running sum in index
+        // order — this exact `donated` value anchors the conservation
+        // identity below).
+        let mut donated = 0.0;
+        for d in &scratch.donation {
+            donated += *d;
+        }
+        self.pool.deposit(donated);
+        let pool = self.pool.level();
+
+        // Pass 3: total applications, same index order.
+        let mut total_app = 0.0;
+        for a in &scratch.apply {
+            total_app += *a;
+        }
+
+        // Pass 4: the grant pass. Surplus rounds grant every application
+        // in full (the running `granted` sum then equals `total_app`
+        // bit-exactly, since both accumulate the same values in the same
+        // order). Shortage rounds pro-rate the pool across applicants,
+        // dropping grants under the min-grant floor and letting the last
+        // surviving applicant absorb the pro-rating rounding.
+        let mut granted = 0.0;
+        let mut grants = 0u32;
+        for _ in 0..n {
+            scratch.grant.push(0.0);
+        }
+        if pool > 0.0 && total_app > 0.0 {
+            if total_app <= pool {
+                for i in 0..n {
+                    let a = scratch.apply[i];
+                    if a > 0.0 {
+                        scratch.grant[i] = a;
+                        granted += a;
+                        grants += 1;
+                    }
+                }
+            } else {
+                let mut surviving = 0.0;
+                for i in 0..n {
+                    let a = scratch.apply[i];
+                    if a > 0.0 && pool * (a / total_app) >= floor_grant {
+                        surviving += a;
+                    } else {
+                        scratch.apply[i] = 0.0;
+                    }
+                }
+                if surviving > 0.0 {
+                    let last = (0..n)
+                        .rev()
+                        .find(|&i| scratch.apply[i] > 0.0)
+                        .expect("surviving > 0 implies a surviving applicant");
+                    for i in 0..n {
+                        let a = scratch.apply[i];
+                        if a <= 0.0 {
+                            continue;
+                        }
+                        let g = if i == last {
+                            (pool - granted).min(a).max(0.0)
+                        } else {
+                            (pool * (a / surviving)).min(a)
+                        };
+                        scratch.grant[i] = g;
+                        granted += g;
+                        grants += 1;
+                    }
+                }
+            }
+        }
+
+        // The conservation anchor: residual is derived from the same
+        // `donated` (== pool) and `granted` sums, so
+        // `(donated − granted) − residual` is exactly 0.0.
+        let residual = pool - granted;
+        self.pool.withdraw(granted);
+
+        // Pass 5: apply the round to the shares — but only if watts
+        // actually moved. A grant-free round refunds every donation
+        // wholesale, leaving the staged shares bit-untouched instead of
+        // perturbing them by a round trip through the pool.
+        if grants > 0 {
+            for i in 0..n {
+                let d = scratch.donation[i];
+                if d > 0.0 {
+                    scratch.shares[i] -= d;
+                }
+                let g = scratch.grant[i];
+                if g > 0.0 {
+                    scratch.shares[i] += g;
+                }
+            }
+            if residual > 0.0 && donated > 0.0 {
+                let last = (0..n)
+                    .rev()
+                    .find(|&i| scratch.donation[i] > 0.0)
+                    .expect("donated > 0 implies a donor");
+                let mut returned = 0.0;
+                for i in 0..n {
+                    let d = scratch.donation[i];
+                    if d <= 0.0 {
+                        continue;
+                    }
+                    let r = if i == last {
+                        residual - returned
+                    } else {
+                        residual * (d / donated)
+                    };
+                    scratch.shares[i] += r;
+                    returned += r;
+                }
+            }
+        }
+        self.pool.drain();
+        self.rounds += 1;
+
+        MarketRound {
+            donated_w: donated,
+            granted_w: granted,
+            residual_w: residual,
+            pool_peak_w: pool,
+            donors,
+            applicants,
+            grants,
+            prediction_abs_err_w: abs_err,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market(n: usize, tweak: impl FnOnce(&mut MarketConfig)) -> MarketAllocator {
+        let mut config = MarketConfig::enabled();
+        tweak(&mut config);
+        MarketAllocator::new(n, config).unwrap()
+    }
+
+    /// Steps one round with the given powers/shares and returns the
+    /// round plus the post-round shares.
+    fn round(
+        m: &mut MarketAllocator,
+        scratch: &mut MarketScratch,
+        total: f64,
+        powers: &[f64],
+        shares: &[f64],
+    ) -> (MarketRound, Vec<f64>) {
+        let (p, s) = scratch.stage();
+        p.extend_from_slice(powers);
+        s.extend_from_slice(shares);
+        let r = m.step(total, scratch);
+        (r, scratch.shares().to_vec())
+    }
+
+    /// Warm every predictor on a constant trace so `predict()` is the
+    /// trace level itself.
+    fn warm(m: &mut MarketAllocator, scratch: &mut MarketScratch, powers: &[f64], shares: &[f64]) {
+        let total: f64 = shares.iter().sum();
+        for _ in 0..m.config().history {
+            round(m, scratch, total, powers, shares);
+        }
+    }
+
+    #[test]
+    fn slack_flows_from_donor_to_applicant() {
+        // Core 0 draws 0.5 W on a 3 W share (slack); core 1 draws 3.5 W
+        // on a 3 W share (over budget). min_keep off to keep the math
+        // transparent.
+        let mut m = market(2, |c| {
+            c.min_keep = 0.0;
+            c.safety_margin = 0.0;
+        });
+        let mut scratch = MarketScratch::default();
+        warm(&mut m, &mut scratch, &[0.5, 3.5], &[3.0, 3.0]);
+        let (r, shares) = round(&mut m, &mut scratch, 6.0, &[0.5, 3.5], &[3.0, 3.0]);
+        assert_eq!(r.donors, 1);
+        assert_eq!(r.applicants, 1);
+        assert_eq!(r.grants, 1);
+        assert!((r.donated_w - 2.5).abs() < 1e-12);
+        assert!((r.granted_w - 0.5).abs() < 1e-12);
+        assert_eq!(r.conservation_error(), 0.0);
+        assert!((shares[0] - 2.5).abs() < 1e-12, "donor keeps its need");
+        assert!((shares[1] - 3.5).abs() < 1e-12, "applicant topped up");
+        assert_eq!(m.pool().level(), 0.0, "pool drains every round");
+    }
+
+    #[test]
+    fn zero_applicants_leave_shares_bit_identical() {
+        let mut m = market(3, |c| c.min_keep = 0.0);
+        let mut scratch = MarketScratch::default();
+        let powers = [0.2, 0.3, 0.1];
+        let shares = [2.0, 2.0, 2.0];
+        warm(&mut m, &mut scratch, &powers, &shares);
+        let (r, out) = round(&mut m, &mut scratch, 6.0, &powers, &shares);
+        assert!(r.donated_w > 0.0, "everyone has slack to offer");
+        assert_eq!(r.applicants, 0);
+        assert_eq!(r.grants, 0);
+        assert!(!r.moved());
+        assert_eq!(r.residual_w, r.donated_w);
+        assert_eq!(r.conservation_error(), 0.0);
+        assert_eq!(out, shares.to_vec(), "no grants => bit-untouched shares");
+    }
+
+    #[test]
+    fn pool_smaller_than_grant_floor_grants_nothing() {
+        // Fair share is 2 W; the floor is 0.9 * 2 = 1.8 W, but the only
+        // donor offers ~0.4 W, so the lone applicant's pro-rated grant
+        // sits under the floor and the round is a refund.
+        let mut m = market(2, |c| {
+            c.min_keep = 0.0;
+            c.safety_margin = 0.0;
+            c.min_grant = 0.9;
+        });
+        let mut scratch = MarketScratch::default();
+        let powers = [1.6, 3.0];
+        let shares = [2.0, 2.0];
+        warm(&mut m, &mut scratch, &powers, &shares);
+        let (r, out) = round(&mut m, &mut scratch, 4.0, &powers, &shares);
+        assert!(r.donated_w > 0.0 && r.donated_w < 1.8);
+        assert_eq!(r.applicants, 1);
+        assert_eq!(r.grants, 0, "grant under the floor is suppressed");
+        assert_eq!(r.residual_w, r.donated_w);
+        assert_eq!(r.conservation_error(), 0.0);
+        assert_eq!(out, shares.to_vec());
+    }
+
+    #[test]
+    fn shortage_round_pro_rates_and_exhausts_the_pool() {
+        // One donor with 1 W of slack, two applicants asking for 2 W and
+        // 1 W: grants pro-rate 2:1 and drain the pool exactly.
+        let mut m = market(3, |c| {
+            c.min_keep = 0.0;
+            c.safety_margin = 0.0;
+            c.min_grant = 0.0;
+        });
+        let mut scratch = MarketScratch::default();
+        let powers = [1.0, 4.0, 3.0];
+        let shares = [2.0, 2.0, 2.0];
+        warm(&mut m, &mut scratch, &powers, &shares);
+        let (r, out) = round(&mut m, &mut scratch, 6.0, &powers, &shares);
+        assert!((r.donated_w - 1.0).abs() < 1e-12);
+        assert_eq!(r.grants, 2);
+        assert_eq!(r.granted_w, r.donated_w, "pool fully granted");
+        assert_eq!(r.residual_w, 0.0);
+        assert_eq!(r.conservation_error(), 0.0);
+        assert!((out[1] - (2.0 + 2.0 / 3.0)).abs() < 1e-12);
+        assert!((out[2] - (2.0 + 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_keep_floor_caps_donations() {
+        let mut m = market(2, |c| {
+            c.min_keep = 0.5;
+            c.safety_margin = 0.0;
+        });
+        let mut scratch = MarketScratch::default();
+        // Fair share 2 W => keep floor 1 W. An idle donor still keeps it.
+        let powers = [0.0, 3.5];
+        let shares = [2.0, 2.0];
+        warm(&mut m, &mut scratch, &powers, &shares);
+        let (r, out) = round(&mut m, &mut scratch, 4.0, &powers, &shares);
+        assert!((r.donated_w - 1.0).abs() < 1e-12);
+        assert!(out[0] >= 1.0 - 1e-12, "donor never drops below keep floor");
+        assert_eq!(r.conservation_error(), 0.0);
+    }
+
+    #[test]
+    fn rounds_are_deterministic() {
+        let build = || {
+            let mut m = market(4, |c| c.min_grant = 0.1);
+            let mut scratch = MarketScratch::default();
+            let mut ledger = Vec::new();
+            let powers = [0.4, 2.9, 1.7, 0.1];
+            let mut shares = [1.5, 1.5, 1.5, 1.5];
+            for _ in 0..20 {
+                let (r, out) = round(&mut m, &mut scratch, 6.0, &powers, &shares);
+                shares.copy_from_slice(&out);
+                ledger.push((r, out));
+            }
+            ledger
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn warm_up_uses_the_reactive_headroom_estimate() {
+        let mut m = market(1, |c| {
+            c.min_keep = 0.0;
+            c.safety_margin = 0.0;
+            c.headroom = 2.0;
+            c.history = 4;
+        });
+        let mut scratch = MarketScratch::default();
+        // First round: predictor cold, demand = 1.0 * headroom = 2.0, so
+        // a 5 W share donates 3 W (refunded — no applicants).
+        let (r, _) = round(&mut m, &mut scratch, 5.0, &[1.0], &[5.0]);
+        assert!(!m.predictor(0).is_warm());
+        assert!((r.donated_w - 3.0).abs() < 1e-12);
+        assert_eq!(r.conservation_error(), 0.0);
+    }
+
+    #[test]
+    fn deactivated_participants_sit_the_round_out() {
+        // Core 1 would be the biggest donor, but it is benched (dead
+        // sensor): its share passes through untouched, its predictor is
+        // not fed, and only core 0's slack funds core 2's application.
+        let mut m = market(3, |c| {
+            c.min_keep = 0.0;
+            c.safety_margin = 0.0;
+        });
+        let mut scratch = MarketScratch::default();
+        let powers = [1.0, 0.0, 3.0];
+        let shares = [2.0, 2.0, 2.0];
+        warm(&mut m, &mut scratch, &powers, &shares);
+        let fed = m.predictor(1).samples();
+        let (p, s) = scratch.stage();
+        p.extend_from_slice(&powers);
+        s.extend_from_slice(&shares);
+        scratch.deactivate(1);
+        let r = m.step(6.0, &mut scratch);
+        assert_eq!(r.donors, 1);
+        assert_eq!(r.applicants, 1);
+        assert!((r.donated_w - 1.0).abs() < 1e-12, "only core 0 donates");
+        assert_eq!(r.conservation_error(), 0.0);
+        assert_eq!(scratch.shares()[1], 2.0, "benched share untouched");
+        assert_eq!(m.predictor(1).samples(), fed, "benched predictor not fed");
+        // The next staged round resets the marks: core 1 trades again.
+        let (r2, _) = round(&mut m, &mut scratch, 6.0, &powers, &shares);
+        assert_eq!(r2.donors, 2);
+        assert_eq!(m.predictor(1).samples(), fed + 1);
+    }
+
+    #[test]
+    fn prediction_error_is_reported_after_the_first_round() {
+        let mut m = market(1, |c| {
+            c.min_keep = 0.0;
+            c.safety_margin = 0.0;
+            c.headroom = 1.0;
+            c.history = 2;
+        });
+        let mut scratch = MarketScratch::default();
+        let (r0, _) = round(&mut m, &mut scratch, 2.0, &[1.0], &[2.0]);
+        assert_eq!(r0.prediction_abs_err_w, 0.0, "no prior prediction");
+        // Previous prediction was 1.0 (headroom 1.0 x measured 1.0); the
+        // next measurement lands at 1.6.
+        let (r1, _) = round(&mut m, &mut scratch, 2.0, &[1.6], &[2.0]);
+        assert!((r1.prediction_abs_err_w - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-participant power-demand prediction.
+
+/// Forecasts a participant's next-epoch power draw from its measured
+/// history: an exponential moving average blended (by `max`) with the
+/// peak of a short sliding window, so a bursty participant is predicted
+/// at its recent burst level rather than its average — donating slack a
+/// burst is about to reclaim would just bounce watts through the pool.
+///
+/// The window doubles as the warm-up gate: until `window` samples have
+/// been observed, [`BudgetPredictor::is_warm`] is `false` and callers
+/// fall back to the reactive headroom estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetPredictor {
+    alpha: f64,
+    ema: f64,
+    history: Vec<f64>,
+    head: usize,
+    samples: u64,
+}
+
+impl BudgetPredictor {
+    /// A predictor with EMA factor `alpha` (in `(0, 1]`) and a history
+    /// window of `window >= 1` samples. The window buffer is the only
+    /// allocation this type ever makes.
+    pub fn new(alpha: f64, window: usize) -> Self {
+        Self {
+            alpha,
+            ema: 0.0,
+            history: vec![0.0; window.max(1)],
+            head: 0,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one measured power sample (watts).
+    pub fn observe(&mut self, measured_w: f64) {
+        if self.samples == 0 {
+            self.ema = measured_w;
+        } else {
+            self.ema += self.alpha * (measured_w - self.ema);
+        }
+        self.history[self.head] = measured_w;
+        self.head = (self.head + 1) % self.history.len();
+        self.samples += 1;
+    }
+
+    /// Whether the history window has filled; predictions before this
+    /// point should defer to the reactive estimate.
+    pub fn is_warm(&self) -> bool {
+        self.samples >= self.history.len() as u64
+    }
+
+    /// The predicted next-epoch power draw: `max(EMA, window peak)`.
+    /// Meaningful once [`BudgetPredictor::is_warm`]; before that it
+    /// covers only the samples seen so far.
+    pub fn predict(&self) -> f64 {
+        let filled = (self.samples as usize).min(self.history.len());
+        let peak = self.history[..filled]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if filled == 0 {
+            0.0
+        } else {
+            self.ema.max(peak)
+        }
+    }
+
+    /// The current EMA of the measured power.
+    pub fn ema(&self) -> f64 {
+        self.ema
+    }
+
+    /// Total samples observed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_trace_converges_above_the_new_level() {
+        let mut p = BudgetPredictor::new(0.25, 4);
+        for _ in 0..8 {
+            p.observe(1.0);
+        }
+        assert!(p.is_warm());
+        assert!((p.predict() - 1.0).abs() < 1e-12);
+        // Step up: the window peak tracks the jump immediately, the EMA
+        // catches up behind it; prediction never undershoots the level.
+        for _ in 0..8 {
+            p.observe(3.0);
+            assert!(p.predict() >= 3.0 - 1e-12);
+        }
+        assert!((p.predict() - 3.0).abs() < 0.3, "ema={} near 3", p.ema());
+    }
+
+    #[test]
+    fn ramp_trace_tracks_within_one_window() {
+        let mut p = BudgetPredictor::new(0.5, 4);
+        let mut w = 0.0;
+        for step in 0..40 {
+            w = 0.1 * f64::from(step);
+            p.observe(w);
+        }
+        // On a monotone ramp the window peak is the latest sample, so the
+        // prediction is never more than one step behind the true demand.
+        assert!(p.is_warm());
+        assert!(p.predict() >= w - 1e-12);
+        assert!(p.predict() <= w + 0.5);
+    }
+
+    #[test]
+    fn bursty_trace_predicts_the_burst_peak() {
+        let mut p = BudgetPredictor::new(0.2, 6);
+        for i in 0..30 {
+            p.observe(if i % 3 == 0 { 4.0 } else { 1.0 });
+        }
+        // A 6-deep window always holds at least one burst sample, so the
+        // conservative predictor holds at the burst level instead of the
+        // ~2 W average — bursty cores do not donate slack they will need.
+        assert!((p.predict() - 4.0).abs() < 1e-12);
+        assert!(p.ema() < 3.0);
+    }
+
+    #[test]
+    fn warm_up_gate_opens_after_window_samples() {
+        let mut p = BudgetPredictor::new(0.3, 3);
+        assert!(!p.is_warm());
+        assert_eq!(p.predict(), 0.0);
+        p.observe(2.0);
+        p.observe(2.0);
+        assert!(!p.is_warm());
+        p.observe(2.0);
+        assert!(p.is_warm());
+        assert_eq!(p.samples(), 3);
+    }
+}

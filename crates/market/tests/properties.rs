@@ -1,0 +1,101 @@
+//! Property-based tests for the slack market: the conservation identity
+//! `donations − grants − residual == 0` must hold bit-exactly (not
+//! approximately) on every round, for arbitrary power/share vectors and
+//! knob settings, across multi-epoch trajectories.
+
+use odrl_market::{MarketAllocator, MarketConfig, MarketScratch};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every round of a 30-epoch trajectory conserves watts bit-exactly
+    /// and keeps every share non-negative.
+    #[test]
+    fn conservation_is_bit_exact_every_epoch(
+        data in prop::collection::vec((0.0f64..8.0, 0.0f64..6.0), 2..24),
+        safety_margin in 0.0f64..0.5,
+        min_grant in 0.0f64..0.5,
+        min_keep in 0.0f64..0.9,
+        ema in 0.05f64..1.0,
+    ) {
+        let n = data.len();
+        let config = MarketConfig {
+            enabled: true,
+            ema,
+            history: 4,
+            safety_margin,
+            min_grant,
+            min_keep,
+            ..MarketConfig::default()
+        };
+        let mut market = MarketAllocator::new(n, config).unwrap();
+        let mut scratch = MarketScratch::default();
+        let powers: Vec<f64> = data.iter().map(|d| d.0).collect();
+        let mut shares: Vec<f64> = data.iter().map(|d| d.1).collect();
+        let total: f64 = shares.iter().sum();
+        let mut total_donated = 0.0;
+        let mut total_granted = 0.0;
+        for epoch in 0..30u64 {
+            // Perturb the trace deterministically so predictions err.
+            let phase = if epoch % 7 < 3 { 1.0 } else { 0.6 };
+            let (p, s) = scratch.stage();
+            p.extend(powers.iter().map(|w| w * phase));
+            s.extend_from_slice(&shares);
+            let round = market.step(total, &mut scratch);
+            prop_assert_eq!(
+                round.conservation_error(),
+                0.0,
+                "epoch {}: donated {} granted {} residual {}",
+                epoch,
+                round.donated_w,
+                round.granted_w,
+                round.residual_w
+            );
+            prop_assert!(round.granted_w <= round.donated_w + 1e-12);
+            prop_assert!(round.residual_w >= 0.0);
+            prop_assert!(round.pool_peak_w == round.donated_w);
+            for (i, s) in scratch.shares().iter().enumerate() {
+                prop_assert!(*s >= -1e-12, "epoch {epoch}: share {i} went negative: {s}");
+            }
+            shares.copy_from_slice(scratch.shares());
+            total_donated += round.donated_w;
+            total_granted += round.granted_w;
+        }
+        // The pool's lifetime ledger matches the per-round sums and the
+        // pool itself never strands watts between rounds.
+        prop_assert!((market.pool().total_donated() - total_donated).abs() <= 1e-9 * (1.0 + total_donated));
+        prop_assert!((market.pool().total_granted() - total_granted).abs() <= 1e-9 * (1.0 + total_granted));
+        prop_assert_eq!(market.pool().level(), 0.0);
+        prop_assert_eq!(market.rounds(), 30);
+    }
+
+    /// A grant-free round (no applicants: shares already exceed every
+    /// need) hands back the staged shares bit-identically.
+    #[test]
+    fn grant_free_rounds_do_not_perturb_shares(
+        powers in prop::collection::vec(0.0f64..1.0, 2..16),
+        margin in 0.0f64..0.2,
+    ) {
+        let n = powers.len();
+        let config = MarketConfig {
+            enabled: true,
+            min_keep: 0.0,
+            safety_margin: margin,
+            ..MarketConfig::default()
+        };
+        let mut market = MarketAllocator::new(n, config).unwrap();
+        let mut scratch = MarketScratch::default();
+        // Shares generous enough that nobody ever applies.
+        let shares = vec![10.0f64; n];
+        for _ in 0..10 {
+            let (p, s) = scratch.stage();
+            p.extend_from_slice(&powers);
+            s.extend_from_slice(&shares);
+            let round = market.step(10.0 * n as f64, &mut scratch);
+            prop_assert_eq!(round.grants, 0);
+            prop_assert!(!round.moved());
+            prop_assert_eq!(scratch.shares(), shares.as_slice());
+        }
+    }
+}

@@ -117,6 +117,27 @@ pub enum Event {
         /// Watts redistributed this epoch.
         freed_w: f64,
     },
+    /// The slack market collected donations this round (chip-wide at
+    /// chip scope; per-fleet at rack scope). Recorded only on rounds
+    /// where slack was actually offered.
+    MarketDonation {
+        /// Watts donated into the reclaim pool (also the pool's peak
+        /// level this round — the pool drains back to zero).
+        donated_w: f64,
+    },
+    /// The slack market granted reclaimed watts to over-budget
+    /// applicants this round.
+    MarketGrant {
+        /// Watts granted out of the reclaim pool.
+        granted_w: f64,
+    },
+    /// The market's demand predictor missed: sum of per-participant
+    /// |measured − predicted| for this round. Recorded only when a
+    /// previous prediction existed and the error is non-zero.
+    MarketPrediction {
+        /// Aggregate absolute prediction error, watts.
+        abs_err_w: f64,
+    },
     /// A per-core RL agent explored (took a non-greedy action).
     RlChoice {
         /// The VF level index the agent chose.
@@ -160,11 +181,14 @@ impl Event {
             Self::OvershootOnset { .. } | Self::OvershootEnd { .. } => 1,
             Self::BudgetRealloc { .. } => 2,
             Self::BudgetRedistribution { .. } => 3,
-            Self::RlChoice { .. } => 4,
-            Self::FaultInjected { .. } => 5,
-            Self::FaultCleared { .. } => 6,
-            Self::VfAction { .. } => 7,
-            Self::Epoch { .. } => 8,
+            Self::MarketDonation { .. } => 4,
+            Self::MarketGrant { .. } => 5,
+            Self::MarketPrediction { .. } => 6,
+            Self::RlChoice { .. } => 7,
+            Self::FaultInjected { .. } => 8,
+            Self::FaultCleared { .. } => 9,
+            Self::VfAction { .. } => 10,
+            Self::Epoch { .. } => 11,
         }
     }
 
@@ -175,6 +199,9 @@ impl Event {
             Self::OvershootOnset { .. } | Self::OvershootEnd { .. } => "overshoot",
             Self::BudgetRealloc { .. } => "realloc",
             Self::BudgetRedistribution { .. } => "redistribution",
+            Self::MarketDonation { .. }
+            | Self::MarketGrant { .. }
+            | Self::MarketPrediction { .. } => "market",
             Self::RlChoice { .. } => "rl",
             Self::FaultInjected { .. } | Self::FaultCleared { .. } => "fault",
             Self::VfAction { .. } => "vf",
@@ -192,6 +219,9 @@ impl Event {
             Self::OvershootEnd { epochs } => format!("end after {epochs} ep"),
             Self::BudgetRealloc { magnitude_w } => format!("moved {magnitude_w:.3} W"),
             Self::BudgetRedistribution { freed_w } => format!("freed {freed_w:.3} W"),
+            Self::MarketDonation { donated_w } => format!("donated {donated_w:.3} W"),
+            Self::MarketGrant { granted_w } => format!("granted {granted_w:.3} W"),
+            Self::MarketPrediction { abs_err_w } => format!("pred err {abs_err_w:.3} W"),
             Self::RlChoice { action, explored } => {
                 format!("{} a={action}", if explored { "explore" } else { "exploit" })
             }
@@ -306,6 +336,17 @@ mod tests {
         assert!(wd.rank() < rl.rank());
         assert!(rl.rank() < Event::FaultInjected { class: FaultClass::Sensor }.rank());
         assert!(vf.rank() < ep.rank());
+        // Market events sit between the reactive budget events and the
+        // per-core RL choices — that is where the pass runs in the loop.
+        let donation = Event::MarketDonation { donated_w: 1.0 };
+        let grant = Event::MarketGrant { granted_w: 0.5 };
+        let pred = Event::MarketPrediction { abs_err_w: 0.1 };
+        assert!(Event::BudgetRedistribution { freed_w: 0.0 }.rank() < donation.rank());
+        assert!(donation.rank() < grant.rank());
+        assert!(grant.rank() < pred.rank());
+        assert!(pred.rank() < rl.rank());
+        assert_eq!(donation.kind_name(), "market");
+        assert_eq!(grant.detail(), "granted 0.500 W");
     }
 
     #[test]
