@@ -195,6 +195,52 @@ fn quantized_steady_state_allocates_nothing() {
 }
 
 #[test]
+fn quantized_fleet_steady_state_allocates_nothing() {
+    // Fleet-scope arm of the quantized gate: four chips on the banked
+    // fixed-point layout under the rack arbiter. When the `simd` feature is
+    // on, this is the arm that proves the SIMD decide path *and* the
+    // batched per-shard ε-draw refill (the `eps_draws` block the controller
+    // fills from each core's own stream) stay allocation-free — the draw
+    // buffer is sized at build time and refilled in place.
+    let scenario = Scenario {
+        cores: 16,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 42,
+        parallelism: Parallelism::Serial,
+    };
+    let mut fleet = RunBuilder::new(scenario)
+        .controller(ControllerKind::OdRl)
+        .odrl(OdRlConfig {
+            layout: QTableLayout::Quantized,
+            ..OdRlConfig::default()
+        })
+        .arbiter_period(25)
+        .build_fleet(4)
+        .expect("valid quantized fleet configuration");
+
+    // Warmup: sizes per-chip scratch (including the ε-draw buffers) and
+    // passes one arbiter round (epoch 25).
+    for _ in 0..45 {
+        fleet.step_epoch().expect("fleet epoch completes");
+    }
+
+    let a0 = allocs::allocations();
+    let b0 = allocs::allocated_bytes();
+    // Crosses arbiter rounds at epochs 50 and 75.
+    for _ in 0..50 {
+        fleet.step_epoch().expect("fleet epoch completes");
+    }
+    let da = allocs::allocations() - a0;
+    let db = allocs::allocated_bytes() - b0;
+    assert_eq!(
+        da, 0,
+        "quantized fleet steady-state epochs allocated {da} times ({db} bytes) over 50 epochs"
+    );
+}
+
+#[test]
 fn market_arm_steady_state_allocates_nothing() {
     // Same gate with the predictive slack market on every epoch: the
     // predictors, reclaim pool and market scratch are all sized at

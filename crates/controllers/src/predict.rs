@@ -88,8 +88,12 @@ impl Predictor {
     fn each_point(&self, core: &CoreObservation, mut f: impl FnMut(PredictedPoint)) {
         let params = core.counters;
         for (id, level) in self.spec.vf_table.iter() {
-            let ips = self.spec.perf.ips(&params, level.frequency);
-            let busy = params.cpi_base / self.spec.perf.effective_cpi(&params, level.frequency);
+            // One effective-CPI evaluation feeds both the IPS and the busy
+            // fraction; `PerfModel::ips` is frequency / effective_cpi, so
+            // sharing the divisor is bit-identical to evaluating it twice.
+            let ecpi = self.spec.perf.effective_cpi(&params, level.frequency);
+            let ips = level.frequency.to_hertz() / ecpi;
+            let busy = params.cpi_base / ecpi;
             let activity = params.activity * (0.3 + 0.7 * busy);
             let power = self
                 .spec

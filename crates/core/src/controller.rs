@@ -55,12 +55,102 @@ impl CoreAgent {
         }
     }
 
+    /// Like [`CoreAgent::decide`] with the leading ε draw supplied by the
+    /// controller's batched block refill (`simd` feature): `draw` is the
+    /// raw `next_u64` this core's RNG would have produced. Per-core draw
+    /// order is unchanged, so seeded runs match the unbatched path.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    fn decide_prepared<R: Rng + ?Sized>(
+        &mut self,
+        algorithm: Algorithm,
+        s_next: usize,
+        draw: u64,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool, f64), RlError> {
+        match self {
+            Self::Single(agent) => match algorithm {
+                Algorithm::Sarsa => agent.decide_sarsa_prepared(s_next, draw, rng, cache),
+                _ => agent.decide_q_prepared(s_next, draw, rng, cache),
+            },
+            Self::Double(agent) => agent.decide_prepared(s_next, draw, rng, cache),
+        }
+    }
+
+    /// The banked row and scale the next decision in `s_next` would scan,
+    /// when this agent can consume a block-scanned argmax (single-agent
+    /// quantized storage only — a double agent scans the sum of two
+    /// tables, which the block kernel does not model).
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[inline]
+    fn quant_row(&self, s_next: usize) -> Option<(&[i16], f32)> {
+        match self {
+            Self::Single(a) => a.quant_row(s_next),
+            Self::Double(_) => None,
+        }
+    }
+
+    /// [`CoreAgent::decide_prepared`] with the row scan hoisted into a
+    /// [`odrl_rl::kernel::scan_rows`] batch: `best`/`max_v` are that
+    /// batch's results for this agent. Only reachable behind
+    /// [`CoreAgent::quant_row`] returning `Some`, so the double-agent arm
+    /// is unreachable.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn decide_scanned<R: Rng + ?Sized>(
+        &mut self,
+        algorithm: Algorithm,
+        s_next: usize,
+        best: usize,
+        max_v: f64,
+        draw: u64,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool, f64), RlError> {
+        match self {
+            Self::Single(agent) => match algorithm {
+                Algorithm::Sarsa => agent.decide_sarsa_scanned(s_next, best, draw, rng, cache),
+                _ => agent.decide_q_scanned(s_next, best, max_v, draw, rng, cache),
+            },
+            Self::Double(agent) => agent.decide_prepared(s_next, draw, rng, cache),
+        }
+    }
+
+    /// Whether this agent's policy consumes exactly one leading uniform
+    /// draw per decision — the gate for the batched ε refill.
+    fn pre_draws(&self) -> bool {
+        match self {
+            Self::Single(a) => a.policy_pre_draws(),
+            Self::Double(a) => a.policy_pre_draws(),
+        }
+    }
+
     /// The learn half: applies the TD update for `(s, a, reward)` with the
     /// bootstrap captured by the same epoch's [`CoreAgent::decide`].
     fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
         match self {
             Self::Single(agent) => agent.learn(s, a, reward, bootstrap),
             Self::Double(agent) => agent.learn(s, a, reward, bootstrap),
+        }
+    }
+
+    /// [`CoreAgent::learn`] through the agents' inlinable entry points —
+    /// the batched learn pass's variant (`simd` feature), so the TD-step
+    /// chain flattens into the shard loop instead of paying three
+    /// cross-crate calls per core.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[inline]
+    fn learn_prepared(
+        &mut self,
+        s: usize,
+        a: usize,
+        reward: f64,
+        bootstrap: f64,
+    ) -> Result<(), RlError> {
+        match self {
+            Self::Single(agent) => agent.learn_prepared(s, a, reward, bootstrap),
+            Self::Double(agent) => agent.learn_prepared(s, a, reward, bootstrap),
         }
     }
 
@@ -73,6 +163,38 @@ impl CoreAgent {
             Self::Double(a) => {
                 a.qa().prefetch_row(s);
                 a.qb().prefetch_row(s);
+            }
+        }
+    }
+
+    /// Like [`CoreAgent::prefetch`] but covers the row scale too — the
+    /// batched decide pass (`simd` feature) runs this several agents
+    /// ahead, because the lighter SIMD scan no longer has enough work per
+    /// core to hide a miss behind a single-step pipeline.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[inline]
+    fn prefetch_select(&self, s: usize) {
+        match self {
+            Self::Single(a) => a.q().prefetch_select(s),
+            Self::Double(a) => {
+                a.qa().prefetch_select(s);
+                a.qb().prefetch_select(s);
+            }
+        }
+    }
+
+    /// Hints the CPU at everything the pending TD update of `(s, a)` will
+    /// touch (bank lane, row scale, visit counter — separate allocations
+    /// on the quantized layout). The learn pass (`simd` feature) issues
+    /// this several agents ahead.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[inline]
+    fn prefetch_update(&self, s: usize, a: usize) {
+        match self {
+            Self::Single(ag) => ag.q().prefetch_update(s, a),
+            Self::Double(ag) => {
+                ag.qa().prefetch_update(s, a);
+                ag.qb().prefetch_update(s, a);
             }
         }
     }
@@ -171,6 +293,19 @@ pub struct OdRlController {
     /// chunk-base slot inside the parallel region and folded into the
     /// stage timers afterwards. Scratch, sized once.
     rl_ns: Vec<[u64; 2]>,
+    /// Pre-drawn raw ε draws, one `next_u64` per core, refilled block-wide
+    /// inside each shard by the batched decide pass (`simd` feature).
+    /// Scratch, sized once.
+    eps_draws: Vec<u64>,
+    /// Memory-boundedness bin per core, cached by the batched decide
+    /// pass's encode sweep and reused by the learn pass (the same
+    /// observation feeds both, so re-deriving it would repeat two
+    /// divisions per core). Scratch, sized once.
+    mem_phase: Vec<u16>,
+    /// Whether every agent's policy pre-draws exactly one leading uniform
+    /// (see `Policy::pre_draws_uniform`) — the gate for the batched ε
+    /// refill. Recomputed whenever the agents are replaced.
+    eps_batchable: bool,
     /// Telemetry-health tracker, present when the config enables it.
     watchdog: Option<SensorWatchdog>,
     /// Unreliable budget-message link, present after
@@ -296,6 +431,7 @@ impl OdRlController {
             .watchdog
             .enabled
             .then(|| SensorWatchdog::new(config.watchdog, spec.cores));
+        let eps_batchable = agents.iter().all(CoreAgent::pre_draws);
         Ok(Self {
             shaper: RewardShaper::new(spec.cores, encoder.num_mem_bins(), config.overshoot_penalty),
             budgets: BudgetAllocator::fair_split(initial_budget, spec.cores),
@@ -314,6 +450,9 @@ impl OdRlController {
             spare: Vec::new(),
             boots: vec![0.0; spec.cores],
             rl_ns: vec![[0, 0]; spec.cores],
+            eps_draws: vec![0; spec.cores],
+            mem_phase: vec![0; spec.cores],
+            eps_batchable,
             watchdog,
             channel: None,
             mask: UpdateMask::new(spec.cores),
@@ -471,6 +610,9 @@ impl OdRlController {
             });
         }
         self.agents = snapshot.agents;
+        // Imported agents may carry any policy; re-derive the batched-ε
+        // eligibility from what actually arrived.
+        self.eps_batchable = self.agents.iter().all(CoreAgent::pre_draws);
         // Rewards already earned under the old tables are stale.
         self.pending = None;
         Ok(())
@@ -776,6 +918,12 @@ impl PowerController for OdRlController {
             // only happens on the rare exploration epochs.
             let trace_rings = self.tracer.as_deref().map(CtrlTracer::shard_rings);
             let chunk = n.div_ceil(config.parallelism.shards(n));
+            // The batched decide path splits the per-core loop into
+            // lane-friendly passes (encode → ε refill → scan/select). It
+            // requires every policy to pre-draw exactly one uniform and is
+            // compiled in only with the `simd` feature, so feature-off
+            // builds run the interleaved loop byte-for-byte.
+            let batched = cfg!(feature = "simd") && self.eps_batchable;
             let (rows, _) = self.shaper.rows_view().split_at_mut(n);
             let (mask_bits, _) = self.mask.as_mut_slice().split_at_mut(n);
             shard_chunks(
@@ -787,9 +935,11 @@ impl PowerController for OdRlController {
                     &mut decisions[..n],
                     mask_bits,
                     &mut self.boots[..n],
+                    &mut self.eps_draws[..n],
+                    &mut self.mem_phase[..n],
                     &mut self.rl_ns[..n],
                 ),
-                move |base, (agents, rngs, mut rows, dec, valid, boots, rl_ns)| {
+                move |base, (agents, rngs, mut rows, dec, valid, boots, draws, mem_phase, rl_ns)| {
                     // Per-shard epsilon memo: every lockstep agent shares the
                     // same (schedule, step) pair, so one `exp()` serves the
                     // whole shard instead of one per core.
@@ -808,90 +958,321 @@ impl PowerController for OdRlController {
                         };
                         encoder.encode(&obs.cores[i], afford)
                     };
-                    // Decide pass, software-pipelined one core ahead: while
-                    // core j's row is scanned, core j+1's state is encoded
-                    // and its Q-row prefetched, hiding the row's memory
-                    // latency behind the previous scan. Per-core RNG
-                    // streams keep the draws independent of this order.
-                    let t_decide = Instant::now();
-                    if len > 0 {
-                        dec[0].0 = encode(base);
-                        agents[0].prefetch(dec[0].0);
-                    }
-                    for j in 0..len {
-                        if j + 1 < len {
-                            let s = encode(base + j + 1);
-                            dec[j + 1].0 = s;
-                            agents[j + 1].prefetch(s);
-                        }
-                        let i = base + j;
-                        let s_next = dec[j].0;
-                        // A dead core takes no decision: pin it to the
-                        // floor and taint the recorded pair so the agent
-                        // never learns from a transition it did not choose.
-                        if wd.is_some_and(|w| w.is_dead(i)) {
-                            valid[j] = false;
-                            dec[j] = (s_next, 0);
-                            boots[j] = 0.0;
-                            continue;
-                        }
-                        let (a_next, explored, bootstrap) = agents[j]
-                            .decide(config.algorithm, s_next, &mut rngs[j], &mut cache)
-                            .expect("encoded state and indices are in range");
-                        boots[j] = bootstrap;
-                        if explored {
-                            if let Some(rings) = trace_rings {
-                                rings[base / chunk].lock().expect("shard ring poisoned").record(
-                                    epoch,
-                                    i as u32,
-                                    Event::RlChoice {
-                                        action: a_next as u8,
-                                        explored: true,
-                                    },
-                                );
+                    // Batched-pass variant: also captures the mem bin so
+                    // the learn pass can reuse it.
+                    #[cfg(feature = "simd")]
+                    let encode_mem = |i: usize| {
+                        let p_max = max_seen[i];
+                        let afford = if p_max > 0.0 {
+                            (budgets[i] * scale).value() / p_max
+                        } else {
+                            f64::INFINITY
+                        };
+                        encoder.encode_with_mem(&obs.cores[i], afford)
+                    };
+                    if batched {
+                        // Batched decide + learn, fused block by block
+                        // (cache tiling: a whole-shard pass walks more
+                        // agent rows than L1/L2 hold, so by the time a
+                        // later pass returned to an agent its prefetched
+                        // row was evicted again; a 64-agent block stays
+                        // resident across all four passes). Per block:
+                        // (1) encode every state, prefetch its row and
+                        // the pending update's target lanes.
+                        // (2) Refill the block's ε draws — one `next_u64`
+                        // per live core from that core's own stream, so
+                        // per-core draw order (ε uniform, then the action
+                        // draw only when exploring) matches the
+                        // interleaved path exactly. (3) Scan + select
+                        // with the ε branch consuming the pre-drawn
+                        // value. (4) Learn: price last epoch's transition
+                        // and TD-step it while the agent's scale line and
+                        // the core's observation are still hot from the
+                        // decide passes. Core j's decide completes before
+                        // its learn, cores touch only their own tables
+                        // and shaper rows, and blocks run in core order,
+                        // so trace records and all per-core values are
+                        // bit-identical to the split whole-shard passes.
+                        //
+                        // Per-block timer stamps keep the decide/learn
+                        // substage split honest: ~3 clock reads per 64
+                        // cores is ~1 ns/core of overhead.
+                        //
+                        // All the parallel arrays are exactly `len` items
+                        // (one-time asserts, so the indexed passes below
+                        // run without per-iteration bounds checks).
+                        assert!(
+                            dec.len() == len
+                                && draws.len() == len
+                                && boots.len() == len
+                                && valid.len() == len
+                                && mem_phase.len() == len
+                                && rngs.len() == len
+                        );
+                        const BLOCK: usize = 64;
+                        let (mut decide_acc, mut learn_acc) = (0u64, 0u64);
+                        // Last epoch's update targets are known before any
+                        // pass runs, so their lanes prefetch one block
+                        // ahead: block B's pass 2 requests block B+1's
+                        // lines, giving them two full passes (~2 µs) to
+                        // land before B+1's learn touches them, and
+                        // keeping the requests out of the encode pass,
+                        // which is already streaming the observations.
+                        let prefetch_updates =
+                            |agents: &[CoreAgent], from: usize, to: usize| {
+                                if let Some(pending) = old_pending {
+                                    for k in from..to {
+                                        let (ps, pa) = pending[base + k];
+                                        agents[k].prefetch_update(ps, pa);
+                                    }
+                                }
+                            };
+                        prefetch_updates(agents, 0, BLOCK.min(len));
+                        let mut blk = 0usize;
+                        while blk < len {
+                            let end = (blk + BLOCK).min(len);
+                            let t0 = Instant::now();
+                            for j in blk..end {
+                                #[cfg(feature = "simd")]
+                                let (s, mb) = encode_mem(base + j);
+                                #[cfg(not(feature = "simd"))]
+                                let (s, mb) = (encode(base + j), 0usize);
+                                dec[j].0 = s;
+                                mem_phase[j] = mb as u16;
+                                agents[j].prefetch_select(s);
                             }
+                            prefetch_updates(agents, end, (end + BLOCK).min(len));
+                            for j in blk..end {
+                                if wd.is_some_and(|w| w.is_dead(base + j)) {
+                                    continue;
+                                }
+                                draws[j] = rngs[j].next_u64();
+                            }
+                            // Pass 3a: one dispatched kernel call scans
+                            // the whole block's rows (single-agent
+                            // quantized layout only — `quant_row` returns
+                            // `None` otherwise and the per-core scans
+                            // below take over). Each row's result is
+                            // exactly what that core's `decide_prepared`
+                            // would have computed, so pass 3b just feeds
+                            // it back; dead cores' rows are scanned too
+                            // (a pure read) and the result ignored.
+                            let mut scans = [(0u16, 0f64); BLOCK];
+                            let scanned = {
+                                const EMPTY_ROW: &[i16] = &[];
+                                let mut rows_buf: [(&[i16], f32); BLOCK] =
+                                    [(EMPTY_ROW, 0.0); BLOCK];
+                                let m = end - blk;
+                                let mut ok = true;
+                                for j in blk..end {
+                                    match agents[j].quant_row(dec[j].0) {
+                                        Some(pair) => rows_buf[j - blk] = pair,
+                                        None => {
+                                            ok = false;
+                                            break;
+                                        }
+                                    }
+                                }
+                                if ok {
+                                    odrl_rl::kernel::scan_rows(&rows_buf[..m], &mut scans[..m]);
+                                }
+                                ok
+                            };
+                            for j in blk..end {
+                                let i = base + j;
+                                let s_next = dec[j].0;
+                                // A dead core takes no decision: pin it
+                                // to the floor and taint the recorded
+                                // pair so the agent never learns from a
+                                // transition it did not choose.
+                                if wd.is_some_and(|w| w.is_dead(i)) {
+                                    valid[j] = false;
+                                    dec[j] = (s_next, 0);
+                                    boots[j] = 0.0;
+                                    continue;
+                                }
+                                let (a_next, explored, bootstrap) = if scanned {
+                                    let (b, mv) = scans[j - blk];
+                                    agents[j].decide_scanned(
+                                        config.algorithm,
+                                        s_next,
+                                        usize::from(b),
+                                        mv,
+                                        draws[j],
+                                        &mut rngs[j],
+                                        &mut cache,
+                                    )
+                                } else {
+                                    agents[j].decide_prepared(
+                                        config.algorithm,
+                                        s_next,
+                                        draws[j],
+                                        &mut rngs[j],
+                                        &mut cache,
+                                    )
+                                }
+                                .expect("encoded state and indices are in range");
+                                boots[j] = bootstrap;
+                                if explored {
+                                    if let Some(rings) = trace_rings {
+                                        rings[base / chunk]
+                                            .lock()
+                                            .expect("shard ring poisoned")
+                                            .record(
+                                                epoch,
+                                                i as u32,
+                                                Event::RlChoice {
+                                                    action: a_next as u8,
+                                                    explored: true,
+                                                },
+                                            );
+                                    }
+                                }
+                                dec[j] = (s_next, a_next);
+                            }
+                            let t1 = Instant::now();
+                            decide_acc += t1.duration_since(t0).as_nanos() as u64;
+                            if let Some(pending) = old_pending {
+                                for j in blk..end {
+                                    let agent = &mut agents[j];
+                                    let i = base + j;
+                                    if !prev_valid[i] || wd.is_some_and(|w| w.is_dead(i)) {
+                                        continue;
+                                    }
+                                    let (s, a) = pending[i];
+                                    // The encode sweep above cached this
+                                    // epoch's mem bin, saving the two
+                                    // divisions `mem_bin` would redo.
+                                    let phase = usize::from(mem_phase[j]);
+                                    // A stale sensor prices the transition
+                                    // with the last good reading against a
+                                    // margin-reduced budget: conservative
+                                    // while partially blind.
+                                    let (power, local_budget) = match wd {
+                                        Some(w) if w.is_stale(i) => {
+                                            (w.held_power(i), budgets[i] * (scale * w.margin()))
+                                        }
+                                        _ => (obs.cores[i].power, budgets[i] * scale),
+                                    };
+                                    let mut r = rows.reward(
+                                        j,
+                                        phase,
+                                        obs.cores[i].ips,
+                                        power,
+                                        local_budget,
+                                    );
+                                    if let Some(limit) = config.thermal_limit {
+                                        let excess =
+                                            (obs.cores[i].temperature.value() - limit).max(0.0);
+                                        r -= config.thermal_penalty * excess / 10.0;
+                                    }
+                                    agent
+                                        .learn_prepared(s, a, r, boots[j])
+                                        .expect("recorded state and action are in range");
+                                }
+                            }
+                            learn_acc += t1.elapsed().as_nanos() as u64;
+                            blk = end;
                         }
-                        dec[j] = (s_next, a_next);
-                    }
-                    let decide_ns = t_decide.elapsed().as_nanos() as u64;
-                    // Learn pass: price last epoch's transition and apply
-                    // the TD update with the bootstrap the decide pass read
-                    // from the pre-update table — exactly what the fused
-                    // select+update computed, so splitting the passes is
-                    // bit-identical. The reward draws no randomness and
-                    // each core touches only its own shaper row, so the
-                    // reordering changes nothing else.
-                    let t_learn = Instant::now();
-                    if let Some(pending) = old_pending {
-                        for (j, agent) in agents.iter_mut().enumerate() {
+                        rl_ns[0] = [decide_acc, learn_acc];
+                    } else {
+                        let t_decide = Instant::now();
+                        // Decide pass, software-pipelined one core ahead:
+                        // while core j's row is scanned, core j+1's state
+                        // is encoded and its Q-row prefetched, hiding the
+                        // row's memory latency behind the previous scan.
+                        // Per-core RNG streams keep the draws independent
+                        // of this order.
+                        if len > 0 {
+                            dec[0].0 = encode(base);
+                            agents[0].prefetch(dec[0].0);
+                        }
+                        for j in 0..len {
+                            if j + 1 < len {
+                                let s = encode(base + j + 1);
+                                dec[j + 1].0 = s;
+                                agents[j + 1].prefetch(s);
+                            }
                             let i = base + j;
-                            if !prev_valid[i] || wd.is_some_and(|w| w.is_dead(i)) {
+                            let s_next = dec[j].0;
+                            // A dead core takes no decision: pin it to the
+                            // floor and taint the recorded pair so the
+                            // agent never learns from a transition it did
+                            // not choose.
+                            if wd.is_some_and(|w| w.is_dead(i)) {
+                                valid[j] = false;
+                                dec[j] = (s_next, 0);
+                                boots[j] = 0.0;
                                 continue;
                             }
-                            let (s, a) = pending[i];
-                            let phase = encoder.mem_bin(&obs.cores[i]);
-                            // A stale sensor prices the transition with
-                            // the last good reading against a
-                            // margin-reduced budget: conservative while
-                            // partially blind.
-                            let (power, local_budget) = match wd {
-                                Some(w) if w.is_stale(i) => {
-                                    (w.held_power(i), budgets[i] * (scale * w.margin()))
+                            let (a_next, explored, bootstrap) = agents[j]
+                                .decide(config.algorithm, s_next, &mut rngs[j], &mut cache)
+                                .expect("encoded state and indices are in range");
+                            boots[j] = bootstrap;
+                            if explored {
+                                if let Some(rings) = trace_rings {
+                                    rings[base / chunk]
+                                        .lock()
+                                        .expect("shard ring poisoned")
+                                        .record(
+                                            epoch,
+                                            i as u32,
+                                            Event::RlChoice {
+                                                action: a_next as u8,
+                                                explored: true,
+                                            },
+                                        );
                                 }
-                                _ => (obs.cores[i].power, budgets[i] * scale),
-                            };
-                            let mut r =
-                                rows.reward(j, phase, obs.cores[i].ips, power, local_budget);
-                            if let Some(limit) = config.thermal_limit {
-                                let excess = (obs.cores[i].temperature.value() - limit).max(0.0);
-                                r -= config.thermal_penalty * excess / 10.0;
                             }
-                            agent
-                                .learn(s, a, r, boots[j])
-                                .expect("recorded state and action are in range");
+                            dec[j] = (s_next, a_next);
                         }
+                        let decide_ns = t_decide.elapsed().as_nanos() as u64;
+                        // Learn pass: price last epoch's transition and
+                        // apply the TD update with the bootstrap the decide
+                        // pass read from the pre-update table — exactly
+                        // what the fused select+update computed, so
+                        // splitting the passes is bit-identical. The reward
+                        // draws no randomness and each core touches only
+                        // its own shaper row, so the reordering changes
+                        // nothing else.
+                        let t_learn = Instant::now();
+                        if let Some(pending) = old_pending {
+                            for (j, agent) in agents.iter_mut().enumerate() {
+                                let i = base + j;
+                                if !prev_valid[i] || wd.is_some_and(|w| w.is_dead(i)) {
+                                    continue;
+                                }
+                                let (s, a) = pending[i];
+                                let phase = encoder.mem_bin(&obs.cores[i]);
+                                // A stale sensor prices the transition with
+                                // the last good reading against a
+                                // margin-reduced budget: conservative while
+                                // partially blind.
+                                let (power, local_budget) = match wd {
+                                    Some(w) if w.is_stale(i) => {
+                                        (w.held_power(i), budgets[i] * (scale * w.margin()))
+                                    }
+                                    _ => (obs.cores[i].power, budgets[i] * scale),
+                                };
+                                let mut r = rows.reward(
+                                    j,
+                                    phase,
+                                    obs.cores[i].ips,
+                                    power,
+                                    local_budget,
+                                );
+                                if let Some(limit) = config.thermal_limit {
+                                    let excess =
+                                        (obs.cores[i].temperature.value() - limit).max(0.0);
+                                    r -= config.thermal_penalty * excess / 10.0;
+                                }
+                                agent
+                                    .learn(s, a, r, boots[j])
+                                    .expect("recorded state and action are in range");
+                            }
+                        }
+                        rl_ns[0] = [decide_ns, t_learn.elapsed().as_nanos() as u64];
                     }
-                    rl_ns[0] = [decide_ns, t_learn.elapsed().as_nanos() as u64];
                 },
             );
             chunk

@@ -106,6 +106,32 @@ impl StateEncoder {
                 .expect("bins are in range by construction")
         }
     }
+
+    /// [`encode`](Self::encode) that also hands back the
+    /// memory-boundedness bin it computed along the way — the same value
+    /// [`mem_bin`](Self::mem_bin) would return for this observation, so a
+    /// decide pass can cache it for the learn pass instead of re-deriving
+    /// it (two extra divisions per core).
+    pub fn encode_with_mem(&self, core: &CoreObservation, affordability: f64) -> (usize, usize) {
+        let a = if affordability.is_finite() {
+            affordability
+        } else {
+            f64::MAX
+        };
+        let ab = self.afford.bin(a);
+        let mb = self.mem.bin(core.memory_boundedness());
+        let s = if self.include_level {
+            let lv = core.level.index().min(self.levels - 1);
+            self.space
+                .index(&[ab, mb, lv])
+                .expect("bins are in range by construction")
+        } else {
+            self.space
+                .index(&[ab, mb])
+                .expect("bins are in range by construction")
+        };
+        (s, mb)
+    }
 }
 
 #[cfg(test)]

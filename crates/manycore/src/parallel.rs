@@ -145,7 +145,7 @@ where
 /// Per-core state that can be split into contiguous shard chunks for
 /// in-place sharded mutation (see [`shard_chunks`]).
 ///
-/// Implemented for `&mut [T]` and for tuples of up to seven `ShardSplit`
+/// Implemented for `&mut [T]` and for tuples of up to nine `ShardSplit`
 /// values of equal length, so a pass over several parallel arrays (the
 /// struct-of-arrays layout in [`crate::soa::CoreArrays`]) can be sharded
 /// without collecting results into a fresh `Vec`.
@@ -190,6 +190,8 @@ impl_shard_split_tuple!(A: 0, B: 1, C: 2, D: 3);
 impl_shard_split_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
 impl_shard_split_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 impl_shard_split_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_shard_split_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+impl_shard_split_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
 
 /// Runs `f(base_index, chunk)` over contiguous chunks of `state`, sharded
 /// across pool workers.

@@ -194,6 +194,20 @@ impl SensorModel {
                 && spares.len() == n,
             "measure_block slices must have equal length"
         );
+        // Quantise and clamp fused into each branch's single pass: the
+        // per-element op order (noise → round-to-grid → clamp) is exactly
+        // what the separate trailing passes applied, so readings stay
+        // bit-identical — but each core's reading is now written once
+        // instead of read-modify-written by two extra sweeps.
+        let q = self.quantum;
+        let finish = |value: f64| -> Watts {
+            let v = if q > 0.0 {
+                (value / q).round() * q
+            } else {
+                value
+            };
+            Watts::new(v.max(0.0))
+        };
         if self.noise_rel > 0.0 {
             let noise_rel = self.noise_rel;
             if spares.iter().all(|s| s.is_nan()) {
@@ -205,11 +219,11 @@ impl SensorModel {
                     let r = (-2.0 * u1[i].ln()).sqrt();
                     let (sin, cos) = (2.0 * std::f64::consts::PI * u2[i]).sin_cos();
                     spares[i] = r * sin;
-                    out[i] = Watts::new(truth[i].value() * (1.0 + noise_rel * (r * cos)));
+                    out[i] = finish(truth[i].value() * (1.0 + noise_rel * (r * cos)));
                 }
             } else if spares.iter().all(|s| !s.is_nan()) {
                 for i in 0..n {
-                    out[i] = Watts::new(truth[i].value() * (1.0 + noise_rel * spares[i]));
+                    out[i] = finish(truth[i].value() * (1.0 + noise_rel * spares[i]));
                     spares[i] = f64::NAN;
                 }
             } else {
@@ -217,20 +231,13 @@ impl SensorModel {
                 // a faulted stretch left some cores mid-pair).
                 for i in 0..n {
                     let g = next_gauss(&mut rngs[i], &mut spares[i]);
-                    out[i] = Watts::new(truth[i].value() * (1.0 + noise_rel * g));
+                    out[i] = finish(truth[i].value() * (1.0 + noise_rel * g));
                 }
             }
         } else {
-            out.copy_from_slice(truth);
-        }
-        if self.quantum > 0.0 {
-            let q = self.quantum;
-            for v in out.iter_mut() {
-                *v = Watts::new((v.value() / q).round() * q);
+            for (o, t) in out.iter_mut().zip(truth) {
+                *o = finish(t.value());
             }
-        }
-        for v in out.iter_mut() {
-            *v = Watts::new(v.value().max(0.0));
         }
     }
 }

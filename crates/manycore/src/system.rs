@@ -537,6 +537,12 @@ impl System {
                     &mut instructions[..],
                 ),
                 |base, (streams, activity, instructions)| {
+                    // Two lane-friendly sweeps instead of one interleaved
+                    // loop: the activity/instruction arithmetic is pure
+                    // slice math the compiler vectorizes once the branchy
+                    // stream advance (per-core RNG + phase state) no longer
+                    // sits in the middle of it. Per-core results are
+                    // independent, so the split is bit-identical.
                     for j in 0..activity.len() {
                         let i = base + j;
                         let (instr, idle_frac) = gated[i];
@@ -551,7 +557,9 @@ impl System {
                         }
                         activity[j] = act;
                         instructions[j] = instr;
-                        streams[j].advance(instr);
+                    }
+                    for (stream, &instr) in streams.iter_mut().zip(instructions.iter()) {
+                        stream.advance(instr);
                     }
                 },
             );

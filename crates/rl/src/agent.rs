@@ -297,6 +297,198 @@ impl Agent {
         Ok((a_next, explored, bootstrap))
     }
 
+    /// Whether this agent's policy consumes exactly one leading uniform
+    /// draw per decision (see [`Policy::pre_draws_uniform`]) — the gate a
+    /// controller must check before routing this agent through the
+    /// batched-draw `decide_*_prepared` entry points.
+    #[must_use]
+    pub fn policy_pre_draws(&self) -> bool {
+        self.policy.pre_draws_uniform()
+    }
+
+    /// Like [`Agent::decide_q_explored`] with the leading ε draw supplied
+    /// by the caller as the raw `next_u64` value this agent's RNG would
+    /// have produced. Lets a controller refill a block of draws (one
+    /// `next_u64` per agent) ahead of the scan pass; per-agent draw order
+    /// is unchanged, so seeded runs are bit-identical to the unbatched
+    /// path. Falls back to the unbatched selection (consuming `rng`
+    /// normally, ignoring `draw`) if the policy does not pre-draw — the
+    /// caller keeps streams aligned by checking
+    /// [`Agent::policy_pre_draws`] before pre-drawing.
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::decide_q_explored`].
+    #[inline]
+    pub fn decide_q_prepared<R: Rng + ?Sized>(
+        &mut self,
+        s_next: usize,
+        draw: u64,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool, f64), RlError> {
+        let (best, max_v) = self.q.best_action_and_max(s_next)?;
+        let (a_next, explored) = match self.policy.select_prepared(
+            self.q.actions(),
+            best,
+            self.step,
+            draw,
+            rng,
+            cache,
+        ) {
+            Some(pair) => pair,
+            None => match self
+                .policy
+                .select_from_argmax_explored(self.q.actions(), best, self.step, rng, cache)
+            {
+                Some(pair) => pair,
+                None => (
+                    self.policy.select_storage(&self.q, s_next, self.step, rng)?,
+                    false,
+                ),
+            },
+        };
+        self.step += 1;
+        Ok((a_next, explored, max_v))
+    }
+
+    /// The banked row and scale this agent's next decision in `s_next`
+    /// would scan, or `None` when the storage is not quantized. A batch
+    /// caller collects one pair per agent, scans them all in one
+    /// [`crate::kernel::scan_rows`] call, and feeds the results back
+    /// through [`Agent::decide_q_scanned`] /
+    /// [`Agent::decide_sarsa_scanned`].
+    #[inline]
+    #[must_use]
+    pub fn quant_row(&self, s_next: usize) -> Option<(&[i16], f32)> {
+        self.q.quant_row(s_next)
+    }
+
+    /// [`Agent::decide_q_prepared`] with the row scan hoisted out: `best`
+    /// and `max_v` are the argmax and scaled maximum a
+    /// [`crate::kernel::scan_rows`] batch produced for this agent's
+    /// `s_next` row. Selection, exploration accounting and the returned
+    /// bootstrap are unchanged, so seeded runs stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::decide_q_prepared`].
+    #[inline]
+    pub fn decide_q_scanned<R: Rng + ?Sized>(
+        &mut self,
+        s_next: usize,
+        best: usize,
+        max_v: f64,
+        draw: u64,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool, f64), RlError> {
+        let (a_next, explored) = match self.policy.select_prepared(
+            self.q.actions(),
+            best,
+            self.step,
+            draw,
+            rng,
+            cache,
+        ) {
+            Some(pair) => pair,
+            None => match self
+                .policy
+                .select_from_argmax_explored(self.q.actions(), best, self.step, rng, cache)
+            {
+                Some(pair) => pair,
+                None => (
+                    self.policy.select_storage(&self.q, s_next, self.step, rng)?,
+                    false,
+                ),
+            },
+        };
+        self.step += 1;
+        Ok((a_next, explored, max_v))
+    }
+
+    /// [`Agent::decide_sarsa_prepared`] with the row scan hoisted out (see
+    /// [`Agent::decide_q_scanned`]); the bootstrap is the value of the
+    /// action actually selected, read after selection as before.
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::decide_sarsa_prepared`].
+    #[inline]
+    pub fn decide_sarsa_scanned<R: Rng + ?Sized>(
+        &mut self,
+        s_next: usize,
+        best: usize,
+        draw: u64,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool, f64), RlError> {
+        let (a_next, explored) = match self.policy.select_prepared(
+            self.q.actions(),
+            best,
+            self.step,
+            draw,
+            rng,
+            cache,
+        ) {
+            Some(pair) => pair,
+            None => match self
+                .policy
+                .select_from_argmax_explored(self.q.actions(), best, self.step, rng, cache)
+            {
+                Some(pair) => pair,
+                None => (
+                    self.policy.select_storage(&self.q, s_next, self.step, rng)?,
+                    false,
+                ),
+            },
+        };
+        self.step += 1;
+        let bootstrap = self.q.get(s_next, a_next)?;
+        Ok((a_next, explored, bootstrap))
+    }
+
+    /// Like [`Agent::decide_sarsa_explored`] with the leading ε draw
+    /// supplied by the caller (see [`Agent::decide_q_prepared`] for the
+    /// batching contract).
+    ///
+    /// # Errors
+    ///
+    /// As [`Agent::decide_sarsa_explored`].
+    #[inline]
+    pub fn decide_sarsa_prepared<R: Rng + ?Sized>(
+        &mut self,
+        s_next: usize,
+        draw: u64,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool, f64), RlError> {
+        let (best, _) = self.q.best_action_and_max(s_next)?;
+        let (a_next, explored) = match self.policy.select_prepared(
+            self.q.actions(),
+            best,
+            self.step,
+            draw,
+            rng,
+            cache,
+        ) {
+            Some(pair) => pair,
+            None => match self
+                .policy
+                .select_from_argmax_explored(self.q.actions(), best, self.step, rng, cache)
+            {
+                Some(pair) => pair,
+                None => (
+                    self.policy.select_storage(&self.q, s_next, self.step, rng)?,
+                    false,
+                ),
+            },
+        };
+        self.step += 1;
+        let bootstrap = self.q.get(s_next, a_next)?;
+        Ok((a_next, explored, bootstrap))
+    }
+
     /// The learning half of a decide/learn pair: applies the TD update for
     /// `(s, a, reward)` against a bootstrap previously returned by
     /// [`Agent::decide_q_explored`] or [`Agent::decide_sarsa_explored`].
@@ -306,6 +498,22 @@ impl Agent {
     /// Returns [`RlError::IndexOutOfRange`] for invalid indices or
     /// [`RlError::InvalidParameter`] for a non-finite reward.
     pub fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
+        self.td_update(s, a, reward, bootstrap)
+    }
+
+    /// [`learn`](Self::learn) with an inlinable body — the batched learn
+    /// pass's entry point (`simd` feature). Kept separate from `learn` so
+    /// the interleaved reference path's codegen, and therefore the
+    /// published baseline bench entries, stay untouched.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[inline]
+    pub fn learn_prepared(
+        &mut self,
+        s: usize,
+        a: usize,
+        reward: f64,
+        bootstrap: f64,
+    ) -> Result<(), RlError> {
         self.td_update(s, a, reward, bootstrap)
     }
 
@@ -384,6 +592,7 @@ impl Agent {
         Self::from_snapshot_bytes(&bytes).map_err(SnapshotError::Format)
     }
 
+    #[inline]
     fn td_update(
         &mut self,
         s: usize,
@@ -397,14 +606,22 @@ impl Agent {
                 value: reward,
             });
         }
-        let visits = self.q.visit(s, a)?;
-        // Per-(s,a) learning rate driven by visit count gives the
-        // Robbins-Monro convergence conditions when using InverseTime.
-        let alpha = self.alpha.value(visits - 1);
-        let old = self.q.get(s, a)?;
         let target = reward + self.gamma * bootstrap;
-        self.q.set(s, a, old + alpha * (target - old))?;
-        Ok(())
+        #[cfg(feature = "simd")]
+        {
+            // Fused storage-side update: one bounds check instead of four,
+            // bit-identical table state to the chain below.
+            self.q.td_step(s, a, &self.alpha, target)
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            let visits = self.q.visit(s, a)?;
+            // Per-(s,a) learning rate driven by visit count gives the
+            // Robbins-Monro convergence conditions when using InverseTime.
+            let alpha = self.alpha.value(visits - 1);
+            let old = self.q.get(s, a)?;
+            self.q.set(s, a, old + alpha * (target - old))
+        }
     }
 }
 

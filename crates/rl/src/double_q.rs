@@ -245,6 +245,28 @@ impl DoubleAgent {
             }
             return Ok((best_c, best_a, best_b));
         }
+        #[cfg(feature = "simd")]
+        if let (QTableStorage::Quantized(qa), QTableStorage::Quantized(qb)) = (&self.qa, &self.qb) {
+            // Per-table argmax via the SIMD kernel: one positive scale per
+            // row makes the i16 argmax equal the dequantized argmax, ties
+            // included. The combined argmax still sums dequantized values
+            // (the two rows may carry different scales) but no longer
+            // tracks the per-table bests alongside.
+            let (ra, rb) = (qa.lanes(s), qb.lanes(s));
+            let (best_a, _) = crate::kernel::scan_row(ra);
+            let (best_b, _) = crate::kernel::scan_row(rb);
+            let (sa, sb) = (qa.scale_at(s), qb.scale_at(s));
+            let len = self.qa.actions();
+            let mut best_c = 0;
+            let mut best_cv = f64::from(ra[0]) * sa + f64::from(rb[0]) * sb;
+            for i in 1..len {
+                let v = f64::from(ra[i]) * sa + f64::from(rb[i]) * sb;
+                let better = v > best_cv;
+                best_cv = if better { v } else { best_cv };
+                best_c = if better { i } else { best_c };
+            }
+            return Ok((best_c, best_a, best_b));
+        }
         let len = self.qa.actions();
         let mut best_c = 0;
         let mut best_cv = self.qa.value_at(s, 0) + self.qb.value_at(s, 0);
@@ -316,6 +338,67 @@ impl DoubleAgent {
         Ok((a_next, explored, bootstrap))
     }
 
+    /// Whether this agent's policy consumes exactly one leading uniform
+    /// draw per decision (see [`Policy::pre_draws_uniform`]).
+    #[must_use]
+    pub fn policy_pre_draws(&self) -> bool {
+        self.policy.pre_draws_uniform()
+    }
+
+    /// Like [`DoubleAgent::decide_explored`] with the leading ε draw
+    /// supplied by the caller as the raw `next_u64` value this agent's RNG
+    /// would have produced (see `Agent::decide_q_prepared` for the
+    /// batching contract). Falls back to the unbatched selection
+    /// (consuming `rng` normally, ignoring `draw`) if the policy does not
+    /// pre-draw.
+    ///
+    /// # Errors
+    ///
+    /// As [`DoubleAgent::decide_explored`].
+    #[inline]
+    pub fn decide_prepared<R: Rng + ?Sized>(
+        &mut self,
+        s_next: usize,
+        draw: u64,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Result<(usize, bool, f64), RlError> {
+        let (best_c, best_a, best_b) = self.scan_next(s_next)?;
+        let len = self.qa.actions();
+        // Peek the rotation parity without advancing it: learn() flips it.
+        let bootstrap = if self.updates.is_multiple_of(2) {
+            self.qb.get(s_next, best_a)?
+        } else {
+            self.qa.get(s_next, best_b)?
+        };
+        let (a_next, explored) = match self
+            .policy
+            .select_prepared(len, best_c, self.step, draw, rng, cache)
+        {
+            Some(pair) => pair,
+            None => match self
+                .policy
+                .select_from_argmax_explored(len, best_c, self.step, rng, cache)
+            {
+                Some(pair) => pair,
+                None => {
+                    let (qa, qb) = (&self.qa, &self.qb);
+                    (
+                        self.policy.select_with(
+                            len,
+                            |i| qa.value_at(s_next, i) + qb.value_at(s_next, i),
+                            self.step,
+                            rng,
+                        ),
+                        false,
+                    )
+                }
+            },
+        };
+        self.step += 1;
+        Ok((a_next, explored, bootstrap))
+    }
+
     /// The learning half of a decide/learn pair: applies the double-Q
     /// update for `(s, a, reward)` against a bootstrap returned by
     /// [`DoubleAgent::decide_explored`], advancing the table rotation.
@@ -325,6 +408,27 @@ impl DoubleAgent {
     /// Returns [`RlError::IndexOutOfRange`] for invalid indices or
     /// [`RlError::InvalidParameter`] for a non-finite reward.
     pub fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
+        self.learn_impl(s, a, reward, bootstrap)
+    }
+
+    /// [`learn`](Self::learn) with an inlinable body — the batched learn
+    /// pass's entry point (`simd` feature). Kept separate from `learn` so
+    /// the interleaved reference path's codegen, and therefore the
+    /// published baseline bench entries, stay untouched.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[inline]
+    pub fn learn_prepared(
+        &mut self,
+        s: usize,
+        a: usize,
+        reward: f64,
+        bootstrap: f64,
+    ) -> Result<(), RlError> {
+        self.learn_impl(s, a, reward, bootstrap)
+    }
+
+    #[inline]
+    fn learn_impl(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
         if !reward.is_finite() {
             return Err(RlError::InvalidParameter {
                 name: "reward",
@@ -334,12 +438,20 @@ impl DoubleAgent {
         let update_a = self.updates.is_multiple_of(2);
         self.updates += 1;
         let upd = if update_a { &mut self.qa } else { &mut self.qb };
-        let visits = upd.visit(s, a)?;
-        let alpha = self.alpha.value(visits - 1);
-        let old = upd.get(s, a)?;
         let target = reward + self.gamma * bootstrap;
-        upd.set(s, a, old + alpha * (target - old))?;
-        Ok(())
+        #[cfg(feature = "simd")]
+        {
+            // Fused storage-side update: one bounds check instead of four,
+            // bit-identical table state to the chain below.
+            upd.td_step(s, a, &self.alpha, target)
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            let visits = upd.visit(s, a)?;
+            let alpha = self.alpha.value(visits - 1);
+            let old = upd.get(s, a)?;
+            upd.set(s, a, old + alpha * (target - old))
+        }
     }
 
     /// Serializes the agent to the versioned binary snapshot format (see

@@ -48,6 +48,7 @@ pub mod agent;
 pub mod discretize;
 pub mod double_q;
 pub mod error;
+pub mod kernel;
 pub mod mask;
 pub mod policy;
 pub mod qtable;

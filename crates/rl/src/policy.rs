@@ -235,6 +235,53 @@ impl Policy {
         }
     }
 
+    /// Whether selection consumes exactly one *leading* uniform draw (the
+    /// ε test) before anything else touches the RNG.
+    ///
+    /// This is the contract the batched decide path relies on: when every
+    /// agent's policy pre-draws one uniform, a controller may refill a
+    /// block of raw `next_u64` draws (one per agent) up front and feed
+    /// them through [`Policy::select_prepared`] without perturbing any
+    /// per-agent RNG stream. [`Policy::Greedy`] draws nothing and the
+    /// softmax/UCB1 policies draw differently, so only
+    /// [`Policy::EpsilonGreedy`] qualifies.
+    #[must_use]
+    pub fn pre_draws_uniform(&self) -> bool {
+        matches!(self, Self::EpsilonGreedy { .. })
+    }
+
+    /// Like [`Policy::select_from_argmax_explored`], with the leading ε
+    /// draw supplied by the caller as the raw `next_u64` value the RNG
+    /// would have produced. Exploration still draws the action index from
+    /// `rng`, so the per-agent draw *order* (ε uniform, then the action
+    /// draw only when exploring) matches the unbatched path exactly and
+    /// seeded runs are bit-identical either way.
+    ///
+    /// Returns `None` for policies where [`Policy::pre_draws_uniform`] is
+    /// false — callers must check it before pre-drawing.
+    #[inline]
+    pub fn select_prepared<R: Rng + ?Sized>(
+        &self,
+        len: usize,
+        greedy: usize,
+        t: u64,
+        draw: u64,
+        rng: &mut R,
+        cache: &mut EpsCache,
+    ) -> Option<(usize, bool)> {
+        match self {
+            Self::EpsilonGreedy { epsilon } => {
+                let eps = cache.value(epsilon, t);
+                if crate::kernel::draw_to_unit_f64(draw) < eps {
+                    Some((rng.gen_range(0..len), true))
+                } else {
+                    Some((greedy, false))
+                }
+            }
+            _ => None,
+        }
+    }
+
     /// Selects an action from a *virtual* action-value row: `value_fn(a)`
     /// yields the value of action `a` for `a` in `0..len`.
     ///

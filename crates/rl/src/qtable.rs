@@ -1,6 +1,7 @@
 //! Dense action-value tables.
 
 use crate::error::RlError;
+use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
 
 /// A dense `|S| × |A|` table of action values with visit counts.
@@ -125,6 +126,36 @@ impl QTable {
         let i = self.idx(s, a)?;
         self.visits[i] += 1;
         Ok(self.visits[i])
+    }
+
+    /// Fused TD update: one bounds check covers the visit bump, the
+    /// learning-rate lookup, the read and the write. Bit-identical to the
+    /// unfused `visit` → `alpha.value(visits - 1)` → `get` → `set` chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices, or
+    /// [`RlError::InvalidParameter`] if the updated value is non-finite.
+    pub fn td_step(
+        &mut self,
+        s: usize,
+        a: usize,
+        alpha: &Schedule,
+        target: f64,
+    ) -> Result<(), RlError> {
+        let i = self.idx(s, a)?;
+        self.visits[i] += 1;
+        let alpha = alpha.value(self.visits[i] - 1);
+        let old = self.values[i];
+        let value = old + alpha * (target - old);
+        if !value.is_finite() {
+            return Err(RlError::InvalidParameter {
+                name: "value",
+                value,
+            });
+        }
+        self.values[i] = value;
+        Ok(())
     }
 
     /// Visit count of `(s, a)`.

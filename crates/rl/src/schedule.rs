@@ -127,6 +127,7 @@ impl Schedule {
     }
 
     /// The schedule's value at step `t`.
+    #[inline]
     pub fn value(&self, t: u64) -> f64 {
         match *self {
             Self::Constant { value } => value,

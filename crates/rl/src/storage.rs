@@ -23,6 +23,7 @@
 
 use crate::error::RlError;
 use crate::qtable::QTable;
+use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
 
 /// Lane multiple rows are padded to: 16 × `i16` is one 256-bit vector.
@@ -193,6 +194,21 @@ impl QuantizedTable {
         f64::from(self.bank[s * self.stride + a]) * f64::from(self.scales[s])
     }
 
+    /// The padded lane row of state `s` (panics on out-of-range states
+    /// like any slice access). Used by the SIMD-routed double-Q scan.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[inline]
+    pub(crate) fn lanes(&self, s: usize) -> &[i16] {
+        &self.bank[s * self.stride..(s + 1) * self.stride]
+    }
+
+    /// Row scale as `f64` without the bounds-checked `Result` wrapper.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[inline]
+    pub(crate) fn scale_at(&self, s: usize) -> f64 {
+        f64::from(self.scales[s])
+    }
+
     /// Grows row `s`'s scale (doubling) until `value` fits with half-range
     /// headroom, requantizing the existing lanes in place.
     fn grow_scale(&mut self, s: usize, value: f64) {
@@ -278,9 +294,45 @@ impl QuantizedTable {
     /// # Errors
     ///
     /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    #[inline]
     pub fn best_action_and_max(&self, s: usize) -> Result<(usize, f64), RlError> {
         self.check_state(s)?;
         let row = &self.bank[s * self.stride..(s + 1) * self.stride];
+        let (best, best_q) = Self::scan(row);
+        Ok((best, f64::from(best_q) * f64::from(self.scales[s])))
+    }
+
+    /// The padded lane row and scale of state `s` — the raw inputs the
+    /// block-scan kernel ([`crate::kernel::scan_rows`]) consumes. A batch
+    /// caller collects one pair per agent and scans them in a single
+    /// dispatched call instead of one [`Self::best_action_and_max`] each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    #[inline]
+    pub fn row_scale(&self, s: usize) -> Result<(&[i16], f32), RlError> {
+        self.check_state(s)?;
+        Ok((
+            &self.bank[s * self.stride..(s + 1) * self.stride],
+            self.scales[s],
+        ))
+    }
+
+    /// Row scan with the `simd` feature on: the explicit kernel (runtime
+    /// AVX2/SSE2 dispatch on x86_64, chunked autovec elsewhere).
+    #[cfg(feature = "simd")]
+    #[inline]
+    fn scan(row: &[i16]) -> (usize, i16) {
+        crate::kernel::scan_row(row)
+    }
+
+    /// Row scan with the `simd` feature off: the original branchless
+    /// select chain, kept byte-for-byte so earlier bench entries stay a
+    /// fair baseline.
+    #[cfg(not(feature = "simd"))]
+    #[inline]
+    fn scan(row: &[i16]) -> (usize, i16) {
         let mut best = 0usize;
         let mut best_q = row[0];
         // Branchless scan over the whole padded row: padding lanes hold
@@ -290,7 +342,46 @@ impl QuantizedTable {
             best = if better { a } else { best };
             best_q = if better { q } else { best_q };
         }
-        Ok((best, f64::from(best_q) * f64::from(self.scales[s])))
+        (best, best_q)
+    }
+
+    /// Fused TD update: one bounds check covers the visit bump, the
+    /// learning-rate lookup, the dequantized read and the requantized
+    /// write that the unfused `visit`/`get`/`set` chain pays four times.
+    /// Produces bit-identical table state to that chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices, or
+    /// [`RlError::InvalidParameter`] if the updated value is non-finite.
+    #[inline]
+    pub fn td_step(
+        &mut self,
+        s: usize,
+        a: usize,
+        alpha: &Schedule,
+        target: f64,
+    ) -> Result<(), RlError> {
+        let i = self.idx(s, a)?;
+        self.visits[i] = self.visits[i].saturating_add(1);
+        let alpha = alpha.value(u64::from(self.visits[i]) - 1);
+        let lane = s * self.stride + a;
+        let scale = f64::from(self.scales[s]);
+        let old = f64::from(self.bank[lane]) * scale;
+        let value = old + alpha * (target - old);
+        if !value.is_finite() {
+            return Err(RlError::InvalidParameter {
+                name: "value",
+                value,
+            });
+        }
+        if value.abs() > f64::from(Q_MAX) * scale {
+            self.grow_scale(s, value);
+            self.bank[lane] = quantize(value, f64::from(self.scales[s]));
+        } else {
+            self.bank[lane] = quantize(value, scale);
+        }
+        Ok(())
     }
 
     /// Total number of `(s, a)` visits recorded.
@@ -471,6 +562,29 @@ impl QTableStorage {
         }
     }
 
+    /// Fused TD update toward `target`: visit bump, per-visit learning
+    /// rate, read and write in one bounds-checked pass. Bit-identical to
+    /// the unfused `visit` → `alpha.value(visits - 1)` → `get` → `set`
+    /// chain on both layouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for invalid indices, or
+    /// [`RlError::InvalidParameter`] if the updated value is non-finite.
+    #[inline]
+    pub fn td_step(
+        &mut self,
+        s: usize,
+        a: usize,
+        alpha: &Schedule,
+        target: f64,
+    ) -> Result<(), RlError> {
+        match self {
+            Self::Scalar(t) => t.td_step(s, a, alpha, target),
+            Self::Quantized(t) => t.td_step(s, a, alpha, target),
+        }
+    }
+
     /// Visit count of `(s, a)`.
     ///
     /// # Errors
@@ -512,10 +626,24 @@ impl QTableStorage {
     /// # Errors
     ///
     /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    #[inline]
     pub fn best_action_and_max(&self, s: usize) -> Result<(usize, f64), RlError> {
         match self {
             Self::Scalar(t) => t.best_action_and_max(s),
             Self::Quantized(t) => t.best_action_and_max(s),
+        }
+    }
+
+    /// [`QuantizedTable::row_scale`] when this storage is quantized, `None`
+    /// for the scalar layout (which has no banked rows to block-scan) or an
+    /// out-of-range state. Batch scan hook; see
+    /// [`crate::kernel::scan_rows`].
+    #[inline]
+    #[must_use]
+    pub fn quant_row(&self, s: usize) -> Option<(&[i16], f32)> {
+        match self {
+            Self::Scalar(_) => None,
+            Self::Quantized(t) => t.row_scale(s).ok(),
         }
     }
 
@@ -579,6 +707,84 @@ impl QTableStorage {
         #[cfg(not(target_arch = "x86_64"))]
         {
             let _ = s;
+        }
+    }
+
+    /// Hints the prefetcher at everything a greedy row scan of state `s`
+    /// will read: the banked row *and* its dequantization scale, which
+    /// live in separate allocations and therefore miss separately. Used
+    /// by the batched decide pass to run several agents ahead of the
+    /// scan. No-op on non-x86_64 targets and for out-of-range states.
+    #[inline]
+    pub fn prefetch_select(&self, s: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            match self {
+                Self::Scalar(t) => {
+                    if let Ok(row) = t.row(s) {
+                        // SAFETY: hint only; in-bounds, never dereferenced.
+                        unsafe { _mm_prefetch::<_MM_HINT_T0>(row.as_ptr().cast::<i8>()) }
+                    }
+                }
+                Self::Quantized(t) => {
+                    if s >= t.states {
+                        return;
+                    }
+                    let row = t.bank[s * t.stride..].as_ptr().cast::<i8>();
+                    let scale = t.scales[s..].as_ptr().cast::<i8>();
+                    // SAFETY: hints only; both pointers derive from live
+                    // in-bounds slices and are never dereferenced.
+                    unsafe {
+                        _mm_prefetch::<_MM_HINT_T0>(row);
+                        _mm_prefetch::<_MM_HINT_T0>(scale);
+                    }
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = s;
+        }
+    }
+
+    /// Hints the prefetcher at everything a [`td_step`](Self::td_step) of
+    /// `(s, a)` will touch: the bank lane, the row scale and the visit
+    /// counter — three separate allocations, three separate misses. Used
+    /// by the learn pass to pipeline updates several agents ahead. No-op
+    /// on non-x86_64 targets and for out-of-range indices.
+    #[inline]
+    pub fn prefetch_update(&self, s: usize, a: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            match self {
+                Self::Scalar(t) => {
+                    if let Ok(row) = t.row(s) {
+                        // SAFETY: hint only; in-bounds, never dereferenced.
+                        unsafe { _mm_prefetch::<_MM_HINT_T0>(row.as_ptr().cast::<i8>()) }
+                    }
+                }
+                Self::Quantized(t) => {
+                    if s >= t.states || a >= t.actions {
+                        return;
+                    }
+                    let lane = t.bank[s * t.stride + a..].as_ptr().cast::<i8>();
+                    let scale = t.scales[s..].as_ptr().cast::<i8>();
+                    let visit = t.visits[s * t.actions + a..].as_ptr().cast::<i8>();
+                    // SAFETY: hints only; all pointers derive from live
+                    // in-bounds slices and are never dereferenced.
+                    unsafe {
+                        _mm_prefetch::<_MM_HINT_T0>(lane);
+                        _mm_prefetch::<_MM_HINT_T0>(scale);
+                        _mm_prefetch::<_MM_HINT_T0>(visit);
+                    }
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (s, a);
         }
     }
 }

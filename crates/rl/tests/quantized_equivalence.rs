@@ -8,11 +8,13 @@
 //! the actions; both apply the same `(s, a, r, s')` updates), so every
 //! divergence measured here is quantization error and nothing else.
 
+use odrl_rl::kernel::{scan_row, scan_row_portable};
 use odrl_rl::{
-    Agent, DoubleAgent, QTableLayout, Schedule, KIND_AGENT, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    Agent, DoubleAgent, EpsCache, QTableLayout, QTableStorage, Schedule, KIND_AGENT, QUANT_LANES,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 const STATES: usize = 64;
 const ACTIONS: usize = 7;
@@ -181,4 +183,228 @@ fn snapshot_rejects_corruption() {
         Agent::from_snapshot_bytes(&bad).is_err(),
         "trailing bytes must be rejected"
     );
+}
+
+// --- SIMD-vs-scalar suite -------------------------------------------------
+//
+// The explicit-SIMD row scan (`odrl_rl::kernel`) must be *bit-identical* to
+// the scalar argmax it replaces: same winning index (lowest index attaining
+// the maximum), same maximum, for every bank-remainder geometry the
+// 16-lane padding can produce, with `i16::MIN` pad lanes never winning.
+// These run in both feature states — the kernel module is always compiled,
+// so a scalar-feature CI job still cross-checks the intrinsics paths.
+
+/// Pad lanes carry `i16::MIN`; real lanes are clamped to `>= -i16::MAX` by
+/// the quantizer, so the sentinel can never tie a real lane.
+const PAD: i16 = i16::MIN;
+
+/// The scalar reference: lowest index attaining the row maximum.
+fn reference_argmax(row: &[i16]) -> (usize, i16) {
+    let mut best = 0usize;
+    let mut best_q = row[0];
+    for (i, &q) in row.iter().enumerate().skip(1) {
+        if q > best_q {
+            best = i;
+            best_q = q;
+        }
+    }
+    (best, best_q)
+}
+
+/// Pads `values` with `PAD` to the next multiple of [`QUANT_LANES`].
+fn padded(values: &[i16]) -> Vec<i16> {
+    let stride = values.len().div_ceil(QUANT_LANES).max(1) * QUANT_LANES;
+    let mut row = vec![PAD; stride];
+    row[..values.len()].copy_from_slice(values);
+    row
+}
+
+#[test]
+fn simd_scan_matches_scalar_argmax_at_every_bank_remainder() {
+    // Every action count from 1 to two full banks, 50 pseudo-random rows
+    // each, covers each remainder both in the only bank and in the last of
+    // two banks.
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Map into the real-lane range [-i16::MAX, i16::MAX].
+        (((state >> 33) as i32 % i32::from(i16::MAX)) as i16).max(-i16::MAX)
+    };
+    for n in 1..=2 * QUANT_LANES {
+        for _ in 0..50 {
+            let values: Vec<i16> = (0..n).map(|_| next()).collect();
+            let row = padded(&values);
+            let want = reference_argmax(&row);
+            assert_eq!(scan_row(&row), want, "scan_row diverged at n={n}");
+            assert_eq!(
+                scan_row_portable(&row),
+                want,
+                "scan_row_portable diverged at n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simd_scan_pad_lanes_never_win() {
+    // Worst case: every real lane sits at the lowest representable real
+    // value, one quantum above the pad sentinel.
+    for n in 1..=2 * QUANT_LANES {
+        let row = padded(&vec![-i16::MAX; n]);
+        assert_eq!(scan_row(&row), (0, -i16::MAX), "pad lane won at n={n}");
+        assert_eq!(scan_row_portable(&row), (0, -i16::MAX));
+    }
+}
+
+#[test]
+fn simd_scan_breaks_ties_to_lowest_index() {
+    // Duplicated maxima within one bank and across banks must resolve to
+    // the lowest index, exactly like the scalar select chain.
+    let cases: Vec<Vec<i16>> = vec![
+        vec![5, 5, 5],
+        vec![1, 9, 9, 2],
+        {
+            // Max in bank 0 tied by a later lane in bank 1.
+            let mut v = vec![0i16; QUANT_LANES + 4];
+            v[3] = 77;
+            v[QUANT_LANES + 1] = 77;
+            v
+        },
+        {
+            // Strictly greater value in the second bank must still win.
+            let mut v = vec![10i16; QUANT_LANES + 8];
+            v[QUANT_LANES + 5] = 11;
+            v
+        },
+    ];
+    for values in cases {
+        let row = padded(&values);
+        let want = reference_argmax(&row);
+        assert_eq!(scan_row(&row), want, "tie-break diverged for {values:?}");
+        assert_eq!(scan_row_portable(&row), want);
+    }
+}
+
+#[test]
+fn storage_best_action_and_max_matches_get_reference() {
+    // Through the full storage stack: the quantized argmax must agree with
+    // an argmax over the dequantized `get` values at every action count.
+    for actions in 1..=2 * QUANT_LANES {
+        let mut q = QTableStorage::new(QTableLayout::Quantized, 3, actions).unwrap();
+        for s in 0..3 {
+            for a in 0..actions {
+                let v = ((s * actions + a) as f64 * 0.7919).sin() * 5.0;
+                q.set(s, a, v).unwrap();
+            }
+        }
+        for s in 0..3 {
+            let (best, max_v) = q.best_action_and_max(s).unwrap();
+            let mut want = 0usize;
+            let mut want_v = q.get(s, 0).unwrap();
+            for a in 1..actions {
+                let v = q.get(s, a).unwrap();
+                if v > want_v {
+                    want = a;
+                    want_v = v;
+                }
+            }
+            assert_eq!((best, max_v), (want, want_v), "actions={actions} s={s}");
+        }
+    }
+}
+
+#[test]
+fn td_step_matches_unfused_update_chain_for_both_layouts() {
+    let alpha = Schedule::inverse_time(0.5, 0.05).unwrap();
+    for layout in [QTableLayout::Scalar, QTableLayout::Quantized] {
+        let mut fused = QTableStorage::optimistic(layout, 8, 5, 1.0).unwrap();
+        let mut chain = fused.clone();
+        for t in 0..2000usize {
+            let (s, a) = (t * 131 % 8, t * 17 % 5);
+            let target = (t as f64 * 0.013).sin() * 4.0;
+            fused.td_step(s, a, &alpha, target).unwrap();
+            // The unfused visit → alpha → get → set chain td_step replaces.
+            let visits = chain.visit(s, a).unwrap();
+            let al = alpha.value(visits - 1);
+            let old = chain.get(s, a).unwrap();
+            chain.set(s, a, old + al * (target - old)).unwrap();
+        }
+        for s in 0..8 {
+            for a in 0..5 {
+                assert_eq!(
+                    fused.get(s, a).unwrap().to_bits(),
+                    chain.get(s, a).unwrap().to_bits(),
+                    "{layout:?} td_step diverged at ({s}, {a})"
+                );
+                assert_eq!(fused.visits(s, a).unwrap(), chain.visits(s, a).unwrap());
+            }
+        }
+    }
+}
+
+/// FNV-1a over the decision stream, the same construction the parallel
+/// determinism suites pin goldens with.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives `epochs` decide/learn rounds through either the unbatched
+/// (`prepared = false`) or batched-draw (`prepared = true`) entry points
+/// and returns the FNV-1a hash of the full (action, explored) stream.
+fn decision_stream_hash(layout: QTableLayout, sarsa: bool, prepared: bool) -> u64 {
+    let mut agent = build(layout);
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut cache = EpsCache::new();
+    let mut s = 0usize;
+    let mut bytes = Vec::new();
+    for t in 0..800 {
+        let (a, explored, bootstrap) = if prepared {
+            // The controller's batching: one `next_u64` pre-drawn from this
+            // agent's own stream, handed back as the leading ε draw.
+            let draw = rng.next_u64();
+            if sarsa {
+                agent.decide_sarsa_prepared(s, draw, &mut rng, &mut cache).unwrap()
+            } else {
+                agent.decide_q_prepared(s, draw, &mut rng, &mut cache).unwrap()
+            }
+        } else if sarsa {
+            agent.decide_sarsa_explored(s, &mut rng, &mut cache).unwrap()
+        } else {
+            agent.decide_q_explored(s, &mut rng, &mut cache).unwrap()
+        };
+        let (s_next, r) = env(s, a, t);
+        agent.learn(s, a, r, bootstrap).unwrap();
+        bytes.push(a as u8);
+        bytes.push(u8::from(explored));
+        s = s_next;
+    }
+    fnv1a(bytes)
+}
+
+#[test]
+fn batched_epsilon_stream_is_bit_identical_and_pinned() {
+    // The batched-draw path must replay the exact RNG stream of the
+    // unbatched path (same draws, same order, per agent), so the decision
+    // streams hash identically — and both must match the pinned golden, so
+    // neither encoding can drift silently. Layout-independent: the ε draw
+    // happens before any Q lookup.
+    const GOLDEN_Q: u64 = 12652406293724573599;
+    const GOLDEN_SARSA: u64 = 7514869419901196477;
+    for layout in [QTableLayout::Scalar, QTableLayout::Quantized] {
+        let q_plain = decision_stream_hash(layout, false, false);
+        let q_prep = decision_stream_hash(layout, false, true);
+        assert_eq!(q_plain, q_prep, "{layout:?}: batched Q stream diverged");
+        let s_plain = decision_stream_hash(layout, true, false);
+        let s_prep = decision_stream_hash(layout, true, true);
+        assert_eq!(s_plain, s_prep, "{layout:?}: batched SARSA stream diverged");
+        if layout == QTableLayout::Scalar {
+            assert_eq!(q_plain, GOLDEN_Q, "Q decision stream drifted from golden");
+            assert_eq!(s_plain, GOLDEN_SARSA, "SARSA decision stream drifted");
+        }
+    }
 }

@@ -95,11 +95,28 @@ impl WorkloadStream {
     /// phase boundaries as needed.
     ///
     /// Negative or non-finite values are treated as zero.
+    ///
+    /// The common case (the whole epoch lands inside the current dwell) is
+    /// a validity test plus two additions, kept inline so a per-core sweep
+    /// over thousands of streams compiles to straight-line slice math; the
+    /// boundary-crossing machinery (phase sampling, RNG) lives out of line.
+    #[inline]
     pub fn advance(&mut self, instructions: f64) {
         if !(instructions.is_finite() && instructions > 0.0) {
             return;
         }
         self.total_instructions += instructions;
+        if instructions < self.remaining {
+            self.remaining -= instructions;
+            return;
+        }
+        self.advance_across_phases(instructions);
+    }
+
+    /// The boundary-crossing tail of [`WorkloadStream::advance`]: at least
+    /// one phase ends inside this epoch.
+    #[cold]
+    fn advance_across_phases(&mut self, instructions: f64) {
         let mut left = instructions;
         // Cap boundary crossings per call to stay O(1) amortized even if an
         // epoch spans many short phases.

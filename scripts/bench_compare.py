@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Diff two labelled entries of BENCH_epoch_kernel.json.
+
+Usage: scripts/bench_compare.py BASELINE CANDIDATE [--file PATH] [--force]
+
+Prints, per core count, the throughput and per-stage ns/epoch deltas
+between the BASELINE and CANDIDATE entries, including the rl_decide +
+rl_learn sub-stage total the SIMD work targets. Entries measured on
+different machines are not comparable: unless --force is given, the
+script refuses to diff entries whose host fingerprints (cpu model,
+logical cores, ODRL_HOST_LABEL) differ, and exits nonzero.
+
+Handles both substage encodings: entries recorded after the stage/
+substage split carry `substage_ns_per_epoch`; older entries folded
+rl_decide/rl_learn into the flat `stage_ns_per_epoch` map.
+"""
+
+import argparse
+import json
+import sys
+
+SUBSTAGES = ("rl_decide", "rl_learn")
+
+
+def load_entry(doc, label):
+    for entry in doc.get("entries", []):
+        if entry.get("label") == label:
+            return entry
+    known = ", ".join(e.get("label", "?") for e in doc.get("entries", []))
+    sys.exit(f"error: no entry labelled {label!r} (have: {known})")
+
+
+def host_fingerprint(entry):
+    host = entry.get("host")
+    if host is None:
+        return None
+    return (host.get("cpu_model"), host.get("cores"), host.get("label"))
+
+
+def split_stages(result):
+    """Return (stages, substages) regardless of which encoding wrote it."""
+    stages = dict(result.get("stage_ns_per_epoch", {}))
+    subs = dict(result.get("substage_ns_per_epoch", {}))
+    for name in SUBSTAGES:
+        if name in stages:
+            subs.setdefault(name, stages.pop(name))
+    return stages, subs
+
+
+def fmt_ratio(base, cand):
+    if cand <= 0.0:
+        return "n/a"
+    return f"{base / cand:.2f}x"
+
+
+def diff_results(base, cand):
+    by_cores = {r["cores"]: r for r in cand.get("results", [])}
+    for rb in base.get("results", []):
+        cores = rb["cores"]
+        rc = by_cores.get(cores)
+        if rc is None:
+            print(f"\n{cores} cores: only in baseline, skipping")
+            continue
+        print(f"\n{cores} cores:")
+        eb, ec = rb["epochs_per_sec"], rc["epochs_per_sec"]
+        print(
+            f"  {'epochs/sec':<12} {eb:>12.1f} {ec:>12.1f}"
+            f"  {ec / eb - 1.0:>+7.1%}"
+        )
+        sb, ub = split_stages(rb)
+        sc, uc = split_stages(rc)
+        print(f"  {'stage ns/epoch':<12} {'baseline':>12} {'candidate':>12} {'speedup':>8}")
+        for name in sorted(set(sb) | set(sc)):
+            b, c = sb.get(name, 0.0), sc.get(name, 0.0)
+            print(f"    {name:<10} {b:>12.1f} {c:>12.1f} {fmt_ratio(b, c):>8}")
+        if ub or uc:
+            for name in sorted(set(ub) | set(uc)):
+                b, c = ub.get(name, 0.0), uc.get(name, 0.0)
+                print(f"    {name:<10} {b:>12.1f} {c:>12.1f} {fmt_ratio(b, c):>8}")
+            b = sum(ub.get(n, 0.0) for n in SUBSTAGES)
+            c = sum(uc.get(n, 0.0) for n in SUBSTAGES)
+            print(f"    {'rl_d+l':<10} {b:>12.1f} {c:>12.1f} {fmt_ratio(b, c):>8}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="label of the baseline entry")
+    ap.add_argument("candidate", help="label of the candidate entry")
+    ap.add_argument("--file", default="BENCH_epoch_kernel.json")
+    ap.add_argument(
+        "--force",
+        action="store_true",
+        help="diff even when host fingerprints differ (numbers are then "
+        "cross-machine and not a valid speedup claim)",
+    )
+    args = ap.parse_args()
+
+    with open(args.file, encoding="utf-8") as f:
+        doc = json.load(f)
+    base = load_entry(doc, args.baseline)
+    cand = load_entry(doc, args.candidate)
+
+    fb, fc = host_fingerprint(base), host_fingerprint(cand)
+    if fb != fc or fb is None:
+        msg = (
+            f"host fingerprints differ or are missing:\n"
+            f"  {args.baseline}: {fb}\n  {args.candidate}: {fc}"
+        )
+        if not args.force:
+            sys.exit(
+                f"error: {msg}\nre-record both entries on one machine "
+                "(set ODRL_HOST_LABEL) or pass --force to diff anyway"
+            )
+        print(f"warning: {msg}\nproceeding under --force; deltas are cross-machine\n")
+
+    print(f"baseline : {args.baseline} (recorded at unix {base.get('unix_time', '?')})")
+    print(f"candidate: {args.candidate} (recorded at unix {cand.get('unix_time', '?')})")
+    diff_results(base, cand)
+
+
+if __name__ == "__main__":
+    main()
