@@ -1,0 +1,85 @@
+//! Steal-immune timing for overhead gates on shared runners.
+//!
+//! Wall-clock overhead gates flake on oversubscribed CI hosts: a
+//! scheduler steal or frequency epoch landing on one side of an
+//! interleaved comparison fakes double-digit overhead on an unmodified
+//! checkout. Process CPU time only advances while the process is actually
+//! running, so host steal cancels out of on/off ratios. Granularity is
+//! one clock tick (typically 10 ms) — measure windows of at least a few
+//! hundred ticks.
+
+use std::time::Instant;
+
+/// Process CPU time (user + system, all threads) in seconds, read from
+/// `/proc/self/stat`. `None` off Linux or if the stat format is
+/// unreadable.
+pub fn process_cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may contain spaces; everything after the closing
+    // paren is whitespace-delimited, with utime/stime at relative
+    // positions 11/12.
+    let after = stat.rsplit(") ").next()?;
+    let mut fields = after.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some((utime + stime) as f64 / ticks_per_second())
+}
+
+/// `_SC_CLK_TCK` without libc: Linux has used 100 Hz for the proc-visible
+/// tick on every mainstream configuration for decades.
+fn ticks_per_second() -> f64 {
+    100.0
+}
+
+/// A stopwatch that reads process CPU time where available and falls back
+/// to wall clock elsewhere, so gate code stays portable.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuStopwatch {
+    cpu_start: Option<f64>,
+    wall_start: Instant,
+}
+
+impl CpuStopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            cpu_start: process_cpu_seconds(),
+            wall_start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed: CPU seconds when `/proc` is readable, wall seconds
+    /// otherwise.
+    pub fn elapsed_secs(&self) -> f64 {
+        match (self.cpu_start, process_cpu_seconds()) {
+            (Some(t0), Some(t1)) => t1 - t0,
+            _ => self.wall_start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_clock_advances_under_load() {
+        let sw = CpuStopwatch::start();
+        // Burn enough CPU to cross several 10 ms ticks.
+        let mut acc = 0u64;
+        while sw.elapsed_secs() < 0.05 {
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+        }
+        assert!(acc != 1); // keep the loop observable
+        assert!(sw.elapsed_secs() >= 0.05);
+    }
+
+    #[test]
+    fn proc_stat_parses_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(process_cpu_seconds().is_some());
+        }
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod allocs;
+pub mod cputime;
 pub mod cli;
 
 use odrl_controllers::PowerController;
@@ -50,8 +51,9 @@ use std::thread;
 // The run-construction surface moved to `odrl-fleet` with the fleet API
 // redesign; re-exported here so harness code keeps one import root.
 pub use odrl_fleet::{
-    BudgetArbiter, ChipRun, ChipSummary, ControllerKind, Fleet, FleetConfig, FleetError,
-    FleetSummary, FleetTelemetry, RunBuilder, Scenario, ScenarioError,
+    AnomalyDump, AnomalyKind, BudgetArbiter, ChipRun, ChipSummary, ControllerKind, Fleet,
+    FleetConfig, FleetError, FleetMetrics, FleetSummary, FleetTelemetry, FlightRecorder,
+    RecorderConfig, RunBuilder, Scenario, ScenarioError, WatermarkRule,
 };
 
 /// The result of [`run_scenario_traced`]: the summary plus the per-epoch

@@ -241,6 +241,63 @@ fn quantized_fleet_steady_state_allocates_nothing() {
 }
 
 #[test]
+fn diagnosed_fleet_steady_state_allocates_nothing() {
+    // Observability-on arm of the fleet gate: learning-health diagnostics
+    // on every chip (per-shard summary accumulators, the periodic
+    // quantized-health scan), rack-scope metric aggregation, and the
+    // flight recorder all inside the zero-alloc envelope. The recorder's
+    // single permitted dump trips (and allocates) during warmup — TD
+    // errors on cold optimistic tables dwarf the watermark — so the
+    // measured window exercises `observe` on the exhausted-recorder path
+    // the way a long healthy run would.
+    let scenario = Scenario {
+        cores: 16,
+        budget_frac: 0.6,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 42,
+        parallelism: Parallelism::Serial,
+    };
+    let mut fleet = RunBuilder::new(scenario)
+        .controller(ControllerKind::OdRl)
+        .recorder(odrl_fleet::RecorderConfig {
+            window: 8,
+            rules: vec![odrl_fleet::WatermarkRule::TdErrorBlowup { max_abs: 0.001 }],
+            cooldown: 0,
+            max_dumps: 1,
+        })
+        .arbiter_period(25)
+        .build_fleet(4)
+        .expect("valid diagnosed fleet configuration");
+
+    // Warmup: sizes per-chip scratch, the merged-snapshot and rack-
+    // registry name buffers, records the one permitted anomaly dump, and
+    // passes a quantized-health scan epoch plus one arbiter round.
+    for _ in 0..45 {
+        fleet.step_epoch().expect("fleet epoch completes");
+    }
+    assert_eq!(
+        fleet.anomaly_dumps().len(),
+        1,
+        "the warmup must exhaust the recorder's dump budget"
+    );
+
+    let a0 = allocs::allocations();
+    let b0 = allocs::allocated_bytes();
+    // Crosses arbiter rounds at epochs 50 and 75 and quantized-health
+    // scans at epochs 48, 64 and 80.
+    for _ in 0..50 {
+        fleet.step_epoch().expect("fleet epoch completes");
+    }
+    let da = allocs::allocations() - a0;
+    let db = allocs::allocated_bytes() - b0;
+    assert_eq!(
+        da, 0,
+        "diagnosed fleet steady-state epochs allocated {da} times ({db} bytes) over 50 epochs"
+    );
+}
+
+#[test]
 fn market_arm_steady_state_allocates_nothing() {
     // Same gate with the predictive slack market on every epoch: the
     // predictors, reclaim pool and market scratch are all sized at

@@ -1,0 +1,179 @@
+//! Fleet learning-health determinism: the hierarchically aggregated
+//! metrics and the flight recorder's dump bytes must be bit-identical at
+//! every shard count.
+//!
+//! The per-shard diagnostics accumulators use the exact integer summary
+//! algebra (`StreamSummary`), so folding them in any shard grouping gives
+//! the same merged state; snapshots carry counters/gauges/summaries only
+//! (never wall-clock histograms); and dump traces go through the
+//! canonical `(epoch, chip, rank, core)` fleet merge. These tests pin all
+//! three claims against the serial reference, with and without a
+//! chip-scoped fault plan in the loop.
+
+use odrl_bench::{ControllerKind, RunBuilder, Scenario};
+use odrl_faults::{BudgetFault, FaultKind, FaultPlan, SensorFault, Target};
+use odrl_fleet::{Fleet, RecorderConfig, WatermarkRule};
+use odrl_manycore::Parallelism;
+use odrl_obs::MetricsSnapshot;
+use odrl_workload::MixPolicy;
+
+const CHIPS: usize = 4;
+const EPOCHS: u64 = 60;
+
+fn scenario(par: Parallelism) -> Scenario {
+    Scenario {
+        cores: 32,
+        budget_frac: 0.55,
+        epochs: 0,
+        mix: MixPolicy::RoundRobin,
+        seed: 7,
+        parallelism: par,
+    }
+}
+
+/// A chip-scoped sensor window on chip 2 plus a fleet-projected budget
+/// fault, so the aggregation sees asymmetric chips and lossy rack links.
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_chip_event(
+            2,
+            FaultKind::Sensor(SensorFault::StuckLast),
+            Target::Range { lo: 0, hi: 8 },
+            10,
+            30,
+        )
+        .with_event(
+            FaultKind::Budget(BudgetFault::Lost),
+            Target::All,
+            10,
+            30,
+        )
+}
+
+/// A recorder tuned to trip deterministically early in the run: cold
+/// optimistic Q-tables make the first learn epochs' TD errors far exceed
+/// the watermark.
+fn recorder() -> RecorderConfig {
+    RecorderConfig {
+        window: 8,
+        rules: vec![
+            WatermarkRule::TdErrorBlowup { max_abs: 0.01 },
+            WatermarkRule::BudgetLossSpike {
+                loss_rate: 0.5,
+                min_sent: 2,
+            },
+        ],
+        cooldown: 20,
+        max_dumps: 2,
+    }
+}
+
+fn build(par: Parallelism, faulted: bool) -> Fleet {
+    let mut b = RunBuilder::new(scenario(par))
+        .controller(ControllerKind::OdRl)
+        .recorder(recorder())
+        .arbiter_period(10);
+    if faulted {
+        b = b.faults(plan()).watchdog(true);
+    }
+    b.build_fleet(CHIPS).expect("valid diagnosed fleet configuration")
+}
+
+fn run(par: Parallelism, faulted: bool) -> (MetricsSnapshot, Vec<(u64, Vec<u8>)>) {
+    let mut fleet = build(par, faulted);
+    fleet.run(EPOCHS).expect("fleet run completes");
+    let snap = fleet
+        .fleet_snapshot()
+        .expect("diagnosed fleet exposes a combined snapshot")
+        .clone();
+    let dumps = fleet
+        .anomaly_dumps()
+        .iter()
+        .map(|d| (d.epoch, d.bytes.clone()))
+        .collect();
+    (snap, dumps)
+}
+
+fn check_invariant(faulted: bool) {
+    let (snap0, dumps0) = run(Parallelism::Serial, faulted);
+    assert!(
+        snap0.summary_by_name("fleet_rl_td_error").is_some_and(|s| s.count() > 0),
+        "aggregated TD-error summary must carry samples"
+    );
+    assert!(
+        !dumps0.is_empty(),
+        "the recorder must trip at least once in this scenario"
+    );
+    for shards in [2, 4, 8] {
+        let (snap, dumps) = run(Parallelism::Threads(shards), faulted);
+        assert_eq!(
+            snap0, snap,
+            "{shards}-shard aggregated snapshot drifted (faulted: {faulted})"
+        );
+        assert_eq!(
+            snap0.to_prometheus(),
+            snap.to_prometheus(),
+            "{shards}-shard Prometheus exposition drifted (faulted: {faulted})"
+        );
+        assert_eq!(
+            dumps0, dumps,
+            "{shards}-shard flight-recorder dump bytes drifted (faulted: {faulted})"
+        );
+    }
+}
+
+#[test]
+fn fault_free_fleet_aggregation_is_shard_invariant() {
+    check_invariant(false);
+}
+
+#[test]
+fn faulted_fleet_aggregation_and_dumps_are_shard_invariant() {
+    check_invariant(true);
+}
+
+#[test]
+fn diagnostics_do_not_perturb_the_run() {
+    // The whole observability layer is read-only: the same fleet with and
+    // without diagnostics+recorder must produce identical physics.
+    let mut plain = RunBuilder::new(scenario(Parallelism::Serial))
+        .controller(ControllerKind::OdRl)
+        .arbiter_period(10)
+        .build_fleet(CHIPS)
+        .expect("valid plain fleet");
+    plain.run(EPOCHS).expect("plain run completes");
+    let mut diagnosed = build(Parallelism::Serial, false);
+    diagnosed.run(EPOCHS).expect("diagnosed run completes");
+    let a = plain.summary();
+    let b = diagnosed.summary();
+    assert_eq!(a.total_instructions, b.total_instructions);
+    assert_eq!(a.total_energy_j, b.total_energy_j);
+    assert_eq!(a.overshoot_epochs, b.overshoot_epochs);
+    assert_eq!(
+        a.per_chip.iter().map(|c| c.budget_w).collect::<Vec<_>>(),
+        b.per_chip.iter().map(|c| c.budget_w).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn dump_body_sections_parse_back() {
+    let (_, dumps) = run(Parallelism::Serial, true);
+    let body = String::from_utf8(dumps[0].1.clone()).expect("dump bytes are UTF-8");
+    assert!(body.starts_with("# odrl_flight_record epoch "), "{body}");
+    let trace_at = body.find("# odrl_trace\n").expect("trace section present");
+    let (metrics_part, trace_part) = body.split_at(trace_at);
+    // The metrics section (header comment + exposition) reconstructs the
+    // combined snapshot exactly.
+    let metrics_text = metrics_part
+        .split_once('\n')
+        .map(|x| x.1)
+        .expect("header line present");
+    let snap = MetricsSnapshot::from_prometheus(metrics_text)
+        .expect("dump metrics section parses");
+    assert!(snap.counter_by_name("rack_anomalies").is_some());
+    // The trace section is fleet JSONL (comment lines are skipped by the
+    // reader).
+    let records = odrl_obs::read_fleet_jsonl(trace_part.as_bytes())
+        .expect("dump trace section parses");
+    assert!(!records.is_empty(), "dump trace window must carry events");
+}

@@ -64,7 +64,7 @@ pub use simple::{PriorityGreedy, StaticUniform};
 pub use steepest::SteepestDrop;
 
 use odrl_manycore::Observation;
-use odrl_obs::{EventCounts, EventRecord};
+use odrl_obs::{EventCounts, EventRecord, LearnDiag, MetricsSnapshot};
 use odrl_power::LevelId;
 
 /// A per-epoch DVFS power-capping policy.
@@ -113,5 +113,19 @@ pub trait PowerController {
     /// `odrl_obs::merge_records` before export.
     fn extend_trace_into(&self, out: &mut Vec<EventRecord>) {
         let _ = out;
+    }
+
+    /// The controller's most recent per-epoch metrics snapshot, when it is
+    /// instrumented (see `odrl-obs`). The default — and the baselines,
+    /// which keep no metrics — report `None`.
+    fn metrics_snapshot(&self) -> Option<&MetricsSnapshot> {
+        None
+    }
+
+    /// Run-cumulative learning-health diagnostics, when the controller
+    /// learns and records them (see `odrl-obs`). Baselines and
+    /// non-learning controllers report `None`.
+    fn learn_diag(&self) -> Option<&LearnDiag> {
+        None
     }
 }

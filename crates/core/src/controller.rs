@@ -128,7 +128,8 @@ impl CoreAgent {
 
     /// The learn half: applies the TD update for `(s, a, reward)` with the
     /// bootstrap captured by the same epoch's [`CoreAgent::decide`].
-    fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
+    /// Returns the TD error (the learning-health diagnostics signal).
+    fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<f64, RlError> {
         match self {
             Self::Single(agent) => agent.learn(s, a, reward, bootstrap),
             Self::Double(agent) => agent.learn(s, a, reward, bootstrap),
@@ -147,10 +148,46 @@ impl CoreAgent {
         a: usize,
         reward: f64,
         bootstrap: f64,
-    ) -> Result<(), RlError> {
+    ) -> Result<f64, RlError> {
         match self {
             Self::Single(agent) => agent.learn_prepared(s, a, reward, bootstrap),
             Self::Double(agent) => agent.learn_prepared(s, a, reward, bootstrap),
+        }
+    }
+
+    /// Min/max action value and visit count of state `s` — the
+    /// diagnostics tap (for double-Q, the element-wise union over both
+    /// tables).
+    fn row_stats(&self, s: usize) -> Result<odrl_rl::RowStats, RlError> {
+        match self {
+            Self::Single(a) => a.q().row_stats(s),
+            Self::Double(a) => {
+                let sa = a.qa().row_stats(s)?;
+                let sb = a.qb().row_stats(s)?;
+                Ok(odrl_rl::RowStats {
+                    q_min: sa.q_min.min(sb.q_min),
+                    q_max: sa.q_max.max(sb.q_max),
+                    visit_min: sa.visit_min.min(sb.visit_min),
+                    visit_max: sa.visit_max.max(sb.visit_max),
+                })
+            }
+        }
+    }
+
+    /// Quantized-storage health (summed over both tables for double-Q);
+    /// `None` when the storage is scalar.
+    fn quant_health(&self) -> Option<odrl_rl::QuantHealth> {
+        match self {
+            Self::Single(a) => a.q().quant_health(),
+            Self::Double(a) => {
+                let ha = a.qa().quant_health()?;
+                let hb = a.qb().quant_health()?;
+                Some(odrl_rl::QuantHealth {
+                    doublings: ha.doublings + hb.doublings,
+                    saturated: ha.saturated + hb.saturated,
+                    lanes: ha.lanes + hb.lanes,
+                })
+            }
         }
     }
 
@@ -917,6 +954,23 @@ impl PowerController for OdRlController {
             // chunking `shard_chunks` applies). Locking is uncontended and
             // only happens on the rare exploration epochs.
             let trace_rings = self.tracer.as_deref().map(CtrlTracer::shard_rings);
+            // Learning-health taps mirror the ring layout: each shard folds
+            // its TD-error / Q-span / visit-spread samples into a private
+            // accumulator and merges it once at shard end, so the summary
+            // algebra sees the same exact integer adds at any shard count.
+            let diag_shards = self.tracer.as_deref().and_then(CtrlTracer::shard_diags);
+            // Q-row statistics (greedy-Q span, visit spread) cost a full
+            // row scan per decide, and a full TD-error summary record is
+            // ~15 integer/float ops per core, so both sample on the
+            // diagnostics period — keyed on the epoch alone, hence
+            // shard-invariant. Off-period epochs keep only the TD peak
+            // (two compares) so watermark rules still see every blowup
+            // the epoch it happens; the decision/exploration tallies are
+            // plain increments and run every epoch.
+            let diag_rows = self
+                .tracer
+                .as_deref()
+                .is_some_and(|t| t.diag_enabled() && epoch.is_multiple_of(t.diag_period().max(1)));
             let chunk = n.div_ceil(config.parallelism.shards(n));
             // The batched decide path splits the per-core loop into
             // lane-friendly passes (encode → ε refill → scan/select). It
@@ -945,6 +999,11 @@ impl PowerController for OdRlController {
                     // whole shard instead of one per core.
                     let mut cache = EpsCache::new();
                     let len = agents.len();
+                    // Stack-local diagnostics accumulator; merged into the
+                    // shard slot once at the end so the hot loops never
+                    // touch the mutex.
+                    let diag_on = diag_shards.is_some();
+                    let mut diag = odrl_obs::LearnDiag::new();
                     // Encode in place (no separate serial pass over the
                     // cores): same arithmetic as `affordability`, with the
                     // decaying power ceiling read from the shared immutable
@@ -1113,6 +1172,18 @@ impl PowerController for OdRlController {
                                 }
                                 .expect("encoded state and indices are in range");
                                 boots[j] = bootstrap;
+                                if diag_on {
+                                    diag.decisions += 1;
+                                    if explored {
+                                        diag.explorations += 1;
+                                    }
+                                    if diag_rows {
+                                        if let Ok(st) = agents[j].row_stats(s_next) {
+                                            diag.q_span.record(st.q_span());
+                                            diag.visit_span.record(st.visit_spread() as f64);
+                                        }
+                                    }
+                                }
                                 if explored {
                                     if let Some(rings) = trace_rings {
                                         rings[base / chunk]
@@ -1166,9 +1237,14 @@ impl PowerController for OdRlController {
                                             (obs.cores[i].temperature.value() - limit).max(0.0);
                                         r -= config.thermal_penalty * excess / 10.0;
                                     }
-                                    agent
+                                    let td = agent
                                         .learn_prepared(s, a, r, boots[j])
                                         .expect("recorded state and action are in range");
+                                    if diag_rows {
+                                        diag.td_error.record(td);
+                                    } else if diag_on {
+                                        diag.td_error.record_extreme(td);
+                                    }
                                 }
                             }
                             learn_acc += t1.elapsed().as_nanos() as u64;
@@ -1209,6 +1285,18 @@ impl PowerController for OdRlController {
                                 .decide(config.algorithm, s_next, &mut rngs[j], &mut cache)
                                 .expect("encoded state and indices are in range");
                             boots[j] = bootstrap;
+                            if diag_on {
+                                diag.decisions += 1;
+                                if explored {
+                                    diag.explorations += 1;
+                                }
+                                if diag_rows {
+                                    if let Ok(st) = agents[j].row_stats(s_next) {
+                                        diag.q_span.record(st.q_span());
+                                        diag.visit_span.record(st.visit_spread() as f64);
+                                    }
+                                }
+                            }
                             if explored {
                                 if let Some(rings) = trace_rings {
                                     rings[base / chunk]
@@ -1266,12 +1354,23 @@ impl PowerController for OdRlController {
                                         (obs.cores[i].temperature.value() - limit).max(0.0);
                                     r -= config.thermal_penalty * excess / 10.0;
                                 }
-                                agent
+                                let td = agent
                                     .learn(s, a, r, boots[j])
                                     .expect("recorded state and action are in range");
+                                if diag_rows {
+                                    diag.td_error.record(td);
+                                } else if diag_on {
+                                    diag.td_error.record_extreme(td);
+                                }
                             }
                         }
                         rl_ns[0] = [decide_ns, t_learn.elapsed().as_nanos() as u64];
+                    }
+                    if let Some(ds) = diag_shards {
+                        ds[base / chunk]
+                            .lock()
+                            .expect("shard diag poisoned")
+                            .merge(&diag);
                     }
                 },
             );
@@ -1297,6 +1396,28 @@ impl PowerController for OdRlController {
         self.spare = old_pending.unwrap_or_default();
         self.pending = Some(decisions);
         self.timers.record(Stage::Rl, t_rl);
+        // Serial diagnostics epilogue. The quantized-health scan walks
+        // every agent's table, so it is period-gated; the channel tap
+        // hands the tracer the lifetime delivery counters (the tracer
+        // differences them into a per-epoch loss rate).
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            if tr.diag_enabled() {
+                if epoch.is_multiple_of(tr.diag_period()) {
+                    let (mut doublings, mut saturated, mut lanes) = (0u64, 0u64, 0u64);
+                    for agent in &self.agents[..n] {
+                        if let Some(h) = agent.quant_health() {
+                            doublings += h.doublings;
+                            saturated += h.saturated;
+                            lanes += h.lanes;
+                        }
+                    }
+                    tr.record_quant_health(doublings, saturated, lanes);
+                }
+                if let Some(ch) = &self.channel {
+                    tr.record_channel(ch.messages_sent(), ch.messages_delivered());
+                }
+            }
+        }
         if let (Some(tr), Some(t0)) = (self.tracer.as_deref_mut(), t0) {
             tr.end_epoch(epoch, t0);
         }
@@ -1310,6 +1431,14 @@ impl PowerController for OdRlController {
 
     fn extend_trace_into(&self, out: &mut Vec<EventRecord>) {
         OdRlController::extend_trace_into(self, out);
+    }
+
+    fn metrics_snapshot(&self) -> Option<&odrl_obs::MetricsSnapshot> {
+        self.tracer.as_deref().map(CtrlTracer::last_snapshot)
+    }
+
+    fn learn_diag(&self) -> Option<&odrl_obs::LearnDiag> {
+        self.tracer.as_deref().and_then(CtrlTracer::last_diag)
     }
 }
 

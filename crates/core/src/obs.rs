@@ -18,11 +18,29 @@
 use crate::watchdog::SensorWatchdog;
 use odrl_market::MarketRound;
 use odrl_obs::{
-    CounterId, Event, EventCounts, EventRecord, GaugeId, HistogramId, MetricsRegistry,
-    MetricsSnapshot, ObsConfig, TraceRing, WatchdogFlag, CHIP,
+    CounterId, Event, EventCounts, EventRecord, GaugeId, HistogramId, LearnDiag, MetricsRegistry,
+    MetricsSnapshot, ObsConfig, SummaryId, TraceRing, WatchdogFlag, CHIP,
 };
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Metric handles + channel edge state for the learning-health
+/// diagnostics, present only when [`ObsConfig::diagnostics`] is on so the
+/// diag-off registry layout stays byte-identical to earlier revisions.
+#[derive(Debug, Clone, Copy)]
+struct DiagIds {
+    s_td_error: SummaryId,
+    s_q_span: SummaryId,
+    s_visit_spread: SummaryId,
+    g_explore_rate: GaugeId,
+    g_quant_doublings: GaugeId,
+    g_quant_saturation: GaugeId,
+    g_loss_rate: GaugeId,
+    /// Channel lifetime counters at the last `record_channel` call, for
+    /// per-epoch deltas.
+    prev_sent: u64,
+    prev_delivered: u64,
+}
 
 /// Flight recorder for the OD-RL controller's decision events.
 #[derive(Debug)]
@@ -58,6 +76,17 @@ pub struct CtrlTracer {
     over: bool,
     over_since: u64,
     snapshot: MetricsSnapshot,
+    /// Learning-health metric handles; `None` when diagnostics are off.
+    diag: Option<DiagIds>,
+    /// One per-shard diagnostics accumulator, mirroring `shard_rings`
+    /// (empty when diagnostics are off). Each shard merges its stack-local
+    /// accumulator in once per epoch, so there is never contention.
+    shard_diags: Vec<Mutex<LearnDiag>>,
+    /// Run-cumulative diagnostics, folded from the shard accumulators at
+    /// each epoch boundary.
+    epoch_diag: LearnDiag,
+    /// Quantized-health scan period (resolved; 0 when diagnostics off).
+    diag_period: u64,
 }
 
 impl CtrlTracer {
@@ -100,6 +129,19 @@ impl CtrlTracer {
         let c_market_donation = metrics.counter("market_donation_rounds");
         let c_market_grant = metrics.counter("market_grant_rounds");
         let c_explore = metrics.counter("explore_choices");
+        // Diagnostics metrics register last and only when enabled, so the
+        // diag-off layout (and everything derived from it) is unchanged.
+        let diag = config.diagnostics().then(|| DiagIds {
+            s_td_error: metrics.summary("rl_td_error"),
+            s_q_span: metrics.summary("rl_q_span"),
+            s_visit_spread: metrics.summary("rl_visit_spread"),
+            g_explore_rate: metrics.gauge("rl_exploration_rate"),
+            g_quant_doublings: metrics.gauge("rl_quant_doublings"),
+            g_quant_saturation: metrics.gauge("rl_quant_saturation"),
+            g_loss_rate: metrics.gauge("budget_loss_rate"),
+            prev_sent: 0,
+            prev_delivered: 0,
+        });
         let mut snapshot = MetricsSnapshot::new();
         metrics.snapshot_into(0, &mut snapshot);
         Self {
@@ -132,6 +174,20 @@ impl CtrlTracer {
             over: false,
             over_since: 0,
             snapshot,
+            diag,
+            shard_diags: if config.diagnostics() {
+                (0..max_shards.max(1))
+                    .map(|_| Mutex::new(LearnDiag::new()))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            epoch_diag: LearnDiag::new(),
+            diag_period: if config.diagnostics() {
+                config.effective_diag_period()
+            } else {
+                0
+            },
         }
     }
 
@@ -286,8 +342,71 @@ impl CtrlTracer {
         &self.shard_rings
     }
 
-    /// Closes the epoch: records the decide latency and snapshots the
-    /// metrics. Call on every decide exit path.
+    /// Whether learning-health diagnostics are being recorded.
+    pub fn diag_enabled(&self) -> bool {
+        self.diag.is_some()
+    }
+
+    /// The quantized-health scan period (0 when diagnostics are off).
+    pub fn diag_period(&self) -> u64 {
+        self.diag_period
+    }
+
+    /// The per-shard diagnostics accumulators the RL loop folds its
+    /// stack-local [`LearnDiag`] into (same indexing as
+    /// [`CtrlTracer::shard_rings`]); `None` when diagnostics are off.
+    pub fn shard_diags(&self) -> Option<&[Mutex<LearnDiag>]> {
+        self.diag.is_some().then_some(&self.shard_diags[..])
+    }
+
+    /// Records a quantized-storage health scan (summed over every core's
+    /// tables). No-op when diagnostics are off.
+    #[inline]
+    pub fn record_quant_health(&mut self, doublings: u64, saturated: u64, lanes: u64) {
+        if let Some(ids) = self.diag {
+            self.metrics.set(ids.g_quant_doublings, doublings as f64);
+            let frac = if lanes == 0 {
+                0.0
+            } else {
+                saturated as f64 / lanes as f64
+            };
+            self.metrics.set(ids.g_quant_saturation, frac);
+            self.epoch_diag.quant_doublings = doublings;
+            self.epoch_diag.quant_saturated = saturated;
+            self.epoch_diag.quant_lanes = lanes;
+        }
+    }
+
+    /// Updates the per-epoch budget-channel loss-rate gauge from the
+    /// channel's lifetime `messages_sent` / `messages_delivered` counters
+    /// (the tracer differences them internally). Deliveries delayed into a
+    /// later epoch can exceed that epoch's sends; the loss rate saturates
+    /// at zero rather than going negative. No-op when diagnostics are off.
+    #[inline]
+    pub fn record_channel(&mut self, sent: u64, delivered: u64) {
+        if let Some(ids) = self.diag.as_mut() {
+            let d_sent = sent.saturating_sub(ids.prev_sent);
+            let d_delivered = delivered.saturating_sub(ids.prev_delivered);
+            ids.prev_sent = sent;
+            ids.prev_delivered = delivered;
+            let g = ids.g_loss_rate;
+            let loss = if d_sent == 0 {
+                0.0
+            } else {
+                d_sent.saturating_sub(d_delivered) as f64 / d_sent as f64
+            };
+            self.metrics.set(g, loss);
+        }
+    }
+
+    /// Run-cumulative learning-health diagnostics, `None` when off.
+    pub fn last_diag(&self) -> Option<&LearnDiag> {
+        self.diag.is_some().then_some(&self.epoch_diag)
+    }
+
+    /// Closes the epoch: records the decide latency, folds the shard
+    /// diagnostics into the registry, and snapshots the metrics. Call on
+    /// every decide exit path.
     #[inline]
     pub fn end_epoch(&mut self, epoch: u64, started: Instant) {
         self.metrics
@@ -295,6 +414,24 @@ impl CtrlTracer {
         let explored = self.total_explorations();
         let seen = self.metrics.counter_value(self.c_explore);
         self.metrics.add(self.c_explore, explored - seen);
+        if let Some(ids) = self.diag {
+            let mut folded = LearnDiag::new();
+            for m in &self.shard_diags {
+                let mut d = m.lock().expect("shard diag poisoned");
+                folded.merge(&d);
+                d.reset();
+            }
+            // Shard accumulators carry no quant fields (those come from
+            // the periodic scan via record_quant_health), so this merge
+            // only adds the epoch's TD/span/decision samples.
+            self.epoch_diag.merge(&folded);
+            self.metrics.merge_summary(ids.s_td_error, &folded.td_error);
+            self.metrics.merge_summary(ids.s_q_span, &folded.q_span);
+            self.metrics
+                .merge_summary(ids.s_visit_spread, &folded.visit_span);
+            self.metrics
+                .set(ids.g_explore_rate, self.epoch_diag.exploration_rate());
+        }
         self.metrics.snapshot_into(epoch, &mut self.snapshot);
     }
 
@@ -381,6 +518,14 @@ impl Clone for CtrlTracer {
             over: self.over,
             over_since: self.over_since,
             snapshot: self.snapshot.clone(),
+            diag: self.diag,
+            shard_diags: self
+                .shard_diags
+                .iter()
+                .map(|d| Mutex::new(*d.lock().expect("shard diag poisoned")))
+                .collect(),
+            epoch_diag: self.epoch_diag,
+            diag_period: self.diag_period,
         }
     }
 }

@@ -153,6 +153,14 @@ impl BudgetChannel {
     pub fn messages_delivered(&self) -> u64 {
         self.delivered
     }
+
+    /// Messages the fault windows have swallowed so far: sent but not
+    /// (yet) delivered — lost outright, or still in flight behind a
+    /// delay. This is the numerator of the budget-loss-rate gauge the
+    /// observability layer exports.
+    pub fn messages_lost(&self) -> u64 {
+        self.sent.saturating_sub(self.delivered)
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use odrl_core::{MarketConfig, OdRlConfig, WatchdogConfig};
 use odrl_faults::FaultPlan;
 use odrl_manycore::{Parallelism, System};
 use odrl_core::PolicySnapshot;
-use odrl_obs::ObsConfig;
+use odrl_obs::{ObsConfig, RecorderConfig};
 use odrl_power::Watts;
 use std::path::PathBuf;
 
@@ -58,6 +58,8 @@ pub struct RunBuilder {
     plan: Option<FaultPlan>,
     watchdog: bool,
     obs: bool,
+    diag: bool,
+    recorder: Option<RecorderConfig>,
     arbiter_period: u64,
     arbiter_gain: f64,
     min_share: f64,
@@ -81,6 +83,8 @@ impl RunBuilder {
             plan: None,
             watchdog: false,
             obs: false,
+            diag: false,
+            recorder: None,
             arbiter_period: defaults.arbiter_period,
             arbiter_gain: defaults.arbiter_gain,
             min_share: defaults.min_share,
@@ -128,6 +132,31 @@ impl RunBuilder {
     #[must_use]
     pub fn obs(mut self, obs: bool) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Record learning-health diagnostics (TD-error / Q-span /
+    /// visit-spread summaries, exploration rate, quantized-storage
+    /// health) and, on fleet builds, aggregate per-chip snapshots into
+    /// rack-level `FleetMetrics`. Implies [`RunBuilder::obs`].
+    #[must_use]
+    pub fn diag(mut self, diag: bool) -> Self {
+        self.diag = diag;
+        if diag {
+            self.obs = true;
+        }
+        self
+    }
+
+    /// Attach the anomaly-triggered flight recorder at rack scope (fleet
+    /// builds only). Implies [`RunBuilder::diag`] (and so
+    /// [`RunBuilder::obs`]). Pass `RecorderConfig::default()` for the
+    /// stock watermark rules.
+    #[must_use]
+    pub fn recorder(mut self, config: RecorderConfig) -> Self {
+        self.recorder = Some(config);
+        self.diag = true;
+        self.obs = true;
         self
     }
 
@@ -207,7 +236,9 @@ impl RunBuilder {
         if self.watchdog {
             odrl.watchdog = WatchdogConfig::enabled();
         }
-        if self.obs {
+        if self.diag {
+            odrl.obs = ObsConfig::with_diagnostics();
+        } else if self.obs {
             odrl.obs = ObsConfig::enabled();
         }
         if let Some(market) = self.market {
@@ -247,6 +278,8 @@ impl RunBuilder {
             plan: self.plan,
             watchdog: self.watchdog,
             obs: self.obs,
+            diag: self.diag,
+            recorder: self.recorder,
             arbiter_period: self.arbiter_period,
             arbiter_gain: self.arbiter_gain,
             min_share: self.min_share,

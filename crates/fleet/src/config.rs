@@ -5,6 +5,7 @@ use crate::scenario::{ControllerKind, Scenario};
 use odrl_core::{MarketConfig, OdRlConfig};
 use odrl_faults::FaultPlan;
 use odrl_manycore::Parallelism;
+use odrl_obs::RecorderConfig;
 use std::path::PathBuf;
 
 /// Everything a [`Fleet`](crate::Fleet) needs: how many chips, what each
@@ -39,6 +40,19 @@ pub struct FleetConfig {
     pub watchdog: bool,
     /// Enable structured tracing on every chip's system and controller.
     pub obs: bool,
+    /// Record learning-health diagnostics on every chip (TD-error,
+    /// greedy-Q-span and visit-spread summaries, exploration rate,
+    /// quantized-storage health) and aggregate per-chip metric snapshots
+    /// into rack-level [`FleetMetrics`](odrl_obs::FleetMetrics) each
+    /// epoch. Requires [`FleetConfig::obs`]. Off by default; when off the
+    /// run is bit-identical to a plain `obs` run.
+    pub diag: bool,
+    /// Attach the anomaly-triggered flight recorder at rack scope: each
+    /// epoch a [`HealthSample`](odrl_obs::HealthSample) derived from the
+    /// aggregated metrics is checked against the configured watermark
+    /// rules, and a trip dumps the last-window merged trace plus the
+    /// combined metrics snapshot. Requires [`FleetConfig::diag`].
+    pub recorder: Option<RecorderConfig>,
     /// Epochs between fleet budget reallocation rounds. Deliberately
     /// coarser than the intra-chip reallocation period by default: the
     /// rack moves budget on a slower timescale than the chip.
@@ -81,6 +95,8 @@ impl FleetConfig {
             plan: None,
             watchdog: false,
             obs: false,
+            diag: false,
+            recorder: None,
             arbiter_period: 40,
             arbiter_gain: 0.5,
             min_share: 0.25,
@@ -134,6 +150,40 @@ impl FleetConfig {
                     self.demand_smoothing
                 ),
             });
+        }
+        if self.diag && !self.obs {
+            return Err(FleetError::InvalidConfig {
+                field: "diag",
+                reason: "learning-health diagnostics require obs (structured tracing)".into(),
+            });
+        }
+        if let Some(rec) = &self.recorder {
+            if !self.diag {
+                return Err(FleetError::InvalidConfig {
+                    field: "recorder",
+                    reason: "the flight recorder needs diag (it reads the aggregated \
+                             learning-health metrics)"
+                        .into(),
+                });
+            }
+            if rec.window == 0 {
+                return Err(FleetError::InvalidConfig {
+                    field: "recorder",
+                    reason: "dump window must be at least 1 epoch".into(),
+                });
+            }
+            if rec.rules.is_empty() {
+                return Err(FleetError::InvalidConfig {
+                    field: "recorder",
+                    reason: "at least one watermark rule is required".into(),
+                });
+            }
+            if rec.max_dumps == 0 {
+                return Err(FleetError::InvalidConfig {
+                    field: "recorder",
+                    reason: "max_dumps must be at least 1".into(),
+                });
+            }
         }
         if self.parallelism.is_parallel() && self.scenario.parallelism.is_parallel() {
             // Both layers dispatch onto the same persistent worker pool,
@@ -195,6 +245,31 @@ mod tests {
         c.market.period = 0;
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("market"), "{err}");
+    }
+
+    #[test]
+    fn diag_and_recorder_require_their_parents() {
+        let mut c = FleetConfig::new(2, Scenario::default_eval());
+        c.diag = true;
+        assert!(c.validate().is_err());
+        c.obs = true;
+        assert!(c.validate().is_ok());
+        c.recorder = Some(RecorderConfig::default());
+        assert!(c.validate().is_ok());
+        c.diag = false;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("recorder"), "{err}");
+        c.diag = true;
+        c.recorder = Some(RecorderConfig {
+            window: 0,
+            ..RecorderConfig::default()
+        });
+        assert!(c.validate().is_err());
+        c.recorder = Some(RecorderConfig {
+            rules: Vec::new(),
+            ..RecorderConfig::default()
+        });
+        assert!(c.validate().is_err());
     }
 
     #[test]

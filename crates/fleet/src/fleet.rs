@@ -35,7 +35,11 @@ use odrl_core::{MarketAllocator, MarketRound, MarketScratch, PolicySnapshot, Wat
 use odrl_faults::{BudgetChannel, FaultEngine};
 use odrl_manycore::parallel::{shard_chunks, stream_seed};
 use odrl_manycore::{Observation, Parallelism, System, SystemError, Telemetry};
-use odrl_obs::{merge_fleet_records, EventRecord, FleetEventRecord, ObsConfig};
+use odrl_obs::{
+    merge_fleet_records, write_fleet_jsonl, AnomalyDump, AnomalyKind, CounterId, Event,
+    EventRecord, FleetEventRecord, FleetMetrics, FlightRecorder, GaugeId, HealthSample,
+    MetricsSnapshot, ObsConfig, RecorderConfig, TraceRing, RACK,
+};
 use odrl_power::{Joules, LevelId, Seconds, Watts};
 use serde::Serialize;
 
@@ -207,6 +211,72 @@ pub struct FleetSummary {
     pub per_chip: Vec<ChipSummary>,
 }
 
+/// Cached rack-registry metric handles (registered once at build).
+#[derive(Debug, Clone, Copy)]
+struct RackIds {
+    c_anomalies: CounterId,
+    g_share_spread: GaugeId,
+    g_loss_rate: GaugeId,
+    g_market_donated: GaugeId,
+    g_market_granted: GaugeId,
+    g_market_residual: GaugeId,
+    g_market_conservation: GaugeId,
+}
+
+/// Rack-scope observability: hierarchical metric aggregation over the
+/// chips' per-epoch snapshots, rack-level gauges, and the optional
+/// anomaly-triggered flight recorder. Present only when
+/// [`FleetConfig::diag`] is set; everything here reads simulation state
+/// and never feeds back into it, so the run is bit-identical with it on
+/// or off.
+#[derive(Debug)]
+struct FleetObs {
+    metrics: FleetMetrics,
+    recorder: Option<FlightRecorder>,
+    /// Rack-scope events (anomaly trips), exported as chip [`RACK`].
+    ring: TraceRing,
+    /// The combined `fleet_*` + `rack_*` snapshot, refreshed each epoch.
+    snapshot: MetricsSnapshot,
+    ids: RackIds,
+    /// Lifetime fleet-channel counters as of last epoch (loss deltas).
+    prev_sent: u64,
+    prev_delivered: u64,
+    /// Cumulative watchdog flip total as of last epoch.
+    prev_flips: u64,
+    /// Cumulative max |TD error| as of last epoch (new-high detection).
+    prev_td_max: f64,
+    /// Scratch for assembling a dump's merged trace window.
+    trace_scratch: Vec<FleetEventRecord>,
+}
+
+impl FleetObs {
+    fn new(recorder: Option<RecorderConfig>) -> Self {
+        let mut metrics = FleetMetrics::new();
+        let reg = metrics.rack_mut();
+        let ids = RackIds {
+            c_anomalies: reg.counter("anomalies"),
+            g_share_spread: reg.gauge("arbiter_share_spread_w"),
+            g_loss_rate: reg.gauge("budget_loss_rate"),
+            g_market_donated: reg.gauge("market_donated_w"),
+            g_market_granted: reg.gauge("market_granted_w"),
+            g_market_residual: reg.gauge("market_residual_w"),
+            g_market_conservation: reg.gauge("market_conservation_error_w"),
+        };
+        Self {
+            metrics,
+            recorder: recorder.map(FlightRecorder::new),
+            ring: TraceRing::with_capacity(256),
+            snapshot: MetricsSnapshot::default(),
+            ids,
+            prev_sent: 0,
+            prev_delivered: 0,
+            prev_flips: 0,
+            prev_td_max: 0.0,
+            trace_scratch: Vec::new(),
+        }
+    }
+}
+
 /// N chips stepped concurrently under one rack-level budget arbiter.
 ///
 /// Build with [`FleetConfig`] + [`Fleet::new`], or through
@@ -226,6 +296,9 @@ pub struct Fleet {
     parallelism: Parallelism,
     epoch: u64,
     telemetry: FleetTelemetry,
+    /// Rack-scope metric aggregation + flight recorder, when
+    /// [`FleetConfig::diag`] is set.
+    obs: Option<FleetObs>,
 }
 
 impl Fleet {
@@ -305,7 +378,9 @@ impl Fleet {
             if config.watchdog {
                 odrl.watchdog = WatchdogConfig::enabled();
             }
-            if config.obs {
+            if config.diag {
+                odrl.obs = ObsConfig::with_diagnostics();
+            } else if config.obs {
                 odrl.obs = ObsConfig::enabled();
             }
             // Decorrelate exploration across chips (uniformly, so a
@@ -347,6 +422,7 @@ impl Fleet {
             parallelism: config.parallelism,
             epoch: 0,
             telemetry: FleetTelemetry::default(),
+            obs: config.diag.then(|| FleetObs::new(config.recorder.clone())),
         })
     }
 
@@ -413,6 +489,34 @@ impl Fleet {
     /// Chip `k`'s own simulator telemetry.
     pub fn chip_telemetry(&self, k: usize) -> &Telemetry {
         self.chips[k].system.telemetry()
+    }
+
+    /// The rack-scope metric aggregator, when [`FleetConfig::diag`] is
+    /// set: per-chip snapshots merged with the exact summary algebra plus
+    /// the rack registry (share spread, link loss rate, market ledger).
+    pub fn fleet_metrics(&self) -> Option<&FleetMetrics> {
+        self.obs.as_ref().map(|fo| &fo.metrics)
+    }
+
+    /// The latest combined `fleet_*` + `rack_*` metrics snapshot, `None`
+    /// until the first diagnosed epoch (or with diagnostics off).
+    pub fn fleet_snapshot(&self) -> Option<&MetricsSnapshot> {
+        self.obs
+            .as_ref()
+            .map(|fo| &fo.snapshot)
+            .filter(|s| !s.counters.is_empty() || !s.gauges.is_empty())
+    }
+
+    /// The anomaly-triggered flight recorder, when
+    /// [`FleetConfig::recorder`] attached one.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.obs.as_ref().and_then(|fo| fo.recorder.as_ref())
+    }
+
+    /// Completed anomaly dumps in trip order (empty with the recorder
+    /// off).
+    pub fn anomaly_dumps(&self) -> &[AnomalyDump] {
+        self.flight_recorder().map_or(&[], FlightRecorder::dumps)
     }
 
     /// Steps the whole fleet one epoch (see the module docs for the
@@ -491,8 +595,138 @@ impl Fleet {
         }
         self.telemetry
             .record(fleet_power, self.total_budget, instructions, Joules::new(energy), dt);
+        // 5. Rack-scope observability: merge the chips' fresh metric
+        // snapshots, refresh the rack gauges, and feed the flight
+        // recorder. Taken out of `self` for the duration so the helper
+        // can walk chips/arbiter/market while mutating the aggregator.
+        if let Some(mut fo) = self.obs.take() {
+            self.observe_epoch(&mut fo, fleet_power);
+            self.obs = Some(fo);
+        }
         self.epoch += 1;
         Ok(())
+    }
+
+    /// One epoch of rack-scope observability (see [`FleetObs`]). Reads
+    /// only; allocation-free in steady state — the merge and snapshot
+    /// reuse their buffers, and dump assembly (which allocates) happens
+    /// only on the rare, bounded anomaly trips.
+    fn observe_epoch(&mut self, fo: &mut FleetObs, fleet_power: Watts) {
+        let epoch = self.epoch;
+        fo.metrics.begin_epoch(epoch);
+        for (k, chip) in self.chips.iter().enumerate() {
+            if let Some(snap) = chip.controller.metrics_snapshot() {
+                fo.metrics.record_chip(k as u32, snap);
+            }
+        }
+        // Rack gauges: arbiter share dispersion, fleet-link loss rate,
+        // market conservation.
+        let shares = self.arbiter.shares();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &s in shares {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        let spread = if shares.is_empty() { 0.0 } else { hi - lo };
+        let sent = self.channel.messages_sent();
+        let delivered = self.channel.messages_delivered();
+        let d_sent = sent.saturating_sub(fo.prev_sent);
+        // Delayed deliveries can land in a later epoch than their send,
+        // so the per-epoch delivered delta may exceed the sent delta;
+        // the loss count saturates at zero instead of going negative.
+        let d_delivered = delivered.saturating_sub(fo.prev_delivered);
+        fo.prev_sent = sent;
+        fo.prev_delivered = delivered;
+        let d_lost = d_sent.saturating_sub(d_delivered);
+        let loss = if d_sent == 0 {
+            0.0
+        } else {
+            d_lost as f64 / d_sent as f64
+        };
+        let ids = fo.ids;
+        let reg = fo.metrics.rack_mut();
+        reg.set(ids.g_share_spread, spread);
+        reg.set(ids.g_loss_rate, loss);
+        if let Some(market) = &self.market {
+            reg.set(ids.g_market_donated, market.pool().total_donated());
+            reg.set(ids.g_market_granted, market.pool().total_granted());
+        }
+        if let Some(round) = &self.last_market_round {
+            reg.set(ids.g_market_residual, round.residual_w);
+            reg.set(ids.g_market_conservation, round.conservation_error());
+        }
+        // Health sample: per-epoch deltas of the (cumulative) merged
+        // counters, plus new-high detection on the cumulative max |TD|
+        // so the blowup rule sees the epoch the spike happened, not
+        // every epoch after it.
+        let merged = fo.metrics.merged();
+        let flips: u64 = ["watchdog_stale_flips", "watchdog_dead_flips", "watchdog_dark_flips"]
+            .iter()
+            .filter_map(|n| merged.counter_by_name(n))
+            .sum();
+        let d_flips = flips.saturating_sub(fo.prev_flips);
+        fo.prev_flips = flips;
+        let td_cum = merged
+            .summary_by_name("rl_td_error")
+            .map_or(0.0, |s| s.max_abs());
+        let td_epoch = if td_cum > fo.prev_td_max { td_cum } else { 0.0 };
+        fo.prev_td_max = fo.prev_td_max.max(td_cum);
+        // Refresh the combined snapshot before any dump so a trip
+        // captures this epoch's state.
+        fo.metrics.snapshot_into(&mut fo.snapshot);
+        if let Some(rec) = &mut fo.recorder {
+            let sample = HealthSample {
+                epoch,
+                overshoot: fleet_power.value() > self.total_budget.value(),
+                td_max_abs: td_epoch,
+                watchdog_flips: d_flips,
+                messages_sent: d_sent,
+                messages_lost: d_lost,
+            };
+            if let Some(kind) = rec.observe(&sample) {
+                let value = match kind {
+                    AnomalyKind::OvershootStreak => fleet_power.value(),
+                    AnomalyKind::TdErrorBlowup => td_epoch,
+                    AnomalyKind::WatchdogFlipBurst => d_flips as f64,
+                    AnomalyKind::BudgetLossSpike => loss,
+                };
+                fo.metrics.rack_mut().inc(ids.c_anomalies);
+                fo.ring.record(epoch, 0, Event::Anomaly { kind, value });
+                // Assemble the dump: header, combined snapshot, then the
+                // last-window merged trace (chips + rack, canonical
+                // `(epoch, chip, rank, core)` order → bytes are shard-
+                // invariant).
+                let window = rec.config().window;
+                use std::io::Write as _;
+                let mut bytes = Vec::new();
+                writeln!(
+                    bytes,
+                    "# odrl_flight_record epoch {epoch} rule {} window {window}",
+                    kind.name()
+                )
+                .expect("write to Vec cannot fail");
+                bytes.extend_from_slice(fo.snapshot.to_prometheus().as_bytes());
+                writeln!(bytes, "# odrl_trace").expect("write to Vec cannot fail");
+                fo.trace_scratch.clear();
+                self.extend_trace_into(&mut fo.trace_scratch);
+                let mut rack_scratch: Vec<EventRecord> = Vec::new();
+                fo.ring.extend_into(&mut rack_scratch);
+                fo.trace_scratch.extend(
+                    rack_scratch
+                        .into_iter()
+                        .map(|record| FleetEventRecord { chip: RACK, record }),
+                );
+                let cutoff = (epoch + 1).saturating_sub(window);
+                fo.trace_scratch.retain(|r| r.record.epoch >= cutoff);
+                merge_fleet_records(&mut fo.trace_scratch);
+                write_fleet_jsonl(&mut bytes, &fo.trace_scratch)
+                    .expect("write to Vec cannot fail");
+                rec.record_dump(epoch, kind, bytes);
+                // Re-snapshot so the exported combined snapshot reflects
+                // the anomaly counter bump.
+                fo.metrics.snapshot_into(&mut fo.snapshot);
+            }
+        }
     }
 
     /// Steps the fleet for `epochs` epochs.
@@ -548,6 +782,18 @@ impl Fleet {
                 chip: k as u32,
                 record,
             }));
+        }
+        // Rack-scope events (anomaly trips) ride along under the RACK
+        // sentinel chip index, which sorts after every real chip within
+        // an epoch in the canonical merge order.
+        if let Some(fo) = &self.obs {
+            scratch.clear();
+            fo.ring.extend_into(&mut scratch);
+            out.extend(
+                scratch
+                    .iter()
+                    .map(|&record| FleetEventRecord { chip: RACK, record }),
+            );
         }
     }
 

@@ -46,3 +46,11 @@ pub use config::FleetConfig;
 pub use error::FleetError;
 pub use fleet::{ChipSummary, Fleet, FleetSummary, FleetTelemetry};
 pub use scenario::{ControllerKind, Scenario, ScenarioError};
+
+// Rack-scope observability types fleet callers configure and consume
+// (defined in `odrl-obs`): the recorder config/rules for
+// `FleetConfig::recorder` / `RunBuilder::recorder`, and the dump /
+// aggregate types `Fleet::anomaly_dumps` / `Fleet::fleet_metrics` return.
+pub use odrl_obs::{
+    AnomalyDump, AnomalyKind, FleetMetrics, FlightRecorder, RecorderConfig, WatermarkRule,
+};

@@ -20,6 +20,37 @@ use serde::{Deserialize, Serialize};
 /// faults, budget reallocations, chip-dark transitions).
 pub const CHIP: u32 = u32::MAX;
 
+/// Sentinel chip index for rack-wide events in a merged fleet trace
+/// (arbiter decisions, fleet-market rounds, anomaly trips). The epoch-major
+/// fleet merge key sorts rack events after every real chip's events of the
+/// same epoch, mirroring how the rack closes each fleet epoch.
+pub const RACK: u32 = u32::MAX;
+
+/// Which watermark rule tripped a flight-recorder [`Event::Anomaly`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// Fleet power stayed over its rack budget for too many epochs.
+    OvershootStreak,
+    /// The per-epoch max |TD error| crossed the blowup watermark.
+    TdErrorBlowup,
+    /// Too many watchdog flag flips inside a sliding epoch window.
+    WatchdogFlipBurst,
+    /// The budget channel lost too large a fraction of messages.
+    BudgetLossSpike,
+}
+
+impl AnomalyKind {
+    /// Short kebab-case name for dump headers and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::OvershootStreak => "overshoot-streak",
+            Self::TdErrorBlowup => "td-error-blowup",
+            Self::WatchdogFlipBurst => "watchdog-flip-burst",
+            Self::BudgetLossSpike => "budget-loss-spike",
+        }
+    }
+}
+
 /// Which watchdog flag a [`Event::Watchdog`] transition refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WatchdogFlag {
@@ -166,6 +197,16 @@ pub enum Event {
         /// True total chip power over the epoch, watts.
         power_w: f64,
     },
+    /// A flight-recorder watermark rule tripped (rack-wide at fleet
+    /// scope). Recorded after the epoch boundary so a dump's trace window
+    /// ends with the trip that produced it.
+    Anomaly {
+        /// Which watermark rule tripped.
+        kind: AnomalyKind,
+        /// The observed value that crossed the watermark (streak length,
+        /// max |TD error|, flip count, or loss rate — per `kind`).
+        value: f64,
+    },
 }
 
 impl Event {
@@ -189,6 +230,7 @@ impl Event {
             Self::FaultCleared { .. } => 9,
             Self::VfAction { .. } => 10,
             Self::Epoch { .. } => 11,
+            Self::Anomaly { .. } => 12,
         }
     }
 
@@ -206,6 +248,7 @@ impl Event {
             Self::FaultInjected { .. } | Self::FaultCleared { .. } => "fault",
             Self::VfAction { .. } => "vf",
             Self::Epoch { .. } => "epoch",
+            Self::Anomaly { .. } => "anomaly",
         }
     }
 
@@ -229,6 +272,7 @@ impl Event {
             Self::FaultCleared { class } => format!("{} clear", class.name()),
             Self::VfAction { level } => format!("level {level}"),
             Self::Epoch { power_w } => format!("{power_w:.3} W"),
+            Self::Anomaly { kind, value } => format!("{} at {value:.3}", kind.name()),
         }
     }
 }
@@ -451,5 +495,12 @@ mod tests {
         let e = Event::VfAction { level: 5 };
         assert_eq!(e.kind_name(), "vf");
         assert_eq!(e.detail(), "level 5");
+        let e = Event::Anomaly {
+            kind: AnomalyKind::TdErrorBlowup,
+            value: 64.5,
+        };
+        assert_eq!(e.kind_name(), "anomaly");
+        assert_eq!(e.detail(), "td-error-blowup at 64.500");
+        assert!(Event::Epoch { power_w: 0.0 }.rank() < e.rank());
     }
 }

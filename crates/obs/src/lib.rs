@@ -19,6 +19,16 @@
 //! - **Sinks** ([`JsonlSink`], [`CsvSink`], [`MemorySink`]): export-time
 //!   consumers of merged traces, plus [`read_jsonl`] for loading a trace
 //!   back (the `trace_inspect` tool's input path).
+//! - **Summaries** ([`StreamSummary`], [`LearnDiag`]): exact-integer
+//!   streaming moments + log2-magnitude histograms whose merge is
+//!   associative and commutative, so per-shard learning-health
+//!   accumulators fold to bit-identical results at any shard count.
+//! - **Aggregation** ([`FleetMetrics`]): deterministic `(epoch, chip)`
+//!   keyed merge of per-chip snapshots plus a rack-scope registry.
+//! - **Flight recorder** ([`FlightRecorder`]): declarative watermark
+//!   rules ([`WatermarkRule`]) over per-epoch [`HealthSample`]s; a trip
+//!   dumps the trailing merged-trace window + metrics snapshot
+//!   ([`AnomalyDump`]) and emits an [`Event::Anomaly`].
 //! - **Config** ([`ObsConfig`]): the enable switch embedded in
 //!   `SystemConfig`/`OdRlConfig`, defaulting to off so uninstrumented
 //!   runs pay nothing; [`EventCounts`] summarizes a run's events per kind.
@@ -29,17 +39,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod aggregate;
 pub mod config;
 pub mod event;
+pub mod recorder;
 pub mod registry;
 pub mod ring;
 pub mod sink;
+pub mod summary;
 
-pub use config::{EventCounts, ObsConfig, DEFAULT_RING_CAPACITY};
+pub use aggregate::FleetMetrics;
+pub use config::{EventCounts, ObsConfig, DEFAULT_DIAG_PERIOD, DEFAULT_RING_CAPACITY};
 pub use event::{
-    merge_fleet_records, merge_records, Event, EventRecord, FaultClass, FleetEventRecord,
-    WatchdogFlag, CHIP,
+    merge_fleet_records, merge_records, AnomalyKind, Event, EventRecord, FaultClass,
+    FleetEventRecord, WatchdogFlag, CHIP, RACK,
 };
-pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{AnomalyDump, FlightRecorder, HealthSample, RecorderConfig, WatermarkRule};
+pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot, SummaryId};
 pub use ring::TraceRing;
-pub use sink::{read_jsonl, CsvSink, JsonlSink, MemorySink, TraceSink};
+pub use sink::{
+    read_fleet_jsonl, read_jsonl, write_fleet_jsonl, CsvSink, JsonlSink, MemorySink, TraceSink,
+};
+pub use summary::{LearnDiag, StreamSummary, SUMMARY_BUCKETS};

@@ -1,13 +1,20 @@
-//! A registry of named counters, gauges and histograms.
+//! A registry of named counters, gauges, histograms and summaries.
 //!
 //! All metrics are registered once at construction (allocating their
 //! storage and names); after that every update — [`MetricsRegistry::inc`],
 //! [`MetricsRegistry::add`], [`MetricsRegistry::set`],
-//! [`MetricsRegistry::observe`] — is an indexed store with no heap
-//! traffic, and [`MetricsRegistry::snapshot_into`] copies the scalar
-//! metrics into a reusable [`MetricsSnapshot`] without allocating once
-//! the snapshot buffers are warm.
+//! [`MetricsRegistry::observe`], [`MetricsRegistry::merge_summary`] — is
+//! an indexed store with no heap traffic, and
+//! [`MetricsRegistry::snapshot_into`] copies the scalar metrics into a
+//! reusable [`MetricsSnapshot`] without allocating once the snapshot
+//! buffers are warm.
+//!
+//! Snapshots deliberately carry **counters, gauges and summaries only**:
+//! the histograms hold wall-clock latencies, which would leak
+//! nondeterminism into anything derived from a snapshot (fleet
+//! aggregation, flight-recorder dumps).
 
+use crate::summary::{StreamSummary, SUMMARY_BUCKETS};
 use odrl_metrics::Histogram;
 
 /// Handle to a registered counter.
@@ -22,12 +29,18 @@ pub struct GaugeId(usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramId(usize);
 
-/// Named counters/gauges/histograms with fixed-at-construction layout.
+/// Handle to a registered streaming summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryId(usize);
+
+/// Named counters/gauges/histograms/summaries with fixed-at-construction
+/// layout.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, f64)>,
     histograms: Vec<(String, Histogram)>,
+    summaries: Vec<(String, StreamSummary)>,
 }
 
 impl MetricsRegistry {
@@ -66,6 +79,12 @@ impl MetricsRegistry {
         Ok(HistogramId(self.histograms.len() - 1))
     }
 
+    /// Registers a streaming summary (construction time).
+    pub fn summary(&mut self, name: &str) -> SummaryId {
+        self.summaries.push((name.to_string(), StreamSummary::new()));
+        SummaryId(self.summaries.len() - 1)
+    }
+
     /// Increments a counter by one.
     #[inline]
     pub fn inc(&mut self, id: CounterId) {
@@ -90,6 +109,19 @@ impl MetricsRegistry {
         self.histograms[id.0].1.record(value);
     }
 
+    /// Records a sample into a streaming summary.
+    #[inline]
+    pub fn record_summary(&mut self, id: SummaryId, value: f64) {
+        self.summaries[id.0].1.record(value);
+    }
+
+    /// Folds a pre-accumulated summary into a registered one (exact merge
+    /// — see [`StreamSummary::merge`]).
+    #[inline]
+    pub fn merge_summary(&mut self, id: SummaryId, s: &StreamSummary) {
+        self.summaries[id.0].1.merge(s);
+    }
+
     /// Current value of a counter.
     pub fn counter_value(&self, id: CounterId) -> u64 {
         self.counters[id.0].1
@@ -103,6 +135,11 @@ impl MetricsRegistry {
     /// The histogram behind a handle.
     pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
         &self.histograms[id.0].1
+    }
+
+    /// The streaming summary behind a handle.
+    pub fn summary_ref(&self, id: SummaryId) -> &StreamSummary {
+        &self.summaries[id.0].1
     }
 
     /// Iterates `(name, value)` over all counters.
@@ -120,6 +157,11 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(n, h)| (n.as_str(), h))
     }
 
+    /// Iterates `(name, summary)` over all streaming summaries.
+    pub fn summaries(&self) -> impl Iterator<Item = (&str, &StreamSummary)> {
+        self.summaries.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
     /// Looks a counter up by name (diagnostics/tests; O(metrics)).
     pub fn counter_by_name(&self, name: &str) -> Option<u64> {
         self.counters
@@ -128,18 +170,30 @@ impl MetricsRegistry {
             .map(|(_, v)| *v)
     }
 
-    /// Copies every counter and gauge into `snap`. The first call sizes
-    /// the snapshot's buffers; every later call with the same registry
-    /// layout is allocation-free.
+    /// Copies every counter, gauge and summary into `snap`. The first call
+    /// sizes the snapshot's buffers and copies the metric names; every
+    /// later call with the same registry layout is allocation-free.
     pub fn snapshot_into(&self, epoch: u64, snap: &mut MetricsSnapshot) {
         snap.epoch = epoch;
         snap.counters.resize(self.counters.len(), 0);
         snap.gauges.resize(self.gauges.len(), 0.0);
+        snap.summaries.resize(self.summaries.len(), StreamSummary::new());
+        if snap.counter_names.len() != self.counters.len()
+            || snap.gauge_names.len() != self.gauges.len()
+            || snap.summary_names.len() != self.summaries.len()
+        {
+            snap.counter_names = self.counters.iter().map(|(n, _)| n.clone()).collect();
+            snap.gauge_names = self.gauges.iter().map(|(n, _)| n.clone()).collect();
+            snap.summary_names = self.summaries.iter().map(|(n, _)| n.clone()).collect();
+        }
         for (dst, (_, v)) in snap.counters.iter_mut().zip(&self.counters) {
             *dst = *v;
         }
         for (dst, (_, v)) in snap.gauges.iter_mut().zip(&self.gauges) {
             *dst = *v;
+        }
+        for (dst, (_, s)) in snap.summaries.iter_mut().zip(&self.summaries) {
+            *dst = *s;
         }
     }
 
@@ -161,12 +215,20 @@ impl MetricsRegistry {
                 }
             }
         }
+        for (n, s) in self.summaries() {
+            out.push_str(&format!("{n}_count,{}\n", s.count()));
+            if s.count() > 0 {
+                out.push_str(&format!("{n}_mean,{}\n", s.mean()));
+                out.push_str(&format!("{n}_max,{}\n", s.max()));
+            }
+        }
         out
     }
 }
 
-/// A point-in-time copy of a registry's scalar metrics, reusable across
-/// epochs without reallocating.
+/// A point-in-time copy of a registry's scalar metrics (counters, gauges,
+/// summaries — never histograms, which hold wall-clock samples), reusable
+/// across epochs without reallocating.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Epoch the snapshot was taken at.
@@ -175,12 +237,154 @@ pub struct MetricsSnapshot {
     pub counters: Vec<u64>,
     /// Gauge values, in registration order.
     pub gauges: Vec<f64>,
+    /// Streaming summaries, in registration order.
+    pub summaries: Vec<StreamSummary>,
+    /// Counter names, copied once when the snapshot is first sized.
+    pub counter_names: Vec<String>,
+    /// Gauge names, copied once when the snapshot is first sized.
+    pub gauge_names: Vec<String>,
+    /// Summary names, copied once when the snapshot is first sized.
+    pub summary_names: Vec<String>,
 }
 
 impl MetricsSnapshot {
     /// An empty snapshot (sized on first [`MetricsRegistry::snapshot_into`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Value of a counter by name (diagnostics/tests; O(metrics)).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        let i = self.counter_names.iter().position(|n| n == name)?;
+        self.counters.get(i).copied()
+    }
+
+    /// Value of a gauge by name (diagnostics/tests; O(metrics)).
+    pub fn gauge_by_name(&self, name: &str) -> Option<f64> {
+        let i = self.gauge_names.iter().position(|n| n == name)?;
+        self.gauges.get(i).copied()
+    }
+
+    /// A summary by name (diagnostics/tests; O(metrics)).
+    pub fn summary_by_name(&self, name: &str) -> Option<&StreamSummary> {
+        let i = self.summary_names.iter().position(|n| n == name)?;
+        self.summaries.get(i)
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Counters and gauges become ordinary `# TYPE`-annotated sample
+    /// lines. Each summary becomes a block of untyped derived samples
+    /// (`_count`, `_mean`, `_stddev`, `_min`, `_max`) preceded by one
+    /// `# odrl_summary` comment carrying the exact integer state, so
+    /// [`MetricsSnapshot::from_prometheus`] reconstructs the snapshot bit
+    /// for bit (Prometheus itself ignores unknown comments). `f64` values
+    /// print through `Display`, which round-trips exactly.
+    ///
+    /// Export-time only (allocates).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# odrl_snapshot epoch {}", self.epoch);
+        for (name, v) in self.counter_names.iter().zip(&self.counters) {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in self.gauge_names.iter().zip(&self.gauges) {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, s) in self.summary_names.iter().zip(&self.summaries) {
+            let (count, sum_q, sum_sq_q, min, max, buckets) = s.raw_parts();
+            let _ = write!(
+                out,
+                "# odrl_summary {name} {count} {sum_q} {sum_sq_q} {min} {max}"
+            );
+            for b in buckets {
+                let _ = write!(out, " {b}");
+            }
+            out.push('\n');
+            let _ = writeln!(out, "{name}_count {count}");
+            let _ = writeln!(out, "{name}_mean {}", s.mean());
+            let _ = writeln!(out, "{name}_stddev {}", s.std_dev());
+            let _ = writeln!(out, "{name}_min {}", s.min());
+            let _ = writeln!(out, "{name}_max {}", s.max());
+        }
+        out
+    }
+
+    /// Parses [`MetricsSnapshot::to_prometheus`] output back into a
+    /// snapshot — an exact inverse, including summary state. Sample lines
+    /// are accepted only for the metric named by the preceding `# TYPE`
+    /// header, so the untyped summary-derived samples are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_prometheus(text: &str) -> Result<Self, String> {
+        fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+            tok.ok_or_else(|| format!("missing {what}"))?
+                .parse()
+                .map_err(|_| format!("malformed {what}"))
+        }
+        let mut snap = MetricsSnapshot::new();
+        // (name, is_counter) of the last `# TYPE` header seen.
+        let mut expect: Option<(String, bool)> = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                let mut tok = rest.split_whitespace();
+                match tok.next() {
+                    Some("odrl_snapshot") if tok.next() == Some("epoch") => {
+                        snap.epoch = parse(tok.next(), "epoch")?;
+                    }
+                    Some("odrl_snapshot") => {}
+                    Some("TYPE") => {
+                        let name = parse::<String>(tok.next(), "metric name")?;
+                        let kind = parse::<String>(tok.next(), "metric kind")?;
+                        expect = Some((name, kind == "counter"));
+                    }
+                    Some("odrl_summary") => {
+                        let name = parse::<String>(tok.next(), "summary name")?;
+                        let count = parse(tok.next(), "summary count")?;
+                        let sum_q = parse(tok.next(), "summary sum")?;
+                        let sum_sq_q = parse(tok.next(), "summary sum_sq")?;
+                        let min = parse(tok.next(), "summary min")?;
+                        let max = parse(tok.next(), "summary max")?;
+                        let mut buckets = [0u64; SUMMARY_BUCKETS];
+                        for b in &mut buckets {
+                            *b = parse(tok.next(), "summary bucket")?;
+                        }
+                        snap.summary_names.push(name);
+                        snap.summaries.push(StreamSummary::from_raw_parts(
+                            count, sum_q, sum_sq_q, min, max, buckets,
+                        ));
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let (name, value) = (tok.next().unwrap_or(""), tok.next());
+            if let Some((expected, is_counter)) = expect.take() {
+                if name == expected {
+                    if is_counter {
+                        snap.counter_names.push(expected);
+                        snap.counters.push(parse(value, "counter value")?);
+                    } else {
+                        snap.gauge_names.push(expected);
+                        snap.gauges.push(parse(value, "gauge value")?);
+                    }
+                    continue;
+                }
+                // Header without its sample: drop the expectation.
+            }
+            // Untyped lines (summary-derived samples) are ignored.
+        }
+        Ok(snap)
     }
 }
 
@@ -234,5 +438,64 @@ mod tests {
         assert_eq!(snap.gauges, vec![2.0]);
         assert_eq!(snap.counters.capacity(), cap_c);
         assert_eq!(snap.gauges.capacity(), cap_g);
+        assert_eq!(snap.counter_names, vec!["a".to_string()]);
+        assert_eq!(snap.gauge_names, vec!["b".to_string()]);
+        assert_eq!(snap.counter_by_name("a"), Some(1));
+        assert_eq!(snap.gauge_by_name("b"), Some(2.0));
+        assert_eq!(snap.counter_by_name("missing"), None);
+    }
+
+    #[test]
+    fn summaries_register_record_and_snapshot() {
+        let mut reg = MetricsRegistry::new();
+        let s = reg.summary("td_error");
+        reg.record_summary(s, 0.5);
+        reg.record_summary(s, -1.5);
+        let mut pre = StreamSummary::new();
+        pre.record(2.0);
+        reg.merge_summary(s, &pre);
+        assert_eq!(reg.summary_ref(s).count(), 3);
+        let mut snap = MetricsSnapshot::new();
+        reg.snapshot_into(7, &mut snap);
+        assert_eq!(snap.summary_names, vec!["td_error".to_string()]);
+        assert_eq!(snap.summary_by_name("td_error").unwrap().count(), 3);
+        let csv = reg.to_csv();
+        assert!(csv.contains("td_error_count,3"));
+    }
+
+    #[test]
+    fn prometheus_round_trips_exactly() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("overshoot_onsets");
+        let g = reg.gauge("budget_loss_rate");
+        let s = reg.summary("rl_td_error");
+        reg.add(c, 17);
+        reg.set(g, 0.125);
+        for x in [0.25, -3.5, 11.0, 1e-7, -0.0625] {
+            reg.record_summary(s, x);
+        }
+        let mut snap = MetricsSnapshot::new();
+        reg.snapshot_into(42, &mut snap);
+        let text = snap.to_prometheus();
+        // Prometheus-shaped body: TYPE headers plus derived summary lines.
+        assert!(text.contains("# TYPE overshoot_onsets counter"));
+        assert!(text.contains("overshoot_onsets 17"));
+        assert!(text.contains("# TYPE budget_loss_rate gauge"));
+        assert!(text.contains("budget_loss_rate 0.125"));
+        assert!(text.contains("rl_td_error_count 5"));
+        assert!(text.contains("rl_td_error_mean "));
+        // Exact inverse: full snapshot equality, then text fixpoint.
+        let back = MetricsSnapshot::from_prometheus(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_prometheus(), text);
+        // An empty summary (infinite sentinels) survives the trip too.
+        let mut reg2 = MetricsRegistry::new();
+        reg2.summary("empty");
+        let mut snap2 = MetricsSnapshot::new();
+        reg2.snapshot_into(0, &mut snap2);
+        let back2 = MetricsSnapshot::from_prometheus(&snap2.to_prometheus()).unwrap();
+        assert_eq!(back2, snap2);
+        // Malformed input is rejected, not mis-parsed.
+        assert!(MetricsSnapshot::from_prometheus("# TYPE x counter\nx notanumber\n").is_err());
     }
 }

@@ -4,7 +4,7 @@
 //! export time — the hot loop only ever touches the preallocated rings,
 //! so sinks are free to allocate and do I/O.
 
-use crate::event::EventRecord;
+use crate::event::{EventRecord, FleetEventRecord};
 use std::io::{self, BufRead, Write};
 
 /// A consumer of merged trace records.
@@ -143,6 +143,45 @@ pub fn read_jsonl<R: BufRead>(reader: R) -> io::Result<Vec<EventRecord>> {
     Ok(out)
 }
 
+/// Writes merged fleet records as one JSON object per line (the
+/// `trace_inspect --chip` input format and the flight-recorder trace
+/// section).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, if any.
+pub fn write_fleet_jsonl<W: Write>(writer: &mut W, records: &[FleetEventRecord]) -> io::Result<()> {
+    for r in records {
+        let line = serde_json::to_string(r)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Parses a fleet JSONL trace (as written by [`write_fleet_jsonl`]) back
+/// into records. Blank lines and `#` comment lines are skipped, so a
+/// flight-recorder dump's trace section parses directly.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] for unreadable input or undecodable lines.
+pub fn read_fleet_jsonl<R: BufRead>(reader: R) -> io::Result<Vec<FleetEventRecord>> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let rec: FleetEventRecord = serde_json::from_str(trimmed)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +242,24 @@ mod tests {
         assert_eq!(lines[0], "epoch,core,seq,kind,detail");
         assert!(lines[1].contains("watchdog"));
         assert!(lines[3].starts_with("1,chip,"));
+    }
+
+    #[test]
+    fn fleet_jsonl_round_trips_and_skips_comments() {
+        let records: Vec<FleetEventRecord> = sample()
+            .into_iter()
+            .enumerate()
+            .map(|(i, record)| FleetEventRecord {
+                chip: i as u32,
+                record,
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"# odrl_trace window 3\n");
+        write_fleet_jsonl(&mut bytes, &records).unwrap();
+        let parsed = read_fleet_jsonl(&bytes[..]).unwrap();
+        assert_eq!(parsed, records);
+        assert!(read_fleet_jsonl("not json\n".as_bytes()).is_err());
     }
 
     #[test]

@@ -106,7 +106,8 @@ impl Agent {
         self.q.best_action(s)
     }
 
-    /// Applies one TD update for transition `(s, a, r, s')`.
+    /// Applies one TD update for transition `(s, a, r, s')`, returning the
+    /// TD error `target − Q(s, a)` (the learning-health signal).
     ///
     /// For [`Algorithm::Sarsa`] the bootstrap uses the greedy action of
     /// `s'` as a stand-in when the next action has not been chosen yet; use
@@ -122,12 +123,13 @@ impl Agent {
         a: usize,
         reward: f64,
         s_next: usize,
-    ) -> Result<(), RlError> {
+    ) -> Result<f64, RlError> {
         let bootstrap = self.q.max_value(s_next)?;
         self.td_update(s, a, reward, bootstrap)
     }
 
-    /// SARSA update with an explicit next action `a'`.
+    /// SARSA update with an explicit next action `a'`, returning the TD
+    /// error.
     ///
     /// # Errors
     ///
@@ -139,7 +141,7 @@ impl Agent {
         reward: f64,
         s_next: usize,
         a_next: usize,
-    ) -> Result<(), RlError> {
+    ) -> Result<f64, RlError> {
         let bootstrap = self.q.get(s_next, a_next)?;
         self.td_update(s, a, reward, bootstrap)
     }
@@ -492,12 +494,13 @@ impl Agent {
     /// The learning half of a decide/learn pair: applies the TD update for
     /// `(s, a, reward)` against a bootstrap previously returned by
     /// [`Agent::decide_q_explored`] or [`Agent::decide_sarsa_explored`].
+    /// Returns the TD error `target − Q(s, a)`.
     ///
     /// # Errors
     ///
     /// Returns [`RlError::IndexOutOfRange`] for invalid indices or
     /// [`RlError::InvalidParameter`] for a non-finite reward.
-    pub fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
+    pub fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<f64, RlError> {
         self.td_update(s, a, reward, bootstrap)
     }
 
@@ -513,7 +516,7 @@ impl Agent {
         a: usize,
         reward: f64,
         bootstrap: f64,
-    ) -> Result<(), RlError> {
+    ) -> Result<f64, RlError> {
         self.td_update(s, a, reward, bootstrap)
     }
 
@@ -599,7 +602,7 @@ impl Agent {
         a: usize,
         reward: f64,
         bootstrap: f64,
-    ) -> Result<(), RlError> {
+    ) -> Result<f64, RlError> {
         if !reward.is_finite() {
             return Err(RlError::InvalidParameter {
                 name: "reward",
@@ -620,7 +623,8 @@ impl Agent {
             // Robbins-Monro convergence conditions when using InverseTime.
             let alpha = self.alpha.value(visits - 1);
             let old = self.q.get(s, a)?;
-            self.q.set(s, a, old + alpha * (target - old))
+            self.q.set(s, a, old + alpha * (target - old))?;
+            Ok(target - old)
         }
     }
 }

@@ -402,12 +402,13 @@ impl DoubleAgent {
     /// The learning half of a decide/learn pair: applies the double-Q
     /// update for `(s, a, reward)` against a bootstrap returned by
     /// [`DoubleAgent::decide_explored`], advancing the table rotation.
+    /// Returns the TD error `target − Q(s, a)` against the updated table.
     ///
     /// # Errors
     ///
     /// Returns [`RlError::IndexOutOfRange`] for invalid indices or
     /// [`RlError::InvalidParameter`] for a non-finite reward.
-    pub fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
+    pub fn learn(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<f64, RlError> {
         self.learn_impl(s, a, reward, bootstrap)
     }
 
@@ -423,12 +424,12 @@ impl DoubleAgent {
         a: usize,
         reward: f64,
         bootstrap: f64,
-    ) -> Result<(), RlError> {
+    ) -> Result<f64, RlError> {
         self.learn_impl(s, a, reward, bootstrap)
     }
 
     #[inline]
-    fn learn_impl(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<(), RlError> {
+    fn learn_impl(&mut self, s: usize, a: usize, reward: f64, bootstrap: f64) -> Result<f64, RlError> {
         if !reward.is_finite() {
             return Err(RlError::InvalidParameter {
                 name: "reward",
@@ -450,7 +451,8 @@ impl DoubleAgent {
             let visits = upd.visit(s, a)?;
             let alpha = self.alpha.value(visits - 1);
             let old = upd.get(s, a)?;
-            upd.set(s, a, old + alpha * (target - old))
+            upd.set(s, a, old + alpha * (target - old))?;
+            Ok(target - old)
         }
     }
 

@@ -1,7 +1,7 @@
 //! Explicit-SIMD row scans over 16-lane-padded `i16` Q-banks.
 //!
 //! The [`QuantizedTable`](crate::QuantizedTable) layout pads every state row
-//! to a multiple of [`QUANT_LANES`](crate::QUANT_LANES) lanes of `i16`, with
+//! to a multiple of [`QUANT_LANES`] lanes of `i16`, with
 //! pad lanes pinned to `i16::MIN` and real lanes clamped to `±i16::MAX`.
 //! That invariant is what this module exploits: a whole bank can be scanned
 //! with wide integer max/compare instructions and pad lanes can never win

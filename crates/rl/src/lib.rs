@@ -69,5 +69,5 @@ pub use snapshot::{
     SnapshotError, KIND_AGENT, KIND_DOUBLE_AGENT, KIND_POLICY_SET, SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
 };
-pub use storage::{QTableLayout, QTableStorage, QuantizedTable, QUANT_LANES};
+pub use storage::{QTableLayout, QTableStorage, QuantHealth, QuantizedTable, RowStats, QUANT_LANES};
 pub use traces::{TraceAgent, TraceAgentBuilder};

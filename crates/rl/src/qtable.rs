@@ -2,6 +2,7 @@
 
 use crate::error::RlError;
 use crate::schedule::Schedule;
+use crate::storage::RowStats;
 use serde::{Deserialize, Serialize};
 
 /// A dense `|S| × |A|` table of action values with visit counts.
@@ -131,6 +132,7 @@ impl QTable {
     /// Fused TD update: one bounds check covers the visit bump, the
     /// learning-rate lookup, the read and the write. Bit-identical to the
     /// unfused `visit` → `alpha.value(visits - 1)` → `get` → `set` chain.
+    /// Returns the TD error `target − old` (the learning-health signal).
     ///
     /// # Errors
     ///
@@ -142,7 +144,7 @@ impl QTable {
         a: usize,
         alpha: &Schedule,
         target: f64,
-    ) -> Result<(), RlError> {
+    ) -> Result<f64, RlError> {
         let i = self.idx(s, a)?;
         self.visits[i] += 1;
         let alpha = alpha.value(self.visits[i] - 1);
@@ -155,7 +157,7 @@ impl QTable {
             });
         }
         self.values[i] = value;
-        Ok(())
+        Ok(target - old)
     }
 
     /// Visit count of `(s, a)`.
@@ -222,6 +224,32 @@ impl QTable {
             }
         }
         Ok((best, max_v))
+    }
+
+    /// Min/max action value and visit count of state `s` in one row scan
+    /// — the learning-health diagnostics tap (greedy-Q span, visit
+    /// dispersion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn row_stats(&self, s: usize) -> Result<RowStats, RlError> {
+        let start = self.idx(s, 0)?;
+        let mut stats = RowStats {
+            q_min: f64::INFINITY,
+            q_max: f64::NEG_INFINITY,
+            visit_min: u64::MAX,
+            visit_max: 0,
+        };
+        for i in start..start + self.actions {
+            let v = self.values[i];
+            stats.q_min = stats.q_min.min(v);
+            stats.q_max = stats.q_max.max(v);
+            let n = self.visits[i];
+            stats.visit_min = stats.visit_min.min(n);
+            stats.visit_max = stats.visit_max.max(n);
+        }
+        Ok(stats)
     }
 
     /// The value of `(s, a)` without bounds checks beyond slice indexing.

@@ -43,6 +43,62 @@ const HEADROOM: f64 = 16_384.0;
 /// Default per-row scale (2⁻¹³ ≈ 1.2e-4 resolution, ±4.0 range).
 const DEFAULT_SCALE: f32 = 1.0 / 8192.0;
 
+/// Per-row learning-health statistics: the spread of a state's action
+/// values (greedy-Q span) and of its visit counts, read in one row scan by
+/// the diagnostics tap. Cheap enough for the decide hot path — the row is
+/// already cache-resident from the greedy scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RowStats {
+    /// Smallest action value in the row.
+    pub q_min: f64,
+    /// Largest action value in the row.
+    pub q_max: f64,
+    /// Smallest visit count in the row.
+    pub visit_min: u64,
+    /// Largest visit count in the row.
+    pub visit_max: u64,
+}
+
+impl RowStats {
+    /// The greedy-Q span `q_max − q_min` (0 for a flat row).
+    pub fn q_span(&self) -> f64 {
+        self.q_max - self.q_min
+    }
+
+    /// The visit-count spread `visit_max − visit_min` — a dispersion
+    /// signal: large spreads mean some actions are starved.
+    pub fn visit_spread(&self) -> u64 {
+        self.visit_max - self.visit_min
+    }
+}
+
+/// Quantized-storage health, derived by scanning a [`QuantizedTable`]
+/// (no extra fields on the table itself, so snapshots and goldens are
+/// untouched): cumulative scale doublings and lane saturation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuantHealth {
+    /// Total scale doublings across all rows since construction (each
+    /// row's scale only ever doubles from `DEFAULT_SCALE`, so this is
+    /// recoverable exactly from the current scales).
+    pub doublings: u64,
+    /// Real (non-padding) lanes sitting at `±i16::MAX` — values the
+    /// quantizer clamped.
+    pub saturated: u64,
+    /// Total real lanes scanned (`states × actions`).
+    pub lanes: u64,
+}
+
+impl QuantHealth {
+    /// Fraction of real lanes clamped at the `i16` rails (0 when empty).
+    pub fn saturation_frac(&self) -> f64 {
+        if self.lanes == 0 {
+            0.0
+        } else {
+            self.saturated as f64 / self.lanes as f64
+        }
+    }
+}
+
 /// Which [`QTableStorage`] layout an agent's tables use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -348,7 +404,8 @@ impl QuantizedTable {
     /// Fused TD update: one bounds check covers the visit bump, the
     /// learning-rate lookup, the dequantized read and the requantized
     /// write that the unfused `visit`/`get`/`set` chain pays four times.
-    /// Produces bit-identical table state to that chain.
+    /// Produces bit-identical table state to that chain. Returns the TD
+    /// error `target − old` against the dequantized old value.
     ///
     /// # Errors
     ///
@@ -361,7 +418,7 @@ impl QuantizedTable {
         a: usize,
         alpha: &Schedule,
         target: f64,
-    ) -> Result<(), RlError> {
+    ) -> Result<f64, RlError> {
         let i = self.idx(s, a)?;
         self.visits[i] = self.visits[i].saturating_add(1);
         let alpha = alpha.value(u64::from(self.visits[i]) - 1);
@@ -381,7 +438,62 @@ impl QuantizedTable {
         } else {
             self.bank[lane] = quantize(value, scale);
         }
-        Ok(())
+        Ok(target - old)
+    }
+
+    /// Min/max action value and visit count of state `s` in one banked
+    /// row scan (padding lanes skipped) — the diagnostics tap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn row_stats(&self, s: usize) -> Result<RowStats, RlError> {
+        self.check_state(s)?;
+        let scale = f64::from(self.scales[s]);
+        let mut q_min = i16::MAX;
+        let mut q_max = i16::MIN;
+        for &lane in &self.bank[s * self.stride..s * self.stride + self.actions] {
+            q_min = q_min.min(lane);
+            q_max = q_max.max(lane);
+        }
+        let mut stats = RowStats {
+            q_min: f64::from(q_min) * scale,
+            q_max: f64::from(q_max) * scale,
+            visit_min: u64::MAX,
+            visit_max: 0,
+        };
+        for &n in &self.visits[s * self.actions..(s + 1) * self.actions] {
+            stats.visit_min = stats.visit_min.min(u64::from(n));
+            stats.visit_max = stats.visit_max.max(u64::from(n));
+        }
+        Ok(stats)
+    }
+
+    /// Scans the whole table for storage health: cumulative scale
+    /// doublings (recovered exactly from the current power-of-two scales
+    /// — scales only ever double from `DEFAULT_SCALE`) and lanes
+    /// clamped at the `i16` rails. O(states × stride): callers gate it on
+    /// a period, not per epoch.
+    pub fn quant_health(&self) -> QuantHealth {
+        let mut health = QuantHealth {
+            lanes: (self.states * self.actions) as u64,
+            ..QuantHealth::default()
+        };
+        for s in 0..self.states {
+            // Exact halving walk: the ratio is a power of two by
+            // construction, so no float log is needed.
+            let mut ratio = f64::from(self.scales[s]) / f64::from(DEFAULT_SCALE);
+            while ratio > 1.5 {
+                ratio *= 0.5;
+                health.doublings += 1;
+            }
+            for &lane in &self.bank[s * self.stride..s * self.stride + self.actions] {
+                if i32::from(lane).abs() == Q_MAX {
+                    health.saturated += 1;
+                }
+            }
+        }
+        health
     }
 
     /// Total number of `(s, a)` visits recorded.
@@ -565,7 +677,7 @@ impl QTableStorage {
     /// Fused TD update toward `target`: visit bump, per-visit learning
     /// rate, read and write in one bounds-checked pass. Bit-identical to
     /// the unfused `visit` → `alpha.value(visits - 1)` → `get` → `set`
-    /// chain on both layouts.
+    /// chain on both layouts. Returns the TD error `target − old`.
     ///
     /// # Errors
     ///
@@ -578,10 +690,34 @@ impl QTableStorage {
         a: usize,
         alpha: &Schedule,
         target: f64,
-    ) -> Result<(), RlError> {
+    ) -> Result<f64, RlError> {
         match self {
             Self::Scalar(t) => t.td_step(s, a, alpha, target),
             Self::Quantized(t) => t.td_step(s, a, alpha, target),
+        }
+    }
+
+    /// Min/max action value and visit count of state `s` in one row scan
+    /// — the learning-health diagnostics tap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::IndexOutOfRange`] for an invalid state.
+    pub fn row_stats(&self, s: usize) -> Result<RowStats, RlError> {
+        match self {
+            Self::Scalar(t) => t.row_stats(s),
+            Self::Quantized(t) => t.row_stats(s),
+        }
+    }
+
+    /// Quantized-storage health for the banked layout, `None` for the
+    /// scalar layout (which has no scales or rails to degrade). Full-table
+    /// scan: callers gate it on a period.
+    #[must_use]
+    pub fn quant_health(&self) -> Option<QuantHealth> {
+        match self {
+            Self::Scalar(_) => None,
+            Self::Quantized(t) => Some(t.quant_health()),
         }
     }
 
@@ -890,6 +1026,55 @@ mod tests {
             st.prefetch_row(99); // out of range: a silent no-op
             assert!(st.get(5, 0).is_err());
             assert!(st.set(0, 5, 1.0).is_err());
+        }
+    }
+
+    #[test]
+    fn row_stats_and_quant_health() {
+        // Scalar layout: exact spans, no quant health.
+        let mut st = QTableStorage::new(QTableLayout::Scalar, 2, 3).unwrap();
+        st.set(0, 0, -1.0).unwrap();
+        st.set(0, 2, 3.0).unwrap();
+        st.visit(0, 2).unwrap();
+        st.visit(0, 2).unwrap();
+        let stats = st.row_stats(0).unwrap();
+        assert_eq!(stats.q_min, -1.0);
+        assert_eq!(stats.q_max, 3.0);
+        assert_eq!(stats.q_span(), 4.0);
+        assert_eq!((stats.visit_min, stats.visit_max), (0, 2));
+        assert_eq!(stats.visit_spread(), 2);
+        assert!(st.quant_health().is_none());
+        assert!(st.row_stats(9).is_err());
+
+        // Quantized layout: padding excluded, health recovers doublings.
+        let mut q = QuantizedTable::new(2, 3).unwrap();
+        let fresh = q.quant_health();
+        assert_eq!(fresh.doublings, 0);
+        assert_eq!(fresh.saturated, 0);
+        assert_eq!(fresh.lanes, 6);
+        assert_eq!(fresh.saturation_frac(), 0.0);
+        q.set(0, 1, -2.0).unwrap();
+        let stats = q.row_stats(0).unwrap();
+        assert!((stats.q_min - -2.0).abs() < 1e-3);
+        assert_eq!(stats.q_max, 0.0); // padding (i16::MIN) must not leak in
+        // Force doublings on row 1: growth stops once the value fits with
+        // half-range headroom (|q| ≤ 2^14), so 20.0 needs scale × 16.
+        q.set(1, 0, 20.0).unwrap();
+        let health = q.quant_health();
+        assert_eq!(health.doublings, 4);
+        let st = QTableStorage::Quantized(q);
+        assert_eq!(st.quant_health().unwrap().doublings, 4);
+    }
+
+    #[test]
+    fn td_step_returns_td_error() {
+        let alpha = Schedule::constant(0.5).unwrap();
+        for layout in [QTableLayout::Scalar, QTableLayout::Quantized] {
+            let mut st = QTableStorage::new(layout, 1, 2).unwrap();
+            let td = st.td_step(0, 0, &alpha, 2.0).unwrap();
+            assert!((td - 2.0).abs() < 1e-3, "first td vs zero init");
+            let td = st.td_step(0, 0, &alpha, 2.0).unwrap();
+            assert!((td - 1.0).abs() < 1e-2, "second td vs value 1.0");
         }
     }
 
